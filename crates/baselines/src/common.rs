@@ -1,0 +1,265 @@
+//! Shared cost-charging machinery for baseline strategies.
+
+use hector_device::{Device, DeviceConfig, KernelCategory, KernelCost, OomError, Phase};
+use hector_runtime::GraphData;
+
+/// Result of one baseline run.
+#[derive(Clone, Debug)]
+pub struct SystemReport {
+    /// System name.
+    pub system: &'static str,
+    /// Total simulated time, microseconds (meaningless if `oom`).
+    pub time_us: f64,
+    /// Peak device memory, bytes.
+    pub peak_bytes: usize,
+    /// Whether the run hit out-of-memory.
+    pub oom: bool,
+    /// Kernel launch count.
+    pub launches: usize,
+    /// Time in matrix-multiply kernels, microseconds.
+    pub gemm_us: f64,
+    /// Time in sparse/traversal kernels, microseconds.
+    pub traversal_us: f64,
+    /// Time in indexing/copy kernels, microseconds.
+    pub copy_us: f64,
+    /// Framework overhead (API calls, fallback routines), microseconds.
+    pub other_us: f64,
+}
+
+/// A running cost account for one baseline execution.
+///
+/// Wraps a fresh [`Device`] and offers the vocabulary baseline strategies
+/// are written in: `gemm`, `bmm`, `spmm`, `elementwise`, `copy`,
+/// `replicate_weights`, each charging kernels, API overhead, and memory.
+/// The first failed allocation latches the OOM flag; subsequent charges
+/// are ignored so strategies can be written straight-line.
+#[derive(Debug)]
+pub struct CostRun {
+    device: Device,
+    phase: Phase,
+    oom: bool,
+    eager_api: bool,
+}
+
+impl CostRun {
+    /// Starts an account on a fresh device. `eager_api` charges a host
+    /// API call per operator (eager frameworks: DGL, PyG).
+    #[must_use]
+    pub fn new(config: &DeviceConfig, eager_api: bool) -> CostRun {
+        CostRun {
+            device: Device::new(config.clone()),
+            phase: Phase::Forward,
+            oom: false,
+            eager_api,
+        }
+    }
+
+    /// Switches subsequent charges to the backward phase.
+    pub fn backward_phase(&mut self) {
+        self.phase = Phase::Backward;
+    }
+
+    /// Whether the run has hit OOM.
+    #[must_use]
+    pub fn is_oom(&self) -> bool {
+        self.oom
+    }
+
+    /// Allocates a persistent tensor (features, weights, materialised
+    /// intermediates).
+    pub fn alloc(&mut self, bytes: usize, label: &str) {
+        if self.oom {
+            return;
+        }
+        if let Err(OomError { .. }) = self.device.alloc(bytes, label) {
+            self.oom = true;
+        }
+    }
+
+    fn launch(&mut self, mut cost: KernelCost) {
+        if self.oom {
+            return;
+        }
+        cost.phase = self.phase;
+        self.device.launch(&cost);
+        if self.eager_api {
+            self.device.charge_api_call();
+        }
+    }
+
+    /// A dense GEMM over `m×k×n` with `types` weight slabs (segment MM
+    /// when `types > 1`).
+    pub fn gemm(&mut self, m: usize, k: usize, n: usize, types: usize) {
+        let mut c = KernelCost::new(KernelCategory::Gemm, self.phase);
+        let (mf, kf, nf) = (m as f64, k as f64, n as f64);
+        c.flops = 2.0 * mf * kf * nf;
+        c.bytes_read = mf * kf * 4.0 + (types as f64 * kf * nf * 4.0).min(mf * kf * nf);
+        c.bytes_written = mf * nf * 4.0;
+        c.items = mf * nf / 32.0;
+        self.launch(c);
+    }
+
+    /// Batched matrix multiply over per-row replicated weights
+    /// (`E` independent `1×k×n` products): same FLOPs as a segment MM but
+    /// *every* row streams its own weight matrix.
+    pub fn bmm_replicated(&mut self, m: usize, k: usize, n: usize) {
+        let mut c = KernelCost::new(KernelCategory::Gemm, self.phase);
+        let (mf, kf, nf) = (m as f64, k as f64, n as f64);
+        c.flops = 2.0 * mf * kf * nf;
+        c.bytes_read = mf * kf * 4.0 + mf * kf * nf * 4.0;
+        c.bytes_written = mf * nf * 4.0;
+        c.items = mf * nf / 32.0;
+        self.launch(c);
+    }
+
+    /// A sparse aggregation (SpMM-like) over `edges` rows of width
+    /// `width`, scattering into node rows.
+    pub fn spmm(&mut self, edges: usize, width: usize, atomic: bool) {
+        let mut c = KernelCost::new(KernelCategory::Traversal, self.phase);
+        let (ef, wf) = (edges as f64, width as f64);
+        c.bytes_read = ef * (wf * 4.0 + 12.0);
+        c.bytes_written = ef * wf * 2.0;
+        c.flops = ef * wf * 2.0;
+        if atomic {
+            c.atomic_ops = ef * wf / 4.0;
+        }
+        c.items = ef;
+        self.launch(c);
+    }
+
+    /// A vertex-centric traversal kernel that performs `flops_per_row`
+    /// work and moves `bytes_per_row` per row (Seastar-style lowered
+    /// linear algebra).
+    pub fn traversal(
+        &mut self,
+        rows: usize,
+        flops_per_row: f64,
+        bytes_per_row: f64,
+        atomic_per_row: f64,
+    ) {
+        let mut c = KernelCost::new(KernelCategory::Traversal, self.phase);
+        let rf = rows as f64;
+        c.flops = rf * flops_per_row;
+        c.bytes_read = rf * bytes_per_row * 0.75;
+        c.bytes_written = rf * bytes_per_row * 0.25;
+        c.atomic_ops = rf * atomic_per_row;
+        c.items = rf;
+        self.launch(c);
+    }
+
+    /// An eager elementwise kernel over `rows × width`.
+    pub fn elementwise(&mut self, rows: usize, width: usize) {
+        let mut c = KernelCost::new(KernelCategory::Traversal, self.phase);
+        let b = rows as f64 * width as f64 * 4.0;
+        c.bytes_read = b;
+        c.bytes_written = b;
+        c.flops = rows as f64 * width as f64;
+        c.items = rows as f64;
+        self.launch(c);
+    }
+
+    /// A dedicated indexing/copy kernel moving `bytes` (gather or scatter
+    /// materialisation — the data movement Hector eliminates).
+    pub fn copy(&mut self, bytes: usize) {
+        let mut c = KernelCost::new(KernelCategory::Copy, self.phase);
+        c.bytes_read = bytes as f64;
+        c.bytes_written = bytes as f64;
+        c.items = bytes as f64 / 256.0;
+        self.launch(c);
+    }
+
+    /// Materialises the per-edge replicated weight tensor (`E×k×n`) and
+    /// charges the copy kernel that fills it. Returns the byte size.
+    pub fn replicate_weights(&mut self, rows: usize, k: usize, n: usize) -> usize {
+        let bytes = rows * k * n * 4;
+        self.alloc(bytes, "replicated_weights");
+        self.copy(bytes);
+        bytes
+    }
+
+    /// Charges a pure framework API call (Python-loop iteration without a
+    /// kernel).
+    pub fn api_call(&mut self) {
+        if !self.oom {
+            self.device.charge_api_call();
+        }
+    }
+
+    /// Standard base allocations: node features in+out, weights, graph
+    /// structure (plus gradients when training).
+    pub fn base(
+        &mut self,
+        graph: &GraphData,
+        dim: usize,
+        weight_slabs: usize,
+        training: bool,
+    ) {
+        let n = graph.graph().num_nodes();
+        self.alloc(graph.structure_bytes(), "graph");
+        self.alloc(n * dim * 4 * 2, "features");
+        let wbytes = weight_slabs * dim * dim * 4;
+        self.alloc(wbytes, "weights");
+        if training {
+            self.alloc(wbytes, "weight_grads");
+            self.alloc(n * dim * 4, "feature_grads");
+        }
+    }
+
+    /// Finalises the account.
+    #[must_use]
+    pub fn finish(self, system: &'static str) -> SystemReport {
+        let c = self.device.counters();
+        SystemReport {
+            system,
+            time_us: self.device.elapsed_us(),
+            peak_bytes: self.device.memory().peak(),
+            oom: self.oom,
+            launches: c.total_launches(),
+            gemm_us: c.category_duration_us(KernelCategory::Gemm),
+            traversal_us: c.category_duration_us(KernelCategory::Traversal),
+            copy_us: c.category_duration_us(KernelCategory::Copy),
+            other_us: c.category_duration_us(KernelCategory::Fallback)
+                + self.device.host_api_us(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_latches() {
+        let cfg = DeviceConfig::rtx3090().with_capacity(1000);
+        let mut run = CostRun::new(&cfg, true);
+        run.alloc(2000, "too big");
+        assert!(run.is_oom());
+        run.gemm(10, 10, 10, 1); // ignored
+        let r = run.finish("test");
+        assert!(r.oom);
+        assert_eq!(r.launches, 0);
+    }
+
+    #[test]
+    fn eager_api_charges_extra() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut eager = CostRun::new(&cfg, true);
+        eager.gemm(100, 64, 64, 4);
+        let re = eager.finish("eager");
+        let mut lazy = CostRun::new(&cfg, false);
+        lazy.gemm(100, 64, 64, 4);
+        let rl = lazy.finish("lazy");
+        assert!(re.time_us > rl.time_us);
+    }
+
+    #[test]
+    fn replication_is_visible_in_memory() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut run = CostRun::new(&cfg, false);
+        let bytes = run.replicate_weights(1000, 64, 64);
+        assert_eq!(bytes, 1000 * 64 * 64 * 4);
+        let r = run.finish("t");
+        assert!(r.peak_bytes >= bytes);
+        assert!(r.copy_us > 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphiler baseline strategy.
+//!
+//! Graphiler compiles the message-passing data-flow graph to TorchScript
+//! with a set of *pre-programmed* fused kernels. Inference only
+//! (TorchScript's limited autodiff — paper §4.2). On RGCN and HGT its
+//! fused kernels deliver performance close to Hector's, at the price of
+//! dedicated indexing/copy kernels around its hand-optimized GEMMs (the
+//! breakdown of paper Fig. 3). On RGAT the pre-programmed patterns miss
+//! and the plan decomposes into many unfused edgewise stages — "we
+//! postulate that the degradation is due to the non-exhaustiveness of
+//! these pre-programmed kernels".
+
+use hector_device::DeviceConfig;
+use hector_models::ModelKind;
+use hector_runtime::GraphData;
+
+use crate::common::{CostRun, SystemReport};
+use crate::System;
+
+/// The Graphiler baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Graphiler;
+
+impl System for Graphiler {
+    fn name(&self) -> &'static str {
+        "Graphiler"
+    }
+
+    fn supports(&self, _model: ModelKind, training: bool) -> bool {
+        !training
+    }
+
+    fn run(
+        &self,
+        model: ModelKind,
+        graph: &GraphData,
+        dim: usize,
+        config: &DeviceConfig,
+        training: bool,
+    ) -> SystemReport {
+        assert!(!training, "Graphiler is inference-only");
+        let mut run = CostRun::new(config, false);
+        let g = graph.graph();
+        let (n, e, et, nt) =
+            (g.num_nodes(), g.num_edges(), g.num_edge_types(), g.num_node_types());
+        let d = dim;
+        match model {
+            ModelKind::Rgcn => {
+                run.base(graph, d, et + 1, false);
+                // Gather + per-type segmented GEMM (separate kernels per
+                // node segment) + fused aggregation.
+                run.alloc(e * d * 4, "gathered");
+                run.copy(e * d * 4); // indexing/copy stage (Fig. 3)
+                run.alloc(e * d * 4, "msg");
+                run.gemm(e, d, d, et);
+                run.spmm(e, d, false); // fused aggregation kernel
+                run.gemm(n, d, d, 1);
+                run.elementwise(n, d);
+            }
+            ModelKind::Rgat => {
+                run.base(graph, d, et * 3, false);
+                // No fused pattern: unfused edgewise stages with copies.
+                // The message-passing data-flow graph materialises every
+                // edgewise tensor: gathered endpoints, both projections,
+                // and the attention-weighted messages.
+                run.alloc(e * d * 4 * 2, "gathered_endpoints");
+                run.alloc(e * d * 4 * 2, "hs_ht");
+                run.alloc(e * d * 4, "weighted_msg");
+                run.copy(e * d * 4 * 2); // gather both endpoints
+                run.gemm(e, d, d, et); // hs
+                run.gemm(e, d, d, et); // ht
+                run.copy(e * d * 4); // re-layout for attention
+                run.elementwise(e, 1); // logits
+                run.elementwise(e, 1); // leaky relu
+                run.elementwise(e, 1); // exp
+                run.spmm(e, 1, true); // denominator
+                run.elementwise(e, 1); // divide
+                run.copy(e * d * 4); // re-layout messages
+                run.spmm(e, d, true); // aggregation
+            }
+            ModelKind::Hgt => {
+                run.base(graph, d, et * 2 + nt * 3, false);
+                run.gemm(n, d, d, nt); // K
+                run.gemm(n, d, d, nt); // Q
+                run.gemm(n, d, d, nt); // M
+                // DFG materialisation: gathered K and Q per edge, the
+                // projected keys, and the weighted messages.
+                run.alloc(e * d * 4 * 2, "gathered_kq");
+                run.alloc(e * d * 4, "kw");
+                run.alloc(e * d * 4, "weighted_msg");
+                run.copy(e * d * 4);
+                run.gemm(e, d, d, et); // K·W_A
+                run.spmm(e, 1, false); // fused attention + softmax kernel
+                run.alloc(e * d * 4, "gathered_m");
+                run.copy(e * d * 4);
+                run.spmm(e, d, false); // fused aggregation
+                run.gemm(n, d, d, nt); // output projection
+            }
+        }
+        run.finish("Graphiler")
+    }
+}

@@ -1,0 +1,55 @@
+//! HGL baseline strategy.
+//!
+//! HGL is a heterogeneous-GNN *training* compiler over vertex-centric
+//! code (the paper measures it only in training, and it lacks HGT
+//! support). It applies holistic inter-operator optimizations on top of
+//! a Seastar-style stack — modeled here as the Seastar sequences with a
+//! better fusion/reuse factor — but materialises per-edge intermediates
+//! for autodiff, which drives its out-of-memory failures on the larger
+//! graphs in Fig. 8.
+
+use hector_device::DeviceConfig;
+use hector_models::ModelKind;
+use hector_runtime::GraphData;
+
+use crate::common::{CostRun, SystemReport};
+use crate::{seastar, System};
+
+/// The HGL baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Hgl;
+
+impl System for Hgl {
+    fn name(&self) -> &'static str {
+        "HGL"
+    }
+
+    fn supports(&self, model: ModelKind, training: bool) -> bool {
+        training && model != ModelKind::Hgt
+    }
+
+    fn run(
+        &self,
+        model: ModelKind,
+        graph: &GraphData,
+        dim: usize,
+        config: &DeviceConfig,
+        training: bool,
+    ) -> SystemReport {
+        assert!(
+            self.supports(model, training),
+            "HGL is training-only and lacks HGT"
+        );
+        let mut run = CostRun::new(config, false);
+        // Autodiff saves per-edge intermediates (projections + attention
+        // state) for the backward pass.
+        let e = graph.graph().num_edges();
+        let saved = match model {
+            ModelKind::Rgat => e * dim * 4 * 3,
+            _ => e * dim * 4 * 2,
+        };
+        run.alloc(saved, "saved_edge_intermediates");
+        seastar::charge(&mut run, model, graph, dim, training, 0.8);
+        run.finish("HGL")
+    }
+}

@@ -1,0 +1,250 @@
+//! PyG baseline strategy.
+//!
+//! PyG offers two RGCN convolutions (paper §4.2): `RGCNConv` keeps one
+//! kernel batch per node/edge type (device underutilisation), while
+//! `FastRGCNConv` replicates the weight tensor per edge
+//! (`W'[i,k,j] = W[T[i],k,j]`, §2.3) and runs a BMM — consistently faster
+//! but with an `E×d×d` materialisation that is the paper's recurring OOM
+//! cause. Following the paper's methodology, the better variant that does
+//! not OOM is reported.
+
+use hector_device::DeviceConfig;
+use hector_models::ModelKind;
+use hector_runtime::GraphData;
+
+use crate::common::{CostRun, SystemReport};
+use crate::System;
+
+/// The PyG baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Pyg;
+
+impl System for Pyg {
+    fn name(&self) -> &'static str {
+        "PyG"
+    }
+
+    fn supports(&self, _model: ModelKind, _training: bool) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        model: ModelKind,
+        graph: &GraphData,
+        dim: usize,
+        config: &DeviceConfig,
+        training: bool,
+    ) -> SystemReport {
+        // Fast (replicating) variant vs. per-type-loop variant: pick the
+        // best that completes.
+        let mut fast = CostRun::new(config, true);
+        let mut loopy = CostRun::new(config, true);
+        match model {
+            ModelKind::Rgcn => {
+                fast_rgcn(&mut fast, graph, dim, training);
+                loop_rgcn(&mut loopy, graph, dim, training);
+            }
+            ModelKind::Rgat => {
+                fast_rgat(&mut fast, graph, dim, training);
+                loop_rgat(&mut loopy, graph, dim, training);
+            }
+            ModelKind::Hgt => {
+                // HGTConv has only the grouped-loop implementation.
+                hgt(&mut fast, graph, dim, training);
+                hgt(&mut loopy, graph, dim, training);
+            }
+        }
+        let rf = fast.finish("PyG");
+        let rl = loopy.finish("PyG");
+        match (rf.oom, rl.oom) {
+            (false, true) => rf,
+            (true, false) => rl,
+            (true, true) => rf,
+            (false, false) => {
+                if rf.time_us <= rl.time_us {
+                    rf
+                } else {
+                    rl
+                }
+            }
+        }
+    }
+}
+
+fn fast_rgcn(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
+    let g = graph.graph();
+    let (n, e, et) = (g.num_nodes(), g.num_edges(), g.num_edge_types());
+    run.base(graph, d, et + 1, training);
+    run.alloc(e * d * 4, "gathered_src");
+    run.copy(e * d * 4);
+    run.replicate_weights(e, d, d); // the E×d×d materialisation
+    run.alloc(e * d * 4, "msg");
+    run.bmm_replicated(e, d, d);
+    run.spmm(e, d, true);
+    run.gemm(n, d, d, 1);
+    run.elementwise(n, d);
+    run.elementwise(n, d);
+    if training {
+        run.backward_phase();
+        // Replicated weights also get replicated gradients (paper §4.2:
+        // "the gradient of each individual copy will be derived").
+        run.replicate_weights(e, d, d);
+        run.spmm(e, d, true);
+        run.bmm_replicated(e, d, d); // dX
+        run.bmm_replicated(e, d, d); // dW' (per-copy)
+        run.spmm(e, d * d / 16, true); // reduce weight copies per type
+        run.gemm(n, d, d, 1);
+    }
+}
+
+fn loop_rgcn(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
+    let g = graph.graph();
+    let (n, et) = (g.num_nodes(), g.num_edge_types());
+    run.base(graph, d, et + 1, training);
+    for t in 0..et {
+        let e_t = g.edges_of_type(t);
+        if e_t == 0 {
+            continue;
+        }
+        run.api_call();
+        run.gemm(e_t, d, d, 1);
+        run.spmm(e_t, d, true);
+    }
+    run.gemm(n, d, d, 1);
+    run.elementwise(n, d);
+    if training {
+        run.backward_phase();
+        for t in 0..et {
+            let e_t = g.edges_of_type(t);
+            if e_t == 0 {
+                continue;
+            }
+            run.api_call();
+            run.spmm(e_t, d, true);
+            run.gemm(e_t, d, d, 1);
+            run.gemm(e_t, d, d, 1);
+        }
+        run.gemm(n, d, d, 1);
+    }
+}
+
+fn fast_rgat(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
+    let g = graph.graph();
+    let (e, et) = (g.num_edges(), g.num_edge_types());
+    run.base(graph, d, et * 3, training);
+    run.alloc(e * d * 4 * 2, "gathered_endpoints");
+    run.copy(e * d * 4 * 2);
+    run.replicate_weights(e, d, d);
+    run.alloc(e * d * 4 * 2, "hs_ht");
+    run.bmm_replicated(e, d, d); // hs
+    run.bmm_replicated(e, d, d); // ht
+    run.elementwise(e, 1); // attention logits
+    run.elementwise(e, 1); // leaky relu
+    run.elementwise(e, 1); // exp
+    run.spmm(e, 1, true);
+    run.elementwise(e, 1);
+    run.spmm(e, d, true);
+    if training {
+        run.backward_phase();
+        run.replicate_weights(e, d, d);
+        run.spmm(e, d, true);
+        run.elementwise(e, 1);
+        run.elementwise(e, 1);
+        run.bmm_replicated(e, d, d);
+        run.bmm_replicated(e, d, d);
+        run.spmm(e, d * d / 16, true);
+    }
+}
+
+fn loop_rgat(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
+    let g = graph.graph();
+    let et = g.num_edge_types();
+    run.base(graph, d, et * 3, training);
+    run.alloc(g.num_edges() * d * 4 * 2, "per_edge_projections");
+    for t in 0..et {
+        let e_t = g.edges_of_type(t);
+        if e_t == 0 {
+            continue;
+        }
+        run.api_call();
+        run.gemm(e_t, d, d, 1);
+        run.gemm(e_t, d, d, 1);
+        run.elementwise(e_t, 1);
+        run.elementwise(e_t, 1);
+        run.elementwise(e_t, 1);
+        run.spmm(e_t, 1, true);
+        run.elementwise(e_t, 1);
+        run.spmm(e_t, d, true);
+    }
+    if training {
+        run.backward_phase();
+        for t in 0..et {
+            let e_t = g.edges_of_type(t);
+            if e_t == 0 {
+                continue;
+            }
+            run.api_call();
+            run.spmm(e_t, d, true);
+            run.elementwise(e_t, 1);
+            run.gemm(e_t, d, d, 1);
+            run.gemm(e_t, d, d, 1);
+        }
+    }
+}
+
+fn hgt(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
+    let g = graph.graph();
+    let (n, e, et, nt) =
+        (g.num_nodes(), g.num_edges(), g.num_edge_types(), g.num_node_types());
+    run.base(graph, d, et * 2 + nt * 3, training);
+    // Grouped per-node-type projections.
+    for _ in 0..nt {
+        run.api_call();
+        run.gemm(n / nt.max(1), d, d, 1); // K
+        run.gemm(n / nt.max(1), d, d, 1); // Q
+        run.gemm(n / nt.max(1), d, d, 1); // M
+    }
+    // Per-edge-type attention.
+    for t in 0..et {
+        let e_t = g.edges_of_type(t);
+        if e_t == 0 {
+            continue;
+        }
+        run.api_call();
+        run.gemm(e_t, d, d, 1);
+        run.elementwise(e_t, 1);
+    }
+    run.elementwise(e, 1); // exp
+    run.spmm(e, 1, true);
+    run.elementwise(e, 1);
+    run.spmm(e, d, true);
+    for _ in 0..nt {
+        run.api_call();
+        run.gemm(n / nt.max(1), d, d, 1); // output projection
+    }
+    if training {
+        run.backward_phase();
+        run.alloc(e * d * 4 * 3, "edge_grad_tensors");
+        run.spmm(e, d, true);
+        run.elementwise(e, 1);
+        run.elementwise(e, d); // edge-grad accumulation
+        run.copy(e * d * 4); // re-gather for grads
+        run.spmm(e, d, true); // dK/dQ node reductions
+        run.spmm(e, d, true);
+        for t in 0..et {
+            let e_t = g.edges_of_type(t);
+            if e_t == 0 {
+                continue;
+            }
+            run.api_call();
+            run.gemm(e_t, d, d, 1);
+            run.gemm(e_t, d, d, 1);
+        }
+        for _ in 0..nt {
+            run.api_call();
+            run.gemm(n / nt.max(1), d, d, 1);
+            run.gemm(n / nt.max(1), d, d, 1);
+        }
+    }
+}

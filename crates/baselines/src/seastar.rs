@@ -1,0 +1,109 @@
+//! Seastar baseline strategy.
+//!
+//! Seastar compiles vertex-centric programs into fused *sparse* kernels —
+//! including the linear transformations, which therefore get no GEMM data
+//! reuse: every edge streams its weight matrix through the cache
+//! hierarchy. The paper's conclusion from this comparison: "sparse kernel
+//! code generation alone is not efficient in RGNNs: it is better to lower
+//! to GEMM kernels as much as possible" (§4.2). On the plus side, Seastar
+//! fuses aggressively (few launches) and materialises little (its memory
+//! footprint is lean).
+
+use hector_device::DeviceConfig;
+use hector_models::ModelKind;
+use hector_runtime::GraphData;
+
+use crate::common::{CostRun, SystemReport};
+use crate::System;
+
+/// The Seastar baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Seastar;
+
+impl System for Seastar {
+    fn name(&self) -> &'static str {
+        "Seastar"
+    }
+
+    fn supports(&self, _model: ModelKind, _training: bool) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        model: ModelKind,
+        graph: &GraphData,
+        dim: usize,
+        config: &DeviceConfig,
+        training: bool,
+    ) -> SystemReport {
+        let mut run = CostRun::new(config, false);
+        charge(&mut run, model, graph, dim, training, 1.0);
+        run.finish("Seastar")
+    }
+}
+
+/// Weight bytes streamed per edge by a vertex-centric typed linear: the
+/// `d×d` slab with only partial cache reuse across a warp's edges.
+fn weight_stream_bytes(d: usize) -> f64 {
+    (d * d * 4) as f64 * 0.25
+}
+
+/// Charges a Seastar-style run; `effort` scales kernel fusion quality
+/// (HGL reuses this with a better factor).
+pub(crate) fn charge(
+    run: &mut CostRun,
+    model: ModelKind,
+    graph: &GraphData,
+    d: usize,
+    training: bool,
+    effort: f64,
+) {
+    let g = graph.graph();
+    let (n, e, et, nt) =
+        (g.num_nodes(), g.num_edges(), g.num_edge_types(), g.num_node_types());
+    let ws = weight_stream_bytes(d) * effort;
+    let dd = (2 * d * d) as f64;
+    let row_bytes = (d * 4) as f64;
+    match model {
+        ModelKind::Rgcn => {
+            run.base(graph, d, et + 1, training);
+            // One fused vertex-centric kernel: per-edge typed linear +
+            // normalised aggregation.
+            run.traversal(e, dd, ws + 2.0 * row_bytes, d as f64 / 4.0);
+            // Nodewise self-loop as a second sparse kernel.
+            run.traversal(n, dd, ws + 2.0 * row_bytes, 0.0);
+            if training {
+                run.backward_phase();
+                run.traversal(e, 2.0 * dd, ws + 3.0 * row_bytes, d as f64);
+                // Weight gradients via per-edge atomic outer products.
+                run.traversal(e, dd, ws + 2.0 * row_bytes, (d * d) as f64 / 8.0);
+                run.traversal(n, dd, ws + row_bytes, 0.0);
+            }
+        }
+        ModelKind::Rgat => {
+            run.base(graph, d, et * 3, training);
+            // Attention pass + aggregation pass.
+            run.traversal(e, 2.0 * dd + (4 * d) as f64, 2.0 * ws + 3.0 * row_bytes, 1.0);
+            run.traversal(e, (2 * d) as f64, row_bytes * 2.0, d as f64 / 4.0);
+            if training {
+                run.backward_phase();
+                run.traversal(e, 3.0 * dd, 2.0 * ws + 4.0 * row_bytes, d as f64);
+                run.traversal(e, 2.0 * dd, 2.0 * ws + 2.0 * row_bytes, (d * d) as f64 / 8.0);
+            }
+        }
+        ModelKind::Hgt => {
+            run.base(graph, d, et * 2 + nt * 3, training);
+            run.traversal(n, 3.0 * dd, 3.0 * ws + 2.0 * row_bytes, 0.0); // K/Q/M
+            run.traversal(e, dd + (2 * d) as f64, ws + 3.0 * row_bytes, 1.0); // attention
+            run.traversal(e, (2 * d) as f64, row_bytes * 2.0, d as f64 / 4.0); // aggregate
+            run.traversal(n, dd, ws + row_bytes, 0.0); // output projection
+            if training {
+                run.backward_phase();
+                run.traversal(e, 3.0 * dd, 2.0 * ws + 4.0 * row_bytes, d as f64);
+                run.traversal(e, 2.0 * dd, 2.0 * ws + 2.0 * row_bytes, (d * d) as f64 / 8.0);
+                run.traversal(n, 3.0 * dd, 3.0 * ws + 2.0 * row_bytes, 0.0);
+            }
+        }
+    }
+}

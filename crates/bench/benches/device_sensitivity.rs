@@ -1,0 +1,66 @@
+//! §6 extension: device-microarchitecture sensitivity.
+//!
+//! The paper's future work notes that "the specific microarchitecture of
+//! each GPU model also makes a difference … it is meaningful to
+//! investigate their impact and incorporate them into decision making."
+//! This harness runs Hector's four configurations on three device models
+//! (RTX 3090, A100 80GB, a laptop-class part) and shows that the winning
+//! configuration — and the value of compaction — shifts with the
+//! compute/bandwidth balance, plus how the A100's 80 GB absorbs the
+//! footprints that OOM a 24 GB card.
+
+use hector::prelude::*;
+use hector_bench::{banner, load_dataset, run_hector, scale};
+
+fn main() {
+    let s = scale();
+    banner("Device sensitivity: Hector configurations across GPU models", s);
+    let devices = [
+        DeviceConfig::rtx3090(),
+        DeviceConfig::a100_80gb(),
+        DeviceConfig::laptop_4gb(),
+    ];
+    let combos = [
+        ("U", CompileOptions::unopt()),
+        ("C", CompileOptions::compact_only()),
+        ("R", CompileOptions::reorder_only()),
+        ("C+R", CompileOptions::best()),
+    ];
+    for name in ["fb15k", "biokg"] {
+        let d = load_dataset(name, s);
+        println!("\n--- RGAT inference on {} ---", name);
+        print!("{:<12}", "device");
+        for (l, _) in &combos {
+            print!("{l:>10}");
+        }
+        println!("{:>10}", "winner");
+        for cfg in &devices {
+            // Scale only the capacity of the laptop card with the dataset
+            // so its OOM column stays meaningful at reduced scales.
+            let mut cfg = cfg.clone();
+            if s < 1.0 {
+                cfg.memory_capacity =
+                    ((cfg.memory_capacity as f64) * s).max(64.0 * (1 << 20) as f64) as usize;
+            }
+            print!("{:<12}", cfg.name);
+            let mut best: Option<(&str, f64)> = None;
+            for (label, opts) in &combos {
+                let o = run_hector(ModelKind::Rgat, &d.graph, 64, 64, opts, false, &cfg);
+                match o.time_ms {
+                    Some(t) => {
+                        print!("{t:>10.2}");
+                        if best.map_or(true, |(_, b)| t < b) {
+                            best = Some((label, t));
+                        }
+                    }
+                    None => print!("{:>10}", "OOM"),
+                }
+            }
+            println!("{:>10}", best.map_or("-", |(l, _)| l));
+        }
+    }
+    println!("\nThe A100's 2x bandwidth shrinks traversal time while its lower");
+    println!("plain-fp32 rate stretches GEMMs — compaction (which attacks GEMM");
+    println!("rows) matters relatively more there; the laptop part shows the");
+    println!("OOM rescues compaction provides on capacity-limited devices.");
+}

@@ -1,0 +1,60 @@
+//! Figure 10: device-memory footprint of Hector running HGT, inference
+//! and training, per dataset — and the footprint ratio achieved by
+//! compact materialization, against the entity compaction ratio.
+
+use hector::prelude::*;
+use hector_bench::{banner, device_config, human_bytes, load_datasets, run_hector, scale};
+
+fn main() {
+    let s = scale();
+    banner("Figure 10: HGT memory footprint and compaction ratio", s);
+    // Memory measurement wants footprints even when they exceed the
+    // 24 GB card, so lift the capacity for this experiment.
+    let mut cfg = device_config(s);
+    cfg.memory_capacity = usize::MAX / 2;
+    let mut datasets = load_datasets(s);
+    datasets.sort_by(|a, b| {
+        a.graph.graph().num_edges().cmp(&b.graph.graph().num_edges())
+    });
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "dataset", "edges", "infer mem", "train mem", "C/U infer", "C/U train", "entity"
+    );
+    for d in &datasets {
+        let iu = run_hector(ModelKind::Hgt, &d.graph, 64, 64, &CompileOptions::unopt(), false, &cfg);
+        let tu = run_hector(ModelKind::Hgt, &d.graph, 64, 64, &CompileOptions::unopt(), true, &cfg);
+        let ic = run_hector(
+            ModelKind::Hgt,
+            &d.graph,
+            64,
+            64,
+            &CompileOptions::compact_only(),
+            false,
+            &cfg,
+        );
+        let tc = run_hector(
+            ModelKind::Hgt,
+            &d.graph,
+            64,
+            64,
+            &CompileOptions::compact_only(),
+            true,
+            &cfg,
+        );
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>10.2} {:>10.2} {:>9.2}",
+            d.name,
+            d.graph.graph().num_edges(),
+            human_bytes(iu.peak_bytes),
+            human_bytes(tu.peak_bytes),
+            ic.peak_bytes as f64 / iu.peak_bytes as f64,
+            tc.peak_bytes as f64 / tu.peak_bytes as f64,
+            d.graph.compact().ratio(),
+        );
+    }
+    println!();
+    println!("Paper shape (Fig. 10): footprint is highly proportional to the edge");
+    println!("count; the compact/unopt memory ratio correlates with — and stays");
+    println!("above — the entity compaction ratio, approaching it as the average");
+    println!("degree grows (edgewise data dominates).");
+}

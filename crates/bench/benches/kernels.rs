@@ -1,0 +1,98 @@
+//! Criterion wall-clock benchmarks of the real (functional) execution
+//! path: compilation, inference, and one training step for each model on
+//! a small synthetic graph. These measure the Rust interpreter, not the
+//! simulated GPU; they guard against regressions in the hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hector::prelude::*;
+
+fn small_graph() -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "bench".into(),
+        num_nodes: 300,
+        num_node_types: 3,
+        num_edges: 1500,
+        num_edge_types: 6,
+        compaction_ratio: 0.5,
+        type_skew: 1.0,
+        seed: 42,
+    }))
+}
+
+fn bench(c: &mut Criterion) {
+    let graph = small_graph();
+    let mut group = c.benchmark_group("real_execution");
+    group.sample_size(10);
+
+    for kind in ModelKind::all() {
+        group.bench_with_input(
+            BenchmarkId::new("compile", kind.name()),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    std::hint::black_box(hector::compile_model(
+                        k,
+                        32,
+                        32,
+                        &CompileOptions::best().with_training(true),
+                    ))
+                });
+            },
+        );
+
+        let module = hector::compile_model(kind, 32, 32, &CompileOptions::best());
+        let mut rng = seeded_rng(1);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("inference", kind.name()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+                    std::hint::black_box(
+                        session
+                            .run_inference(&module, &graph, &mut params, &bindings)
+                            .unwrap()
+                            .1
+                            .elapsed_us,
+                    )
+                });
+            },
+        );
+
+        let tmodule =
+            hector::compile_model(kind, 32, 32, &CompileOptions::best().with_training(true));
+        let mut tparams = ParamStore::init(&tmodule.forward, &graph, &mut rng);
+        let tbindings = Bindings::standard(&tmodule.forward, &graph, &mut rng);
+        let labels: Vec<usize> = (0..graph.graph().num_nodes()).map(|i| i % 4).collect();
+        group.bench_with_input(
+            BenchmarkId::new("train_step", kind.name()),
+            &kind,
+            |b, _| {
+                let mut sgd = Sgd::new(0.01);
+                b.iter(|| {
+                    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+                    std::hint::black_box(
+                        session
+                            .run_training_step(
+                                &tmodule,
+                                &graph,
+                                &mut tparams,
+                                &tbindings,
+                                &labels,
+                                &mut sgd,
+                            )
+                            .unwrap()
+                            .1
+                            .elapsed_us,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

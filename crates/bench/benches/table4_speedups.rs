@@ -1,0 +1,97 @@
+//! Table 4: worst/average/best speedups of Hector (unoptimized and
+//! best-optimized) over the best state-of-the-art system per task, plus
+//! the number of OOM events Hector triggers.
+
+use hector::baselines::all_systems;
+use hector::prelude::*;
+use hector_bench::{banner, device_config, geomean, load_datasets, run_hector, scale};
+
+fn main() {
+    let s = scale();
+    banner("Table 4: Hector speedups vs. best prior system", s);
+    let cfg = device_config(s);
+    let datasets = load_datasets(s);
+    let systems = all_systems();
+
+    println!(
+        "{:<8} {:<10} | {:>7} {:>7} {:>7} {:>4} | {:>7} {:>7} {:>7} {:>4}",
+        "", "", "W", "M(geo)", "B", "#E", "W", "M(geo)", "B", "#E"
+    );
+    println!(
+        "{:<8} {:<10} | {:^28} | {:^28}",
+        "mode", "model", "Hector unoptimized", "Hector best-optimized"
+    );
+    for training in [true, false] {
+        let mode = if training { "Train" } else { "Infer" };
+        for kind in ModelKind::all() {
+            let mut ratios_u = Vec::new();
+            let mut ratios_b = Vec::new();
+            let mut oom_u = 0usize;
+            let mut oom_b = 0usize;
+            for d in &datasets {
+                let mut best: Option<f64> = None;
+                for sys in &systems {
+                    if !sys.supports(kind, training) {
+                        continue;
+                    }
+                    let r = sys.run(kind, &d.graph, 64, &cfg, training);
+                    if !r.oom {
+                        let t = r.time_us / 1e3;
+                        best = Some(best.map_or(t, |b: f64| b.min(t)));
+                    }
+                }
+                let hu = run_hector(
+                    kind,
+                    &d.graph,
+                    64,
+                    64,
+                    &CompileOptions::unopt(),
+                    training,
+                    &cfg,
+                );
+                let hb =
+                    run_hector(kind, &d.graph, 64, 64, &CompileOptions::best(), training, &cfg);
+                if hu.time_ms.is_none() {
+                    oom_u += 1;
+                }
+                if hb.time_ms.is_none() {
+                    oom_b += 1;
+                }
+                if let Some(b) = best {
+                    if let Some(t) = hu.time_ms {
+                        ratios_u.push(b / t);
+                    }
+                    if let Some(t) = hb.time_ms {
+                        ratios_b.push(b / t);
+                    }
+                }
+            }
+            let stats = |v: &[f64]| -> (f64, f64, f64) {
+                let w = v.iter().copied().fold(f64::INFINITY, f64::min);
+                let b = v.iter().copied().fold(0.0f64, f64::max);
+                (w, geomean(v), b)
+            };
+            let (wu, mu, bu) = stats(&ratios_u);
+            let (wb, mb, bb) = stats(&ratios_b);
+            println!(
+                "{:<8} {:<10} | {:>7.2} {:>7.2} {:>7.2} {:>4} | {:>7.2} {:>7.2} {:>7.2} {:>4}",
+                mode,
+                kind.name(),
+                wu,
+                mu,
+                bu,
+                oom_u,
+                wb,
+                mb,
+                bb,
+                oom_b
+            );
+        }
+    }
+    println!();
+    println!("Paper reference (Table 4):");
+    println!("  Train  unopt: RGCN 2.02/2.59/3.47 #0 | RGAT 1.72/9.14/43.7 #2 | HGT 1.53/6.62/28.3 #0");
+    println!("  Train  b.opt: RGCN 2.02/2.76/3.48 #0 | RGAT 4.61/11.3/55.4 #0 | HGT 2.17/8.02/43.1 #0");
+    println!("  Infer  unopt: RGCN 1.51/1.79/2.19 #0 | RGAT 1.41/5.02/9.89 #2 | HGT 1.20/1.90/4.31 #0");
+    println!("  Infer  b.opt: RGCN 1.51/1.91/3.20 #0 | RGAT 5.29/8.56/15.5 #0 | HGT 1.40/2.87/7.42 #0");
+}

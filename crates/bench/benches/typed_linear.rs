@@ -1,0 +1,67 @@
+//! Criterion microbenchmark of the §2.3 case study: three ways to run an
+//! edgewise typed linear layer, measured as real CPU work.
+//!
+//! * `replicate_bmm` — PyTorch-style: materialise `W'[i] = W[T[i]]`, then
+//!   batched matrix multiply (the `FastRGCNConv` strategy);
+//! * `segment_mm` — DGL-style: pre-sorted rows, per-segment GEMM;
+//! * `gather_typed_mm` — Hector-style: gather rows and select weight
+//!   slabs on the fly, no materialisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hector_tensor::segment::{
+    bmm_rowwise, gather_typed_mm, replicate_weights, segment_mm,
+};
+use hector_tensor::{seeded_rng, xavier_uniform, Tensor};
+use rand::Rng;
+
+fn setup(rows: usize, d: usize, types: usize) -> (Tensor, Tensor, Vec<u32>, Vec<usize>) {
+    let mut rng = seeded_rng(7);
+    let x = xavier_uniform(&mut rng, &[rows, d]);
+    let w = xavier_uniform(&mut rng, &[types, d, d]);
+    // Sorted types (enables segment MM) with a matching segment pointer.
+    let mut tys: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..types as u32)).collect();
+    tys.sort_unstable();
+    let mut seg = vec![0usize; types + 1];
+    for &t in &tys {
+        seg[t as usize + 1] += 1;
+    }
+    for i in 0..types {
+        seg[i + 1] += seg[i];
+    }
+    (x, w, tys, seg)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typed_linear");
+    group.sample_size(10);
+    for &rows in &[512usize, 4096] {
+        let d = 32;
+        let types = 8;
+        let (x, w, tys, seg) = setup(rows, d, types);
+        group.bench_with_input(
+            BenchmarkId::new("replicate_bmm", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let rep = replicate_weights(&w, &tys);
+                    std::hint::black_box(bmm_rowwise(&x, &rep))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("segment_mm", rows), &rows, |b, _| {
+            b.iter(|| std::hint::black_box(segment_mm(&x, &w, &seg)));
+        });
+        let gather: Vec<u32> = (0..rows as u32).collect();
+        group.bench_with_input(
+            BenchmarkId::new("gather_typed_mm", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| std::hint::black_box(gather_typed_mm(&x, &w, &gather, &tys)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

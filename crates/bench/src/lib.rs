@@ -1,0 +1,241 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures.
+//!
+//! Every `[[bench]] harness = false` binary in this crate reproduces one
+//! table or figure of the paper's evaluation (see `DESIGN.md` §4 for the
+//! index). They share the machinery here: dataset loading at a
+//! configurable scale, a unified way to run Hector and the baselines, and
+//! text-table formatting.
+//!
+//! # Scaling
+//!
+//! The environment variable `HECTOR_SCALE` (default `1.0`) scales every
+//! dataset's node/edge counts. The simulated device's memory capacity is
+//! scaled by the same factor, so out-of-memory behaviour is preserved at
+//! reduced scale (footprints are dominated by edge-proportional tensors).
+//! Runs use the cost-model-only [`Mode::Modeled`], so even paper scale
+//! completes in seconds of host time.
+
+#![warn(missing_docs)]
+
+use hector::baselines::SystemReport;
+use hector::prelude::*;
+
+/// Dataset scale factor from `HECTOR_SCALE` (default 1.0 = paper scale).
+#[must_use]
+pub fn scale() -> f64 {
+    std::env::var("HECTOR_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s.is_finite() && s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Device configuration with capacity scaled alongside the datasets.
+#[must_use]
+pub fn device_config(scale: f64) -> DeviceConfig {
+    let base = DeviceConfig::rtx3090();
+    let cap = (base.memory_capacity as f64 * scale).max(64.0 * 1024.0 * 1024.0) as usize;
+    base.with_capacity(cap)
+}
+
+/// One generated dataset ready for experiments.
+pub struct PreparedDataset {
+    /// Dataset name (paper's label).
+    pub name: String,
+    /// Graph plus derived structures.
+    pub graph: GraphData,
+}
+
+/// Generates all eight paper datasets (figure order: wikikg2, mutag, mag,
+/// fb15k, biokg, bgs, am, aifb) at the given scale.
+#[must_use]
+pub fn load_datasets(scale: f64) -> Vec<PreparedDataset> {
+    hector::datasets::all()
+        .into_iter()
+        .map(|spec| {
+            let name = spec.name.clone();
+            let graph = GraphData::new(hector::generate(&spec.scaled(scale)));
+            PreparedDataset { name, graph }
+        })
+        .collect()
+}
+
+/// Generates a single named dataset at the given scale.
+///
+/// # Panics
+///
+/// Panics on an unknown dataset name.
+#[must_use]
+pub fn load_dataset(name: &str, scale: f64) -> PreparedDataset {
+    let spec = hector::datasets::by_name(name).expect("unknown dataset");
+    PreparedDataset {
+        name: name.to_string(),
+        graph: GraphData::new(hector::generate(&spec.scaled(scale))),
+    }
+}
+
+/// Unified outcome of one system run (Hector or baseline).
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Simulated epoch time in milliseconds (`None` on OOM).
+    pub time_ms: Option<f64>,
+    /// Peak device memory in bytes.
+    pub peak_bytes: usize,
+    /// Kernel launches.
+    pub launches: usize,
+    /// GEMM time, ms.
+    pub gemm_ms: f64,
+    /// Traversal/sparse time, ms.
+    pub traversal_ms: f64,
+    /// Copy/indexing time, ms.
+    pub copy_ms: f64,
+    /// Framework/API time, ms.
+    pub other_ms: f64,
+}
+
+impl Outcome {
+    /// Formats the time, or "OOM".
+    #[must_use]
+    pub fn fmt(&self) -> String {
+        match self.time_ms {
+            Some(t) => format!("{t:.2}"),
+            None => "OOM".to_string(),
+        }
+    }
+}
+
+impl From<SystemReport> for Outcome {
+    fn from(r: SystemReport) -> Outcome {
+        Outcome {
+            time_ms: if r.oom { None } else { Some(r.time_us / 1e3) },
+            peak_bytes: r.peak_bytes,
+            launches: r.launches,
+            gemm_ms: r.gemm_us / 1e3,
+            traversal_ms: r.traversal_us / 1e3,
+            copy_ms: r.copy_us / 1e3,
+            other_ms: r.other_us / 1e3,
+        }
+    }
+}
+
+/// Runs Hector (modeled) and returns a unified outcome.
+#[must_use]
+pub fn run_hector(
+    kind: ModelKind,
+    graph: &GraphData,
+    dim_in: usize,
+    dim_out: usize,
+    opts: &CompileOptions,
+    training: bool,
+    config: &DeviceConfig,
+) -> Outcome {
+    let module =
+        hector::compile_model(kind, dim_in, dim_out, &opts.clone().with_training(training));
+    let mut rng = seeded_rng(12345);
+    let mut params = ParamStore::init(&module.forward, graph, &mut rng);
+    let mut session = Session::new(config.clone(), Mode::Modeled);
+    let result = if training {
+        let mut sgd = Sgd::new(0.01);
+        session
+            .run_training_step(&module, graph, &mut params, &Bindings::new(), &[], &mut sgd)
+            .map(|(_, r)| r)
+    } else {
+        session.run_inference(&module, graph, &mut params, &Bindings::new()).map(|(_, r)| r)
+    };
+    match result {
+        Ok(r) => Outcome {
+            time_ms: Some(r.elapsed_us / 1e3),
+            peak_bytes: r.peak_bytes,
+            launches: r.launches,
+            gemm_ms: r.gemm_us / 1e3,
+            traversal_ms: r.traversal_us / 1e3,
+            copy_ms: r.copy_us / 1e3,
+            other_ms: r.fallback_us / 1e3,
+        },
+        Err(_) => Outcome {
+            time_ms: None,
+            peak_bytes: session.device().memory().peak(),
+            launches: 0,
+            gemm_ms: 0.0,
+            traversal_ms: 0.0,
+            copy_ms: 0.0,
+            other_ms: 0.0,
+        },
+    }
+}
+
+/// Geometric mean of a slice (ignores empties by returning 0).
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Prints a header banner for a harness binary.
+pub fn banner(title: &str, scale: f64) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "(simulated {}; dataset scale {scale}; set HECTOR_SCALE to change)",
+        DeviceConfig::rtx3090().name
+    );
+    println!("================================================================");
+}
+
+/// Human-readable bytes.
+#[must_use]
+pub fn human_bytes(b: usize) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.0} KB", b as f64 / 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(2048), "2 KB");
+        assert!(human_bytes(5 << 20).contains("MB"));
+        assert!(human_bytes(3 << 30).contains("GB"));
+    }
+
+    #[test]
+    fn scaled_device_keeps_oom_shape() {
+        let c = device_config(0.1);
+        assert!(c.memory_capacity < DeviceConfig::rtx3090().memory_capacity);
+    }
+
+    #[test]
+    fn run_hector_small_outcome() {
+        let d = load_dataset("aifb", 0.01);
+        let cfg = device_config(0.01);
+        let o = run_hector(
+            ModelKind::Rgcn,
+            &d.graph,
+            64,
+            64,
+            &CompileOptions::best(),
+            false,
+            &cfg,
+        );
+        assert!(o.time_ms.is_some());
+        assert!(o.launches > 0);
+    }
+}

@@ -1,0 +1,613 @@
+//! IR-level backward-propagation generation (paper §3.5).
+//!
+//! Hector "first emits the backward propagation via inter-operator level
+//! IR, and removes unused gradients and their computation". This module
+//! does exactly that: given an (already optimized) forward program, it
+//! walks the operators in reverse emitting adjoint operators into a new
+//! program, maintains a variable→gradient map with explicit accumulation,
+//! routes gradient contributions between tensor spaces (edge ↔ node ↔
+//! compact), and finally dead-code-eliminates everything that does not
+//! feed a weight gradient.
+//!
+//! The adjoints reuse the same operator vocabulary as the forward IR, so
+//! the same lowering, fusion, and code-generation machinery applies — the
+//! backward kernels are where the paper's atomic-update and outer-product
+//! bottlenecks (§4.4) come from: source-node gradient scatters become
+//! atomic GEMM stores, and per-type weight gradients become
+//! outer-product-shaped GEMM instances.
+
+use std::collections::HashMap;
+
+use hector_ir::{
+    AggNorm, BinOp, Endpoint, OpKind, Operand, Program, Space, UnOp, VarId,
+};
+
+use crate::dce::eliminate_dead;
+
+/// Generates the backward program for `fw`.
+///
+/// The returned program's variable table starts with a copy of `fw`'s
+/// (ids align, so forward activations can be bound by the runtime), and
+/// its inputs are the seeded output gradients (`d_<output>`) plus every
+/// forward variable the backward computation actually reads.
+///
+/// # Panics
+///
+/// Panics on forward constructs with no defined adjoint (non-`None`
+/// aggregation norms, broadcast patterns outside the supported set).
+#[must_use]
+pub fn generate_backward(fw: &Program) -> Program {
+    let mut b = BwBuilder::new(fw);
+    for op in fw.ops.iter().rev() {
+        b.emit_adjoint(&op.kind);
+    }
+    b.finish()
+}
+
+struct BwBuilder<'a> {
+    fw: &'a Program,
+    bw: Program,
+    grad: HashMap<VarId, VarId>,
+    fresh: usize,
+}
+
+impl<'a> BwBuilder<'a> {
+    fn new(fw: &'a Program) -> Self {
+        let mut bw = Program::new(&format!("{}_backward", fw.name));
+        bw.vars = fw.vars.clone();
+        bw.weights = fw.weights.clone();
+        let mut grad = HashMap::new();
+        for &o in &fw.outputs {
+            let info = fw.var(o);
+            let g = bw.add_var(&format!("d_{}", info.name), info.space, info.width);
+            bw.inputs.push(g);
+            grad.insert(o, g);
+        }
+        BwBuilder { fw, bw, grad, fresh: 0 }
+    }
+
+    fn fresh_var(&mut self, hint: &str, space: Space, width: usize) -> VarId {
+        self.fresh += 1;
+        self.bw.add_var(&format!("{hint}_{}", self.fresh), space, width)
+    }
+
+    /// Reads a variable as an operand appropriate for its space.
+    fn read(&self, v: VarId) -> Operand {
+        match self.bw.var(v).space {
+            Space::Node => Operand::Node(v, Endpoint::This),
+            _ => Operand::Edge(v),
+        }
+    }
+
+    /// The space in which an op over `operands` produces rows.
+    fn join_space(&self, operands: &[&Operand]) -> Space {
+        let mut compact = false;
+        let mut src_read = false;
+        for o in operands {
+            match o {
+                Operand::Node(_, Endpoint::Dst) => return Space::Edge,
+                Operand::Node(_, Endpoint::Src) => src_read = true,
+                Operand::Node(_, Endpoint::This) => {}
+                Operand::Edge(v) => match self.bw.var(*v).space {
+                    Space::Edge => return Space::Edge,
+                    Space::Compact => compact = true,
+                    Space::Node => unreachable!("edge operand reading node var"),
+                },
+                Operand::WeightVec(_) | Operand::Const(_) => {}
+            }
+        }
+        if compact {
+            Space::Compact
+        } else if src_read {
+            Space::Edge
+        } else {
+            Space::Node
+        }
+    }
+
+    fn operand_width(&self, o: &Operand) -> usize {
+        self.bw.operand_width(o)
+    }
+
+    /// Emits `out = a <op> b` and returns the fresh output var.
+    fn binary(&mut self, hint: &str, op: BinOp, a: Operand, b: Operand) -> VarId {
+        let space = self.join_space(&[&a, &b]);
+        let width = self.operand_width(&a).max(self.operand_width(&b));
+        let out = self.fresh_var(hint, space, width);
+        self.bw.push_op(OpKind::Binary { op, a, b, out });
+        out
+    }
+
+    fn unary(&mut self, hint: &str, op: UnOp, a: Operand) -> VarId {
+        let space = self.join_space(&[&a]);
+        let width = self.operand_width(&a);
+        let out = self.fresh_var(hint, space, width);
+        self.bw.push_op(OpKind::Unary { op, a, out });
+        out
+    }
+
+    fn dot(&mut self, hint: &str, a: Operand, b: Operand) -> VarId {
+        let space = self.join_space(&[&a, &b]);
+        let out = self.fresh_var(hint, space, 1);
+        self.bw.push_op(OpKind::DotProduct { a, b, out });
+        out
+    }
+
+    /// Accumulates `g` into the gradient of `v`.
+    fn add_grad(&mut self, v: VarId, g: VarId) {
+        match self.grad.get(&v).copied() {
+            None => {
+                self.grad.insert(v, g);
+            }
+            Some(prev) => {
+                let a = self.read(prev);
+                let b = self.read(g);
+                let sum = self.binary("dsum", BinOp::Add, a, b);
+                self.grad.insert(v, sum);
+            }
+        }
+    }
+
+    /// Routes a gradient contribution (a bw variable) to the variable the
+    /// forward op read through `fw_read`, inserting the space-crossing
+    /// reduction the read implies:
+    ///
+    /// * edge-space contribution → node target: aggregate over the edge
+    ///   endpoint the forward op read at;
+    /// * edge-space contribution → compact target: aggregate over the
+    ///   edge→unique map;
+    /// * compact-space contribution → node target: aggregate unique rows
+    ///   into their source nodes.
+    fn route_to(&mut self, fw_read: &Operand, contrib: VarId) {
+        let Some(target) = fw_read.var() else { return };
+        let tspace = self.fw.var(target).space;
+        let cspace = self.bw.var(contrib).space;
+        let routed = match (tspace, cspace) {
+            (t, c) if t == c => contrib,
+            (Space::Node, Space::Edge) => {
+                let ep = match fw_read {
+                    Operand::Node(_, ep) => *ep,
+                    _ => unreachable!("edge contribution for a non-node read"),
+                };
+                assert_ne!(ep, Endpoint::This, "This-reads produce node contributions");
+                let width = self.bw.var(contrib).width;
+                let out = self.fresh_var("dnode", Space::Node, width);
+                self.bw.push_op(OpKind::NodeAggregate {
+                    edge_val: Operand::Edge(contrib),
+                    scale: None,
+                    norm: AggNorm::None,
+                    endpoint: ep,
+                    out,
+                });
+                out
+            }
+            (Space::Node, Space::Compact) => {
+                // Unique rows accumulate into their source node.
+                let width = self.bw.var(contrib).width;
+                let out = self.fresh_var("dnode", Space::Node, width);
+                self.bw.push_op(OpKind::NodeAggregate {
+                    edge_val: Operand::Edge(contrib),
+                    scale: None,
+                    norm: AggNorm::None,
+                    endpoint: Endpoint::Src,
+                    out,
+                });
+                out
+            }
+            (Space::Compact, Space::Edge) => {
+                let width = self.bw.var(contrib).width;
+                let out = self.fresh_var("dcompact", Space::Compact, width);
+                self.bw.push_op(OpKind::NodeAggregate {
+                    edge_val: Operand::Edge(contrib),
+                    scale: None,
+                    norm: AggNorm::None,
+                    endpoint: Endpoint::Src,
+                    out,
+                });
+                out
+            }
+            (t, c) => unreachable!("unsupported gradient routing {c:?} -> {t:?}"),
+        };
+        self.add_grad(target, routed);
+    }
+
+    fn emit_adjoint(&mut self, kind: &OpKind) {
+        match kind {
+            OpKind::TypedLinear {
+                input,
+                weight,
+                transpose_w,
+                scatter,
+                fused_scale,
+                out,
+            } => {
+                assert!(!transpose_w && scatter.is_none() && fused_scale.is_none(),
+                    "backward of backward-only typed-linear forms is not defined");
+                let Some(&dy) = self.grad.get(out) else { return };
+                let dy_read = self.read(dy);
+                // dW
+                self.bw.push_op(OpKind::TypedLinearGradW {
+                    x: input.clone(),
+                    dy: dy_read.clone(),
+                    out_w: *weight,
+                });
+                // dX
+                match input {
+                    Operand::Node(h, Endpoint::This) => {
+                        let width = self.fw.weight(*weight).rows;
+                        let dh = self.fresh_var("dh", Space::Node, width);
+                        self.bw.push_op(OpKind::TypedLinear {
+                            input: dy_read,
+                            weight: *weight,
+                            transpose_w: true,
+                            scatter: None,
+                            fused_scale: None,
+                            out: dh,
+                        });
+                        self.add_grad(*h, dh);
+                    }
+                    Operand::Node(h, ep @ (Endpoint::Src | Endpoint::Dst)) => {
+                        let width = self.fw.weight(*weight).rows;
+                        let dh = self.fresh_var("dh", Space::Node, width);
+                        self.bw.push_op(OpKind::TypedLinear {
+                            input: dy_read,
+                            weight: *weight,
+                            transpose_w: true,
+                            scatter: Some(*ep),
+                            fused_scale: None,
+                            out: dh,
+                        });
+                        self.add_grad(*h, dh);
+                    }
+                    Operand::Edge(v) => {
+                        let width = self.fw.weight(*weight).rows;
+                        let space = self.fw.var(*v).space;
+                        let dv = self.fresh_var("dx", space, width);
+                        self.bw.push_op(OpKind::TypedLinear {
+                            input: dy_read,
+                            weight: *weight,
+                            transpose_w: true,
+                            scatter: None,
+                            fused_scale: None,
+                            out: dv,
+                        });
+                        self.add_grad(*v, dv);
+                    }
+                    _ => unreachable!("typed linear input must be tensor data"),
+                }
+            }
+            OpKind::TypedLinearGradW { .. } => {
+                unreachable!("gradW ops do not appear in forward programs")
+            }
+            OpKind::DotProduct { a, b, out } => {
+                let Some(&ds) = self.grad.get(out) else { return };
+                let ds_read = self.read(ds);
+                if a.var().is_some() {
+                    let c = self.binary("da", BinOp::Mul, b.clone(), ds_read.clone());
+                    self.route_to(a, c);
+                } else if let Operand::WeightVec(w) = a {
+                    self.bw.push_op(OpKind::TypedLinearGradW {
+                        x: b.clone(),
+                        dy: ds_read.clone(),
+                        out_w: *w,
+                    });
+                }
+                if b.var().is_some() {
+                    let c = self.binary("db", BinOp::Mul, a.clone(), ds_read);
+                    self.route_to(b, c);
+                } else if let Operand::WeightVec(w) = b {
+                    self.bw.push_op(OpKind::TypedLinearGradW {
+                        x: a.clone(),
+                        dy: ds_read,
+                        out_w: *w,
+                    });
+                }
+            }
+            OpKind::Binary { op, a, b, out } => {
+                let Some(&dz) = self.grad.get(out) else { return };
+                let dz_read = self.read(dz);
+                let wo = self.fw.var(*out).width;
+                let sides = [(a, b), (b, a)];
+                for (i, (x, other)) in sides.iter().enumerate() {
+                    if x.var().is_none() {
+                        continue;
+                    }
+                    let wx = self.operand_width(x);
+                    let contrib = match op {
+                        BinOp::Add => {
+                            assert_eq!(wx, wo, "broadcast add has no defined adjoint");
+                            dz
+                        }
+                        BinOp::Sub => {
+                            assert_eq!(wx, wo, "broadcast sub has no defined adjoint");
+                            if i == 0 {
+                                dz
+                            } else {
+                                self.unary("dneg", UnOp::Neg, dz_read.clone())
+                            }
+                        }
+                        BinOp::Mul => {
+                            if wx == wo {
+                                self.binary(
+                                    "dmul",
+                                    BinOp::Mul,
+                                    (*other).clone(),
+                                    dz_read.clone(),
+                                )
+                            } else {
+                                // x is the broadcast scalar: reduce over
+                                // the row with a dot product.
+                                self.dot("dmul", (*other).clone(), dz_read.clone())
+                            }
+                        }
+                        BinOp::Div => {
+                            if i == 0 {
+                                // d(a/b)/da = dz / b
+                                self.binary(
+                                    "ddiv",
+                                    BinOp::Div,
+                                    dz_read.clone(),
+                                    (*other).clone(),
+                                )
+                            } else {
+                                // d(a/b)/db = -dz·out/b (dividing by b —
+                                // the operand itself), reduced when b is a
+                                // broadcast scalar.
+                                let out_read = self.read(*out);
+                                let t = if wx == wo {
+                                    self.binary(
+                                        "ddivt",
+                                        BinOp::Mul,
+                                        dz_read.clone(),
+                                        out_read,
+                                    )
+                                } else {
+                                    self.dot("ddivt", dz_read.clone(), out_read)
+                                };
+                                let t2 = self.binary(
+                                    "ddivq",
+                                    BinOp::Div,
+                                    self.read_of(t),
+                                    (*x).clone(),
+                                );
+                                self.unary("dneg", UnOp::Neg, self.read_of(t2))
+                            }
+                        }
+                    };
+                    self.route_to(x, contrib);
+                }
+            }
+            OpKind::Unary { op, a, out } => {
+                let Some(&dz) = self.grad.get(out) else { return };
+                let dz_read = self.read(dz);
+                let contrib = match op {
+                    UnOp::LeakyRelu => {
+                        let g = self.unary("dlrelu", UnOp::LeakyReluGrad, a.clone());
+                        self.binary("dmul", BinOp::Mul, self.read_of(g), dz_read)
+                    }
+                    UnOp::Relu => {
+                        let g = self.unary("drelu", UnOp::ReluGrad, a.clone());
+                        self.binary("dmul", BinOp::Mul, self.read_of(g), dz_read)
+                    }
+                    UnOp::Exp => {
+                        // d exp(x) = exp(x)·dz, reusing the forward output.
+                        let out_read = self.read(*out);
+                        self.binary("dmul", BinOp::Mul, out_read, dz_read)
+                    }
+                    UnOp::Copy => dz,
+                    UnOp::Neg => self.unary("dneg", UnOp::Neg, dz_read),
+                    UnOp::LeakyReluGrad | UnOp::ReluGrad => {
+                        unreachable!("grad helpers do not appear in forward programs")
+                    }
+                };
+                self.route_to(a, contrib);
+            }
+            OpKind::NodeAggregate { edge_val, scale, norm, endpoint, out } => {
+                assert_eq!(
+                    *norm,
+                    AggNorm::None,
+                    "models express normalisation as an explicit edge input"
+                );
+                let Some(&dz) = self.grad.get(out) else { return };
+                // d edge_val: broadcast dz back over the grouping, times
+                // the scale when present.
+                if edge_val.var().is_some() {
+                    let dz_at = Operand::Node(dz, *endpoint);
+                    let contrib = match scale {
+                        Some(s) => self.binary("dval", BinOp::Mul, dz_at, s.clone()),
+                        None => self.unary("dval", UnOp::Copy, dz_at),
+                    };
+                    self.route_to(edge_val, contrib);
+                }
+                // d scale: per-edge dot of the aggregated value with dz.
+                if let Some(s) = scale {
+                    if s.var().is_some() {
+                        let c = self.dot(
+                            "dscale",
+                            edge_val.clone(),
+                            Operand::Node(dz, *endpoint),
+                        );
+                        self.route_to(s, c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_of(&self, v: VarId) -> Operand {
+        self.read(v)
+    }
+
+    fn finish(mut self) -> Program {
+        eliminate_dead(&mut self.bw);
+        // Inputs: the seeded gradients (already present) plus every
+        // forward variable the surviving backward ops read.
+        let n_fw_vars = self.fw.vars.len();
+        let mut defined: Vec<bool> = vec![false; self.bw.vars.len()];
+        for &v in &self.bw.inputs {
+            defined[v.0 as usize] = true;
+        }
+        for op in &self.bw.ops {
+            if let Some(v) = op.kind.out_var() {
+                defined[v.0 as usize] = true;
+            }
+        }
+        let mut extra = Vec::new();
+        for op in &self.bw.ops {
+            for operand in op.kind.operands() {
+                if let Some(v) = operand.var() {
+                    if !defined[v.0 as usize] {
+                        assert!(
+                            (v.0 as usize) < n_fw_vars,
+                            "backward reads an undefined non-forward var"
+                        );
+                        defined[v.0 as usize] = true;
+                        extra.push(v);
+                    }
+                }
+            }
+        }
+        self.bw.inputs.extend(extra);
+        self.bw.validate();
+        self.bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_ir::ModelBuilder;
+
+    /// RGCN-style layer with explicit normalisation input.
+    fn rgcn_program() -> Program {
+        let mut m = ModelBuilder::new("rgcn", 8);
+        let h = m.node_input("h", 8);
+        let cnorm = m.edge_input("cnorm", 1);
+        let w = m.weight_per_etype("W", 8, 8);
+        let w0 = m.weight_shared("W0", 8, 8);
+        let msg = m.typed_linear("msg", m.src(h), w);
+        let agg = m.aggregate("agg", m.edge(msg), Some(m.edge(cnorm)), AggNorm::None);
+        let selfl = m.typed_linear("selfl", m.this(h), w0);
+        let sum = m.add("sum", m.this(agg), m.this(selfl));
+        let out = m.relu("out", m.this(sum));
+        m.output(out);
+        m.finish().program
+    }
+
+    fn count_gradw(p: &Program) -> usize {
+        p.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::TypedLinearGradW { .. }))
+            .count()
+    }
+
+    #[test]
+    fn rgcn_backward_has_gradients_for_both_weights() {
+        let fw = rgcn_program();
+        let bw = generate_backward(&fw);
+        assert_eq!(count_gradw(&bw), 2, "dW and dW0");
+        bw.validate();
+    }
+
+    #[test]
+    fn unused_feature_gradients_are_eliminated() {
+        let fw = rgcn_program();
+        let bw = generate_backward(&fw);
+        // No surviving op should scatter into a node-space dh: input
+        // features are not trainable, so those ops are dead.
+        let scatters = bw
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::TypedLinear { scatter: Some(_), .. }))
+            .count();
+        assert_eq!(scatters, 0, "dh of input features must be dead-code-eliminated");
+    }
+
+    #[test]
+    fn backward_seeds_are_inputs() {
+        let fw = rgcn_program();
+        let bw = generate_backward(&fw);
+        let seed = bw.inputs[0];
+        assert!(bw.var(seed).name.starts_with("d_"));
+        assert_eq!(bw.var(seed).space, Space::Node);
+    }
+
+    #[test]
+    fn attention_chain_backward_validates() {
+        // RGAT-like: exercises dot, softmax (exp/agg/div), scaled
+        // aggregation, and the edge→node gradient routing.
+        let mut m = ModelBuilder::new("rgat", 8);
+        let h = m.node_input("h", 8);
+        let w = m.weight_per_etype("W", 8, 8);
+        let w_s = m.weight_vec_per_etype("w_s", 8);
+        let w_t = m.weight_vec_per_etype("w_t", 8);
+        let hs = m.typed_linear("hs", m.src(h), w);
+        let atts = m.dot("atts", m.edge(hs), m.wvec(w_s));
+        let ht = m.typed_linear("ht", m.dst(h), w);
+        let attt = m.dot("attt", m.edge(ht), m.wvec(w_t));
+        let raw = m.add("raw", m.edge(atts), m.edge(attt));
+        let act = m.leaky_relu("act", m.edge(raw));
+        let att = m.edge_softmax("att", act);
+        let out = m.aggregate("out", m.edge(hs), Some(m.edge(att)), AggNorm::None);
+        m.output(out);
+        let fw = m.finish().program;
+        let bw = generate_backward(&fw);
+        bw.validate();
+        // w, w_s, w_t gradients all present (w used twice → two gradW).
+        assert!(count_gradw(&bw) >= 3);
+        // Attention gradients flow through atomic-scatter GEMMs back to h?
+        // No: dh is dead (h is an input), but hs's gradient must survive
+        // since dW depends on it... dW = x^T dmsg needs d(hs) only via the
+        // gradW of hs's defining op. Check some aggregation ops exist
+        // (softmax backward crosses edge→node spaces).
+        assert!(bw
+            .ops
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::NodeAggregate { .. })));
+    }
+
+    #[test]
+    fn compacted_forward_backward_validates() {
+        let mut fw = rgcn_program();
+        crate::compact::compact_materialization(&mut fw);
+        fw.validate();
+        let bw = generate_backward(&fw);
+        bw.validate();
+        assert_eq!(count_gradw(&bw), 2);
+        // The message gradient must now live in compact space.
+        let has_compact_grad = bw
+            .ops
+            .iter()
+            .filter_map(|o| o.kind.out_var())
+            .any(|v| bw.var(v).space == Space::Compact);
+        assert!(has_compact_grad, "dmsg should be compact when msg is compact");
+    }
+
+    #[test]
+    fn reordered_forward_backward_targets_derived_weights() {
+        let mut m = ModelBuilder::new("r", 8);
+        let h = m.node_input("h", 8);
+        let w = m.weight_per_etype("W", 8, 8);
+        let w_t = m.weight_vec_per_etype("w_t", 8);
+        let ht = m.typed_linear("ht", m.dst(h), w);
+        let attt = m.dot("attt", m.edge(ht), m.wvec(w_t));
+        let s = m.aggregate("s", m.edge(attt), None, AggNorm::None);
+        m.output(s);
+        let mut fw = m.finish().program;
+        crate::reorder::linear_operator_reordering(&mut fw);
+        let bw = generate_backward(&fw);
+        bw.validate();
+        // The only gradW targets the derived fused weight; the runtime's
+        // prep-backward then distributes it to W and w_t.
+        let targets: Vec<_> = bw
+            .ops
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::TypedLinearGradW { out_w, .. } => Some(*out_w),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets.len(), 1);
+        assert!(bw.weight(targets[0]).derived);
+    }
+}

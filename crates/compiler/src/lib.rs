@@ -1,0 +1,36 @@
+//! Compiler passes and code generation for the Hector RGNN framework.
+//!
+//! This crate implements everything between a validated inter-operator
+//! program (from `hector-ir`) and executable kernel specifications plus
+//! CUDA-like source text:
+//!
+//! * [`reorder`] — **linear operator reordering** (paper §3.2.3): rewrites
+//!   chains of linear operators whenever switching their order produces an
+//!   operator *between weights*, shrinking a GEMM factor from the number
+//!   of edges/nodes to the hidden dimension;
+//! * [`compact`] — **compact materialization** (paper §3.2.2): re-homes
+//!   edgewise tensors that depend only on `(source node, edge type)` into
+//!   the compact space of unique pairs;
+//! * [`backward`] — IR-level backward generation with dead-gradient
+//!   elimination (paper §3.5);
+//! * [`lower`] — the three-pass greedy lowering of §3.2.5: GEMM-template
+//!   instances first, then maximal fusion into traversal-template
+//!   instances, with framework fallback as the last resort, all driven by
+//!   operator preference levels (§3.4.2);
+//! * [`codegen`] — emission of CUDA-like kernel source and host wrappers
+//!   (§3.6), reproducing the paper's generated-code-size accounting;
+//! * [`pipeline`] — the `@hector.compile` equivalent: one call from model
+//!   source to a [`CompiledModule`].
+
+#![warn(missing_docs)]
+
+pub mod backward;
+pub mod codegen;
+pub mod compact;
+pub mod dce;
+pub mod lower;
+pub mod pipeline;
+pub mod reorder;
+
+pub use codegen::GeneratedCode;
+pub use pipeline::{compile, CompileOptions, CompiledModule};

@@ -1,0 +1,173 @@
+//! Hardware parameter sets for the simulated device.
+
+/// Parameters of the modeled GPU.
+///
+/// All throughput-style fields are peak values; the cost model in
+/// [`crate::KernelCost`] derates them by occupancy/size efficiency curves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Warp schedulers per SM; the ideal instructions-per-cycle figure the
+    /// paper quotes for Fig. 12 ("on RTX 3090, IPC is ideally 4").
+    pub schedulers_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak fp32 throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// Peak L2 bandwidth in GB/s (used only for the Fig. 12 L2 metric).
+    pub l2_bw_gbps: f64,
+    /// Device memory capacity in bytes. Allocations beyond this fail with
+    /// [`crate::OomError`].
+    pub memory_capacity: usize,
+    /// Fixed cost of one kernel launch in microseconds (driver + grid
+    /// setup). The paper measured CUDA API overhead at 22% of Graphiler's
+    /// critical path (§2.3); many small launches is the main cost the DGL
+    /// HeteroConv-style per-relation loops pay.
+    pub kernel_launch_us: f64,
+    /// Additional host API overhead per framework-level operator call in
+    /// microseconds (tensor bookkeeping, dispatch). Charged by fallback
+    /// operators and eager frameworks.
+    pub api_call_us: f64,
+    /// Minimum in-flight duration of any kernel in microseconds
+    /// (pipeline/memory latency floor even for tiny grids).
+    pub kernel_latency_floor_us: f64,
+    /// Sustained global-memory atomic update throughput in Gops/s. Atomic
+    /// scatter updates in backward traversal kernels are bounded by this
+    /// (the paper's §4.4 latency-bound finding).
+    pub atomic_gops: f64,
+    /// GEMM work (in FLOPs) at which the compute pipeline reaches half of
+    /// peak efficiency; the knee of the occupancy curve.
+    pub gemm_half_sat_flops: f64,
+    /// Memory traffic (in bytes) at which streaming kernels reach half of
+    /// peak DRAM bandwidth.
+    pub mem_half_sat_bytes: f64,
+}
+
+impl DeviceConfig {
+    /// The paper's testbed: Nvidia GeForce RTX 3090, 24 GB.
+    #[must_use]
+    pub fn rtx3090() -> DeviceConfig {
+        DeviceConfig {
+            name: "RTX 3090".to_string(),
+            sm_count: 82,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.695,
+            fp32_tflops: 35.6,
+            dram_bw_gbps: 936.0,
+            l2_bw_gbps: 2000.0,
+            memory_capacity: 24 * (1usize << 30),
+            kernel_launch_us: 6.0,
+            api_call_us: 4.0,
+            kernel_latency_floor_us: 3.0,
+            atomic_gops: 32.0,
+            gemm_half_sat_flops: 2.5e8,
+            mem_half_sat_bytes: 4.0e6,
+        }
+    }
+
+    /// Nvidia A100 (SXM, 80 GB): the datacenter part. Higher memory
+    /// bandwidth and capacity but a lower fp32 (non-tensor-core) rate
+    /// than the 3090 — shifting the roofline exactly the way §6's
+    /// "specific microarchitecture of each GPU model makes a difference"
+    /// anticipates.
+    #[must_use]
+    pub fn a100_80gb() -> DeviceConfig {
+        DeviceConfig {
+            name: "A100 80GB".to_string(),
+            sm_count: 108,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.41,
+            fp32_tflops: 19.5,
+            dram_bw_gbps: 2039.0,
+            l2_bw_gbps: 4000.0,
+            memory_capacity: 80 * (1usize << 30),
+            kernel_launch_us: 6.0,
+            api_call_us: 4.0,
+            kernel_latency_floor_us: 3.0,
+            atomic_gops: 64.0,
+            gemm_half_sat_flops: 4.0e8,
+            mem_half_sat_bytes: 8.0e6,
+        }
+    }
+
+    /// A smaller laptop-class part, useful for exercising OOM paths and
+    /// architecture-sensitivity tests without full-size graphs.
+    #[must_use]
+    pub fn laptop_4gb() -> DeviceConfig {
+        DeviceConfig {
+            name: "Laptop 4GB".to_string(),
+            sm_count: 20,
+            schedulers_per_sm: 4,
+            clock_ghz: 1.2,
+            fp32_tflops: 6.0,
+            dram_bw_gbps: 200.0,
+            l2_bw_gbps: 500.0,
+            memory_capacity: 4 * (1usize << 30),
+            kernel_launch_us: 6.0,
+            api_call_us: 4.0,
+            kernel_latency_floor_us: 3.0,
+            atomic_gops: 10.0,
+            gemm_half_sat_flops: 1.0e8,
+            mem_half_sat_bytes: 2.0e6,
+        }
+    }
+
+    /// Returns a copy with a different memory capacity, for OOM tests.
+    #[must_use]
+    pub fn with_capacity(mut self, bytes: usize) -> DeviceConfig {
+        self.memory_capacity = bytes;
+        self
+    }
+
+    /// Ideal aggregate IPC across the device (`schedulers_per_sm`), the
+    /// reference point of Fig. 12's IPC chart.
+    #[must_use]
+    pub fn ideal_ipc(&self) -> f64 {
+        self.schedulers_per_sm as f64
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::rtx3090()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3090_matches_paper_testbed() {
+        let c = DeviceConfig::rtx3090();
+        assert_eq!(c.memory_capacity, 24 * (1 << 30));
+        assert_eq!(c.sm_count, 82);
+        assert_eq!(c.ideal_ipc(), 4.0);
+    }
+
+    #[test]
+    fn with_capacity_overrides() {
+        let c = DeviceConfig::rtx3090().with_capacity(1024);
+        assert_eq!(c.memory_capacity, 1024);
+        assert_eq!(c.name, "RTX 3090");
+    }
+
+    #[test]
+    fn default_is_rtx3090() {
+        assert_eq!(DeviceConfig::default(), DeviceConfig::rtx3090());
+    }
+
+    #[test]
+    fn a100_tradeoff_vs_3090() {
+        let a = DeviceConfig::a100_80gb();
+        let r = DeviceConfig::rtx3090();
+        assert!(a.dram_bw_gbps > r.dram_bw_gbps, "A100 has more bandwidth");
+        assert!(a.fp32_tflops < r.fp32_tflops, "but less plain-fp32 compute");
+        assert!(a.memory_capacity > r.memory_capacity);
+    }
+}

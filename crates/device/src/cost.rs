@@ -1,0 +1,280 @@
+//! Kernel cost descriptors and the analytical duration model.
+
+use crate::DeviceConfig;
+
+/// Which template (or fallback path) a kernel was generated from.
+///
+/// The paper's Fig. 9 breakdown and Fig. 12 profiles group kernels exactly
+/// this way: GEMM-template instances, traversal-template instances, and
+/// everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelCategory {
+    /// Instance of the GEMM template (matrix multiply with gather/scatter).
+    Gemm,
+    /// Instance of the node/edge traversal template.
+    Traversal,
+    /// Dedicated data-movement kernel (indexing, copying, replication) —
+    /// the kernels Hector avoids but baselines launch.
+    Copy,
+    /// Operator that fell back to a framework routine (PyTorch in the
+    /// paper); charged extra host API overhead.
+    Fallback,
+}
+
+impl KernelCategory {
+    /// Display label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelCategory::Gemm => "GEMM",
+            KernelCategory::Traversal => "Traversal",
+            KernelCategory::Copy => "Copy",
+            KernelCategory::Fallback => "Fallback",
+        }
+    }
+}
+
+/// Forward or backward propagation, for Fig. 12-style reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward propagation.
+    Forward,
+    /// Backward propagation.
+    Backward,
+}
+
+/// The cost signature of one kernel launch.
+///
+/// The runtime derives these from kernel specs plus the graph's statistics;
+/// [`KernelCost::duration_us`] turns them into simulated time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelCost {
+    /// Template category.
+    pub category: KernelCategory,
+    /// Forward or backward.
+    pub phase: Phase,
+    /// Floating point operations performed.
+    pub flops: f64,
+    /// Bytes read from device memory.
+    pub bytes_read: f64,
+    /// Bytes written to device memory.
+    pub bytes_written: f64,
+    /// Global-memory atomic updates issued (scatter accumulation).
+    pub atomic_ops: f64,
+    /// Independent work items (rows/edges/nodes) — drives the occupancy
+    /// estimate.
+    pub items: f64,
+}
+
+impl KernelCost {
+    /// Creates a zero cost for the given category and phase.
+    #[must_use]
+    pub fn new(category: KernelCategory, phase: Phase) -> KernelCost {
+        KernelCost {
+            category,
+            phase,
+            flops: 0.0,
+            bytes_read: 0.0,
+            bytes_written: 0.0,
+            atomic_ops: 0.0,
+            items: 0.0,
+        }
+    }
+
+    /// Total device-memory traffic.
+    #[must_use]
+    pub fn bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Compute-pipe busy time in microseconds, after derating peak
+    /// throughput by the size-dependent efficiency curve.
+    #[must_use]
+    pub fn compute_us(&self, cfg: &DeviceConfig) -> f64 {
+        if self.flops <= 0.0 {
+            return 0.0;
+        }
+        let eff = efficiency(self.flops, cfg.gemm_half_sat_flops)
+            * occupancy(self.items, cfg);
+        // Even tiny kernels sustain ~1% of peak once running; launch
+        // latency is charged separately.
+        let tflops = cfg.fp32_tflops * eff.max(0.01);
+        self.flops / (tflops * 1e12) * 1e6
+    }
+
+    /// Memory-system busy time in microseconds.
+    #[must_use]
+    pub fn memory_us(&self, cfg: &DeviceConfig) -> f64 {
+        let bytes = self.bytes();
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        // Bandwidth saturates with transfer size alone: even a handful of
+        // resident warps can keep the memory system busy, so no occupancy
+        // derating here (unlike the compute pipe).
+        let eff = efficiency(bytes, cfg.mem_half_sat_bytes);
+        let bw = cfg.dram_bw_gbps * eff.max(0.08);
+        bytes / (bw * 1e9) * 1e6
+    }
+
+    /// Latency floor in microseconds: the fixed pipeline latency plus the
+    /// serialisation cost of atomic updates. Backward traversal kernels
+    /// are dominated by this term (paper §4.4).
+    #[must_use]
+    pub fn latency_us(&self, cfg: &DeviceConfig) -> f64 {
+        let atomic_us = if self.atomic_ops > 0.0 {
+            self.atomic_ops / (cfg.atomic_gops * 1e9) * 1e6
+        } else {
+            0.0
+        };
+        cfg.kernel_latency_floor_us + atomic_us
+    }
+
+    /// In-flight duration (excludes launch overhead): the roofline
+    /// maximum of compute, memory, and latency.
+    #[must_use]
+    pub fn busy_us(&self, cfg: &DeviceConfig) -> f64 {
+        self.compute_us(cfg).max(self.memory_us(cfg)).max(self.latency_us(cfg))
+    }
+
+    /// Full duration of one launch in microseconds, including launch
+    /// overhead (and host API overhead for fallback operators).
+    #[must_use]
+    pub fn duration_us(&self, cfg: &DeviceConfig) -> f64 {
+        let overhead = match self.category {
+            KernelCategory::Fallback => cfg.kernel_launch_us + cfg.api_call_us,
+            _ => cfg.kernel_launch_us,
+        };
+        overhead + self.busy_us(cfg)
+    }
+
+    /// The instructions-per-cycle proxy reported in Fig. 12: the fraction
+    /// of the in-flight time the schedulers were usefully issuing, scaled
+    /// to the ideal IPC. Compute-bound kernels approach the ideal;
+    /// memory-bound kernels issue mostly loads and stall (~30% of slots);
+    /// latency/atomic-bound kernels (backward traversal) score lowest.
+    #[must_use]
+    pub fn ipc(&self, cfg: &DeviceConfig) -> f64 {
+        let busy = self.busy_us(cfg);
+        if busy <= 0.0 {
+            return 0.0;
+        }
+        // Issue slots spent on arithmetic count fully; slots spent waiting
+        // on the memory system issue at a fraction of the ideal rate.
+        let useful = self.compute_us(cfg).max(0.3 * self.memory_us(cfg));
+        cfg.ideal_ipc() * (useful / busy).clamp(0.0, 1.0)
+    }
+}
+
+/// Saturation curve: `work / (work + half_sat)` rises from 0 toward 1.
+///
+/// This single knob reproduces the paper's observation that "CUDA math
+/// libraries … may not be efficient for small inputs" and the sublinear
+/// time growth of Fig. 11.
+fn efficiency(work: f64, half_sat: f64) -> f64 {
+    work / (work + half_sat)
+}
+
+/// Occupancy estimate from the number of independent work items
+/// (approximately warp-equivalents): a grid needs roughly `sm_count × 32`
+/// resident warps to fill the machine.
+fn occupancy(items: f64, cfg: &DeviceConfig) -> f64 {
+    let fill = cfg.sm_count as f64 * 32.0;
+    if items <= 0.0 {
+        1.0
+    } else {
+        (items / (items + fill)).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    fn gemm(flops: f64, bytes: f64, items: f64) -> KernelCost {
+        KernelCost {
+            category: KernelCategory::Gemm,
+            phase: Phase::Forward,
+            flops,
+            bytes_read: bytes * 0.7,
+            bytes_written: bytes * 0.3,
+            atomic_ops: 0.0,
+            items,
+        }
+    }
+
+    #[test]
+    fn duration_monotone_in_flops() {
+        let small = gemm(1e6, 1e5, 1e3).duration_us(&cfg());
+        let large = gemm(1e9, 1e5, 1e3).duration_us(&cfg());
+        assert!(large > small);
+    }
+
+    #[test]
+    fn sublinear_scaling_with_size() {
+        // Quadrupling work (2x dims) should less-than-quadruple time: the
+        // efficiency curve rises (paper Fig. 11's observation).
+        let base = gemm(1e9, 1e8, 1e5);
+        let quad = gemm(4e9, 2e8, 1e5);
+        let t1 = base.duration_us(&cfg());
+        let t4 = quad.duration_us(&cfg());
+        assert!(t4 < 4.0 * t1, "t1={t1} t4={t4}");
+        assert!(t4 > t1);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let tiny = gemm(1e3, 1e3, 8.0);
+        let d = tiny.duration_us(&cfg());
+        assert!(d >= cfg().kernel_launch_us);
+        assert!(d < cfg().kernel_launch_us + cfg().kernel_latency_floor_us + 1.0);
+    }
+
+    #[test]
+    fn atomics_raise_latency() {
+        let mut t = KernelCost::new(KernelCategory::Traversal, Phase::Backward);
+        t.bytes_read = 1e6;
+        t.items = 1e5;
+        let without = t.duration_us(&cfg());
+        t.atomic_ops = 1e7;
+        let with = t.duration_us(&cfg());
+        assert!(with > without);
+    }
+
+    #[test]
+    fn fallback_charges_api_overhead() {
+        let f = KernelCost::new(KernelCategory::Fallback, Phase::Forward);
+        let g = KernelCost::new(KernelCategory::Gemm, Phase::Forward);
+        assert!(f.duration_us(&cfg()) > g.duration_us(&cfg()));
+    }
+
+    #[test]
+    fn ipc_low_when_latency_bound() {
+        let mut bw = KernelCost::new(KernelCategory::Traversal, Phase::Backward);
+        bw.bytes_read = 1e4;
+        bw.atomic_ops = 1e8; // heavily atomic-bound
+        bw.items = 1e6;
+        let ipc = bw.ipc(&cfg());
+        assert!(ipc < 1.0, "latency-bound kernel should have low IPC, got {ipc}");
+        let dense = gemm(1e11, 1e9, 1e6);
+        assert!(dense.ipc(&cfg()) > 3.0, "dense GEMM should approach ideal IPC");
+    }
+
+    #[test]
+    fn zero_cost_zero_busy() {
+        let z = KernelCost::new(KernelCategory::Gemm, Phase::Forward);
+        assert_eq!(z.compute_us(&cfg()), 0.0);
+        assert_eq!(z.memory_us(&cfg()), 0.0);
+        assert!(z.duration_us(&cfg()) >= cfg().kernel_launch_us);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(KernelCategory::Gemm.label(), "GEMM");
+        assert_eq!(KernelCategory::Copy.label(), "Copy");
+    }
+}

@@ -1,0 +1,218 @@
+//! Architectural counters aggregated per kernel category and phase,
+//! backing the Fig. 12-style reports.
+
+use std::collections::HashMap;
+
+use crate::{DeviceConfig, KernelCategory, KernelCost, Phase};
+
+/// Aggregated metrics for one `(category, phase)` bucket.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CategoryMetrics {
+    /// Number of kernel launches.
+    pub launches: usize,
+    /// Total simulated duration, microseconds (including launch overhead).
+    pub duration_us: f64,
+    /// Total in-flight (busy) time, microseconds.
+    pub busy_us: f64,
+    /// Total floating-point operations.
+    pub flops: f64,
+    /// Total DRAM traffic in bytes.
+    pub bytes: f64,
+    /// Total atomic operations.
+    pub atomics: f64,
+    /// Sum of per-kernel IPC weighted by busy time (divide by `busy_us`
+    /// for the average IPC).
+    ipc_weighted: f64,
+}
+
+impl CategoryMetrics {
+    /// Average achieved GFLOP/s over the bucket's busy time.
+    #[must_use]
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.busy_us <= 0.0 {
+            0.0
+        } else {
+            self.flops / (self.busy_us * 1e-6) / 1e9
+        }
+    }
+
+    /// Average DRAM throughput as a percentage of peak.
+    #[must_use]
+    pub fn dram_throughput_pct(&self, cfg: &DeviceConfig) -> f64 {
+        if self.busy_us <= 0.0 {
+            0.0
+        } else {
+            let gbps = self.bytes / (self.busy_us * 1e-6) / 1e9;
+            gbps / cfg.dram_bw_gbps * 100.0
+        }
+    }
+
+    /// Busy-time-weighted average IPC proxy.
+    #[must_use]
+    pub fn avg_ipc(&self) -> f64 {
+        if self.busy_us <= 0.0 {
+            0.0
+        } else {
+            self.ipc_weighted / self.busy_us
+        }
+    }
+}
+
+/// Per-`(category, phase)` counter store for one run.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    buckets: HashMap<(KernelCategory, Phase), CategoryMetrics>,
+}
+
+impl Counters {
+    /// Creates an empty counter store.
+    #[must_use]
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Records one kernel launch.
+    pub fn record(&mut self, cost: &KernelCost, cfg: &DeviceConfig) {
+        let m = self.buckets.entry((cost.category, cost.phase)).or_default();
+        let busy = cost.busy_us(cfg);
+        m.launches += 1;
+        m.duration_us += cost.duration_us(cfg);
+        m.busy_us += busy;
+        m.flops += cost.flops;
+        m.bytes += cost.bytes();
+        m.atomics += cost.atomic_ops;
+        m.ipc_weighted += cost.ipc(cfg) * busy;
+    }
+
+    /// Metrics for one bucket (zero-default if nothing was recorded).
+    #[must_use]
+    pub fn get(&self, category: KernelCategory, phase: Phase) -> CategoryMetrics {
+        self.buckets.get(&(category, phase)).cloned().unwrap_or_default()
+    }
+
+    /// Total simulated time across all buckets, microseconds.
+    #[must_use]
+    pub fn total_duration_us(&self) -> f64 {
+        self.buckets.values().map(|m| m.duration_us).sum()
+    }
+
+    /// Total launches across all buckets.
+    #[must_use]
+    pub fn total_launches(&self) -> usize {
+        self.buckets.values().map(|m| m.launches).sum()
+    }
+
+    /// Duration spent in a category (both phases), microseconds.
+    #[must_use]
+    pub fn category_duration_us(&self, category: KernelCategory) -> f64 {
+        self.buckets
+            .iter()
+            .filter(|((c, _), _)| *c == category)
+            .map(|(_, m)| m.duration_us)
+            .sum()
+    }
+
+    /// Duration spent in a phase (all categories), microseconds.
+    #[must_use]
+    pub fn phase_duration_us(&self, phase: Phase) -> f64 {
+        self.buckets
+            .iter()
+            .filter(|((_, p), _)| *p == phase)
+            .map(|(_, m)| m.duration_us)
+            .sum()
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.buckets.clear();
+    }
+
+    /// Merges another counter store into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, m) in &other.buckets {
+            let e = self.buckets.entry(*k).or_default();
+            e.launches += m.launches;
+            e.duration_us += m.duration_us;
+            e.busy_us += m.busy_us;
+            e.flops += m.flops;
+            e.bytes += m.bytes;
+            e.atomics += m.atomics;
+            e.ipc_weighted += m.ipc_weighted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(cat: KernelCategory, phase: Phase, flops: f64) -> KernelCost {
+        let mut c = KernelCost::new(cat, phase);
+        c.flops = flops;
+        c.bytes_read = flops / 4.0;
+        c.items = 1e4;
+        c
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut c = Counters::new();
+        c.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
+        c.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
+        let m = c.get(KernelCategory::Gemm, Phase::Forward);
+        assert_eq!(m.launches, 2);
+        assert!((m.flops - 2e9).abs() < 1.0);
+        assert!(m.duration_us > 0.0);
+    }
+
+    #[test]
+    fn buckets_are_separate() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut c = Counters::new();
+        c.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
+        c.record(&cost(KernelCategory::Traversal, Phase::Backward, 1e6), &cfg);
+        assert_eq!(c.get(KernelCategory::Gemm, Phase::Forward).launches, 1);
+        assert_eq!(c.get(KernelCategory::Traversal, Phase::Backward).launches, 1);
+        assert_eq!(c.get(KernelCategory::Copy, Phase::Forward).launches, 0);
+        assert_eq!(c.total_launches(), 2);
+    }
+
+    #[test]
+    fn derived_metrics_positive() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut c = Counters::new();
+        c.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e10), &cfg);
+        let m = c.get(KernelCategory::Gemm, Phase::Forward);
+        assert!(m.achieved_gflops() > 0.0);
+        assert!(m.dram_throughput_pct(&cfg) > 0.0);
+        assert!(m.avg_ipc() > 0.0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        a.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
+        b.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
+        a.merge(&b);
+        assert_eq!(a.get(KernelCategory::Gemm, Phase::Forward).launches, 2);
+        a.reset();
+        assert_eq!(a.total_launches(), 0);
+    }
+
+    #[test]
+    fn phase_and_category_rollups() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut c = Counters::new();
+        c.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
+        c.record(&cost(KernelCategory::Traversal, Phase::Forward, 1e6), &cfg);
+        c.record(&cost(KernelCategory::Gemm, Phase::Backward, 1e9), &cfg);
+        let fw = c.phase_duration_us(Phase::Forward);
+        let bw = c.phase_duration_us(Phase::Backward);
+        let gemm = c.category_duration_us(KernelCategory::Gemm);
+        assert!(fw > 0.0 && bw > 0.0 && gemm > 0.0);
+        assert!((fw + bw - c.total_duration_us()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the simulated device.
+
+use hector_device::{DeviceConfig, KernelCategory, KernelCost, MemoryPool, Phase};
+use proptest::prelude::*;
+
+fn arb_cost() -> impl Strategy<Value = KernelCost> {
+    (
+        0.0f64..1e12,
+        0.0f64..1e10,
+        0.0f64..1e10,
+        0.0f64..1e8,
+        1.0f64..1e7,
+        any::<bool>(),
+    )
+        .prop_map(|(flops, br, bw, atomics, items, backward)| {
+            let mut c = KernelCost::new(
+                KernelCategory::Gemm,
+                if backward { Phase::Backward } else { Phase::Forward },
+            );
+            c.flops = flops;
+            c.bytes_read = br;
+            c.bytes_written = bw;
+            c.atomic_ops = atomics;
+            c.items = items;
+            c
+        })
+}
+
+proptest! {
+    #[test]
+    fn duration_is_positive_and_at_least_launch_overhead(c in arb_cost()) {
+        let cfg = DeviceConfig::rtx3090();
+        let d = c.duration_us(&cfg);
+        prop_assert!(d.is_finite());
+        prop_assert!(d >= cfg.kernel_launch_us);
+    }
+
+    #[test]
+    fn duration_monotone_in_every_resource(c in arb_cost()) {
+        let cfg = DeviceConfig::rtx3090();
+        let base = c.duration_us(&cfg);
+        let mut more_flops = c.clone();
+        more_flops.flops *= 2.0;
+        prop_assert!(more_flops.duration_us(&cfg) >= base - 1e-9);
+        let mut more_bytes = c.clone();
+        more_bytes.bytes_read *= 2.0;
+        prop_assert!(more_bytes.duration_us(&cfg) >= base - 1e-9);
+        let mut more_atomics = c.clone();
+        more_atomics.atomic_ops = more_atomics.atomic_ops * 2.0 + 1.0;
+        prop_assert!(more_atomics.duration_us(&cfg) >= base - 1e-9);
+    }
+
+    #[test]
+    fn ipc_bounded_by_ideal(c in arb_cost()) {
+        let cfg = DeviceConfig::rtx3090();
+        let ipc = c.ipc(&cfg);
+        prop_assert!((0.0..=cfg.ideal_ipc() + 1e-9).contains(&ipc));
+    }
+
+    #[test]
+    fn achieved_throughput_never_exceeds_peak(c in arb_cost()) {
+        let cfg = DeviceConfig::rtx3090();
+        let busy = c.busy_us(&cfg);
+        if busy > 0.0 && c.flops > 0.0 {
+            let gflops = c.flops / (busy * 1e-6) / 1e9;
+            prop_assert!(gflops <= cfg.fp32_tflops * 1e3 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn memory_pool_never_leaks_or_overflows(
+        ops in proptest::collection::vec((1usize..1000, any::<bool>()), 0..100)
+    ) {
+        let mut pool = MemoryPool::new(16 * 1024);
+        let mut live = Vec::new();
+        let mut expected: usize = 0;
+        for (bytes, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (id, sz) = live.pop().unwrap();
+                pool.free(id);
+                expected -= sz;
+            } else if let Ok(id) = pool.alloc(bytes, "x") {
+                live.push((id, bytes));
+                expected += bytes;
+            }
+            prop_assert_eq!(pool.in_use(), expected);
+            prop_assert!(pool.in_use() <= pool.capacity());
+            prop_assert!(pool.peak() >= pool.in_use());
+        }
+        for (id, _) in live {
+            pool.free(id);
+        }
+        prop_assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Preset dataset specifications matching the paper's Table 3.
+//!
+//! Node/edge counts and type counts are taken directly from Table 3 (which
+//! reflects DGL/OGB default preprocessing, e.g. inverse edges). Entity
+//! compaction ratios for AM (0.57) and FB15k (0.26) are stated in §4.3;
+//! the remaining ratios are chosen to be consistent with the compaction
+//! speedups of Table 5 and the memory ratios of Fig. 10 (documented in
+//! `EXPERIMENTS.md`).
+
+use crate::DatasetSpec;
+
+fn preset(
+    name: &str,
+    num_nodes: usize,
+    num_node_types: usize,
+    num_edges: usize,
+    num_edge_types: usize,
+    compaction_ratio: f64,
+) -> DatasetSpec {
+    DatasetSpec {
+        name: name.to_string(),
+        num_nodes,
+        num_node_types,
+        num_edges,
+        num_edge_types,
+        compaction_ratio,
+        type_skew: 1.1,
+        seed: fnv_seed(name),
+    }
+}
+
+/// Stable per-dataset seed derived from the name, so every preset is
+/// deterministic yet distinct.
+fn fnv_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// AIFB: 7.3K nodes (7 types), 49K edges (104 types).
+#[must_use]
+pub fn aifb() -> DatasetSpec {
+    preset("aifb", 7_300, 7, 49_000, 104, 0.92)
+}
+
+/// AM (Amsterdam Museum): 1.9M nodes (7), 5.7M edges (108).
+/// Entity compaction ratio 57% (paper §4.3).
+#[must_use]
+pub fn am() -> DatasetSpec {
+    preset("am", 1_900_000, 7, 5_700_000, 108, 0.57)
+}
+
+/// BGS: 95K nodes (27), 673K edges (122).
+#[must_use]
+pub fn bgs() -> DatasetSpec {
+    preset("bgs", 95_000, 27, 673_000, 122, 0.75)
+}
+
+/// OGBN-BioKG: 94K nodes (5), 4.8M edges (51).
+#[must_use]
+pub fn biokg() -> DatasetSpec {
+    preset("biokg", 94_000, 5, 4_800_000, 51, 0.18)
+}
+
+/// FB15k: 15K nodes (1), 620K edges (474).
+/// Entity compaction ratio 26% (paper §4.3).
+#[must_use]
+pub fn fb15k() -> DatasetSpec {
+    preset("fb15k", 15_000, 1, 620_000, 474, 0.26)
+}
+
+/// OGBN-MAG: 1.9M nodes (4), 21M edges (4).
+#[must_use]
+pub fn mag() -> DatasetSpec {
+    preset("mag", 1_900_000, 4, 21_000_000, 4, 0.43)
+}
+
+/// MUTAG: 27K nodes (5), 148K edges (50).
+#[must_use]
+pub fn mutag() -> DatasetSpec {
+    preset("mutag", 27_000, 5, 148_000, 50, 0.72)
+}
+
+/// OGBL-WikiKG2: 2.5M nodes (1), 16M edges (535).
+#[must_use]
+pub fn wikikg2() -> DatasetSpec {
+    preset("wikikg2", 2_500_000, 1, 16_000_000, 535, 0.78)
+}
+
+/// All eight presets in the order the paper's figures list them
+/// (wikikg2, mutag, mag, fb15k, biokg, bgs, am, aifb).
+#[must_use]
+pub fn all() -> Vec<DatasetSpec> {
+    vec![wikikg2(), mutag(), mag(), fb15k(), biokg(), bgs(), am(), aifb()]
+}
+
+/// All eight presets in alphabetical order (Table 3 order).
+#[must_use]
+pub fn all_alphabetical() -> Vec<DatasetSpec> {
+    vec![aifb(), am(), bgs(), biokg(), fb15k(), mag(), mutag(), wikikg2()]
+}
+
+/// Looks up a preset by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<DatasetSpec> {
+    all_alphabetical().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_counts() {
+        let a = aifb();
+        assert_eq!(a.num_nodes, 7_300);
+        assert_eq!(a.num_edge_types, 104);
+        let f = fb15k();
+        assert_eq!(f.num_nodes, 15_000);
+        assert_eq!(f.num_node_types, 1);
+        assert_eq!(f.num_edges, 620_000);
+        let m = mag();
+        assert_eq!(m.num_edges, 21_000_000);
+        assert_eq!(m.num_edge_types, 4);
+    }
+
+    #[test]
+    fn paper_stated_compaction_ratios() {
+        assert!((am().compaction_ratio - 0.57).abs() < 1e-12);
+        assert!((fb15k().compaction_ratio - 0.26).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_has_eight_unique_names() {
+        let names: Vec<String> = all().into_iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 8);
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("biokg").is_some());
+        assert!(by_name("cora").is_none());
+    }
+
+    #[test]
+    fn seeds_differ_across_datasets() {
+        assert_ne!(aifb().seed, am().seed);
+    }
+
+    #[test]
+    fn scaled_presets_generate_quickly() {
+        // All presets at 1/1000 scale should generate and validate.
+        for spec in all() {
+            let g = crate::generate(&spec.scaled(0.001));
+            g.validate();
+        }
+    }
+}

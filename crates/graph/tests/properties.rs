@@ -1,0 +1,106 @@
+//! Property-based tests for the graph substrate.
+
+use hector_graph::{generate, DatasetSpec, HeteroGraphBuilder};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
+    (
+        8usize..200,   // nodes
+        1usize..5,     // node types
+        4usize..400,   // edges
+        1usize..12,    // edge types
+        0.1f64..=1.0,  // compaction ratio
+        0.0f64..2.0,   // skew
+        any::<u64>(),  // seed
+    )
+        .prop_map(|(n, nt, e, et, cr, skew, seed)| DatasetSpec {
+            name: "prop".into(),
+            num_nodes: n,
+            num_node_types: nt.min(n),
+            num_edges: e,
+            num_edge_types: et.min(e),
+            compaction_ratio: cr,
+            type_skew: skew,
+            seed,
+        })
+}
+
+proptest! {
+    #[test]
+    fn generated_graphs_satisfy_invariants(spec in arb_spec()) {
+        let g = generate(&spec);
+        g.validate();
+        prop_assert_eq!(g.num_nodes(), spec.num_nodes);
+        prop_assert_eq!(g.num_edges(), spec.num_edges);
+    }
+
+    #[test]
+    fn compaction_map_is_consistent(spec in arb_spec()) {
+        let g = generate(&spec);
+        let c = g.compaction_map();
+        c.validate(&g);
+        // Ratio is bounded by construction.
+        prop_assert!(c.ratio() > 0.0 && c.ratio() <= 1.0 + 1e-12);
+        // Unique pairs never exceed edges, and cover all edges.
+        prop_assert!(c.num_unique() <= g.num_edges());
+        if g.num_edges() > 0 {
+            let max = c.edge_to_unique().iter().copied().max().unwrap() as usize;
+            prop_assert_eq!(max + 1, c.num_unique(), "compact rows must be dense");
+        }
+    }
+
+    #[test]
+    fn csc_covers_every_edge_exactly_once(spec in arb_spec()) {
+        let g = generate(&spec);
+        let csc = g.csc();
+        let mut seen = vec![false; g.num_edges()];
+        for v in 0..g.num_nodes() {
+            for &e in csc.in_edges(v) {
+                prop_assert_eq!(g.dst()[e as usize] as usize, v);
+                prop_assert!(!seen[e as usize], "edge listed twice");
+                seen[e as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn csr_degrees_match_in_degree_counts(spec in arb_spec()) {
+        let g = generate(&spec);
+        let csr = g.csr();
+        let mut out_deg = vec![0usize; g.num_nodes()];
+        for &s in g.src() {
+            out_deg[s as usize] += 1;
+        }
+        for v in 0..g.num_nodes() {
+            prop_assert_eq!(csr.edges(v).len(), out_deg[v]);
+        }
+    }
+
+    #[test]
+    fn in_degree_per_rel_sums_to_in_degree(spec in arb_spec()) {
+        let g = generate(&spec);
+        let per_rel = g.in_degree_per_rel();
+        let total = g.in_degree();
+        for v in 0..g.num_nodes() {
+            let s: u32 = per_rel[v * g.num_edge_types()..(v + 1) * g.num_edge_types()]
+                .iter()
+                .sum();
+            prop_assert_eq!(s, total[v]);
+        }
+    }
+
+    #[test]
+    fn builder_accepts_any_insertion_order(
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 0u32..4), 0..60)
+    ) {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_node_type(10);
+        for &(s, d, t) in &edges {
+            b.add_edge(s, d, t);
+        }
+        let g = b.build();
+        g.validate();
+        prop_assert_eq!(g.num_edges(), edges.len());
+    }
+}

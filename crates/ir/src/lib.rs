@@ -1,0 +1,39 @@
+//! The Hector two-level intermediate representation.
+//!
+//! The paper's central contribution is a *two-level* IR:
+//!
+//! * The **inter-operator level** ([`interop`]) captures RGNN model
+//!   semantics as typed operators over graph-attached tensors, with the
+//!   data layout deliberately abstracted away. Variables live in
+//!   *spaces* — per-node, per-edge, or per unique `(source node, edge
+//!   type)` pair ([`Space`]) — which is exactly the property the compact
+//!   materialization pass manipulates (paper §3.2.2). A small builder DSL
+//!   ([`builder::ModelBuilder`]) plays the role of the paper's Python
+//!   front end (Table 2 constructs; Listing 1).
+//!
+//! * The **intra-operator level** ([`intraop`]) describes the kernels the
+//!   code generator emits: instances of the **GEMM template**
+//!   (`Y[S] = X[G] × W[T]`, Algorithm 1) and the **traversal template**
+//!   (Algorithm 2), each carrying concrete data-access schemes
+//!   (gather/scatter lists, adjacency encodings) and operator-specific
+//!   schedules (tile size, coarsening factor, per-row scalar fusion).
+//!
+//! Lowering between the levels, the optimization passes, and code
+//! generation live in the `hector-compiler` crate; this crate owns the
+//! data types and their invariants.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod interop;
+pub mod intraop;
+
+pub use builder::ModelBuilder;
+pub use interop::{
+    AggNorm, BinOp, Endpoint, Op, OpId, OpKind, Operand, Program, Space, TypeIndex, UnOp,
+    VarId, VarInfo, WeightId, WeightInfo, WeightPrep,
+};
+pub use intraop::{
+    AdjacencyAccess, Gather, GemmSchedule, GemmSpec, KernelSpec, RowDomain, Scatter,
+    TraversalDomain, TraversalSpec,
+};

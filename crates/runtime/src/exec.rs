@@ -1,0 +1,437 @@
+//! Functional interpretation of kernel specs (real execution mode).
+//!
+//! Each kernel spec is executed exactly as the generated CUDA would run:
+//! GEMM instances gather rows through their access schemes, apply the
+//! per-type weight slab, and scatter (atomically, in the backward
+//! direction) into the output; traversal instances iterate their domain
+//! (edges, unique pairs, destination nodes with staged inner passes, or
+//! plain nodes) executing the fused statement list per row.
+
+use hector_ir::interop::LEAKY_RELU_SLOPE;
+use hector_ir::{
+    BinOp, Endpoint, GemmSpec, OpKind, Operand, Program, RowDomain, Scatter, Space,
+    TraversalDomain, TraversalSpec, TypeIndex, UnOp, VarId,
+};
+
+use crate::{GraphData, ParamStore, VarStore};
+
+/// A row position in one of the three iteration spaces.
+#[derive(Clone, Copy, Debug)]
+enum Ctx {
+    Edge(usize),
+    Unique(usize),
+    Node(usize),
+}
+
+/// Executes a GEMM-template instance.
+///
+/// # Panics
+///
+/// Panics on spec/program inconsistencies (compiler bugs).
+pub(crate) fn exec_gemm(
+    spec: &GemmSpec,
+    program: &Program,
+    graph: &GraphData,
+    params: &mut ParamStore,
+    vars: &mut VarStore,
+) {
+    let m = graph.rows_of(spec.rows);
+    match &spec.op.kind {
+        OpKind::TypedLinear { input, weight, transpose_w, scatter, fused_scale, out } => {
+            let wt = params.weight(*weight).clone();
+            let (wrows, wcols) = (wt.shape()[1], wt.shape()[2]);
+            let out_width = program.var(*out).width;
+            for r in 0..m {
+                let ctx = row_ctx(spec.rows, r);
+                let x = read_operand(input, ctx, program, graph, params, vars);
+                let ty = weight_type_index(wt.shape()[0], spec.weight_index, spec.rows, r, graph);
+                let slab = wt.slab(ty);
+                let mut y = vec![0.0f32; out_width];
+                if *transpose_w {
+                    // y = x · W^T where W is [wrows, wcols]: x has wcols elems.
+                    debug_assert_eq!(x.len(), wcols);
+                    for (j, yj) in y.iter_mut().enumerate().take(wrows) {
+                        let row = &slab[j * wcols..(j + 1) * wcols];
+                        let mut acc = 0.0;
+                        for (p, &xv) in x.iter().enumerate() {
+                            acc += xv * row[p];
+                        }
+                        *yj = acc;
+                    }
+                } else {
+                    debug_assert_eq!(x.len(), wrows);
+                    for (p, &xv) in x.iter().enumerate() {
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        let row = &slab[p * wcols..(p + 1) * wcols];
+                        for j in 0..wcols {
+                            y[j] += xv * row[j];
+                        }
+                    }
+                }
+                if let Some(s) = fused_scale {
+                    let sv = read_operand(s, ctx, program, graph, params, vars)[0];
+                    for v in &mut y {
+                        *v *= sv;
+                    }
+                }
+                match scatter {
+                    None => {
+                        vars.get_mut(*out).tensor_mut().set_row(r, &y);
+                    }
+                    Some(ep) => {
+                        let idx = scatter_index(spec.rows, *ep, r, graph);
+                        let row = vars.get_mut(*out).tensor_mut().row_mut(idx);
+                        for (a, b) in row.iter_mut().zip(y.iter()) {
+                            *a += b;
+                        }
+                    }
+                }
+            }
+        }
+        OpKind::TypedLinearGradW { x, dy, out_w } => {
+            let t_count = params.type_count(*out_w);
+            for r in 0..m {
+                let ctx = row_ctx(spec.rows, r);
+                let xr = read_operand(x, ctx, program, graph, params, vars);
+                let dyr = read_operand(dy, ctx, program, graph, params, vars);
+                let ty =
+                    weight_type_index(t_count, spec.weight_index, spec.rows, r, graph);
+                let (k, n) = (xr.len(), dyr.len());
+                let g = params.grad_mut(*out_w);
+                let slab = &mut g.data_mut()[ty * k * n..(ty + 1) * k * n];
+                for (i, &xv) in xr.iter().enumerate() {
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    let row = &mut slab[i * n..(i + 1) * n];
+                    for (j, &dv) in dyr.iter().enumerate() {
+                        row[j] += xv * dv;
+                    }
+                }
+            }
+        }
+        other => unreachable!("not a GEMM op: {other:?}"),
+    }
+    debug_assert!(matches!(spec.scatter, Scatter::None | Scatter::AtomicNode(_)));
+}
+
+fn row_ctx(rows: RowDomain, r: usize) -> Ctx {
+    match rows {
+        RowDomain::Edges => Ctx::Edge(r),
+        RowDomain::UniquePairs => Ctx::Unique(r),
+        RowDomain::Nodes => Ctx::Node(r),
+    }
+}
+
+fn scatter_index(rows: RowDomain, ep: Endpoint, r: usize, graph: &GraphData) -> usize {
+    match rows {
+        RowDomain::Edges => match ep {
+            Endpoint::Src => graph.graph().src()[r] as usize,
+            Endpoint::Dst => graph.graph().dst()[r] as usize,
+            Endpoint::This => r,
+        },
+        RowDomain::UniquePairs => {
+            debug_assert_eq!(ep, Endpoint::Src, "unique pairs scatter to their source");
+            graph.compact().unique_row_idx()[r] as usize
+        }
+        RowDomain::Nodes => r,
+    }
+}
+
+fn weight_type_index(
+    t_count: usize,
+    per: TypeIndex,
+    rows: RowDomain,
+    r: usize,
+    graph: &GraphData,
+) -> usize {
+    let idx = match per {
+        TypeIndex::Shared => 0,
+        TypeIndex::EdgeType => match rows {
+            RowDomain::Edges => graph.graph().etype()[r] as usize,
+            RowDomain::UniquePairs => graph.unique_etype()[r] as usize,
+            RowDomain::Nodes => unreachable!("edge-typed weight in node rows"),
+        },
+        TypeIndex::NodeType => match rows {
+            RowDomain::Nodes => graph.graph().node_type()[r] as usize,
+            _ => unreachable!("node-typed weight outside node rows"),
+        },
+        TypeIndex::NodeEdgePair => graph.pair_type_of(rows, r),
+    };
+    debug_assert!(idx < t_count, "type index out of range");
+    idx
+}
+
+fn read_operand(
+    o: &Operand,
+    ctx: Ctx,
+    program: &Program,
+    graph: &GraphData,
+    params: &ParamStore,
+    vars: &VarStore,
+) -> Vec<f32> {
+    match o {
+        Operand::Const(c) => vec![*c],
+        Operand::WeightVec(w) => {
+            let ty = match ctx {
+                Ctx::Edge(e) => graph.graph().etype()[e] as usize,
+                Ctx::Unique(u) => graph.unique_etype()[u] as usize,
+                Ctx::Node(_) => unreachable!("weight vectors need edge context"),
+            };
+            params.weight(*w).slab(ty).to_vec()
+        }
+        Operand::Node(v, ep) => {
+            let row = match (ctx, ep) {
+                (Ctx::Edge(e), Endpoint::Src) => graph.graph().src()[e] as usize,
+                (Ctx::Edge(e), Endpoint::Dst) => graph.graph().dst()[e] as usize,
+                (Ctx::Unique(u), Endpoint::Src) => {
+                    graph.compact().unique_row_idx()[u] as usize
+                }
+                (Ctx::Node(n), Endpoint::This | Endpoint::Dst) => n,
+                (c, e) => unreachable!("node read {e:?} in context {c:?}"),
+            };
+            vars.tensor(*v).row(row).to_vec()
+        }
+        Operand::Edge(v) => {
+            let space = program.var(*v).space;
+            let row = match (ctx, space) {
+                (Ctx::Edge(e), Space::Edge) => e,
+                (Ctx::Edge(e), Space::Compact) => {
+                    graph.compact().edge_to_unique()[e] as usize
+                }
+                (Ctx::Unique(u), Space::Compact) => u,
+                (c, s) => unreachable!("edge read of {s:?} var in context {c:?}"),
+            };
+            vars.tensor(*v).row(row).to_vec()
+        }
+    }
+}
+
+fn apply_unary(op: UnOp, x: &[f32]) -> Vec<f32> {
+    x.iter()
+        .map(|&v| match op {
+            UnOp::LeakyRelu => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    LEAKY_RELU_SLOPE * v
+                }
+            }
+            UnOp::Relu => v.max(0.0),
+            UnOp::Exp => v.exp(),
+            UnOp::Copy => v,
+            UnOp::Neg => -v,
+            UnOp::LeakyReluGrad => {
+                if v >= 0.0 {
+                    1.0
+                } else {
+                    LEAKY_RELU_SLOPE
+                }
+            }
+            UnOp::ReluGrad => {
+                if v >= 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        })
+        .collect()
+}
+
+fn apply_binary(op: BinOp, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let n = a.len().max(b.len());
+    debug_assert!(a.len() == n || a.len() == 1);
+    debug_assert!(b.len() == n || b.len() == 1);
+    (0..n)
+        .map(|i| {
+            let x = a[if a.len() == 1 { 0 } else { i }];
+            let y = b[if b.len() == 1 { 0 } else { i }];
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+            }
+        })
+        .collect()
+}
+
+/// Stage assignment for a dst-node kernel: edgewise ops reading
+/// node-space values produced in-kernel must run one inner-loop pass
+/// later than the producer.
+fn stages(spec: &TraversalSpec, program: &Program) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut def_stage: HashMap<VarId, (usize, bool)> = HashMap::new(); // (stage, node-level)
+    let mut out = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        let is_node_op = op
+            .kind
+            .out_var()
+            .is_some_and(|v| program.var(v).space == Space::Node)
+            && !matches!(op.kind, OpKind::NodeAggregate { .. });
+        let is_agg = matches!(op.kind, OpKind::NodeAggregate { .. });
+        let mut s = 0;
+        for operand in op.kind.operands() {
+            if let Some(v) = operand.var() {
+                if let Some(&(ds, node_level)) = def_stage.get(&v) {
+                    if node_level && !is_node_op {
+                        s = s.max(ds + 1);
+                    } else {
+                        s = s.max(ds);
+                    }
+                }
+            }
+        }
+        if let Some(v) = op.kind.out_var() {
+            def_stage.insert(v, (s, is_node_op || is_agg));
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Executes a traversal-template instance.
+///
+/// # Panics
+///
+/// Panics on spec/program inconsistencies (compiler bugs).
+pub(crate) fn exec_traversal(
+    spec: &TraversalSpec,
+    program: &Program,
+    graph: &GraphData,
+    params: &mut ParamStore,
+    vars: &mut VarStore,
+) {
+    match spec.domain {
+        TraversalDomain::Edges => {
+            for e in 0..graph.graph().num_edges() {
+                for op in &spec.ops {
+                    exec_op(&op.kind, Ctx::Edge(e), program, graph, params, vars);
+                }
+            }
+        }
+        TraversalDomain::UniquePairs => {
+            for u in 0..graph.compact().num_unique() {
+                for op in &spec.ops {
+                    exec_op(&op.kind, Ctx::Unique(u), program, graph, params, vars);
+                }
+            }
+        }
+        TraversalDomain::Nodes => {
+            for n in 0..graph.graph().num_nodes() {
+                for op in &spec.ops {
+                    exec_op(&op.kind, Ctx::Node(n), program, graph, params, vars);
+                }
+            }
+        }
+        TraversalDomain::DstNodes => {
+            let st = stages(spec, program);
+            let max_stage = st.iter().copied().max().unwrap_or(0);
+            let csc = graph.csc();
+            for v in 0..graph.graph().num_nodes() {
+                for pass in 0..=max_stage {
+                    for &eidx in csc.in_edges(v) {
+                        let e = eidx as usize;
+                        for (i, op) in spec.ops.iter().enumerate() {
+                            if st[i] != pass || spec.hoisted.contains(&op.id) {
+                                continue;
+                            }
+                            exec_op(&op.kind, Ctx::Edge(e), program, graph, params, vars);
+                        }
+                    }
+                    for (i, op) in spec.ops.iter().enumerate() {
+                        if st[i] != pass || !spec.hoisted.contains(&op.id) {
+                            continue;
+                        }
+                        exec_op(&op.kind, Ctx::Node(v), program, graph, params, vars);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn exec_op(
+    kind: &OpKind,
+    ctx: Ctx,
+    program: &Program,
+    graph: &GraphData,
+    params: &ParamStore,
+    vars: &mut VarStore,
+) {
+    match kind {
+        OpKind::DotProduct { a, b, out } => {
+            let av = read_operand(a, ctx, program, graph, params, vars);
+            let bv = read_operand(b, ctx, program, graph, params, vars);
+            debug_assert_eq!(av.len(), bv.len());
+            let mut acc = 0.0;
+            for (x, y) in av.iter().zip(bv.iter()) {
+                acc += x * y;
+            }
+            write_row(*out, ctx, &[acc], program, graph, vars);
+        }
+        OpKind::Binary { op, a, b, out } => {
+            let av = read_operand(a, ctx, program, graph, params, vars);
+            let bv = read_operand(b, ctx, program, graph, params, vars);
+            let y = apply_binary(*op, &av, &bv);
+            write_row(*out, ctx, &y, program, graph, vars);
+        }
+        OpKind::Unary { op, a, out } => {
+            let av = read_operand(a, ctx, program, graph, params, vars);
+            let y = apply_unary(*op, &av);
+            write_row(*out, ctx, &y, program, graph, vars);
+        }
+        OpKind::NodeAggregate { edge_val, scale, out, endpoint, .. } => {
+            let val = read_operand(edge_val, ctx, program, graph, params, vars);
+            let s = match scale {
+                Some(sc) => read_operand(sc, ctx, program, graph, params, vars)[0],
+                None => 1.0,
+            };
+            let out_space = program.var(*out).space;
+            let idx = match (ctx, out_space) {
+                (Ctx::Edge(e), Space::Node) => match endpoint {
+                    Endpoint::Dst => graph.graph().dst()[e] as usize,
+                    Endpoint::Src => graph.graph().src()[e] as usize,
+                    Endpoint::This => unreachable!(),
+                },
+                (Ctx::Edge(e), Space::Compact) => {
+                    graph.compact().edge_to_unique()[e] as usize
+                }
+                (Ctx::Unique(u), Space::Node) => {
+                    graph.compact().unique_row_idx()[u] as usize
+                }
+                (c, s0) => unreachable!("aggregate {s0:?} in context {c:?}"),
+            };
+            let row = vars.get_mut(*out).tensor_mut().row_mut(idx);
+            for (acc, x) in row.iter_mut().zip(val.iter()) {
+                *acc += x * s;
+            }
+        }
+        other => unreachable!("traversal cannot execute {other:?}"),
+    }
+}
+
+fn write_row(
+    out: VarId,
+    ctx: Ctx,
+    y: &[f32],
+    program: &Program,
+    _graph: &GraphData,
+    vars: &mut VarStore,
+) {
+    let space = program.var(out).space;
+    let idx = match (ctx, space) {
+        (Ctx::Edge(e), Space::Edge) => e,
+        (Ctx::Unique(u), Space::Compact) => u,
+        (Ctx::Node(n), Space::Node) => n,
+        // Nodewise riders in a dst-node kernel write per-node rows.
+        (Ctx::Edge(_), Space::Node) | (Ctx::Unique(_), Space::Node) => {
+            unreachable!("node-space write from row context")
+        }
+        (c, s) => unreachable!("write of {s:?} var in context {c:?}"),
+    };
+    vars.get_mut(out).tensor_mut().set_row(idx, y);
+}

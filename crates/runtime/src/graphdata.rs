@@ -1,0 +1,175 @@
+//! Graph-derived data bound into a session: adjacency views, compaction
+//! maps, and the byte accounting for the structures a GPU run would hold
+//! resident.
+
+use hector_graph::{CompactionMap, Csc, HeteroGraph};
+
+/// A heterogeneous graph plus every derived index structure the generated
+/// kernels read: CSC (incoming edges), the compaction map of unique
+/// `(src, etype)` pairs, and cached per-unique-pair edge types.
+#[derive(Clone, Debug)]
+pub struct GraphData {
+    graph: HeteroGraph,
+    csc: Csc,
+    compact: CompactionMap,
+    unique_etype: Vec<u32>,
+}
+
+impl GraphData {
+    /// Precomputes all derived structures for `graph`.
+    ///
+    /// This is the preprocessing step the paper's generated host code
+    /// performs ("a pass that scans all the functions generated to
+    /// collect a list of preprocessing required for the input dataset",
+    /// §3.6).
+    #[must_use]
+    pub fn new(graph: HeteroGraph) -> GraphData {
+        let csc = graph.csc();
+        let compact = graph.compaction_map();
+        let unique_etype = compact.unique_etype();
+        GraphData { graph, csc, compact, unique_etype }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.graph
+    }
+
+    /// Incoming-edge view (dst-node traversal kernels).
+    #[must_use]
+    pub fn csc(&self) -> &Csc {
+        &self.csc
+    }
+
+    /// The compaction map.
+    #[must_use]
+    pub fn compact(&self) -> &CompactionMap {
+        &self.compact
+    }
+
+    /// Edge type of each unique `(src, etype)` pair.
+    #[must_use]
+    pub fn unique_etype(&self) -> &[u32] {
+        &self.unique_etype
+    }
+
+    /// Number of rows in each row domain.
+    #[must_use]
+    pub fn rows_of(&self, rows: hector_ir::RowDomain) -> usize {
+        match rows {
+            hector_ir::RowDomain::Edges => self.graph.num_edges(),
+            hector_ir::RowDomain::UniquePairs => self.compact.num_unique(),
+            hector_ir::RowDomain::Nodes => self.graph.num_nodes(),
+        }
+    }
+
+    /// Number of rows a variable of the given space occupies.
+    #[must_use]
+    pub fn rows_of_space(&self, space: hector_ir::Space) -> usize {
+        match space {
+            hector_ir::Space::Node => self.graph.num_nodes(),
+            hector_ir::Space::Edge => self.graph.num_edges(),
+            hector_ir::Space::Compact => self.compact.num_unique(),
+        }
+    }
+
+    /// Bytes of device memory the adjacency and compaction structures
+    /// occupy on the GPU (counted toward the run's footprint).
+    #[must_use]
+    pub fn structure_bytes(&self) -> usize {
+        let e = self.graph.num_edges();
+        let n = self.graph.num_nodes();
+        let u = self.compact.num_unique();
+        // COO (src, dst, etype) + etype_ptr + CSC (ptr + edge idx)
+        // + unique_row_idx + unique_etype_ptr + edge_to_unique.
+        e * 4 * 3
+            + (self.graph.num_edge_types() + 1) * 8
+            + (n + 1) * 8
+            + e * 4
+            + u * 4
+            + (self.graph.num_edge_types() + 1) * 8
+            + e * 4
+    }
+
+    /// Number of type slabs a weight with the given index kind needs.
+    #[must_use]
+    pub fn type_count(&self, per: hector_ir::TypeIndex) -> usize {
+        match per {
+            hector_ir::TypeIndex::EdgeType => self.graph.num_edge_types(),
+            hector_ir::TypeIndex::NodeType => self.graph.num_node_types(),
+            hector_ir::TypeIndex::NodeEdgePair => {
+                self.graph.num_node_types() * self.graph.num_edge_types()
+            }
+            hector_ir::TypeIndex::Shared => 1,
+        }
+    }
+
+    /// Pair-type index (`ntype(src) * num_etypes + etype`) for a row of
+    /// the given domain, used by reorder-fused pair weights.
+    #[must_use]
+    pub fn pair_type_of(&self, rows: hector_ir::RowDomain, row: usize) -> usize {
+        let et = self.graph.num_edge_types();
+        match rows {
+            hector_ir::RowDomain::Edges => {
+                let src = self.graph.src()[row] as usize;
+                self.graph.node_type()[src] as usize * et
+                    + self.graph.etype()[row] as usize
+            }
+            hector_ir::RowDomain::UniquePairs => {
+                let src = self.compact.unique_row_idx()[row] as usize;
+                self.graph.node_type()[src] as usize * et
+                    + self.unique_etype[row] as usize
+            }
+            hector_ir::RowDomain::Nodes => unreachable!("pair weights need edge context"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_graph::HeteroGraphBuilder;
+
+    fn toy() -> GraphData {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_node_type(3);
+        b.add_node_type(2);
+        b.add_edge(0, 3, 0);
+        b.add_edge(0, 4, 0);
+        b.add_edge(1, 3, 1);
+        GraphData::new(b.build())
+    }
+
+    #[test]
+    fn rows_of_domains() {
+        let g = toy();
+        assert_eq!(g.rows_of(hector_ir::RowDomain::Edges), 3);
+        assert_eq!(g.rows_of(hector_ir::RowDomain::Nodes), 5);
+        // Node 0 appears twice with etype 0 → 2 unique pairs overall.
+        assert_eq!(g.rows_of(hector_ir::RowDomain::UniquePairs), 2);
+    }
+
+    #[test]
+    fn type_counts() {
+        let g = toy();
+        assert_eq!(g.type_count(hector_ir::TypeIndex::EdgeType), 2);
+        assert_eq!(g.type_count(hector_ir::TypeIndex::NodeType), 2);
+        assert_eq!(g.type_count(hector_ir::TypeIndex::NodeEdgePair), 4);
+        assert_eq!(g.type_count(hector_ir::TypeIndex::Shared), 1);
+    }
+
+    #[test]
+    fn pair_type_index() {
+        let g = toy();
+        // Edge 0: src 0 (ntype 0), etype 0 → pair 0.
+        assert_eq!(g.pair_type_of(hector_ir::RowDomain::Edges, 0), 0);
+        // Edge 2: src 1 (ntype 0), etype 1 → pair 1.
+        assert_eq!(g.pair_type_of(hector_ir::RowDomain::Edges, 2), 1);
+    }
+
+    #[test]
+    fn structure_bytes_positive() {
+        assert!(toy().structure_bytes() > 0);
+    }
+}

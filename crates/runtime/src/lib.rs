@@ -1,0 +1,42 @@
+//! Runtime for compiled Hector modules.
+//!
+//! A [`Session`] executes the kernel sequence of a
+//! `hector_compiler::CompiledModule` against a [`GraphData`] instance on a
+//! simulated GPU ([`hector_device::Device`]), in one of two modes:
+//!
+//! * [`Mode::Real`] — kernels are interpreted functionally on the CPU
+//!   (exact numerics, usable for correctness tests, small graphs);
+//! * [`Mode::Modeled`] — only shapes, allocations, and the analytical
+//!   cost model run, letting paper-scale experiments finish in
+//!   milliseconds while producing the same simulated timings, memory
+//!   footprints, OOM events, and architectural counters.
+//!
+//! Both modes charge the device identically: every kernel launch derives
+//! a [`hector_device::KernelCost`] from its spec and the graph statistics
+//! (see [`cost`]), and every tensor materialisation allocates device
+//! memory (locals excluded — fused temporaries stay in registers,
+//! §3.4.2).
+//!
+//! Training support follows the paper's recipe (§4.1): negative
+//! log-likelihood against a seeded random label tensor, full-graph steps,
+//! SGD/Adam updates, with derived (reorder-fused) weights recomputed from
+//! their base weights each step and their gradients distributed back
+//! through the weight-prep chain rule.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+mod exec;
+mod graphdata;
+mod loss;
+mod optim;
+mod params;
+mod session;
+mod store;
+
+pub use graphdata::GraphData;
+pub use loss::{nll_loss_and_grad, random_labels, LossResult};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::ParamStore;
+pub use session::{cnorm_tensor, Bindings, Mode, RunReport, Session};
+pub use store::{Buffer, VarStore};

@@ -1,0 +1,370 @@
+//! Parameter storage: per-type weight stacks, gradients, and the derived
+//! (reorder-fused) weight machinery.
+
+use hector_ir::{Program, TypeIndex, WeightId, WeightPrep};
+use hector_tensor::{xavier_uniform, Tensor};
+use rand::rngs::StdRng;
+
+use crate::GraphData;
+
+/// Learnable parameters of one compiled module, shaped for a particular
+/// graph (the type dimension depends on the graph's type counts).
+///
+/// Weights are stored as `[T, rows, cols]` stacks. Weights flagged
+/// `derived` in the program were introduced by linear operator reordering;
+/// they are recomputed from their base weights through the program's
+/// [`WeightPrep`] list at the start of every forward pass, and their
+/// gradients are distributed back to the base weights by
+/// [`ParamStore::backprop_preps`] (the chain rule through the weight-space
+/// product).
+#[derive(Clone, Debug)]
+pub struct ParamStore {
+    weights: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    type_counts: Vec<usize>,
+}
+
+impl ParamStore {
+    /// Initialises parameters for `program` on `graph`, Xavier-uniform,
+    /// from the given RNG (derived weights start at zero and are filled
+    /// by [`ParamStore::run_preps`]).
+    #[must_use]
+    pub fn init(program: &Program, graph: &GraphData, rng: &mut StdRng) -> ParamStore {
+        let mut weights = Vec::with_capacity(program.weights.len());
+        let mut grads = Vec::with_capacity(program.weights.len());
+        let mut type_counts = Vec::with_capacity(program.weights.len());
+        for info in &program.weights {
+            let t = graph.type_count(info.per);
+            let shape = [t, info.rows, info.cols];
+            if info.derived {
+                weights.push(Tensor::zeros(&shape));
+            } else {
+                weights.push(xavier_uniform(rng, &shape));
+            }
+            grads.push(Tensor::zeros(&shape));
+            type_counts.push(t);
+        }
+        ParamStore { weights, grads, type_counts }
+    }
+
+    /// The weight stack of `w`.
+    #[must_use]
+    pub fn weight(&self, w: WeightId) -> &Tensor {
+        &self.weights[w.0 as usize]
+    }
+
+    /// Mutable weight access (tests, manual initialisation).
+    pub fn weight_mut(&mut self, w: WeightId) -> &mut Tensor {
+        &mut self.weights[w.0 as usize]
+    }
+
+    /// The gradient stack of `w`.
+    #[must_use]
+    pub fn grad(&self, w: WeightId) -> &Tensor {
+        &self.grads[w.0 as usize]
+    }
+
+    /// Mutable gradient access (the executor accumulates into this).
+    pub fn grad_mut(&mut self, w: WeightId) -> &mut Tensor {
+        &mut self.grads[w.0 as usize]
+    }
+
+    /// Number of type slabs of `w`.
+    #[must_use]
+    pub fn type_count(&self, w: WeightId) -> usize {
+        self.type_counts[w.0 as usize]
+    }
+
+    /// Number of weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total parameter bytes (device-resident).
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.weights.iter().map(Tensor::byte_size).sum()
+    }
+
+    /// Zeroes all gradients (start of a training step).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            for v in g.data_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Executes one weight prep (called by the fallback kernels at the
+    /// start of every forward pass, since base weights change between
+    /// steps).
+    pub fn run_prep(&mut self, prep: &WeightPrep, program: &Program) {
+        match prep {
+            WeightPrep::MatVec { w, v, out } => {
+                let (t, k, n) = {
+                    let ws = self.weight(*w);
+                    (ws.shape()[0], ws.shape()[1], ws.shape()[2])
+                };
+                let mut fused = Tensor::zeros(&[t, k, 1]);
+                for ty in 0..t {
+                    let wslab = self.weight(*w).slab(ty).to_vec();
+                    let vslab = self.weight(*v).slab(ty).to_vec(); // [n, 1]
+                    let dst = &mut fused.data_mut()[ty * k..(ty + 1) * k];
+                    for i in 0..k {
+                        let mut acc = 0.0;
+                        for j in 0..n {
+                            acc += wslab[i * n + j] * vslab[j];
+                        }
+                        dst[i] = acc;
+                    }
+                }
+                debug_assert_eq!(program.weight(*out).rows, k);
+                self.weights[out.0 as usize] = fused;
+            }
+            WeightPrep::MatMulPairs { a, b, out } => {
+                let (nt, k, m) = {
+                    let ws = self.weight(*a);
+                    (ws.shape()[0], ws.shape()[1], ws.shape()[2])
+                };
+                let (et, m2, n) = {
+                    let ws = self.weight(*b);
+                    (ws.shape()[0], ws.shape()[1], ws.shape()[2])
+                };
+                assert_eq!(m, m2, "prep inner dims must agree");
+                let mut fused = Tensor::zeros(&[nt * et, k, n]);
+                for i in 0..nt {
+                    let aslab = Tensor::from_vec(self.weight(*a).slab(i).to_vec(), &[k, m]);
+                    for j in 0..et {
+                        let bslab =
+                            Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
+                        let prod = aslab.matmul(&bslab);
+                        let idx = i * et + j;
+                        fused.data_mut()[idx * k * n..(idx + 1) * k * n]
+                            .copy_from_slice(prod.data());
+                    }
+                }
+                debug_assert_eq!(program.weight(*out).per, TypeIndex::NodeEdgePair);
+                self.weights[out.0 as usize] = fused;
+            }
+        }
+    }
+
+    /// Runs every prep of `program` (forward-pass entry).
+    pub fn run_preps(&mut self, program: &Program) {
+        let preps = program.preps.clone();
+        for prep in &preps {
+            self.run_prep(prep, program);
+        }
+    }
+
+    /// Distributes gradients accumulated on derived weights back to their
+    /// base weights (chain rule through the weight-space products), then
+    /// clears the derived gradients.
+    pub fn backprop_preps(&mut self, program: &Program) {
+        let preps = program.preps.clone();
+        for prep in preps.iter().rev() {
+            match prep {
+                WeightPrep::MatVec { w, v, out } => {
+                    // out[t][i] = Σ_j W[t][i,j] · v[t][j]
+                    // dW[t][i,j] += dout[t][i] · v[t][j]
+                    // dv[t][j]   += Σ_i dout[t][i] · W[t][i,j]
+                    let dout = self.grads[out.0 as usize].clone();
+                    let (t, k) = (dout.shape()[0], dout.shape()[1]);
+                    let n = self.weight(*w).shape()[2];
+                    for ty in 0..t {
+                        let dslab = dout.slab(ty).to_vec(); // [k]
+                        let vslab = self.weight(*v).slab(ty).to_vec(); // [n]
+                        let wslab = self.weight(*w).slab(ty).to_vec(); // [k, n]
+                        {
+                            let gw = &mut self.grads[w.0 as usize].data_mut()
+                                [ty * k * n..(ty + 1) * k * n];
+                            for i in 0..k {
+                                for j in 0..n {
+                                    gw[i * n + j] += dslab[i] * vslab[j];
+                                }
+                            }
+                        }
+                        {
+                            let gv = &mut self.grads[v.0 as usize].data_mut()
+                                [ty * n..(ty + 1) * n];
+                            for j in 0..n {
+                                let mut acc = 0.0;
+                                for i in 0..k {
+                                    acc += dslab[i] * wslab[i * n + j];
+                                }
+                                gv[j] += acc;
+                            }
+                        }
+                    }
+                    for g in self.grads[out.0 as usize].data_mut() {
+                        *g = 0.0;
+                    }
+                }
+                WeightPrep::MatMulPairs { a, b, out } => {
+                    // out[(i,j)] = A[i]·B[j]
+                    // dA[i] += Σ_j dout[(i,j)]·B[j]^T ; dB[j] += Σ_i A[i]^T·dout[(i,j)]
+                    let dout = self.grads[out.0 as usize].clone();
+                    let (nt, k, m) = {
+                        let ws = self.weight(*a);
+                        (ws.shape()[0], ws.shape()[1], ws.shape()[2])
+                    };
+                    let (et, _, n) = {
+                        let ws = self.weight(*b);
+                        (ws.shape()[0], ws.shape()[1], ws.shape()[2])
+                    };
+                    for i in 0..nt {
+                        for j in 0..et {
+                            let idx = i * et + j;
+                            let d = Tensor::from_vec(dout.slab(idx).to_vec(), &[k, n]);
+                            let bslab =
+                                Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
+                            let aslab =
+                                Tensor::from_vec(self.weight(*a).slab(i).to_vec(), &[k, m]);
+                            let da = d.matmul_tb(&bslab); // [k, m]
+                            let db = aslab.matmul_ta(&d); // [m, n]
+                            let ga = &mut self.grads[a.0 as usize].data_mut()
+                                [i * k * m..(i + 1) * k * m];
+                            for (g, x) in ga.iter_mut().zip(da.data()) {
+                                *g += x;
+                            }
+                            let gb = &mut self.grads[b.0 as usize].data_mut()
+                                [j * m * n..(j + 1) * m * n];
+                            for (g, x) in gb.iter_mut().zip(db.data()) {
+                                *g += x;
+                            }
+                        }
+                    }
+                    for g in self.grads[out.0 as usize].data_mut() {
+                        *g = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_graph::HeteroGraphBuilder;
+    use hector_ir::ModelBuilder;
+    use hector_tensor::seeded_rng;
+
+    fn toy_graph() -> GraphData {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_node_type(2);
+        b.add_node_type(2);
+        b.add_edge(0, 2, 0);
+        b.add_edge(1, 3, 1);
+        b.add_edge(1, 2, 1);
+        GraphData::new(b.build())
+    }
+
+    #[test]
+    fn init_shapes_follow_type_counts() {
+        let mut m = ModelBuilder::new("t", 4);
+        let h = m.node_input("h", 4);
+        let we = m.weight_per_etype("We", 4, 4);
+        let wn = m.weight_per_ntype("Wn", 4, 4);
+        let w0 = m.weight_shared("W0", 4, 4);
+        let y = m.typed_linear("y", m.src(h), we);
+        let out = m.aggregate("out", m.edge(y), None, hector_ir::AggNorm::None);
+        m.output(out);
+        let p = m.finish().program;
+        let g = toy_graph();
+        let mut rng = seeded_rng(1);
+        let ps = ParamStore::init(&p, &g, &mut rng);
+        assert_eq!(ps.weight(we).shape(), &[2, 4, 4]);
+        assert_eq!(ps.weight(wn).shape(), &[2, 4, 4]);
+        assert_eq!(ps.weight(w0).shape(), &[1, 4, 4]);
+        assert!(ps.byte_size() > 0);
+    }
+
+    #[test]
+    fn matvec_prep_matches_manual() {
+        let mut m = ModelBuilder::new("t", 2);
+        let h = m.node_input("h", 2);
+        let w = m.weight_per_etype("W", 2, 2);
+        let v = m.weight_vec_per_etype("v", 2);
+        let ht = m.typed_linear("ht", m.dst(h), w);
+        let att = m.dot("att", m.edge(ht), m.wvec(v));
+        let s = m.aggregate("s", m.edge(att), None, hector_ir::AggNorm::None);
+        m.output(s);
+        let mut p = m.finish().program;
+        hector_compiler::reorder::linear_operator_reordering(&mut p);
+        let g = toy_graph();
+        let mut rng = seeded_rng(2);
+        let mut ps = ParamStore::init(&p, &g, &mut rng);
+        ps.run_preps(&p);
+        let fused = hector_ir::WeightId((p.weights.len() - 1) as u32);
+        // fused[t][i] = Σ_j W[t][i,j] v[t][j]
+        for ty in 0..2 {
+            for i in 0..2 {
+                let mut acc = 0.0;
+                for j in 0..2 {
+                    acc += ps.weight(w).at3(ty, i, j) * ps.weight(v).at3(ty, j, 0);
+                }
+                assert!((ps.weight(fused).at3(ty, i, 0) - acc).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_prep_backward_chain_rule() {
+        // Finite-difference check of backprop through the fused weight.
+        let mut m = ModelBuilder::new("t", 2);
+        let h = m.node_input("h", 2);
+        let w = m.weight_per_etype("W", 2, 2);
+        let v = m.weight_vec_per_etype("v", 2);
+        let ht = m.typed_linear("ht", m.dst(h), w);
+        let att = m.dot("att", m.edge(ht), m.wvec(v));
+        let s = m.aggregate("s", m.edge(att), None, hector_ir::AggNorm::None);
+        m.output(s);
+        let mut p = m.finish().program;
+        hector_compiler::reorder::linear_operator_reordering(&mut p);
+        let g = toy_graph();
+        let mut rng = seeded_rng(3);
+        let mut ps = ParamStore::init(&p, &g, &mut rng);
+        ps.run_preps(&p);
+        let fused = hector_ir::WeightId((p.weights.len() - 1) as u32);
+        // Pretend dLoss/dfused = 1 everywhere; then dW[t][i][j] = v[t][j].
+        for x in ps.grad_mut(fused).data_mut() {
+            *x = 1.0;
+        }
+        ps.backprop_preps(&p);
+        for ty in 0..2 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    let expect = ps.weight(v).at3(ty, j, 0);
+                    assert!((ps.grad(w).at3(ty, i, j) - expect).abs() < 1e-6);
+                }
+            }
+        }
+        // Derived grad cleared.
+        assert!(ps.grad(fused).data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut m = ModelBuilder::new("t", 2);
+        let h = m.node_input("h", 2);
+        let w = m.weight_per_etype("W", 2, 2);
+        let y = m.typed_linear("y", m.src(h), w);
+        let out = m.aggregate("out", m.edge(y), None, hector_ir::AggNorm::None);
+        m.output(out);
+        let p = m.finish().program;
+        let g = toy_graph();
+        let mut rng = seeded_rng(4);
+        let mut ps = ParamStore::init(&p, &g, &mut rng);
+        ps.grad_mut(w).data_mut()[0] = 5.0;
+        ps.zero_grads();
+        assert!(ps.grad(w).data().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,582 @@
+//! Sessions: executing compiled modules on the simulated device.
+
+use std::collections::HashMap;
+
+use hector_compiler::CompiledModule;
+use hector_device::{Device, DeviceConfig, KernelCategory, KernelCost, OomError, Phase};
+use hector_ir::{KernelSpec, Program, VarId};
+use hector_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::cost::{kernel_cost, var_bytes};
+use crate::exec::{exec_gemm, exec_traversal};
+use crate::loss::{nll_loss_and_grad, LossResult};
+use crate::optim::Optimizer;
+use crate::store::{Buffer, VarStore};
+use crate::{GraphData, ParamStore};
+
+/// Execution mode of a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Functional CPU interpretation of every kernel (exact numerics).
+    Real,
+    /// Shape/cost-only execution: same simulated timings, memory
+    /// footprints, and OOM events, without touching data. Paper-scale
+    /// graphs run in milliseconds.
+    Modeled,
+}
+
+/// Summary of one inference or training run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Total simulated time, microseconds.
+    pub elapsed_us: f64,
+    /// Peak device-memory footprint, bytes.
+    pub peak_bytes: usize,
+    /// Total kernel launches.
+    pub launches: usize,
+    /// Time in GEMM-template kernels, microseconds.
+    pub gemm_us: f64,
+    /// Time in traversal-template kernels, microseconds.
+    pub traversal_us: f64,
+    /// Time in data-movement kernels, microseconds.
+    pub copy_us: f64,
+    /// Time in framework fallbacks (incl. API overhead), microseconds.
+    pub fallback_us: f64,
+    /// Forward-phase time, microseconds.
+    pub forward_us: f64,
+    /// Backward-phase time, microseconds.
+    pub backward_us: f64,
+    /// Training loss (real-mode training runs only).
+    pub loss: Option<f32>,
+}
+
+/// Input tensors bound by name to a program's declared inputs.
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    map: HashMap<String, Tensor>,
+}
+
+impl Bindings {
+    /// Empty bindings (sufficient for modeled runs).
+    #[must_use]
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Adds a named tensor.
+    pub fn set(&mut self, name: &str, t: Tensor) {
+        self.map.insert(name.to_string(), t);
+    }
+
+    /// Looks up a tensor by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.map.get(name)
+    }
+
+    /// Standard bindings for a program on a graph: seeded random features
+    /// for every node/edge input, and the RGCN normalisation constants
+    /// `1/c_{v,r}` for an edge input named `cnorm`.
+    #[must_use]
+    pub fn standard(program: &Program, graph: &GraphData, rng: &mut StdRng) -> Bindings {
+        let mut b = Bindings::new();
+        for &v in &program.inputs {
+            let info = program.var(v);
+            let rows = graph.rows_of_space(info.space);
+            if info.name == "cnorm" {
+                b.set(&info.name, cnorm_tensor(graph));
+            } else {
+                let data =
+                    (0..rows * info.width).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                b.set(&info.name, Tensor::from_vec(data, &[rows, info.width]));
+            }
+        }
+        b
+    }
+}
+
+/// Per-edge `1/c_{v,r}` normalisation constants (c = in-degree of the
+/// destination under the edge's relation).
+#[must_use]
+pub fn cnorm_tensor(graph: &GraphData) -> Tensor {
+    let g = graph.graph();
+    let mut count: HashMap<(u32, u32), u32> = HashMap::new();
+    for e in 0..g.num_edges() {
+        *count.entry((g.dst()[e], g.etype()[e])).or_insert(0) += 1;
+    }
+    let data: Vec<f32> = (0..g.num_edges())
+        .map(|e| 1.0 / count[&(g.dst()[e], g.etype()[e])] as f32)
+        .collect();
+    Tensor::from_vec(data, &[g.num_edges(), 1])
+}
+
+/// An execution context over one simulated device.
+#[derive(Debug)]
+pub struct Session {
+    device: Device,
+    mode: Mode,
+}
+
+impl Session {
+    /// Creates a session.
+    #[must_use]
+    pub fn new(config: DeviceConfig, mode: Mode) -> Session {
+        Session { device: Device::new(config), mode }
+    }
+
+    /// The underlying device (counters, memory state).
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Execution mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn alloc_var(
+        &mut self,
+        program: &Program,
+        graph: &GraphData,
+        vars: &mut VarStore,
+        v: VarId,
+    ) -> Result<(), OomError> {
+        if vars.contains(v) {
+            return Ok(());
+        }
+        let info = program.var(v);
+        let rows = graph.rows_of_space(info.space);
+        self.device.alloc(var_bytes(program, graph, v), &info.name)?;
+        let buf = match self.mode {
+            Mode::Real => Buffer::Real(Tensor::zeros(&[rows, info.width])),
+            Mode::Modeled => Buffer::Modeled { rows, width: info.width },
+        };
+        vars.insert(v, buf);
+        Ok(())
+    }
+
+    /// Inserts a register-local buffer (no device memory charged).
+    fn insert_local(
+        &mut self,
+        program: &Program,
+        graph: &GraphData,
+        vars: &mut VarStore,
+        v: VarId,
+    ) {
+        if vars.contains(v) || self.mode == Mode::Modeled {
+            return;
+        }
+        let info = program.var(v);
+        let rows = graph.rows_of_space(info.space);
+        vars.insert(v, Buffer::Real(Tensor::zeros(&[rows, info.width])));
+    }
+
+    fn bind_inputs(
+        &mut self,
+        program: &Program,
+        graph: &GraphData,
+        vars: &mut VarStore,
+        inputs: &Bindings,
+    ) -> Result<(), OomError> {
+        for &v in &program.inputs {
+            if vars.contains(v) {
+                continue;
+            }
+            let info = program.var(v).clone();
+            match self.mode {
+                Mode::Real => {
+                    let t = inputs
+                        .get(&info.name)
+                        .unwrap_or_else(|| panic!("missing input binding '{}'", info.name))
+                        .clone();
+                    let rows = graph.rows_of_space(info.space);
+                    assert_eq!(
+                        t.shape(),
+                        &[rows, info.width],
+                        "binding '{}' has the wrong shape",
+                        info.name
+                    );
+                    self.device.alloc(t.byte_size(), &info.name)?;
+                    vars.insert(v, Buffer::Real(t));
+                }
+                Mode::Modeled => {
+                    self.alloc_var(program, graph, vars, v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_kernels(
+        &mut self,
+        kernels: &[KernelSpec],
+        program: &Program,
+        graph: &GraphData,
+        params: &mut ParamStore,
+        vars: &mut VarStore,
+        phase: Phase,
+    ) -> Result<(), OomError> {
+        for spec in kernels {
+            // Materialise outputs (locals stay off-device).
+            match spec {
+                KernelSpec::Gemm(g) => {
+                    if let Some(out) = g.op.kind.out_var() {
+                        self.alloc_var(program, graph, vars, out)?;
+                    }
+                }
+                KernelSpec::Traversal(t) => {
+                    for op in &t.ops {
+                        if let Some(out) = op.kind.out_var() {
+                            if t.local_vars.contains(&out) {
+                                self.insert_local(program, graph, vars, out);
+                            } else {
+                                self.alloc_var(program, graph, vars, out)?;
+                            }
+                        }
+                    }
+                }
+                KernelSpec::Fallback(_) => {}
+            }
+            let cost = kernel_cost(spec, program, graph, phase);
+            self.device.launch(&cost);
+            if self.mode == Mode::Real {
+                match spec {
+                    KernelSpec::Gemm(g) => exec_gemm(g, program, graph, params, vars),
+                    KernelSpec::Traversal(t) => {
+                        exec_traversal(t, program, graph, params, vars);
+                    }
+                    KernelSpec::Fallback(f) => {
+                        if let Some(i) = f.prep_index {
+                            let prep = program.preps[i].clone();
+                            params.run_prep(&prep, program);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn base_allocations(
+        &mut self,
+        graph: &GraphData,
+        params: &ParamStore,
+        training: bool,
+    ) -> Result<(), OomError> {
+        self.device.alloc(graph.structure_bytes(), "graph")?;
+        self.device.alloc(params.byte_size(), "weights")?;
+        if training {
+            self.device.alloc(params.byte_size(), "weight_grads")?;
+        }
+        Ok(())
+    }
+
+    /// Runs full-graph inference.
+    ///
+    /// Returns the variable store (holding the program outputs) and a
+    /// run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory, matching
+    /// the paper's OOM accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics in real mode if an input binding is missing or mis-shaped.
+    pub fn run_inference(
+        &mut self,
+        module: &CompiledModule,
+        graph: &GraphData,
+        params: &mut ParamStore,
+        inputs: &Bindings,
+    ) -> Result<(VarStore, RunReport), OomError> {
+        self.device.reset();
+        self.base_allocations(graph, params, false)?;
+        let mut vars = VarStore::new();
+        self.bind_inputs(&module.forward, graph, &mut vars, inputs)?;
+        self.run_kernels(
+            &module.fw_kernels,
+            &module.forward,
+            graph,
+            params,
+            &mut vars,
+            Phase::Forward,
+        )?;
+        let report = self.report(None);
+        Ok((vars, report))
+    }
+
+    /// Runs one full-graph training step: forward, NLL loss against
+    /// `labels`, backward, prep chain rule, optimizer update.
+    ///
+    /// `labels` may be empty in modeled mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module was not compiled with training enabled, or in
+    /// real mode if labels/bindings are inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_training_step(
+        &mut self,
+        module: &CompiledModule,
+        graph: &GraphData,
+        params: &mut ParamStore,
+        inputs: &Bindings,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<(VarStore, RunReport), OomError> {
+        let bw_program =
+            module.backward.as_ref().expect("module was not compiled for training");
+        self.device.reset();
+        self.base_allocations(graph, params, true)?;
+        params.zero_grads();
+        let mut vars = VarStore::new();
+        self.bind_inputs(&module.forward, graph, &mut vars, inputs)?;
+        self.run_kernels(
+            &module.fw_kernels,
+            &module.forward,
+            graph,
+            params,
+            &mut vars,
+            Phase::Forward,
+        )?;
+
+        // Loss + output-gradient seeds.
+        let out_var = *module.forward.outputs.first().expect("model has an output");
+        let n_outputs = module.forward.outputs.len();
+        let seeds: Vec<VarId> = bw_program.inputs[..n_outputs].to_vec();
+        let mut loss_value = None;
+        let loss_cost = self.loss_cost(&module.forward, graph, out_var);
+        self.device.launch(&loss_cost);
+        match self.mode {
+            Mode::Real => {
+                let logits = vars.tensor(out_var).clone();
+                let LossResult { loss, grad } = nll_loss_and_grad(&logits, labels);
+                loss_value = Some(loss);
+                self.device.alloc(grad.byte_size(), "d_logits")?;
+                vars.insert(seeds[0], Buffer::Real(grad));
+                for &s in &seeds[1..] {
+                    // Multi-output models: zero seed gradients beyond the
+                    // loss-bearing first output.
+                    self.alloc_var(bw_program, graph, &mut vars, s)?;
+                }
+            }
+            Mode::Modeled => {
+                for &s in &seeds {
+                    self.alloc_var(bw_program, graph, &mut vars, s)?;
+                }
+            }
+        }
+
+        self.run_kernels(
+            &module.bw_kernels,
+            bw_program,
+            graph,
+            params,
+            &mut vars,
+            Phase::Backward,
+        )?;
+        if self.mode == Mode::Real {
+            params.backprop_preps(&module.forward);
+            optimizer.step(params, &module.forward);
+        }
+        // Prep backward + optimizer run as framework calls.
+        self.device.charge_api_call();
+        let report = self.report(loss_value);
+        Ok((vars, report))
+    }
+
+    fn loss_cost(&self, program: &Program, graph: &GraphData, out: VarId) -> KernelCost {
+        let info = program.var(out);
+        let rows = graph.rows_of_space(info.space) as f64;
+        let mut c = KernelCost::new(KernelCategory::Fallback, Phase::Backward);
+        c.flops = rows * info.width as f64 * 4.0;
+        c.bytes_read = rows * info.width as f64 * 4.0;
+        c.bytes_written = rows * info.width as f64 * 4.0;
+        c.items = rows * info.width as f64 / 32.0;
+        c
+    }
+
+    fn report(&self, loss: Option<f32>) -> RunReport {
+        let c = self.device.counters();
+        RunReport {
+            elapsed_us: self.device.elapsed_us(),
+            peak_bytes: self.device.memory().peak(),
+            launches: c.total_launches(),
+            gemm_us: c.category_duration_us(KernelCategory::Gemm),
+            traversal_us: c.category_duration_us(KernelCategory::Traversal),
+            copy_us: c.category_duration_us(KernelCategory::Copy),
+            fallback_us: c.category_duration_us(KernelCategory::Fallback)
+                + self.device.host_api_us(),
+            forward_us: c.phase_duration_us(Phase::Forward),
+            backward_us: c.phase_duration_us(Phase::Backward),
+            loss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_compiler::{compile, CompileOptions};
+    use hector_graph::HeteroGraphBuilder;
+    use hector_ir::builder::ModelSource;
+    use hector_ir::{AggNorm, ModelBuilder};
+    use hector_tensor::seeded_rng;
+
+    /// Fig. 6(a)-style toy graph.
+    fn toy_graph() -> GraphData {
+        let mut b = HeteroGraphBuilder::new();
+        b.add_node_type(6);
+        b.add_edge(5, 3, 0);
+        b.add_edge(5, 4, 0);
+        b.add_edge(1, 0, 1);
+        b.add_edge(2, 0, 1);
+        b.add_edge(3, 0, 1);
+        b.add_edge(4, 1, 1);
+        b.add_edge(4, 2, 1);
+        GraphData::new(b.build())
+    }
+
+    fn rgcn_source(dim: usize) -> ModelSource {
+        let mut m = ModelBuilder::new("rgcn", dim);
+        let h = m.node_input("h", dim);
+        let c = m.edge_input("cnorm", 1);
+        let w = m.weight_per_etype("W", dim, dim);
+        let w0 = m.weight_shared("W0", dim, dim);
+        let msg = m.typed_linear("msg", m.src(h), w);
+        let agg = m.aggregate("agg", m.edge(msg), Some(m.edge(c)), AggNorm::None);
+        let selfl = m.typed_linear("selfl", m.this(h), w0);
+        let sum = m.add("sum", m.this(agg), m.this(selfl));
+        let out = m.relu("out", m.this(sum));
+        m.output(out);
+        m.finish()
+    }
+
+    #[test]
+    fn rgcn_inference_runs_and_matches_reference() {
+        let graph = toy_graph();
+        let src = rgcn_source(4);
+        let module = compile(&src, &CompileOptions::unopt());
+        let mut rng = seeded_rng(42);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let mut rng2 = seeded_rng(7);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
+        let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+        let (vars, report) =
+            session.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+
+        // Reference: dense per-node computation.
+        let h = bindings.get("h").unwrap();
+        let cn = bindings.get("cnorm").unwrap();
+        let g = graph.graph();
+        let out_var = module.forward.outputs[0];
+        let got = vars.tensor(out_var);
+        for v in 0..g.num_nodes() {
+            let mut expect = vec![0.0f32; 4];
+            // Self-loop W0.
+            let w0 = params.weight(hector_ir::WeightId(1));
+            for j in 0..4 {
+                for p in 0..4 {
+                    expect[j] += h.at2(v, p) * w0.at3(0, p, j);
+                }
+            }
+            // Incoming messages.
+            for e in 0..g.num_edges() {
+                if g.dst()[e] as usize != v {
+                    continue;
+                }
+                let s = g.src()[e] as usize;
+                let ty = g.etype()[e] as usize;
+                let w = params.weight(hector_ir::WeightId(0));
+                for j in 0..4 {
+                    let mut m = 0.0;
+                    for p in 0..4 {
+                        m += h.at2(s, p) * w.at3(ty, p, j);
+                    }
+                    expect[j] += m * cn.at2(e, 0);
+                }
+            }
+            for (j, &e) in expect.iter().enumerate() {
+                let want = e.max(0.0);
+                let gotv = got.at2(v, j);
+                assert!(
+                    (gotv - want).abs() < 1e-4,
+                    "node {v} col {j}: got {gotv}, want {want}"
+                );
+            }
+        }
+        assert!(report.elapsed_us > 0.0);
+        assert!(report.launches >= 3);
+        assert!(report.peak_bytes > 0);
+    }
+
+    #[test]
+    fn modeled_mode_matches_real_mode_timing() {
+        let graph = toy_graph();
+        let src = rgcn_source(8);
+        let module = compile(&src, &CompileOptions::unopt());
+        let mut rng = seeded_rng(1);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let mut rng2 = seeded_rng(2);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
+
+        let mut real = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+        let (_, r1) = real.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+        let mut modeled = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+        let (_, r2) =
+            modeled.run_inference(&module, &graph, &mut params, &Bindings::new()).unwrap();
+        assert!((r1.elapsed_us - r2.elapsed_us).abs() < 1e-9);
+        assert_eq!(r1.peak_bytes, r2.peak_bytes);
+        assert_eq!(r1.launches, r2.launches);
+    }
+
+    #[test]
+    fn training_step_decreases_loss() {
+        let graph = toy_graph();
+        let src = rgcn_source(4);
+        let module = compile(&src, &CompileOptions::unopt().with_training(true));
+        let mut rng = seeded_rng(11);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let mut rng2 = seeded_rng(12);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
+        let labels = vec![0usize, 1, 2, 3, 0, 1];
+        let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+        let mut opt = crate::Sgd::new(0.5);
+        let mut losses = Vec::new();
+        for _ in 0..20 {
+            let (_, report) = session
+                .run_training_step(&module, &graph, &mut params, &bindings, &labels, &mut opt)
+                .unwrap();
+            losses.push(report.loss.unwrap());
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] - 0.05),
+            "training should reduce loss: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let graph = toy_graph();
+        let src = rgcn_source(8);
+        let module = compile(&src, &CompileOptions::unopt());
+        let mut rng = seeded_rng(3);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let tiny = DeviceConfig::rtx3090().with_capacity(64);
+        let mut session = Session::new(tiny, Mode::Modeled);
+        let err = session
+            .run_inference(&module, &graph, &mut params, &Bindings::new())
+            .unwrap_err();
+        assert!(err.capacity == 64);
+    }
+}

@@ -1,0 +1,233 @@
+//! Regression tests for backward-generation bugs found during
+//! development (kept as a fine-grained gradient test suite at the
+//! runtime level; the model-level checks live in the workspace-root
+//! `gradients.rs` integration test).
+
+use hector_compiler::{compile, CompileOptions};
+use hector_device::DeviceConfig;
+use hector_graph::HeteroGraphBuilder;
+use hector_ir::{AggNorm, ModelBuilder, Program, WeightId};
+use hector_runtime::*;
+use hector_tensor::seeded_rng;
+
+struct NoOp;
+impl Optimizer for NoOp {
+    fn step(&mut self, _p: &mut ParamStore, _prog: &Program) {}
+}
+
+fn graph() -> GraphData {
+    let mut b = HeteroGraphBuilder::new();
+    b.add_node_type(3);
+    b.add_edge(0, 2, 0);
+    b.add_edge(1, 2, 0);
+    GraphData::new(b.build())
+}
+
+fn check(src: hector_ir::builder::ModelSource, names: &[&str]) {
+    let module = compile(&src, &CompileOptions::unopt().with_training(true));
+    let g = graph();
+    let mut rng = seeded_rng(5);
+    let mut params = ParamStore::init(&module.forward, &g, &mut rng);
+    let mut rng2 = seeded_rng(6);
+    let bindings = Bindings::standard(&module.forward, &g, &mut rng2);
+    let labels = vec![0usize, 1, 0];
+    let mut sess = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+    let mut noop = NoOp;
+    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop).unwrap();
+    let eps = 1e-3f32;
+    for (wi, info) in module.forward.weights.iter().enumerate() {
+        if info.derived || !names.contains(&info.name.as_str()) { continue; }
+        let wid = WeightId(wi as u32);
+        for idx in 0..params.weight(wid).len() {
+            let orig = params.weight(wid).data()[idx];
+            params.weight_mut(wid).data_mut()[idx] = orig + eps;
+            let (v1, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let up = nll_loss_and_grad(v1.tensor(module.forward.outputs[0]), &labels).loss;
+            params.weight_mut(wid).data_mut()[idx] = orig - eps;
+            let (v2, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let down = nll_loss_and_grad(v2.tensor(module.forward.outputs[0]), &labels).loss;
+            params.weight_mut(wid).data_mut()[idx] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            let an = params.grad(wid).data()[idx];
+            println!("{}[{}]: fd={:.6} analytic={:.6} {}", info.name, idx, fd, an,
+                if (fd-an).abs() > 1e-2 + 0.1*fd.abs().max(an.abs()) { "MISMATCH" } else { "" });
+        }
+    }
+}
+
+#[test]
+fn dot_weightvec_grad() {
+    let mut m = ModelBuilder::new("mini", 2);
+    let h = m.node_input("h", 2);
+    let w = m.weight_per_etype("W", 2, 2);
+    let w_s = m.weight_vec_per_etype("w_s", 2);
+    let hs = m.typed_linear("hs", m.src(h), w);
+    let atts = m.dot("atts", m.edge(hs), m.wvec(w_s));
+    let att = m.edge_softmax("att", atts);
+    let out = m.aggregate("out", m.edge(hs), Some(m.edge(att)), AggNorm::None);
+    m.output(out);
+    check(m.finish(), &["W", "w_s"]);
+}
+
+#[test]
+fn no_softmax_grad() {
+    let mut m = ModelBuilder::new("mini2", 2);
+    let h = m.node_input("h", 2);
+    let w = m.weight_per_etype("W", 2, 2);
+    let w_s = m.weight_vec_per_etype("w_s", 2);
+    let hs = m.typed_linear("hs", m.src(h), w);
+    let atts = m.dot("atts", m.edge(hs), m.wvec(w_s));
+    let out = m.aggregate("out", m.edge(hs), Some(m.edge(atts)), AggNorm::None);
+    m.output(out);
+    check(m.finish(), &["W", "w_s"]);
+}
+
+#[test]
+fn full_rgat_tiny() {
+    let mut m = ModelBuilder::new("mini3", 2);
+    let h = m.node_input("h", 2);
+    let w = m.weight_per_etype("W", 2, 2);
+    let w_s = m.weight_vec_per_etype("w_s", 2);
+    let w_t = m.weight_vec_per_etype("w_t", 2);
+    let hs = m.typed_linear("hs", m.src(h), w);
+    let atts = m.dot("atts", m.edge(hs), m.wvec(w_s));
+    let ht = m.typed_linear("ht", m.dst(h), w);
+    let attt = m.dot("attt", m.edge(ht), m.wvec(w_t));
+    let raw = m.add("raw", m.edge(atts), m.edge(attt));
+    let act = m.leaky_relu("act", m.edge(raw));
+    let att = m.edge_softmax("att", act);
+    let out = m.aggregate("out", m.edge(hs), Some(m.edge(att)), AggNorm::None);
+    m.output(out);
+    check(m.finish(), &["W", "w_s", "w_t"]);
+}
+
+#[test]
+fn full_rgat_generated_graph() {
+    let spec = hector_graph::DatasetSpec {
+        name: "g".into(), num_nodes: 14, num_node_types: 2, num_edges: 40,
+        num_edge_types: 3, compaction_ratio: 0.6, type_skew: 1.0, seed: 77,
+    };
+    let g = GraphData::new(hector_graph::generate(&spec));
+    let dim = 4;
+    let mut m = ModelBuilder::new("mini4", dim);
+    let h = m.node_input("h", dim);
+    let w = m.weight_per_etype("W", dim, dim);
+    let w_s = m.weight_vec_per_etype("w_s", dim);
+    let w_t = m.weight_vec_per_etype("w_t", dim);
+    let hs = m.typed_linear("hs", m.src(h), w);
+    let atts = m.dot("atts", m.edge(hs), m.wvec(w_s));
+    let ht = m.typed_linear("ht", m.dst(h), w);
+    let attt = m.dot("attt", m.edge(ht), m.wvec(w_t));
+    let raw = m.add("raw", m.edge(atts), m.edge(attt));
+    let act = m.leaky_relu("act", m.edge(raw));
+    let att = m.edge_softmax("att", act);
+    let out = m.aggregate("out", m.edge(hs), Some(m.edge(att)), AggNorm::None);
+    m.output(out);
+    let src = m.finish();
+    let module = compile(&src, &CompileOptions::unopt().with_training(true));
+    let mut rng = seeded_rng(5);
+    let mut params = ParamStore::init(&module.forward, &g, &mut rng);
+    let mut rng2 = seeded_rng(6);
+    let bindings = Bindings::standard(&module.forward, &g, &mut rng2);
+    let labels: Vec<usize> = (0..g.graph().num_nodes()).map(|i| i % 4).collect();
+    let mut sess = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+    let mut noop = NoOp;
+    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop).unwrap();
+    let eps = 1e-3f32;
+    for (wi, info) in module.forward.weights.iter().enumerate() {
+        if info.derived { continue; }
+        let wid = WeightId(wi as u32);
+        for idx in 0..params.weight(wid).len().min(8) {
+            let orig = params.weight(wid).data()[idx];
+            params.weight_mut(wid).data_mut()[idx] = orig + eps;
+            let (v1, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let up = nll_loss_and_grad(v1.tensor(module.forward.outputs[0]), &labels).loss;
+            params.weight_mut(wid).data_mut()[idx] = orig - eps;
+            let (v2, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let down = nll_loss_and_grad(v2.tensor(module.forward.outputs[0]), &labels).loss;
+            params.weight_mut(wid).data_mut()[idx] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            let an = params.grad(wid).data()[idx];
+            println!("{}[{}]: fd={:.6} analytic={:.6} {}", info.name, idx, fd, an,
+                if (fd-an).abs() > 5e-3 + 0.1*fd.abs().max(an.abs()) { "MISMATCH" } else { "" });
+        }
+    }
+}
+
+fn check_on_generated(src: hector_ir::builder::ModelSource, names: &[&str]) {
+    let spec = hector_graph::DatasetSpec {
+        name: "g".into(), num_nodes: 14, num_node_types: 2, num_edges: 40,
+        num_edge_types: 3, compaction_ratio: 0.6, type_skew: 1.0, seed: 77,
+    };
+    let g = GraphData::new(hector_graph::generate(&spec));
+    let module = compile(&src, &CompileOptions::unopt().with_training(true));
+    let mut rng = seeded_rng(5);
+    let mut params = ParamStore::init(&module.forward, &g, &mut rng);
+    let mut rng2 = seeded_rng(6);
+    let bindings = Bindings::standard(&module.forward, &g, &mut rng2);
+    let labels: Vec<usize> = (0..g.graph().num_nodes()).map(|i| i % 2).collect();
+    let mut sess = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+    let mut noop = NoOp;
+    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop).unwrap();
+    let eps = 1e-3f32;
+    let mut bad = 0;
+    for (wi, info) in module.forward.weights.iter().enumerate() {
+        if info.derived || !names.contains(&info.name.as_str()) { continue; }
+        let wid = WeightId(wi as u32);
+        for idx in 0..params.weight(wid).len().min(6) {
+            let orig = params.weight(wid).data()[idx];
+            params.weight_mut(wid).data_mut()[idx] = orig + eps;
+            let (v1, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let up = nll_loss_and_grad(v1.tensor(module.forward.outputs[0]), &labels).loss;
+            params.weight_mut(wid).data_mut()[idx] = orig - eps;
+            let (v2, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let down = nll_loss_and_grad(v2.tensor(module.forward.outputs[0]), &labels).loss;
+            params.weight_mut(wid).data_mut()[idx] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            let an = params.grad(wid).data()[idx];
+            if (fd-an).abs() > 5e-3 + 0.1f32*fd.abs().max(an.abs()) {
+                println!("  {}[{}]: fd={:.6} analytic={:.6} MISMATCH", info.name, idx, fd, an);
+                bad += 1;
+            }
+        }
+    }
+    assert_eq!(bad, 0, "{} mismatches", bad);
+}
+
+#[test]
+fn gen_no_softmax() {
+    let mut m = ModelBuilder::new("g1", 2);
+    let h = m.node_input("h", 2);
+    let w = m.weight_per_etype("W", 2, 2);
+    let w_s = m.weight_vec_per_etype("w_s", 2);
+    let hs = m.typed_linear("hs", m.src(h), w);
+    let atts = m.dot("atts", m.edge(hs), m.wvec(w_s));
+    let out = m.aggregate("out", m.edge(hs), Some(m.edge(atts)), AggNorm::None);
+    m.output(out);
+    check_on_generated(m.finish(), &["W", "w_s"]);
+}
+
+#[test]
+fn gen_softmax() {
+    let mut m = ModelBuilder::new("g2", 2);
+    let h = m.node_input("h", 2);
+    let w = m.weight_per_etype("W", 2, 2);
+    let w_s = m.weight_vec_per_etype("w_s", 2);
+    let hs = m.typed_linear("hs", m.src(h), w);
+    let atts = m.dot("atts", m.edge(hs), m.wvec(w_s));
+    let att = m.edge_softmax("att", atts);
+    let out = m.aggregate("out", m.edge(hs), Some(m.edge(att)), AggNorm::None);
+    m.output(out);
+    check_on_generated(m.finish(), &["W", "w_s"]);
+}
+
+#[test]
+fn gen_plain_agg() {
+    let mut m = ModelBuilder::new("g3", 2);
+    let h = m.node_input("h", 2);
+    let w = m.weight_per_etype("W", 2, 2);
+    let hs = m.typed_linear("hs", m.src(h), w);
+    let out = m.aggregate("out", m.edge(hs), None, AggNorm::None);
+    m.output(out);
+    check_on_generated(m.finish(), &["W"]);
+}

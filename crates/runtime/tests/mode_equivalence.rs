@@ -1,0 +1,93 @@
+//! Real vs. modeled execution equivalence: the two session modes must
+//! charge the device identically — same simulated time, same launches,
+//! same peak memory — for any model, option combination, and graph.
+//! (This is what makes the paper-scale modeled experiments trustworthy:
+//! they report exactly what a real-mode run would have reported.)
+
+use hector_compiler::{compile, CompileOptions};
+use hector_device::DeviceConfig;
+use hector_graph::{generate, DatasetSpec};
+use hector_models::{source, ModelKind};
+use hector_runtime::{Bindings, GraphData, Mode, ParamStore, Session, Sgd};
+use hector_tensor::seeded_rng;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = GraphData> {
+    (10usize..60, 1usize..4, 20usize..200, 1usize..8, 0.2f64..1.0, any::<u64>()).prop_map(
+        |(n, nt, e, et, ratio, seed)| {
+            GraphData::new(generate(&DatasetSpec {
+                name: "prop".into(),
+                num_nodes: n,
+                num_node_types: nt,
+                num_edges: e,
+                num_edge_types: et,
+                compaction_ratio: ratio,
+                type_skew: 1.0,
+                seed,
+            }))
+        },
+    )
+}
+
+fn models() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![Just(ModelKind::Rgcn), Just(ModelKind::Rgat), Just(ModelKind::Hgt)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn modeled_inference_reports_match_real(
+        graph in arb_graph(),
+        kind in models(),
+        compact in any::<bool>(),
+        reorder in any::<bool>(),
+    ) {
+        let opts = CompileOptions { compact, reorder, ..CompileOptions::default() };
+        let module = compile(&source(kind, 8, 8), &opts);
+        let mut rng = seeded_rng(1);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+
+        let mut real = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+        let (_, r) = real.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+        let mut modeled = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+        let (_, m) =
+            modeled.run_inference(&module, &graph, &mut params, &Bindings::new()).unwrap();
+
+        prop_assert!((r.elapsed_us - m.elapsed_us).abs() < 1e-6);
+        prop_assert_eq!(r.launches, m.launches);
+        prop_assert_eq!(r.peak_bytes, m.peak_bytes);
+        prop_assert!((r.gemm_us - m.gemm_us).abs() < 1e-6);
+        prop_assert!((r.traversal_us - m.traversal_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn modeled_training_reports_match_real(
+        graph in arb_graph(),
+        kind in models(),
+    ) {
+        let opts = CompileOptions::best().with_training(true);
+        let module = compile(&source(kind, 6, 6), &opts);
+        let mut rng = seeded_rng(2);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+        let labels: Vec<usize> =
+            (0..graph.graph().num_nodes()).map(|i| i % 6).collect();
+
+        let mut real = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+        let mut sgd = Sgd::new(0.0);
+        let (_, r) = real
+            .run_training_step(&module, &graph, &mut params, &bindings, &labels, &mut sgd)
+            .unwrap();
+        let mut modeled = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+        let (_, m) = modeled
+            .run_training_step(&module, &graph, &mut params, &Bindings::new(), &[], &mut sgd)
+            .unwrap();
+
+        prop_assert!((r.elapsed_us - m.elapsed_us).abs() < 1e-6);
+        prop_assert_eq!(r.launches, m.launches);
+        prop_assert!((r.backward_us - m.backward_us).abs() < 1e-6);
+        prop_assert!(r.loss.is_some() && m.loss.is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Dense tensor substrate for the Hector RGNN compiler.
+//!
+//! This crate provides the minimal dense linear-algebra layer every other
+//! Hector crate builds on: a row-major `f32` [`Tensor`] supporting one to
+//! three dimensions, plus the operation families that dominate relational
+//! graph neural network (RGNN) workloads:
+//!
+//! * plain and transposed GEMM ([`Tensor::matmul`], [`Tensor::matmul_tb`]),
+//! * batched matrix multiply over a leading type/batch dimension
+//!   ([`Tensor::bmm`]),
+//! * *segment* matrix multiply, where rows are pre-sorted into per-type
+//!   segments and each segment is multiplied by its own weight slice
+//!   ([`segment::segment_mm`]),
+//! * row gather/scatter with optional accumulation, which the Hector GEMM
+//!   template uses to fetch operands "on the fly" instead of materialising
+//!   copies ([`Tensor::gather_rows`], [`Tensor::scatter_add_rows`]),
+//! * the elementwise / reduction helpers needed by message passing
+//!   (leaky ReLU, exponentials, per-row dot products, outer products, …).
+//!
+//! Everything is deterministic and CPU-only: Hector's simulated GPU executes
+//! kernels functionally through this crate while a separate cost model
+//! accounts simulated time (see the `hector-device` crate).
+//!
+//! # Example
+//!
+//! ```
+//! use hector_tensor::Tensor;
+//!
+//! let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let w = Tensor::eye(2);
+//! let y = x.matmul(&w);
+//! assert_eq!(y.data(), x.data());
+//! ```
+
+#![warn(missing_docs)]
+
+mod ops;
+mod random;
+pub mod segment;
+mod tensor;
+
+pub use random::{seeded_rng, xavier_uniform};
+pub use tensor::{Tensor, TensorError};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Tolerance-aware float comparison used across Hector's test suites.
+///
+/// Returns `true` when `a` and `b` are within `atol + rtol * |b|` of each
+/// other, mirroring the semantics of `numpy.allclose` for a single pair.
+#[must_use]
+pub fn approx_eq(a: f32, b: f32, rtol: f32, atol: f32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    (a - b).abs() <= atol + rtol * b.abs()
+}
+
+/// Asserts two tensors are elementwise close; panics with context otherwise.
+///
+/// # Panics
+///
+/// Panics if shapes differ or any element pair violates the tolerance.
+pub fn assert_close(a: &Tensor, b: &Tensor, rtol: f32, atol: f32) {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch: {:?} vs {:?}", a.shape(), b.shape());
+    for (i, (&x, &y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        assert!(
+            approx_eq(x, y, rtol, atol),
+            "tensors differ at flat index {i}: {x} vs {y} (rtol={rtol}, atol={atol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-7, 1e-5, 1e-6));
+        assert!(!approx_eq(1.0, 1.1, 1e-5, 1e-6));
+        assert!(!approx_eq(f32::NAN, f32::NAN, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn assert_close_passes_on_identical() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_close(&t, &t.clone(), 1e-6, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensors differ")]
+    fn assert_close_panics_on_difference() {
+        let a = Tensor::from_vec(vec![1.0], &[1]);
+        let b = Tensor::from_vec(vec![2.0], &[1]);
+        assert_close(&a, &b, 1e-6, 1e-6);
+    }
+}

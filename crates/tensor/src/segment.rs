@@ -1,0 +1,356 @@
+//! Segment matrix multiply and related per-type batch operations.
+//!
+//! A *segment MM* (paper §2.3) multiplies a feature matrix whose rows are
+//! pre-sorted into contiguous per-type segments with a stack of per-type
+//! weight matrices: rows in segment `t` (delimited by `seg_ptr[t] ..
+//! seg_ptr[t+1]`) are multiplied by weight slab `t`. This is how DGL's
+//! `segment_mm` and Hector's GEMM-template instances implement typed linear
+//! layers without replicating weights.
+
+use crate::Tensor;
+
+/// Validates a segment pointer array against a row count.
+///
+/// # Panics
+///
+/// Panics if `seg_ptr` is not monotonically non-decreasing, does not start
+/// at zero, or does not end at `rows`.
+pub fn validate_seg_ptr(seg_ptr: &[usize], rows: usize) {
+    assert!(!seg_ptr.is_empty(), "seg_ptr must have at least one entry");
+    assert_eq!(seg_ptr[0], 0, "seg_ptr must start at 0");
+    assert_eq!(*seg_ptr.last().unwrap(), rows, "seg_ptr must end at the row count");
+    for w in seg_ptr.windows(2) {
+        assert!(w[0] <= w[1], "seg_ptr must be non-decreasing");
+    }
+}
+
+/// Segment matrix multiply: `y[seg t] = x[seg t] × w[t]`.
+///
+/// * `x` — `[rows, k]` features sorted by type.
+/// * `weights` — `[num_types, k, n]` weight stack.
+/// * `seg_ptr` — `num_types + 1` offsets delimiting each type's rows.
+///
+/// Returns `[rows, n]`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches, or an invalid `seg_ptr`.
+#[must_use]
+pub fn segment_mm(x: &Tensor, weights: &Tensor, seg_ptr: &[usize]) -> Tensor {
+    assert_eq!(x.rank(), 2, "segment_mm features must be rank 2");
+    assert_eq!(weights.rank(), 3, "segment_mm weights must be rank 3");
+    let (rows, k) = (x.shape()[0], x.shape()[1]);
+    let (t, k2, n) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+    assert_eq!(k, k2, "segment_mm inner dimensions must agree");
+    assert_eq!(seg_ptr.len(), t + 1, "seg_ptr must have num_types + 1 entries");
+    validate_seg_ptr(seg_ptr, rows);
+    let mut out = Tensor::zeros(&[rows, n]);
+    for ty in 0..t {
+        let (lo, hi) = (seg_ptr[ty], seg_ptr[ty + 1]);
+        if lo == hi {
+            continue;
+        }
+        let xs = &x.data()[lo * k..hi * k];
+        let ws = weights.slab(ty);
+        let os = &mut out.data_mut()[lo * n..hi * n];
+        crate::ops::matmul_into(xs, ws, os, hi - lo, k, n);
+    }
+    out
+}
+
+/// Segment matrix multiply with the per-segment weight transposed:
+/// `y[seg t] = x[seg t] × w[t]^T`.
+///
+/// Each weight slab is interpreted as `[out_cols, in_cols]` where
+/// `in_cols` must match `x`'s column count. Passing a *forward* weight
+/// stack `[num_types, k, n]` with `x = dY` (`[rows, n]`) therefore yields
+/// exactly the backward-propagation input gradient `dX = dY × W^T` of a
+/// typed linear layer.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches, or an invalid `seg_ptr`.
+#[must_use]
+pub fn segment_mm_tb(x: &Tensor, weights: &Tensor, seg_ptr: &[usize]) -> Tensor {
+    assert_eq!(x.rank(), 2);
+    assert_eq!(weights.rank(), 3);
+    let (rows, k) = (x.shape()[0], x.shape()[1]);
+    let (t, n, k2) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+    assert_eq!(k, k2, "segment_mm_tb inner dimensions must agree");
+    assert_eq!(seg_ptr.len(), t + 1);
+    validate_seg_ptr(seg_ptr, rows);
+    let mut out = Tensor::zeros(&[rows, n]);
+    for ty in 0..t {
+        let (lo, hi) = (seg_ptr[ty], seg_ptr[ty + 1]);
+        let ws = weights.slab(ty);
+        for r in lo..hi {
+            let xr = &x.data()[r * k..(r + 1) * k];
+            let orow = &mut out.data_mut()[r * n..(r + 1) * n];
+            for j in 0..n {
+                let wrow = &ws[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += xr[p] * wrow[p];
+                }
+                orow[j] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Per-type weight-gradient accumulation: for each type `t`,
+/// `dw[t] += x[seg t]^T × dy[seg t]`.
+///
+/// `x` is `[rows, k]`, `dy` is `[rows, n]`; returns `[num_types, k, n]`.
+/// This is the outer-product-heavy kernel the paper identifies as a
+/// backward-propagation bottleneck (§4.4).
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches, or an invalid `seg_ptr`.
+#[must_use]
+pub fn segment_mm_grad_w(x: &Tensor, dy: &Tensor, seg_ptr: &[usize]) -> Tensor {
+    assert_eq!(x.rank(), 2);
+    assert_eq!(dy.rank(), 2);
+    let (rows, k) = (x.shape()[0], x.shape()[1]);
+    let (rows2, n) = (dy.shape()[0], dy.shape()[1]);
+    assert_eq!(rows, rows2, "segment_mm_grad_w row counts must agree");
+    let t = seg_ptr.len() - 1;
+    validate_seg_ptr(seg_ptr, rows);
+    let mut out = Tensor::zeros(&[t, k, n]);
+    for ty in 0..t {
+        let (lo, hi) = (seg_ptr[ty], seg_ptr[ty + 1]);
+        let slab = &mut out.data_mut()[ty * k * n..(ty + 1) * k * n];
+        for r in lo..hi {
+            let xr = &x.data()[r * k..(r + 1) * k];
+            let dyr = &dy.data()[r * n..(r + 1) * n];
+            for p in 0..k {
+                let xv = xr[p];
+                if xv == 0.0 {
+                    continue;
+                }
+                let orow = &mut slab[p * n..(p + 1) * n];
+                for j in 0..n {
+                    orow[j] += xv * dyr[j];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Expands a per-row type array into a replicated weight tensor
+/// `w_rep[i] = weights[types[i]]` of shape `[rows, k, n]`.
+///
+/// This is the wasteful materialisation PyTorch-based systems perform for
+/// typed linear layers (paper §2.3, `W'[i,k,j] := W[T[i],k,j]`); Hector
+/// never does this, but the PyG `FastRGCNConv` baseline does, so the cost
+/// — both bytes and copy time — can be charged for real.
+///
+/// # Panics
+///
+/// Panics if any type index is out of range or `weights` is not rank 3.
+#[must_use]
+pub fn replicate_weights(weights: &Tensor, types: &[u32]) -> Tensor {
+    assert_eq!(weights.rank(), 3);
+    let (t, k, n) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
+    let mut out = Tensor::zeros(&[types.len(), k, n]);
+    let sz = k * n;
+    for (i, &ty) in types.iter().enumerate() {
+        assert!((ty as usize) < t, "type index {ty} out of range");
+        out.data_mut()[i * sz..(i + 1) * sz].copy_from_slice(weights.slab(ty as usize));
+    }
+    out
+}
+
+/// Batched row-by-matrix multiply: `y[i] = x[i] × w_rep[i]` where `x` is
+/// `[rows, k]` and `w_rep` is `[rows, k, n]`; returns `[rows, n]`.
+///
+/// Combined with [`replicate_weights`] this reproduces the BMM formulation
+/// `Y[i,0,j] = Σ_k X[i,0,k]·W'[i,k,j]` of paper §2.3.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+#[must_use]
+pub fn bmm_rowwise(x: &Tensor, w_rep: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 2);
+    assert_eq!(w_rep.rank(), 3);
+    let (rows, k) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(w_rep.shape()[0], rows);
+    assert_eq!(w_rep.shape()[1], k);
+    let n = w_rep.shape()[2];
+    let mut out = Tensor::zeros(&[rows, n]);
+    for i in 0..rows {
+        let xr = &x.data()[i * k..(i + 1) * k];
+        let ws = w_rep.slab(i);
+        let orow = &mut out.data_mut()[i * n..(i + 1) * n];
+        for p in 0..k {
+            let xv = xr[p];
+            if xv == 0.0 {
+                continue;
+            }
+            let wrow = &ws[p * n..(p + 1) * n];
+            for j in 0..n {
+                orow[j] += xv * wrow[j];
+            }
+        }
+    }
+    out
+}
+
+/// Gathered typed matrix multiply, the access scheme of Hector's GEMM
+/// template: `y[i] = x[gather[i]] × weights[types[i]]`.
+///
+/// Unlike [`segment_mm`], rows need not be pre-sorted; the gather list and
+/// type array position each row independently (paper Fig. 7's
+/// `GATHER(row_idx)` + per-type weight addressing).
+///
+/// # Panics
+///
+/// Panics on rank/dimension mismatches or out-of-range indices.
+#[must_use]
+pub fn gather_typed_mm(x: &Tensor, weights: &Tensor, gather: &[u32], types: &[u32]) -> Tensor {
+    assert_eq!(x.rank(), 2);
+    assert_eq!(weights.rank(), 3);
+    assert_eq!(gather.len(), types.len(), "one type per gathered row");
+    let k = x.shape()[1];
+    assert_eq!(weights.shape()[1], k, "gather_typed_mm inner dimensions must agree");
+    let n = weights.shape()[2];
+    let mut out = Tensor::zeros(&[gather.len(), n]);
+    for (i, (&src, &ty)) in gather.iter().zip(types.iter()).enumerate() {
+        let xr = x.row(src as usize);
+        let ws = weights.slab(ty as usize);
+        let orow = &mut out.data_mut()[i * n..(i + 1) * n];
+        for p in 0..k {
+            let xv = xr[p];
+            if xv == 0.0 {
+                continue;
+            }
+            let wrow = &ws[p * n..(p + 1) * n];
+            for j in 0..n {
+                orow[j] += xv * wrow[j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_close, seeded_rng, Tensor};
+    use rand::Rng;
+
+    fn rand_t(rng: &mut impl Rng, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), shape)
+    }
+
+    #[test]
+    fn segment_mm_equals_per_segment_matmul() {
+        let mut rng = seeded_rng(7);
+        let x = rand_t(&mut rng, &[6, 3]);
+        let w = rand_t(&mut rng, &[2, 3, 4]);
+        let seg = [0usize, 4, 6];
+        let y = segment_mm(&x, &w, &seg);
+        // Manual: rows 0..4 × w0, rows 4..6 × w1.
+        let x0 = Tensor::from_vec(x.data()[0..12].to_vec(), &[4, 3]);
+        let x1 = Tensor::from_vec(x.data()[12..18].to_vec(), &[2, 3]);
+        let w0 = Tensor::from_vec(w.slab(0).to_vec(), &[3, 4]);
+        let w1 = Tensor::from_vec(w.slab(1).to_vec(), &[3, 4]);
+        let y0 = x0.matmul(&w0);
+        let y1 = x1.matmul(&w1);
+        assert_eq!(&y.data()[0..16], y0.data());
+        assert_eq!(&y.data()[16..24], y1.data());
+    }
+
+    #[test]
+    fn segment_mm_handles_empty_segments() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
+        let y = segment_mm(&x, &w, &[0, 0, 1]);
+        assert_eq!(y.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seg_ptr must end")]
+    fn segment_mm_rejects_bad_ptr() {
+        let x = Tensor::zeros(&[3, 2]);
+        let w = Tensor::zeros(&[1, 2, 2]);
+        let _ = segment_mm(&x, &w, &[0, 2]);
+    }
+
+    #[test]
+    fn segment_mm_tb_is_inverse_shape() {
+        let mut rng = seeded_rng(11);
+        let x = rand_t(&mut rng, &[5, 4]);
+        let w = rand_t(&mut rng, &[2, 4, 3]);
+        let seg = [0usize, 2, 5];
+        let y = segment_mm(&x, &w, &seg);
+        // dX = dY × W^T per segment; segment_mm_tb consumes the original
+        // [t,k,n] stack and applies the transpose on the fly.
+        let dx = segment_mm_tb(&y, &w, &seg);
+        assert_eq!(dx.shape(), &[5, 4]);
+        // Compare against manual per-segment computation.
+        for ty in 0..2 {
+            let (lo, hi) = (seg[ty], seg[ty + 1]);
+            let wt = Tensor::from_vec(w.slab(ty).to_vec(), &[4, 3]);
+            for r in lo..hi {
+                let yr = Tensor::from_vec(y.row(r).to_vec(), &[1, 3]);
+                let expect = yr.matmul(&wt.transpose2());
+                for (a, b) in dx.row(r).iter().zip(expect.data().iter()) {
+                    assert!((a - b).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_w_matches_dense_outer_products() {
+        let mut rng = seeded_rng(3);
+        let x = rand_t(&mut rng, &[4, 3]);
+        let dy = rand_t(&mut rng, &[4, 2]);
+        let seg = [0usize, 1, 4];
+        let dw = segment_mm_grad_w(&x, &dy, &seg);
+        assert_eq!(dw.shape(), &[2, 3, 2]);
+        // Type 0 is row 0 only: dw0 = x0^T dy0 (outer product).
+        let x0 = Tensor::from_vec(x.row(0).to_vec(), &[3]);
+        let d0 = Tensor::from_vec(dy.row(0).to_vec(), &[2]);
+        let o = x0.outer(&d0);
+        for (a, b) in dw.slab(0).iter().zip(o.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn replicate_then_bmm_equals_gather_typed_mm() {
+        let mut rng = seeded_rng(5);
+        let x = rand_t(&mut rng, &[6, 3]);
+        let w = rand_t(&mut rng, &[3, 3, 4]);
+        let types = [2u32, 0, 1, 1, 2, 0];
+        let rep = replicate_weights(&w, &types);
+        let via_bmm = bmm_rowwise(&x, &rep);
+        let ident: Vec<u32> = (0..6).collect();
+        let via_gather = gather_typed_mm(&x, &w, &ident, &types);
+        assert_close(&via_bmm, &via_gather, 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn gather_typed_mm_gathers() {
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let w = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[1, 2, 2]);
+        let y = gather_typed_mm(&x, &w, &[1, 1, 0], &[0, 0, 0]);
+        assert_eq!(y.shape(), &[3, 2]);
+        assert_eq!(y.row(0), &[0.0, 2.0]);
+        assert_eq!(y.row(2), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn replicate_weights_byte_cost_is_visible() {
+        let w = Tensor::zeros(&[2, 8, 8]);
+        let rep = replicate_weights(&w, &[0u32; 100]);
+        assert_eq!(rep.byte_size(), 100 * 8 * 8 * 4);
+    }
+}

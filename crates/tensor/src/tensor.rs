@@ -1,0 +1,345 @@
+//! The core [`Tensor`] type: a row-major, owned `f32` buffer with shape.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and shape manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Data length does not match the product of the requested shape.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Length of the dimension being indexed.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => {
+                write!(f, "shape expects {expected} elements but data has {actual}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for dimension of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A dense, row-major, owned `f32` tensor of rank 1 to 3.
+///
+/// `Tensor` is deliberately simple: RGNN workloads in Hector only need 2-D
+/// feature matrices, 3-D per-type weight stacks, and 1-D scalars-per-row
+/// vectors. Contiguous row-major storage keeps gather/scatter kernels and
+/// the GEMM inner loops straightforward and cache-friendly.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().copied().take(8).collect();
+        write!(f, "Tensor{{shape: {:?}, data[..8]: {:?}}}", self.shape, preview)
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from `data` with the given `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        Self::try_from_vec(data, shape).expect("shape/data mismatch")
+    }
+
+    /// Fallible variant of [`Tensor::from_vec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if sizes disagree.
+    pub fn try_from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeDataMismatch { expected, actual: data.len() });
+        }
+        Ok(Self { shape: shape.to_vec(), data })
+    }
+
+    /// Creates a zero-filled tensor of the given shape.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    #[must_use]
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Self { shape: shape.to_vec(), data: vec![value; n] }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows, treating the tensor as a matrix (first dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 tensors (which cannot be constructed anyway).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "cols() requires a rank-2 tensor");
+        self.shape[1]
+    }
+
+    /// Immutable view of the underlying storage.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expected, "reshape to incompatible shape {shape:?}");
+        Self { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Element accessor for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or indices are out of range.
+    #[must_use]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Mutable element accessor for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or indices are out of range.
+    pub fn at2_mut(&mut self, i: usize, j: usize) -> &mut f32 {
+        assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &mut self.data[i * c + j]
+    }
+
+    /// Element accessor for rank-3 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or indices are out of range.
+    #[must_use]
+    pub fn at3(&self, b: usize, i: usize, j: usize) -> f32 {
+        assert_eq!(self.rank(), 3);
+        self.data[(b * self.shape[1] + i) * self.shape[2] + j]
+    }
+
+    /// Borrows row `i` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Mutably borrows row `i` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Borrows slice `b` (an `[rows, cols]` matrix) of a rank-3 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or `b` is out of range.
+    #[must_use]
+    pub fn slab(&self, b: usize) -> &[f32] {
+        assert_eq!(self.rank(), 3);
+        let sz = self.shape[1] * self.shape[2];
+        &self.data[b * sz..(b + 1) * sz]
+    }
+
+    /// Copies `src` into row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or the tensor is not rank 2.
+    pub fn set_row(&mut self, i: usize, src: &[f32]) {
+        let dst = self.row_mut(i);
+        assert_eq!(dst.len(), src.len());
+        dst.copy_from_slice(src);
+    }
+
+    /// Bytes occupied by the tensor payload (`4 * len`), used by the
+    /// simulated device's memory accounting.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn try_from_vec_rejects_bad_shape() {
+        let err = Tensor::try_from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
+        assert_eq!(err, TensorError::ShapeDataMismatch { expected: 6, actual: 5 });
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at2(0, 0), 1.0);
+        assert_eq!(i.at2(0, 1), 0.0);
+        assert_eq!(i.at2(2, 2), 1.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = t.reshape(&[4]);
+        assert_eq!(r.shape(), &[4]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn reshape_rejects_wrong_size() {
+        let _ = Tensor::zeros(&[2, 2]).reshape(&[5]);
+    }
+
+    #[test]
+    fn rank3_accessors() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        assert_eq!(t.at3(1, 2, 3), 23.0);
+        assert_eq!(t.slab(1).len(), 12);
+        assert_eq!(t.slab(1)[0], 12.0);
+    }
+
+    #[test]
+    fn set_row_writes() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set_row(1, &[5.0, 6.0]);
+        assert_eq!(t.row(1), &[5.0, 6.0]);
+        assert_eq!(t.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn byte_size_counts_f32() {
+        assert_eq!(Tensor::zeros(&[3, 3]).byte_size(), 36);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TensorError::ShapeMismatch { lhs: vec![2], rhs: vec![3] };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

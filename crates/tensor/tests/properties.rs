@@ -1,0 +1,138 @@
+//! Property-based tests for the tensor substrate.
+
+use hector_tensor::segment::{
+    bmm_rowwise, gather_typed_mm, replicate_weights, segment_mm, segment_mm_grad_w,
+};
+use hector_tensor::{approx_eq, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dimensions in [1, 8] and values in [-4, 4].
+fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-4.0f32..4.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]))
+    })
+}
+
+/// Strategy: (x [rows,k], w [t,k,n], types per row).
+fn typed_mm_inputs() -> impl Strategy<Value = (Tensor, Tensor, Vec<u32>)> {
+    (1usize..=6, 1usize..=5, 1usize..=5, 1usize..=4).prop_flat_map(|(rows, k, n, t)| {
+        let x = proptest::collection::vec(-2.0f32..2.0, rows * k)
+            .prop_map(move |d| Tensor::from_vec(d, &[rows, k]));
+        let w = proptest::collection::vec(-2.0f32..2.0, t * k * n)
+            .prop_map(move |d| Tensor::from_vec(d, &[t, k, n]));
+        let types = proptest::collection::vec(0..t as u32, rows);
+        (x, w, types)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(6), b in matrix(6), c in matrix(6)) {
+        // Reshape b and c to be conformable with a: use a's column count.
+        let k = a.shape()[1];
+        let n = 3usize;
+        let bb = Tensor::from_vec(b.data().iter().cycle().take(k * n).copied().collect(), &[k, n]);
+        let cc = Tensor::from_vec(c.data().iter().cycle().take(k * n).copied().collect(), &[k, n]);
+        let lhs = a.matmul(&bb.add(&cc));
+        let rhs = a.matmul(&bb).add(&a.matmul(&cc));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!(approx_eq(*x, *y, 1e-3, 1e-3), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in matrix(8)) {
+        prop_assert_eq!(a.transpose2().transpose2(), a);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_preserves_rows(a in matrix(8)) {
+        // Gathering every row then scatter-adding into zeros reproduces `a`.
+        let idx: Vec<u32> = (0..a.rows() as u32).collect();
+        let g = a.gather_rows(&idx);
+        let mut out = Tensor::zeros(a.shape());
+        g.scatter_add_rows(&idx, &mut out);
+        prop_assert_eq!(out, a);
+    }
+
+    #[test]
+    fn leaky_relu_fixed_points(a in matrix(8)) {
+        // slope=1 is the identity.
+        prop_assert_eq!(a.leaky_relu(1.0), a.clone());
+        // Non-negative inputs are unchanged for any slope.
+        let pos = a.map(f32::abs);
+        prop_assert_eq!(pos.leaky_relu(0.01), pos);
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_rows(a in matrix(8)) {
+        let s = a.softmax_rows();
+        for i in 0..s.rows() {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn replicated_bmm_equals_gathered_typed_mm((x, w, types) in typed_mm_inputs()) {
+        // The wasteful PyTorch-style path (replicate + BMM) must agree with
+        // Hector's gather-on-the-fly GEMM path.
+        let rep = replicate_weights(&w, &types);
+        let via_bmm = bmm_rowwise(&x, &rep);
+        let ident: Vec<u32> = (0..x.rows() as u32).collect();
+        let via_gather = gather_typed_mm(&x, &w, &ident, &types);
+        for (p, q) in via_bmm.data().iter().zip(via_gather.data().iter()) {
+            prop_assert!(approx_eq(*p, *q, 1e-4, 1e-4));
+        }
+    }
+
+    #[test]
+    fn segment_mm_equals_sorted_gather_typed_mm((x, w, mut types) in typed_mm_inputs()) {
+        // Sorting rows by type and running segment MM must agree with the
+        // unsorted gather-typed formulation.
+        let t = w.shape()[0];
+        types.sort_unstable();
+        let mut seg_ptr = vec![0usize; t + 1];
+        for &ty in &types {
+            seg_ptr[ty as usize + 1] += 1;
+        }
+        for i in 0..t {
+            seg_ptr[i + 1] += seg_ptr[i];
+        }
+        let seg = segment_mm(&x, &w, &seg_ptr);
+        let ident: Vec<u32> = (0..x.rows() as u32).collect();
+        let gt = gather_typed_mm(&x, &w, &ident, &types);
+        for (p, q) in seg.data().iter().zip(gt.data().iter()) {
+            prop_assert!(approx_eq(*p, *q, 1e-4, 1e-4));
+        }
+    }
+
+    #[test]
+    fn grad_w_shape_and_zero_dy((x, w, mut types) in typed_mm_inputs()) {
+        let t = w.shape()[0];
+        types.sort_unstable();
+        let mut seg_ptr = vec![0usize; t + 1];
+        for &ty in &types {
+            seg_ptr[ty as usize + 1] += 1;
+        }
+        for i in 0..t {
+            seg_ptr[i + 1] += seg_ptr[i];
+        }
+        let n = w.shape()[2];
+        let dy = Tensor::zeros(&[x.rows(), n]);
+        let dw = segment_mm_grad_w(&x, &dy, &seg_ptr);
+        prop_assert_eq!(dw.shape(), &[t, x.shape()[1], n]);
+        prop_assert!(dw.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_dot_is_diag_of_matmul_tb(a in matrix(6)) {
+        let d = a.row_dot(&a);
+        let full = a.matmul_tb(&a);
+        for i in 0..a.rows() {
+            prop_assert!(approx_eq(d.data()[i], full.at2(i, i), 1e-4, 1e-4));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Full training loop: HGT on a synthetic MAG-like graph, trained with
+//! Adam against random labels (the paper's §4.1 recipe), reporting the
+//! loss curve and the forward/backward time split — including the
+//! paper's observation that backward is dominated by atomic updates and
+//! outer products.
+
+use hector::prelude::*;
+use hector_runtime::cnorm_tensor;
+
+fn main() {
+    let spec = hector::datasets::mag().scaled(0.002); // ~42K edges
+    let graph = GraphData::new(hector::generate(&spec));
+    println!(
+        "training HGT on a MAG-like graph: {} nodes, {} edges, {} node types, {} relations",
+        graph.graph().num_nodes(),
+        graph.graph().num_edges(),
+        graph.graph().num_node_types(),
+        graph.graph().num_edge_types()
+    );
+    let _ = cnorm_tensor(&graph); // (RGCN-style norms, unused by HGT; shown for the API)
+
+    let dim = 16;
+    let classes = 8;
+    let module =
+        hector::compile_model(ModelKind::Hgt, dim, classes, &CompileOptions::best().with_training(true));
+    println!(
+        "compiled with C+R: {} forward kernels, {} backward kernels",
+        module.fw_kernels.len(),
+        module.bw_kernels.len()
+    );
+
+    let mut rng = seeded_rng(11);
+    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+    let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+    let labels: Vec<usize> =
+        (0..graph.graph().num_nodes()).map(|i| (i * 7 + 3) % classes).collect();
+
+    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+    let mut opt = Adam::new(0.05);
+    println!("\nepoch   loss      fw(us)    bw(us)");
+    let mut first_report = None;
+    for epoch in 0..15 {
+        let (_, report) = session
+            .run_training_step(&module, &graph, &mut params, &bindings, &labels, &mut opt)
+            .expect("fits");
+        if epoch % 2 == 0 || epoch == 14 {
+            println!(
+                "{epoch:>5}   {:.4}   {:>8.1}  {:>8.1}",
+                report.loss.unwrap(),
+                report.forward_us,
+                report.backward_us
+            );
+        }
+        if first_report.is_none() {
+            first_report = Some(report);
+        }
+    }
+    let r = first_report.unwrap();
+    println!(
+        "\nbackward / forward simulated time: {:.2}x — the backward pass pays for\n\
+         atomic gradient scatters and the outer-product weight-gradient GEMMs\n\
+         the paper profiles in sec 4.4.",
+        r.backward_us / r.forward_us
+    );
+}

@@ -1,0 +1,70 @@
+//! RGAT attention under the optimizer's microscope: compiles the same
+//! model with all four optimization combinations (U / C / R / C+R) and
+//! shows how the kernel plan, the simulated time, and the memory
+//! footprint change — the paper's Table 5 / Fig. 9 story in miniature.
+
+use hector::prelude::*;
+use hector_ir::KernelSpec;
+
+fn main() {
+    // A mid-size graph with a low compaction ratio: many edges share
+    // their (source, edge type) pair, so compact materialization pays.
+    let spec = DatasetSpec {
+        name: "demo".into(),
+        num_nodes: 4_000,
+        num_node_types: 3,
+        num_edges: 80_000,
+        num_edge_types: 12,
+        compaction_ratio: 0.25,
+        type_skew: 1.0,
+        seed: 5,
+    };
+    let graph = GraphData::new(hector::generate(&spec));
+    println!(
+        "graph: {} edges, {} unique (src, etype) pairs (ratio {:.2})\n",
+        graph.graph().num_edges(),
+        graph.compact().num_unique(),
+        graph.compact().ratio()
+    );
+
+    let combos = [
+        ("U  (unoptimized)", CompileOptions::unopt()),
+        ("C  (compact materialization)", CompileOptions::compact_only()),
+        ("R  (linear operator reordering)", CompileOptions::reorder_only()),
+        ("C+R (both)", CompileOptions::best()),
+    ];
+    for (label, opts) in combos {
+        let module = hector::compile_model(ModelKind::Rgat, 64, 64, &opts);
+        let mut gemms = 0;
+        let mut travs = 0;
+        let mut fallbacks = 0;
+        for k in &module.fw_kernels {
+            match k {
+                KernelSpec::Gemm(_) => gemms += 1,
+                KernelSpec::Traversal(_) => travs += 1,
+                KernelSpec::Fallback(_) => fallbacks += 1,
+            }
+        }
+        let mut rng = seeded_rng(2);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+        let (_, report) = session
+            .run_inference(&module, &graph, &mut params, &Bindings::new())
+            .expect("fits");
+        println!("{label}");
+        println!(
+            "  kernel plan: {gemms} GEMM + {travs} traversal + {fallbacks} weight-prep"
+        );
+        println!(
+            "  simulated:   {:7.1} us  (GEMM {:6.1}, traversal {:6.1}, prep {:5.1})",
+            report.elapsed_us, report.gemm_us, report.traversal_us, report.fallback_us
+        );
+        println!(
+            "  peak memory: {:7.1} MB\n",
+            report.peak_bytes as f64 / (1 << 20) as f64
+        );
+    }
+    println!("Reordering eliminates the destination-side projection GEMM entirely");
+    println!("(the attention dot products collapse onto precomputed W·w vectors),");
+    println!("and compaction shrinks the remaining GEMM to unique pairs.");
+}

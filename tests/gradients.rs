@@ -1,0 +1,122 @@
+//! Gradient correctness: the IR-generated backward pass must agree with
+//! central finite differences of the loss for every model and every
+//! optimization combination (including the chain rule through
+//! reorder-fused derived weights).
+
+use hector::prelude::*;
+use hector_ir::WeightId;
+use hector_runtime::nll_loss_and_grad;
+
+fn tiny_graph() -> GraphData {
+    let spec = DatasetSpec {
+        name: "grad".into(),
+        num_nodes: 14,
+        num_node_types: 2,
+        num_edges: 40,
+        num_edge_types: 3,
+        compaction_ratio: 0.6,
+        type_skew: 1.0,
+        seed: 77,
+    };
+    GraphData::new(hector::generate(&spec))
+}
+
+/// Computes the loss at the current parameters by running forward only.
+fn loss_at(
+    module: &hector::CompiledModule,
+    graph: &GraphData,
+    params: &mut ParamStore,
+    bindings: &Bindings,
+    labels: &[usize],
+) -> f32 {
+    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+    let (vars, _) = session.run_inference(module, graph, params, bindings).unwrap();
+    let logits = vars.tensor(module.forward.outputs[0]);
+    nll_loss_and_grad(logits, labels).loss
+}
+
+/// A do-nothing optimizer: leaves gradients in place for inspection.
+struct NoOp;
+impl Optimizer for NoOp {
+    fn step(&mut self, _p: &mut ParamStore, _prog: &hector_ir::Program) {}
+}
+
+fn check_model(kind: ModelKind, opts: &CompileOptions, dim: usize, seed: u64) {
+    let graph = tiny_graph();
+    let module = hector::compile_model(kind, dim, dim, &opts.clone().with_training(true));
+    let mut rng = seeded_rng(seed);
+    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+    let mut rng2 = seeded_rng(seed + 1);
+    let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
+    let labels: Vec<usize> =
+        (0..graph.graph().num_nodes()).map(|i| i % dim.min(4)).collect();
+
+    // Analytic gradients from one training step (NoOp optimizer keeps
+    // both weights and gradients intact).
+    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+    let mut noop = NoOp;
+    let (_, report) = session
+        .run_training_step(&module, &graph, &mut params, &bindings, &labels, &mut noop)
+        .unwrap();
+    assert!(report.loss.is_some());
+
+    // Finite differences on a sample of weight entries of every
+    // non-derived weight.
+    let eps = 3e-3f32;
+    for wi in 0..module.forward.weights.len() {
+        if module.forward.weights[wi].derived {
+            continue;
+        }
+        let wid = WeightId(wi as u32);
+        let n = params.weight(wid).len();
+        let analytic = params.grad(wid).clone();
+        let stride = (n / 5).max(1);
+        for idx in (0..n).step_by(stride) {
+            let orig = params.weight(wid).data()[idx];
+            params.weight_mut(wid).data_mut()[idx] = orig + eps;
+            let up = loss_at(&module, &graph, &mut params, &bindings, &labels);
+            params.weight_mut(wid).data_mut()[idx] = orig - eps;
+            let down = loss_at(&module, &graph, &mut params, &bindings, &labels);
+            params.weight_mut(wid).data_mut()[idx] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 + 0.15 * fd.abs().max(an.abs()),
+                "{kind:?} {} weight '{}'[{idx}]: fd={fd} analytic={an}",
+                opts.label(),
+                module.forward.weights[wi].name,
+            );
+        }
+    }
+}
+
+#[test]
+fn rgcn_gradients_match_finite_differences() {
+    for opts in [CompileOptions::unopt(), CompileOptions::best()] {
+        check_model(ModelKind::Rgcn, &opts, 6, 11);
+    }
+}
+
+#[test]
+fn rgat_gradients_match_finite_differences() {
+    for opts in [
+        CompileOptions::unopt(),
+        CompileOptions::compact_only(),
+        CompileOptions::reorder_only(),
+        CompileOptions::best(),
+    ] {
+        check_model(ModelKind::Rgat, &opts, 6, 23);
+    }
+}
+
+#[test]
+fn hgt_gradients_match_finite_differences() {
+    for opts in [
+        CompileOptions::unopt(),
+        CompileOptions::compact_only(),
+        CompileOptions::reorder_only(),
+        CompileOptions::best(),
+    ] {
+        check_model(ModelKind::Hgt, &opts, 6, 37);
+    }
+}

@@ -1,0 +1,151 @@
+//! Optimization-equivalence properties: compact materialization and
+//! linear operator reordering are *semantics-preserving* program
+//! rewrites, and their resource effects have known signs.
+
+use hector::prelude::*;
+use hector_ir::KernelSpec;
+use proptest::prelude::*;
+
+fn graph_from(nodes: usize, edges: usize, etypes: usize, ratio: f64, seed: u64) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "prop".into(),
+        num_nodes: nodes,
+        num_node_types: 2,
+        num_edges: edges,
+        num_edge_types: etypes,
+        compaction_ratio: ratio,
+        type_skew: 1.0,
+        seed,
+    }))
+}
+
+fn forward_output(
+    kind: ModelKind,
+    opts: &CompileOptions,
+    graph: &GraphData,
+    dim: usize,
+    seed: u64,
+) -> Tensor {
+    let module = hector::compile_model(kind, dim, dim, opts);
+    let mut rng = seeded_rng(seed);
+    let mut params = ParamStore::init(&module.forward, graph, &mut rng);
+    let mut rng2 = seeded_rng(seed + 1000);
+    let bindings = Bindings::standard(&module.forward, graph, &mut rng2);
+    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+    let (vars, _) = session.run_inference(&module, graph, &mut params, &bindings).unwrap();
+    vars.tensor(module.forward.outputs[0]).clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_option_combos_agree(
+        seed in 0u64..1000,
+        ratio in 0.2f64..1.0,
+        etypes in 1usize..6,
+    ) {
+        let graph = graph_from(30, 120, etypes, ratio, seed);
+        for kind in [ModelKind::Rgat, ModelKind::Hgt] {
+            let base = forward_output(kind, &CompileOptions::unopt(), &graph, 8, seed);
+            for opts in [
+                CompileOptions::compact_only(),
+                CompileOptions::reorder_only(),
+                CompileOptions::best(),
+            ] {
+                let out = forward_output(kind, &opts, &graph, 8, seed);
+                for (a, b) in base.data().iter().zip(out.data().iter()) {
+                    prop_assert!(
+                        (a - b).abs() < 1e-3 + 1e-3 * b.abs(),
+                        "{kind:?} {} diverged: {a} vs {b}",
+                        opts.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn compaction_reduces_modeled_memory_when_ratio_is_low() {
+    let graph = graph_from(2_000, 40_000, 8, 0.2, 5);
+    for kind in [ModelKind::Rgat, ModelKind::Hgt] {
+        let mut peak = std::collections::HashMap::new();
+        for opts in [CompileOptions::unopt(), CompileOptions::compact_only()] {
+            let module = hector::compile_model(kind, 64, 64, &opts);
+            let mut rng = seeded_rng(1);
+            let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+            let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+            let (_, report) = session
+                .run_inference(&module, &graph, &mut params, &Bindings::new())
+                .unwrap();
+            peak.insert(opts.label(), report.peak_bytes);
+        }
+        assert!(
+            peak["C"] < peak["U"],
+            "{kind:?}: compaction must shrink the footprint ({} vs {})",
+            peak["C"],
+            peak["U"]
+        );
+    }
+}
+
+#[test]
+fn compaction_speeds_up_low_ratio_graphs() {
+    let graph = graph_from(2_000, 40_000, 8, 0.15, 9);
+    let mut times = std::collections::HashMap::new();
+    for opts in [CompileOptions::unopt(), CompileOptions::compact_only()] {
+        let module = hector::compile_model(ModelKind::Rgat, 64, 64, &opts);
+        let mut rng = seeded_rng(1);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+        let (_, report) = session
+            .run_inference(&module, &graph, &mut params, &Bindings::new())
+            .unwrap();
+        times.insert(opts.label(), report.elapsed_us);
+    }
+    assert!(
+        times["C"] < times["U"],
+        "compaction at ratio 0.15 must be faster: {} vs {}",
+        times["C"],
+        times["U"]
+    );
+}
+
+#[test]
+fn reordering_removes_a_gemm_from_rgat() {
+    let unopt = hector::compile_model(ModelKind::Rgat, 64, 64, &CompileOptions::unopt());
+    let reord =
+        hector::compile_model(ModelKind::Rgat, 64, 64, &CompileOptions::reorder_only());
+    let gemms = |m: &hector::CompiledModule| {
+        m.fw_kernels.iter().filter(|k| matches!(k, KernelSpec::Gemm(_))).count()
+    };
+    assert!(gemms(&reord) < gemms(&unopt));
+    assert!(!reord.forward.preps.is_empty(), "reorder introduces weight preps");
+}
+
+#[test]
+fn best_options_never_slower_than_unopt_on_typical_graphs() {
+    // The paper's "best fixed strategy" claim: C+R wins on average. On
+    // individual small graphs it can tie, so allow a small margin.
+    let graph = graph_from(5_000, 100_000, 16, 0.4, 3);
+    for kind in [ModelKind::Rgat, ModelKind::Hgt] {
+        let mut t = std::collections::HashMap::new();
+        for opts in [CompileOptions::unopt(), CompileOptions::best()] {
+            let module = hector::compile_model(kind, 64, 64, &opts);
+            let mut rng = seeded_rng(2);
+            let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+            let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+            let (_, report) = session
+                .run_inference(&module, &graph, &mut params, &Bindings::new())
+                .unwrap();
+            t.insert(opts.label(), report.elapsed_us);
+        }
+        assert!(
+            t["C+R"] <= t["U"] * 1.05,
+            "{kind:?}: C+R should not lose: {} vs {}",
+            t["C+R"],
+            t["U"]
+        );
+    }
+}
