@@ -187,13 +187,7 @@ impl CostRun {
 
     /// Standard base allocations: node features in+out, weights, graph
     /// structure (plus gradients when training).
-    pub fn base(
-        &mut self,
-        graph: &GraphData,
-        dim: usize,
-        weight_slabs: usize,
-        training: bool,
-    ) {
+    pub fn base(&mut self, graph: &GraphData, dim: usize, weight_slabs: usize, training: bool) {
         let n = graph.graph().num_nodes();
         self.alloc(graph.structure_bytes(), "graph");
         self.alloc(n * dim * 4 * 2, "features");
@@ -218,8 +212,7 @@ impl CostRun {
             gemm_us: c.category_duration_us(KernelCategory::Gemm),
             traversal_us: c.category_duration_us(KernelCategory::Traversal),
             copy_us: c.category_duration_us(KernelCategory::Copy),
-            other_us: c.category_duration_us(KernelCategory::Fallback)
-                + self.device.host_api_us(),
+            other_us: c.category_duration_us(KernelCategory::Fallback) + self.device.host_api_us(),
         }
     }
 }

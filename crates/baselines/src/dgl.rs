@@ -112,8 +112,12 @@ fn rgat(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
 
 fn hgt(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
     let g = graph.graph();
-    let (n, e, et, nt) =
-        (g.num_nodes(), g.num_edges(), g.num_edge_types(), g.num_node_types());
+    let (n, e, et, nt) = (
+        g.num_nodes(),
+        g.num_edges(),
+        g.num_edge_types(),
+        g.num_node_types(),
+    );
     run.base(graph, d, et * 2 + nt * 3, training);
     // Segment-MM HGTConv: nodewise K/Q/M projections, edgewise attention.
     run.gemm(n, d, d, nt); // K

@@ -41,8 +41,12 @@ impl System for Graphiler {
         assert!(!training, "Graphiler is inference-only");
         let mut run = CostRun::new(config, false);
         let g = graph.graph();
-        let (n, e, et, nt) =
-            (g.num_nodes(), g.num_edges(), g.num_edge_types(), g.num_node_types());
+        let (n, e, et, nt) = (
+            g.num_nodes(),
+            g.num_edges(),
+            g.num_edge_types(),
+            g.num_node_types(),
+        );
         let d = dim;
         match model {
             ModelKind::Rgcn => {
@@ -83,8 +87,8 @@ impl System for Graphiler {
                 run.gemm(n, d, d, nt); // K
                 run.gemm(n, d, d, nt); // Q
                 run.gemm(n, d, d, nt); // M
-                // DFG materialisation: gathered K and Q per edge, the
-                // projected keys, and the weighted messages.
+                                       // DFG materialisation: gathered K and Q per edge, the
+                                       // projected keys, and the weighted messages.
                 run.alloc(e * d * 4 * 2, "gathered_kq");
                 run.alloc(e * d * 4, "kw");
                 run.alloc(e * d * 4, "weighted_msg");

@@ -125,8 +125,14 @@ mod tests {
 
     #[test]
     fn support_matrix_matches_paper() {
-        assert!(!Graphiler.supports(ModelKind::Rgcn, true), "Graphiler is inference-only");
-        assert!(!Hgl.supports(ModelKind::Rgcn, false), "HGL is training-only");
+        assert!(
+            !Graphiler.supports(ModelKind::Rgcn, true),
+            "Graphiler is inference-only"
+        );
+        assert!(
+            !Hgl.supports(ModelKind::Rgcn, false),
+            "HGL is training-only"
+        );
         assert!(!Hgl.supports(ModelKind::Hgt, true), "HGL lacks HGT support");
         assert!(Dgl.supports(ModelKind::Hgt, true));
     }

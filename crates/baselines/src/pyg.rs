@@ -195,8 +195,12 @@ fn loop_rgat(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
 
 fn hgt(run: &mut CostRun, graph: &GraphData, d: usize, training: bool) {
     let g = graph.graph();
-    let (n, e, et, nt) =
-        (g.num_nodes(), g.num_edges(), g.num_edge_types(), g.num_node_types());
+    let (n, e, et, nt) = (
+        g.num_nodes(),
+        g.num_edges(),
+        g.num_edge_types(),
+        g.num_node_types(),
+    );
     run.base(graph, d, et * 2 + nt * 3, training);
     // Grouped per-node-type projections.
     for _ in 0..nt {

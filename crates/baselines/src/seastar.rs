@@ -60,8 +60,12 @@ pub(crate) fn charge(
     effort: f64,
 ) {
     let g = graph.graph();
-    let (n, e, et, nt) =
-        (g.num_nodes(), g.num_edges(), g.num_edge_types(), g.num_node_types());
+    let (n, e, et, nt) = (
+        g.num_nodes(),
+        g.num_edges(),
+        g.num_edge_types(),
+        g.num_node_types(),
+    );
     let ws = weight_stream_bytes(d) * effort;
     let dd = (2 * d * d) as f64;
     let row_bytes = (d * 4) as f64;
@@ -84,12 +88,22 @@ pub(crate) fn charge(
         ModelKind::Rgat => {
             run.base(graph, d, et * 3, training);
             // Attention pass + aggregation pass.
-            run.traversal(e, 2.0 * dd + (4 * d) as f64, 2.0 * ws + 3.0 * row_bytes, 1.0);
+            run.traversal(
+                e,
+                2.0 * dd + (4 * d) as f64,
+                2.0 * ws + 3.0 * row_bytes,
+                1.0,
+            );
             run.traversal(e, (2 * d) as f64, row_bytes * 2.0, d as f64 / 4.0);
             if training {
                 run.backward_phase();
                 run.traversal(e, 3.0 * dd, 2.0 * ws + 4.0 * row_bytes, d as f64);
-                run.traversal(e, 2.0 * dd, 2.0 * ws + 2.0 * row_bytes, (d * d) as f64 / 8.0);
+                run.traversal(
+                    e,
+                    2.0 * dd,
+                    2.0 * ws + 2.0 * row_bytes,
+                    (d * d) as f64 / 8.0,
+                );
             }
         }
         ModelKind::Hgt => {
@@ -101,7 +115,12 @@ pub(crate) fn charge(
             if training {
                 run.backward_phase();
                 run.traversal(e, 3.0 * dd, 2.0 * ws + 4.0 * row_bytes, d as f64);
-                run.traversal(e, 2.0 * dd, 2.0 * ws + 2.0 * row_bytes, (d * d) as f64 / 8.0);
+                run.traversal(
+                    e,
+                    2.0 * dd,
+                    2.0 * ws + 2.0 * row_bytes,
+                    (d * d) as f64 / 8.0,
+                );
                 run.traversal(n, 3.0 * dd, 3.0 * ws + 2.0 * row_bytes, 0.0);
             }
         }

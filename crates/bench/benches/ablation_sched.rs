@@ -8,7 +8,10 @@ use hector_ir::{AdjacencyAccess, GemmSchedule};
 
 fn main() {
     let s = scale();
-    banner("Ablation: intra-operator schedule knobs (RGAT inference, ms)", s);
+    banner(
+        "Ablation: intra-operator schedule knobs (RGAT inference, ms)",
+        s,
+    );
     let cfg = device_config(s);
     for name in ["fb15k", "bgs"] {
         let d = load_dataset(name, s);
@@ -17,7 +20,11 @@ fn main() {
         for tile in [8usize, 16, 32] {
             for coarsen in [1usize, 2, 4] {
                 let mut opts = CompileOptions::best();
-                opts.schedule = GemmSchedule { tile, coarsen, launch_bounds: false };
+                opts.schedule = GemmSchedule {
+                    tile,
+                    coarsen,
+                    launch_bounds: false,
+                };
                 let o = run_hector(ModelKind::Rgat, &d.graph, 64, 64, &opts, false, &cfg);
                 println!(
                     "{:<34} {:>10.3}",

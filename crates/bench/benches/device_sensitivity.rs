@@ -14,7 +14,10 @@ use hector_bench::{banner, load_dataset, run_hector, scale};
 
 fn main() {
     let s = scale();
-    banner("Device sensitivity: Hector configurations across GPU models", s);
+    banner(
+        "Device sensitivity: Hector configurations across GPU models",
+        s,
+    );
     let devices = [
         DeviceConfig::rtx3090(),
         DeviceConfig::a100_80gb(),

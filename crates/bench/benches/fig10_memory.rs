@@ -14,15 +14,34 @@ fn main() {
     cfg.memory_capacity = usize::MAX / 2;
     let mut datasets = load_datasets(s);
     datasets.sort_by(|a, b| {
-        a.graph.graph().num_edges().cmp(&b.graph.graph().num_edges())
+        a.graph
+            .graph()
+            .num_edges()
+            .cmp(&b.graph.graph().num_edges())
     });
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>9}",
         "dataset", "edges", "infer mem", "train mem", "C/U infer", "C/U train", "entity"
     );
     for d in &datasets {
-        let iu = run_hector(ModelKind::Hgt, &d.graph, 64, 64, &CompileOptions::unopt(), false, &cfg);
-        let tu = run_hector(ModelKind::Hgt, &d.graph, 64, 64, &CompileOptions::unopt(), true, &cfg);
+        let iu = run_hector(
+            ModelKind::Hgt,
+            &d.graph,
+            64,
+            64,
+            &CompileOptions::unopt(),
+            false,
+            &cfg,
+        );
+        let tu = run_hector(
+            ModelKind::Hgt,
+            &d.graph,
+            64,
+            64,
+            &CompileOptions::unopt(),
+            true,
+            &cfg,
+        );
         let ic = run_hector(
             ModelKind::Hgt,
             &d.graph,

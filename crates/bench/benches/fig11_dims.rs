@@ -8,7 +8,10 @@ use hector_bench::{banner, device_config, load_datasets, run_hector, scale};
 
 fn main() {
     let s = scale();
-    banner("Figure 11: Hector unoptimized time vs. hidden dimension (ms)", s);
+    banner(
+        "Figure 11: Hector unoptimized time vs. hidden dimension (ms)",
+        s,
+    );
     let cfg = device_config(s);
     let mut datasets = load_datasets(s);
     datasets.sort_by(|a, b| a.name.cmp(&b.name));

@@ -5,8 +5,8 @@
 //! IPC proxy, and DRAM throughput.
 
 use hector::prelude::*;
-use hector_device::{KernelCategory, Phase};
 use hector_bench::{banner, device_config, load_dataset, scale};
+use hector_device::{KernelCategory, Phase};
 
 fn main() {
     let s = scale();
@@ -17,7 +17,18 @@ fn main() {
         println!("\n===== {} =====", name);
         println!(
             "{:<5} {:<4} | {:<10} {:>10} {:>9} {:>6} {:>8} | {:<10} {:>10} {:>9} {:>6} {:>8}",
-            "dim", "cfg", "", "dur(ms)", "GFLOP/s", "IPC", "DRAM%", "", "dur(ms)", "GFLOP/s", "IPC", "DRAM%"
+            "dim",
+            "cfg",
+            "",
+            "dur(ms)",
+            "GFLOP/s",
+            "IPC",
+            "DRAM%",
+            "",
+            "dur(ms)",
+            "GFLOP/s",
+            "IPC",
+            "DRAM%"
         );
         for dim in [32usize, 64, 128] {
             for (label, opts) in [

@@ -8,7 +8,10 @@ use hector_bench::{banner, device_config, load_dataset, run_hector, scale, Outco
 
 fn main() {
     let s = scale();
-    banner("Figure 3: inference-time breakdown, Graphiler vs. Hector (ms)", s);
+    banner(
+        "Figure 3: inference-time breakdown, Graphiler vs. Hector (ms)",
+        s,
+    );
     let cfg = device_config(s);
     println!(
         "{:<18} {:>9} {:>11} {:>12} {:>10} {:>9}",

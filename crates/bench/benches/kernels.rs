@@ -25,41 +25,33 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
 
     for kind in ModelKind::all() {
-        group.bench_with_input(
-            BenchmarkId::new("compile", kind.name()),
-            &kind,
-            |b, &k| {
-                b.iter(|| {
-                    std::hint::black_box(hector::compile_model(
-                        k,
-                        32,
-                        32,
-                        &CompileOptions::best().with_training(true),
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("compile", kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                std::hint::black_box(hector::compile_model(
+                    k,
+                    32,
+                    32,
+                    &CompileOptions::best().with_training(true),
+                ))
+            });
+        });
 
         let module = hector::compile_model(kind, 32, 32, &CompileOptions::best());
         let mut rng = seeded_rng(1);
         let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
         let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("inference", kind.name()),
-            &kind,
-            |b, _| {
-                b.iter(|| {
-                    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-                    std::hint::black_box(
-                        session
-                            .run_inference(&module, &graph, &mut params, &bindings)
-                            .unwrap()
-                            .1
-                            .elapsed_us,
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("inference", kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
+                std::hint::black_box(
+                    session
+                        .run_inference(&module, &graph, &mut params, &bindings)
+                        .unwrap()
+                        .1
+                        .elapsed_us,
+                )
+            });
+        });
 
         let tmodule =
             hector::compile_model(kind, 32, 32, &CompileOptions::best().with_training(true));

@@ -22,8 +22,18 @@ fn main() {
         let module =
             hector::compile_model(kind, 64, 64, &CompileOptions::best().with_training(true));
         let cuda = module.code.cuda_lines();
-        let host = module.code.host.lines().filter(|l| !l.trim().is_empty()).count();
-        let py = module.code.python.lines().filter(|l| !l.trim().is_empty()).count();
+        let host = module
+            .code
+            .host
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        let py = module
+            .code
+            .python
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
         println!(
             "{:<8} {:>10} {:>12} {:>11} {:>11} {:>11}",
             kind.name(),
@@ -36,7 +46,10 @@ fn main() {
         total_in += module.source_lines;
         total_out += cuda + host + py;
     }
-    println!("{:<8} {:>10} {:>12} {:>11} {:>11} {:>11}", "TOTAL", total_in, "", "", "", total_out);
+    println!(
+        "{:<8} {:>10} {:>12} {:>11} {:>11} {:>11}",
+        "TOTAL", total_in, "", "", "", total_out
+    );
     println!();
     println!(
         "Expansion factor (C+R configuration): {:.0}x",
@@ -57,10 +70,8 @@ fn main() {
         }
     }
     println!(
-        "All four option combinations (U/C/R/C+R), training: {} generated lines"
-        , all_combos
+        "All four option combinations (U/C/R/C+R), training: {} generated lines",
+        all_combos
     );
-    println!(
-        "Paper reference: 51 model lines -> 3K CUDA + 5K host C++ + 2K Python."
-    );
+    println!("Paper reference: 51 model lines -> 3K CUDA + 5K host C++ + 2K Python.");
 }

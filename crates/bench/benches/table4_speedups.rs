@@ -49,8 +49,15 @@ fn main() {
                     training,
                     &cfg,
                 );
-                let hb =
-                    run_hector(kind, &d.graph, 64, 64, &CompileOptions::best(), training, &cfg);
+                let hb = run_hector(
+                    kind,
+                    &d.graph,
+                    64,
+                    64,
+                    &CompileOptions::best(),
+                    training,
+                    &cfg,
+                );
                 if hu.time_ms.is_none() {
                     oom_u += 1;
                 }
@@ -90,8 +97,16 @@ fn main() {
     }
     println!();
     println!("Paper reference (Table 4):");
-    println!("  Train  unopt: RGCN 2.02/2.59/3.47 #0 | RGAT 1.72/9.14/43.7 #2 | HGT 1.53/6.62/28.3 #0");
-    println!("  Train  b.opt: RGCN 2.02/2.76/3.48 #0 | RGAT 4.61/11.3/55.4 #0 | HGT 2.17/8.02/43.1 #0");
-    println!("  Infer  unopt: RGCN 1.51/1.79/2.19 #0 | RGAT 1.41/5.02/9.89 #2 | HGT 1.20/1.90/4.31 #0");
-    println!("  Infer  b.opt: RGCN 1.51/1.91/3.20 #0 | RGAT 5.29/8.56/15.5 #0 | HGT 1.40/2.87/7.42 #0");
+    println!(
+        "  Train  unopt: RGCN 2.02/2.59/3.47 #0 | RGAT 1.72/9.14/43.7 #2 | HGT 1.53/6.62/28.3 #0"
+    );
+    println!(
+        "  Train  b.opt: RGCN 2.02/2.76/3.48 #0 | RGAT 4.61/11.3/55.4 #0 | HGT 2.17/8.02/43.1 #0"
+    );
+    println!(
+        "  Infer  unopt: RGCN 1.51/1.79/2.19 #0 | RGAT 1.41/5.02/9.89 #2 | HGT 1.20/1.90/4.31 #0"
+    );
+    println!(
+        "  Infer  b.opt: RGCN 1.51/1.91/3.20 #0 | RGAT 5.29/8.56/15.5 #0 | HGT 1.40/2.87/7.42 #0"
+    );
 }

@@ -7,7 +7,10 @@ use hector_bench::{banner, device_config, geomean, load_datasets, run_hector, sc
 
 fn main() {
     let s = scale();
-    banner("Table 5: Speedup over unoptimized Hector from C / R / C+R", s);
+    banner(
+        "Table 5: Speedup over unoptimized Hector from C / R / C+R",
+        s,
+    );
     let cfg = device_config(s);
     let mut datasets = load_datasets(s);
     datasets.sort_by(|a, b| a.name.cmp(&b.name));
@@ -27,8 +30,15 @@ fn main() {
         for d in &datasets {
             print!("{:<10} |", d.name);
             for (col, training) in [(0usize, true), (3usize, false)] {
-                let u =
-                    run_hector(kind, &d.graph, 64, 64, &CompileOptions::unopt(), training, &cfg);
+                let u = run_hector(
+                    kind,
+                    &d.graph,
+                    64,
+                    64,
+                    &CompileOptions::unopt(),
+                    training,
+                    &cfg,
+                );
                 // When the unoptimized version OOMs, the paper normalises
                 // by the compacted version (Table 5 footnote).
                 let base = u.time_ms.or_else(|| {

@@ -8,9 +8,7 @@
 //!   slabs on the fly, no materialisation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hector_tensor::segment::{
-    bmm_rowwise, gather_typed_mm, replicate_weights, segment_mm,
-};
+use hector_tensor::segment::{bmm_rowwise, gather_typed_mm, replicate_weights, segment_mm};
 use hector_tensor::{seeded_rng, xavier_uniform, Tensor};
 use rand::Rng;
 
@@ -38,27 +36,19 @@ fn bench(c: &mut Criterion) {
         let d = 32;
         let types = 8;
         let (x, w, tys, seg) = setup(rows, d, types);
-        group.bench_with_input(
-            BenchmarkId::new("replicate_bmm", rows),
-            &rows,
-            |b, _| {
-                b.iter(|| {
-                    let rep = replicate_weights(&w, &tys);
-                    std::hint::black_box(bmm_rowwise(&x, &rep))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("replicate_bmm", rows), &rows, |b, _| {
+            b.iter(|| {
+                let rep = replicate_weights(&w, &tys);
+                std::hint::black_box(bmm_rowwise(&x, &rep))
+            });
+        });
         group.bench_with_input(BenchmarkId::new("segment_mm", rows), &rows, |b, _| {
             b.iter(|| std::hint::black_box(segment_mm(&x, &w, &seg)));
         });
         let gather: Vec<u32> = (0..rows as u32).collect();
-        group.bench_with_input(
-            BenchmarkId::new("gather_typed_mm", rows),
-            &rows,
-            |b, _| {
-                b.iter(|| std::hint::black_box(gather_typed_mm(&x, &w, &gather, &tys)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("gather_typed_mm", rows), &rows, |b, _| {
+            b.iter(|| std::hint::black_box(gather_typed_mm(&x, &w, &gather, &tys)));
+        });
     }
     group.finish();
 }

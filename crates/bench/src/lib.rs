@@ -141,7 +141,9 @@ pub fn run_hector(
             .run_training_step(&module, graph, &mut params, &Bindings::new(), &[], &mut sgd)
             .map(|(_, r)| r)
     } else {
-        session.run_inference(&module, graph, &mut params, &Bindings::new()).map(|(_, r)| r)
+        session
+            .run_inference(&module, graph, &mut params, &Bindings::new())
+            .map(|(_, r)| r)
     };
     match result {
         Ok(r) => Outcome {

@@ -18,9 +18,7 @@
 
 use std::collections::HashMap;
 
-use hector_ir::{
-    AggNorm, BinOp, Endpoint, OpKind, Operand, Program, Space, UnOp, VarId,
-};
+use hector_ir::{AggNorm, BinOp, Endpoint, OpKind, Operand, Program, Space, UnOp, VarId};
 
 use crate::dce::eliminate_dead;
 
@@ -63,12 +61,18 @@ impl<'a> BwBuilder<'a> {
             bw.inputs.push(g);
             grad.insert(o, g);
         }
-        BwBuilder { fw, bw, grad, fresh: 0 }
+        BwBuilder {
+            fw,
+            bw,
+            grad,
+            fresh: 0,
+        }
     }
 
     fn fresh_var(&mut self, hint: &str, space: Space, width: usize) -> VarId {
         self.fresh += 1;
-        self.bw.add_var(&format!("{hint}_{}", self.fresh), space, width)
+        self.bw
+            .add_var(&format!("{hint}_{}", self.fresh), space, width)
     }
 
     /// Reads a variable as an operand appropriate for its space.
@@ -221,9 +225,13 @@ impl<'a> BwBuilder<'a> {
                 fused_scale,
                 out,
             } => {
-                assert!(!transpose_w && scatter.is_none() && fused_scale.is_none(),
-                    "backward of backward-only typed-linear forms is not defined");
-                let Some(&dy) = self.grad.get(out) else { return };
+                assert!(
+                    !transpose_w && scatter.is_none() && fused_scale.is_none(),
+                    "backward of backward-only typed-linear forms is not defined"
+                );
+                let Some(&dy) = self.grad.get(out) else {
+                    return;
+                };
                 let dy_read = self.read(dy);
                 // dW
                 self.bw.push_op(OpKind::TypedLinearGradW {
@@ -280,7 +288,9 @@ impl<'a> BwBuilder<'a> {
                 unreachable!("gradW ops do not appear in forward programs")
             }
             OpKind::DotProduct { a, b, out } => {
-                let Some(&ds) = self.grad.get(out) else { return };
+                let Some(&ds) = self.grad.get(out) else {
+                    return;
+                };
                 let ds_read = self.read(ds);
                 if a.var().is_some() {
                     let c = self.binary("da", BinOp::Mul, b.clone(), ds_read.clone());
@@ -304,7 +314,9 @@ impl<'a> BwBuilder<'a> {
                 }
             }
             OpKind::Binary { op, a, b, out } => {
-                let Some(&dz) = self.grad.get(out) else { return };
+                let Some(&dz) = self.grad.get(out) else {
+                    return;
+                };
                 let dz_read = self.read(dz);
                 let wo = self.fw.var(*out).width;
                 let sides = [(a, b), (b, a)];
@@ -328,12 +340,7 @@ impl<'a> BwBuilder<'a> {
                         }
                         BinOp::Mul => {
                             if wx == wo {
-                                self.binary(
-                                    "dmul",
-                                    BinOp::Mul,
-                                    (*other).clone(),
-                                    dz_read.clone(),
-                                )
+                                self.binary("dmul", BinOp::Mul, (*other).clone(), dz_read.clone())
                             } else {
                                 // x is the broadcast scalar: reduce over
                                 // the row with a dot product.
@@ -343,33 +350,19 @@ impl<'a> BwBuilder<'a> {
                         BinOp::Div => {
                             if i == 0 {
                                 // d(a/b)/da = dz / b
-                                self.binary(
-                                    "ddiv",
-                                    BinOp::Div,
-                                    dz_read.clone(),
-                                    (*other).clone(),
-                                )
+                                self.binary("ddiv", BinOp::Div, dz_read.clone(), (*other).clone())
                             } else {
                                 // d(a/b)/db = -dz·out/b (dividing by b —
                                 // the operand itself), reduced when b is a
                                 // broadcast scalar.
                                 let out_read = self.read(*out);
                                 let t = if wx == wo {
-                                    self.binary(
-                                        "ddivt",
-                                        BinOp::Mul,
-                                        dz_read.clone(),
-                                        out_read,
-                                    )
+                                    self.binary("ddivt", BinOp::Mul, dz_read.clone(), out_read)
                                 } else {
                                     self.dot("ddivt", dz_read.clone(), out_read)
                                 };
-                                let t2 = self.binary(
-                                    "ddivq",
-                                    BinOp::Div,
-                                    self.read_of(t),
-                                    (*x).clone(),
-                                );
+                                let t2 =
+                                    self.binary("ddivq", BinOp::Div, self.read_of(t), (*x).clone());
                                 self.unary("dneg", UnOp::Neg, self.read_of(t2))
                             }
                         }
@@ -378,7 +371,9 @@ impl<'a> BwBuilder<'a> {
                 }
             }
             OpKind::Unary { op, a, out } => {
-                let Some(&dz) = self.grad.get(out) else { return };
+                let Some(&dz) = self.grad.get(out) else {
+                    return;
+                };
                 let dz_read = self.read(dz);
                 let contrib = match op {
                     UnOp::LeakyRelu => {
@@ -402,13 +397,29 @@ impl<'a> BwBuilder<'a> {
                 };
                 self.route_to(a, contrib);
             }
-            OpKind::NodeAggregate { edge_val, scale, norm, endpoint, out } => {
+            OpKind::NodeAggregate {
+                edge_val,
+                scale,
+                norm,
+                endpoint,
+                out,
+            } => {
+                if *norm == AggNorm::Max {
+                    // The stabilising max of edge_softmax is a detached
+                    // constant: softmax is invariant under a per-group
+                    // shift, so no gradient flows through it. Any gradient
+                    // routed into `out` (via the shift's Sub) is dropped
+                    // here and the ops feeding it die in DCE.
+                    return;
+                }
                 assert_eq!(
                     *norm,
                     AggNorm::None,
                     "models express normalisation as an explicit edge input"
                 );
-                let Some(&dz) = self.grad.get(out) else { return };
+                let Some(&dz) = self.grad.get(out) else {
+                    return;
+                };
                 // d edge_val: broadcast dz back over the grouping, times
                 // the scale when present.
                 if edge_val.var().is_some() {
@@ -422,11 +433,7 @@ impl<'a> BwBuilder<'a> {
                 // d scale: per-edge dot of the aggregated value with dz.
                 if let Some(s) = scale {
                     if s.var().is_some() {
-                        let c = self.dot(
-                            "dscale",
-                            edge_val.clone(),
-                            Operand::Node(dz, *endpoint),
-                        );
+                        let c = self.dot("dscale", edge_val.clone(), Operand::Node(dz, *endpoint));
                         self.route_to(s, c);
                     }
                 }
@@ -518,9 +525,20 @@ mod tests {
         let scatters = bw
             .ops
             .iter()
-            .filter(|o| matches!(o.kind, OpKind::TypedLinear { scatter: Some(_), .. }))
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::TypedLinear {
+                        scatter: Some(_),
+                        ..
+                    }
+                )
+            })
             .count();
-        assert_eq!(scatters, 0, "dh of input features must be dead-code-eliminated");
+        assert_eq!(
+            scatters, 0,
+            "dh of input features must be dead-code-eliminated"
+        );
     }
 
     #[test]
@@ -580,7 +598,10 @@ mod tests {
             .iter()
             .filter_map(|o| o.kind.out_var())
             .any(|v| bw.var(v).space == Space::Compact);
-        assert!(has_compact_grad, "dmsg should be compact when msg is compact");
+        assert!(
+            has_compact_grad,
+            "dmsg should be compact when msg is compact"
+        );
     }
 
     #[test]

@@ -41,9 +41,7 @@ pub fn compact_materialization(p: &mut Program) -> Vec<hector_ir::VarId> {
             OpKind::TypedLinear { scatter: None, .. }
             | OpKind::DotProduct { .. }
             | OpKind::Binary { .. }
-            | OpKind::Unary { .. } => {
-                kind.operands().iter().all(|o| operand_compactible(p, o))
-            }
+            | OpKind::Unary { .. } => kind.operands().iter().all(|o| operand_compactible(p, o)),
             _ => false,
         };
         if eligible {
@@ -83,13 +81,15 @@ mod tests {
         let mut p = rgat_like();
         let moved = compact_materialization(&mut p);
         p.validate();
-        let names: Vec<&str> =
-            moved.iter().map(|&v| p.var(v).name.as_str()).collect();
+        let names: Vec<&str> = moved.iter().map(|&v| p.var(v).name.as_str()).collect();
         assert!(names.contains(&"hs"), "hs depends only on (src, etype)");
         assert!(names.contains(&"atts"), "atts inherits hs's compactness");
         assert!(!names.contains(&"ht"), "ht reads the destination");
         assert!(!names.contains(&"attt"));
-        assert!(!names.contains(&"raw"), "raw mixes compact and edge operands");
+        assert!(
+            !names.contains(&"raw"),
+            "raw mixes compact and edge operands"
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@ use std::collections::HashSet;
 
 use hector_ir::intraop::FallbackSpec;
 use hector_ir::{
-    AdjacencyAccess, Endpoint, Gather, GemmSchedule, GemmSpec, KernelSpec, Op, OpKind,
-    Operand, Program, RowDomain, Scatter, Space, TraversalDomain, TraversalSpec, VarId,
+    AdjacencyAccess, Endpoint, Gather, GemmSchedule, GemmSpec, KernelSpec, Op, OpKind, Operand,
+    Program, RowDomain, Scatter, Space, TraversalDomain, TraversalSpec, VarId,
 };
 
 /// Options controlling lowering.
@@ -37,7 +37,10 @@ pub struct LowerOptions {
 
 impl Default for LowerOptions {
     fn default() -> Self {
-        LowerOptions { adjacency: AdjacencyAccess::Coo, schedule: GemmSchedule::default() }
+        LowerOptions {
+            adjacency: AdjacencyAccess::Coo,
+            schedule: GemmSchedule::default(),
+        }
     }
 }
 
@@ -52,9 +55,13 @@ enum IterSpace {
 /// Iteration space of a traversal-eligible op.
 fn op_iter_space(p: &Program, kind: &OpKind) -> IterSpace {
     let space = match kind {
-        OpKind::NodeAggregate { edge_val, out, endpoint, .. } => {
-            let in_space =
-                edge_val.var().map_or(Space::Edge, |v| p.var(v).space);
+        OpKind::NodeAggregate {
+            edge_val,
+            out,
+            endpoint,
+            ..
+        } => {
+            let in_space = edge_val.var().map_or(Space::Edge, |v| p.var(v).space);
             // Aggregations iterate edges — every edge contributes its own
             // term even when the value is compact-materialised — except
             // the backward grouping of compact rows into their source
@@ -170,9 +177,7 @@ impl<'a> Lowerer<'a> {
         // Space compatibility: same space, or a nodewise finisher joining
         // an edge group that aggregates per destination node.
         let space_ok = sp == gspace
-            || (sp == IterSpace::NodeRows
-                && gspace == IterSpace::EdgeRows
-                && g.dst_grouped());
+            || (sp == IterSpace::NodeRows && gspace == IterSpace::EdgeRows && g.dst_grouped());
         if !space_ok {
             return false;
         }
@@ -186,10 +191,7 @@ impl<'a> Lowerer<'a> {
                 // Node-space values become visible per destination node
                 // inside a dst-node loop; only Dst/This reads resolve.
                 let ok = g.dst_grouped()
-                    && matches!(
-                        operand,
-                        Operand::Node(_, Endpoint::Dst | Endpoint::This)
-                    );
+                    && matches!(operand, Operand::Node(_, Endpoint::Dst | Endpoint::This));
                 if !ok && gspace != IterSpace::NodeRows {
                     return false;
                 }
@@ -305,7 +307,14 @@ impl<'a> Lowerer<'a> {
     fn gemm_spec(&mut self, op: &Op) -> GemmSpec {
         let p = self.p;
         let (rows, gather, scatter, weight, transpose_w, fused_scale) = match &op.kind {
-            OpKind::TypedLinear { input, weight, transpose_w, scatter, fused_scale, out } => {
+            OpKind::TypedLinear {
+                input,
+                weight,
+                transpose_w,
+                scatter,
+                fused_scale,
+                out,
+            } => {
                 let rows = if scatter.is_some() {
                     operand_rows(p, input)
                 } else {
@@ -316,7 +325,14 @@ impl<'a> Lowerer<'a> {
                     Some(ep) => Scatter::AtomicNode(*ep),
                     None => Scatter::None,
                 };
-                (rows, gather, sc, *weight, *transpose_w, fused_scale.is_some())
+                (
+                    rows,
+                    gather,
+                    sc,
+                    *weight,
+                    *transpose_w,
+                    fused_scale.is_some(),
+                )
             }
             OpKind::TypedLinearGradW { x, dy, out_w } => {
                 let rows = operand_rows(p, dy);
@@ -326,7 +342,11 @@ impl<'a> Lowerer<'a> {
             other => unreachable!("not GEMM-eligible: {other:?}"),
         };
         let w = p.weight(weight);
-        let (k, n) = if transpose_w { (w.cols, w.rows) } else { (w.rows, w.cols) };
+        let (k, n) = if transpose_w {
+            (w.cols, w.rows)
+        } else {
+            (w.rows, w.cols)
+        };
         let kid = self.next_kid();
         GemmSpec {
             kid,
@@ -382,9 +402,10 @@ fn operand_gather(p: &Program, o: &Operand, rows: RowDomain) -> Gather {
 /// register-local (never materialised).
 fn mark_local_vars(p: &Program, kernels: &mut [KernelSpec]) {
     for i in 0..kernels.len() {
-        let KernelSpec::Traversal(spec) = &kernels[i] else { continue };
-        let in_kernel: HashSet<VarId> =
-            spec.ops.iter().filter_map(|o| o.kind.out_var()).collect();
+        let KernelSpec::Traversal(spec) = &kernels[i] else {
+            continue;
+        };
+        let in_kernel: HashSet<VarId> = spec.ops.iter().filter_map(|o| o.kind.out_var()).collect();
         let mut locals: Vec<VarId> = Vec::new();
         'var: for &v in &in_kernel {
             if p.outputs.contains(&v) {
@@ -405,7 +426,9 @@ fn mark_local_vars(p: &Program, kernels: &mut [KernelSpec]) {
             locals.push(v);
         }
         locals.sort_unstable();
-        let KernelSpec::Traversal(spec) = &mut kernels[i] else { unreachable!() };
+        let KernelSpec::Traversal(spec) = &mut kernels[i] else {
+            unreachable!()
+        };
         spec.local_vars = locals;
     }
 }
@@ -453,11 +476,15 @@ mod tests {
     }
 
     fn gemm_count(ks: &[KernelSpec]) -> usize {
-        ks.iter().filter(|k| matches!(k, KernelSpec::Gemm(_))).count()
+        ks.iter()
+            .filter(|k| matches!(k, KernelSpec::Gemm(_)))
+            .count()
     }
 
     fn traversal_count(ks: &[KernelSpec]) -> usize {
-        ks.iter().filter(|k| matches!(k, KernelSpec::Traversal(_))).count()
+        ks.iter()
+            .filter(|k| matches!(k, KernelSpec::Traversal(_)))
+            .count()
     }
 
     #[test]
@@ -471,7 +498,11 @@ mod tests {
     fn rgcn_nodewise_finishers_fuse_into_the_aggregation_kernel() {
         let kernels = lower_program(&rgcn_program(), &LowerOptions::default());
         assert_eq!(gemm_count(&kernels), 2, "msg and the self-loop");
-        assert_eq!(traversal_count(&kernels), 1, "agg + sum + relu in one kernel");
+        assert_eq!(
+            traversal_count(&kernels),
+            1,
+            "agg + sum + relu in one kernel"
+        );
         let spec = kernels
             .iter()
             .find_map(|k| match k {
@@ -480,7 +511,11 @@ mod tests {
             })
             .unwrap();
         assert_eq!(spec.domain, TraversalDomain::DstNodes);
-        assert_eq!(spec.hoisted.len(), 2, "sum and relu are node-level statements");
+        assert_eq!(
+            spec.hoisted.len(),
+            2,
+            "sum and relu are node-level statements"
+        );
     }
 
     #[test]
@@ -509,8 +544,11 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let local_names: Vec<&str> =
-            spec.local_vars.iter().map(|&v| p.var(v).name.as_str()).collect();
+        let local_names: Vec<&str> = spec
+            .local_vars
+            .iter()
+            .map(|&v| p.var(v).name.as_str())
+            .collect();
         assert!(local_names.contains(&"raw"));
         assert!(local_names.contains(&"act"));
         assert!(local_names.contains(&"atts"));
@@ -543,9 +581,9 @@ mod tests {
             .expect("hs should gather through unique_row_idx");
         assert_eq!(hs_gemm.rows, RowDomain::UniquePairs);
         // atts is compact → iterates unique pairs in its own kernel.
-        let upairs = kernels.iter().any(|k| {
-            matches!(k, KernelSpec::Traversal(t) if t.domain == TraversalDomain::UniquePairs)
-        });
+        let upairs = kernels.iter().any(
+            |k| matches!(k, KernelSpec::Traversal(t) if t.domain == TraversalDomain::UniquePairs),
+        );
         assert!(upairs, "compact dot product runs over unique pairs");
     }
 
@@ -561,8 +599,10 @@ mod tests {
         let fw = m.finish().program;
         let bw = crate::backward::generate_backward(&fw);
         let kernels = lower_program(&bw, &LowerOptions::default());
-        let first_trav =
-            kernels.iter().position(|k| matches!(k, KernelSpec::Traversal(_))).unwrap();
+        let first_trav = kernels
+            .iter()
+            .position(|k| matches!(k, KernelSpec::Traversal(_)))
+            .unwrap();
         let gradw_pos = kernels
             .iter()
             .position(|k| {
@@ -570,7 +610,10 @@ mod tests {
                     if matches!(g.op.kind, OpKind::TypedLinearGradW { .. }))
             })
             .unwrap();
-        assert!(first_trav < gradw_pos, "gradW consumes the traversal's dmsg");
+        assert!(
+            first_trav < gradw_pos,
+            "gradW consumes the traversal's dmsg"
+        );
     }
 
     #[test]
@@ -599,7 +642,9 @@ mod tests {
         let p = m.finish().program;
         let kernels = lower_program(&p, &LowerOptions::default());
         assert_eq!(kernels.len(), 1);
-        let KernelSpec::Gemm(g) = &kernels[0] else { panic!() };
+        let KernelSpec::Gemm(g) = &kernels[0] else {
+            panic!()
+        };
         assert_eq!(g.rows, RowDomain::Nodes);
         assert_eq!(g.gather, Gather::None);
         assert_eq!(g.scatter, Scatter::None);
@@ -616,7 +661,9 @@ mod tests {
         let p = m.finish().program;
         let kernels = lower_program(&p, &LowerOptions::default());
         assert_eq!(kernels.len(), 1);
-        let KernelSpec::Traversal(t) = &kernels[0] else { panic!() };
+        let KernelSpec::Traversal(t) = &kernels[0] else {
+            panic!()
+        };
         assert_eq!(t.domain, TraversalDomain::Nodes);
         assert!(!t.atomic);
     }

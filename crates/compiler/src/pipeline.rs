@@ -49,19 +49,29 @@ impl CompileOptions {
     /// Compact materialization only ("C").
     #[must_use]
     pub fn compact_only() -> Self {
-        CompileOptions { compact: true, ..CompileOptions::default() }
+        CompileOptions {
+            compact: true,
+            ..CompileOptions::default()
+        }
     }
 
     /// Linear operator reordering only ("R").
     #[must_use]
     pub fn reorder_only() -> Self {
-        CompileOptions { reorder: true, ..CompileOptions::default() }
+        CompileOptions {
+            reorder: true,
+            ..CompileOptions::default()
+        }
     }
 
     /// Both optimizations ("C+R") — the paper's best fixed strategy.
     #[must_use]
     pub fn best() -> Self {
-        CompileOptions { compact: true, reorder: true, ..CompileOptions::default() }
+        CompileOptions {
+            compact: true,
+            reorder: true,
+            ..CompileOptions::default()
+        }
     }
 
     /// Returns a copy with training enabled.
@@ -134,8 +144,10 @@ pub fn compile(src: &ModelSource, options: &CompileOptions) -> CompiledModule {
     }
     fw.validate();
 
-    let lower_opts =
-        LowerOptions { adjacency: options.adjacency, schedule: options.schedule };
+    let lower_opts = LowerOptions {
+        adjacency: options.adjacency,
+        schedule: options.schedule,
+    };
     let mut fw_kernels = lower_program(&fw, &lower_opts);
 
     let (backward, bw_kernels) = if options.training {
@@ -242,7 +254,10 @@ mod tests {
         let unopt = compile(&src, &CompileOptions::unopt());
         let reord = compile(&src, &CompileOptions::reorder_only());
         let count_gemms = |m: &CompiledModule| {
-            m.fw_kernels.iter().filter(|k| matches!(k, KernelSpec::Gemm(_))).count()
+            m.fw_kernels
+                .iter()
+                .filter(|k| matches!(k, KernelSpec::Gemm(_)))
+                .count()
         };
         assert_eq!(count_gemms(&unopt), 2);
         assert_eq!(count_gemms(&reord), 1, "ht's GEMM is reordered away");

@@ -64,9 +64,15 @@ pub fn linear_operator_reordering(p: &mut Program) -> ReorderReport {
 
     // Pattern 1: dot(typed_linear(x, W), w_vec)  →  dot(x, W·w_vec).
     for i in 0..p.ops.len() {
-        let OpKind::DotProduct { a, b, out } = p.ops[i].kind.clone() else { continue };
-        let (Operand::Edge(av), Operand::WeightVec(vw)) = (&a, &b) else { continue };
-        let Some((x, w)) = plain_linear_def(p, *av) else { continue };
+        let OpKind::DotProduct { a, b, out } = p.ops[i].kind.clone() else {
+            continue;
+        };
+        let (Operand::Edge(av), Operand::WeightVec(vw)) = (&a, &b) else {
+            continue;
+        };
+        let Some((x, w)) = plain_linear_def(p, *av) else {
+            continue;
+        };
         // The rewrite must produce a weight-weight product: both the
         // matrix and the vector must share the edge-type index.
         let (wi, vi) = (p.weight(w).clone(), p.weight(*vw).clone());
@@ -83,9 +89,16 @@ pub fn linear_operator_reordering(p: &mut Program) -> ReorderReport {
                 derived: true,
             },
         );
-        p.preps.push(WeightPrep::MatVec { w, v: *vw, out: fused });
-        p.ops[i].kind =
-            OpKind::DotProduct { a: x, b: Operand::WeightVec(fused), out };
+        p.preps.push(WeightPrep::MatVec {
+            w,
+            v: *vw,
+            out: fused,
+        });
+        p.ops[i].kind = OpKind::DotProduct {
+            a: x,
+            b: Operand::WeightVec(fused),
+            out,
+        };
         report.dot_rewrites += 1;
     }
 
@@ -103,8 +116,12 @@ pub fn linear_operator_reordering(p: &mut Program) -> ReorderReport {
         else {
             continue;
         };
-        let Some((inner_input, wa)) = plain_linear_def(p, nv) else { continue };
-        let Operand::Node(h, Endpoint::This) = inner_input else { continue };
+        let Some((inner_input, wa)) = plain_linear_def(p, nv) else {
+            continue;
+        };
+        let Operand::Node(h, Endpoint::This) = inner_input else {
+            continue;
+        };
         let (ai, bi) = (p.weight(wa).clone(), p.weight(wb).clone());
         if ai.per != TypeIndex::NodeType || bi.per != TypeIndex::EdgeType {
             continue;
@@ -119,7 +136,11 @@ pub fn linear_operator_reordering(p: &mut Program) -> ReorderReport {
                 derived: true,
             },
         );
-        p.preps.push(WeightPrep::MatMulPairs { a: wa, b: wb, out: fused });
+        p.preps.push(WeightPrep::MatMulPairs {
+            a: wa,
+            b: wb,
+            out: fused,
+        });
         p.ops[i].kind = OpKind::TypedLinear {
             input: Operand::Node(h, ep),
             weight: fused,

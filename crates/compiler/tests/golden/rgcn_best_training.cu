@@ -1,0 +1,619 @@
+// ===== kernel: gemm_0 =====
+// gemm_0: GEMM template instance computing 'msg'.
+// rows=UniquePairs gather=UniqueSrcNode scatter=None weight_index=EdgeType transpose_w=false k=16 n=16
+// schedule: tile_sz=16 coarsen=1 launch_bounds=false
+__device__ __forceinline__ int2 GetRange_0(int rows, int cols) {
+  // Tile coordinates of the output matrix for this block.
+  int2 r;
+  r.x = blockIdx.x * 16 + threadIdx.y;
+  r.y = blockIdx.y * 16 + threadIdx.x;
+  return r;
+}
+__device__ __forceinline__ int GatherRow_0(int row, const int* __restrict__ row_idx,
+                                          const int* __restrict__ unique_row_idx,
+                                          const int* __restrict__ edge_to_unique) {
+  return unique_row_idx[row]; // GATHER(unique_row_idx): compact pair source
+}
+__device__ __forceinline__ int WeightSlab_0(int row, const int* __restrict__ etype_ptr,
+                                           const int* __restrict__ node_type,
+                                           const int* __restrict__ row_idx,
+                                           int num_types, int num_etypes) {
+  // Binary search over etype_ptr: segment id of this row.
+  int lo = 0, hi = num_types;
+  while (lo + 1 < hi) {
+    int mid = (lo + hi) >> 1;
+    if (etype_ptr[mid] <= row) lo = mid; else hi = mid;
+  }
+  return lo;
+}
+__global__ void gemm_0(const float* __restrict__ X, const float* __restrict__ W,
+                  float* __restrict__ Y, const int* __restrict__ row_idx,
+                  const int* __restrict__ unique_row_idx,
+                  const int* __restrict__ edge_to_unique,
+                  const int* __restrict__ etype_ptr, const int* __restrict__ node_type,
+                  const float* __restrict__ row_scale,
+                  int num_unique_pairs, int k, int n, int num_types, int num_etypes) {
+  __shared__ float X_shmem[16][16 + 1]; // +1: bank-conflict padding
+  __shared__ float W_shmem[16][16 + 1];
+  int2 idx = GetRange_0(num_unique_pairs, n);
+  int idxTileRow = idx.x;
+  int idxTileCol = idx.y;
+  bool row_in_range = idxTileRow < num_unique_pairs;
+  bool col_in_range = idxTileCol < n;
+  float acc[1];
+  #pragma unroll
+  for (int c = 0; c < 1; ++c) acc[c] = 0.0f;
+  int src_row = row_in_range
+      ? GatherRow_0(idxTileRow, row_idx, unique_row_idx, edge_to_unique)
+      : 0;
+  int slab = row_in_range
+      ? WeightSlab_0(idxTileRow, etype_ptr, node_type, row_idx, num_types, num_etypes)
+      : 0;
+  const float* W_slab = W + (size_t)slab * k * n;
+  for (int t = 0; t < (k + 16 - 1) / 16; ++t) {
+    // LoadXToShmemIfInRange<0>: X row located via UniqueSrcNode.
+    X_shmem[threadIdx.y][threadIdx.x] =
+        (row_in_range && t * 16 + threadIdx.x < k)
+            ? X[(size_t)src_row * k + t * 16 + threadIdx.x]
+            : 0.0f;
+    // LoadWToShmemOrRegistersIfInRange<0>: NO_TRANSPOSE.
+    W_shmem[threadIdx.y][threadIdx.x] =
+        (col_in_range && t * 16 + threadIdx.y < k)
+            ? W_slab[(size_t)(t * 16 + threadIdx.y) * n + idxTileCol]
+            : 0.0f;
+    __syncthreads();
+    #pragma unroll
+    for (int c = 0; c < 1; ++c) {
+      #pragma unroll
+      for (int q = 0; q < 16; ++q) {
+        acc[c] += X_shmem[threadIdx.y][q] * W_shmem[q][threadIdx.x + c];
+      }
+    }
+    __syncthreads();
+  }
+  // StoreYIfInRange<0>: SCATTER(entry_idx_per_etype + unique_etype_ptr[etype_idx]).
+  if (row_in_range && col_in_range) {
+    Y[(size_t)idxTileRow * n + idxTileCol] = acc[0];
+  }
+}
+// ===== kernel: gemm_1 =====
+// gemm_1: GEMM template instance computing 'selfl'.
+// rows=Nodes gather=None scatter=None weight_index=Shared transpose_w=false k=16 n=16
+// schedule: tile_sz=16 coarsen=1 launch_bounds=false
+__device__ __forceinline__ int2 GetRange_1(int rows, int cols) {
+  // Tile coordinates of the output matrix for this block.
+  int2 r;
+  r.x = blockIdx.x * 16 + threadIdx.y;
+  r.y = blockIdx.y * 16 + threadIdx.x;
+  return r;
+}
+__device__ __forceinline__ int GatherRow_1(int row, const int* __restrict__ row_idx,
+                                          const int* __restrict__ unique_row_idx,
+                                          const int* __restrict__ edge_to_unique) {
+  return row; // contiguous rows, no indirection
+}
+__device__ __forceinline__ int WeightSlab_1(int row, const int* __restrict__ etype_ptr,
+                                           const int* __restrict__ node_type,
+                                           const int* __restrict__ row_idx,
+                                           int num_types, int num_etypes) {
+  return 0; // single shared weight
+}
+__global__ void gemm_1(const float* __restrict__ X, const float* __restrict__ W,
+                  float* __restrict__ Y, const int* __restrict__ row_idx,
+                  const int* __restrict__ unique_row_idx,
+                  const int* __restrict__ edge_to_unique,
+                  const int* __restrict__ etype_ptr, const int* __restrict__ node_type,
+                  const float* __restrict__ row_scale,
+                  int num_nodes, int k, int n, int num_types, int num_etypes) {
+  __shared__ float X_shmem[16][16 + 1]; // +1: bank-conflict padding
+  __shared__ float W_shmem[16][16 + 1];
+  int2 idx = GetRange_1(num_nodes, n);
+  int idxTileRow = idx.x;
+  int idxTileCol = idx.y;
+  bool row_in_range = idxTileRow < num_nodes;
+  bool col_in_range = idxTileCol < n;
+  float acc[1];
+  #pragma unroll
+  for (int c = 0; c < 1; ++c) acc[c] = 0.0f;
+  int src_row = row_in_range
+      ? GatherRow_1(idxTileRow, row_idx, unique_row_idx, edge_to_unique)
+      : 0;
+  int slab = row_in_range
+      ? WeightSlab_1(idxTileRow, etype_ptr, node_type, row_idx, num_types, num_etypes)
+      : 0;
+  const float* W_slab = W + (size_t)slab * k * n;
+  for (int t = 0; t < (k + 16 - 1) / 16; ++t) {
+    // LoadXToShmemIfInRange<1>: X row located via None.
+    X_shmem[threadIdx.y][threadIdx.x] =
+        (row_in_range && t * 16 + threadIdx.x < k)
+            ? X[(size_t)src_row * k + t * 16 + threadIdx.x]
+            : 0.0f;
+    // LoadWToShmemOrRegistersIfInRange<1>: NO_TRANSPOSE.
+    W_shmem[threadIdx.y][threadIdx.x] =
+        (col_in_range && t * 16 + threadIdx.y < k)
+            ? W_slab[(size_t)(t * 16 + threadIdx.y) * n + idxTileCol]
+            : 0.0f;
+    __syncthreads();
+    #pragma unroll
+    for (int c = 0; c < 1; ++c) {
+      #pragma unroll
+      for (int q = 0; q < 16; ++q) {
+        acc[c] += X_shmem[threadIdx.y][q] * W_shmem[q][threadIdx.x + c];
+      }
+    }
+    __syncthreads();
+  }
+  // StoreYIfInRange<1>: SCATTER(entry_idx_per_etype + etype_ptr[etype_idx]).
+  if (row_in_range && col_in_range) {
+    Y[(size_t)idxTileRow * n + idxTileCol] = acc[0];
+  }
+}
+// ===== kernel: traversal_2 =====
+// traversal_2: traversal template instance (DstNodes domain, Coo adjacency).
+// partial_agg=true atomic=false fused_ops=3 local_vars=1
+__device__ __forceinline__ int GetEType_2(HectorGraphView g, int e) {
+  return g.etype[e]; // COO subscript
+}
+__device__ __forceinline__ int GetSrcId_2(HectorGraphView g, int e) {
+  return g.src[e]; // COO subscript
+}
+__device__ __forceinline__ int GetDstId_2(HectorGraphView g, int e) {
+  return g.dst[e]; // COO subscript
+}
+__device__ __forceinline__ float WarpReduce_2(float v) {
+  // Partial-result aggregation within the warp before any
+  // global-memory update (sec 3.4.1).
+  #pragma unroll
+  for (int offset = 16; offset > 0; offset >>= 1)
+    v += __shfl_down_sync(0xffffffff, v, offset);
+  return v;
+}
+__global__ void traversal_2(HectorGraphView g, HectorTensorViews data) {
+  // GetRange<kid>(): one destination node per block (incoming-edge loop inside).
+  for (int idxNode = blockIdx.x; idxNode < g.num_nodes; idxNode += gridDim.x) {
+    for (int e = g.csc_ptr[idxNode] + threadIdx.y; e < g.csc_ptr[idxNode + 1];
+         e += blockDim.y) {
+      int idxEdge = g.csc_edge_idx[e];
+      int eType = GetEType_2(g, idxEdge);
+      int srcIdx = GetSrcId_2(g, idxEdge);
+      int dstIdx = GetDstId_2(g, idxEdge);
+      (void)eType; (void)srcIdx; (void)dstIdx;
+      agg_acc += msg[edge_to_unique[idxEdge]] * cnorm[idxEdge]; // warp partial-result aggregation
+      sum = agg[idxNode] + selfl[idxNode]; // HOISTED to node level
+      h_out = relu(sum[idxNode]); // HOISTED to node level
+    }
+    // Partial results accumulated per thread then per warp before the
+    // single global store (reduces global traffic, sec 3.4.1).
+    warp_reduce_and_store();
+  }
+}
+// ===== kernel: traversal_0 =====
+// traversal_0: traversal template instance (Nodes domain, Coo adjacency).
+// partial_agg=true atomic=false fused_ops=2 local_vars=1
+__device__ __forceinline__ int GetEType_0(HectorGraphView g, int e) {
+  return g.etype[e]; // COO subscript
+}
+__device__ __forceinline__ int GetSrcId_0(HectorGraphView g, int e) {
+  return g.src[e]; // COO subscript
+}
+__device__ __forceinline__ int GetDstId_0(HectorGraphView g, int e) {
+  return g.dst[e]; // COO subscript
+}
+__device__ __forceinline__ float WarpReduce_0(float v) {
+  // Partial-result aggregation within the warp before any
+  // global-memory update (sec 3.4.1).
+  #pragma unroll
+  for (int offset = 16; offset > 0; offset >>= 1)
+    v += __shfl_down_sync(0xffffffff, v, offset);
+  return v;
+}
+__global__ void traversal_0(HectorGraphView g, HectorTensorViews data) {
+  // GetRange<kid>(): nodewise elementwise kernel (no edge traversal).
+  for (int idxNode = blockIdx.x * blockDim.x + threadIdx.x;
+       idxNode < g.num_nodes; idxNode += gridDim.x * blockDim.x) {
+      int eType = GetEType_0(g, idxEdge);
+      int srcIdx = GetSrcId_0(g, idxEdge);
+      int dstIdx = GetDstId_0(g, idxEdge);
+      (void)eType; (void)srcIdx; (void)dstIdx;
+      drelu_1 = relu_grad(sum[idxNode]);
+      dmul_2 = drelu_1[idxNode] * d_h_out[idxNode];
+  }
+}
+// ===== kernel: gemm_1 =====
+// gemm_1: GEMM template instance computing 'dW0'.
+// rows=Nodes gather=None scatter=None weight_index=Shared transpose_w=false k=16 n=16
+// schedule: tile_sz=16 coarsen=1 launch_bounds=false
+__device__ __forceinline__ int2 GetRange_1(int rows, int cols) {
+  // Tile coordinates of the output matrix for this block.
+  int2 r;
+  r.x = blockIdx.x * 16 + threadIdx.y;
+  r.y = blockIdx.y * 16 + threadIdx.x;
+  return r;
+}
+__device__ __forceinline__ int GatherRow_1(int row, const int* __restrict__ row_idx,
+                                          const int* __restrict__ unique_row_idx,
+                                          const int* __restrict__ edge_to_unique) {
+  return row; // contiguous rows, no indirection
+}
+__device__ __forceinline__ int WeightSlab_1(int row, const int* __restrict__ etype_ptr,
+                                           const int* __restrict__ node_type,
+                                           const int* __restrict__ row_idx,
+                                           int num_types, int num_etypes) {
+  return 0; // single shared weight
+}
+__global__ void gemm_1(const float* __restrict__ X, const float* __restrict__ W,
+                  float* __restrict__ Y, const int* __restrict__ row_idx,
+                  const int* __restrict__ unique_row_idx,
+                  const int* __restrict__ edge_to_unique,
+                  const int* __restrict__ etype_ptr, const int* __restrict__ node_type,
+                  const float* __restrict__ row_scale,
+                  int num_nodes, int k, int n, int num_types, int num_etypes) {
+  __shared__ float X_shmem[16][16 + 1]; // +1: bank-conflict padding
+  __shared__ float W_shmem[16][16 + 1];
+  int2 idx = GetRange_1(num_nodes, n);
+  int idxTileRow = idx.x;
+  int idxTileCol = idx.y;
+  bool row_in_range = idxTileRow < num_nodes;
+  bool col_in_range = idxTileCol < n;
+  float acc[1];
+  #pragma unroll
+  for (int c = 0; c < 1; ++c) acc[c] = 0.0f;
+  int src_row = row_in_range
+      ? GatherRow_1(idxTileRow, row_idx, unique_row_idx, edge_to_unique)
+      : 0;
+  int slab = row_in_range
+      ? WeightSlab_1(idxTileRow, etype_ptr, node_type, row_idx, num_types, num_etypes)
+      : 0;
+  const float* W_slab = W + (size_t)slab * k * n;
+  for (int t = 0; t < (k + 16 - 1) / 16; ++t) {
+    // LoadXToShmemIfInRange<1>: X row located via None.
+    X_shmem[threadIdx.y][threadIdx.x] =
+        (row_in_range && t * 16 + threadIdx.x < k)
+            ? X[(size_t)src_row * k + t * 16 + threadIdx.x]
+            : 0.0f;
+    // LoadWToShmemOrRegistersIfInRange<1>: NO_TRANSPOSE.
+    W_shmem[threadIdx.y][threadIdx.x] =
+        (col_in_range && t * 16 + threadIdx.y < k)
+            ? W_slab[(size_t)(t * 16 + threadIdx.y) * n + idxTileCol]
+            : 0.0f;
+    __syncthreads();
+    #pragma unroll
+    for (int c = 0; c < 1; ++c) {
+      #pragma unroll
+      for (int q = 0; q < 16; ++q) {
+        acc[c] += X_shmem[threadIdx.y][q] * W_shmem[q][threadIdx.x + c];
+      }
+    }
+    __syncthreads();
+  }
+  // StoreYIfInRange<1>: SCATTER(entry_idx_per_etype + etype_ptr[etype_idx]).
+  if (row_in_range && col_in_range) {
+    Y[(size_t)idxTileRow * n + idxTileCol] = acc[0];
+  }
+}
+// ===== kernel: traversal_2 =====
+// traversal_2: traversal template instance (Edges domain, Coo adjacency).
+// partial_agg=true atomic=true fused_ops=2 local_vars=1
+__device__ __forceinline__ int GetEType_2(HectorGraphView g, int e) {
+  return g.etype[e]; // COO subscript
+}
+__device__ __forceinline__ int GetSrcId_2(HectorGraphView g, int e) {
+  return g.src[e]; // COO subscript
+}
+__device__ __forceinline__ int GetDstId_2(HectorGraphView g, int e) {
+  return g.dst[e]; // COO subscript
+}
+__device__ __forceinline__ float WarpReduce_2(float v) {
+  // Partial-result aggregation within the warp before any
+  // global-memory update (sec 3.4.1).
+  #pragma unroll
+  for (int offset = 16; offset > 0; offset >>= 1)
+    v += __shfl_down_sync(0xffffffff, v, offset);
+  return v;
+}
+__global__ void traversal_2(HectorGraphView g, HectorTensorViews data) {
+  // GetRange<kid>(): edgewise work assignment, one edge range per block.
+  for (int idxEdge = blockIdx.x * blockDim.x + threadIdx.x;
+       idxEdge < g.num_edges; idxEdge += gridDim.x * blockDim.x) {
+      int eType = GetEType_2(g, idxEdge);
+      int srcIdx = GetSrcId_2(g, idxEdge);
+      int dstIdx = GetDstId_2(g, idxEdge);
+      (void)eType; (void)srcIdx; (void)dstIdx;
+      dval_4 = dmul_2[dstIdx] * cnorm[idxEdge];
+      atomicAdd(&dcompact_5[groupKey], dval_4[idxEdge]);
+  }
+}
+// ===== kernel: gemm_3 =====
+// gemm_3: GEMM template instance computing 'dW'.
+// rows=UniquePairs gather=UniqueSrcNode scatter=None weight_index=EdgeType transpose_w=false k=16 n=16
+// schedule: tile_sz=16 coarsen=1 launch_bounds=false
+__device__ __forceinline__ int2 GetRange_3(int rows, int cols) {
+  // Tile coordinates of the output matrix for this block.
+  int2 r;
+  r.x = blockIdx.x * 16 + threadIdx.y;
+  r.y = blockIdx.y * 16 + threadIdx.x;
+  return r;
+}
+__device__ __forceinline__ int GatherRow_3(int row, const int* __restrict__ row_idx,
+                                          const int* __restrict__ unique_row_idx,
+                                          const int* __restrict__ edge_to_unique) {
+  return unique_row_idx[row]; // GATHER(unique_row_idx): compact pair source
+}
+__device__ __forceinline__ int WeightSlab_3(int row, const int* __restrict__ etype_ptr,
+                                           const int* __restrict__ node_type,
+                                           const int* __restrict__ row_idx,
+                                           int num_types, int num_etypes) {
+  // Binary search over etype_ptr: segment id of this row.
+  int lo = 0, hi = num_types;
+  while (lo + 1 < hi) {
+    int mid = (lo + hi) >> 1;
+    if (etype_ptr[mid] <= row) lo = mid; else hi = mid;
+  }
+  return lo;
+}
+__global__ void gemm_3(const float* __restrict__ X, const float* __restrict__ W,
+                  float* __restrict__ Y, const int* __restrict__ row_idx,
+                  const int* __restrict__ unique_row_idx,
+                  const int* __restrict__ edge_to_unique,
+                  const int* __restrict__ etype_ptr, const int* __restrict__ node_type,
+                  const float* __restrict__ row_scale,
+                  int num_unique_pairs, int k, int n, int num_types, int num_etypes) {
+  __shared__ float X_shmem[16][16 + 1]; // +1: bank-conflict padding
+  __shared__ float W_shmem[16][16 + 1];
+  int2 idx = GetRange_3(num_unique_pairs, n);
+  int idxTileRow = idx.x;
+  int idxTileCol = idx.y;
+  bool row_in_range = idxTileRow < num_unique_pairs;
+  bool col_in_range = idxTileCol < n;
+  float acc[1];
+  #pragma unroll
+  for (int c = 0; c < 1; ++c) acc[c] = 0.0f;
+  int src_row = row_in_range
+      ? GatherRow_3(idxTileRow, row_idx, unique_row_idx, edge_to_unique)
+      : 0;
+  int slab = row_in_range
+      ? WeightSlab_3(idxTileRow, etype_ptr, node_type, row_idx, num_types, num_etypes)
+      : 0;
+  const float* W_slab = W + (size_t)slab * k * n;
+  for (int t = 0; t < (k + 16 - 1) / 16; ++t) {
+    // LoadXToShmemIfInRange<3>: X row located via UniqueSrcNode.
+    X_shmem[threadIdx.y][threadIdx.x] =
+        (row_in_range && t * 16 + threadIdx.x < k)
+            ? X[(size_t)src_row * k + t * 16 + threadIdx.x]
+            : 0.0f;
+    // LoadWToShmemOrRegistersIfInRange<3>: NO_TRANSPOSE.
+    W_shmem[threadIdx.y][threadIdx.x] =
+        (col_in_range && t * 16 + threadIdx.y < k)
+            ? W_slab[(size_t)(t * 16 + threadIdx.y) * n + idxTileCol]
+            : 0.0f;
+    __syncthreads();
+    #pragma unroll
+    for (int c = 0; c < 1; ++c) {
+      #pragma unroll
+      for (int q = 0; q < 16; ++q) {
+        acc[c] += X_shmem[threadIdx.y][q] * W_shmem[q][threadIdx.x + c];
+      }
+    }
+    __syncthreads();
+  }
+  // StoreYIfInRange<3>: SCATTER(entry_idx_per_etype + unique_etype_ptr[etype_idx]).
+  if (row_in_range && col_in_range) {
+    Y[(size_t)idxTileRow * n + idxTileCol] = acc[0];
+  }
+}
+// ===== host =====
+// Host wrappers for module 'rgcn' (auto-generated by hector).
+#include <torch/extension.h>
+#include <cuda_runtime.h>
+
+// Host wrapper for gemm_0 (GEMM template), module 'rgcn'.
+void gemm_0_wrap(torch::Tensor X, torch::Tensor W, torch::Tensor Y,
+                torch::Tensor row_idx, torch::Tensor unique_row_idx,
+                torch::Tensor edge_to_unique, torch::Tensor etype_ptr,
+                torch::Tensor node_type, torch::Tensor row_scale) {
+  TORCH_CHECK(X.is_cuda(), "gemm_0: X must be a CUDA tensor");
+  TORCH_CHECK(X.dtype() == torch::kFloat32, "gemm_0: X must be float32");
+  TORCH_CHECK(X.is_contiguous(), "gemm_0: X must be contiguous");
+  TORCH_CHECK(Y.is_cuda() && Y.is_contiguous(), "gemm_0: bad output tensor");
+  const at::cuda::OptionalCUDAGuard device_guard(device_of(X));
+  auto stream = at::cuda::getCurrentCUDAStream();
+  int64_t rows = Y.size(0);
+  int64_t k = X.size(1);
+  int64_t n = Y.size(1);
+  dim3 block(16, 16);
+  dim3 grid((rows + block.y - 1) / block.y, (n + block.x - 1) / block.x);
+  gemm_0<<<grid, block, 0, stream>>>(
+      X.data_ptr<float>(), W.data_ptr<float>(), Y.data_ptr<float>(),
+      row_idx.defined() ? row_idx.data_ptr<int>() : nullptr,
+      unique_row_idx.defined() ? unique_row_idx.data_ptr<int>() : nullptr,
+      edge_to_unique.defined() ? edge_to_unique.data_ptr<int>() : nullptr,
+      etype_ptr.defined() ? etype_ptr.data_ptr<int>() : nullptr,
+      node_type.defined() ? node_type.data_ptr<int>() : nullptr,
+      row_scale.defined() ? row_scale.data_ptr<float>() : nullptr,
+      rows, k, n, etype_ptr.defined() ? etype_ptr.size(0) - 1 : 1, 0);
+  C10_CUDA_KERNEL_LAUNCH_CHECK();
+}
+
+// Host wrapper for gemm_1 (GEMM template), module 'rgcn'.
+void gemm_1_wrap(torch::Tensor X, torch::Tensor W, torch::Tensor Y,
+                torch::Tensor row_idx, torch::Tensor unique_row_idx,
+                torch::Tensor edge_to_unique, torch::Tensor etype_ptr,
+                torch::Tensor node_type, torch::Tensor row_scale) {
+  TORCH_CHECK(X.is_cuda(), "gemm_1: X must be a CUDA tensor");
+  TORCH_CHECK(X.dtype() == torch::kFloat32, "gemm_1: X must be float32");
+  TORCH_CHECK(X.is_contiguous(), "gemm_1: X must be contiguous");
+  TORCH_CHECK(Y.is_cuda() && Y.is_contiguous(), "gemm_1: bad output tensor");
+  const at::cuda::OptionalCUDAGuard device_guard(device_of(X));
+  auto stream = at::cuda::getCurrentCUDAStream();
+  int64_t rows = Y.size(0);
+  int64_t k = X.size(1);
+  int64_t n = Y.size(1);
+  dim3 block(16, 16);
+  dim3 grid((rows + block.y - 1) / block.y, (n + block.x - 1) / block.x);
+  gemm_1<<<grid, block, 0, stream>>>(
+      X.data_ptr<float>(), W.data_ptr<float>(), Y.data_ptr<float>(),
+      row_idx.defined() ? row_idx.data_ptr<int>() : nullptr,
+      unique_row_idx.defined() ? unique_row_idx.data_ptr<int>() : nullptr,
+      edge_to_unique.defined() ? edge_to_unique.data_ptr<int>() : nullptr,
+      etype_ptr.defined() ? etype_ptr.data_ptr<int>() : nullptr,
+      node_type.defined() ? node_type.data_ptr<int>() : nullptr,
+      row_scale.defined() ? row_scale.data_ptr<float>() : nullptr,
+      rows, k, n, etype_ptr.defined() ? etype_ptr.size(0) - 1 : 1, 0);
+  C10_CUDA_KERNEL_LAUNCH_CHECK();
+}
+
+// Host wrapper for traversal_2 (traversal template), module 'rgcn'.
+void traversal_2_wrap(torch::Tensor X, torch::Tensor W, torch::Tensor Y,
+                torch::Tensor row_idx, torch::Tensor unique_row_idx,
+                torch::Tensor edge_to_unique, torch::Tensor etype_ptr,
+                torch::Tensor node_type, torch::Tensor row_scale) {
+  TORCH_CHECK(X.is_cuda(), "traversal_2: X must be a CUDA tensor");
+  TORCH_CHECK(X.dtype() == torch::kFloat32, "traversal_2: X must be float32");
+  TORCH_CHECK(X.is_contiguous(), "traversal_2: X must be contiguous");
+  TORCH_CHECK(Y.is_cuda() && Y.is_contiguous(), "traversal_2: bad output tensor");
+  const at::cuda::OptionalCUDAGuard device_guard(device_of(X));
+  auto stream = at::cuda::getCurrentCUDAStream();
+  int64_t rows = Y.size(0);
+  int64_t k = X.size(1);
+  int64_t n = Y.size(1);
+  dim3 block(16, 16);
+  dim3 grid((rows + block.y - 1) / block.y, (n + block.x - 1) / block.x);
+  traversal_2<<<grid, block, 0, stream>>>(
+      X.data_ptr<float>(), W.data_ptr<float>(), Y.data_ptr<float>(),
+      row_idx.defined() ? row_idx.data_ptr<int>() : nullptr,
+      unique_row_idx.defined() ? unique_row_idx.data_ptr<int>() : nullptr,
+      edge_to_unique.defined() ? edge_to_unique.data_ptr<int>() : nullptr,
+      etype_ptr.defined() ? etype_ptr.data_ptr<int>() : nullptr,
+      node_type.defined() ? node_type.data_ptr<int>() : nullptr,
+      row_scale.defined() ? row_scale.data_ptr<float>() : nullptr,
+      rows, k, n, etype_ptr.defined() ? etype_ptr.size(0) - 1 : 1, 0);
+  C10_CUDA_KERNEL_LAUNCH_CHECK();
+}
+
+TORCH_LIBRARY_FRAGMENT(hector, m) {
+  m.def("gemm_0", gemm_0_wrap);
+  m.def("gemm_1", gemm_1_wrap);
+  m.def("traversal_2", traversal_2_wrap);
+}
+// Host wrappers for module 'rgcn_backward' (auto-generated by hector).
+#include <torch/extension.h>
+#include <cuda_runtime.h>
+
+// Host wrapper for traversal_0 (traversal template), module 'rgcn_backward'.
+void traversal_0_wrap(torch::Tensor X, torch::Tensor W, torch::Tensor Y,
+                torch::Tensor row_idx, torch::Tensor unique_row_idx,
+                torch::Tensor edge_to_unique, torch::Tensor etype_ptr,
+                torch::Tensor node_type, torch::Tensor row_scale) {
+  TORCH_CHECK(X.is_cuda(), "traversal_0: X must be a CUDA tensor");
+  TORCH_CHECK(X.dtype() == torch::kFloat32, "traversal_0: X must be float32");
+  TORCH_CHECK(X.is_contiguous(), "traversal_0: X must be contiguous");
+  TORCH_CHECK(Y.is_cuda() && Y.is_contiguous(), "traversal_0: bad output tensor");
+  const at::cuda::OptionalCUDAGuard device_guard(device_of(X));
+  auto stream = at::cuda::getCurrentCUDAStream();
+  int64_t rows = Y.size(0);
+  int64_t k = X.size(1);
+  int64_t n = Y.size(1);
+  dim3 block(16, 16);
+  dim3 grid((rows + block.y - 1) / block.y, (n + block.x - 1) / block.x);
+  traversal_0<<<grid, block, 0, stream>>>(
+      X.data_ptr<float>(), W.data_ptr<float>(), Y.data_ptr<float>(),
+      row_idx.defined() ? row_idx.data_ptr<int>() : nullptr,
+      unique_row_idx.defined() ? unique_row_idx.data_ptr<int>() : nullptr,
+      edge_to_unique.defined() ? edge_to_unique.data_ptr<int>() : nullptr,
+      etype_ptr.defined() ? etype_ptr.data_ptr<int>() : nullptr,
+      node_type.defined() ? node_type.data_ptr<int>() : nullptr,
+      row_scale.defined() ? row_scale.data_ptr<float>() : nullptr,
+      rows, k, n, etype_ptr.defined() ? etype_ptr.size(0) - 1 : 1, 0);
+  C10_CUDA_KERNEL_LAUNCH_CHECK();
+}
+
+// Host wrapper for gemm_1 (GEMM template), module 'rgcn_backward'.
+void gemm_1_wrap(torch::Tensor X, torch::Tensor W, torch::Tensor Y,
+                torch::Tensor row_idx, torch::Tensor unique_row_idx,
+                torch::Tensor edge_to_unique, torch::Tensor etype_ptr,
+                torch::Tensor node_type, torch::Tensor row_scale) {
+  TORCH_CHECK(X.is_cuda(), "gemm_1: X must be a CUDA tensor");
+  TORCH_CHECK(X.dtype() == torch::kFloat32, "gemm_1: X must be float32");
+  TORCH_CHECK(X.is_contiguous(), "gemm_1: X must be contiguous");
+  TORCH_CHECK(Y.is_cuda() && Y.is_contiguous(), "gemm_1: bad output tensor");
+  const at::cuda::OptionalCUDAGuard device_guard(device_of(X));
+  auto stream = at::cuda::getCurrentCUDAStream();
+  int64_t rows = Y.size(0);
+  int64_t k = X.size(1);
+  int64_t n = Y.size(1);
+  dim3 block(16, 16);
+  dim3 grid((rows + block.y - 1) / block.y, (n + block.x - 1) / block.x);
+  gemm_1<<<grid, block, 0, stream>>>(
+      X.data_ptr<float>(), W.data_ptr<float>(), Y.data_ptr<float>(),
+      row_idx.defined() ? row_idx.data_ptr<int>() : nullptr,
+      unique_row_idx.defined() ? unique_row_idx.data_ptr<int>() : nullptr,
+      edge_to_unique.defined() ? edge_to_unique.data_ptr<int>() : nullptr,
+      etype_ptr.defined() ? etype_ptr.data_ptr<int>() : nullptr,
+      node_type.defined() ? node_type.data_ptr<int>() : nullptr,
+      row_scale.defined() ? row_scale.data_ptr<float>() : nullptr,
+      rows, k, n, etype_ptr.defined() ? etype_ptr.size(0) - 1 : 1, 0);
+  C10_CUDA_KERNEL_LAUNCH_CHECK();
+}
+
+// Host wrapper for traversal_2 (traversal template), module 'rgcn_backward'.
+void traversal_2_wrap(torch::Tensor X, torch::Tensor W, torch::Tensor Y,
+                torch::Tensor row_idx, torch::Tensor unique_row_idx,
+                torch::Tensor edge_to_unique, torch::Tensor etype_ptr,
+                torch::Tensor node_type, torch::Tensor row_scale) {
+  TORCH_CHECK(X.is_cuda(), "traversal_2: X must be a CUDA tensor");
+  TORCH_CHECK(X.dtype() == torch::kFloat32, "traversal_2: X must be float32");
+  TORCH_CHECK(X.is_contiguous(), "traversal_2: X must be contiguous");
+  TORCH_CHECK(Y.is_cuda() && Y.is_contiguous(), "traversal_2: bad output tensor");
+  const at::cuda::OptionalCUDAGuard device_guard(device_of(X));
+  auto stream = at::cuda::getCurrentCUDAStream();
+  int64_t rows = Y.size(0);
+  int64_t k = X.size(1);
+  int64_t n = Y.size(1);
+  dim3 block(16, 16);
+  dim3 grid((rows + block.y - 1) / block.y, (n + block.x - 1) / block.x);
+  traversal_2<<<grid, block, 0, stream>>>(
+      X.data_ptr<float>(), W.data_ptr<float>(), Y.data_ptr<float>(),
+      row_idx.defined() ? row_idx.data_ptr<int>() : nullptr,
+      unique_row_idx.defined() ? unique_row_idx.data_ptr<int>() : nullptr,
+      edge_to_unique.defined() ? edge_to_unique.data_ptr<int>() : nullptr,
+      etype_ptr.defined() ? etype_ptr.data_ptr<int>() : nullptr,
+      node_type.defined() ? node_type.data_ptr<int>() : nullptr,
+      row_scale.defined() ? row_scale.data_ptr<float>() : nullptr,
+      rows, k, n, etype_ptr.defined() ? etype_ptr.size(0) - 1 : 1, 0);
+  C10_CUDA_KERNEL_LAUNCH_CHECK();
+}
+
+// Host wrapper for gemm_3 (GEMM template), module 'rgcn_backward'.
+void gemm_3_wrap(torch::Tensor X, torch::Tensor W, torch::Tensor Y,
+                torch::Tensor row_idx, torch::Tensor unique_row_idx,
+                torch::Tensor edge_to_unique, torch::Tensor etype_ptr,
+                torch::Tensor node_type, torch::Tensor row_scale) {
+  TORCH_CHECK(X.is_cuda(), "gemm_3: X must be a CUDA tensor");
+  TORCH_CHECK(X.dtype() == torch::kFloat32, "gemm_3: X must be float32");
+  TORCH_CHECK(X.is_contiguous(), "gemm_3: X must be contiguous");
+  TORCH_CHECK(Y.is_cuda() && Y.is_contiguous(), "gemm_3: bad output tensor");
+  const at::cuda::OptionalCUDAGuard device_guard(device_of(X));
+  auto stream = at::cuda::getCurrentCUDAStream();
+  int64_t rows = Y.size(0);
+  int64_t k = X.size(1);
+  int64_t n = Y.size(1);
+  dim3 block(16, 16);
+  dim3 grid((rows + block.y - 1) / block.y, (n + block.x - 1) / block.x);
+  gemm_3<<<grid, block, 0, stream>>>(
+      X.data_ptr<float>(), W.data_ptr<float>(), Y.data_ptr<float>(),
+      row_idx.defined() ? row_idx.data_ptr<int>() : nullptr,
+      unique_row_idx.defined() ? unique_row_idx.data_ptr<int>() : nullptr,
+      edge_to_unique.defined() ? edge_to_unique.data_ptr<int>() : nullptr,
+      etype_ptr.defined() ? etype_ptr.data_ptr<int>() : nullptr,
+      node_type.defined() ? node_type.data_ptr<int>() : nullptr,
+      row_scale.defined() ? row_scale.data_ptr<float>() : nullptr,
+      rows, k, n, etype_ptr.defined() ? etype_ptr.size(0) - 1 : 1, 0);
+  C10_CUDA_KERNEL_LAUNCH_CHECK();
+}
+
+TORCH_LIBRARY_FRAGMENT(hector, m) {
+  m.def("traversal_0", traversal_0_wrap);
+  m.def("gemm_1", gemm_1_wrap);
+  m.def("traversal_2", traversal_2_wrap);
+  m.def("gemm_3", gemm_3_wrap);
+}

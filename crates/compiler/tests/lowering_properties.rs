@@ -10,7 +10,11 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn models() -> impl Strategy<Value = ModelKind> {
-    prop_oneof![Just(ModelKind::Rgcn), Just(ModelKind::Rgat), Just(ModelKind::Hgt)]
+    prop_oneof![
+        Just(ModelKind::Rgcn),
+        Just(ModelKind::Rgat),
+        Just(ModelKind::Hgt)
+    ]
 }
 
 fn options() -> impl Strategy<Value = CompileOptions> {

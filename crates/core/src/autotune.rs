@@ -53,7 +53,11 @@ pub fn candidate_space(training: bool) -> Vec<CompileOptions> {
                     compact,
                     reorder,
                     training,
-                    schedule: GemmSchedule { tile, coarsen, launch_bounds: false },
+                    schedule: GemmSchedule {
+                        tile,
+                        coarsen,
+                        launch_bounds: false,
+                    },
                     ..CompileOptions::default()
                 });
             }
@@ -78,7 +82,10 @@ fn dry_run(
             .ok()?
             .1
     } else {
-        session.run_inference(module, graph, &mut params, &Bindings::new()).ok()?.1
+        session
+            .run_inference(module, graph, &mut params, &Bindings::new())
+            .ok()?
+            .1
     };
     Some(report.elapsed_us)
 }
@@ -127,9 +134,13 @@ pub fn autotune(
         out_dim,
         &CompileOptions::best().with_training(training),
     );
-    let fixed_best_us =
-        dry_run(&fixed, graph, config, training).unwrap_or(f64::INFINITY);
-    TuneResult { options, best_us, fixed_best_us, candidates }
+    let fixed_best_us = dry_run(&fixed, graph, config, training).unwrap_or(f64::INFINITY);
+    TuneResult {
+        options,
+        best_us,
+        fixed_best_us,
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -154,8 +165,7 @@ mod tests {
     fn candidate_space_covers_all_option_combos() {
         let c = candidate_space(false);
         assert_eq!(c.len(), 16);
-        let labels: std::collections::HashSet<&str> =
-            c.iter().map(|o| o.label()).collect();
+        let labels: std::collections::HashSet<&str> = c.iter().map(|o| o.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 

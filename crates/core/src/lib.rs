@@ -51,13 +51,12 @@ pub use autotune::{autotune, TuneResult};
 pub use hector_baselines as baselines;
 pub use hector_compiler::{compile, CompileOptions, CompiledModule, GeneratedCode};
 pub use hector_device::{Device, DeviceConfig};
-pub use hector_graph::{datasets, generate, DatasetSpec, GraphStats, HeteroGraph,
-    HeteroGraphBuilder};
+pub use hector_graph::{
+    datasets, generate, DatasetSpec, GraphStats, HeteroGraph, HeteroGraphBuilder,
+};
 pub use hector_ir::{builder::ModelSource, ModelBuilder};
 pub use hector_models::{source as model_source, ModelKind};
-pub use hector_runtime::{
-    Bindings, GraphData, Mode, ParamStore, RunReport, Session,
-};
+pub use hector_runtime::{Bindings, GraphData, Mode, ParamStore, RunReport, Session};
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
 #[must_use]

@@ -94,8 +94,7 @@ impl KernelCost {
         if self.flops <= 0.0 {
             return 0.0;
         }
-        let eff = efficiency(self.flops, cfg.gemm_half_sat_flops)
-            * occupancy(self.items, cfg);
+        let eff = efficiency(self.flops, cfg.gemm_half_sat_flops) * occupancy(self.items, cfg);
         // Even tiny kernels sustain ~1% of peak once running; launch
         // latency is charged separately.
         let tflops = cfg.fp32_tflops * eff.max(0.01);
@@ -134,7 +133,9 @@ impl KernelCost {
     /// maximum of compute, memory, and latency.
     #[must_use]
     pub fn busy_us(&self, cfg: &DeviceConfig) -> f64 {
-        self.compute_us(cfg).max(self.memory_us(cfg)).max(self.latency_us(cfg))
+        self.compute_us(cfg)
+            .max(self.memory_us(cfg))
+            .max(self.latency_us(cfg))
     }
 
     /// Full duration of one launch in microseconds, including launch
@@ -259,9 +260,15 @@ mod tests {
         bw.atomic_ops = 1e8; // heavily atomic-bound
         bw.items = 1e6;
         let ipc = bw.ipc(&cfg());
-        assert!(ipc < 1.0, "latency-bound kernel should have low IPC, got {ipc}");
+        assert!(
+            ipc < 1.0,
+            "latency-bound kernel should have low IPC, got {ipc}"
+        );
         let dense = gemm(1e11, 1e9, 1e6);
-        assert!(dense.ipc(&cfg()) > 3.0, "dense GEMM should approach ideal IPC");
+        assert!(
+            dense.ipc(&cfg()) > 3.0,
+            "dense GEMM should approach ideal IPC"
+        );
     }
 
     #[test]

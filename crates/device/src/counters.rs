@@ -87,7 +87,10 @@ impl Counters {
     /// Metrics for one bucket (zero-default if nothing was recorded).
     #[must_use]
     pub fn get(&self, category: KernelCategory, phase: Phase) -> CategoryMetrics {
-        self.buckets.get(&(category, phase)).cloned().unwrap_or_default()
+        self.buckets
+            .get(&(category, phase))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Total simulated time across all buckets, microseconds.
@@ -173,7 +176,10 @@ mod tests {
         c.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
         c.record(&cost(KernelCategory::Traversal, Phase::Backward, 1e6), &cfg);
         assert_eq!(c.get(KernelCategory::Gemm, Phase::Forward).launches, 1);
-        assert_eq!(c.get(KernelCategory::Traversal, Phase::Backward).launches, 1);
+        assert_eq!(
+            c.get(KernelCategory::Traversal, Phase::Backward).launches,
+            1
+        );
         assert_eq!(c.get(KernelCategory::Copy, Phase::Forward).launches, 0);
         assert_eq!(c.total_launches(), 2);
     }

@@ -1,8 +1,6 @@
 //! The [`Device`] façade combining memory, timing, and counters.
 
-use crate::{
-    AllocId, Counters, DeviceConfig, KernelCost, MemoryPool, OomError,
-};
+use crate::{AllocId, Counters, DeviceConfig, KernelCost, MemoryPool, OomError};
 
 /// One simulated GPU: configuration, memory pool, clock, and counters.
 ///
@@ -25,7 +23,13 @@ impl Device {
     #[must_use]
     pub fn new(config: DeviceConfig) -> Device {
         let memory = MemoryPool::new(config.memory_capacity);
-        Device { config, memory, counters: Counters::new(), elapsed_us: 0.0, host_api_us: 0.0 }
+        Device {
+            config,
+            memory,
+            counters: Counters::new(),
+            elapsed_us: 0.0,
+            host_api_us: 0.0,
+        }
     }
 
     /// The device configuration.

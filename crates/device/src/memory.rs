@@ -53,7 +53,12 @@ impl MemoryPool {
     /// Creates a pool with the given capacity in bytes.
     #[must_use]
     pub fn new(capacity: usize) -> MemoryPool {
-        MemoryPool { capacity, in_use: 0, peak: 0, live: Vec::new() }
+        MemoryPool {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            live: Vec::new(),
+        }
     }
 
     /// Attempts to allocate `bytes`, labelled for diagnostics.

@@ -15,7 +15,11 @@ fn arb_cost() -> impl Strategy<Value = KernelCost> {
         .prop_map(|(flops, br, bw, atomics, items, backward)| {
             let mut c = KernelCost::new(
                 KernelCategory::Gemm,
-                if backward { Phase::Backward } else { Phase::Forward },
+                if backward {
+                    Phase::Backward
+                } else {
+                    Phase::Forward
+                },
             );
             c.flops = flops;
             c.bytes_read = br;

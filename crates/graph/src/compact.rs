@@ -54,7 +54,11 @@ impl CompactionMap {
             }
             unique_etype_ptr[t + 1] = unique_row_idx.len();
         }
-        CompactionMap { unique_row_idx, unique_etype_ptr, edge_to_unique }
+        CompactionMap {
+            unique_row_idx,
+            unique_etype_ptr,
+            edge_to_unique,
+        }
     }
 
     /// Number of unique `(src, etype)` pairs — the row count of a
@@ -121,7 +125,11 @@ impl CompactionMap {
         let ety = self.unique_etype();
         for e in 0..graph.num_edges() {
             let u = self.edge_to_unique[e] as usize;
-            assert_eq!(self.unique_row_idx[u], graph.src()[e], "edge {e} src mismatch");
+            assert_eq!(
+                self.unique_row_idx[u],
+                graph.src()[e],
+                "edge {e} src mismatch"
+            );
             assert_eq!(ety[u], graph.etype()[e], "edge {e} etype mismatch");
         }
     }

@@ -94,13 +94,31 @@ pub fn wikikg2() -> DatasetSpec {
 /// (wikikg2, mutag, mag, fb15k, biokg, bgs, am, aifb).
 #[must_use]
 pub fn all() -> Vec<DatasetSpec> {
-    vec![wikikg2(), mutag(), mag(), fb15k(), biokg(), bgs(), am(), aifb()]
+    vec![
+        wikikg2(),
+        mutag(),
+        mag(),
+        fb15k(),
+        biokg(),
+        bgs(),
+        am(),
+        aifb(),
+    ]
 }
 
 /// All eight presets in alphabetical order (Table 3 order).
 #[must_use]
 pub fn all_alphabetical() -> Vec<DatasetSpec> {
-    vec![aifb(), am(), bgs(), biokg(), fb15k(), mag(), mutag(), wikikg2()]
+    vec![
+        aifb(),
+        am(),
+        bgs(),
+        biokg(),
+        fb15k(),
+        mag(),
+        mutag(),
+        wikikg2(),
+    ]
 }
 
 /// Looks up a preset by name.

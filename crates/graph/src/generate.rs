@@ -51,7 +51,10 @@ impl DatasetSpec {
     /// Panics if `factor` is not finite and positive.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> DatasetSpec {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         let num_nodes = ((self.num_nodes as f64 * factor).round() as usize).max(4);
         let num_edges = ((self.num_edges as f64 * factor).round() as usize).max(4);
         DatasetSpec {
@@ -96,7 +99,12 @@ fn zipf_partition(total: usize, parts: usize, skew: f64) -> Vec<usize> {
         i += 1;
     }
     while assigned > total {
-        let j = out.iter().enumerate().max_by_key(|(_, &v)| v).map(|(j, _)| j).unwrap();
+        let j = out
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(j, _)| j)
+            .unwrap();
         out[j] -= 1;
         assigned -= 1;
     }
@@ -134,8 +142,9 @@ pub fn generate(spec: &DatasetSpec) -> HeteroGraph {
     }
     // Assign each edge type a (src ntype, dst ntype) pair; prefer non-empty
     // node types.
-    let nonempty: Vec<usize> =
-        (0..spec.num_node_types).filter(|&t| node_counts[t] > 0).collect();
+    let nonempty: Vec<usize> = (0..spec.num_node_types)
+        .filter(|&t| node_counts[t] > 0)
+        .collect();
     assert!(!nonempty.is_empty(), "no non-empty node types");
 
     for (t, &ecount) in edge_counts.iter().enumerate() {
@@ -148,8 +157,11 @@ pub fn generate(spec: &DatasetSpec) -> HeteroGraph {
         // Pick a source node type that can host the wanted unique count so
         // the realised compaction ratio stays on target; fall back to the
         // largest type when none is big enough.
-        let fitting: Vec<usize> =
-            nonempty.iter().copied().filter(|&nt| node_counts[nt] >= want_unique).collect();
+        let fitting: Vec<usize> = nonempty
+            .iter()
+            .copied()
+            .filter(|&nt| node_counts[nt] >= want_unique)
+            .collect();
         // When no single node type can host the wanted unique-source count,
         // draw sources from the whole node space instead (edge types in
         // synthetic graphs may span node types; nodewise typed operators

@@ -127,7 +127,10 @@ impl HeteroGraph {
     #[must_use]
     pub fn csc(&self) -> Csc {
         let csr = Csr::build(self.num_nodes(), &self.dst);
-        Csc { ptr: csr.ptr, edge_idx: csr.edge_idx }
+        Csc {
+            ptr: csr.ptr,
+            edge_idx: csr.edge_idx,
+        }
     }
 
     /// In-degree of each node per relation, as a flat `[node][etype]`
@@ -173,12 +176,18 @@ impl HeteroGraph {
         }
         for t in 0..self.num_edge_types {
             for e in self.etype_ptr[t]..self.etype_ptr[t + 1] {
-                assert_eq!(self.etype[e] as usize, t, "etype_ptr inconsistent at edge {e}");
+                assert_eq!(
+                    self.etype[e] as usize, t,
+                    "etype_ptr inconsistent at edge {e}"
+                );
             }
         }
         for (t, &p) in self.ntype_ptr.iter().enumerate().take(self.num_node_types) {
             for n in p..self.ntype_ptr[t + 1] {
-                assert_eq!(self.node_type[n] as usize, t, "ntype_ptr inconsistent at node {n}");
+                assert_eq!(
+                    self.node_type[n] as usize, t,
+                    "ntype_ptr inconsistent at node {n}"
+                );
             }
         }
         let nn = self.num_nodes() as u32;
@@ -291,8 +300,12 @@ impl HeteroGraphBuilder {
             }
         }
         self.edges.sort_by_key(|&(_, _, t)| t);
-        let num_edge_types =
-            self.edges.iter().map(|&(_, _, t)| t as usize + 1).max().unwrap_or(0);
+        let num_edge_types = self
+            .edges
+            .iter()
+            .map(|&(_, _, t)| t as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut etype_ptr = vec![0usize; num_edge_types + 1];
         for &(_, _, t) in &self.edges {
             etype_ptr[t as usize + 1] += 1;
@@ -337,7 +350,7 @@ mod tests {
         let mut b = HeteroGraphBuilder::new();
         let (_p0, _) = b.add_node_type(5); // papers: ids 0..5 (0,1,2,a=3,b=4)
         let (alpha, _) = b.add_node_type(1); // author: id 5 (α)
-        // writes: α→a, α→b ; cites: 1→0, 2→0, a→0, b→1, b→2 ; employs: none
+                                             // writes: α→a, α→b ; cites: 1→0, 2→0, a→0, b→1, b→2 ; employs: none
         b.add_edge(alpha, 3, 0); // writes
         b.add_edge(alpha, 4, 0); // writes
         b.add_edge(1, 0, 1); // cites
@@ -391,7 +404,11 @@ mod tests {
         let g = figure6_graph();
         let csc = g.csc();
         // Node 0 has incoming cites from 1, 2, a(3).
-        let incoming: Vec<u32> = csc.in_edges(0).iter().map(|&e| g.src()[e as usize]).collect();
+        let incoming: Vec<u32> = csc
+            .in_edges(0)
+            .iter()
+            .map(|&e| g.src()[e as usize])
+            .collect();
         let mut sorted = incoming.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 2, 3]);

@@ -5,13 +5,13 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
     (
-        8usize..200,   // nodes
-        1usize..5,     // node types
-        4usize..400,   // edges
-        1usize..12,    // edge types
-        0.1f64..=1.0,  // compaction ratio
-        0.0f64..2.0,   // skew
-        any::<u64>(),  // seed
+        8usize..200,  // nodes
+        1usize..5,    // node types
+        4usize..400,  // edges
+        1usize..12,   // edge types
+        0.1f64..=1.0, // compaction ratio
+        0.0f64..2.0,  // skew
+        any::<u64>(), // seed
     )
         .prop_map(|(n, nt, e, et, cr, skew, seed)| DatasetSpec {
             name: "prop".into(),

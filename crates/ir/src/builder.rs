@@ -33,8 +33,7 @@
 //! ```
 
 use crate::interop::{
-    AggNorm, BinOp, Endpoint, OpKind, Operand, Program, Space, TypeIndex, UnOp, VarId,
-    WeightId,
+    AggNorm, BinOp, Endpoint, OpKind, Operand, Program, Space, TypeIndex, UnOp, VarId, WeightId,
 };
 
 /// A finished model definition: the inter-operator program plus the
@@ -64,7 +63,11 @@ impl ModelBuilder {
     /// Starts a model named `name` with the given default hidden size.
     #[must_use]
     pub fn new(name: &str, hidden: usize) -> ModelBuilder {
-        ModelBuilder { program: Program::new(name), lines: 0, hidden }
+        ModelBuilder {
+            program: Program::new(name),
+            lines: 0,
+            hidden,
+        }
     }
 
     /// Default hidden dimension passed at construction.
@@ -95,13 +98,15 @@ impl ModelBuilder {
     /// Declares a per-edge-type weight matrix (`W[e.etype]`).
     pub fn weight_per_etype(&mut self, name: &str, rows: usize, cols: usize) -> WeightId {
         self.lines += 1;
-        self.program.add_weight(name, TypeIndex::EdgeType, rows, cols)
+        self.program
+            .add_weight(name, TypeIndex::EdgeType, rows, cols)
     }
 
     /// Declares a per-node-type weight matrix (`W[n.ntype]`).
     pub fn weight_per_ntype(&mut self, name: &str, rows: usize, cols: usize) -> WeightId {
         self.lines += 1;
-        self.program.add_weight(name, TypeIndex::NodeType, rows, cols)
+        self.program
+            .add_weight(name, TypeIndex::NodeType, rows, cols)
     }
 
     /// Declares a shared (untyped) weight matrix (RGCN's `W_0`).
@@ -207,7 +212,10 @@ impl ModelBuilder {
     fn binary(&mut self, name: &str, op: BinOp, a: Operand, b: Operand) -> VarId {
         self.lines += 1;
         let space = self.result_space(&[&a, &b]);
-        let width = self.program.operand_width(&a).max(self.program.operand_width(&b));
+        let width = self
+            .program
+            .operand_width(&a)
+            .max(self.program.operand_width(&b));
         let out = self.program.add_var(name, space, width);
         self.program.push_op(OpKind::Binary { op, a, b, out });
         out
@@ -277,17 +285,37 @@ impl ModelBuilder {
     /// Edge softmax over incoming edges of each destination node
     /// (the `edge_softmax(g)` function of Listing 1, lines 1-9).
     ///
-    /// Expands to: `exp` on every edge, a nodewise sum, and an edgewise
-    /// division by the destination's sum — exactly the three loops of the
-    /// listing.
+    /// Expands to the listing's loops plus the standard numerical
+    /// stabilisation every production edge softmax applies (e.g. DGL's):
+    /// a per-destination max, a shift of the scores by that max, `exp` on
+    /// every edge, a nodewise sum, and an edgewise division by the
+    /// destination's sum. Without the shift, attention scores beyond
+    /// ~88 overflow `exp` in f32 and training produces NaN. The max is
+    /// detached in backward propagation (softmax is shift-invariant), so
+    /// gradients are unchanged.
     pub fn edge_softmax(&mut self, name: &str, att: VarId) -> VarId {
-        let e = self.exp(&format!("{name}_exp"), Operand::Edge(att));
+        let max = self.aggregate(
+            &format!("{name}_max"),
+            Operand::Edge(att),
+            None,
+            AggNorm::Max,
+        );
+        let shifted = self.binary(
+            &format!("{name}_shift"),
+            BinOp::Sub,
+            Operand::Edge(att),
+            Operand::Node(max, Endpoint::Dst),
+        );
+        let e = self.exp(&format!("{name}_exp"), Operand::Edge(shifted));
         let sum = self.aggregate(
             &format!("{name}_sum"),
             Operand::Edge(e),
             None,
             AggNorm::None,
         );
+        // The stabilisation ops belong to the same listing function, so
+        // they do not change the paper's source-line metric.
+        self.lines -= 2;
         self.div(name, Operand::Edge(e), Operand::Node(sum, Endpoint::Dst))
     }
 
@@ -305,7 +333,10 @@ impl ModelBuilder {
     #[must_use]
     pub fn finish(self) -> ModelSource {
         self.program.validate();
-        ModelSource { program: self.program, lines: self.lines }
+        ModelSource {
+            program: self.program,
+            lines: self.lines,
+        }
     }
 }
 
@@ -327,26 +358,41 @@ mod tests {
         m.output(out);
         let src = m.finish();
         assert_eq!(src.program.ops.len(), 5);
-        assert!(src.lines <= 10, "RGCN should be under 10 lines, got {}", src.lines);
+        assert!(
+            src.lines <= 10,
+            "RGCN should be under 10 lines, got {}",
+            src.lines
+        );
         // msg is edgewise; self-loop is nodewise.
         assert_eq!(src.program.var(msg).space, Space::Edge);
         assert_eq!(src.program.var(selfl).space, Space::Node);
     }
 
     #[test]
-    fn edge_softmax_expands_to_three_ops() {
+    fn edge_softmax_expands_to_stabilised_form() {
         let mut m = ModelBuilder::new("sm", 4);
         let h = m.node_input("h", 4);
         let w_s = m.weight_vec_per_etype("w_s", 4);
         let att = m.dot("att", m.src(h), m.wvec(w_s));
+        let lines_before = m.lines;
         let norm = m.edge_softmax("att_sm", att);
+        // Stabilisation ops stay invisible to the paper's LoC metric: the
+        // whole softmax counts as the listing's three statements.
+        assert_eq!(m.lines - lines_before, 3);
         // Feed the normalised attention into an aggregate so the program
         // has a node-space output.
         let out = m.aggregate("out", m.edge(norm), None, AggNorm::None);
         m.output(out);
         let src = m.finish();
-        // dot + exp + sum + div + aggregate = 5 ops.
-        assert_eq!(src.program.ops.len(), 5);
+        // dot + max + shift + exp + sum + div + aggregate = 7 ops.
+        assert_eq!(src.program.ops.len(), 7);
+        assert!(src.program.ops.iter().any(|o| matches!(
+            o.kind,
+            OpKind::NodeAggregate {
+                norm: AggNorm::Max,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -177,7 +177,7 @@ pub enum UnOp {
     ReluGrad,
 }
 
-/// Normalisation applied during node aggregation.
+/// Reduction/normalisation mode of a node aggregation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AggNorm {
     /// Plain sum.
@@ -185,6 +185,13 @@ pub enum AggNorm {
     /// Divide each contribution by the in-degree of `(dst, relation)` —
     /// RGCN's `1/c_{v,r}`.
     MeanByRelation,
+    /// Elementwise maximum instead of a sum. Used by the numerically
+    /// stabilised edge softmax: the per-destination maximum is subtracted
+    /// from attention scores before `exp`. The reduction is treated as a
+    /// detached constant in backward propagation — softmax is invariant
+    /// under a per-group shift, so the gradient stays exact. Groups with
+    /// no edges read back as `0`. Scaling is not supported.
+    Max,
 }
 
 /// Operator kinds of the inter-operator IR.
@@ -296,7 +303,9 @@ impl OpKind {
     #[must_use]
     pub fn operands(&self) -> Vec<&Operand> {
         match self {
-            OpKind::TypedLinear { input, fused_scale, .. } => {
+            OpKind::TypedLinear {
+                input, fused_scale, ..
+            } => {
                 let mut v = vec![input];
                 if let Some(s) = fused_scale {
                     v.push(s);
@@ -306,7 +315,9 @@ impl OpKind {
             OpKind::TypedLinearGradW { x, dy, .. } => vec![x, dy],
             OpKind::DotProduct { a, b, .. } | OpKind::Binary { a, b, .. } => vec![a, b],
             OpKind::Unary { a, .. } => vec![a],
-            OpKind::NodeAggregate { edge_val, scale, .. } => {
+            OpKind::NodeAggregate {
+                edge_val, scale, ..
+            } => {
                 let mut v = vec![edge_val];
                 if let Some(s) = scale {
                     v.push(s);
@@ -320,7 +331,10 @@ impl OpKind {
     /// level 1 during lowering, §3.2.5).
     #[must_use]
     pub fn is_gemm_eligible(&self) -> bool {
-        matches!(self, OpKind::TypedLinear { .. } | OpKind::TypedLinearGradW { .. })
+        matches!(
+            self,
+            OpKind::TypedLinear { .. } | OpKind::TypedLinearGradW { .. }
+        )
     }
 }
 
@@ -357,23 +371,24 @@ impl Program {
     /// Creates an empty program.
     #[must_use]
     pub fn new(name: &str) -> Program {
-        Program { name: name.to_string(), ..Program::default() }
+        Program {
+            name: name.to_string(),
+            ..Program::default()
+        }
     }
 
     /// Adds a variable and returns its id.
     pub fn add_var(&mut self, name: &str, space: Space, width: usize) -> VarId {
-        self.vars.push(VarInfo { name: name.to_string(), space, width });
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            space,
+            width,
+        });
         VarId((self.vars.len() - 1) as u32)
     }
 
     /// Adds a weight and returns its id.
-    pub fn add_weight(
-        &mut self,
-        name: &str,
-        per: TypeIndex,
-        rows: usize,
-        cols: usize,
-    ) -> WeightId {
+    pub fn add_weight(&mut self, name: &str, per: TypeIndex, rows: usize, cols: usize) -> WeightId {
         self.weights.push(WeightInfo {
             name: name.to_string(),
             per,
@@ -477,7 +492,10 @@ impl Program {
             if let Some(out) = op.kind.out_var() {
                 let accumulating = matches!(
                     &op.kind,
-                    OpKind::TypedLinear { scatter: Some(_), .. }
+                    OpKind::TypedLinear {
+                        scatter: Some(_),
+                        ..
+                    }
                 );
                 assert!(
                     !defined[out.0 as usize] || accumulating,
@@ -489,16 +507,31 @@ impl Program {
             self.check_op(op);
         }
         for &v in &self.outputs {
-            assert!(defined[v.0 as usize], "output '{}' never defined", self.var(v).name);
+            assert!(
+                defined[v.0 as usize],
+                "output '{}' never defined",
+                self.var(v).name
+            );
         }
     }
 
     fn check_op(&self, op: &Op) {
         match &op.kind {
-            OpKind::TypedLinear { input, weight, transpose_w, scatter, out, .. } => {
+            OpKind::TypedLinear {
+                input,
+                weight,
+                transpose_w,
+                scatter,
+                out,
+                ..
+            } => {
                 let w = self.weight(*weight);
                 let in_w = self.operand_width(input);
-                let (wk, wn) = if *transpose_w { (w.cols, w.rows) } else { (w.rows, w.cols) };
+                let (wk, wn) = if *transpose_w {
+                    (w.cols, w.rows)
+                } else {
+                    (w.rows, w.cols)
+                };
                 assert_eq!(in_w, wk, "typed linear input width must match weight rows");
                 assert_eq!(self.var(*out).width, wn, "typed linear out width mismatch");
                 if scatter.is_some() {
@@ -534,7 +567,14 @@ impl Program {
             OpKind::Unary { a, out, .. } => {
                 assert_eq!(self.operand_width(a), self.var(*out).width, "unary width");
             }
-            OpKind::NodeAggregate { edge_val, scale, out, endpoint, .. } => {
+            OpKind::NodeAggregate {
+                edge_val,
+                scale,
+                norm,
+                out,
+                endpoint,
+                ..
+            } => {
                 if let Some(v) = edge_val.var() {
                     assert_ne!(
                         self.var(v).space,
@@ -544,6 +584,9 @@ impl Program {
                 }
                 if let Some(s) = scale {
                     assert_eq!(self.operand_width(s), 1, "aggregation scale is a scalar");
+                }
+                if *norm == AggNorm::Max {
+                    assert!(scale.is_none(), "max aggregation does not take a scale");
                 }
                 assert_ne!(
                     self.var(*out).space,
@@ -627,7 +670,11 @@ mod tests {
         let mut p = Program::new("bad");
         let x = p.add_var("x", Space::Edge, 4);
         let y = p.add_var("y", Space::Edge, 4);
-        p.push_op(OpKind::Unary { op: UnOp::Exp, a: Operand::Edge(x), out: y });
+        p.push_op(OpKind::Unary {
+            op: UnOp::Exp,
+            a: Operand::Edge(x),
+            out: y,
+        });
         p.validate();
     }
 
@@ -657,8 +704,16 @@ mod tests {
         let x = p.add_var("x", Space::Edge, 1);
         let y = p.add_var("y", Space::Edge, 1);
         p.inputs.push(x);
-        p.push_op(OpKind::Unary { op: UnOp::Exp, a: Operand::Edge(x), out: y });
-        p.push_op(OpKind::Unary { op: UnOp::Relu, a: Operand::Edge(x), out: y });
+        p.push_op(OpKind::Unary {
+            op: UnOp::Exp,
+            a: Operand::Edge(x),
+            out: y,
+        });
+        p.push_op(OpKind::Unary {
+            op: UnOp::Relu,
+            a: Operand::Edge(x),
+            out: y,
+        });
         p.validate();
     }
 

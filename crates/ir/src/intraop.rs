@@ -64,7 +64,11 @@ pub struct GemmSchedule {
 
 impl Default for GemmSchedule {
     fn default() -> Self {
-        GemmSchedule { tile: 16, coarsen: 1, launch_bounds: false }
+        GemmSchedule {
+            tile: 16,
+            coarsen: 1,
+            launch_bounds: false,
+        }
     }
 }
 
@@ -243,13 +247,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "coarsening factor")]
     fn schedule_rejects_bad_coarsen() {
-        GemmSchedule { tile: 16, coarsen: 3, launch_bounds: false }.validate();
+        GemmSchedule {
+            tile: 16,
+            coarsen: 3,
+            launch_bounds: false,
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "tile width")]
     fn schedule_rejects_bad_tile() {
-        GemmSchedule { tile: 10, coarsen: 1, launch_bounds: false }.validate();
+        GemmSchedule {
+            tile: 10,
+            coarsen: 1,
+            launch_bounds: false,
+        }
+        .validate();
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod intraop;
 
 pub use builder::ModelBuilder;
 pub use interop::{
-    AggNorm, BinOp, Endpoint, Op, OpId, OpKind, Operand, Program, Space, TypeIndex, UnOp,
-    VarId, VarInfo, WeightId, WeightInfo, WeightPrep,
+    AggNorm, BinOp, Endpoint, Op, OpId, OpKind, Operand, Program, Space, TypeIndex, UnOp, VarId,
+    VarInfo, WeightId, WeightInfo, WeightPrep,
 };
 pub use intraop::{
     AdjacencyAccess, Gather, GemmSchedule, GemmSpec, KernelSpec, RowDomain, Scatter,

@@ -19,10 +19,10 @@
 #![warn(missing_docs)]
 
 pub mod hgt;
-pub mod stacked;
 pub mod reference;
 pub mod rgat;
 pub mod rgcn;
+pub mod stacked;
 
 use hector_ir::builder::ModelSource;
 
@@ -69,7 +69,10 @@ pub fn source(kind: ModelKind, in_dim: usize, out_dim: usize) -> ModelSource {
 /// Total DSL lines across the three models (the paper reports 51).
 #[must_use]
 pub fn total_source_lines(in_dim: usize, out_dim: usize) -> usize {
-    ModelKind::all().iter().map(|&k| source(k, in_dim, out_dim).lines).sum()
+    ModelKind::all()
+        .iter()
+        .map(|&k| source(k, in_dim, out_dim).lines)
+        .sum()
 }
 
 #[cfg(test)]

@@ -27,14 +27,26 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
-/// Per-destination edge softmax of raw attention logits.
+/// Per-destination edge softmax of raw attention logits, max-stabilised
+/// exactly like the compiled path (`ModelBuilder::edge_softmax`): the
+/// per-destination maximum is subtracted before `exp`, so scores beyond
+/// f32's exp range neither overflow nor underflow to `0/0`.
 fn edge_softmax(g: &HeteroGraph, logits: &[f32]) -> Vec<f32> {
+    let mut maxes = vec![f32::NEG_INFINITY; g.num_nodes()];
+    for e in 0..g.num_edges() {
+        let d = g.dst()[e] as usize;
+        maxes[d] = maxes[d].max(logits[e]);
+    }
     let mut sums = vec![0.0f32; g.num_nodes()];
-    let exp: Vec<f32> = logits.iter().map(|&x| x.exp()).collect();
+    let exp: Vec<f32> = (0..g.num_edges())
+        .map(|e| (logits[e] - maxes[g.dst()[e] as usize]).exp())
+        .collect();
     for e in 0..g.num_edges() {
         sums[g.dst()[e] as usize] += exp[e];
     }
-    (0..g.num_edges()).map(|e| exp[e] / sums[g.dst()[e] as usize]).collect()
+    (0..g.num_edges())
+        .map(|e| exp[e] / sums[g.dst()[e] as usize])
+        .collect()
 }
 
 /// RGCN layer: `relu(h·W0 + Σ_r Σ_{u∈N_r(v)} cnorm_e · h_u·W_r)`.
@@ -57,8 +69,11 @@ pub fn rgcn_forward(
         out.row_mut(v).copy_from_slice(&selfl);
     }
     for e in 0..g.num_edges() {
-        let (s, d, ty) =
-            (g.src()[e] as usize, g.dst()[e] as usize, g.etype()[e] as usize);
+        let (s, d, ty) = (
+            g.src()[e] as usize,
+            g.dst()[e] as usize,
+            g.etype()[e] as usize,
+        );
         let msg = row_matmul(h.row(s), w, ty);
         let c = cnorm.at2(e, 0);
         let drow = out.row_mut(d);
@@ -75,26 +90,27 @@ pub fn rgcn_forward(
 ///
 /// Panics on shape mismatches.
 #[must_use]
-pub fn rgat_forward(
-    g: &HeteroGraph,
-    h: &Tensor,
-    w: &Tensor,
-    w_s: &Tensor,
-    w_t: &Tensor,
-) -> Tensor {
+pub fn rgat_forward(g: &HeteroGraph, h: &Tensor, w: &Tensor, w_s: &Tensor, w_t: &Tensor) -> Tensor {
     let out_dim = w.shape()[2];
     let e_count = g.num_edges();
     let mut hs_rows = Vec::with_capacity(e_count);
     let mut logits = vec![0.0f32; e_count];
     for e in 0..e_count {
-        let (s, d, ty) =
-            (g.src()[e] as usize, g.dst()[e] as usize, g.etype()[e] as usize);
+        let (s, d, ty) = (
+            g.src()[e] as usize,
+            g.dst()[e] as usize,
+            g.etype()[e] as usize,
+        );
         let hs = row_matmul(h.row(s), w, ty);
         let ht = row_matmul(h.row(d), w, ty);
         let atts = dot(&hs, w_s.slab(ty));
         let attt = dot(&ht, w_t.slab(ty));
         let raw = atts + attt;
-        logits[e] = if raw >= 0.0 { raw } else { LEAKY_RELU_SLOPE * raw };
+        logits[e] = if raw >= 0.0 {
+            raw
+        } else {
+            LEAKY_RELU_SLOPE * raw
+        };
         hs_rows.push(hs);
     }
     let att = edge_softmax(g, &logits);
@@ -142,8 +158,11 @@ pub fn hgt_forward(
     let mut logits = vec![0.0f32; e_count];
     let mut msgs = Vec::with_capacity(e_count);
     for e in 0..e_count {
-        let (s, dd, ty) =
-            (g.src()[e] as usize, g.dst()[e] as usize, g.etype()[e] as usize);
+        let (s, dd, ty) = (
+            g.src()[e] as usize,
+            g.dst()[e] as usize,
+            g.etype()[e] as usize,
+        );
         let kw = row_matmul(&k_rows[s], wa, ty);
         logits[e] = dot(&kw, &q_rows[dd]) * scale;
         msgs.push(row_matmul(h.row(s), wm, ty));
@@ -194,8 +213,10 @@ mod tests {
         let cnorm = Tensor::full(&[4, 1], 1.0);
         let out = rgcn_forward(&g, &h, &cnorm, &w, &w0);
         // Node 2 has no incoming edges: out = relu(h2 · W0).
-        let expect: Vec<f32> =
-            row_matmul(h.row(2), &w0, 0).iter().map(|&x| x.max(0.0)).collect();
+        let expect: Vec<f32> = row_matmul(h.row(2), &w0, 0)
+            .iter()
+            .map(|&x| x.max(0.0))
+            .collect();
         for (a, b) in out.row(2).iter().zip(expect.iter()) {
             assert!((a - b).abs() < 1e-6);
         }

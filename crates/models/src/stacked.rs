@@ -71,8 +71,12 @@ pub fn rgat_stack(layers: usize, in_dim: usize, hidden: usize, out_dim: usize) -
         let raw = m.add(&format!("raw{l}"), m.edge(atts), m.edge(attt));
         let act = m.leaky_relu(&format!("act{l}"), m.edge(raw));
         let att = m.edge_softmax(&format!("att{l}"), act);
-        let agg =
-            m.aggregate(&format!("agg{l}"), m.edge(hs), Some(m.edge(att)), AggNorm::None);
+        let agg = m.aggregate(
+            &format!("agg{l}"),
+            m.edge(hs),
+            Some(m.edge(att)),
+            AggNorm::None,
+        );
         h = if l + 1 == layers {
             agg
         } else {

@@ -8,8 +8,8 @@
 
 use hector_device::{KernelCategory, KernelCost, Phase};
 use hector_ir::{
-    Gather, GemmSpec, KernelSpec, OpKind, Operand, Program, Scatter, Space,
-    TraversalDomain, TraversalSpec, WeightPrep,
+    Gather, GemmSpec, KernelSpec, OpKind, Operand, Program, Scatter, Space, TraversalDomain,
+    TraversalSpec, WeightPrep,
 };
 
 use crate::GraphData;
@@ -31,12 +31,7 @@ pub fn kernel_cost(
 
 /// Cost of a GEMM-template instance.
 #[must_use]
-pub fn gemm_cost(
-    g: &GemmSpec,
-    program: &Program,
-    graph: &GraphData,
-    phase: Phase,
-) -> KernelCost {
+pub fn gemm_cost(g: &GemmSpec, program: &Program, graph: &GraphData, phase: Phase) -> KernelCost {
     let m = graph.rows_of(g.rows) as f64;
     let (k, n) = (g.k as f64, g.n as f64);
     let mut c = KernelCost::new(KernelCategory::Gemm, phase);
@@ -111,9 +106,7 @@ pub fn traversal_cost(
 ) -> KernelCost {
     let num_nodes = graph.graph().num_nodes() as f64;
     let rows = match t.domain {
-        TraversalDomain::Edges | TraversalDomain::DstNodes => {
-            graph.graph().num_edges() as f64
-        }
+        TraversalDomain::Edges | TraversalDomain::DstNodes => graph.graph().num_edges() as f64,
         TraversalDomain::UniquePairs => graph.compact().num_unique() as f64,
         TraversalDomain::Nodes => num_nodes,
     };
@@ -147,10 +140,7 @@ pub fn traversal_cost(
             // edge→unique indirection.
             if let Operand::Edge(v) = operand {
                 if program.var(*v).space == Space::Compact
-                    && matches!(
-                        t.domain,
-                        TraversalDomain::Edges | TraversalDomain::DstNodes
-                    )
+                    && matches!(t.domain, TraversalDomain::Edges | TraversalDomain::DstNodes)
                 {
                     c.bytes_read += mult * 4.0;
                 }
@@ -316,7 +306,10 @@ mod tests {
             seed: 5,
         }));
         let (p, ks) = rgat_kernels(false);
-        let gemm = ks.iter().find(|k| matches!(k, KernelSpec::Gemm(_))).unwrap();
+        let gemm = ks
+            .iter()
+            .find(|k| matches!(k, KernelSpec::Gemm(_)))
+            .unwrap();
         let c1 = kernel_cost(gemm, &p, &g_small, Phase::Forward);
         let c2 = kernel_cost(gemm, &p, &g2, Phase::Forward);
         assert!((c2.flops / c1.flops - 4.0).abs() < 0.01);

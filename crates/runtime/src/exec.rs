@@ -9,7 +9,7 @@
 
 use hector_ir::interop::LEAKY_RELU_SLOPE;
 use hector_ir::{
-    BinOp, Endpoint, GemmSpec, OpKind, Operand, Program, RowDomain, Scatter, Space,
+    AggNorm, BinOp, Endpoint, GemmSpec, OpKind, Operand, Program, RowDomain, Scatter, Space,
     TraversalDomain, TraversalSpec, TypeIndex, UnOp, VarId,
 };
 
@@ -37,7 +37,14 @@ pub(crate) fn exec_gemm(
 ) {
     let m = graph.rows_of(spec.rows);
     match &spec.op.kind {
-        OpKind::TypedLinear { input, weight, transpose_w, scatter, fused_scale, out } => {
+        OpKind::TypedLinear {
+            input,
+            weight,
+            transpose_w,
+            scatter,
+            fused_scale,
+            out,
+        } => {
             let wt = params.weight(*weight).clone();
             let (wrows, wcols) = (wt.shape()[1], wt.shape()[2]);
             let out_width = program.var(*out).width;
@@ -96,8 +103,7 @@ pub(crate) fn exec_gemm(
                 let ctx = row_ctx(spec.rows, r);
                 let xr = read_operand(x, ctx, program, graph, params, vars);
                 let dyr = read_operand(dy, ctx, program, graph, params, vars);
-                let ty =
-                    weight_type_index(t_count, spec.weight_index, spec.rows, r, graph);
+                let ty = weight_type_index(t_count, spec.weight_index, spec.rows, r, graph);
                 let (k, n) = (xr.len(), dyr.len());
                 let g = params.grad_mut(*out_w);
                 let slab = &mut g.data_mut()[ty * k * n..(ty + 1) * k * n];
@@ -114,7 +120,10 @@ pub(crate) fn exec_gemm(
         }
         other => unreachable!("not a GEMM op: {other:?}"),
     }
-    debug_assert!(matches!(spec.scatter, Scatter::None | Scatter::AtomicNode(_)));
+    debug_assert!(matches!(
+        spec.scatter,
+        Scatter::None | Scatter::AtomicNode(_)
+    ));
 }
 
 fn row_ctx(rows: RowDomain, r: usize) -> Ctx {
@@ -186,9 +195,7 @@ fn read_operand(
             let row = match (ctx, ep) {
                 (Ctx::Edge(e), Endpoint::Src) => graph.graph().src()[e] as usize,
                 (Ctx::Edge(e), Endpoint::Dst) => graph.graph().dst()[e] as usize,
-                (Ctx::Unique(u), Endpoint::Src) => {
-                    graph.compact().unique_row_idx()[u] as usize
-                }
+                (Ctx::Unique(u), Endpoint::Src) => graph.compact().unique_row_idx()[u] as usize,
                 (Ctx::Node(n), Endpoint::This | Endpoint::Dst) => n,
                 (c, e) => unreachable!("node read {e:?} in context {c:?}"),
             };
@@ -198,9 +205,7 @@ fn read_operand(
             let space = program.var(*v).space;
             let row = match (ctx, space) {
                 (Ctx::Edge(e), Space::Edge) => e,
-                (Ctx::Edge(e), Space::Compact) => {
-                    graph.compact().edge_to_unique()[e] as usize
-                }
+                (Ctx::Edge(e), Space::Compact) => graph.compact().edge_to_unique()[e] as usize,
                 (Ctx::Unique(u), Space::Compact) => u,
                 (c, s) => unreachable!("edge read of {s:?} var in context {c:?}"),
             };
@@ -298,6 +303,21 @@ fn stages(spec: &TraversalSpec, program: &Program) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics on spec/program inconsistencies (compiler bugs).
+/// Max-aggregate outputs of a kernel: seeded to `-inf` before execution so
+/// the true maximum survives all-negative inputs, and swept back to `0`
+/// afterwards for groups no edge touched (those rows are never read, but
+/// `-inf` must not leak into later whole-tensor consumers).
+fn max_agg_outputs(spec: &TraversalSpec) -> impl Iterator<Item = VarId> + '_ {
+    spec.ops.iter().filter_map(|op| match op.kind {
+        OpKind::NodeAggregate {
+            norm: AggNorm::Max,
+            out,
+            ..
+        } => Some(out),
+        _ => None,
+    })
+}
+
 pub(crate) fn exec_traversal(
     spec: &TraversalSpec,
     program: &Program,
@@ -305,6 +325,12 @@ pub(crate) fn exec_traversal(
     params: &mut ParamStore,
     vars: &mut VarStore,
 ) {
+    for v in max_agg_outputs(spec) {
+        vars.get_mut(v)
+            .tensor_mut()
+            .data_mut()
+            .fill(f32::NEG_INFINITY);
+    }
     match spec.domain {
         TraversalDomain::Edges => {
             for e in 0..graph.graph().num_edges() {
@@ -352,6 +378,13 @@ pub(crate) fn exec_traversal(
             }
         }
     }
+    for v in max_agg_outputs(spec) {
+        for x in vars.get_mut(v).tensor_mut().data_mut() {
+            if *x == f32::NEG_INFINITY {
+                *x = 0.0;
+            }
+        }
+    }
 }
 
 fn exec_op(
@@ -384,7 +417,14 @@ fn exec_op(
             let y = apply_unary(*op, &av);
             write_row(*out, ctx, &y, program, graph, vars);
         }
-        OpKind::NodeAggregate { edge_val, scale, out, endpoint, .. } => {
+        OpKind::NodeAggregate {
+            edge_val,
+            scale,
+            norm,
+            out,
+            endpoint,
+            ..
+        } => {
             let val = read_operand(edge_val, ctx, program, graph, params, vars);
             let s = match scale {
                 Some(sc) => read_operand(sc, ctx, program, graph, params, vars)[0],
@@ -397,17 +437,22 @@ fn exec_op(
                     Endpoint::Src => graph.graph().src()[e] as usize,
                     Endpoint::This => unreachable!(),
                 },
-                (Ctx::Edge(e), Space::Compact) => {
-                    graph.compact().edge_to_unique()[e] as usize
-                }
-                (Ctx::Unique(u), Space::Node) => {
-                    graph.compact().unique_row_idx()[u] as usize
-                }
+                (Ctx::Edge(e), Space::Compact) => graph.compact().edge_to_unique()[e] as usize,
+                (Ctx::Unique(u), Space::Node) => graph.compact().unique_row_idx()[u] as usize,
                 (c, s0) => unreachable!("aggregate {s0:?} in context {c:?}"),
             };
             let row = vars.get_mut(*out).tensor_mut().row_mut(idx);
-            for (acc, x) in row.iter_mut().zip(val.iter()) {
-                *acc += x * s;
+            if *norm == AggNorm::Max {
+                // Rows are seeded with -inf before the kernel runs (see
+                // `exec_traversal`) so the true maximum survives even when
+                // every contribution is negative.
+                for (acc, x) in row.iter_mut().zip(val.iter()) {
+                    *acc = acc.max(*x);
+                }
+            } else {
+                for (acc, x) in row.iter_mut().zip(val.iter()) {
+                    *acc += x * s;
+                }
             }
         }
         other => unreachable!("traversal cannot execute {other:?}"),

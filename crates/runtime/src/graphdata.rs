@@ -27,7 +27,12 @@ impl GraphData {
         let csc = graph.csc();
         let compact = graph.compaction_map();
         let unique_etype = compact.unique_etype();
-        GraphData { graph, csc, compact, unique_etype }
+        GraphData {
+            graph,
+            csc,
+            compact,
+            unique_etype,
+        }
     }
 
     /// The underlying graph.
@@ -113,13 +118,11 @@ impl GraphData {
         match rows {
             hector_ir::RowDomain::Edges => {
                 let src = self.graph.src()[row] as usize;
-                self.graph.node_type()[src] as usize * et
-                    + self.graph.etype()[row] as usize
+                self.graph.node_type()[src] as usize * et + self.graph.etype()[row] as usize
             }
             hector_ir::RowDomain::UniquePairs => {
                 let src = self.compact.unique_row_idx()[row] as usize;
-                self.graph.node_type()[src] as usize * et
-                    + self.unique_etype[row] as usize
+                self.graph.node_type()[src] as usize * et + self.unique_etype[row] as usize
             }
             hector_ir::RowDomain::Nodes => unreachable!("pair weights need edge context"),
         }

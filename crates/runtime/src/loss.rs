@@ -47,7 +47,10 @@ pub fn nll_loss_and_grad(logits: &Tensor, labels: &[usize]) -> LossResult {
             g[j] = (softmax - if j == label { 1.0 } else { 0.0 }) / m as f32;
         }
     }
-    LossResult { loss: (loss / m as f64) as f32, grad }
+    LossResult {
+        loss: (loss / m as f64) as f32,
+        grad,
+    }
 }
 
 /// Generates the paper's "precomputed random label tensor": one class id

@@ -66,7 +66,15 @@ impl Adam {
     /// Creates Adam with standard defaults (β₁=0.9, β₂=0.999, ε=1e-8).
     #[must_use]
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -84,16 +92,12 @@ impl Optimizer for Adam {
             }
             let id = WeightId(i as u32);
             let g = params.grad(id).clone();
-            let m = self
-                .m[i]
-                .get_or_insert_with(|| Tensor::zeros(g.shape()));
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
             for (mv, gv) in m.data_mut().iter_mut().zip(g.data()) {
                 *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
             }
             let m = m.clone();
-            let v = self
-                .v[i]
-                .get_or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.shape()));
             for (vv, gv) in v.data_mut().iter_mut().zip(g.data()) {
                 *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
             }

@@ -44,7 +44,11 @@ impl ParamStore {
             grads.push(Tensor::zeros(&shape));
             type_counts.push(t);
         }
-        ParamStore { weights, grads, type_counts }
+        ParamStore {
+            weights,
+            grads,
+            type_counts,
+        }
     }
 
     /// The weight stack of `w`.
@@ -142,8 +146,7 @@ impl ParamStore {
                 for i in 0..nt {
                     let aslab = Tensor::from_vec(self.weight(*a).slab(i).to_vec(), &[k, m]);
                     for j in 0..et {
-                        let bslab =
-                            Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
+                        let bslab = Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
                         let prod = aslab.matmul(&bslab);
                         let idx = i * et + j;
                         fused.data_mut()[idx * k * n..(idx + 1) * k * n]
@@ -192,8 +195,7 @@ impl ParamStore {
                             }
                         }
                         {
-                            let gv = &mut self.grads[v.0 as usize].data_mut()
-                                [ty * n..(ty + 1) * n];
+                            let gv = &mut self.grads[v.0 as usize].data_mut()[ty * n..(ty + 1) * n];
                             for j in 0..n {
                                 let mut acc = 0.0;
                                 for i in 0..k {
@@ -223,10 +225,8 @@ impl ParamStore {
                         for j in 0..et {
                             let idx = i * et + j;
                             let d = Tensor::from_vec(dout.slab(idx).to_vec(), &[k, n]);
-                            let bslab =
-                                Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
-                            let aslab =
-                                Tensor::from_vec(self.weight(*a).slab(i).to_vec(), &[k, m]);
+                            let bslab = Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
+                            let aslab = Tensor::from_vec(self.weight(*a).slab(i).to_vec(), &[k, m]);
                             let da = d.matmul_tb(&bslab); // [k, m]
                             let db = aslab.matmul_ta(&d); // [m, n]
                             let ga = &mut self.grads[a.0 as usize].data_mut()

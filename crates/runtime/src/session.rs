@@ -88,8 +88,9 @@ impl Bindings {
             if info.name == "cnorm" {
                 b.set(&info.name, cnorm_tensor(graph));
             } else {
-                let data =
-                    (0..rows * info.width).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let data = (0..rows * info.width)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
                 b.set(&info.name, Tensor::from_vec(data, &[rows, info.width]));
             }
         }
@@ -123,7 +124,10 @@ impl Session {
     /// Creates a session.
     #[must_use]
     pub fn new(config: DeviceConfig, mode: Mode) -> Session {
-        Session { device: Device::new(config), mode }
+        Session {
+            device: Device::new(config),
+            mode,
+        }
     }
 
     /// The underlying device (counters, memory state).
@@ -150,10 +154,14 @@ impl Session {
         }
         let info = program.var(v);
         let rows = graph.rows_of_space(info.space);
-        self.device.alloc(var_bytes(program, graph, v), &info.name)?;
+        self.device
+            .alloc(var_bytes(program, graph, v), &info.name)?;
         let buf = match self.mode {
             Mode::Real => Buffer::Real(Tensor::zeros(&[rows, info.width])),
-            Mode::Modeled => Buffer::Modeled { rows, width: info.width },
+            Mode::Modeled => Buffer::Modeled {
+                rows,
+                width: info.width,
+            },
         };
         vars.insert(v, buf);
         Ok(())
@@ -334,8 +342,10 @@ impl Session {
         labels: &[usize],
         optimizer: &mut dyn Optimizer,
     ) -> Result<(VarStore, RunReport), OomError> {
-        let bw_program =
-            module.backward.as_ref().expect("module was not compiled for training");
+        let bw_program = module
+            .backward
+            .as_ref()
+            .expect("module was not compiled for training");
         self.device.reset();
         self.base_allocations(graph, params, true)?;
         params.zero_grads();
@@ -472,8 +482,9 @@ mod tests {
         let mut rng2 = seeded_rng(7);
         let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
         let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-        let (vars, report) =
-            session.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+        let (vars, report) = session
+            .run_inference(&module, &graph, &mut params, &bindings)
+            .unwrap();
 
         // Reference: dense per-node computation.
         let h = bindings.get("h").unwrap();
@@ -531,10 +542,13 @@ mod tests {
         let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
 
         let mut real = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-        let (_, r1) = real.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+        let (_, r1) = real
+            .run_inference(&module, &graph, &mut params, &bindings)
+            .unwrap();
         let mut modeled = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
-        let (_, r2) =
-            modeled.run_inference(&module, &graph, &mut params, &Bindings::new()).unwrap();
+        let (_, r2) = modeled
+            .run_inference(&module, &graph, &mut params, &Bindings::new())
+            .unwrap();
         assert!((r1.elapsed_us - r2.elapsed_us).abs() < 1e-9);
         assert_eq!(r1.peak_bytes, r2.peak_bytes);
         assert_eq!(r1.launches, r2.launches);

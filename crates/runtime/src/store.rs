@@ -86,7 +86,9 @@ impl VarStore {
     /// Panics if `v` has no buffer (an executor ordering bug).
     #[must_use]
     pub fn get(&self, v: VarId) -> &Buffer {
-        self.bufs.get(&v).unwrap_or_else(|| panic!("no buffer for {v:?}"))
+        self.bufs
+            .get(&v)
+            .unwrap_or_else(|| panic!("no buffer for {v:?}"))
     }
 
     /// Optional buffer lookup.
@@ -101,7 +103,9 @@ impl VarStore {
     ///
     /// Panics if `v` has no buffer.
     pub fn get_mut(&mut self, v: VarId) -> &mut Buffer {
-        self.bufs.get_mut(&v).unwrap_or_else(|| panic!("no buffer for {v:?}"))
+        self.bufs
+            .get_mut(&v)
+            .unwrap_or_else(|| panic!("no buffer for {v:?}"))
     }
 
     /// Tensor of a real buffer.

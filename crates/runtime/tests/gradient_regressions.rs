@@ -33,24 +33,41 @@ fn check(src: hector_ir::builder::ModelSource, names: &[&str]) {
     let labels = vec![0usize, 1, 0];
     let mut sess = Session::new(DeviceConfig::rtx3090(), Mode::Real);
     let mut noop = NoOp;
-    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop).unwrap();
+    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop)
+        .unwrap();
     let eps = 1e-3f32;
     for (wi, info) in module.forward.weights.iter().enumerate() {
-        if info.derived || !names.contains(&info.name.as_str()) { continue; }
+        if info.derived || !names.contains(&info.name.as_str()) {
+            continue;
+        }
         let wid = WeightId(wi as u32);
         for idx in 0..params.weight(wid).len() {
             let orig = params.weight(wid).data()[idx];
             params.weight_mut(wid).data_mut()[idx] = orig + eps;
-            let (v1, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let (v1, _) = sess
+                .run_inference(&module, &g, &mut params, &bindings)
+                .unwrap();
             let up = nll_loss_and_grad(v1.tensor(module.forward.outputs[0]), &labels).loss;
             params.weight_mut(wid).data_mut()[idx] = orig - eps;
-            let (v2, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let (v2, _) = sess
+                .run_inference(&module, &g, &mut params, &bindings)
+                .unwrap();
             let down = nll_loss_and_grad(v2.tensor(module.forward.outputs[0]), &labels).loss;
             params.weight_mut(wid).data_mut()[idx] = orig;
             let fd = (up - down) / (2.0 * eps);
             let an = params.grad(wid).data()[idx];
-            println!("{}[{}]: fd={:.6} analytic={:.6} {}", info.name, idx, fd, an,
-                if (fd-an).abs() > 1e-2 + 0.1*fd.abs().max(an.abs()) { "MISMATCH" } else { "" });
+            println!(
+                "{}[{}]: fd={:.6} analytic={:.6} {}",
+                info.name,
+                idx,
+                fd,
+                an,
+                if (fd - an).abs() > 1e-2 + 0.1 * fd.abs().max(an.abs()) {
+                    "MISMATCH"
+                } else {
+                    ""
+                }
+            );
         }
     }
 }
@@ -104,8 +121,14 @@ fn full_rgat_tiny() {
 #[test]
 fn full_rgat_generated_graph() {
     let spec = hector_graph::DatasetSpec {
-        name: "g".into(), num_nodes: 14, num_node_types: 2, num_edges: 40,
-        num_edge_types: 3, compaction_ratio: 0.6, type_skew: 1.0, seed: 77,
+        name: "g".into(),
+        num_nodes: 14,
+        num_node_types: 2,
+        num_edges: 40,
+        num_edge_types: 3,
+        compaction_ratio: 0.6,
+        type_skew: 1.0,
+        seed: 77,
     };
     let g = GraphData::new(hector_graph::generate(&spec));
     let dim = 4;
@@ -132,32 +155,55 @@ fn full_rgat_generated_graph() {
     let labels: Vec<usize> = (0..g.graph().num_nodes()).map(|i| i % 4).collect();
     let mut sess = Session::new(DeviceConfig::rtx3090(), Mode::Real);
     let mut noop = NoOp;
-    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop).unwrap();
+    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop)
+        .unwrap();
     let eps = 1e-3f32;
     for (wi, info) in module.forward.weights.iter().enumerate() {
-        if info.derived { continue; }
+        if info.derived {
+            continue;
+        }
         let wid = WeightId(wi as u32);
         for idx in 0..params.weight(wid).len().min(8) {
             let orig = params.weight(wid).data()[idx];
             params.weight_mut(wid).data_mut()[idx] = orig + eps;
-            let (v1, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let (v1, _) = sess
+                .run_inference(&module, &g, &mut params, &bindings)
+                .unwrap();
             let up = nll_loss_and_grad(v1.tensor(module.forward.outputs[0]), &labels).loss;
             params.weight_mut(wid).data_mut()[idx] = orig - eps;
-            let (v2, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let (v2, _) = sess
+                .run_inference(&module, &g, &mut params, &bindings)
+                .unwrap();
             let down = nll_loss_and_grad(v2.tensor(module.forward.outputs[0]), &labels).loss;
             params.weight_mut(wid).data_mut()[idx] = orig;
             let fd = (up - down) / (2.0 * eps);
             let an = params.grad(wid).data()[idx];
-            println!("{}[{}]: fd={:.6} analytic={:.6} {}", info.name, idx, fd, an,
-                if (fd-an).abs() > 5e-3 + 0.1*fd.abs().max(an.abs()) { "MISMATCH" } else { "" });
+            println!(
+                "{}[{}]: fd={:.6} analytic={:.6} {}",
+                info.name,
+                idx,
+                fd,
+                an,
+                if (fd - an).abs() > 5e-3 + 0.1 * fd.abs().max(an.abs()) {
+                    "MISMATCH"
+                } else {
+                    ""
+                }
+            );
         }
     }
 }
 
 fn check_on_generated(src: hector_ir::builder::ModelSource, names: &[&str]) {
     let spec = hector_graph::DatasetSpec {
-        name: "g".into(), num_nodes: 14, num_node_types: 2, num_edges: 40,
-        num_edge_types: 3, compaction_ratio: 0.6, type_skew: 1.0, seed: 77,
+        name: "g".into(),
+        num_nodes: 14,
+        num_node_types: 2,
+        num_edges: 40,
+        num_edge_types: 3,
+        compaction_ratio: 0.6,
+        type_skew: 1.0,
+        seed: 77,
     };
     let g = GraphData::new(hector_graph::generate(&spec));
     let module = compile(&src, &CompileOptions::unopt().with_training(true));
@@ -168,25 +214,35 @@ fn check_on_generated(src: hector_ir::builder::ModelSource, names: &[&str]) {
     let labels: Vec<usize> = (0..g.graph().num_nodes()).map(|i| i % 2).collect();
     let mut sess = Session::new(DeviceConfig::rtx3090(), Mode::Real);
     let mut noop = NoOp;
-    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop).unwrap();
+    sess.run_training_step(&module, &g, &mut params, &bindings, &labels, &mut noop)
+        .unwrap();
     let eps = 1e-3f32;
     let mut bad = 0;
     for (wi, info) in module.forward.weights.iter().enumerate() {
-        if info.derived || !names.contains(&info.name.as_str()) { continue; }
+        if info.derived || !names.contains(&info.name.as_str()) {
+            continue;
+        }
         let wid = WeightId(wi as u32);
         for idx in 0..params.weight(wid).len().min(6) {
             let orig = params.weight(wid).data()[idx];
             params.weight_mut(wid).data_mut()[idx] = orig + eps;
-            let (v1, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let (v1, _) = sess
+                .run_inference(&module, &g, &mut params, &bindings)
+                .unwrap();
             let up = nll_loss_and_grad(v1.tensor(module.forward.outputs[0]), &labels).loss;
             params.weight_mut(wid).data_mut()[idx] = orig - eps;
-            let (v2, _) = sess.run_inference(&module, &g, &mut params, &bindings).unwrap();
+            let (v2, _) = sess
+                .run_inference(&module, &g, &mut params, &bindings)
+                .unwrap();
             let down = nll_loss_and_grad(v2.tensor(module.forward.outputs[0]), &labels).loss;
             params.weight_mut(wid).data_mut()[idx] = orig;
             let fd = (up - down) / (2.0 * eps);
             let an = params.grad(wid).data()[idx];
-            if (fd-an).abs() > 5e-3 + 0.1f32*fd.abs().max(an.abs()) {
-                println!("  {}[{}]: fd={:.6} analytic={:.6} MISMATCH", info.name, idx, fd, an);
+            if (fd - an).abs() > 5e-3 + 0.1f32 * fd.abs().max(an.abs()) {
+                println!(
+                    "  {}[{}]: fd={:.6} analytic={:.6} MISMATCH",
+                    info.name, idx, fd, an
+                );
                 bad += 1;
             }
         }

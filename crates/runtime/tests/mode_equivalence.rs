@@ -13,8 +13,15 @@ use hector_tensor::seeded_rng;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = GraphData> {
-    (10usize..60, 1usize..4, 20usize..200, 1usize..8, 0.2f64..1.0, any::<u64>()).prop_map(
-        |(n, nt, e, et, ratio, seed)| {
+    (
+        10usize..60,
+        1usize..4,
+        20usize..200,
+        1usize..8,
+        0.2f64..1.0,
+        any::<u64>(),
+    )
+        .prop_map(|(n, nt, e, et, ratio, seed)| {
             GraphData::new(generate(&DatasetSpec {
                 name: "prop".into(),
                 num_nodes: n,
@@ -25,12 +32,15 @@ fn arb_graph() -> impl Strategy<Value = GraphData> {
                 type_skew: 1.0,
                 seed,
             }))
-        },
-    )
+        })
 }
 
 fn models() -> impl Strategy<Value = ModelKind> {
-    prop_oneof![Just(ModelKind::Rgcn), Just(ModelKind::Rgat), Just(ModelKind::Hgt)]
+    prop_oneof![
+        Just(ModelKind::Rgcn),
+        Just(ModelKind::Rgat),
+        Just(ModelKind::Hgt)
+    ]
 }
 
 proptest! {

@@ -63,7 +63,13 @@ pub fn approx_eq(a: f32, b: f32, rtol: f32, atol: f32) -> bool {
 ///
 /// Panics if shapes differ or any element pair violates the tolerance.
 pub fn assert_close(a: &Tensor, b: &Tensor, rtol: f32, atol: f32) {
-    assert_eq!(a.shape(), b.shape(), "shape mismatch: {:?} vs {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
     for (i, (&x, &y)) in a.data().iter().zip(b.data().iter()).enumerate() {
         assert!(
             approx_eq(x, y, rtol, atol),

@@ -181,8 +181,12 @@ impl Tensor {
 
     fn zip_with(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
-        let data =
-            self.data().iter().zip(rhs.data().iter()).map(|(&a, &b)| f(a, b)).collect();
+        let data = self
+            .data()
+            .iter()
+            .zip(rhs.data().iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
         Tensor::from_vec(data, self.shape())
     }
 
@@ -435,7 +439,11 @@ mod tests {
     #[test]
     fn matmul_tb_equals_matmul_of_transpose() {
         let a = t2(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
-        let b = t2(&[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 2.0, 0.0, 1.0, 1.0, 1.0], 4, 3);
+        let b = t2(
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.5, 2.0, 0.0, 1.0, 1.0, 1.0],
+            4,
+            3,
+        );
         let direct = a.matmul_tb(&b);
         let via_t = a.matmul(&b.transpose2());
         assert_close(&direct, &via_t, 1e-5, 1e-6);

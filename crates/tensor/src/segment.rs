@@ -18,7 +18,11 @@ use crate::Tensor;
 pub fn validate_seg_ptr(seg_ptr: &[usize], rows: usize) {
     assert!(!seg_ptr.is_empty(), "seg_ptr must have at least one entry");
     assert_eq!(seg_ptr[0], 0, "seg_ptr must start at 0");
-    assert_eq!(*seg_ptr.last().unwrap(), rows, "seg_ptr must end at the row count");
+    assert_eq!(
+        *seg_ptr.last().unwrap(),
+        rows,
+        "seg_ptr must end at the row count"
+    );
     for w in seg_ptr.windows(2) {
         assert!(w[0] <= w[1], "seg_ptr must be non-decreasing");
     }
@@ -42,7 +46,11 @@ pub fn segment_mm(x: &Tensor, weights: &Tensor, seg_ptr: &[usize]) -> Tensor {
     let (rows, k) = (x.shape()[0], x.shape()[1]);
     let (t, k2, n) = (weights.shape()[0], weights.shape()[1], weights.shape()[2]);
     assert_eq!(k, k2, "segment_mm inner dimensions must agree");
-    assert_eq!(seg_ptr.len(), t + 1, "seg_ptr must have num_types + 1 entries");
+    assert_eq!(
+        seg_ptr.len(),
+        t + 1,
+        "seg_ptr must have num_types + 1 entries"
+    );
     validate_seg_ptr(seg_ptr, rows);
     let mut out = Tensor::zeros(&[rows, n]);
     for ty in 0..t {
@@ -216,7 +224,11 @@ pub fn gather_typed_mm(x: &Tensor, weights: &Tensor, gather: &[u32], types: &[u3
     assert_eq!(weights.rank(), 3);
     assert_eq!(gather.len(), types.len(), "one type per gathered row");
     let k = x.shape()[1];
-    assert_eq!(weights.shape()[1], k, "gather_typed_mm inner dimensions must agree");
+    assert_eq!(
+        weights.shape()[1],
+        k,
+        "gather_typed_mm inner dimensions must agree"
+    );
     let n = weights.shape()[2];
     let mut out = Tensor::zeros(&[gather.len(), n]);
     for (i, (&src, &ty)) in gather.iter().zip(types.iter()).enumerate() {

@@ -38,7 +38,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for dimension of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of length {len}"
+                )
             }
         }
     }
@@ -61,7 +64,11 @@ pub struct Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let preview: Vec<f32> = self.data.iter().copied().take(8).collect();
-        write!(f, "Tensor{{shape: {:?}, data[..8]: {:?}}}", self.shape, preview)
+        write!(
+            f,
+            "Tensor{{shape: {:?}, data[..8]: {:?}}}",
+            self.shape, preview
+        )
     }
 }
 
@@ -84,23 +91,35 @@ impl Tensor {
     pub fn try_from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
         let expected: usize = shape.iter().product();
         if data.len() != expected {
-            return Err(TensorError::ShapeDataMismatch { expected, actual: data.len() });
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Self { shape: shape.to_vec(), data })
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// Creates a zero-filled tensor of the given shape.
     #[must_use]
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     #[must_use]
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
     }
 
     /// Creates the `n`-by-`n` identity matrix.
@@ -183,8 +202,15 @@ impl Tensor {
     #[must_use]
     pub fn reshape(&self, shape: &[usize]) -> Self {
         let expected: usize = shape.iter().product();
-        assert_eq!(self.data.len(), expected, "reshape to incompatible shape {shape:?}");
-        Self { shape: shape.to_vec(), data: self.data.clone() }
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "reshape to incompatible shape {shape:?}"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Element accessor for rank-2 tensors.
@@ -291,7 +317,13 @@ mod tests {
     #[test]
     fn try_from_vec_rejects_bad_shape() {
         let err = Tensor::try_from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
-        assert_eq!(err, TensorError::ShapeDataMismatch { expected: 6, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::ShapeDataMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
     }
 
     #[test]
@@ -339,7 +371,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TensorError::ShapeMismatch { lhs: vec![2], rhs: vec![3] };
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2],
+            rhs: vec![3],
+        };
         assert!(e.to_string().contains("mismatch"));
     }
 }

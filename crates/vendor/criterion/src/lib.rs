@@ -1,0 +1,240 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion 0.5 that Hector's 16 bench targets use:
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_with_input`/`bench_function`, [`BenchmarkId`], and
+//! [`Bencher::iter`].
+//!
+//! Measurement is intentionally simple: each benchmark runs `sample_size`
+//! timed iterations after one warm-up call and reports min / mean / max
+//! wall-clock time per iteration as plain text. There is no statistical
+//! analysis, HTML report, or baseline comparison — the targets exist so the
+//! hot paths are exercised and timable, and so `cargo bench` has a stable
+//! CLI entry point to grow against.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` once to warm up, then `samples` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        self.recorded.clear();
+        self.recorded.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(group: &str, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    f(&mut bencher);
+    let (label, sep) = if group.is_empty() {
+        ("", "")
+    } else {
+        (group, "/")
+    };
+    if bencher.recorded.is_empty() {
+        println!("{label}{sep}{id}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.recorded.iter().sum();
+    let mean = total / bencher.recorded.len() as u32;
+    let min = *bencher.recorded.iter().min().unwrap();
+    let max = *bencher.recorded.iter().max().unwrap();
+    println!(
+        "{label}{sep}{id}: [{} {} {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        bencher.recorded.len(),
+    );
+}
+
+/// Named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&self.name, &id.id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.id, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (drop would do the same; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one("", &id.id, 20, &mut f);
+        self
+    }
+}
+
+/// Re-export matching upstream's `criterion::black_box` (deprecated there in
+/// favour of `std::hint::black_box`, which the benches mostly use directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group (cargo passes `--bench` and
+/// possibly filter arguments; this harness ignores them).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_records() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            recorded: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.recorded.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        let id = BenchmarkId::new("f", 32);
+        assert_eq!(id.id, "f/32");
+    }
+}

@@ -45,16 +45,31 @@ fn main() {
         }
     }
 
-    println!("\n=== first generated kernel ({} CUDA lines total) ===", module.code.cuda_lines());
+    println!(
+        "\n=== first generated kernel ({} CUDA lines total) ===",
+        module.code.cuda_lines()
+    );
     let (name, src) = &module.code.kernels[0];
     println!("--- {name} ---");
     for line in src.lines().take(30) {
         println!("{line}");
     }
-    println!("... ({} more lines)", src.lines().count().saturating_sub(30));
+    println!(
+        "... ({} more lines)",
+        src.lines().count().saturating_sub(30)
+    );
 
     println!("\n=== host registration excerpt ===");
-    for line in module.code.host.lines().rev().take(8).collect::<Vec<_>>().into_iter().rev() {
+    for line in module
+        .code
+        .host
+        .lines()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         println!("{line}");
     }
 }

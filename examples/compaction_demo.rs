@@ -26,9 +26,18 @@ fn main() {
         c.num_unique(),
         c.ratio()
     );
-    println!("  unique_row_idx   = {:?}   (gather list)", c.unique_row_idx());
-    println!("  unique_etype_ptr = {:?}          (scatter segments)", c.unique_etype_ptr());
-    println!("  edge_to_unique   = {:?} (per-edge indirection)", c.edge_to_unique());
+    println!(
+        "  unique_row_idx   = {:?}   (gather list)",
+        c.unique_row_idx()
+    );
+    println!(
+        "  unique_etype_ptr = {:?}          (scatter segments)",
+        c.unique_etype_ptr()
+    );
+    println!(
+        "  edge_to_unique   = {:?} (per-edge indirection)",
+        c.edge_to_unique()
+    );
     println!(
         "  e.g. edges 0 and 1 (alpha->a, alpha->b) share compact row {}\n",
         c.edge_to_unique()[0]

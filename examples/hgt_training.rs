@@ -21,8 +21,12 @@ fn main() {
 
     let dim = 16;
     let classes = 8;
-    let module =
-        hector::compile_model(ModelKind::Hgt, dim, classes, &CompileOptions::best().with_training(true));
+    let module = hector::compile_model(
+        ModelKind::Hgt,
+        dim,
+        classes,
+        &CompileOptions::best().with_training(true),
+    );
     println!(
         "compiled with C+R: {} forward kernels, {} backward kernels",
         module.fw_kernels.len(),
@@ -32,8 +36,9 @@ fn main() {
     let mut rng = seeded_rng(11);
     let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
     let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
-    let labels: Vec<usize> =
-        (0..graph.graph().num_nodes()).map(|i| (i * 7 + 3) % classes).collect();
+    let labels: Vec<usize> = (0..graph.graph().num_nodes())
+        .map(|i| (i * 7 + 3) % classes)
+        .collect();
 
     let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
     let mut opt = Adam::new(0.05);

@@ -29,8 +29,14 @@ fn main() {
 
     let combos = [
         ("U  (unoptimized)", CompileOptions::unopt()),
-        ("C  (compact materialization)", CompileOptions::compact_only()),
-        ("R  (linear operator reordering)", CompileOptions::reorder_only()),
+        (
+            "C  (compact materialization)",
+            CompileOptions::compact_only(),
+        ),
+        (
+            "R  (linear operator reordering)",
+            CompileOptions::reorder_only(),
+        ),
         ("C+R (both)", CompileOptions::best()),
     ];
     for (label, opts) in combos {
@@ -52,9 +58,7 @@ fn main() {
             .run_inference(&module, &graph, &mut params, &Bindings::new())
             .expect("fits");
         println!("{label}");
-        println!(
-            "  kernel plan: {gemms} GEMM + {travs} traversal + {fallbacks} weight-prep"
-        );
+        println!("  kernel plan: {gemms} GEMM + {travs} traversal + {fallbacks} weight-prep");
         println!(
             "  simulated:   {:7.1} us  (GEMM {:6.1}, traversal {:6.1}, prep {:5.1})",
             report.elapsed_us, report.gemm_us, report.traversal_us, report.fallback_us

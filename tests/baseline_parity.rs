@@ -30,7 +30,10 @@ fn hector_time(kind: ModelKind, graph: &GraphData, opts: &CompileOptions, traini
             .unwrap()
             .1
     } else {
-        session.run_inference(&module, graph, &mut params, &Bindings::new()).unwrap().1
+        session
+            .run_inference(&module, graph, &mut params, &Bindings::new())
+            .unwrap()
+            .1
     };
     report.elapsed_us
 }
@@ -90,7 +93,10 @@ fn graphiler_is_close_on_hgt_but_degrades_on_rgat() {
         rgat_ratio > hgt_ratio * 1.5,
         "RGAT degradation ({rgat_ratio:.2}x) must exceed HGT ({hgt_ratio:.2}x)"
     );
-    assert!(hgt_ratio < 3.0, "Graphiler should be competitive on HGT: {hgt_ratio:.2}x");
+    assert!(
+        hgt_ratio < 3.0,
+        "Graphiler should be competitive on HGT: {hgt_ratio:.2}x"
+    );
 }
 
 #[test]
@@ -99,7 +105,10 @@ fn seastar_is_memory_lean_but_slow() {
     let cfg = DeviceConfig::rtx3090();
     let sea = Seastar.run(ModelKind::Rgcn, &g, 64, &cfg, false);
     let dgl = Dgl.run(ModelKind::Rgcn, &g, 64, &cfg, false);
-    assert!(sea.peak_bytes < dgl.peak_bytes, "vertex-centric code materialises less");
+    assert!(
+        sea.peak_bytes < dgl.peak_bytes,
+        "vertex-centric code materialises less"
+    );
     assert!(
         sea.time_us > dgl.time_us,
         "sparse-only lowering loses to GEMM-based lowering"

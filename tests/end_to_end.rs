@@ -54,8 +54,7 @@ fn run_compiled(
 fn rgcn_matches_reference_under_all_options() {
     let graph = test_graph(100);
     for opts in all_option_combos() {
-        let (got, params, bindings, _m) =
-            run_compiled(ModelKind::Rgcn, &opts, &graph, 16, 7);
+        let (got, params, bindings, _m) = run_compiled(ModelKind::Rgcn, &opts, &graph, 16, 7);
         let expect = reference::rgcn_forward(
             graph.graph(),
             bindings.get("h").unwrap(),
@@ -71,8 +70,7 @@ fn rgcn_matches_reference_under_all_options() {
 fn rgat_matches_reference_under_all_options() {
     let graph = test_graph(200);
     for opts in all_option_combos() {
-        let (got, params, bindings, _m) =
-            run_compiled(ModelKind::Rgat, &opts, &graph, 16, 17);
+        let (got, params, bindings, _m) = run_compiled(ModelKind::Rgat, &opts, &graph, 16, 17);
         let expect = reference::rgat_forward(
             graph.graph(),
             bindings.get("h").unwrap(),
@@ -88,8 +86,7 @@ fn rgat_matches_reference_under_all_options() {
 fn hgt_matches_reference_under_all_options() {
     let graph = test_graph(300);
     for opts in all_option_combos() {
-        let (got, params, bindings, _m) =
-            run_compiled(ModelKind::Hgt, &opts, &graph, 16, 27);
+        let (got, params, bindings, _m) = run_compiled(ModelKind::Hgt, &opts, &graph, 16, 27);
         let expect = reference::hgt_forward(
             graph.graph(),
             bindings.get("h").unwrap(),
@@ -126,8 +123,14 @@ fn isolated_destination_nodes_get_zero_aggregate() {
     b.add_edge(1, 2, 1);
     let graph = GraphData::new(b.build());
     let (got, ..) = run_compiled(ModelKind::Rgat, &CompileOptions::best(), &graph, 8, 5);
-    assert!(got.row(3).iter().all(|&x| x == 0.0), "node 3 has no in-edges");
-    assert!(got.row(1).iter().any(|&x| x != 0.0), "node 1 aggregates two edges");
+    assert!(
+        got.row(3).iter().all(|&x| x == 0.0),
+        "node 3 has no in-edges"
+    );
+    assert!(
+        got.row(1).iter().any(|&x| x != 0.0),
+        "node 1 aggregates two edges"
+    );
 }
 
 #[test]
@@ -169,8 +172,9 @@ fn graph_with_no_edges_runs_cleanly() {
     let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
     let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
     let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-    let (vars, report) =
-        session.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+    let (vars, report) = session
+        .run_inference(&module, &graph, &mut params, &bindings)
+        .unwrap();
     let out = vars.tensor(module.forward.outputs[0]);
     assert_eq!(out.rows(), 5);
     assert!(out.data().iter().all(|v| v.is_finite()));
@@ -204,13 +208,15 @@ fn laptop_device_config_also_works() {
     let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
     let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
     let mut session = Session::new(DeviceConfig::laptop_4gb(), Mode::Real);
-    let (_, report) =
-        session.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+    let (_, report) = session
+        .run_inference(&module, &graph, &mut params, &bindings)
+        .unwrap();
     // The slower part can never beat the 3090 on the same work (ties are
     // possible when every kernel is launch-overhead-bound).
     let mut fast = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-    let (_, fast_report) =
-        fast.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+    let (_, fast_report) = fast
+        .run_inference(&module, &graph, &mut params, &bindings)
+        .unwrap();
     assert!(report.elapsed_us >= fast_report.elapsed_us);
     assert!(report.elapsed_us.is_finite() && report.peak_bytes > 0);
 }

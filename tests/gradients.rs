@@ -30,7 +30,9 @@ fn loss_at(
     labels: &[usize],
 ) -> f32 {
     let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-    let (vars, _) = session.run_inference(module, graph, params, bindings).unwrap();
+    let (vars, _) = session
+        .run_inference(module, graph, params, bindings)
+        .unwrap();
     let logits = vars.tensor(module.forward.outputs[0]);
     nll_loss_and_grad(logits, labels).loss
 }
@@ -48,8 +50,9 @@ fn check_model(kind: ModelKind, opts: &CompileOptions, dim: usize, seed: u64) {
     let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
     let mut rng2 = seeded_rng(seed + 1);
     let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
-    let labels: Vec<usize> =
-        (0..graph.graph().num_nodes()).map(|i| i % dim.min(4)).collect();
+    let labels: Vec<usize> = (0..graph.graph().num_nodes())
+        .map(|i| i % dim.min(4))
+        .collect();
 
     // Analytic gradients from one training step (NoOp optimizer keeps
     // both weights and gradients intact).

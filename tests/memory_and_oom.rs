@@ -27,15 +27,24 @@ fn peak_bytes(kind: ModelKind, graph: &GraphData, opts: &CompileOptions) -> usiz
     let mut rng = seeded_rng(1);
     let mut params = ParamStore::init(&module.forward, graph, &mut rng);
     let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
-    let (_, report) =
-        session.run_inference(&module, graph, &mut params, &Bindings::new()).unwrap();
+    let (_, report) = session
+        .run_inference(&module, graph, &mut params, &Bindings::new())
+        .unwrap();
     report.peak_bytes
 }
 
 #[test]
 fn footprint_scales_with_edge_count() {
-    let small = peak_bytes(ModelKind::Hgt, &graph_with(10_000, 0.8), &CompileOptions::unopt());
-    let large = peak_bytes(ModelKind::Hgt, &graph_with(80_000, 0.8), &CompileOptions::unopt());
+    let small = peak_bytes(
+        ModelKind::Hgt,
+        &graph_with(10_000, 0.8),
+        &CompileOptions::unopt(),
+    );
+    let large = peak_bytes(
+        ModelKind::Hgt,
+        &graph_with(80_000, 0.8),
+        &CompileOptions::unopt(),
+    );
     assert!(
         large > 4 * small,
         "8x the edges should be > 4x the footprint: {small} -> {large}"
@@ -76,7 +85,14 @@ fn training_uses_more_memory_than_inference() {
         .unwrap();
     let mut sgd = Sgd::new(0.01);
     let (_, tr) = session
-        .run_training_step(&module_tr, &graph, &mut params, &Bindings::new(), &[], &mut sgd)
+        .run_training_step(
+            &module_tr,
+            &graph,
+            &mut params,
+            &Bindings::new(),
+            &[],
+            &mut sgd,
+        )
         .unwrap();
     assert!(
         tr.peak_bytes > inf.peak_bytes,
@@ -116,13 +132,11 @@ fn compaction_rescues_oom_runs() {
     let peak_c = peak_bytes(ModelKind::Rgat, &graph, &CompileOptions::compact_only());
     assert!(peak_c < peak_u);
     let cap = (peak_c + peak_u) / 2;
-    let mut session =
-        Session::new(DeviceConfig::rtx3090().with_capacity(cap), Mode::Modeled);
+    let mut session = Session::new(DeviceConfig::rtx3090().with_capacity(cap), Mode::Modeled);
     assert!(session
         .run_inference(&module_u, &graph, &mut params, &Bindings::new())
         .is_err());
-    let module_c =
-        hector::compile_model(ModelKind::Rgat, 64, 64, &CompileOptions::compact_only());
+    let module_c = hector::compile_model(ModelKind::Rgat, 64, 64, &CompileOptions::compact_only());
     let mut params_c = ParamStore::init(&module_c.forward, &graph, &mut rng);
     assert!(session
         .run_inference(&module_c, &graph, &mut params_c, &Bindings::new())

@@ -32,7 +32,9 @@ fn forward_output(
     let mut rng2 = seeded_rng(seed + 1000);
     let bindings = Bindings::standard(&module.forward, graph, &mut rng2);
     let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-    let (vars, _) = session.run_inference(&module, graph, &mut params, &bindings).unwrap();
+    let (vars, _) = session
+        .run_inference(&module, graph, &mut params, &bindings)
+        .unwrap();
     vars.tensor(module.forward.outputs[0]).clone()
 }
 
@@ -115,13 +117,18 @@ fn compaction_speeds_up_low_ratio_graphs() {
 #[test]
 fn reordering_removes_a_gemm_from_rgat() {
     let unopt = hector::compile_model(ModelKind::Rgat, 64, 64, &CompileOptions::unopt());
-    let reord =
-        hector::compile_model(ModelKind::Rgat, 64, 64, &CompileOptions::reorder_only());
+    let reord = hector::compile_model(ModelKind::Rgat, 64, 64, &CompileOptions::reorder_only());
     let gemms = |m: &hector::CompiledModule| {
-        m.fw_kernels.iter().filter(|k| matches!(k, KernelSpec::Gemm(_))).count()
+        m.fw_kernels
+            .iter()
+            .filter(|k| matches!(k, KernelSpec::Gemm(_)))
+            .count()
     };
     assert!(gemms(&reord) < gemms(&unopt));
-    assert!(!reord.forward.preps.is_empty(), "reorder introduces weight preps");
+    assert!(
+        !reord.forward.preps.is_empty(),
+        "reorder introduces weight preps"
+    );
 }
 
 #[test]

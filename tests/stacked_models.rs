@@ -50,8 +50,11 @@ fn rgcn_stack_reference(
                 out.row_mut(v).copy_from_slice(&row);
             }
             for e in 0..g.num_edges() {
-                let (s, d, ty) =
-                    (g.src()[e] as usize, g.dst()[e] as usize, g.etype()[e] as usize);
+                let (s, d, ty) = (
+                    g.src()[e] as usize,
+                    g.dst()[e] as usize,
+                    g.etype()[e] as usize,
+                );
                 let c = cnorm.at2(e, 0);
                 for j in 0..w.shape()[2] {
                     let mut m = 0.0;
@@ -78,8 +81,9 @@ fn two_layer_rgcn_matches_layerwise_reference() {
         let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
         let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
         let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-        let (vars, _) =
-            session.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+        let (vars, _) = session
+            .run_inference(&module, &graph, &mut params, &bindings)
+            .unwrap();
         let got = vars.tensor(module.forward.outputs[0]);
         let expect = rgcn_stack_reference(
             graph.graph(),
@@ -133,8 +137,9 @@ fn stacked_rgat_all_option_combos_agree() {
         let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
         let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
         let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-        let (vars, _) =
-            session.run_inference(&module, &graph, &mut params, &bindings).unwrap();
+        let (vars, _) = session
+            .run_inference(&module, &graph, &mut params, &bindings)
+            .unwrap();
         outputs.push(vars.tensor(module.forward.outputs[0]).clone());
     }
     for other in &outputs[1..] {

@@ -96,7 +96,10 @@ fn optimized_training_follows_the_same_trajectory() {
     let mut sgd_b = Sgd::new(0.1);
     let b = losses(ModelKind::Rgat, &CompileOptions::best(), &mut sgd_b, 10, 7);
     for (x, y) in a.iter().zip(b.iter()) {
-        assert!((x - y).abs() < 1e-2, "trajectories diverged: {a:?} vs {b:?}");
+        assert!(
+            (x - y).abs() < 1e-2,
+            "trajectories diverged: {a:?} vs {b:?}"
+        );
     }
 }
 
@@ -115,14 +118,25 @@ fn adam_beats_sgd_on_hgt() {
 #[test]
 fn modeled_training_reports_costs_without_loss() {
     let graph = train_graph(11);
-    let module =
-        hector::compile_model(ModelKind::Rgcn, 16, 16, &CompileOptions::best().with_training(true));
+    let module = hector::compile_model(
+        ModelKind::Rgcn,
+        16,
+        16,
+        &CompileOptions::best().with_training(true),
+    );
     let mut rng = seeded_rng(12);
     let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
     let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
     let mut sgd = Sgd::new(0.1);
     let (_, report) = session
-        .run_training_step(&module, &graph, &mut params, &Bindings::new(), &[], &mut sgd)
+        .run_training_step(
+            &module,
+            &graph,
+            &mut params,
+            &Bindings::new(),
+            &[],
+            &mut sgd,
+        )
         .unwrap();
     assert!(report.loss.is_none());
     assert!(report.backward_us > 0.0);
