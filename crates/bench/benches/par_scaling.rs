@@ -1,0 +1,138 @@
+//! Thread-scaling of the parallel real-mode executor (`hector-par`).
+//!
+//! Sweeps `HECTOR_THREADS ∈ {1, 2, 4, 8}` over RGCN / RGAT / HGT forward
+//! passes and full training steps (forward + backward + optimizer) on
+//! three generated graphs, reporting host wall-clock time and the speedup
+//! over the 1-thread baseline. The 1-thread run takes the exact
+//! sequential code path; every other column is bit-identical to it (see
+//! `tests/par_determinism.rs`), so the columns differ *only* in wall
+//! time. `HECTOR_SCALE` shrinks the graphs; the largest graph is listed
+//! last — that is the row the ≥2× @ 4-threads scaling target refers to
+//! (given ≥4 physical cores; steal counters are reported to show the
+//! pool was actually exercised).
+
+use std::time::Instant;
+
+use hector::prelude::*;
+use hector_bench::{banner, scale};
+
+const DIMS: usize = 32;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Measured {
+    fwd_ms: f64,
+    train_ms: f64,
+    steals: u64,
+}
+
+fn generated(name: &str, nodes: usize, edges: usize, s: f64) -> (String, GraphData) {
+    let spec = DatasetSpec {
+        name: name.into(),
+        num_nodes: ((nodes as f64 * s) as usize).max(32),
+        num_node_types: 4,
+        num_edges: ((edges as f64 * s) as usize).max(128),
+        num_edge_types: 8,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed: 97,
+    };
+    let g = GraphData::new(hector::generate(&spec));
+    let label = format!(
+        "{} ({} nodes, {} edges)",
+        name,
+        g.graph().num_nodes(),
+        g.graph().num_edges()
+    );
+    (label, g)
+}
+
+fn measure(kind: ModelKind, graph: &GraphData, threads: usize, iters: usize) -> Measured {
+    let par = ParallelConfig::from_env().with_threads(threads);
+    let infer = hector::compile_model(kind, DIMS, DIMS, &CompileOptions::best());
+    let train = hector::compile_model(
+        kind,
+        DIMS,
+        DIMS,
+        &CompileOptions::best().with_training(true),
+    );
+    let mut rng = seeded_rng(42);
+    let mut params = ParamStore::init(&infer.forward, graph, &mut rng);
+    let bindings = Bindings::standard(&infer.forward, graph, &mut rng);
+    let mut tparams = ParamStore::init(&train.forward, graph, &mut rng);
+    let tbindings = Bindings::standard(&train.forward, graph, &mut rng);
+    let labels: Vec<usize> = (0..graph.graph().num_nodes()).map(|i| i % 4).collect();
+    let cfg = DeviceConfig::rtx3090();
+
+    let mut session = Session::with_parallel(cfg.clone(), Mode::Real, par);
+    // Warm-up, then timed iterations.
+    session
+        .run_inference(&infer, graph, &mut params, &bindings)
+        .expect("inference fits");
+    let start = Instant::now();
+    for _ in 0..iters {
+        session
+            .run_inference(&infer, graph, &mut params, &bindings)
+            .expect("inference fits");
+    }
+    let fwd_ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let mut opt = Sgd::new(0.01);
+    session
+        .run_training_step(&train, graph, &mut tparams, &tbindings, &labels, &mut opt)
+        .expect("training fits");
+    let start = Instant::now();
+    for _ in 0..iters {
+        session
+            .run_training_step(&train, graph, &mut tparams, &tbindings, &labels, &mut opt)
+            .expect("training fits");
+    }
+    let train_ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let steals = session.pool_stats().map_or(0, |s| s.steals);
+    Measured {
+        fwd_ms,
+        train_ms,
+        steals,
+    }
+}
+
+fn main() {
+    let s = scale();
+    banner("par_scaling: real-mode executor thread scaling", s);
+    println!(
+        "host cores: {}",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let graphs = [
+        generated("gen-small", 1_000, 8_000, s),
+        generated("gen-medium", 4_000, 32_000, s),
+        generated("gen-large", 16_000, 128_000, s),
+    ];
+    let iters = if s >= 1.0 { 2 } else { 3 };
+    for (label, graph) in &graphs {
+        println!("\n=== {label} ===");
+        for kind in ModelKind::all() {
+            println!("--- {} (dims {DIMS}) ---", kind.name());
+            println!(
+                "{:>8}{:>12}{:>9}{:>12}{:>9}{:>9}",
+                "threads", "fwd ms", "fwd x", "train ms", "train x", "steals"
+            );
+            let mut base: Option<(f64, f64)> = None;
+            for t in THREADS {
+                let m = measure(kind, graph, t, iters);
+                let (bf, bt) = *base.get_or_insert((m.fwd_ms, m.train_ms));
+                println!(
+                    "{:>8}{:>12.2}{:>8.2}x{:>12.2}{:>8.2}x{:>9}",
+                    t,
+                    m.fwd_ms,
+                    bf / m.fwd_ms,
+                    m.train_ms,
+                    bt / m.train_ms,
+                    m.steals
+                );
+            }
+        }
+    }
+    println!("\nSpeedups are relative to the 1-thread (exact sequential path) row.");
+    println!("All rows compute bit-identical outputs; see tests/par_determinism.rs.");
+}

@@ -47,7 +47,7 @@
 
 pub mod autotune;
 
-pub use autotune::{autotune, TuneResult};
+pub use autotune::{autotune, autotune_threads, ThreadTuneResult, TuneResult};
 pub use hector_baselines as baselines;
 pub use hector_compiler::{compile, CompileOptions, CompiledModule, GeneratedCode};
 pub use hector_device::{Device, DeviceConfig};
@@ -56,7 +56,9 @@ pub use hector_graph::{
 };
 pub use hector_ir::{builder::ModelSource, ModelBuilder};
 pub use hector_models::{source as model_source, ModelKind};
-pub use hector_runtime::{Bindings, GraphData, Mode, ParamStore, RunReport, Session};
+pub use hector_runtime::{
+    Bindings, GraphData, Mode, ParallelConfig, ParamStore, RunReport, Session,
+};
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
 #[must_use]
@@ -77,7 +79,7 @@ pub mod prelude {
     pub use hector_ir::ModelBuilder;
     pub use hector_models::ModelKind;
     pub use hector_runtime::{
-        Adam, Bindings, GraphData, Mode, Optimizer, ParamStore, Session, Sgd,
+        Adam, Bindings, GraphData, Mode, Optimizer, ParallelConfig, ParamStore, Session, Sgd,
     };
     pub use hector_tensor::{seeded_rng, Tensor};
 }

@@ -58,10 +58,52 @@ impl CategoryMetrics {
     }
 }
 
+/// Host-side parallel-execution statistics for one run (real mode only:
+/// modeled runs never execute kernels, so they never record here). These
+/// measure *wall-clock host time* of the functional interpreter, unlike
+/// every other counter in this module, which measures *simulated device
+/// time* — the two must never be summed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ParallelStats {
+    /// Kernel executions that went through the `hector-par` pool.
+    pub parallel_launches: usize,
+    /// Kernel executions that took the exact sequential code path
+    /// (`num_threads = 1`, unsplittable domains, or safety fallbacks).
+    pub sequential_launches: usize,
+    /// Total row chunks executed across all parallel kernels.
+    pub chunks: usize,
+    /// Pool work-steal events attributed to these kernels.
+    pub steals: u64,
+    /// Host wall-clock time in GEMM-template kernel execution, µs.
+    pub gemm_wall_us: f64,
+    /// Host wall-clock time in traversal-template kernel execution, µs.
+    pub traversal_wall_us: f64,
+}
+
+impl ParallelStats {
+    /// Total host wall-clock execution time recorded, µs.
+    #[must_use]
+    pub fn total_wall_us(&self) -> f64 {
+        self.gemm_wall_us + self.traversal_wall_us
+    }
+
+    /// Fraction of real-mode kernel executions that ran parallel.
+    #[must_use]
+    pub fn parallel_fraction(&self) -> f64 {
+        let total = self.parallel_launches + self.sequential_launches;
+        if total == 0 {
+            0.0
+        } else {
+            self.parallel_launches as f64 / total as f64
+        }
+    }
+}
+
 /// Per-`(category, phase)` counter store for one run.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
     buckets: HashMap<(KernelCategory, Phase), CategoryMetrics>,
+    parallel: ParallelStats,
 }
 
 impl Counters {
@@ -125,13 +167,55 @@ impl Counters {
             .sum()
     }
 
+    /// Records one real-mode host kernel execution (parallel or
+    /// sequential) for the per-stage wall-clock/steal report.
+    pub fn record_host_exec(
+        &mut self,
+        category: KernelCategory,
+        parallel: bool,
+        wall_us: f64,
+        chunks: usize,
+        steals: u64,
+    ) {
+        let p = &mut self.parallel;
+        if parallel {
+            p.parallel_launches += 1;
+        } else {
+            p.sequential_launches += 1;
+        }
+        p.chunks += chunks;
+        p.steals += steals;
+        match category {
+            KernelCategory::Gemm => p.gemm_wall_us += wall_us,
+            KernelCategory::Traversal => p.traversal_wall_us += wall_us,
+            // Copy/fallback kernels are not row-parallelised; fold their
+            // (rare) host time into the traversal bucket rather than
+            // inventing a third stage.
+            _ => p.traversal_wall_us += wall_us,
+        }
+    }
+
+    /// Host-side parallel-execution statistics.
+    #[must_use]
+    pub fn parallel(&self) -> &ParallelStats {
+        &self.parallel
+    }
+
     /// Clears all counters.
     pub fn reset(&mut self) {
         self.buckets.clear();
+        self.parallel = ParallelStats::default();
     }
 
     /// Merges another counter store into this one.
     pub fn merge(&mut self, other: &Counters) {
+        let p = &mut self.parallel;
+        p.parallel_launches += other.parallel.parallel_launches;
+        p.sequential_launches += other.parallel.sequential_launches;
+        p.chunks += other.parallel.chunks;
+        p.steals += other.parallel.steals;
+        p.gemm_wall_us += other.parallel.gemm_wall_us;
+        p.traversal_wall_us += other.parallel.traversal_wall_us;
         for (k, m) in &other.buckets {
             let e = self.buckets.entry(*k).or_default();
             e.launches += m.launches;
@@ -206,6 +290,32 @@ mod tests {
         assert_eq!(a.get(KernelCategory::Gemm, Phase::Forward).launches, 2);
         a.reset();
         assert_eq!(a.total_launches(), 0);
+    }
+
+    #[test]
+    fn parallel_stats_record_merge_reset() {
+        let mut c = Counters::new();
+        c.record_host_exec(KernelCategory::Gemm, true, 120.0, 8, 3);
+        c.record_host_exec(KernelCategory::Traversal, true, 80.0, 4, 1);
+        c.record_host_exec(KernelCategory::Traversal, false, 5.0, 0, 0);
+        let p = c.parallel();
+        assert_eq!(p.parallel_launches, 2);
+        assert_eq!(p.sequential_launches, 1);
+        assert_eq!(p.chunks, 12);
+        assert_eq!(p.steals, 4);
+        assert!((p.gemm_wall_us - 120.0).abs() < 1e-12);
+        assert!((p.traversal_wall_us - 85.0).abs() < 1e-12);
+        assert!((p.total_wall_us() - 205.0).abs() < 1e-12);
+        assert!((p.parallel_fraction() - 2.0 / 3.0).abs() < 1e-12);
+
+        let mut other = Counters::new();
+        other.record_host_exec(KernelCategory::Gemm, false, 1.0, 0, 0);
+        c.merge(&other);
+        assert_eq!(c.parallel().sequential_launches, 2);
+
+        c.reset();
+        assert_eq!(*c.parallel(), ParallelStats::default());
+        assert!((c.parallel().parallel_fraction()).abs() < 1e-12);
     }
 
     #[test]

@@ -65,6 +65,23 @@ impl Device {
         self.counters.record(cost, &self.config);
     }
 
+    /// Records one real-mode host kernel execution for the parallel
+    /// executor's wall-clock/steal report (see
+    /// [`crate::ParallelStats`]). Does not advance the simulated clock:
+    /// host interpreter time and simulated device time are separate
+    /// books.
+    pub fn record_host_exec(
+        &mut self,
+        category: crate::KernelCategory,
+        parallel: bool,
+        wall_us: f64,
+        chunks: usize,
+        steals: u64,
+    ) {
+        self.counters
+            .record_host_exec(category, parallel, wall_us, chunks, steals);
+    }
+
     /// Charges pure host-side API overhead (framework dispatch without a
     /// kernel), as eager per-relation Python loops do.
     pub fn charge_api_call(&mut self) {

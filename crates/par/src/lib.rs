@@ -1,0 +1,692 @@
+//! `hector-par`: a vendored, zero-dependency scoped work-stealing
+//! threadpool.
+//!
+//! The build environment has no crates.io access, so the rayon-style
+//! work splitting the parallel real-mode executor needs is vendored here,
+//! like the `rand`/`proptest`/`criterion` stand-ins under `crates/vendor/`.
+//! The API surface is the small slice Hector uses:
+//!
+//! * [`ThreadPool::scope`] — structured task spawning borrowing stack
+//!   data (crossbeam-style scoped lifetimes, panic propagation);
+//! * [`ThreadPool::parallel_for`] — run a closure over contiguous index
+//!   chunks of `0..n`;
+//! * [`ThreadPool::parallel_chunks`] — same, collecting one result per
+//!   chunk **in chunk order** (the primitive the deterministic merge of
+//!   scatter/aggregate partials is built on);
+//! * [`ParallelConfig`] — `num_threads` / `min_chunk_rows`, defaulted
+//!   from the `HECTOR_THREADS` and `HECTOR_MIN_CHUNK_ROWS` environment
+//!   variables.
+//!
+//! # Scheduling
+//!
+//! A pool of `num_threads` means `num_threads - 1` background workers
+//! plus the caller, which helps execute tasks while it waits for a scope
+//! to drain — `ThreadPool::new(1)` is a valid pool with zero workers
+//! where every task runs inline on the caller. Tasks are distributed
+//! round-robin across per-worker deques; idle workers (and the helping
+//! caller) steal from the back of other workers' deques. Steal and
+//! execution counts are exposed through [`ThreadPool::stats`] and are
+//! surfaced per-kernel by the runtime through the device counters.
+//!
+//! # Determinism
+//!
+//! The pool itself makes no ordering promises — chunks run whenever a
+//! worker picks them up. Deterministic numerics are the *callers'*
+//! contract: chunk boundaries are a pure function of `(n, min_chunk,
+//! parallelism)` via [`chunk_ranges`], and [`ThreadPool::parallel_chunks`]
+//! returns results indexed by chunk, so callers can merge partial results
+//! in fixed chunk order regardless of execution interleaving.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A type-erased unit of work. Lifetimes are erased by [`Scope::spawn`];
+/// soundness rests on [`ThreadPool::scope`] not returning until every
+/// spawned job has finished.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Parallel-execution settings threaded through a `Session`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Total parallelism (caller + workers). `1` means strictly
+    /// sequential execution — the runtime takes the exact sequential
+    /// code path, no pool is created at all.
+    pub num_threads: usize,
+    /// Minimum rows per chunk when splitting a row domain; domains
+    /// smaller than `2 * min_chunk_rows` run as a single inline chunk.
+    pub min_chunk_rows: usize,
+}
+
+impl ParallelConfig {
+    /// Strictly sequential execution.
+    #[must_use]
+    pub fn sequential() -> ParallelConfig {
+        ParallelConfig {
+            num_threads: 1,
+            min_chunk_rows: 128,
+        }
+    }
+
+    /// Reads `HECTOR_THREADS` (default 1) and `HECTOR_MIN_CHUNK_ROWS`
+    /// (default 128). Invalid or zero values fall back to the defaults.
+    #[must_use]
+    pub fn from_env() -> ParallelConfig {
+        let threads = std::env::var("HECTOR_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        let min_chunk = std::env::var("HECTOR_MIN_CHUNK_ROWS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&c| c >= 1)
+            .unwrap_or(128);
+        ParallelConfig {
+            num_threads: threads,
+            min_chunk_rows: min_chunk,
+        }
+    }
+
+    /// Returns a copy with `num_threads` replaced.
+    #[must_use]
+    pub fn with_threads(mut self, n: usize) -> ParallelConfig {
+        self.num_threads = n.max(1);
+        self
+    }
+
+    /// Returns a copy with `min_chunk_rows` replaced.
+    #[must_use]
+    pub fn with_min_chunk_rows(mut self, rows: usize) -> ParallelConfig {
+        self.min_chunk_rows = rows.max(1);
+        self
+    }
+
+    /// Whether this configuration ever runs anything in parallel.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.num_threads > 1
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig::from_env()
+    }
+}
+
+/// Snapshot of pool activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed (by workers, the helping caller, or inline
+    /// single-chunk fast paths).
+    pub executed: u64,
+    /// Jobs obtained by stealing from another queue.
+    pub steals: u64,
+    /// Background worker threads the pool was built with.
+    pub workers: usize,
+    /// Worker threads currently alive (0 after drop — the no-leak
+    /// invariant the unit tests pin).
+    pub live_workers: usize,
+}
+
+struct Shared {
+    /// One deque per background worker. Jobs are pushed round-robin;
+    /// idle workers steal from the back of others' deques.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Overflow queue used when the pool has no workers (pure
+    /// caller-inline mode) and by external pushes racing a busy pool.
+    injector: Mutex<VecDeque<Job>>,
+    idle_lock: Mutex<()>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    next_queue: AtomicUsize,
+    executed: AtomicU64,
+    steals: AtomicU64,
+    live_workers: AtomicUsize,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        if self.queues.is_empty() {
+            self.injector.lock().unwrap().push_back(job);
+        } else {
+            let i = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            self.queues[i].lock().unwrap().push_back(job);
+        }
+        // Take the idle lock so a worker between its last queue check and
+        // its condvar wait cannot miss this wakeup.
+        let _g = self.idle_lock.lock().unwrap();
+        self.work_cv.notify_all();
+    }
+
+    /// Pops a job: own queue front first (`me`), then the injector, then
+    /// steal from the back of another worker's deque.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(m) = me {
+            if let Some(j) = self.queues[m].lock().unwrap().pop_front() {
+                return Some(j);
+            }
+        }
+        if let Some(j) = self.injector.lock().unwrap().pop_front() {
+            return Some(j);
+        }
+        let n = self.queues.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.next_queue.load(Ordering::Relaxed);
+        for k in 0..n {
+            let v = (start + k) % n;
+            if me == Some(v) {
+                continue;
+            }
+            if let Some(j) = self.queues[v].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, me: usize) {
+    loop {
+        if let Some(job) = shared.find_job(Some(me)) {
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let guard = shared.idle_lock.lock().unwrap();
+        if shared.has_work() || shared.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        // Timeout bounds the cost of any wakeup race to one tick.
+        let _ = shared
+            .work_cv
+            .wait_timeout(guard, Duration::from_millis(5))
+            .unwrap();
+    }
+    shared.live_workers.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Per-scope completion state: outstanding job count plus the first
+/// captured panic payload.
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+/// Handle for spawning tasks that may borrow data living at least as
+/// long as `'scope` (crossbeam-style structured concurrency).
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope` so the borrow checker pins the lifetime.
+    _scope: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Spawns a task onto the pool. The task may borrow anything that
+    /// outlives the enclosing [`ThreadPool::scope`] call. A panicking
+    /// task does not abort the others; the first panic payload is
+    /// re-raised on the caller once the scope has fully drained.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let task = move || {
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                slot.get_or_insert(p);
+            }
+            if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = state.done_lock.lock().unwrap();
+                state.done_cv.notify_all();
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // SAFETY: `ThreadPool::scope` does not return (normally or by
+        // unwinding) until `pending` reaches zero, i.e. until this job has
+        // run to completion, so every borrow with lifetime `'scope` is
+        // still live whenever the job executes.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.pool.shared.push(job);
+    }
+}
+
+/// A scoped work-stealing threadpool.
+///
+/// Dropping the pool shuts the workers down and joins them — no worker
+/// threads outlive the pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("parallelism", &self.parallelism())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with total parallelism `num_threads` (the caller
+    /// plus `num_threads - 1` background workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    #[must_use]
+    pub fn new(num_threads: usize) -> ThreadPool {
+        assert!(num_threads >= 1, "a pool needs at least one thread");
+        let n_workers = num_threads - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..n_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle_lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_queue: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            live_workers: AtomicUsize::new(n_workers),
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hector-par-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Creates a pool for `config`, or `None` when the configuration is
+    /// sequential (callers take the exact sequential code path).
+    #[must_use]
+    pub fn from_config(config: &ParallelConfig) -> Option<ThreadPool> {
+        config
+            .is_parallel()
+            .then(|| ThreadPool::new(config.num_threads))
+    }
+
+    /// Total parallelism: background workers plus the helping caller.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Activity counters (cumulative over the pool's lifetime).
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            workers: self.workers.len(),
+            live_workers: self.shared.live_workers.load(Ordering::Acquire),
+        }
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks borrowing stack data can
+    /// be spawned, then blocks until every spawned task has finished.
+    /// The caller helps execute queued tasks while it waits. If `f` or
+    /// any task panicked, the (first) panic resumes on the caller after
+    /// the scope has drained — tasks never outlive their borrows.
+    pub fn scope<'pool, 'scope, R>(&'pool self, f: impl FnOnce(&Scope<'pool, 'scope>) -> R) -> R {
+        let state = Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _scope: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+        // Drain: help run jobs; park only when nothing is runnable.
+        loop {
+            while let Some(job) = self.shared.find_job(None) {
+                self.shared.executed.fetch_add(1, Ordering::Relaxed);
+                job();
+            }
+            let guard = state.done_lock.lock().unwrap();
+            if state.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if self.shared.has_work() {
+                continue; // new work appeared; go help instead of waiting
+            }
+            let _ = state
+                .done_cv
+                .wait_timeout(guard, Duration::from_millis(5))
+                .unwrap();
+        }
+
+        let task_panic = state.panic.lock().unwrap().take();
+        match result {
+            Err(p) => panic::resume_unwind(p),
+            Ok(r) => {
+                if let Some(p) = task_panic {
+                    panic::resume_unwind(p);
+                }
+                r
+            }
+        }
+    }
+
+    /// Splits `0..n` into contiguous chunks (see [`chunk_ranges`]) and
+    /// runs `f(chunk_index, range)` for each, in parallel. A single-chunk
+    /// split runs inline on the caller with no pool round-trip. Empty
+    /// domains (`n == 0`) are a no-op.
+    pub fn parallel_for<F>(&self, n: usize, min_chunk: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Send + Sync,
+    {
+        let ranges = chunk_ranges(n, min_chunk, self.parallelism());
+        match ranges.len() {
+            0 => {}
+            1 => {
+                self.shared.executed.fetch_add(1, Ordering::Relaxed);
+                f(0, ranges.into_iter().next().unwrap());
+            }
+            _ => self.scope(|s| {
+                for (i, range) in ranges.into_iter().enumerate() {
+                    let f = &f;
+                    s.spawn(move || f(i, range));
+                }
+            }),
+        }
+    }
+
+    /// Like [`ThreadPool::parallel_for`], but collects each chunk's
+    /// return value and hands them back **ordered by chunk index** —
+    /// execution order never leaks into the result, which is what lets
+    /// callers merge floating-point partials deterministically.
+    pub fn parallel_chunks<R, F>(&self, n: usize, min_chunk: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Send + Sync,
+    {
+        let ranges = chunk_ranges(n, min_chunk, self.parallelism());
+        match ranges.len() {
+            0 => Vec::new(),
+            1 => {
+                self.shared.executed.fetch_add(1, Ordering::Relaxed);
+                vec![f(0, ranges.into_iter().next().unwrap())]
+            }
+            _ => {
+                let slots: Vec<Mutex<Option<R>>> =
+                    ranges.iter().map(|_| Mutex::new(None)).collect();
+                self.scope(|s| {
+                    for (i, range) in ranges.into_iter().enumerate() {
+                        let f = &f;
+                        let slots = &slots;
+                        s.spawn(move || {
+                            let r = f(i, range);
+                            *slots[i].lock().unwrap() = Some(r);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .unwrap()
+                            .expect("scope drained, so every chunk completed")
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.idle_lock.lock().unwrap();
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Splits `0..n` into contiguous, balanced chunks of at least
+/// `min_chunk` items (except when `n < min_chunk`, which yields one
+/// undersized chunk). At most `4 × parallelism` chunks are produced so
+/// per-chunk overhead stays bounded while still leaving slack for work
+/// stealing. Pure function of its arguments — chunk boundaries never
+/// depend on scheduling, which the determinism tests rely on.
+#[must_use]
+pub fn chunk_ranges(n: usize, min_chunk: usize, parallelism: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let max_chunks = parallelism.max(1) * 4;
+    let chunks = (n / min_chunk).clamp(1, max_chunks);
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 7, 128, 1000, 1001] {
+            for min_chunk in [1usize, 16, 128, 4096] {
+                for par in [1usize, 2, 4, 8] {
+                    let ranges = chunk_ranges(n, min_chunk, par);
+                    let mut seen = vec![0u8; n];
+                    for r in &ranges {
+                        for i in r.clone() {
+                            seen[i] += 1;
+                        }
+                    }
+                    assert!(seen.iter().all(|&c| c == 1), "n={n} min={min_chunk}");
+                    assert!(ranges.len() <= par * 4);
+                    if n > 0 {
+                        assert!(!ranges.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        pool.parallel_for(1000, 16, |_c, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_and_single_item() {
+        let pool = ThreadPool::new(4);
+        let calls = AtomicU32::new(0);
+        pool.parallel_for(0, 8, |_c, _r| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "empty domain: no calls");
+        pool.parallel_for(1, 8, |c, r| {
+            assert_eq!((c, r), (0, 0..1));
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "single item: one inline call"
+        );
+    }
+
+    #[test]
+    fn parallel_chunks_results_are_in_chunk_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.parallel_chunks(1024, 8, |ci, range| (ci, range.start));
+        assert!(out.len() > 1, "1024 rows at min_chunk 8 must split");
+        for (i, (ci, _)) in out.iter().enumerate() {
+            assert_eq!(i, *ci);
+        }
+        let starts: Vec<usize> = out.iter().map(|(_, s)| *s).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "chunk order == ascending range order");
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_everything_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.stats().workers, 0);
+        let sum: u64 = pool
+            .parallel_chunks(100, 1, |_c, range| range.map(|i| i as u64).sum::<u64>())
+            .into_iter()
+            .sum();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn scope_tasks_borrow_stack_data() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<u64> = (0..256).collect();
+        let partial: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+        pool.scope(|s| {
+            for (i, chunk) in data.chunks(64).enumerate() {
+                let partial = &partial;
+                s.spawn(move || {
+                    *partial[i].lock().unwrap() = chunk.iter().sum::<u64>();
+                });
+            }
+        });
+        let total: u64 = partial.iter().map(|m| *m.lock().unwrap()).sum();
+        assert_eq!(total, (0..256).sum::<u64>());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_scope_drains() {
+        let pool = ThreadPool::new(4);
+        let completed = AtomicU32::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..8 {
+                    let completed = &completed;
+                    s.spawn(move || {
+                        if i == 3 {
+                            panic!("task 3 exploded");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let p = result.expect_err("panic must propagate to the scope caller");
+        let msg = p
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("task 3 exploded"), "payload preserved: {msg}");
+        // Every non-panicking task still ran: the scope drained fully.
+        assert_eq!(completed.load(Ordering::Relaxed), 7);
+        // The pool survives a panicked scope and stays usable.
+        let mut v = vec![0u32; 64];
+        let slots: Vec<Mutex<u32>> = (0..64).map(|_| Mutex::new(0)).collect();
+        pool.parallel_for(64, 1, |_c, range| {
+            for i in range {
+                *slots[i].lock().unwrap() = i as u32 + 1;
+            }
+        });
+        for (i, s) in slots.iter().enumerate() {
+            v[i] = *s.lock().unwrap();
+            assert_eq!(v[i], i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = ThreadPool::new(6);
+        assert_eq!(pool.stats().workers, 5);
+        // Give the workers something to chew on before shutdown.
+        pool.parallel_for(500, 1, |_c, _r| {});
+        let shared = Arc::clone(&pool.shared);
+        drop(pool);
+        assert_eq!(
+            shared.live_workers.load(Ordering::Acquire),
+            0,
+            "drop must join every worker (no leaked threads)"
+        );
+    }
+
+    #[test]
+    fn executed_counter_tracks_chunks() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats().executed;
+        pool.parallel_for(1000, 10, |_c, _r| {});
+        let after = pool.stats().executed;
+        let chunks = chunk_ranges(1000, 10, pool.parallelism()).len() as u64;
+        assert_eq!(after - before, chunks);
+    }
+
+    #[test]
+    fn nested_scopes_on_caller_complete() {
+        // A scope used while another scope is draining (sequentially on
+        // the caller) must not deadlock.
+        let pool = ThreadPool::new(2);
+        let outer = pool.parallel_chunks(4, 1, |ci, _r| ci);
+        assert_eq!(outer, vec![0, 1, 2, 3]);
+        let inner = pool.parallel_chunks(4, 1, |ci, _r| ci * 2);
+        assert_eq!(inner, vec![0, 2, 4, 6]);
+    }
+}

@@ -17,7 +17,7 @@ use crate::{GraphData, ParamStore, VarStore};
 
 /// A row position in one of the three iteration spaces.
 #[derive(Clone, Copy, Debug)]
-enum Ctx {
+pub(crate) enum Ctx {
     Edge(usize),
     Unique(usize),
     Node(usize),
@@ -126,7 +126,7 @@ pub(crate) fn exec_gemm(
     ));
 }
 
-fn row_ctx(rows: RowDomain, r: usize) -> Ctx {
+pub(crate) fn row_ctx(rows: RowDomain, r: usize) -> Ctx {
     match rows {
         RowDomain::Edges => Ctx::Edge(r),
         RowDomain::UniquePairs => Ctx::Unique(r),
@@ -134,7 +134,7 @@ fn row_ctx(rows: RowDomain, r: usize) -> Ctx {
     }
 }
 
-fn scatter_index(rows: RowDomain, ep: Endpoint, r: usize, graph: &GraphData) -> usize {
+pub(crate) fn scatter_index(rows: RowDomain, ep: Endpoint, r: usize, graph: &GraphData) -> usize {
     match rows {
         RowDomain::Edges => match ep {
             Endpoint::Src => graph.graph().src()[r] as usize,
@@ -149,7 +149,7 @@ fn scatter_index(rows: RowDomain, ep: Endpoint, r: usize, graph: &GraphData) -> 
     }
 }
 
-fn weight_type_index(
+pub(crate) fn weight_type_index(
     t_count: usize,
     per: TypeIndex,
     rows: RowDomain,
@@ -173,7 +173,7 @@ fn weight_type_index(
     idx
 }
 
-fn read_operand(
+pub(crate) fn read_operand(
     o: &Operand,
     ctx: Ctx,
     program: &Program,
@@ -214,7 +214,7 @@ fn read_operand(
     }
 }
 
-fn apply_unary(op: UnOp, x: &[f32]) -> Vec<f32> {
+pub(crate) fn apply_unary(op: UnOp, x: &[f32]) -> Vec<f32> {
     x.iter()
         .map(|&v| match op {
             UnOp::LeakyRelu => {
@@ -246,7 +246,7 @@ fn apply_unary(op: UnOp, x: &[f32]) -> Vec<f32> {
         .collect()
 }
 
-fn apply_binary(op: BinOp, a: &[f32], b: &[f32]) -> Vec<f32> {
+pub(crate) fn apply_binary(op: BinOp, a: &[f32], b: &[f32]) -> Vec<f32> {
     let n = a.len().max(b.len());
     debug_assert!(a.len() == n || a.len() == 1);
     debug_assert!(b.len() == n || b.len() == 1);
@@ -267,7 +267,7 @@ fn apply_binary(op: BinOp, a: &[f32], b: &[f32]) -> Vec<f32> {
 /// Stage assignment for a dst-node kernel: edgewise ops reading
 /// node-space values produced in-kernel must run one inner-loop pass
 /// later than the producer.
-fn stages(spec: &TraversalSpec, program: &Program) -> Vec<usize> {
+pub(crate) fn stages(spec: &TraversalSpec, program: &Program) -> Vec<usize> {
     use std::collections::HashMap;
     let mut def_stage: HashMap<VarId, (usize, bool)> = HashMap::new(); // (stage, node-level)
     let mut out = Vec::with_capacity(spec.ops.len());
@@ -307,7 +307,7 @@ fn stages(spec: &TraversalSpec, program: &Program) -> Vec<usize> {
 /// the true maximum survives all-negative inputs, and swept back to `0`
 /// afterwards for groups no edge touched (those rows are never read, but
 /// `-inf` must not leak into later whole-tensor consumers).
-fn max_agg_outputs(spec: &TraversalSpec) -> impl Iterator<Item = VarId> + '_ {
+pub(crate) fn max_agg_outputs(spec: &TraversalSpec) -> impl Iterator<Item = VarId> + '_ {
     spec.ops.iter().filter_map(|op| match op.kind {
         OpKind::NodeAggregate {
             norm: AggNorm::Max,
@@ -387,6 +387,9 @@ pub(crate) fn exec_traversal(
     }
 }
 
+/// Sequential op interpreter. Has a parallel twin (`exec_op_par` in
+/// `par_exec`) that must mirror these numerics exactly; divergence is
+/// caught by `tests/par_determinism.rs`, which CI runs on every push.
 fn exec_op(
     kind: &OpKind,
     ctx: Ctx,

@@ -30,11 +30,13 @@ mod exec;
 mod graphdata;
 mod loss;
 mod optim;
+mod par_exec;
 mod params;
 mod session;
 mod store;
 
 pub use graphdata::GraphData;
+pub use hector_par::{ParallelConfig, PoolStats};
 pub use loss::{nll_loss_and_grad, random_labels, LossResult};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;

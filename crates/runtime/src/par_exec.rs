@@ -1,0 +1,704 @@
+//! Deterministic parallel interpretation of kernel specs (real mode).
+//!
+//! The sequential interpreter in [`crate::exec`] walks every row domain
+//! in order. This module re-executes the same kernels across a
+//! [`hector_par::ThreadPool`] while keeping the results **bit-identical**
+//! to the sequential path, so `HECTOR_THREADS` can never change a single
+//! output bit. The scheme:
+//!
+//! * **Row-aligned writes** (`write_row`-style stores where the output
+//!   row *is* the domain row) go straight into the shared output tensor —
+//!   chunks own disjoint row ranges, so the writes never alias.
+//! * **Scatter/aggregate writes** (`NodeAggregate`, scatter-accumulating
+//!   GEMMs) are *recorded* per chunk as `(output row, contribution)`
+//!   pairs and applied on the calling thread afterwards, chunk by chunk
+//!   in ascending chunk index and in row order within each chunk. That
+//!   replay applies exactly the floating-point operations of the
+//!   sequential loop, in exactly the sequential order — `Sum`, per-edge
+//!   scaled (`Mean`), and `Max` (the edge-softmax stabiliser) aggregates
+//!   all stay bit-identical, because the expensive per-row *computation*
+//!   is what runs in parallel, never the order-sensitive accumulation.
+//! * **Weight-gradient GEMMs** (`TypedLinearGradW`) parallelise over the
+//!   per-type gradient slabs instead of rows: each worker owns a disjoint
+//!   set of type slabs and accumulates its rows in ascending row order —
+//!   the exact association order of the sequential loop per slab.
+//! * **Dst-node kernels** parallelise over destination nodes. The staged
+//!   inner passes (edge softmax and friends) run unchanged per node;
+//!   aggregates into the owned destination row apply immediately (later
+//!   passes read them), while cross-chunk aggregates (source-node or
+//!   compact-row gradients) use the record-and-replay path.
+//!
+//! A kernel whose fused op list *reads* a value that the parallel scheme
+//! would defer (a buffered aggregate output) falls back to the sequential
+//! interpreter — correctness first, parallelism where it is provably
+//! safe. `num_threads = 1` never reaches this module at all.
+
+use std::collections::{HashMap, HashSet};
+
+use hector_ir::{
+    AggNorm, Endpoint, GemmSpec, OpKind, Operand, Program, RowDomain, Space, TraversalDomain,
+    TraversalSpec, VarId,
+};
+use hector_par::ThreadPool;
+use hector_tensor::Tensor;
+
+use crate::exec::{
+    apply_binary, apply_unary, exec_gemm, exec_traversal, max_agg_outputs, read_operand, row_ctx,
+    scatter_index, stages, weight_type_index, Ctx,
+};
+use crate::{GraphData, ParamStore, VarStore};
+
+/// Raw row-major view of a tensor shared across worker threads.
+///
+/// # Safety contract
+///
+/// The pointer stays valid for the whole parallel section (the owning
+/// [`VarStore`] is borrowed for its duration), and callers only touch
+/// rows their chunk owns — disjointness is what makes the concurrent
+/// `row_mut` calls sound.
+struct RawRows {
+    ptr: *mut f32,
+    rows: usize,
+    width: usize,
+}
+
+unsafe impl Send for RawRows {}
+unsafe impl Sync for RawRows {}
+
+impl RawRows {
+    fn of(t: &mut Tensor) -> RawRows {
+        let rows = t.shape()[0];
+        let width: usize = t.shape()[1..].iter().product();
+        RawRows {
+            ptr: t.data_mut().as_mut_ptr(),
+            rows,
+            width,
+        }
+    }
+
+    unsafe fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        std::slice::from_raw_parts(self.ptr.add(r * self.width), self.width)
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row_mut(&self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        std::slice::from_raw_parts_mut(self.ptr.add(r * self.width), self.width)
+    }
+}
+
+/// Shared views of every variable this kernel writes, keyed by var id.
+/// Reads of in-kernel-produced values go through the same views, so a
+/// chunk always sees its own writes.
+struct WriteTable(HashMap<VarId, RawRows>);
+
+impl WriteTable {
+    fn build(spec_outs: impl Iterator<Item = VarId>, vars: &mut VarStore) -> WriteTable {
+        let mut map = HashMap::new();
+        for v in spec_outs {
+            map.entry(v)
+                .or_insert_with(|| RawRows::of(vars.get_mut(v).tensor_mut()));
+        }
+        WriteTable(map)
+    }
+}
+
+fn read_row<'a>(v: VarId, row: usize, table: &'a WriteTable, vars: &'a VarStore) -> &'a [f32] {
+    match table.0.get(&v) {
+        // SAFETY: reads of in-kernel rows are either the chunk's own rows
+        // or (in dst-node kernels) the owned destination row — never a
+        // row another chunk concurrently writes (`par_traversal_safe`).
+        Some(rr) => unsafe { rr.row(row) },
+        None => vars.tensor(v).row(row),
+    }
+}
+
+/// Mirror of [`crate::exec::read_operand`] that resolves variables
+/// written by the running kernel through the shared [`WriteTable`].
+fn read_operand_par(
+    o: &Operand,
+    ctx: Ctx,
+    program: &Program,
+    graph: &GraphData,
+    params: &ParamStore,
+    vars: &VarStore,
+    table: &WriteTable,
+) -> Vec<f32> {
+    match o {
+        Operand::Const(c) => vec![*c],
+        Operand::WeightVec(w) => {
+            let ty = match ctx {
+                Ctx::Edge(e) => graph.graph().etype()[e] as usize,
+                Ctx::Unique(u) => graph.unique_etype()[u] as usize,
+                Ctx::Node(_) => unreachable!("weight vectors need edge context"),
+            };
+            params.weight(*w).slab(ty).to_vec()
+        }
+        Operand::Node(v, ep) => {
+            let row = match (ctx, ep) {
+                (Ctx::Edge(e), Endpoint::Src) => graph.graph().src()[e] as usize,
+                (Ctx::Edge(e), Endpoint::Dst) => graph.graph().dst()[e] as usize,
+                (Ctx::Unique(u), Endpoint::Src) => graph.compact().unique_row_idx()[u] as usize,
+                (Ctx::Node(n), Endpoint::This | Endpoint::Dst) => n,
+                (c, e) => unreachable!("node read {e:?} in context {c:?}"),
+            };
+            read_row(*v, row, table, vars).to_vec()
+        }
+        Operand::Edge(v) => {
+            let space = program.var(*v).space;
+            let row = match (ctx, space) {
+                (Ctx::Edge(e), Space::Edge) => e,
+                (Ctx::Edge(e), Space::Compact) => graph.compact().edge_to_unique()[e] as usize,
+                (Ctx::Unique(u), Space::Compact) => u,
+                (c, s) => unreachable!("edge read of {s:?} var in context {c:?}"),
+            };
+            read_row(*v, row, table, vars).to_vec()
+        }
+    }
+}
+
+/// One deferred scatter/aggregate write: applied on the calling thread,
+/// in chunk order, after the parallel section.
+struct Contribution {
+    out: VarId,
+    row: usize,
+    /// For sums the values are pre-scaled (`x * s`), so the replay's
+    /// `acc += v` performs the identical f32 operations as the
+    /// sequential `acc += x * s`.
+    vals: Vec<f32>,
+    max: bool,
+}
+
+fn apply_contribution(c: &Contribution, vars: &mut VarStore) {
+    let row = vars.get_mut(c.out).tensor_mut().row_mut(c.row);
+    if c.max {
+        for (acc, x) in row.iter_mut().zip(c.vals.iter()) {
+            *acc = acc.max(*x);
+        }
+    } else {
+        for (acc, x) in row.iter_mut().zip(c.vals.iter()) {
+            *acc += *x;
+        }
+    }
+}
+
+/// Aggregate outputs whose target row can belong to a different chunk
+/// than the one producing the contribution — these must be deferred.
+/// In dst-node kernels, aggregation into the owned destination row is
+/// chunk-private and applies immediately (staged passes read it back).
+fn buffered_agg_outs(spec: &TraversalSpec, program: &Program) -> HashSet<VarId> {
+    let mut set = HashSet::new();
+    for op in &spec.ops {
+        if let OpKind::NodeAggregate { out, endpoint, .. } = &op.kind {
+            let dst_private = spec.domain == TraversalDomain::DstNodes
+                && program.var(*out).space == Space::Node
+                && *endpoint == Endpoint::Dst;
+            if !dst_private {
+                set.insert(*out);
+            }
+        }
+    }
+    set
+}
+
+/// Whether the kernel's dataflow permits the chunked execution scheme.
+/// Falls back to sequential when an op would *read* a deferred aggregate
+/// (its value would still be a partial sum), when a dst-node op reads an
+/// in-kernel value at a source endpoint (a row another chunk owns), or
+/// when a variable mixes aggregate and direct writes (replay would
+/// reorder them).
+fn par_traversal_safe(spec: &TraversalSpec, program: &Program) -> bool {
+    let buffered = buffered_agg_outs(spec, program);
+    let mut agg_outs = HashSet::new();
+    let mut direct_outs = HashSet::new();
+    for op in &spec.ops {
+        if let Some(v) = op.kind.out_var() {
+            if matches!(op.kind, OpKind::NodeAggregate { .. }) {
+                agg_outs.insert(v);
+            } else {
+                direct_outs.insert(v);
+            }
+        }
+    }
+    if agg_outs.intersection(&direct_outs).next().is_some() {
+        return false;
+    }
+    let all_outs: HashSet<VarId> = agg_outs.union(&direct_outs).copied().collect();
+    for op in &spec.ops {
+        for o in op.kind.operands() {
+            if let Some(v) = o.var() {
+                if buffered.contains(&v) {
+                    return false;
+                }
+                if spec.domain == TraversalDomain::DstNodes {
+                    if let Operand::Node(nv, Endpoint::Src) = o {
+                        if all_outs.contains(nv) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn write_row_par(out: VarId, ctx: Ctx, y: &[f32], program: &Program, table: &WriteTable) {
+    let space = program.var(out).space;
+    let idx = match (ctx, space) {
+        (Ctx::Edge(e), Space::Edge) => e,
+        (Ctx::Unique(u), Space::Compact) => u,
+        (Ctx::Node(n), Space::Node) => n,
+        (c, s) => unreachable!("write of {s:?} var in context {c:?}"),
+    };
+    let rr = &table.0[&out];
+    // SAFETY: `idx` equals the domain row (edge/unique/node contexts map
+    // 1:1 onto their spaces here), and chunks own disjoint domain rows.
+    // Length mismatch panics, matching the sequential `set_row` assert.
+    unsafe { rr.row_mut(idx) }.copy_from_slice(y);
+}
+
+/// Parallel twin of [`crate::exec`]'s `exec_op`: identical numerics,
+/// with deferred scatter targets recorded instead of applied. Any
+/// numeric change there MUST be mirrored here — the contract is
+/// enforced mechanically, not just by discipline: CI runs the whole
+/// test pyramid at `HECTOR_THREADS=4`, so an unmirrored tweak fails
+/// `tests/par_determinism.rs` (1-thread vs N-thread bit equality).
+#[allow(clippy::too_many_arguments)]
+fn exec_op_par(
+    kind: &OpKind,
+    ctx: Ctx,
+    program: &Program,
+    graph: &GraphData,
+    params: &ParamStore,
+    vars: &VarStore,
+    table: &WriteTable,
+    buffered: &HashSet<VarId>,
+    buf: &mut Vec<Contribution>,
+) {
+    match kind {
+        OpKind::DotProduct { a, b, out } => {
+            let av = read_operand_par(a, ctx, program, graph, params, vars, table);
+            let bv = read_operand_par(b, ctx, program, graph, params, vars, table);
+            debug_assert_eq!(av.len(), bv.len());
+            let mut acc = 0.0;
+            for (x, y) in av.iter().zip(bv.iter()) {
+                acc += x * y;
+            }
+            write_row_par(*out, ctx, &[acc], program, table);
+        }
+        OpKind::Binary { op, a, b, out } => {
+            let av = read_operand_par(a, ctx, program, graph, params, vars, table);
+            let bv = read_operand_par(b, ctx, program, graph, params, vars, table);
+            let y = apply_binary(*op, &av, &bv);
+            write_row_par(*out, ctx, &y, program, table);
+        }
+        OpKind::Unary { op, a, out } => {
+            let av = read_operand_par(a, ctx, program, graph, params, vars, table);
+            let y = apply_unary(*op, &av);
+            write_row_par(*out, ctx, &y, program, table);
+        }
+        OpKind::NodeAggregate {
+            edge_val,
+            scale,
+            norm,
+            out,
+            endpoint,
+            ..
+        } => {
+            let val = read_operand_par(edge_val, ctx, program, graph, params, vars, table);
+            let s = match scale {
+                Some(sc) => read_operand_par(sc, ctx, program, graph, params, vars, table)[0],
+                None => 1.0,
+            };
+            let out_space = program.var(*out).space;
+            let idx = match (ctx, out_space) {
+                (Ctx::Edge(e), Space::Node) => match endpoint {
+                    Endpoint::Dst => graph.graph().dst()[e] as usize,
+                    Endpoint::Src => graph.graph().src()[e] as usize,
+                    Endpoint::This => unreachable!(),
+                },
+                (Ctx::Edge(e), Space::Compact) => graph.compact().edge_to_unique()[e] as usize,
+                (Ctx::Unique(u), Space::Node) => graph.compact().unique_row_idx()[u] as usize,
+                (c, s0) => unreachable!("aggregate {s0:?} in context {c:?}"),
+            };
+            let is_max = *norm == AggNorm::Max;
+            if buffered.contains(out) {
+                let vals = if is_max {
+                    val
+                } else {
+                    val.iter().map(|x| x * s).collect()
+                };
+                buf.push(Contribution {
+                    out: *out,
+                    row: idx,
+                    vals,
+                    max: is_max,
+                });
+            } else {
+                // Dst-private aggregate in a dst-node kernel: the row
+                // belongs exclusively to this chunk's node.
+                let rr = &table.0[out];
+                // SAFETY: `idx` is the destination node of an incoming
+                // edge of the chunk-owned node, i.e. the owned node.
+                let row = unsafe { rr.row_mut(idx) };
+                if is_max {
+                    for (acc, x) in row.iter_mut().zip(val.iter()) {
+                        *acc = acc.max(*x);
+                    }
+                } else {
+                    for (acc, x) in row.iter_mut().zip(val.iter()) {
+                        *acc += x * s;
+                    }
+                }
+            }
+        }
+        other => unreachable!("traversal cannot execute {other:?}"),
+    }
+}
+
+/// Executes a traversal-template instance across the pool. Bit-identical
+/// to [`crate::exec`]'s `exec_traversal` (see module docs for why).
+/// Returns whether the kernel actually ran across multiple chunks
+/// (`false` for safety fallbacks and domains too small to split).
+pub(crate) fn exec_traversal_par(
+    spec: &TraversalSpec,
+    program: &Program,
+    graph: &GraphData,
+    params: &mut ParamStore,
+    vars: &mut VarStore,
+    pool: &ThreadPool,
+    min_chunk: usize,
+) -> bool {
+    if !par_traversal_safe(spec, program) {
+        exec_traversal(spec, program, graph, params, vars);
+        return false;
+    }
+    for v in max_agg_outputs(spec) {
+        vars.get_mut(v)
+            .tensor_mut()
+            .data_mut()
+            .fill(f32::NEG_INFINITY);
+    }
+    let buffered = buffered_agg_outs(spec, program);
+    let table = WriteTable::build(spec.ops.iter().filter_map(|op| op.kind.out_var()), vars);
+    let params_ro: &ParamStore = params;
+    let vars_ro: &VarStore = vars;
+
+    let chunk_bufs: Vec<Vec<Contribution>> = match spec.domain {
+        TraversalDomain::Edges | TraversalDomain::UniquePairs | TraversalDomain::Nodes => {
+            let rows = match spec.domain {
+                TraversalDomain::Edges => RowDomain::Edges,
+                TraversalDomain::UniquePairs => RowDomain::UniquePairs,
+                _ => RowDomain::Nodes,
+            };
+            let m = graph.rows_of(rows);
+            pool.parallel_chunks(m, min_chunk, |_ci, range| {
+                let mut buf = Vec::new();
+                for r in range {
+                    let ctx = row_ctx(rows, r);
+                    for op in &spec.ops {
+                        exec_op_par(
+                            &op.kind, ctx, program, graph, params_ro, vars_ro, &table, &buffered,
+                            &mut buf,
+                        );
+                    }
+                }
+                buf
+            })
+        }
+        TraversalDomain::DstNodes => {
+            let st = stages(spec, program);
+            let max_stage = st.iter().copied().max().unwrap_or(0);
+            let csc = graph.csc();
+            let st = &st;
+            pool.parallel_chunks(graph.graph().num_nodes(), min_chunk, |_ci, range| {
+                let mut buf = Vec::new();
+                for v in range {
+                    for pass in 0..=max_stage {
+                        for &eidx in csc.in_edges(v) {
+                            let e = eidx as usize;
+                            for (i, op) in spec.ops.iter().enumerate() {
+                                if st[i] != pass || spec.hoisted.contains(&op.id) {
+                                    continue;
+                                }
+                                exec_op_par(
+                                    &op.kind,
+                                    Ctx::Edge(e),
+                                    program,
+                                    graph,
+                                    params_ro,
+                                    vars_ro,
+                                    &table,
+                                    &buffered,
+                                    &mut buf,
+                                );
+                            }
+                        }
+                        for (i, op) in spec.ops.iter().enumerate() {
+                            if st[i] != pass || !spec.hoisted.contains(&op.id) {
+                                continue;
+                            }
+                            exec_op_par(
+                                &op.kind,
+                                Ctx::Node(v),
+                                program,
+                                graph,
+                                params_ro,
+                                vars_ro,
+                                &table,
+                                &buffered,
+                                &mut buf,
+                            );
+                        }
+                    }
+                }
+                buf
+            })
+        }
+    };
+    drop(table);
+
+    // Deterministic merge: ascending chunk index, recorded order within
+    // each chunk — exactly the sequential accumulation order.
+    for buf in &chunk_bufs {
+        for c in buf {
+            apply_contribution(c, vars);
+        }
+    }
+    for v in max_agg_outputs(spec) {
+        for x in vars.get_mut(v).tensor_mut().data_mut() {
+            if *x == f32::NEG_INFINITY {
+                *x = 0.0;
+            }
+        }
+    }
+    chunk_bufs.len() > 1
+}
+
+/// Raw per-type slab view of a gradient stack for the type-parallel
+/// `TypedLinearGradW` path. Workers own disjoint type slabs.
+struct RawSlabs {
+    ptr: *mut f32,
+    slabs: usize,
+    slab_elems: usize,
+}
+
+unsafe impl Send for RawSlabs {}
+unsafe impl Sync for RawSlabs {}
+
+impl RawSlabs {
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slab_mut(&self, ty: usize) -> &mut [f32] {
+        debug_assert!(ty < self.slabs);
+        std::slice::from_raw_parts_mut(self.ptr.add(ty * self.slab_elems), self.slab_elems)
+    }
+}
+
+/// Computes one output row of a forward/backward `TypedLinear` GEMM —
+/// the same inner loops as the sequential interpreter, factored out so
+/// both the direct-store and the scatter-accumulate parallel paths share
+/// them.
+#[allow(clippy::too_many_arguments)]
+fn typed_linear_row(
+    r: usize,
+    rows: RowDomain,
+    input: &Operand,
+    fused_scale: Option<&Operand>,
+    transpose_w: bool,
+    wt: &Tensor,
+    weight_index: hector_ir::TypeIndex,
+    out_width: usize,
+    program: &Program,
+    graph: &GraphData,
+    params: &ParamStore,
+    vars: &VarStore,
+) -> Vec<f32> {
+    let ctx = row_ctx(rows, r);
+    let x = read_operand(input, ctx, program, graph, params, vars);
+    let (wrows, wcols) = (wt.shape()[1], wt.shape()[2]);
+    let ty = weight_type_index(wt.shape()[0], weight_index, rows, r, graph);
+    let slab = wt.slab(ty);
+    let mut y = vec![0.0f32; out_width];
+    if transpose_w {
+        debug_assert_eq!(x.len(), wcols);
+        for (j, yj) in y.iter_mut().enumerate().take(wrows) {
+            let row = &slab[j * wcols..(j + 1) * wcols];
+            let mut acc = 0.0;
+            for (p, &xv) in x.iter().enumerate() {
+                acc += xv * row[p];
+            }
+            *yj = acc;
+        }
+    } else {
+        debug_assert_eq!(x.len(), wrows);
+        for (p, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let row = &slab[p * wcols..(p + 1) * wcols];
+            for j in 0..wcols {
+                y[j] += xv * row[j];
+            }
+        }
+    }
+    if let Some(s) = fused_scale {
+        let sv = read_operand(s, ctx, program, graph, params, vars)[0];
+        for v in &mut y {
+            *v *= sv;
+        }
+    }
+    y
+}
+
+/// Executes a GEMM-template instance across the pool. Bit-identical to
+/// [`crate::exec`]'s `exec_gemm`: direct stores use disjoint row tiles,
+/// scatter-accumulates replay in row order, and weight gradients
+/// parallelise over type slabs (each slab accumulates its rows in the
+/// sequential order). Returns whether the work actually split across
+/// multiple chunks (`false` for fallbacks and unsplittable domains).
+pub(crate) fn exec_gemm_par(
+    spec: &GemmSpec,
+    program: &Program,
+    graph: &GraphData,
+    params: &mut ParamStore,
+    vars: &mut VarStore,
+    pool: &ThreadPool,
+    min_chunk: usize,
+) -> bool {
+    let m = graph.rows_of(spec.rows);
+    match &spec.op.kind {
+        OpKind::TypedLinear {
+            input,
+            weight,
+            transpose_w,
+            scatter,
+            fused_scale,
+            out,
+        } => {
+            let wt = params.weight(*weight).clone();
+            let out_width = program.var(*out).width;
+            match scatter {
+                None => {
+                    let split = hector_par::chunk_ranges(m, min_chunk, pool.parallelism()).len();
+                    let raw = RawRows::of(vars.get_mut(*out).tensor_mut());
+                    let params_ro: &ParamStore = params;
+                    let vars_ro: &VarStore = vars;
+                    pool.parallel_for(m, min_chunk, |_ci, range| {
+                        for r in range {
+                            let y = typed_linear_row(
+                                r,
+                                spec.rows,
+                                input,
+                                fused_scale.as_ref(),
+                                *transpose_w,
+                                &wt,
+                                spec.weight_index,
+                                out_width,
+                                program,
+                                graph,
+                                params_ro,
+                                vars_ro,
+                            );
+                            // SAFETY: output rows are 1:1 with domain
+                            // rows here; chunks are disjoint.
+                            unsafe { raw.row_mut(r) }.copy_from_slice(&y);
+                        }
+                    });
+                    split > 1
+                }
+                Some(ep) => {
+                    let params_ro: &ParamStore = params;
+                    let vars_ro: &VarStore = vars;
+                    let chunks: Vec<Vec<(usize, Vec<f32>)>> =
+                        pool.parallel_chunks(m, min_chunk, |_ci, range| {
+                            range
+                                .map(|r| {
+                                    let y = typed_linear_row(
+                                        r,
+                                        spec.rows,
+                                        input,
+                                        fused_scale.as_ref(),
+                                        *transpose_w,
+                                        &wt,
+                                        spec.weight_index,
+                                        out_width,
+                                        program,
+                                        graph,
+                                        params_ro,
+                                        vars_ro,
+                                    );
+                                    (scatter_index(spec.rows, *ep, r, graph), y)
+                                })
+                                .collect()
+                        });
+                    // Deterministic merge: chunk order == ascending row
+                    // order == the sequential accumulation order.
+                    for chunk in &chunks {
+                        for (idx, y) in chunk {
+                            let row = vars.get_mut(*out).tensor_mut().row_mut(*idx);
+                            for (a, b) in row.iter_mut().zip(y.iter()) {
+                                *a += b;
+                            }
+                        }
+                    }
+                    chunks.len() > 1
+                }
+            }
+        }
+        OpKind::TypedLinearGradW { x, dy, out_w } => {
+            let t_count = params.type_count(*out_w);
+            if t_count < 2 || m == 0 {
+                // A single shared slab has no type parallelism; the
+                // sequential path is already the right association order.
+                exec_gemm(spec, program, graph, params, vars);
+                return false;
+            }
+            // One O(m) pass bucketing rows per type (ascending row order
+            // within each bucket = the sequential association order per
+            // slab); workers then walk only their own types' rows.
+            let mut rows_by_type: Vec<Vec<u32>> = vec![Vec::new(); t_count];
+            for r in 0..m {
+                let ty = weight_type_index(t_count, spec.weight_index, spec.rows, r, graph);
+                rows_by_type[ty].push(r as u32);
+            }
+            let grad = params.grad_mut(*out_w);
+            let slab_elems = grad.shape()[1] * grad.shape()[2];
+            let raw = RawSlabs {
+                ptr: grad.data_mut().as_mut_ptr(),
+                slabs: t_count,
+                slab_elems,
+            };
+            let params_ro: &ParamStore = params;
+            let vars_ro: &VarStore = vars;
+            let rows_by_type = &rows_by_type;
+            pool.parallel_for(t_count, 1, |_ci, ty_range| {
+                for ty in ty_range {
+                    // SAFETY: each worker owns a disjoint range of type
+                    // slabs; rows of other types are never touched.
+                    let slab = unsafe { raw.slab_mut(ty) };
+                    for &r32 in &rows_by_type[ty] {
+                        let r = r32 as usize;
+                        let ctx = row_ctx(spec.rows, r);
+                        let xr = read_operand(x, ctx, program, graph, params_ro, vars_ro);
+                        let dyr = read_operand(dy, ctx, program, graph, params_ro, vars_ro);
+                        let n = dyr.len();
+                        debug_assert_eq!(xr.len() * n, slab_elems);
+                        for (i, &xv) in xr.iter().enumerate() {
+                            if xv == 0.0 {
+                                continue;
+                            }
+                            let row = &mut slab[i * n..(i + 1) * n];
+                            for (j, &dv) in dyr.iter().enumerate() {
+                                row[j] += xv * dv;
+                            }
+                        }
+                    }
+                }
+            });
+            t_count > 1
+        }
+        other => unreachable!("not a GEMM op: {other:?}"),
+    }
+}

@@ -1,18 +1,32 @@
 //! Sessions: executing compiled modules on the simulated device.
+//!
+//! # Seed contract
+//!
+//! Every stochastic artifact of a run flows through explicitly seeded
+//! host RNGs *before* any kernel executes: [`crate::ParamStore::init`]
+//! draws weights in program order from the caller's RNG, and
+//! [`Bindings::standard`] derives one independent stream per input
+//! *name*. No kernel — sequential or parallel — ever draws randomness,
+//! so `HECTOR_THREADS` (and the chunking of the parallel executor in
+//! general) can never affect initialisation: parallel and sequential
+//! runs start from bit-identical parameters and inputs.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use hector_compiler::CompiledModule;
 use hector_device::{Device, DeviceConfig, KernelCategory, KernelCost, OomError, Phase};
 use hector_ir::{KernelSpec, Program, VarId};
+use hector_par::{ParallelConfig, ThreadPool};
 use hector_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::cost::{kernel_cost, var_bytes};
 use crate::exec::{exec_gemm, exec_traversal};
 use crate::loss::{nll_loss_and_grad, LossResult};
 use crate::optim::Optimizer;
+use crate::par_exec::{exec_gemm_par, exec_traversal_par};
 use crate::store::{Buffer, VarStore};
 use crate::{GraphData, ParamStore};
 
@@ -79,8 +93,18 @@ impl Bindings {
     /// Standard bindings for a program on a graph: seeded random features
     /// for every node/edge input, and the RGCN normalisation constants
     /// `1/c_{v,r}` for an edge input named `cnorm`.
+    ///
+    /// # Seed contract
+    ///
+    /// Exactly one `u64` is drawn from `rng`; each input tensor is then
+    /// filled from a private `StdRng` seeded with `base ^ fnv1a(name)`.
+    /// The produced features are a pure function of the incoming RNG
+    /// state and the input *names* — independent of input declaration
+    /// order (which can differ across optimization combos), of how many
+    /// inputs exist, and of `HECTOR_THREADS` (see the module docs).
     #[must_use]
     pub fn standard(program: &Program, graph: &GraphData, rng: &mut StdRng) -> Bindings {
+        let base: u64 = rng.gen();
         let mut b = Bindings::new();
         for &v in &program.inputs {
             let info = program.var(v);
@@ -88,14 +112,26 @@ impl Bindings {
             if info.name == "cnorm" {
                 b.set(&info.name, cnorm_tensor(graph));
             } else {
+                let mut sub = StdRng::seed_from_u64(base ^ fnv1a(&info.name));
                 let data = (0..rows * info.width)
-                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .map(|_| sub.gen_range(-1.0..1.0))
                     .collect();
                 b.set(&info.name, Tensor::from_vec(data, &[rows, info.width]));
             }
         }
         b
     }
+}
+
+/// FNV-1a hash of an input name: the stable, order-independent component
+/// of [`Bindings::standard`]'s per-input seeds.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Per-edge `1/c_{v,r}` normalisation constants (c = in-degree of the
@@ -118,15 +154,38 @@ pub fn cnorm_tensor(graph: &GraphData) -> Tensor {
 pub struct Session {
     device: Device,
     mode: Mode,
+    par: ParallelConfig,
+    /// Worker pool for the parallel real-mode executor. `None` when
+    /// `num_threads == 1` (the exact sequential code path) or in modeled
+    /// mode (nothing to execute).
+    pool: Option<ThreadPool>,
 }
 
 impl Session {
-    /// Creates a session.
+    /// Creates a session. Parallelism defaults from the environment
+    /// ([`ParallelConfig::from_env`], i.e. `HECTOR_THREADS`, default 1).
     #[must_use]
     pub fn new(config: DeviceConfig, mode: Mode) -> Session {
+        Session::with_parallel(config, mode, ParallelConfig::from_env())
+    }
+
+    /// Creates a session with an explicit parallel configuration.
+    /// `num_threads = 1` takes the exact sequential code path (no pool
+    /// is created); any higher count executes real-mode kernels across a
+    /// work-stealing pool with outputs bit-identical to the sequential
+    /// path (see the `par_exec` module docs for the merge-order scheme).
+    #[must_use]
+    pub fn with_parallel(config: DeviceConfig, mode: Mode, par: ParallelConfig) -> Session {
+        let pool = if mode == Mode::Real {
+            ThreadPool::from_config(&par)
+        } else {
+            None
+        };
         Session {
             device: Device::new(config),
             mode,
+            par,
+            pool,
         }
     }
 
@@ -140,6 +199,18 @@ impl Session {
     #[must_use]
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The session's parallel configuration.
+    #[must_use]
+    pub fn parallel_config(&self) -> ParallelConfig {
+        self.par
+    }
+
+    /// Pool activity counters, when a pool exists.
+    #[must_use]
+    pub fn pool_stats(&self) -> Option<hector_par::PoolStats> {
+        self.pool.as_ref().map(ThreadPool::stats)
     }
 
     fn alloc_var(
@@ -252,17 +323,65 @@ impl Session {
             let cost = kernel_cost(spec, program, graph, phase);
             self.device.launch(&cost);
             if self.mode == Mode::Real {
-                match spec {
-                    KernelSpec::Gemm(g) => exec_gemm(g, program, graph, params, vars),
-                    KernelSpec::Traversal(t) => {
+                let stats_before = self.pool.as_ref().map(ThreadPool::stats);
+                let start = Instant::now();
+                // Whether the kernel actually split across chunks —
+                // safety fallbacks and unsplittable domains count as
+                // sequential in the ParallelStats report.
+                let mut ran_parallel = false;
+                match (spec, &self.pool) {
+                    (KernelSpec::Gemm(g), Some(pool)) => {
+                        ran_parallel = exec_gemm_par(
+                            g,
+                            program,
+                            graph,
+                            params,
+                            vars,
+                            pool,
+                            self.par.min_chunk_rows,
+                        );
+                    }
+                    (KernelSpec::Gemm(g), None) => exec_gemm(g, program, graph, params, vars),
+                    (KernelSpec::Traversal(t), Some(pool)) => {
+                        ran_parallel = exec_traversal_par(
+                            t,
+                            program,
+                            graph,
+                            params,
+                            vars,
+                            pool,
+                            self.par.min_chunk_rows,
+                        );
+                    }
+                    (KernelSpec::Traversal(t), None) => {
                         exec_traversal(t, program, graph, params, vars);
                     }
-                    KernelSpec::Fallback(f) => {
+                    (KernelSpec::Fallback(f), _) => {
                         if let Some(i) = f.prep_index {
                             let prep = program.preps[i].clone();
                             params.run_prep(&prep, program);
                         }
                     }
+                }
+                if !matches!(spec, KernelSpec::Fallback(_)) {
+                    let wall_us = start.elapsed().as_secs_f64() * 1e6;
+                    let (chunks, steals) = match (stats_before, self.pool.as_ref()) {
+                        (Some(before), Some(pool)) => {
+                            let after = pool.stats();
+                            (
+                                usize::try_from(after.executed - before.executed)
+                                    .unwrap_or(usize::MAX),
+                                after.steals - before.steals,
+                            )
+                        }
+                        _ => (0, 0),
+                    };
+                    let category = match spec {
+                        KernelSpec::Gemm(_) => KernelCategory::Gemm,
+                        _ => KernelCategory::Traversal,
+                    };
+                    self.device
+                        .record_host_exec(category, ran_parallel, wall_us, chunks, steals);
                 }
             }
         }

@@ -1,0 +1,199 @@
+//! Bit-exact determinism of the parallel real-mode executor.
+//!
+//! The `hector-par` executor promises that `HECTOR_THREADS` never changes
+//! a single output bit: row chunks write disjoint rows directly, while
+//! scatter/aggregate contributions are recorded per chunk and replayed in
+//! fixed chunk order — the exact floating-point operations of the
+//! sequential loop, in the exact sequential order. These tests pin that
+//! contract across every optimization combination and all three built-in
+//! models, for inference outputs and for five full training steps
+//! (losses and every learned weight), plus a property suite over random
+//! graphs, thread counts, and chunk sizes. Chunk sizes are deliberately
+//! tiny so even the small test graphs split into many chunks.
+
+use hector::prelude::*;
+use hector_tensor::seeded_rng;
+use proptest::prelude::*;
+
+fn graph(seed: u64, nodes: usize, edges: usize) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "par_determinism".into(),
+        num_nodes: nodes,
+        num_node_types: 3,
+        num_edges: edges,
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed,
+    }))
+}
+
+fn par_cfg(threads: usize, min_chunk: usize) -> ParallelConfig {
+    ParallelConfig::sequential()
+        .with_threads(threads)
+        .with_min_chunk_rows(min_chunk)
+}
+
+fn all_option_combos(training: bool) -> [CompileOptions; 4] {
+    [
+        CompileOptions::unopt().with_training(training),
+        CompileOptions::compact_only().with_training(training),
+        CompileOptions::reorder_only().with_training(training),
+        CompileOptions::best().with_training(training),
+    ]
+}
+
+/// Runs one inference and returns the output tensor as raw f32 bits.
+fn inference_bits(
+    kind: ModelKind,
+    opts: &CompileOptions,
+    g: &GraphData,
+    threads: usize,
+    min_chunk: usize,
+) -> Vec<u32> {
+    let module = hector::compile_model(kind, 16, 16, opts);
+    let mut rng = seeded_rng(7);
+    let mut params = ParamStore::init(&module.forward, g, &mut rng);
+    let bindings = Bindings::standard(&module.forward, g, &mut rng);
+    let mut session = Session::with_parallel(
+        DeviceConfig::rtx3090(),
+        Mode::Real,
+        par_cfg(threads, min_chunk),
+    );
+    let (vars, _) = session
+        .run_inference(&module, g, &mut params, &bindings)
+        .expect("inference fits");
+    let out = module.forward.outputs[0];
+    vars.tensor(out)
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Runs `steps` Adam training steps; returns (per-step loss bits, all
+/// final weight bits) — the whole training trajectory, bit for bit.
+fn training_bits(
+    kind: ModelKind,
+    opts: &CompileOptions,
+    g: &GraphData,
+    threads: usize,
+    steps: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let module = hector::compile_model(kind, 16, 16, opts);
+    let mut rng = seeded_rng(13);
+    let mut params = ParamStore::init(&module.forward, g, &mut rng);
+    let bindings = Bindings::standard(&module.forward, g, &mut rng);
+    let labels: Vec<usize> = (0..g.graph().num_nodes()).map(|i| i % 4).collect();
+    let mut session =
+        Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par_cfg(threads, 4));
+    let mut opt = Adam::new(0.01);
+    let mut losses = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let (_, report) = session
+            .run_training_step(&module, g, &mut params, &bindings, &labels, &mut opt)
+            .expect("training step fits");
+        losses.push(report.loss.expect("real mode reports loss").to_bits());
+    }
+    let mut weights = Vec::new();
+    for w in 0..params.len() {
+        let wid = hector_ir::WeightId(w as u32);
+        weights.extend(params.weight(wid).data().iter().map(|v| v.to_bits()));
+    }
+    (losses, weights)
+}
+
+#[test]
+fn inference_is_bit_identical_across_thread_counts() {
+    let g = graph(11, 120, 720);
+    for kind in ModelKind::all() {
+        for opts in all_option_combos(false) {
+            let seq = inference_bits(kind, &opts, &g, 1, 4);
+            let par = inference_bits(kind, &opts, &g, 4, 4);
+            assert_eq!(
+                seq,
+                par,
+                "{} / {}: 4-thread inference diverged from sequential",
+                kind.name(),
+                opts.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn five_training_steps_are_bit_identical_across_thread_counts() {
+    let g = graph(23, 80, 480);
+    for kind in ModelKind::all() {
+        for opts in all_option_combos(true) {
+            let (seq_loss, seq_w) = training_bits(kind, &opts, &g, 1, 5);
+            let (par_loss, par_w) = training_bits(kind, &opts, &g, 4, 5);
+            assert_eq!(
+                seq_loss,
+                par_loss,
+                "{} / {}: loss trajectory diverged",
+                kind.name(),
+                opts.label()
+            );
+            assert_eq!(
+                seq_w,
+                par_w,
+                "{} / {}: trained weights diverged",
+                kind.name(),
+                opts.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_record_parallel_stats() {
+    let g = graph(5, 200, 1200);
+    let module = hector::compile_model(ModelKind::Rgcn, 16, 16, &CompileOptions::best());
+    let mut rng = seeded_rng(3);
+    let mut params = ParamStore::init(&module.forward, &g, &mut rng);
+    let bindings = Bindings::standard(&module.forward, &g, &mut rng);
+    let mut session = Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par_cfg(4, 4));
+    session
+        .run_inference(&module, &g, &mut params, &bindings)
+        .unwrap();
+    let p = session.device().counters().parallel();
+    assert!(p.parallel_launches > 0, "pooled kernels must be recorded");
+    assert!(p.chunks > 0, "row domains must have split into chunks");
+    assert!(p.total_wall_us() > 0.0);
+    let stats = session.pool_stats().expect("4-thread session has a pool");
+    assert!(stats.executed > 0);
+
+    // And the sequential config records only sequential launches.
+    let mut seq = Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par_cfg(1, 4));
+    seq.run_inference(&module, &g, &mut params, &bindings)
+        .unwrap();
+    let p = seq.device().counters().parallel();
+    assert_eq!(p.parallel_launches, 0);
+    assert!(p.sequential_launches > 0);
+    assert!(seq.pool_stats().is_none(), "num_threads=1 creates no pool");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random graph shape × model × optimization combo × thread count ×
+    /// chunk size: inference must stay bit-identical to sequential.
+    #[test]
+    fn random_configs_stay_bit_identical(
+        seed in 0u64..1000,
+        nodes in 24usize..96,
+        edges_per_node in 2usize..8,
+        threads in 2usize..6,
+        min_chunk in 1usize..32,
+        model_ix in 0usize..3,
+        opt_ix in 0usize..4,
+    ) {
+        let g = graph(seed, nodes, nodes * edges_per_node);
+        let kind = ModelKind::all()[model_ix];
+        let opts = all_option_combos(false)[opt_ix].clone();
+        let seq = inference_bits(kind, &opts, &g, 1, min_chunk);
+        let par = inference_bits(kind, &opts, &g, threads, min_chunk);
+        prop_assert_eq!(seq, par);
+    }
+}
