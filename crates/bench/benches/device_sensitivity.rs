@@ -52,7 +52,7 @@ fn main() {
                 match o.time_ms {
                     Some(t) => {
                         print!("{t:>10.2}");
-                        if best.map_or(true, |(_, b)| t < b) {
+                        if best.is_none_or(|(_, b)| t < b) {
                             best = Some((label, t));
                         }
                     }

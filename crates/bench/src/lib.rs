@@ -201,6 +201,56 @@ pub fn human_bytes(b: usize) -> String {
     }
 }
 
+pub mod alloc_counter {
+    //! Counting global allocator shared by the `interp_alloc` bench
+    //! target and the root `tests/interp_alloc.rs` suite (via the
+    //! `hector` crate's dev-dependency on this lib), so both measure
+    //! allocation *events* with the identical instrument.
+    //!
+    //! Each binary opts in with:
+    //!
+    //! ```ignore
+    //! #[global_allocator]
+    //! static COUNTER: CountingAlloc = CountingAlloc;
+    //! ```
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Delegates to [`System`], counting every allocation event
+    /// (`alloc`, `alloc_zeroed`, `realloc` — frees are not events).
+    pub struct CountingAlloc;
+
+    static ALLOC_EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Allocation events observed so far in this process.
+    #[must_use]
+    pub fn alloc_events() -> usize {
+        ALLOC_EVENTS.load(Ordering::Relaxed)
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,9 +47,9 @@ impl Default for LowerOptions {
 /// Row space an operator iterates over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum IterSpace {
-    EdgeRows,
-    CompactRows,
-    NodeRows,
+    Edges,
+    Compact,
+    Nodes,
 }
 
 /// Iteration space of a traversal-eligible op.
@@ -81,9 +81,9 @@ fn op_iter_space(p: &Program, kind: &OpKind) -> IterSpace {
         },
     };
     match space {
-        Space::Edge => IterSpace::EdgeRows,
-        Space::Compact => IterSpace::CompactRows,
-        Space::Node => IterSpace::NodeRows,
+        Space::Edge => IterSpace::Edges,
+        Space::Compact => IterSpace::Compact,
+        Space::Node => IterSpace::Nodes,
     }
 }
 
@@ -177,7 +177,7 @@ impl<'a> Lowerer<'a> {
         // Space compatibility: same space, or a nodewise finisher joining
         // an edge group that aggregates per destination node.
         let space_ok = sp == gspace
-            || (sp == IterSpace::NodeRows && gspace == IterSpace::EdgeRows && g.dst_grouped());
+            || (sp == IterSpace::Nodes && gspace == IterSpace::Edges && g.dst_grouped());
         if !space_ok {
             return false;
         }
@@ -192,7 +192,7 @@ impl<'a> Lowerer<'a> {
                 // inside a dst-node loop; only Dst/This reads resolve.
                 let ok = g.dst_grouped()
                     && matches!(operand, Operand::Node(_, Endpoint::Dst | Endpoint::This));
-                if !ok && gspace != IterSpace::NodeRows {
+                if !ok && gspace != IterSpace::Nodes {
                     return false;
                 }
             }
@@ -237,14 +237,14 @@ impl<'a> Lowerer<'a> {
         let g = &mut self.group;
         if g.ops.is_empty() {
             g.space = Some(sp);
-        } else if sp != IterSpace::NodeRows || g.space == Some(IterSpace::NodeRows) {
+        } else if sp != IterSpace::Nodes || g.space == Some(IterSpace::Nodes) {
             // Keep the primary space; nodewise riders don't change it.
         }
         if let OpKind::NodeAggregate { endpoint, out, .. } = &op.kind {
             g.has_agg = true;
             let dst_node = self.p.var(*out).space == Space::Node
                 && *endpoint == Endpoint::Dst
-                && sp == IterSpace::EdgeRows;
+                && sp == IterSpace::Edges;
             if dst_node {
                 g.node_defs.insert(*out);
             } else {
@@ -268,15 +268,15 @@ impl<'a> Lowerer<'a> {
         }
         let g = std::mem::take(&mut self.group);
         let domain = match g.space.expect("non-empty group") {
-            IterSpace::EdgeRows => {
+            IterSpace::Edges => {
                 if g.dst_grouped() {
                     TraversalDomain::DstNodes
                 } else {
                     TraversalDomain::Edges
                 }
             }
-            IterSpace::CompactRows => TraversalDomain::UniquePairs,
-            IterSpace::NodeRows => TraversalDomain::Nodes,
+            IterSpace::Compact => TraversalDomain::UniquePairs,
+            IterSpace::Nodes => TraversalDomain::Nodes,
         };
         // Kernels that aggregate outside a dst-node loop need atomics
         // (multiple simultaneous updaters, Algorithm 1/2 note).
@@ -286,7 +286,7 @@ impl<'a> Lowerer<'a> {
             .iter()
             .filter(|o| {
                 domain == TraversalDomain::DstNodes
-                    && op_iter_space(self.p, &o.kind) == IterSpace::NodeRows
+                    && op_iter_space(self.p, &o.kind) == IterSpace::Nodes
             })
             .map(|o| o.id)
             .collect();

@@ -50,7 +50,7 @@ pub mod autotune;
 pub use autotune::{autotune, autotune_threads, ThreadTuneResult, TuneResult};
 pub use hector_baselines as baselines;
 pub use hector_compiler::{compile, CompileOptions, CompiledModule, GeneratedCode};
-pub use hector_device::{Device, DeviceConfig};
+pub use hector_device::{Device, DeviceConfig, ScratchStats};
 pub use hector_graph::{
     datasets, generate, DatasetSpec, GraphStats, HeteroGraph, HeteroGraphBuilder,
 };

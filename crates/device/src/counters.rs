@@ -99,11 +99,48 @@ impl ParallelStats {
     }
 }
 
+/// Scratch-arena statistics of the real-mode interpreter hot path (host
+/// side, like [`ParallelStats`]). The interpreter computes every operand
+/// read, op result, and GEMM row in reusable executor-owned buffers;
+/// these counters make the steady state observable: on the *sequential*
+/// executor a warm forward/training pass records zero growth events —
+/// zero per-row heap allocations (pinned by `tests/interp_alloc.rs`).
+/// The parallel executor deliberately allocates one transient scratch
+/// block and contribution buffer per worker *chunk* — O(chunks) per
+/// kernel, never O(rows) — so its runs report a small non-zero `grows`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Arena buffer-growth (heap allocation) events, including the
+    /// per-chunk worker arenas of the parallel executor.
+    pub grows: usize,
+    /// High-water arena footprint observed, bytes (session arena only —
+    /// worker-chunk blocks are transient).
+    pub bytes: usize,
+    /// Kernel executions that completed without growing any arena — the
+    /// zero-allocation steady state.
+    pub steady_kernels: usize,
+    /// Total real-mode kernel executions recorded.
+    pub kernels: usize,
+}
+
+impl ScratchStats {
+    /// Fraction of kernel executions that ran entirely from warm scratch.
+    #[must_use]
+    pub fn steady_fraction(&self) -> f64 {
+        if self.kernels == 0 {
+            0.0
+        } else {
+            self.steady_kernels as f64 / self.kernels as f64
+        }
+    }
+}
+
 /// Per-`(category, phase)` counter store for one run.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
     buckets: HashMap<(KernelCategory, Phase), CategoryMetrics>,
     parallel: ParallelStats,
+    scratch: ScratchStats,
 }
 
 impl Counters {
@@ -201,10 +238,28 @@ impl Counters {
         &self.parallel
     }
 
+    /// Records one real-mode kernel execution's scratch-arena activity.
+    pub fn record_scratch(&mut self, grows: usize, bytes: usize) {
+        let s = &mut self.scratch;
+        s.grows += grows;
+        s.bytes = s.bytes.max(bytes);
+        s.kernels += 1;
+        if grows == 0 {
+            s.steady_kernels += 1;
+        }
+    }
+
+    /// Interpreter scratch-arena statistics.
+    #[must_use]
+    pub fn scratch(&self) -> &ScratchStats {
+        &self.scratch
+    }
+
     /// Clears all counters.
     pub fn reset(&mut self) {
         self.buckets.clear();
         self.parallel = ParallelStats::default();
+        self.scratch = ScratchStats::default();
     }
 
     /// Merges another counter store into this one.
@@ -216,6 +271,11 @@ impl Counters {
         p.steals += other.parallel.steals;
         p.gemm_wall_us += other.parallel.gemm_wall_us;
         p.traversal_wall_us += other.parallel.traversal_wall_us;
+        let s = &mut self.scratch;
+        s.grows += other.scratch.grows;
+        s.bytes = s.bytes.max(other.scratch.bytes);
+        s.steady_kernels += other.scratch.steady_kernels;
+        s.kernels += other.scratch.kernels;
         for (k, m) in &other.buckets {
             let e = self.buckets.entry(*k).or_default();
             e.launches += m.launches;

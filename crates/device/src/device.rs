@@ -82,6 +82,14 @@ impl Device {
             .record_host_exec(category, parallel, wall_us, chunks, steals);
     }
 
+    /// Records one real-mode kernel execution's scratch-arena activity
+    /// (see [`crate::ScratchStats`]): how many times the interpreter's
+    /// reusable buffers had to grow (heap allocations) and the arena's
+    /// current footprint. Steady-state kernels record `grows == 0`.
+    pub fn record_scratch(&mut self, grows: usize, bytes: usize) {
+        self.counters.record_scratch(grows, bytes);
+    }
+
     /// Charges pure host-side API overhead (framework dispatch without a
     /// kernel), as eager per-relation Python loops do.
     pub fn charge_api_call(&mut self) {

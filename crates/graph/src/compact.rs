@@ -81,9 +81,7 @@ impl CompactionMap {
     pub fn unique_etype(&self) -> Vec<u32> {
         let mut out = vec![0u32; self.num_unique()];
         for t in 0..self.unique_etype_ptr.len() - 1 {
-            for u in self.unique_etype_ptr[t]..self.unique_etype_ptr[t + 1] {
-                out[u] = t as u32;
-            }
+            out[self.unique_etype_ptr[t]..self.unique_etype_ptr[t + 1]].fill(t as u32);
         }
         out
     }

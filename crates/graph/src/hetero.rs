@@ -295,9 +295,7 @@ impl HeteroGraphBuilder {
         }
         let mut node_type = vec![0u32; num_nodes];
         for t in 0..num_node_types {
-            for n in ntype_ptr[t]..ntype_ptr[t + 1] {
-                node_type[n] = t as u32;
-            }
+            node_type[ntype_ptr[t]..ntype_ptr[t + 1]].fill(t as u32);
         }
         self.edges.sort_by_key(|&(_, _, t)| t);
         let num_edge_types = self
@@ -435,9 +433,9 @@ mod tests {
         assert_eq!(deg[1], 1);
         assert_eq!(deg[5], 0);
         let dpr = g.in_degree_per_rel();
-        // node 0, relation "cites" (1) has 3 incoming.
-        assert_eq!(dpr[0 * 2 + 1], 3);
-        assert_eq!(dpr[0 * 2 + 0], 0);
+        // node 0 (row base 0 * 2), relation "cites" (1) has 3 incoming.
+        assert_eq!(dpr[1], 3);
+        assert_eq!(dpr[0], 0);
         assert!((g.avg_degree() - 7.0 / 6.0).abs() < 1e-12);
     }
 

@@ -72,8 +72,8 @@ proptest! {
         for &s in g.src() {
             out_deg[s as usize] += 1;
         }
-        for v in 0..g.num_nodes() {
-            prop_assert_eq!(csr.edges(v).len(), out_deg[v]);
+        for (v, &deg) in out_deg.iter().enumerate() {
+            prop_assert_eq!(csr.edges(v).len(), deg);
         }
     }
 

@@ -167,11 +167,7 @@ impl ModelBuilder {
         for o in operands {
             match o {
                 Operand::Node(_, Endpoint::Src | Endpoint::Dst) => edgewise = true,
-                Operand::Edge(v) => {
-                    if self.program.var(*v).space != Space::Node {
-                        edgewise = true;
-                    }
-                }
+                Operand::Edge(v) if self.program.var(*v).space != Space::Node => edgewise = true,
                 _ => {}
             }
         }

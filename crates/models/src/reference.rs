@@ -33,9 +33,9 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// f32's exp range neither overflow nor underflow to `0/0`.
 fn edge_softmax(g: &HeteroGraph, logits: &[f32]) -> Vec<f32> {
     let mut maxes = vec![f32::NEG_INFINITY; g.num_nodes()];
-    for e in 0..g.num_edges() {
+    for (e, &lv) in logits.iter().enumerate().take(g.num_edges()) {
         let d = g.dst()[e] as usize;
-        maxes[d] = maxes[d].max(logits[e]);
+        maxes[d] = maxes[d].max(lv);
     }
     let mut sums = vec![0.0f32; g.num_nodes()];
     let exp: Vec<f32> = (0..g.num_edges())
@@ -95,7 +95,7 @@ pub fn rgat_forward(g: &HeteroGraph, h: &Tensor, w: &Tensor, w_s: &Tensor, w_t: 
     let e_count = g.num_edges();
     let mut hs_rows = Vec::with_capacity(e_count);
     let mut logits = vec![0.0f32; e_count];
-    for e in 0..e_count {
+    for (e, logit) in logits.iter_mut().enumerate().take(e_count) {
         let (s, d, ty) = (
             g.src()[e] as usize,
             g.dst()[e] as usize,
@@ -106,7 +106,7 @@ pub fn rgat_forward(g: &HeteroGraph, h: &Tensor, w: &Tensor, w_s: &Tensor, w_t: 
         let atts = dot(&hs, w_s.slab(ty));
         let attt = dot(&ht, w_t.slab(ty));
         let raw = atts + attt;
-        logits[e] = if raw >= 0.0 {
+        *logit = if raw >= 0.0 {
             raw
         } else {
             LEAKY_RELU_SLOPE * raw
@@ -157,14 +157,14 @@ pub fn hgt_forward(
     let e_count = g.num_edges();
     let mut logits = vec![0.0f32; e_count];
     let mut msgs = Vec::with_capacity(e_count);
-    for e in 0..e_count {
+    for (e, logit) in logits.iter_mut().enumerate().take(e_count) {
         let (s, dd, ty) = (
             g.src()[e] as usize,
             g.dst()[e] as usize,
             g.etype()[e] as usize,
         );
         let kw = row_matmul(&k_rows[s], wa, ty);
-        logits[e] = dot(&kw, &q_rows[dd]) * scale;
+        *logit = dot(&kw, &q_rows[dd]) * scale;
         msgs.push(row_matmul(h.row(s), wm, ty));
     }
     let att = edge_softmax(g, &logits);

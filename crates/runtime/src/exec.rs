@@ -6,6 +6,15 @@
 //! direction) into the output; traversal instances iterate their domain
 //! (edges, unique pairs, destination nodes with staged inner passes, or
 //! plain nodes) executing the fused statement list per row.
+//!
+//! # Zero-allocation hot path
+//!
+//! The per-row loops never touch the heap in steady state: operand reads
+//! return borrowed [`OperandRef`] views, op results are computed into a
+//! reusable [`Scratch`] arena owned by the executor, and the GEMM inner
+//! loops run over `chunks_exact` windows of the weight slab (no per-row
+//! `Vec`, no bounds checks in the multiply-accumulate). See the
+//! [`crate::scratch`] module docs for the operand-view lifetime contract.
 
 use hector_ir::interop::LEAKY_RELU_SLOPE;
 use hector_ir::{
@@ -13,6 +22,7 @@ use hector_ir::{
     TraversalDomain, TraversalSpec, TypeIndex, UnOp, VarId,
 };
 
+use crate::scratch::Scratch;
 use crate::{GraphData, ParamStore, VarStore};
 
 /// A row position in one of the three iteration spaces.
@@ -21,6 +31,77 @@ pub(crate) enum Ctx {
     Edge(usize),
     Unique(usize),
     Node(usize),
+}
+
+/// A borrowed view of one operand row: either a slice into a variable,
+/// parameter, or weight-vector store, or an inline broadcast constant.
+///
+/// Views stay valid only while the stores they borrow from are not
+/// mutated — ops compute into [`Scratch`] slots first and write outputs
+/// back only after every operand view is dropped (the lifetime contract
+/// documented in [`crate::scratch`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum OperandRef<'a> {
+    /// Borrowed row data.
+    Slice(&'a [f32]),
+    /// An inline scalar (an IR constant), broadcast over the row.
+    Scalar(f32),
+}
+
+impl OperandRef<'_> {
+    /// The view as a slice (scalars become one-element slices).
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        match self {
+            OperandRef::Slice(s) => s,
+            OperandRef::Scalar(v) => std::slice::from_ref(v),
+        }
+    }
+
+    /// First element — for operands contractually scalar (fused scales,
+    /// aggregate scales).
+    pub(crate) fn scalar(&self) -> f32 {
+        self.as_slice()[0]
+    }
+}
+
+/// Computes one `TypedLinear` output row into `y`: `y = x · W` (or
+/// `x · Wᵀ`), the shared inner loop of the sequential and parallel GEMM
+/// executors. Iterator-based so the multiply-accumulate compiles without
+/// bounds checks.
+///
+/// `slab_finite` gates the `xv == 0.0` skip: skipping a zero input
+/// element is only IEEE-sound when the weight slab holds no `inf`/`NaN`
+/// (`0 × inf` must produce `NaN`). Callers check the slab once per
+/// kernel ([`Scratch::set_slab_finite`]), not per element.
+pub(crate) fn gemm_row_into(
+    x: &[f32],
+    slab: &[f32],
+    wrows: usize,
+    wcols: usize,
+    transpose_w: bool,
+    slab_finite: bool,
+    y: &mut [f32],
+) {
+    if transpose_w {
+        // y = x · Wᵀ where W is [wrows, wcols]: x has wcols elems.
+        debug_assert_eq!(x.len(), wcols);
+        for (yj, row) in y.iter_mut().zip(slab.chunks_exact(wcols)).take(wrows) {
+            *yj = x
+                .iter()
+                .zip(row)
+                .fold(0.0f32, |acc, (&xv, &wv)| acc + xv * wv);
+        }
+    } else {
+        debug_assert_eq!(x.len(), wrows);
+        for (&xv, row) in x.iter().zip(slab.chunks_exact(wcols)) {
+            if xv == 0.0 && slab_finite {
+                continue;
+            }
+            for (yj, &wv) in y.iter_mut().zip(row) {
+                *yj += xv * wv;
+            }
+        }
+    }
 }
 
 /// Executes a GEMM-template instance.
@@ -34,6 +115,7 @@ pub(crate) fn exec_gemm(
     graph: &GraphData,
     params: &mut ParamStore,
     vars: &mut VarStore,
+    scratch: &mut Scratch,
 ) {
     let m = graph.rows_of(spec.rows);
     match &spec.op.kind {
@@ -45,52 +127,46 @@ pub(crate) fn exec_gemm(
             fused_scale,
             out,
         } => {
-            let wt = params.weight(*weight).clone();
+            let params: &ParamStore = params;
+            let wt = params.weight(*weight);
             let (wrows, wcols) = (wt.shape()[1], wt.shape()[2]);
             let out_width = program.var(*out).width;
+            if !*transpose_w {
+                scratch.set_slab_finite(wt);
+            }
             for r in 0..m {
                 let ctx = row_ctx(spec.rows, r);
-                let x = read_operand(input, ctx, program, graph, params, vars);
                 let ty = weight_type_index(wt.shape()[0], spec.weight_index, spec.rows, r, graph);
-                let slab = wt.slab(ty);
-                let mut y = vec![0.0f32; out_width];
-                if *transpose_w {
-                    // y = x · W^T where W is [wrows, wcols]: x has wcols elems.
-                    debug_assert_eq!(x.len(), wcols);
-                    for (j, yj) in y.iter_mut().enumerate().take(wrows) {
-                        let row = &slab[j * wcols..(j + 1) * wcols];
-                        let mut acc = 0.0;
-                        for (p, &xv) in x.iter().enumerate() {
-                            acc += xv * row[p];
-                        }
-                        *yj = acc;
-                    }
-                } else {
-                    debug_assert_eq!(x.len(), wrows);
-                    for (p, &xv) in x.iter().enumerate() {
-                        if xv == 0.0 {
-                            continue;
-                        }
-                        let row = &slab[p * wcols..(p + 1) * wcols];
-                        for j in 0..wcols {
-                            y[j] += xv * row[j];
-                        }
-                    }
+                let slab_finite = *transpose_w || scratch.slab_finite(ty);
+                {
+                    let x = read_operand(input, ctx, program, graph, params, vars);
+                    let y = scratch.y_zeroed(out_width);
+                    gemm_row_into(
+                        x.as_slice(),
+                        wt.slab(ty),
+                        wrows,
+                        wcols,
+                        *transpose_w,
+                        slab_finite,
+                        y,
+                    );
                 }
                 if let Some(s) = fused_scale {
-                    let sv = read_operand(s, ctx, program, graph, params, vars)[0];
-                    for v in &mut y {
+                    let sv = read_operand(s, ctx, program, graph, params, vars).scalar();
+                    for v in scratch.y_mut(out_width) {
                         *v *= sv;
                     }
                 }
                 match scatter {
                     None => {
-                        vars.get_mut(*out).tensor_mut().set_row(r, &y);
+                        vars.get_mut(*out)
+                            .tensor_mut()
+                            .set_row(r, scratch.y(out_width));
                     }
                     Some(ep) => {
                         let idx = scatter_index(spec.rows, *ep, r, graph);
                         let row = vars.get_mut(*out).tensor_mut().row_mut(idx);
-                        for (a, b) in row.iter_mut().zip(y.iter()) {
+                        for (a, b) in row.iter_mut().zip(scratch.y(out_width)) {
                             *a += b;
                         }
                     }
@@ -101,21 +177,17 @@ pub(crate) fn exec_gemm(
             let t_count = params.type_count(*out_w);
             for r in 0..m {
                 let ctx = row_ctx(spec.rows, r);
-                let xr = read_operand(x, ctx, program, graph, params, vars);
-                let dyr = read_operand(dy, ctx, program, graph, params, vars);
+                let (k, n) = {
+                    let xr = read_operand(x, ctx, program, graph, params, vars);
+                    let dyr = read_operand(dy, ctx, program, graph, params, vars);
+                    scratch.stage_a(xr.as_slice());
+                    scratch.stage_b(dyr.as_slice());
+                    (xr.as_slice().len(), dyr.as_slice().len())
+                };
                 let ty = weight_type_index(t_count, spec.weight_index, spec.rows, r, graph);
-                let (k, n) = (xr.len(), dyr.len());
                 let g = params.grad_mut(*out_w);
                 let slab = &mut g.data_mut()[ty * k * n..(ty + 1) * k * n];
-                for (i, &xv) in xr.iter().enumerate() {
-                    if xv == 0.0 {
-                        continue;
-                    }
-                    let row = &mut slab[i * n..(i + 1) * n];
-                    for (j, &dv) in dyr.iter().enumerate() {
-                        row[j] += xv * dv;
-                    }
-                }
+                grad_w_row(scratch.a(k), scratch.b(n), slab);
             }
         }
         other => unreachable!("not a GEMM op: {other:?}"),
@@ -124,6 +196,23 @@ pub(crate) fn exec_gemm(
         spec.scatter,
         Scatter::None | Scatter::AtomicNode(_)
     ));
+}
+
+/// Accumulates one row's outer product `xᵀ · dy` into a weight-gradient
+/// slab — the shared `TypedLinearGradW` inner loop of both executors.
+/// The `xv == 0.0` skip is gated on `dy` being finite, checked once per
+/// row: skipping `0 × inf` would hide the IEEE-mandated `NaN`.
+pub(crate) fn grad_w_row(x: &[f32], dy: &[f32], slab: &mut [f32]) {
+    let n = dy.len();
+    let dy_finite = dy.iter().all(|v| v.is_finite());
+    for (&xv, row) in x.iter().zip(slab.chunks_exact_mut(n)) {
+        if xv == 0.0 && dy_finite {
+            continue;
+        }
+        for (g, &dv) in row.iter_mut().zip(dy) {
+            *g += xv * dv;
+        }
+    }
 }
 
 pub(crate) fn row_ctx(rows: RowDomain, r: usize) -> Ctx {
@@ -173,23 +262,25 @@ pub(crate) fn weight_type_index(
     idx
 }
 
-pub(crate) fn read_operand(
+/// Resolves one operand to a borrowed row view — no copy, no allocation.
+/// See [`OperandRef`] for the lifetime contract.
+pub(crate) fn read_operand<'a>(
     o: &Operand,
     ctx: Ctx,
     program: &Program,
     graph: &GraphData,
-    params: &ParamStore,
-    vars: &VarStore,
-) -> Vec<f32> {
+    params: &'a ParamStore,
+    vars: &'a VarStore,
+) -> OperandRef<'a> {
     match o {
-        Operand::Const(c) => vec![*c],
+        Operand::Const(c) => OperandRef::Scalar(*c),
         Operand::WeightVec(w) => {
             let ty = match ctx {
                 Ctx::Edge(e) => graph.graph().etype()[e] as usize,
                 Ctx::Unique(u) => graph.unique_etype()[u] as usize,
                 Ctx::Node(_) => unreachable!("weight vectors need edge context"),
             };
-            params.weight(*w).slab(ty).to_vec()
+            OperandRef::Slice(params.weight(*w).slab(ty))
         }
         Operand::Node(v, ep) => {
             let row = match (ctx, ep) {
@@ -199,7 +290,7 @@ pub(crate) fn read_operand(
                 (Ctx::Node(n), Endpoint::This | Endpoint::Dst) => n,
                 (c, e) => unreachable!("node read {e:?} in context {c:?}"),
             };
-            vars.tensor(*v).row(row).to_vec()
+            OperandRef::Slice(vars.tensor(*v).row(row))
         }
         Operand::Edge(v) => {
             let space = program.var(*v).space;
@@ -209,14 +300,16 @@ pub(crate) fn read_operand(
                 (Ctx::Unique(u), Space::Compact) => u,
                 (c, s) => unreachable!("edge read of {s:?} var in context {c:?}"),
             };
-            vars.tensor(*v).row(row).to_vec()
+            OperandRef::Slice(vars.tensor(*v).row(row))
         }
     }
 }
 
-pub(crate) fn apply_unary(op: UnOp, x: &[f32]) -> Vec<f32> {
-    x.iter()
-        .map(|&v| match op {
+/// Applies a unary op elementwise, writing into `out` (same length).
+pub(crate) fn apply_unary_into(op: UnOp, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = match op {
             UnOp::LeakyRelu => {
                 if v >= 0.0 {
                     v
@@ -242,26 +335,55 @@ pub(crate) fn apply_unary(op: UnOp, x: &[f32]) -> Vec<f32> {
                     0.0
                 }
             }
-        })
-        .collect()
+        };
+    }
 }
 
-pub(crate) fn apply_binary(op: BinOp, a: &[f32], b: &[f32]) -> Vec<f32> {
-    let n = a.len().max(b.len());
+#[inline]
+fn binary_scalar(op: BinOp, x: f32, y: f32) -> f32 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        // `0/0` yields `0` instead of the IEEE `NaN`: a zero denominator
+        // with a zero numerator is a normalization group no edge touched
+        // (e.g. a softmax/mean read at a zero-in-degree destination), and
+        // the convention mirrors the `AggNorm::Max` sweep-back — untouched
+        // groups produce a finite default, never a poisoned row. Any
+        // other division keeps IEEE semantics (`x/0 = ±inf`, `NaN`
+        // operands propagate). Pinned by `tests/numeric_edge_cases.rs`.
+        BinOp::Div => {
+            if x == 0.0 && y == 0.0 {
+                0.0
+            } else {
+                x / y
+            }
+        }
+    }
+}
+
+/// Applies a binary op elementwise with scalar broadcasting, writing the
+/// `max(a.len(), b.len())`-wide result into `out`.
+pub(crate) fn apply_binary_into(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    debug_assert_eq!(n, a.len().max(b.len()));
     debug_assert!(a.len() == n || a.len() == 1);
     debug_assert!(b.len() == n || b.len() == 1);
-    (0..n)
-        .map(|i| {
-            let x = a[if a.len() == 1 { 0 } else { i }];
-            let y = b[if b.len() == 1 { 0 } else { i }];
-            match op {
-                BinOp::Add => x + y,
-                BinOp::Sub => x - y,
-                BinOp::Mul => x * y,
-                BinOp::Div => x / y,
-            }
-        })
-        .collect()
+    if a.len() == n && b.len() == n {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = binary_scalar(op, x, y);
+        }
+    } else if a.len() == 1 {
+        let x = a[0];
+        for (o, &y) in out.iter_mut().zip(b) {
+            *o = binary_scalar(op, x, y);
+        }
+    } else {
+        let y = b[0];
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = binary_scalar(op, x, y);
+        }
+    }
 }
 
 /// Stage assignment for a dst-node kernel: edgewise ops reading
@@ -324,6 +446,7 @@ pub(crate) fn exec_traversal(
     graph: &GraphData,
     params: &mut ParamStore,
     vars: &mut VarStore,
+    scratch: &mut Scratch,
 ) {
     for v in max_agg_outputs(spec) {
         vars.get_mut(v)
@@ -335,21 +458,45 @@ pub(crate) fn exec_traversal(
         TraversalDomain::Edges => {
             for e in 0..graph.graph().num_edges() {
                 for op in &spec.ops {
-                    exec_op(&op.kind, Ctx::Edge(e), program, graph, params, vars);
+                    exec_op(
+                        &op.kind,
+                        Ctx::Edge(e),
+                        program,
+                        graph,
+                        params,
+                        vars,
+                        scratch,
+                    );
                 }
             }
         }
         TraversalDomain::UniquePairs => {
             for u in 0..graph.compact().num_unique() {
                 for op in &spec.ops {
-                    exec_op(&op.kind, Ctx::Unique(u), program, graph, params, vars);
+                    exec_op(
+                        &op.kind,
+                        Ctx::Unique(u),
+                        program,
+                        graph,
+                        params,
+                        vars,
+                        scratch,
+                    );
                 }
             }
         }
         TraversalDomain::Nodes => {
             for n in 0..graph.graph().num_nodes() {
                 for op in &spec.ops {
-                    exec_op(&op.kind, Ctx::Node(n), program, graph, params, vars);
+                    exec_op(
+                        &op.kind,
+                        Ctx::Node(n),
+                        program,
+                        graph,
+                        params,
+                        vars,
+                        scratch,
+                    );
                 }
             }
         }
@@ -365,14 +512,30 @@ pub(crate) fn exec_traversal(
                             if st[i] != pass || spec.hoisted.contains(&op.id) {
                                 continue;
                             }
-                            exec_op(&op.kind, Ctx::Edge(e), program, graph, params, vars);
+                            exec_op(
+                                &op.kind,
+                                Ctx::Edge(e),
+                                program,
+                                graph,
+                                params,
+                                vars,
+                                scratch,
+                            );
                         }
                     }
                     for (i, op) in spec.ops.iter().enumerate() {
                         if st[i] != pass || !spec.hoisted.contains(&op.id) {
                             continue;
                         }
-                        exec_op(&op.kind, Ctx::Node(v), program, graph, params, vars);
+                        exec_op(
+                            &op.kind,
+                            Ctx::Node(v),
+                            program,
+                            graph,
+                            params,
+                            vars,
+                            scratch,
+                        );
                     }
                 }
             }
@@ -390,6 +553,9 @@ pub(crate) fn exec_traversal(
 /// Sequential op interpreter. Has a parallel twin (`exec_op_par` in
 /// `par_exec`) that must mirror these numerics exactly; divergence is
 /// caught by `tests/par_determinism.rs`, which CI runs on every push.
+///
+/// Results are computed into `scratch` while the operand views borrow
+/// `vars`, then written back — see the scratch-arena lifetime contract.
 fn exec_op(
     kind: &OpKind,
     ctx: Ctx,
@@ -397,28 +563,36 @@ fn exec_op(
     graph: &GraphData,
     params: &ParamStore,
     vars: &mut VarStore,
+    scratch: &mut Scratch,
 ) {
     match kind {
         OpKind::DotProduct { a, b, out } => {
-            let av = read_operand(a, ctx, program, graph, params, vars);
-            let bv = read_operand(b, ctx, program, graph, params, vars);
-            debug_assert_eq!(av.len(), bv.len());
-            let mut acc = 0.0;
-            for (x, y) in av.iter().zip(bv.iter()) {
-                acc += x * y;
-            }
+            let acc = {
+                let av = read_operand(a, ctx, program, graph, params, vars);
+                let bv = read_operand(b, ctx, program, graph, params, vars);
+                dot(av.as_slice(), bv.as_slice())
+            };
             write_row(*out, ctx, &[acc], program, graph, vars);
         }
         OpKind::Binary { op, a, b, out } => {
-            let av = read_operand(a, ctx, program, graph, params, vars);
-            let bv = read_operand(b, ctx, program, graph, params, vars);
-            let y = apply_binary(*op, &av, &bv);
-            write_row(*out, ctx, &y, program, graph, vars);
+            let n = {
+                let av = read_operand(a, ctx, program, graph, params, vars);
+                let bv = read_operand(b, ctx, program, graph, params, vars);
+                let (av, bv) = (av.as_slice(), bv.as_slice());
+                let n = av.len().max(bv.len());
+                apply_binary_into(*op, av, bv, scratch.y_uninit(n));
+                n
+            };
+            write_row(*out, ctx, scratch.y(n), program, graph, vars);
         }
         OpKind::Unary { op, a, out } => {
-            let av = read_operand(a, ctx, program, graph, params, vars);
-            let y = apply_unary(*op, &av);
-            write_row(*out, ctx, &y, program, graph, vars);
+            let n = {
+                let av = read_operand(a, ctx, program, graph, params, vars);
+                let av = av.as_slice();
+                apply_unary_into(*op, av, scratch.y_uninit(av.len()));
+                av.len()
+            };
+            write_row(*out, ctx, scratch.y(n), program, graph, vars);
         }
         OpKind::NodeAggregate {
             edge_val,
@@ -428,10 +602,14 @@ fn exec_op(
             endpoint,
             ..
         } => {
-            let val = read_operand(edge_val, ctx, program, graph, params, vars);
-            let s = match scale {
-                Some(sc) => read_operand(sc, ctx, program, graph, params, vars)[0],
-                None => 1.0,
+            let (n, s) = {
+                let val = read_operand(edge_val, ctx, program, graph, params, vars);
+                scratch.stage_a(val.as_slice());
+                let s = match scale {
+                    Some(sc) => read_operand(sc, ctx, program, graph, params, vars).scalar(),
+                    None => 1.0,
+                };
+                (val.as_slice().len(), s)
             };
             let out_space = program.var(*out).space;
             let idx = match (ctx, out_space) {
@@ -449,17 +627,24 @@ fn exec_op(
                 // Rows are seeded with -inf before the kernel runs (see
                 // `exec_traversal`) so the true maximum survives even when
                 // every contribution is negative.
-                for (acc, x) in row.iter_mut().zip(val.iter()) {
+                for (acc, x) in row.iter_mut().zip(scratch.a(n)) {
                     *acc = acc.max(*x);
                 }
             } else {
-                for (acc, x) in row.iter_mut().zip(val.iter()) {
+                for (acc, x) in row.iter_mut().zip(scratch.a(n)) {
                     *acc += x * s;
                 }
             }
         }
         other => unreachable!("traversal cannot execute {other:?}"),
     }
+}
+
+/// Sequential dot product — shared with the parallel twin so both fold
+/// in the identical order.
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).fold(0.0f32, |acc, (&x, &y)| acc + x * y)
 }
 
 fn write_row(

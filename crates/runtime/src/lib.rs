@@ -32,6 +32,7 @@ mod loss;
 mod optim;
 mod par_exec;
 mod params;
+mod scratch;
 mod session;
 mod store;
 

@@ -30,9 +30,8 @@ pub fn nll_loss_and_grad(logits: &Tensor, labels: &[usize]) -> LossResult {
     assert_eq!(labels.len(), m, "one label per row");
     let mut grad = Tensor::zeros(&[m, n]);
     let mut loss = 0.0f64;
-    for i in 0..m {
+    for (i, &label) in labels.iter().enumerate().take(m) {
         let row = logits.row(i);
-        let label = labels[i];
         assert!(label < n, "label {label} out of range for {n} classes");
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;

@@ -28,6 +28,16 @@
 //!   passes read them), while cross-chunk aggregates (source-node or
 //!   compact-row gradients) use the record-and-replay path.
 //!
+//! # Scratch blocks
+//!
+//! Like the sequential path, the parallel loops are allocation-free per
+//! row: each worker chunk owns one [`Scratch`] block for operand staging
+//! and row results, and deferred contributions land in a flat
+//! [`ContribBuf`] (one values vector plus a metadata vector per chunk)
+//! instead of one `Vec` per row. Chunk-arena growth events are folded
+//! into the session arena's counter after the merge so the device's
+//! scratch statistics see every allocation.
+//!
 //! A kernel whose fused op list *reads* a value that the parallel scheme
 //! would defer (a buffered aggregate output) falls back to the sequential
 //! interpreter — correctness first, parallelism where it is provably
@@ -43,9 +53,11 @@ use hector_par::ThreadPool;
 use hector_tensor::Tensor;
 
 use crate::exec::{
-    apply_binary, apply_unary, exec_gemm, exec_traversal, max_agg_outputs, read_operand, row_ctx,
-    scatter_index, stages, weight_type_index, Ctx,
+    apply_binary_into, apply_unary_into, dot, exec_gemm, exec_traversal, gemm_row_into, grad_w_row,
+    max_agg_outputs, read_operand, row_ctx, scatter_index, stages, weight_type_index, Ctx,
+    OperandRef,
 };
+use crate::scratch::Scratch;
 use crate::{GraphData, ParamStore, VarStore};
 
 /// Raw row-major view of a tensor shared across worker threads.
@@ -68,7 +80,7 @@ unsafe impl Sync for RawRows {}
 impl RawRows {
     fn of(t: &mut Tensor) -> RawRows {
         let rows = t.shape()[0];
-        let width: usize = t.shape()[1..].iter().product();
+        let width = t.width();
         RawRows {
             ptr: t.data_mut().as_mut_ptr(),
             rows,
@@ -116,24 +128,25 @@ fn read_row<'a>(v: VarId, row: usize, table: &'a WriteTable, vars: &'a VarStore)
 
 /// Mirror of [`crate::exec::read_operand`] that resolves variables
 /// written by the running kernel through the shared [`WriteTable`].
-fn read_operand_par(
+/// Returns the same borrowed [`OperandRef`] views — no copies.
+fn read_operand_par<'a>(
     o: &Operand,
     ctx: Ctx,
     program: &Program,
     graph: &GraphData,
-    params: &ParamStore,
-    vars: &VarStore,
-    table: &WriteTable,
-) -> Vec<f32> {
+    params: &'a ParamStore,
+    vars: &'a VarStore,
+    table: &'a WriteTable,
+) -> OperandRef<'a> {
     match o {
-        Operand::Const(c) => vec![*c],
+        Operand::Const(c) => OperandRef::Scalar(*c),
         Operand::WeightVec(w) => {
             let ty = match ctx {
                 Ctx::Edge(e) => graph.graph().etype()[e] as usize,
                 Ctx::Unique(u) => graph.unique_etype()[u] as usize,
                 Ctx::Node(_) => unreachable!("weight vectors need edge context"),
             };
-            params.weight(*w).slab(ty).to_vec()
+            OperandRef::Slice(params.weight(*w).slab(ty))
         }
         Operand::Node(v, ep) => {
             let row = match (ctx, ep) {
@@ -143,7 +156,7 @@ fn read_operand_par(
                 (Ctx::Node(n), Endpoint::This | Endpoint::Dst) => n,
                 (c, e) => unreachable!("node read {e:?} in context {c:?}"),
             };
-            read_row(*v, row, table, vars).to_vec()
+            OperandRef::Slice(read_row(*v, row, table, vars))
         }
         Operand::Edge(v) => {
             let space = program.var(*v).space;
@@ -153,32 +166,61 @@ fn read_operand_par(
                 (Ctx::Unique(u), Space::Compact) => u,
                 (c, s) => unreachable!("edge read of {s:?} var in context {c:?}"),
             };
-            read_row(*v, row, table, vars).to_vec()
+            OperandRef::Slice(read_row(*v, row, table, vars))
         }
     }
 }
 
-/// One deferred scatter/aggregate write: applied on the calling thread,
-/// in chunk order, after the parallel section.
+/// Metadata of one deferred scatter/aggregate write; the values live in
+/// the owning [`ContribBuf`]'s flat vector.
 struct Contribution {
     out: VarId,
     row: usize,
+    /// Offset into [`ContribBuf::vals`].
+    off: usize,
+    len: usize,
+    max: bool,
+}
+
+/// Flat per-chunk store of deferred contributions: one metadata record
+/// per (output row, value run), all values in a single growable vector —
+/// no per-row heap allocation, unlike a `Vec<Vec<f32>>`.
+#[derive(Default)]
+struct ContribBuf {
+    meta: Vec<Contribution>,
     /// For sums the values are pre-scaled (`x * s`), so the replay's
     /// `acc += v` performs the identical f32 operations as the
     /// sequential `acc += x * s`.
     vals: Vec<f32>,
-    max: bool,
 }
 
-fn apply_contribution(c: &Contribution, vars: &mut VarStore) {
-    let row = vars.get_mut(c.out).tensor_mut().row_mut(c.row);
-    if c.max {
-        for (acc, x) in row.iter_mut().zip(c.vals.iter()) {
-            *acc = acc.max(*x);
-        }
-    } else {
-        for (acc, x) in row.iter_mut().zip(c.vals.iter()) {
-            *acc += *x;
+impl ContribBuf {
+    fn push(&mut self, out: VarId, row: usize, vals: impl Iterator<Item = f32>, max: bool) {
+        let off = self.vals.len();
+        self.vals.extend(vals);
+        self.meta.push(Contribution {
+            out,
+            row,
+            off,
+            len: self.vals.len() - off,
+            max,
+        });
+    }
+
+    /// Applies every recorded contribution in recorded order.
+    fn replay(&self, vars: &mut VarStore) {
+        for c in &self.meta {
+            let vals = &self.vals[c.off..c.off + c.len];
+            let row = vars.get_mut(c.out).tensor_mut().row_mut(c.row);
+            if c.max {
+                for (acc, x) in row.iter_mut().zip(vals) {
+                    *acc = acc.max(*x);
+                }
+            } else {
+                for (acc, x) in row.iter_mut().zip(vals) {
+                    *acc += *x;
+                }
+            }
         }
     }
 }
@@ -275,29 +317,37 @@ fn exec_op_par(
     vars: &VarStore,
     table: &WriteTable,
     buffered: &HashSet<VarId>,
-    buf: &mut Vec<Contribution>,
+    buf: &mut ContribBuf,
+    scratch: &mut Scratch,
 ) {
     match kind {
         OpKind::DotProduct { a, b, out } => {
-            let av = read_operand_par(a, ctx, program, graph, params, vars, table);
-            let bv = read_operand_par(b, ctx, program, graph, params, vars, table);
-            debug_assert_eq!(av.len(), bv.len());
-            let mut acc = 0.0;
-            for (x, y) in av.iter().zip(bv.iter()) {
-                acc += x * y;
-            }
+            let acc = {
+                let av = read_operand_par(a, ctx, program, graph, params, vars, table);
+                let bv = read_operand_par(b, ctx, program, graph, params, vars, table);
+                dot(av.as_slice(), bv.as_slice())
+            };
             write_row_par(*out, ctx, &[acc], program, table);
         }
         OpKind::Binary { op, a, b, out } => {
-            let av = read_operand_par(a, ctx, program, graph, params, vars, table);
-            let bv = read_operand_par(b, ctx, program, graph, params, vars, table);
-            let y = apply_binary(*op, &av, &bv);
-            write_row_par(*out, ctx, &y, program, table);
+            let n = {
+                let av = read_operand_par(a, ctx, program, graph, params, vars, table);
+                let bv = read_operand_par(b, ctx, program, graph, params, vars, table);
+                let (av, bv) = (av.as_slice(), bv.as_slice());
+                let n = av.len().max(bv.len());
+                apply_binary_into(*op, av, bv, scratch.y_uninit(n));
+                n
+            };
+            write_row_par(*out, ctx, scratch.y(n), program, table);
         }
         OpKind::Unary { op, a, out } => {
-            let av = read_operand_par(a, ctx, program, graph, params, vars, table);
-            let y = apply_unary(*op, &av);
-            write_row_par(*out, ctx, &y, program, table);
+            let n = {
+                let av = read_operand_par(a, ctx, program, graph, params, vars, table);
+                let av = av.as_slice();
+                apply_unary_into(*op, av, scratch.y_uninit(av.len()));
+                av.len()
+            };
+            write_row_par(*out, ctx, scratch.y(n), program, table);
         }
         OpKind::NodeAggregate {
             edge_val,
@@ -307,11 +357,6 @@ fn exec_op_par(
             endpoint,
             ..
         } => {
-            let val = read_operand_par(edge_val, ctx, program, graph, params, vars, table);
-            let s = match scale {
-                Some(sc) => read_operand_par(sc, ctx, program, graph, params, vars, table)[0],
-                None => 1.0,
-            };
             let out_space = program.var(*out).space;
             let idx = match (ctx, out_space) {
                 (Ctx::Edge(e), Space::Node) => match endpoint {
@@ -324,33 +369,39 @@ fn exec_op_par(
                 (c, s0) => unreachable!("aggregate {s0:?} in context {c:?}"),
             };
             let is_max = *norm == AggNorm::Max;
-            if buffered.contains(out) {
-                let vals = if is_max {
-                    val
-                } else {
-                    val.iter().map(|x| x * s).collect()
+            let (n, s) = {
+                let val = read_operand_par(edge_val, ctx, program, graph, params, vars, table);
+                let s = match scale {
+                    Some(sc) => {
+                        read_operand_par(sc, ctx, program, graph, params, vars, table).scalar()
+                    }
+                    None => 1.0,
                 };
-                buf.push(Contribution {
-                    out: *out,
-                    row: idx,
-                    vals,
-                    max: is_max,
-                });
+                let v = val.as_slice();
+                if buffered.contains(out) {
+                    if is_max {
+                        buf.push(*out, idx, v.iter().copied(), true);
+                    } else {
+                        buf.push(*out, idx, v.iter().map(|x| x * s), false);
+                    }
+                    return;
+                }
+                scratch.stage_a(v);
+                (v.len(), s)
+            };
+            // Dst-private aggregate in a dst-node kernel: the row
+            // belongs exclusively to this chunk's node.
+            let rr = &table.0[out];
+            // SAFETY: `idx` is the destination node of an incoming
+            // edge of the chunk-owned node, i.e. the owned node.
+            let row = unsafe { rr.row_mut(idx) };
+            if is_max {
+                for (acc, x) in row.iter_mut().zip(scratch.a(n)) {
+                    *acc = acc.max(*x);
+                }
             } else {
-                // Dst-private aggregate in a dst-node kernel: the row
-                // belongs exclusively to this chunk's node.
-                let rr = &table.0[out];
-                // SAFETY: `idx` is the destination node of an incoming
-                // edge of the chunk-owned node, i.e. the owned node.
-                let row = unsafe { rr.row_mut(idx) };
-                if is_max {
-                    for (acc, x) in row.iter_mut().zip(val.iter()) {
-                        *acc = acc.max(*x);
-                    }
-                } else {
-                    for (acc, x) in row.iter_mut().zip(val.iter()) {
-                        *acc += x * s;
-                    }
+                for (acc, x) in row.iter_mut().zip(scratch.a(n)) {
+                    *acc += x * s;
                 }
             }
         }
@@ -358,10 +409,18 @@ fn exec_op_par(
     }
 }
 
+/// One worker chunk's output: its deferred contributions plus its
+/// scratch block's growth count (folded into the session arena stats).
+struct ChunkOut {
+    buf: ContribBuf,
+    grows: usize,
+}
+
 /// Executes a traversal-template instance across the pool. Bit-identical
 /// to [`crate::exec`]'s `exec_traversal` (see module docs for why).
 /// Returns whether the kernel actually ran across multiple chunks
 /// (`false` for safety fallbacks and domains too small to split).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_traversal_par(
     spec: &TraversalSpec,
     program: &Program,
@@ -370,9 +429,10 @@ pub(crate) fn exec_traversal_par(
     vars: &mut VarStore,
     pool: &ThreadPool,
     min_chunk: usize,
+    scratch: &mut Scratch,
 ) -> bool {
     if !par_traversal_safe(spec, program) {
-        exec_traversal(spec, program, graph, params, vars);
+        exec_traversal(spec, program, graph, params, vars, scratch);
         return false;
     }
     for v in max_agg_outputs(spec) {
@@ -386,7 +446,7 @@ pub(crate) fn exec_traversal_par(
     let params_ro: &ParamStore = params;
     let vars_ro: &VarStore = vars;
 
-    let chunk_bufs: Vec<Vec<Contribution>> = match spec.domain {
+    let chunk_outs: Vec<ChunkOut> = match spec.domain {
         TraversalDomain::Edges | TraversalDomain::UniquePairs | TraversalDomain::Nodes => {
             let rows = match spec.domain {
                 TraversalDomain::Edges => RowDomain::Edges,
@@ -395,17 +455,21 @@ pub(crate) fn exec_traversal_par(
             };
             let m = graph.rows_of(rows);
             pool.parallel_chunks(m, min_chunk, |_ci, range| {
-                let mut buf = Vec::new();
+                let mut buf = ContribBuf::default();
+                let mut ws = Scratch::new();
                 for r in range {
                     let ctx = row_ctx(rows, r);
                     for op in &spec.ops {
                         exec_op_par(
                             &op.kind, ctx, program, graph, params_ro, vars_ro, &table, &buffered,
-                            &mut buf,
+                            &mut buf, &mut ws,
                         );
                     }
                 }
-                buf
+                ChunkOut {
+                    buf,
+                    grows: ws.grows(),
+                }
             })
         }
         TraversalDomain::DstNodes => {
@@ -414,7 +478,8 @@ pub(crate) fn exec_traversal_par(
             let csc = graph.csc();
             let st = &st;
             pool.parallel_chunks(graph.graph().num_nodes(), min_chunk, |_ci, range| {
-                let mut buf = Vec::new();
+                let mut buf = ContribBuf::default();
+                let mut ws = Scratch::new();
                 for v in range {
                     for pass in 0..=max_stage {
                         for &eidx in csc.in_edges(v) {
@@ -433,6 +498,7 @@ pub(crate) fn exec_traversal_par(
                                     &table,
                                     &buffered,
                                     &mut buf,
+                                    &mut ws,
                                 );
                             }
                         }
@@ -450,11 +516,15 @@ pub(crate) fn exec_traversal_par(
                                 &table,
                                 &buffered,
                                 &mut buf,
+                                &mut ws,
                             );
                         }
                     }
                 }
-                buf
+                ChunkOut {
+                    buf,
+                    grows: ws.grows(),
+                }
             })
         }
     };
@@ -462,11 +532,12 @@ pub(crate) fn exec_traversal_par(
 
     // Deterministic merge: ascending chunk index, recorded order within
     // each chunk — exactly the sequential accumulation order.
-    for buf in &chunk_bufs {
-        for c in buf {
-            apply_contribution(c, vars);
-        }
+    let mut worker_grows = 0;
+    for out in &chunk_outs {
+        out.buf.replay(vars);
+        worker_grows += out.grows;
     }
+    scratch.note_external_grows(worker_grows);
     for v in max_agg_outputs(spec) {
         for x in vars.get_mut(v).tensor_mut().data_mut() {
             if *x == f32::NEG_INFINITY {
@@ -474,7 +545,7 @@ pub(crate) fn exec_traversal_par(
             }
         }
     }
-    chunk_bufs.len() > 1
+    chunk_outs.len() > 1
 }
 
 /// Raw per-type slab view of a gradient stack for the type-parallel
@@ -496,10 +567,12 @@ impl RawSlabs {
     }
 }
 
-/// Computes one output row of a forward/backward `TypedLinear` GEMM —
-/// the same inner loops as the sequential interpreter, factored out so
-/// both the direct-store and the scatter-accumulate parallel paths share
-/// them.
+/// Computes one output row of a forward/backward `TypedLinear` GEMM into
+/// the worker's scratch `y` slot — the same inner loops as the
+/// sequential interpreter ([`gemm_row_into`]), factored out so both the
+/// direct-store and the scatter-accumulate parallel paths share them.
+/// `flags` is the session arena holding the per-slab finiteness bits
+/// computed once per kernel.
 #[allow(clippy::too_many_arguments)]
 fn typed_linear_row(
     r: usize,
@@ -514,42 +587,32 @@ fn typed_linear_row(
     graph: &GraphData,
     params: &ParamStore,
     vars: &VarStore,
-) -> Vec<f32> {
+    flags: &Scratch,
+    ws: &mut Scratch,
+) {
     let ctx = row_ctx(rows, r);
-    let x = read_operand(input, ctx, program, graph, params, vars);
     let (wrows, wcols) = (wt.shape()[1], wt.shape()[2]);
     let ty = weight_type_index(wt.shape()[0], weight_index, rows, r, graph);
-    let slab = wt.slab(ty);
-    let mut y = vec![0.0f32; out_width];
-    if transpose_w {
-        debug_assert_eq!(x.len(), wcols);
-        for (j, yj) in y.iter_mut().enumerate().take(wrows) {
-            let row = &slab[j * wcols..(j + 1) * wcols];
-            let mut acc = 0.0;
-            for (p, &xv) in x.iter().enumerate() {
-                acc += xv * row[p];
-            }
-            *yj = acc;
-        }
-    } else {
-        debug_assert_eq!(x.len(), wrows);
-        for (p, &xv) in x.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            let row = &slab[p * wcols..(p + 1) * wcols];
-            for j in 0..wcols {
-                y[j] += xv * row[j];
-            }
-        }
+    let slab_finite = transpose_w || flags.slab_finite(ty);
+    {
+        let x = read_operand(input, ctx, program, graph, params, vars);
+        let y = ws.y_zeroed(out_width);
+        gemm_row_into(
+            x.as_slice(),
+            wt.slab(ty),
+            wrows,
+            wcols,
+            transpose_w,
+            slab_finite,
+            y,
+        );
     }
     if let Some(s) = fused_scale {
-        let sv = read_operand(s, ctx, program, graph, params, vars)[0];
-        for v in &mut y {
+        let sv = read_operand(s, ctx, program, graph, params, vars).scalar();
+        for v in ws.y_mut(out_width) {
             *v *= sv;
         }
     }
-    y
 }
 
 /// Executes a GEMM-template instance across the pool. Bit-identical to
@@ -558,6 +621,7 @@ fn typed_linear_row(
 /// parallelise over type slabs (each slab accumulates its rows in the
 /// sequential order). Returns whether the work actually split across
 /// multiple chunks (`false` for fallbacks and unsplittable domains).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_gemm_par(
     spec: &GemmSpec,
     program: &Program,
@@ -566,6 +630,7 @@ pub(crate) fn exec_gemm_par(
     vars: &mut VarStore,
     pool: &ThreadPool,
     min_chunk: usize,
+    scratch: &mut Scratch,
 ) -> bool {
     let m = graph.rows_of(spec.rows);
     match &spec.op.kind {
@@ -577,72 +642,107 @@ pub(crate) fn exec_gemm_par(
             fused_scale,
             out,
         } => {
-            let wt = params.weight(*weight).clone();
             let out_width = program.var(*out).width;
             match scatter {
                 None => {
-                    let split = hector_par::chunk_ranges(m, min_chunk, pool.parallelism()).len();
                     let raw = RawRows::of(vars.get_mut(*out).tensor_mut());
                     let params_ro: &ParamStore = params;
                     let vars_ro: &VarStore = vars;
-                    pool.parallel_for(m, min_chunk, |_ci, range| {
+                    let wt = params_ro.weight(*weight);
+                    if !*transpose_w {
+                        scratch.set_slab_finite(wt);
+                    }
+                    let flags: &Scratch = scratch;
+                    let grows: Vec<usize> = pool.parallel_chunks(m, min_chunk, |_ci, range| {
+                        let mut ws = Scratch::new();
                         for r in range {
-                            let y = typed_linear_row(
+                            typed_linear_row(
                                 r,
                                 spec.rows,
                                 input,
                                 fused_scale.as_ref(),
                                 *transpose_w,
-                                &wt,
+                                wt,
                                 spec.weight_index,
                                 out_width,
                                 program,
                                 graph,
                                 params_ro,
                                 vars_ro,
+                                flags,
+                                &mut ws,
                             );
                             // SAFETY: output rows are 1:1 with domain
                             // rows here; chunks are disjoint.
-                            unsafe { raw.row_mut(r) }.copy_from_slice(&y);
+                            unsafe { raw.row_mut(r) }.copy_from_slice(ws.y(out_width));
                         }
+                        ws.grows()
                     });
-                    split > 1
+                    let split = grows.len() > 1;
+                    scratch.note_external_grows(grows.iter().sum());
+                    split
                 }
                 Some(ep) => {
                     let params_ro: &ParamStore = params;
                     let vars_ro: &VarStore = vars;
-                    let chunks: Vec<Vec<(usize, Vec<f32>)>> =
+                    let wt = params_ro.weight(*weight);
+                    if !*transpose_w {
+                        scratch.set_slab_finite(wt);
+                    }
+                    let flags: &Scratch = scratch;
+                    // One flat (target row, values) store per chunk —
+                    // rows stay in ascending order inside each chunk.
+                    struct ScatterChunk {
+                        idx: Vec<usize>,
+                        vals: Vec<f32>,
+                        grows: usize,
+                    }
+                    let chunks: Vec<ScatterChunk> =
                         pool.parallel_chunks(m, min_chunk, |_ci, range| {
-                            range
-                                .map(|r| {
-                                    let y = typed_linear_row(
-                                        r,
-                                        spec.rows,
-                                        input,
-                                        fused_scale.as_ref(),
-                                        *transpose_w,
-                                        &wt,
-                                        spec.weight_index,
-                                        out_width,
-                                        program,
-                                        graph,
-                                        params_ro,
-                                        vars_ro,
-                                    );
-                                    (scatter_index(spec.rows, *ep, r, graph), y)
-                                })
-                                .collect()
+                            // Exact sizes are known upfront: one target
+                            // index and one out_width row per domain row.
+                            let mut idx = Vec::with_capacity(range.len());
+                            let mut vals = Vec::with_capacity(range.len() * out_width);
+                            let mut ws = Scratch::new();
+                            for r in range {
+                                typed_linear_row(
+                                    r,
+                                    spec.rows,
+                                    input,
+                                    fused_scale.as_ref(),
+                                    *transpose_w,
+                                    wt,
+                                    spec.weight_index,
+                                    out_width,
+                                    program,
+                                    graph,
+                                    params_ro,
+                                    vars_ro,
+                                    flags,
+                                    &mut ws,
+                                );
+                                idx.push(scatter_index(spec.rows, *ep, r, graph));
+                                vals.extend_from_slice(ws.y(out_width));
+                            }
+                            ScatterChunk {
+                                idx,
+                                vals,
+                                grows: ws.grows(),
+                            }
                         });
                     // Deterministic merge: chunk order == ascending row
                     // order == the sequential accumulation order.
+                    let mut worker_grows = 0;
                     for chunk in &chunks {
-                        for (idx, y) in chunk {
+                        worker_grows += chunk.grows;
+                        for (idx, y) in chunk.idx.iter().zip(chunk.vals.chunks_exact(out_width)) {
                             let row = vars.get_mut(*out).tensor_mut().row_mut(*idx);
-                            for (a, b) in row.iter_mut().zip(y.iter()) {
+                            for (a, b) in row.iter_mut().zip(y) {
                                 *a += b;
                             }
                         }
                     }
+                    scratch.note_external_grows(worker_grows);
                     chunks.len() > 1
                 }
             }
@@ -652,7 +752,7 @@ pub(crate) fn exec_gemm_par(
             if t_count < 2 || m == 0 {
                 // A single shared slab has no type parallelism; the
                 // sequential path is already the right association order.
-                exec_gemm(spec, program, graph, params, vars);
+                exec_gemm(spec, program, graph, params, vars, scratch);
                 return false;
             }
             // One O(m) pass bucketing rows per type (ascending row order
@@ -683,17 +783,9 @@ pub(crate) fn exec_gemm_par(
                         let ctx = row_ctx(spec.rows, r);
                         let xr = read_operand(x, ctx, program, graph, params_ro, vars_ro);
                         let dyr = read_operand(dy, ctx, program, graph, params_ro, vars_ro);
-                        let n = dyr.len();
-                        debug_assert_eq!(xr.len() * n, slab_elems);
-                        for (i, &xv) in xr.iter().enumerate() {
-                            if xv == 0.0 {
-                                continue;
-                            }
-                            let row = &mut slab[i * n..(i + 1) * n];
-                            for (j, &dv) in dyr.iter().enumerate() {
-                                row[j] += xv * dv;
-                            }
-                        }
+                        let (xr, dyr) = (xr.as_slice(), dyr.as_slice());
+                        debug_assert_eq!(xr.len() * dyr.len(), slab_elems);
+                        grad_w_row(xr, dyr, slab);
                     }
                 }
             });

@@ -1,0 +1,192 @@
+//! Reusable scratch buffers for the interpreter hot path.
+//!
+//! The real-mode interpreter used to allocate a fresh `Vec<f32>` for
+//! every operand read, every unary/binary op result, and every GEMM
+//! output row — allocator traffic dominated arithmetic at every thread
+//! count. A [`Scratch`] arena replaces all of that: the executor owns
+//! one arena for its whole lifetime (the parallel executor hands one
+//! block to each worker chunk), buffers grow to the widest row a kernel
+//! produces and are then reused verbatim, so a steady-state forward pass
+//! performs **zero per-row heap allocations** (pinned by
+//! `tests/interp_alloc.rs` with a counting global allocator).
+//!
+//! # Lifetime contract
+//!
+//! Operand reads return borrowed [`OperandRef`] views into the variable
+//! or parameter stores (see `exec::read_operand`); they stay valid only
+//! while no buffer of those stores is mutated. Ops therefore compute
+//! into the arena's slots *first*, drop the operand borrows, and only
+//! then write the finished row back into the output tensor. The three
+//! slots (`y`, `a`, `b`) are distinct fields precisely so an op can hold
+//! the output slot mutably while staged operand copies stay readable.
+
+/// Growable, reusable scratch slots owned by one executor (or one
+/// parallel worker chunk).
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Output-row slot: GEMM rows and unary/binary/dot results.
+    y: Vec<f32>,
+    /// Staged operand copy A (aggregate values, `GradW` x rows).
+    a: Vec<f32>,
+    /// Staged operand copy B (`GradW` dy rows).
+    b: Vec<f32>,
+    /// Per-type-slab finiteness flags of the running GEMM's weight.
+    finite: Vec<bool>,
+    /// Buffer-growth (heap allocation) events since construction.
+    grows: usize,
+}
+
+impl Scratch {
+    /// Fresh, empty arena.
+    pub(crate) fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    fn grow_to(buf: &mut Vec<f32>, n: usize, grows: &mut usize) {
+        if n > buf.capacity() {
+            *grows += 1;
+        }
+        if n > buf.len() {
+            buf.resize(n, 0.0);
+        }
+    }
+
+    /// The output slot, zero-filled, exactly `n` wide.
+    pub(crate) fn y_zeroed(&mut self, n: usize) -> &mut [f32] {
+        Self::grow_to(&mut self.y, n, &mut self.grows);
+        let y = &mut self.y[..n];
+        y.fill(0.0);
+        y
+    }
+
+    /// The output slot, contents unspecified, exactly `n` wide (for ops
+    /// that overwrite every element).
+    pub(crate) fn y_uninit(&mut self, n: usize) -> &mut [f32] {
+        Self::grow_to(&mut self.y, n, &mut self.grows);
+        &mut self.y[..n]
+    }
+
+    /// The first `n` finished elements of the output slot.
+    pub(crate) fn y(&self, n: usize) -> &[f32] {
+        &self.y[..n]
+    }
+
+    /// Mutable view of the first `n` elements of the output slot (e.g.
+    /// for a fused scale applied after the GEMM inner loop).
+    pub(crate) fn y_mut(&mut self, n: usize) -> &mut [f32] {
+        &mut self.y[..n]
+    }
+
+    /// Copies `src` into staged slot A; read it back via [`Scratch::a`].
+    pub(crate) fn stage_a(&mut self, src: &[f32]) {
+        Self::grow_to(&mut self.a, src.len(), &mut self.grows);
+        self.a[..src.len()].copy_from_slice(src);
+    }
+
+    /// Copies `src` into staged slot B; read it back via [`Scratch::b`].
+    pub(crate) fn stage_b(&mut self, src: &[f32]) {
+        Self::grow_to(&mut self.b, src.len(), &mut self.grows);
+        self.b[..src.len()].copy_from_slice(src);
+    }
+
+    /// The first `n` elements of staged slot A.
+    pub(crate) fn a(&self, n: usize) -> &[f32] {
+        &self.a[..n]
+    }
+
+    /// The first `n` elements of staged slot B.
+    pub(crate) fn b(&self, n: usize) -> &[f32] {
+        &self.b[..n]
+    }
+
+    /// Recomputes the per-slab finiteness flags for a `[t, rows, cols]`
+    /// weight stack — one scan per kernel launch, so the `x == 0.0` GEMM
+    /// fast path can be gated per slab instead of per element.
+    pub(crate) fn set_slab_finite(&mut self, weight: &hector_tensor::Tensor) {
+        let t = weight.shape()[0];
+        if t > self.finite.capacity() {
+            self.grows += 1;
+        }
+        self.finite.clear();
+        self.finite
+            .extend((0..t).map(|ty| weight.slab(ty).iter().all(|v| v.is_finite())));
+    }
+
+    /// Whether slab `ty` of the last [`Scratch::set_slab_finite`] weight
+    /// was entirely finite.
+    pub(crate) fn slab_finite(&self, ty: usize) -> bool {
+        self.finite[ty]
+    }
+
+    /// Buffer-growth (allocation) events since construction.
+    pub(crate) fn grows(&self) -> usize {
+        self.grows
+    }
+
+    /// Adds externally observed growth events (worker-chunk arenas of
+    /// the parallel executor report theirs through the owning session's
+    /// arena so the device counters see every allocation).
+    pub(crate) fn note_external_grows(&mut self, n: usize) {
+        self.grows += n;
+    }
+
+    /// Current arena footprint in bytes (all slots' capacities).
+    pub(crate) fn bytes(&self) -> usize {
+        (self.y.capacity() + self.a.capacity() + self.b.capacity()) * std::mem::size_of::<f32>()
+            + self.finite.capacity() * std::mem::size_of::<bool>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_tensor::Tensor;
+
+    #[test]
+    fn slots_grow_then_reuse() {
+        let mut s = Scratch::new();
+        assert_eq!(s.grows(), 0);
+        s.y_zeroed(8);
+        let after_first = s.grows();
+        assert!(after_first >= 1);
+        // Same or smaller width: no further growth, contents rewritten.
+        s.y_uninit(8)[0] = 3.0;
+        assert_eq!(s.y(8)[0], 3.0);
+        s.y_zeroed(4);
+        assert_eq!(s.y(4), &[0.0; 4]);
+        assert_eq!(s.grows(), after_first);
+        // Wider row: exactly one more growth event.
+        s.y_zeroed(16);
+        assert_eq!(s.grows(), after_first + 1);
+    }
+
+    #[test]
+    fn staged_slots_are_independent() {
+        let mut s = Scratch::new();
+        s.stage_a(&[1.0, 2.0]);
+        s.stage_b(&[3.0]);
+        assert_eq!(s.a(2), &[1.0, 2.0]);
+        assert_eq!(s.b(1), &[3.0]);
+        assert!(s.bytes() >= 3 * 4);
+    }
+
+    #[test]
+    fn slab_finite_flags() {
+        let mut s = Scratch::new();
+        let mut w = Tensor::zeros(&[2, 2, 2]);
+        w.data_mut()[5] = f32::INFINITY;
+        s.set_slab_finite(&w);
+        assert!(s.slab_finite(0));
+        assert!(!s.slab_finite(1));
+        // Refreshing with a finite weight flips the flag back.
+        s.set_slab_finite(&Tensor::zeros(&[2, 2, 2]));
+        assert!(s.slab_finite(1));
+    }
+
+    #[test]
+    fn external_grows_accumulate() {
+        let mut s = Scratch::new();
+        s.note_external_grows(3);
+        assert_eq!(s.grows(), 3);
+    }
+}

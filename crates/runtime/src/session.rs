@@ -27,6 +27,7 @@ use crate::exec::{exec_gemm, exec_traversal};
 use crate::loss::{nll_loss_and_grad, LossResult};
 use crate::optim::Optimizer;
 use crate::par_exec::{exec_gemm_par, exec_traversal_par};
+use crate::scratch::Scratch;
 use crate::store::{Buffer, VarStore};
 use crate::{GraphData, ParamStore};
 
@@ -159,6 +160,12 @@ pub struct Session {
     /// `num_threads == 1` (the exact sequential code path) or in modeled
     /// mode (nothing to execute).
     pool: Option<ThreadPool>,
+    /// Reusable scratch arena for the real-mode interpreter hot path:
+    /// buffers grow to the widest kernel row once, then every later
+    /// kernel (and run) reuses them — zero per-row heap allocations in
+    /// steady state. Growth events and footprint surface through
+    /// [`hector_device::ScratchStats`] on the device counters.
+    scratch: Scratch,
 }
 
 impl Session {
@@ -186,6 +193,7 @@ impl Session {
             mode,
             par,
             pool,
+            scratch: Scratch::new(),
         }
     }
 
@@ -324,6 +332,7 @@ impl Session {
             self.device.launch(&cost);
             if self.mode == Mode::Real {
                 let stats_before = self.pool.as_ref().map(ThreadPool::stats);
+                let grows_before = self.scratch.grows();
                 let start = Instant::now();
                 // Whether the kernel actually split across chunks —
                 // safety fallbacks and unsplittable domains count as
@@ -339,9 +348,12 @@ impl Session {
                             vars,
                             pool,
                             self.par.min_chunk_rows,
+                            &mut self.scratch,
                         );
                     }
-                    (KernelSpec::Gemm(g), None) => exec_gemm(g, program, graph, params, vars),
+                    (KernelSpec::Gemm(g), None) => {
+                        exec_gemm(g, program, graph, params, vars, &mut self.scratch);
+                    }
                     (KernelSpec::Traversal(t), Some(pool)) => {
                         ran_parallel = exec_traversal_par(
                             t,
@@ -351,10 +363,11 @@ impl Session {
                             vars,
                             pool,
                             self.par.min_chunk_rows,
+                            &mut self.scratch,
                         );
                     }
                     (KernelSpec::Traversal(t), None) => {
-                        exec_traversal(t, program, graph, params, vars);
+                        exec_traversal(t, program, graph, params, vars, &mut self.scratch);
                     }
                     (KernelSpec::Fallback(f), _) => {
                         if let Some(i) = f.prep_index {
@@ -365,6 +378,8 @@ impl Session {
                 }
                 if !matches!(spec, KernelSpec::Fallback(_)) {
                     let wall_us = start.elapsed().as_secs_f64() * 1e6;
+                    self.device
+                        .record_scratch(self.scratch.grows() - grows_before, self.scratch.bytes());
                     let (chunks, steals) = match (stats_before, self.pool.as_ref()) {
                         (Some(before), Some(pool)) => {
                             let after = pool.stats();
@@ -612,12 +627,12 @@ mod tests {
         let out_var = module.forward.outputs[0];
         let got = vars.tensor(out_var);
         for v in 0..g.num_nodes() {
-            let mut expect = vec![0.0f32; 4];
+            let mut expect = [0.0f32; 4];
             // Self-loop W0.
             let w0 = params.weight(hector_ir::WeightId(1));
-            for j in 0..4 {
+            for (j, e) in expect.iter_mut().enumerate() {
                 for p in 0..4 {
-                    expect[j] += h.at2(v, p) * w0.at3(0, p, j);
+                    *e += h.at2(v, p) * w0.at3(0, p, j);
                 }
             }
             // Incoming messages.
@@ -628,12 +643,12 @@ mod tests {
                 let s = g.src()[e] as usize;
                 let ty = g.etype()[e] as usize;
                 let w = params.weight(hector_ir::WeightId(0));
-                for j in 0..4 {
+                for (j, ex) in expect.iter_mut().enumerate() {
                     let mut m = 0.0;
                     for p in 0..4 {
                         m += h.at2(s, p) * w.at3(ty, p, j);
                     }
-                    expect[j] += m * cn.at2(e, 0);
+                    *ex += m * cn.at2(e, 0);
                 }
             }
             for (j, &e) in expect.iter().enumerate() {

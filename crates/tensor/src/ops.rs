@@ -69,14 +69,13 @@ impl Tensor {
         for p in 0..k {
             let xp = self.row(p);
             let yp = rhs.row(p);
-            for i in 0..m {
-                let xv = xp[i];
+            for (i, &xv) in xp.iter().enumerate() {
                 if xv == 0.0 {
                     continue;
                 }
                 let orow = &mut out.data_mut()[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += xv * yp[j];
+                for (o, &yv) in orow.iter_mut().zip(yp) {
+                    *o += xv * yv;
                 }
             }
         }

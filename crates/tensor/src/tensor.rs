@@ -177,13 +177,23 @@ impl Tensor {
         self.shape[1]
     }
 
+    /// Elements per row — the product of every dimension after the
+    /// first, i.e. the row stride of [`Tensor::row`]/[`Tensor::row_mut`].
+    #[must_use]
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.shape[1..].iter().product()
+    }
+
     /// Immutable view of the underlying storage.
     #[must_use]
+    #[inline]
     pub fn data(&self) -> &[f32] {
         &self.data
     }
 
     /// Mutable view of the underlying storage.
+    #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
         &mut self.data
     }
@@ -252,6 +262,7 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 2 or `i` is out of range.
     #[must_use]
+    #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
         assert_eq!(self.rank(), 2);
         let c = self.shape[1];
@@ -263,6 +274,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the tensor is not rank 2 or `i` is out of range.
+    #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
         assert_eq!(self.rank(), 2);
         let c = self.shape[1];
@@ -275,6 +287,7 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 3 or `b` is out of range.
     #[must_use]
+    #[inline]
     pub fn slab(&self, b: usize) -> &[f32] {
         assert_eq!(self.rank(), 3);
         let sz = self.shape[1] * self.shape[2];
@@ -286,6 +299,7 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if lengths mismatch or the tensor is not rank 2.
+    #[inline]
     pub fn set_row(&mut self, i: usize, src: &[f32]) {
         let dst = self.row_mut(i);
         assert_eq!(dst.len(), src.len());

@@ -1,0 +1,115 @@
+//! Zero per-row heap allocations in the interpreter's steady state.
+//!
+//! A counting global allocator wraps `System` for this whole test
+//! binary; the assertions measure allocation *events* across a warm
+//! `Session::run_inference`. After warm-up, every per-run allocation is
+//! per-*variable* or per-*kernel* (fresh `VarStore`, output tensors,
+//! input clones) — never per row: the interpreter reads operands as
+//! borrowed views and computes into the session's reusable scratch
+//! arena. The proof is scale-invariance: a graph with 8× the edges and
+//! 4× the nodes must cost *exactly* the same number of allocation
+//! events per forward pass. Any per-row `Vec` in the hot path breaks
+//! this by thousands.
+//!
+//! The sessions are pinned to `num_threads = 1`: the parallel executor
+//! intentionally allocates per worker *chunk* (scratch blocks and
+//! contribution buffers), which is O(threads), not O(rows), but would
+//! make the strict equality below depend on chunk counts.
+
+use hector::prelude::*;
+use hector_bench::alloc_counter::{alloc_events, CountingAlloc};
+use hector_tensor::seeded_rng;
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn graph(nodes: usize, edges: usize) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "alloc".into(),
+        num_nodes: nodes,
+        num_node_types: 3,
+        num_edges: edges,
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed: 71,
+    }))
+}
+
+/// A warmed sequential session plus everything one forward pass needs.
+struct Prepared {
+    module: hector::CompiledModule,
+    graph: GraphData,
+    params: ParamStore,
+    bindings: Bindings,
+    session: Session,
+}
+
+fn prepare(kind: ModelKind, nodes: usize, edges: usize) -> Prepared {
+    let graph = graph(nodes, edges);
+    let module = hector::compile_model(kind, 16, 16, &CompileOptions::best());
+    let mut rng = seeded_rng(9);
+    let params = ParamStore::init(&module.forward, &graph, &mut rng);
+    let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+    let session = Session::with_parallel(
+        DeviceConfig::rtx3090(),
+        Mode::Real,
+        ParallelConfig::sequential(),
+    );
+    Prepared {
+        module,
+        graph,
+        params,
+        bindings,
+        session,
+    }
+}
+
+/// Allocation events across one forward pass on a warmed session.
+fn forward_allocs(p: &mut Prepared) -> usize {
+    let before = alloc_events();
+    p.session
+        .run_inference(&p.module, &p.graph, &mut p.params, &p.bindings)
+        .expect("inference fits");
+    alloc_events() - before
+}
+
+#[test]
+fn steady_state_forward_pass_allocations_do_not_scale_with_rows() {
+    for kind in ModelKind::all() {
+        let mut small = prepare(kind, 60, 360);
+        let mut large = prepare(kind, 240, 2880);
+        // Warm-up: grows the scratch arena, caches graph views, sizes
+        // the device bookkeeping.
+        forward_allocs(&mut small);
+        forward_allocs(&mut large);
+
+        let a_small = forward_allocs(&mut small);
+        let a_large = forward_allocs(&mut large);
+        assert_eq!(
+            a_small,
+            a_large,
+            "{}: steady-state allocation events must be row-count-invariant \
+             (small graph: {a_small}, 8x-edge graph: {a_large})",
+            kind.name()
+        );
+        // And the steady state is itself steady.
+        assert_eq!(forward_allocs(&mut large), a_large, "{}", kind.name());
+        // Sanity: per-run setup (VarStore, output tensors, bindings
+        // clones) still allocates — the counter is actually live.
+        assert!(a_small > 0, "counter should observe per-run setup");
+    }
+}
+
+#[test]
+fn scratch_counters_report_zero_growth_once_warm() {
+    let mut p = prepare(ModelKind::Rgat, 80, 640);
+    forward_allocs(&mut p); // warm-up run grows the arena
+    forward_allocs(&mut p);
+    let s = p.session.device().counters().scratch();
+    assert!(s.kernels > 0, "real-mode kernels must be recorded");
+    assert_eq!(s.grows, 0, "warm arena must not grow: {s:?}");
+    assert_eq!(s.steady_kernels, s.kernels);
+    assert!((s.steady_fraction() - 1.0).abs() < 1e-12);
+    assert!(s.bytes > 0, "arena footprint should be visible");
+}

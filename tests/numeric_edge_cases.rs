@@ -1,0 +1,240 @@
+//! IEEE edge-case semantics of the real-mode interpreter.
+//!
+//! Two classes of numeric corner pinned here:
+//!
+//! 1. **Non-finite weight slabs.** The GEMM templates skip `x == 0.0`
+//!    input elements as a sparsity fast path. Skipping is only sound
+//!    when the weight slab is finite — IEEE mandates `0 × inf = NaN`, so
+//!    a poisoned slab must poison the output, never be silently masked.
+//!    The interpreter gates the skip on a per-slab finiteness check
+//!    (once per kernel) and, for weight gradients, on the incoming `dy`
+//!    row (once per row).
+//!
+//! 2. **Zero-in-degree destinations.** Softmax/mean normalization at a
+//!    node no edge touched divides an all-zero aggregate by a zero
+//!    denominator. The interpreter resolves `0/0` to `0` — the same
+//!    convention as the `AggNorm::Max` sweep-back (untouched groups get
+//!    a finite default) — while every other division keeps IEEE
+//!    semantics. For the built-in softmax models the NaN is *refuted*:
+//!    the normalizing division is edgewise, so it never executes at an
+//!    isolated destination; the guard matters for node-space
+//!    normalizations (explicit mean, degree divisions).
+
+use hector::prelude::*;
+use hector_ir::{AggNorm, Operand};
+use hector_tensor::seeded_rng;
+
+fn par_cfg(threads: usize) -> ParallelConfig {
+    ParallelConfig::sequential()
+        .with_threads(threads)
+        .with_min_chunk_rows(2)
+}
+
+/// A graph whose nodes 0 and 5 have no incoming edges (node 5 also has
+/// no outgoing ones — fully isolated).
+fn graph_with_isolated_nodes() -> GraphData {
+    let mut b = HeteroGraphBuilder::new();
+    b.add_node_type(6);
+    b.add_edge(0, 1, 0);
+    b.add_edge(1, 2, 1);
+    b.add_edge(2, 3, 0);
+    b.add_edge(0, 4, 1);
+    b.add_edge(3, 4, 0);
+    GraphData::new(b.build())
+}
+
+fn forward_bits(
+    module: &hector::CompiledModule,
+    graph: &GraphData,
+    params: &mut ParamStore,
+    bindings: &Bindings,
+    threads: usize,
+) -> Vec<u32> {
+    let mut session = Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par_cfg(threads));
+    let (vars, _) = session
+        .run_inference(module, graph, params, bindings)
+        .expect("inference fits");
+    vars.tensor(module.forward.outputs[0])
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn zero_input_times_inf_weight_is_nan_not_silently_skipped() {
+    // out = h · W0 (shared weight, node rows). Poison W0[1][0] with inf
+    // and zero node 2's features: IEEE says out[2][0] = 0 × inf = NaN.
+    let dim = 4;
+    let mut m = ModelBuilder::new("inf_w", dim);
+    let h = m.node_input("h", dim);
+    let w0 = m.weight_shared("W0", dim, dim);
+    let out = m.typed_linear("out", m.this(h), w0);
+    m.output(out);
+    let src = m.finish();
+    let module = hector::compile(&src, &CompileOptions::unopt());
+
+    let graph = graph_with_isolated_nodes();
+    let n = graph.graph().num_nodes();
+    let mut rng = seeded_rng(3);
+    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+    *params
+        .weight_mut(hector_ir::WeightId(0))
+        .data_mut()
+        .get_mut(dim) // slab 0, row 1, col 0
+        .unwrap() = f32::INFINITY;
+
+    let mut feats = vec![1.0f32; n * dim];
+    feats[2 * dim..3 * dim].fill(0.0); // node 2: all-zero input row
+    let mut bindings = Bindings::new();
+    bindings.set("h", Tensor::from_vec(feats, &[n, dim]));
+
+    let seq = forward_bits(&module, &graph, &mut params, &bindings, 1);
+    let par = forward_bits(&module, &graph, &mut params, &bindings, 4);
+    assert_eq!(seq, par, "non-finite path diverged across thread counts");
+
+    let col0 = f32::from_bits(seq[2 * dim]);
+    assert!(
+        col0.is_nan(),
+        "0 × inf must be NaN, got {col0} (fast path masked the inf)"
+    );
+    // Finite rows hit the inf directly: 1 × inf = inf.
+    assert!(f32::from_bits(seq[0]).is_infinite());
+}
+
+#[test]
+fn grad_w_keeps_nan_for_zero_input_columns() {
+    // Train out = h · W0 with an inf in W0: the loss (and dy) go NaN,
+    // and the weight gradient must be NaN everywhere — including rows
+    // whose input column is all zeros, which the `x == 0` fast path
+    // would otherwise silently leave at 0 (0 × NaN must be NaN).
+    let dim = 4;
+    let mut m = ModelBuilder::new("inf_gw", dim);
+    let h = m.node_input("h", dim);
+    let w0 = m.weight_shared("W0", dim, dim);
+    let out = m.typed_linear("out", m.this(h), w0);
+    m.output(out);
+    let src = m.finish();
+    let module = hector::compile(&src, &CompileOptions::unopt().with_training(true));
+
+    let graph = graph_with_isolated_nodes();
+    let n = graph.graph().num_nodes();
+    let mut rng = seeded_rng(5);
+    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+    *params
+        .weight_mut(hector_ir::WeightId(0))
+        .data_mut()
+        .get_mut(dim + 1)
+        .unwrap() = f32::INFINITY;
+
+    // Column 0 of the input is all zeros across every node.
+    let feats: Vec<f32> = (0..n * dim)
+        .map(|i| if i % dim == 0 { 0.0 } else { 0.5 })
+        .collect();
+    let mut bindings = Bindings::new();
+    bindings.set("h", Tensor::from_vec(feats, &[n, dim]));
+    let labels: Vec<usize> = (0..n).map(|i| i % dim).collect();
+
+    for threads in [1usize, 4] {
+        let mut session =
+            Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par_cfg(threads));
+        let mut p = params.clone();
+        let mut opt = Sgd::new(0.0); // keep weights; we inspect grads
+        let (_, report) = session
+            .run_training_step(&module, &graph, &mut p, &bindings, &labels, &mut opt)
+            .expect("training step fits");
+        assert!(
+            report.loss.expect("real mode reports loss").is_nan(),
+            "inf weight must poison the loss"
+        );
+        let g = p.grad(hector_ir::WeightId(0));
+        // Row 0 of the gradient slab pairs with the all-zero input
+        // column: every entry must be NaN, not a masked 0.
+        for (j, &gv) in g.slab(0)[..dim].iter().enumerate() {
+            assert!(
+                gv.is_nan(),
+                "threads={threads}: grad[0][{j}] = {gv}, expected NaN (0 × NaN skipped)"
+            );
+        }
+    }
+}
+
+#[test]
+fn node_space_normalization_is_zero_not_nan_at_isolated_nodes() {
+    // Explicit mean normalization in node space: sum of messages divided
+    // by an aggregated edge count. Isolated destinations aggregate
+    // nothing — numerator and denominator are both 0 — and the 0/0
+    // convention must produce 0, mirroring the Max sweep-back, instead
+    // of poisoning the output row with NaN.
+    let dim = 4;
+    let mut m = ModelBuilder::new("mean_norm", dim);
+    let h = m.node_input("h", dim);
+    let w = m.weight_per_etype("W", dim, dim);
+    let msg = m.typed_linear("msg", m.src(h), w);
+    let agg = m.aggregate("agg", m.edge(msg), None, AggNorm::None);
+    let cnt = m.aggregate("cnt", Operand::Const(1.0), None, AggNorm::None);
+    let norm = m.div("norm", m.this(agg), m.this(cnt));
+    m.output(norm);
+    let src = m.finish();
+
+    let graph = graph_with_isolated_nodes();
+    for opts in [CompileOptions::unopt(), CompileOptions::best()] {
+        let module = hector::compile(&src, &opts);
+        let mut rng = seeded_rng(11);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+        let seq = forward_bits(&module, &graph, &mut params, &bindings, 1);
+        let par = forward_bits(&module, &graph, &mut params, &bindings, 4);
+        assert_eq!(seq, par, "normalization guard diverged across threads");
+        for (i, &bits) in seq.iter().enumerate() {
+            let v = f32::from_bits(bits);
+            assert!(v.is_finite(), "output[{i}] = {v} must be finite");
+        }
+        // Nodes 0 and 5 have no in-edges: their normalized rows are 0.
+        for node in [0usize, 5] {
+            for j in 0..dim {
+                assert_eq!(f32::from_bits(seq[node * dim + j]), 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn softmax_models_stay_finite_on_graphs_with_isolated_nodes() {
+    // The issue hypothesised that zero-in-degree destinations turn the
+    // edge softmax's normalizing division into 0/0 = NaN. Refuted for
+    // the built-in models: that division is *edgewise*, so it only ever
+    // runs for destinations with at least one incoming edge, and the
+    // max-stabilised numerator keeps the denominator ≥ 1. This test
+    // pins the refutation — inference outputs and five training steps
+    // stay finite on a graph with isolated nodes, at 1 and 4 threads.
+    let graph = graph_with_isolated_nodes();
+    let n = graph.graph().num_nodes();
+    for kind in [ModelKind::Rgat, ModelKind::Hgt] {
+        for threads in [1usize, 4] {
+            let module =
+                hector::compile_model(kind, 8, 8, &CompileOptions::best().with_training(true));
+            let mut rng = seeded_rng(17);
+            let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+            let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+            let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+            let mut session =
+                Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par_cfg(threads));
+            let mut opt = Adam::new(0.01);
+            for step in 0..5 {
+                let (vars, report) = session
+                    .run_training_step(&module, &graph, &mut params, &bindings, &labels, &mut opt)
+                    .expect("training step fits");
+                let loss = report.loss.expect("real mode reports loss");
+                assert!(
+                    loss.is_finite(),
+                    "{} threads={threads} step {step}: loss {loss}",
+                    kind.name()
+                );
+                for &v in vars.tensor(module.forward.outputs[0]).data() {
+                    assert!(v.is_finite(), "{} non-finite output {v}", kind.name());
+                }
+            }
+        }
+    }
+}

@@ -68,6 +68,83 @@ proptest! {
     }
 }
 
+/// Optimization equivalence through the scratch-arena executor at
+/// explicit thread counts (`HECTOR_THREADS ∈ {1, 4}` regardless of the
+/// ambient environment): every optimization combo must agree with the
+/// unoptimized baseline under both the sequential and the parallel
+/// interpreter, and each combo must be bit-identical across the two
+/// thread counts.
+#[test]
+fn option_combos_agree_at_one_and_four_threads() {
+    let graph = graph_from(40, 200, 4, 0.4, 77);
+    for kind in [ModelKind::Rgat, ModelKind::Hgt] {
+        for opts in [
+            CompileOptions::unopt(),
+            CompileOptions::compact_only(),
+            CompileOptions::reorder_only(),
+            CompileOptions::best(),
+        ] {
+            let mut per_thread = Vec::new();
+            for threads in [1usize, 4] {
+                let module = hector::compile_model(kind, 8, 8, &opts);
+                let mut rng = seeded_rng(13);
+                let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+                let mut rng2 = seeded_rng(1013);
+                let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
+                let par = ParallelConfig::sequential()
+                    .with_threads(threads)
+                    .with_min_chunk_rows(4);
+                let mut session = Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par);
+                let (vars, _) = session
+                    .run_inference(&module, &graph, &mut params, &bindings)
+                    .unwrap();
+                per_thread.push(vars.tensor(module.forward.outputs[0]).clone());
+            }
+            let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            assert_eq!(
+                bits(&per_thread[0]),
+                bits(&per_thread[1]),
+                "{kind:?} {}: threads=1 vs threads=4 diverged",
+                opts.label()
+            );
+        }
+        // And the combos agree with each other (loose tolerance — the
+        // rewrites reassociate float math), at both thread counts.
+        for threads in [1usize, 4] {
+            let out_of = |opts: &CompileOptions| {
+                let module = hector::compile_model(kind, 8, 8, opts);
+                let mut rng = seeded_rng(13);
+                let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+                let mut rng2 = seeded_rng(1013);
+                let bindings = Bindings::standard(&module.forward, &graph, &mut rng2);
+                let par = ParallelConfig::sequential()
+                    .with_threads(threads)
+                    .with_min_chunk_rows(4);
+                let mut session = Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par);
+                let (vars, _) = session
+                    .run_inference(&module, &graph, &mut params, &bindings)
+                    .unwrap();
+                vars.tensor(module.forward.outputs[0]).clone()
+            };
+            let base = out_of(&CompileOptions::unopt());
+            for opts in [
+                CompileOptions::compact_only(),
+                CompileOptions::reorder_only(),
+                CompileOptions::best(),
+            ] {
+                let out = out_of(&opts);
+                for (a, b) in base.data().iter().zip(out.data().iter()) {
+                    assert!(
+                        (a - b).abs() < 1e-3 + 1e-3 * b.abs(),
+                        "{kind:?} {} diverged at {threads} threads: {a} vs {b}",
+                        opts.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn compaction_reduces_modeled_memory_when_ratio_is_low() {
     let graph = graph_from(2_000, 40_000, 8, 0.2, 5);

@@ -174,6 +174,55 @@ fn parallel_runs_record_parallel_stats() {
     assert!(seq.pool_stats().is_none(), "num_threads=1 creates no pool");
 }
 
+/// The scratch-arena executor at `HECTOR_THREADS ∈ {1, 4}`: repeated
+/// runs on a warm session must stay bit-identical (buffer reuse cannot
+/// leak state between kernels or runs), and the arena must reach its
+/// zero-growth steady state after one warm-up pass in sequential mode.
+#[test]
+fn scratch_arena_is_stateless_across_runs_and_thread_counts() {
+    let g = graph(31, 100, 600);
+    let module = hector::compile_model(ModelKind::Hgt, 16, 16, &CompileOptions::best());
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 4] {
+        let mut rng = seeded_rng(29);
+        let mut params = ParamStore::init(&module.forward, &g, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &g, &mut rng);
+        let mut session =
+            Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par_cfg(threads, 4));
+        let mut runs = Vec::new();
+        for _ in 0..3 {
+            let (vars, _) = session
+                .run_inference(&module, &g, &mut params, &bindings)
+                .expect("inference fits");
+            let out = module.forward.outputs[0];
+            runs.push(
+                vars.tensor(out)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u32>>(),
+            );
+        }
+        assert_eq!(runs[0], runs[1], "threads={threads}: warm rerun diverged");
+        assert_eq!(runs[1], runs[2], "threads={threads}: warm rerun diverged");
+        let s = session.device().counters().scratch();
+        assert!(s.kernels > 0, "scratch stats must be recorded");
+        if threads == 1 {
+            // Sequential steady state: the last run grew nothing.
+            assert_eq!(s.grows, 0, "warm sequential arena grew: {s:?}");
+            assert!((s.steady_fraction() - 1.0).abs() < 1e-12);
+        } else {
+            // Parallel runs allocate per worker chunk (O(chunks), never
+            // O(rows)); the counter makes that visible too.
+            assert!(s.grows > 0, "worker-chunk arenas should be counted");
+        }
+        match &reference {
+            None => reference = Some(runs.pop().unwrap()),
+            Some(bits) => assert_eq!(bits, &runs[2], "thread counts diverged"),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
