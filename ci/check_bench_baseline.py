@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate the perf-regression CI lane on deterministic allocation counts.
+
+Usage: check_bench_baseline.py BENCH_PR4.json ci/alloc_baseline.json
+
+Reads the merged bench artifact (interp_alloc + simd_gemm fragments) and
+fails (exit 1) when any measured allocation count exceeds its committed
+ceiling. Only allocation counts gate the lane: they are deterministic
+per (code, HECTOR_SCALE) pair, so a breach is always a real regression.
+Wall-clock and GFLOP/s fields ride along in the artifact for humans but
+never fail the job.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    rows = bench.get("interp_alloc", {})
+    failed = False
+
+    for row, ceiling in base["max_allocs_per_pass"].items():
+        got = rows.get(row, {}).get("allocs_per_pass")
+        if got is None:
+            print(f"FAIL {row}: missing from bench artifact")
+            failed = True
+        elif got > ceiling:
+            print(f"FAIL {row}: {got} allocs/pass exceeds baseline {ceiling}")
+            failed = True
+        else:
+            print(f"  ok {row}: {got} <= {ceiling} allocs/pass")
+
+    for field, ceiling in (
+        ("scratch_grows", base["max_scratch_grows"]),
+        ("plan_grows", base["max_plan_grows"]),
+    ):
+        for row, metrics in sorted(rows.items()):
+            got = metrics.get(field, 0)
+            if got > ceiling:
+                print(f"FAIL {row}: {field}={got} exceeds baseline {ceiling}")
+                failed = True
+
+    # Informational: surface the microkernel speedups in the job log.
+    for row, metrics in sorted(bench.get("simd_gemm", {}).items()):
+        print(f"info {row}: speedup {metrics.get('speedup', 'n/a')}")
+
+    if failed:
+        print("perf-regression: allocation baseline exceeded")
+        return 1
+    print("perf-regression: all allocation counts within baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,28 @@
 //!
 //! A counting global allocator wraps `System` for this binary and
 //! reports heap-allocation *events* per forward pass and per training
-//! step for RGCN / RGAT / HGT on a generated graph, alongside host wall
-//! clock and the session's scratch-arena counters
-//! (`counters().scratch()`). In steady state the interpreter performs
-//! zero per-row allocations — the "allocs/krow" column stays pinned
-//! near zero no matter how `HECTOR_SCALE` grows the graph, and the
-//! wall-clock column guards against hot-path regressions
-//! (`tests/interp_alloc.rs` pins the invariant; this target makes the
-//! magnitude visible).
+//! step for RGCN / RGAT / HGT on a generated graph — through both run
+//! APIs:
+//!
+//! * `run_*` rows: the owned-`VarStore` API; per-run setup (fresh output
+//!   tensors, bindings clones) still allocates, but the count is
+//!   graph-size-invariant (scratch arena absorbs all per-row traffic).
+//! * `plan_*` rows: the run-plan API (`Session::forward` /
+//!   `Session::train_step`); after warm-up these pin at **zero**
+//!   allocations per run (`tests/run_alloc.rs` asserts it; this target
+//!   makes the magnitude visible, and the `perf-regression` CI lane
+//!   gates the JSON below against `ci/alloc_baseline.json`).
+//!
+//! With `HECTOR_BENCH_JSON=<path>` the table is also written as a
+//! machine-readable JSON fragment for the CI lane's `BENCH_PR4.json`
+//! artifact. Allocation counts are deterministic (unlike wall clock), so
+//! they are the only fields the lane fails on.
 
 use std::time::Instant;
 
 use hector::prelude::*;
 use hector_bench::alloc_counter::{alloc_events, CountingAlloc};
+use hector_bench::json::JsonWriter;
 use hector_bench::{banner, scale};
 
 #[global_allocator]
@@ -26,7 +35,7 @@ const DIMS: usize = 32;
 fn main() {
     let s = scale();
     banner(
-        "interp_alloc: interpreter allocator traffic (scratch arena)",
+        "interp_alloc: interpreter allocator traffic (scratch arena + run plan)",
         s,
     );
     let spec = DatasetSpec {
@@ -46,10 +55,11 @@ fn main() {
         graph.graph().num_nodes()
     );
     println!(
-        "{:>6} {:>7} {:>12} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "{:>6} {:>11} {:>12} {:>12} {:>12} {:>10} {:>12} {:>12}",
         "model", "pass", "ms/pass", "allocs/pass", "allocs/krow", "grows", "arena KiB", "steady %"
     );
     let iters = if s >= 1.0 { 3 } else { 5 };
+    let mut json = JsonWriter::from_env("interp_alloc");
     for kind in ModelKind::all() {
         let infer = hector::compile_model(kind, DIMS, DIMS, &CompileOptions::best());
         let train = hector::compile_model(
@@ -70,52 +80,100 @@ fn main() {
             ParallelConfig::sequential(),
         );
 
-        // Forward passes.
+        // Forward passes, owned-store API.
         session
             .run_inference(&infer, &graph, &mut params, &bindings)
             .expect("warm-up inference fits");
-        let a0 = alloc_events();
-        let t0 = Instant::now();
-        for _ in 0..iters {
+        let (ms, allocs) = timed(iters, || {
             session
                 .run_inference(&infer, &graph, &mut params, &bindings)
                 .expect("inference fits");
-        }
-        let ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
-        let allocs = (alloc_events() - a0) as f64 / f64::from(iters);
+        });
         let sc = *session.device().counters().scratch();
-        report(kind.name(), "fwd", ms, allocs, edges, &sc);
+        report(&mut json, kind.name(), "run_fwd", ms, allocs, edges, &sc);
 
-        // Training steps.
+        // Forward passes, run-plan API (zero once warm).
+        session
+            .forward(&infer, &graph, &mut params, &bindings)
+            .expect("warm-up forward fits");
+        let (ms, allocs) = timed(iters, || {
+            session
+                .forward(&infer, &graph, &mut params, &bindings)
+                .expect("forward fits");
+        });
+        let sc = *session.device().counters().scratch();
+        report(&mut json, kind.name(), "plan_fwd", ms, allocs, edges, &sc);
+
+        // Training steps, owned-store API.
         let mut opt = Sgd::new(0.01);
         session
             .run_training_step(&train, &graph, &mut tparams, &tbindings, &labels, &mut opt)
             .expect("warm-up step fits");
-        let a0 = alloc_events();
-        let t0 = Instant::now();
-        for _ in 0..iters {
+        let (ms, allocs) = timed(iters, || {
             session
                 .run_training_step(&train, &graph, &mut tparams, &tbindings, &labels, &mut opt)
                 .expect("training step fits");
-        }
-        let ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
-        let allocs = (alloc_events() - a0) as f64 / f64::from(iters);
+        });
         let sc = *session.device().counters().scratch();
-        report(kind.name(), "train", ms, allocs, edges, &sc);
+        report(&mut json, kind.name(), "run_train", ms, allocs, edges, &sc);
+
+        // Training steps, run-plan API (zero once warm).
+        session
+            .train_step(&train, &graph, &mut tparams, &tbindings, &labels, &mut opt)
+            .expect("warm-up plan step fits");
+        let (ms, allocs) = timed(iters, || {
+            session
+                .train_step(&train, &graph, &mut tparams, &tbindings, &labels, &mut opt)
+                .expect("plan training step fits");
+        });
+        let sc = *session.device().counters().scratch();
+        report(&mut json, kind.name(), "plan_train", ms, allocs, edges, &sc);
     }
+    json.finish();
     println!(
-        "\nallocs/pass counts every heap allocation event in the pass \
-         (per-run setup included);\nthe scratch arena keeps it constant as \
-         HECTOR_SCALE grows, so allocs/krow falls toward zero."
+        "\nallocs/pass counts every heap allocation event in the pass; run_* rows \
+         include per-run\nsetup (owned stores), plan_* rows reuse the session's run \
+         plan and pin at zero once warm."
     );
 }
 
-fn report(model: &str, pass: &str, ms: f64, allocs: f64, edges: usize, sc: &hector::ScratchStats) {
+/// Times `iters` calls of `f`, returning (ms per call, allocation events
+/// per call).
+fn timed(iters: u32, mut f: impl FnMut()) -> (f64, f64) {
+    let a0 = alloc_events();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    let allocs = (alloc_events() - a0) as f64 / f64::from(iters);
+    (ms, allocs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    json: &mut JsonWriter,
+    model: &str,
+    pass: &str,
+    ms: f64,
+    allocs: f64,
+    edges: usize,
+    sc: &hector::ScratchStats,
+) {
     println!(
-        "{model:>6} {pass:>7} {ms:>12.3} {allocs:>12.1} {:>12.3} {:>10} {:>12.1} {:>11.1}%",
+        "{model:>6} {pass:>11} {ms:>12.3} {allocs:>12.1} {:>12.3} {:>10} {:>12.1} {:>11.1}%",
         allocs / (edges as f64 / 1e3),
         sc.grows,
         sc.bytes as f64 / 1024.0,
         sc.steady_fraction() * 100.0
+    );
+    json.record(
+        &format!("{model}_{pass}"),
+        &[
+            ("ms_per_pass", ms),
+            ("allocs_per_pass", allocs),
+            ("scratch_grows", sc.grows as f64),
+            ("plan_grows", sc.plan_grows as f64),
+        ],
     );
 }

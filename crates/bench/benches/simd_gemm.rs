@@ -1,0 +1,136 @@
+//! simd_gemm: throughput of the register-blocked GEMM microkernels
+//! versus the scalar loops they replaced (PR 3's inner loops).
+//!
+//! Measures the three kernels the interpreter hot path runs —
+//! `TypedLinear` rows (`y += x·W`), transposed rows (`y = x·Wᵀ`), and
+//! the `TypedLinearGradW` outer-product accumulate — at the square dims
+//! the paper's models use. The acceptance bar for the blocked kernels is
+//! ≥ 1.5× on the `TypedLinear` path at dims 32/64.
+//!
+//! With `HECTOR_BENCH_JSON=<path>` the numbers are also written as a
+//! machine-readable JSON fragment for the `perf-regression` CI lane's
+//! `BENCH_PR4.json` artifact (wall-clock fields are informational there;
+//! only deterministic allocation counts gate the lane).
+
+use std::time::Instant;
+
+use hector_bench::json::JsonWriter;
+use hector_bench::{banner, scale};
+use hector_tensor::microkernel::{
+    gemm_row_blocked, gemm_row_scalar, gemm_row_tb_blocked, gemm_row_tb_scalar,
+    outer_accum_blocked, outer_accum_scalar,
+};
+
+const DIMS: &[usize] = &[16, 32, 64, 128];
+
+/// Deterministic non-zero pseudo-data (no RNG dependency; zeros would
+/// trip the skip path and understate arithmetic throughput).
+fn pattern(n: usize, seed: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as f32).mul_add(0.618, seed).sin() * 0.9) + 0.05)
+        .collect()
+}
+
+struct Measure {
+    gflops: f64,
+}
+
+/// Times `f` over `rows` kernel invocations, repeated until ≥ `min_ms`
+/// of wall clock accumulates, and returns achieved GFLOP/s.
+fn time_kernel(flops_per_row: f64, rows: usize, min_ms: f64, mut f: impl FnMut(usize)) -> Measure {
+    // Warm-up.
+    for r in 0..rows.min(64) {
+        f(r);
+    }
+    let mut total = 0.0f64;
+    let mut done = 0u64;
+    while total * 1e3 < min_ms {
+        let t0 = Instant::now();
+        for r in 0..rows {
+            f(r);
+        }
+        total += t0.elapsed().as_secs_f64();
+        done += rows as u64;
+    }
+    Measure {
+        gflops: flops_per_row * done as f64 / total / 1e9,
+    }
+}
+
+fn main() {
+    let s = scale();
+    banner(
+        "simd_gemm: blocked vs scalar GEMM microkernel throughput",
+        s,
+    );
+    let rows = ((2_000f64 * s) as usize).max(256);
+    let min_ms = if s >= 1.0 { 120.0 } else { 60.0 };
+    println!("{rows} rows per invocation batch; speedup = blocked / scalar GFLOP/s\n");
+    println!(
+        "{:>6} {:>22} {:>10} {:>10} {:>9}",
+        "dims", "kernel", "scalar", "blocked", "speedup"
+    );
+
+    let mut json = JsonWriter::from_env("simd_gemm");
+    for &n in DIMS {
+        let x = pattern(rows * n, 0.3);
+        let w = pattern(n * n, 0.7);
+        let mut y = vec![0.0f32; n];
+        let flops = 2.0 * n as f64 * n as f64;
+
+        let sc = time_kernel(flops, rows, min_ms, |r| {
+            y.fill(0.0);
+            gemm_row_scalar(&x[r * n..(r + 1) * n], &w, n, true, &mut y);
+            std::hint::black_box(&y);
+        });
+        let bl = time_kernel(flops, rows, min_ms, |r| {
+            y.fill(0.0);
+            gemm_row_blocked(&x[r * n..(r + 1) * n], &w, n, true, &mut y);
+            std::hint::black_box(&y);
+        });
+        report(&mut json, n, "typed_linear", &sc, &bl);
+
+        let sc = time_kernel(flops, rows, min_ms, |r| {
+            gemm_row_tb_scalar(&x[r * n..(r + 1) * n], &w, n, &mut y);
+            std::hint::black_box(&y);
+        });
+        let bl = time_kernel(flops, rows, min_ms, |r| {
+            gemm_row_tb_blocked(&x[r * n..(r + 1) * n], &w, n, &mut y);
+            std::hint::black_box(&y);
+        });
+        report(&mut json, n, "typed_linear_tb", &sc, &bl);
+
+        let dy = pattern(n, 0.9);
+        let mut slab = vec![0.0f32; n * n];
+        let sc = time_kernel(flops, rows, min_ms, |r| {
+            outer_accum_scalar(&x[r * n..(r + 1) * n], &dy, &mut slab, true);
+            std::hint::black_box(&slab);
+        });
+        let bl = time_kernel(flops, rows, min_ms, |r| {
+            outer_accum_blocked(&x[r * n..(r + 1) * n], &dy, &mut slab, true);
+            std::hint::black_box(&slab);
+        });
+        report(&mut json, n, "grad_w_outer", &sc, &bl);
+    }
+    json.finish();
+    println!(
+        "\nblocked and scalar kernels are bit-identical (pinned by \
+         crates/tensor/tests/simd_gemm.rs); only the register layout differs."
+    );
+}
+
+fn report(json: &mut JsonWriter, n: usize, kernel: &str, sc: &Measure, bl: &Measure) {
+    let speedup = bl.gflops / sc.gflops;
+    println!(
+        "{n:>6} {kernel:>22} {:>10.2} {:>10.2} {speedup:>8.2}x",
+        sc.gflops, bl.gflops
+    );
+    json.record(
+        &format!("{kernel}_{n}"),
+        &[
+            ("scalar_gflops", sc.gflops),
+            ("blocked_gflops", bl.gflops),
+            ("speedup", speedup),
+        ],
+    );
+}

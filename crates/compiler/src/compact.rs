@@ -41,7 +41,7 @@ pub fn compact_materialization(p: &mut Program) -> Vec<hector_ir::VarId> {
             OpKind::TypedLinear { scatter: None, .. }
             | OpKind::DotProduct { .. }
             | OpKind::Binary { .. }
-            | OpKind::Unary { .. } => kind.operands().iter().all(|o| operand_compactible(p, o)),
+            | OpKind::Unary { .. } => kind.operands().all(|o| operand_compactible(p, o)),
             _ => false,
         };
         if eligible {

@@ -162,7 +162,6 @@ impl<'a> Lowerer<'a> {
     fn reads_group_def(&self, op: &Op) -> bool {
         op.kind
             .operands()
-            .iter()
             .any(|o| o.var().is_some_and(|v| self.group.defs.contains(&v)))
     }
 
@@ -291,6 +290,7 @@ impl<'a> Lowerer<'a> {
             .map(|o| o.id)
             .collect();
         let kid = self.next_kid();
+        let stages = hector_ir::stage_assignments(&g.ops, self.p);
         self.kernels.push(KernelSpec::Traversal(TraversalSpec {
             kid,
             name: format!("traversal_{kid}"),
@@ -301,6 +301,7 @@ impl<'a> Lowerer<'a> {
             partial_agg: true,
             atomic,
             local_vars: Vec::new(),
+            stages,
         }));
     }
 
@@ -434,7 +435,7 @@ fn mark_local_vars(p: &Program, kernels: &mut [KernelSpec]) {
 }
 
 fn op_reads(kind: &OpKind, v: VarId) -> bool {
-    kind.operands().iter().any(|o| o.var() == Some(v))
+    kind.operands().any(|o| o.var() == Some(v))
 }
 
 #[cfg(test)]

@@ -124,10 +124,10 @@ proptest! {
                         }
                         let reads = match other {
                             KernelSpec::Gemm(g) => {
-                                g.op.kind.operands().iter().any(|o| o.var() == Some(lv))
+                                g.op.kind.operands().any(|o| o.var() == Some(lv))
                             }
                             KernelSpec::Traversal(t2) => t2.ops.iter().any(|o| {
-                                o.kind.operands().iter().any(|x| x.var() == Some(lv))
+                                o.kind.operands().any(|x| x.var() == Some(lv))
                             }),
                             KernelSpec::Fallback(_) => false,
                         };

@@ -121,6 +121,13 @@ pub struct ScratchStats {
     pub steady_kernels: usize,
     /// Total real-mode kernel executions recorded.
     pub kernels: usize,
+    /// Run-plan buffer (re)materialisation events across plan-reusing
+    /// runs (`Session::forward` / `Session::train_step`): output and
+    /// gradient tensors are keyed by variable and shape and grown
+    /// monotonically, so a warm run records zero.
+    pub plan_grows: usize,
+    /// High-water footprint of the run plan's persistent buffers, bytes.
+    pub plan_bytes: usize,
 }
 
 impl ScratchStats {
@@ -249,6 +256,14 @@ impl Counters {
         }
     }
 
+    /// Records one plan-reusing run's buffer activity
+    /// (`Session::forward` / `Session::train_step`).
+    pub fn record_plan(&mut self, grows: usize, bytes: usize) {
+        let s = &mut self.scratch;
+        s.plan_grows += grows;
+        s.plan_bytes = s.plan_bytes.max(bytes);
+    }
+
     /// Interpreter scratch-arena statistics.
     #[must_use]
     pub fn scratch(&self) -> &ScratchStats {
@@ -276,6 +291,8 @@ impl Counters {
         s.bytes = s.bytes.max(other.scratch.bytes);
         s.steady_kernels += other.scratch.steady_kernels;
         s.kernels += other.scratch.kernels;
+        s.plan_grows += other.scratch.plan_grows;
+        s.plan_bytes = s.plan_bytes.max(other.scratch.plan_bytes);
         for (k, m) in &other.buckets {
             let e = self.buckets.entry(*k).or_default();
             e.launches += m.launches;

@@ -90,6 +90,13 @@ impl Device {
         self.counters.record_scratch(grows, bytes);
     }
 
+    /// Records one plan-reusing run's persistent-buffer activity (see
+    /// [`crate::ScratchStats::plan_grows`]): warm runs record zero
+    /// growth — whole-run allocation freedom made observable.
+    pub fn record_plan(&mut self, grows: usize, bytes: usize) {
+        self.counters.record_plan(grows, bytes);
+    }
+
     /// Charges pure host-side API overhead (framework dispatch without a
     /// kernel), as eager per-relation Python loops do.
     pub fn charge_api_call(&mut self) {

@@ -41,12 +41,17 @@ impl std::error::Error for OomError {}
 /// allocators like PyTorch's caching allocator would only make OOM happen
 /// *earlier*, so this is a conservative reproduction of the paper's OOM
 /// events).
+/// Live allocations store only their byte size: labels exist solely for
+/// OOM diagnostics, so they are borrowed at the failing call instead of
+/// being owned per allocation — the success path performs no heap
+/// allocation of its own, which is what lets a warm run charge device
+/// memory without touching the host allocator (see `tests/run_alloc.rs`).
 #[derive(Clone, Debug)]
 pub struct MemoryPool {
     capacity: usize,
     in_use: usize,
     peak: usize,
-    live: Vec<Option<(usize, String)>>,
+    live: Vec<Option<usize>>,
 }
 
 impl MemoryPool {
@@ -77,14 +82,14 @@ impl MemoryPool {
         }
         self.in_use += bytes;
         self.peak = self.peak.max(self.in_use);
-        self.live.push(Some((bytes, label.to_string())));
+        self.live.push(Some(bytes));
         Ok(AllocId(self.live.len() - 1))
     }
 
     /// Frees a previous allocation. Freeing twice is a no-op.
     pub fn free(&mut self, id: AllocId) {
         if let Some(slot) = self.live.get_mut(id.0) {
-            if let Some((bytes, _)) = slot.take() {
+            if let Some(bytes) = slot.take() {
                 self.in_use -= bytes;
             }
         }

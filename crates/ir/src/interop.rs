@@ -299,32 +299,22 @@ impl OpKind {
         }
     }
 
-    /// All operands the op reads.
-    #[must_use]
-    pub fn operands(&self) -> Vec<&Operand> {
-        match self {
+    /// All operands the op reads, in reading order. Every op kind reads
+    /// one or two operands, so this is a heap-free iterator — it runs in
+    /// per-launch paths (the kernel cost model) that must not allocate.
+    pub fn operands(&self) -> impl Iterator<Item = &Operand> {
+        let (first, second): (&Operand, Option<&Operand>) = match self {
             OpKind::TypedLinear {
                 input, fused_scale, ..
-            } => {
-                let mut v = vec![input];
-                if let Some(s) = fused_scale {
-                    v.push(s);
-                }
-                v
-            }
-            OpKind::TypedLinearGradW { x, dy, .. } => vec![x, dy],
-            OpKind::DotProduct { a, b, .. } | OpKind::Binary { a, b, .. } => vec![a, b],
-            OpKind::Unary { a, .. } => vec![a],
+            } => (input, fused_scale.as_ref()),
+            OpKind::TypedLinearGradW { x, dy, .. } => (x, Some(dy)),
+            OpKind::DotProduct { a, b, .. } | OpKind::Binary { a, b, .. } => (a, Some(b)),
+            OpKind::Unary { a, .. } => (a, None),
             OpKind::NodeAggregate {
                 edge_val, scale, ..
-            } => {
-                let mut v = vec![edge_val];
-                if let Some(s) = scale {
-                    v.push(s);
-                }
-                v
-            }
-        }
+            } => (edge_val, scale.as_ref()),
+        };
+        std::iter::once(first).chain(second)
     }
 
     /// Whether this op is eligible for the GEMM template (preference
@@ -434,7 +424,7 @@ impl Program {
     pub fn users_of(&self, v: VarId) -> Vec<OpId> {
         self.ops
             .iter()
-            .filter(|op| op.kind.operands().iter().any(|o| o.var() == Some(v)))
+            .filter(|op| op.kind.operands().any(|o| o.var() == Some(v)))
             .map(|op| op.id)
             .collect()
     }

@@ -182,6 +182,51 @@ pub struct TraversalSpec {
     /// ("the variable no longer needs to be created in the global
     /// memory", §3.4.2).
     pub local_vars: Vec<crate::interop::VarId>,
+    /// Inner-loop pass assignment per op (parallel to `ops`), computed
+    /// once at lowering by [`stage_assignments`]: in a
+    /// [`TraversalDomain::DstNodes`] kernel, an edgewise op that reads a
+    /// node-space value produced in-kernel runs one pass later than its
+    /// producer (edge softmax reads the per-node max/sum after all of
+    /// the node's edges contributed). Precomputing this here keeps the
+    /// interpreter's per-kernel execution allocation-free.
+    pub stages: Vec<usize>,
+}
+
+/// Stage assignment for a dst-node kernel's fused op list: edgewise ops
+/// reading node-space values produced in-kernel must run one inner-loop
+/// pass later than the producer. Every other domain executes everything
+/// in pass 0 (the assignment degenerates to all-zero there).
+#[must_use]
+pub fn stage_assignments(ops: &[Op], program: &crate::Program) -> Vec<usize> {
+    use crate::interop::{OpKind, Space, VarId};
+    use std::collections::HashMap;
+    let mut def_stage: HashMap<VarId, (usize, bool)> = HashMap::new(); // (stage, node-level)
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let is_node_op = op
+            .kind
+            .out_var()
+            .is_some_and(|v| program.var(v).space == Space::Node)
+            && !matches!(op.kind, OpKind::NodeAggregate { .. });
+        let is_agg = matches!(op.kind, OpKind::NodeAggregate { .. });
+        let mut s = 0;
+        for operand in op.kind.operands() {
+            if let Some(v) = operand.var() {
+                if let Some(&(ds, node_level)) = def_stage.get(&v) {
+                    if node_level && !is_node_op {
+                        s = s.max(ds + 1);
+                    } else {
+                        s = s.max(ds);
+                    }
+                }
+            }
+        }
+        if let Some(v) = op.kind.out_var() {
+            def_stage.insert(v, (s, is_node_op || is_agg));
+        }
+        out.push(s);
+    }
+    out
 }
 
 /// An operator that fell back to a framework routine (the paper falls

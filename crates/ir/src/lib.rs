@@ -34,6 +34,6 @@ pub use interop::{
     VarInfo, WeightId, WeightInfo, WeightPrep,
 };
 pub use intraop::{
-    AdjacencyAccess, Gather, GemmSchedule, GemmSpec, KernelSpec, RowDomain, Scatter,
-    TraversalDomain, TraversalSpec,
+    stage_assignments, AdjacencyAccess, Gather, GemmSchedule, GemmSpec, KernelSpec, RowDomain,
+    Scatter, TraversalDomain, TraversalSpec,
 };

@@ -21,6 +21,7 @@ use hector_ir::{
     AggNorm, BinOp, Endpoint, GemmSpec, OpKind, Operand, Program, RowDomain, Scatter, Space,
     TraversalDomain, TraversalSpec, TypeIndex, UnOp, VarId,
 };
+use hector_tensor::microkernel;
 
 use crate::scratch::Scratch;
 use crate::{GraphData, ParamStore, VarStore};
@@ -66,8 +67,9 @@ impl OperandRef<'_> {
 
 /// Computes one `TypedLinear` output row into `y`: `y = x · W` (or
 /// `x · Wᵀ`), the shared inner loop of the sequential and parallel GEMM
-/// executors. Iterator-based so the multiply-accumulate compiles without
-/// bounds checks.
+/// executors, running on the register-blocked
+/// [`hector_tensor::microkernel`]s (`f32x8`-style column panels with a
+/// scalar tail; bit-identical to the scalar loops they replaced).
 ///
 /// `slab_finite` gates the `xv == 0.0` skip: skipping a zero input
 /// element is only IEEE-sound when the weight slab holds no `inf`/`NaN`
@@ -85,22 +87,11 @@ pub(crate) fn gemm_row_into(
     if transpose_w {
         // y = x · Wᵀ where W is [wrows, wcols]: x has wcols elems.
         debug_assert_eq!(x.len(), wcols);
-        for (yj, row) in y.iter_mut().zip(slab.chunks_exact(wcols)).take(wrows) {
-            *yj = x
-                .iter()
-                .zip(row)
-                .fold(0.0f32, |acc, (&xv, &wv)| acc + xv * wv);
-        }
+        debug_assert_eq!(y.len(), wrows);
+        microkernel::gemm_row_tb_blocked(x, slab, wcols, y);
     } else {
         debug_assert_eq!(x.len(), wrows);
-        for (&xv, row) in x.iter().zip(slab.chunks_exact(wcols)) {
-            if xv == 0.0 && slab_finite {
-                continue;
-            }
-            for (yj, &wv) in y.iter_mut().zip(row) {
-                *yj += xv * wv;
-            }
-        }
+        microkernel::gemm_row_blocked(x, slab, wcols, slab_finite, y);
     }
 }
 
@@ -199,20 +190,14 @@ pub(crate) fn exec_gemm(
 }
 
 /// Accumulates one row's outer product `xᵀ · dy` into a weight-gradient
-/// slab — the shared `TypedLinearGradW` inner loop of both executors.
+/// slab — the shared `TypedLinearGradW` inner loop of both executors,
+/// running on the register-blocked outer-product microkernel (the `dy`
+/// panel stays in vector registers across all slab rows).
 /// The `xv == 0.0` skip is gated on `dy` being finite, checked once per
 /// row: skipping `0 × inf` would hide the IEEE-mandated `NaN`.
 pub(crate) fn grad_w_row(x: &[f32], dy: &[f32], slab: &mut [f32]) {
-    let n = dy.len();
     let dy_finite = dy.iter().all(|v| v.is_finite());
-    for (&xv, row) in x.iter().zip(slab.chunks_exact_mut(n)) {
-        if xv == 0.0 && dy_finite {
-            continue;
-        }
-        for (g, &dv) in row.iter_mut().zip(dy) {
-            *g += xv * dv;
-        }
-    }
+    microkernel::outer_accum_blocked(x, dy, slab, dy_finite);
 }
 
 pub(crate) fn row_ctx(rows: RowDomain, r: usize) -> Ctx {
@@ -386,40 +371,6 @@ pub(crate) fn apply_binary_into(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]
     }
 }
 
-/// Stage assignment for a dst-node kernel: edgewise ops reading
-/// node-space values produced in-kernel must run one inner-loop pass
-/// later than the producer.
-pub(crate) fn stages(spec: &TraversalSpec, program: &Program) -> Vec<usize> {
-    use std::collections::HashMap;
-    let mut def_stage: HashMap<VarId, (usize, bool)> = HashMap::new(); // (stage, node-level)
-    let mut out = Vec::with_capacity(spec.ops.len());
-    for op in &spec.ops {
-        let is_node_op = op
-            .kind
-            .out_var()
-            .is_some_and(|v| program.var(v).space == Space::Node)
-            && !matches!(op.kind, OpKind::NodeAggregate { .. });
-        let is_agg = matches!(op.kind, OpKind::NodeAggregate { .. });
-        let mut s = 0;
-        for operand in op.kind.operands() {
-            if let Some(v) = operand.var() {
-                if let Some(&(ds, node_level)) = def_stage.get(&v) {
-                    if node_level && !is_node_op {
-                        s = s.max(ds + 1);
-                    } else {
-                        s = s.max(ds);
-                    }
-                }
-            }
-        }
-        if let Some(v) = op.kind.out_var() {
-            def_stage.insert(v, (s, is_node_op || is_agg));
-        }
-        out.push(s);
-    }
-    out
-}
-
 /// Executes a traversal-template instance.
 ///
 /// # Panics
@@ -501,7 +452,10 @@ pub(crate) fn exec_traversal(
             }
         }
         TraversalDomain::DstNodes => {
-            let st = stages(spec, program);
+            // Stage assignments are precomputed at lowering
+            // (`hector_ir::stage_assignments`) so executing a kernel
+            // allocates nothing.
+            let st = &spec.stages;
             let max_stage = st.iter().copied().max().unwrap_or(0);
             let csc = graph.csc();
             for v in 0..graph.graph().num_nodes() {

@@ -38,7 +38,7 @@ mod store;
 
 pub use graphdata::GraphData;
 pub use hector_par::{ParallelConfig, PoolStats};
-pub use loss::{nll_loss_and_grad, random_labels, LossResult};
+pub use loss::{nll_loss_and_grad, nll_loss_and_grad_into, random_labels, LossResult};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;
 pub use session::{cnorm_tensor, Bindings, Mode, RunReport, Session};

@@ -27,8 +27,27 @@ pub struct LossResult {
 pub fn nll_loss_and_grad(logits: &Tensor, labels: &[usize]) -> LossResult {
     assert_eq!(logits.rank(), 2);
     let (m, n) = (logits.shape()[0], logits.shape()[1]);
-    assert_eq!(labels.len(), m, "one label per row");
     let mut grad = Tensor::zeros(&[m, n]);
+    let loss = nll_loss_and_grad_into(logits, labels, grad.data_mut());
+    LossResult { loss, grad }
+}
+
+/// Allocation-free core of [`nll_loss_and_grad`]: writes the gradient
+/// into `grad` (a `rows × classes` row-major slice, fully overwritten)
+/// and returns the loss. The run-reuse path ([`crate::Session`]'s
+/// `train_step`) calls this with a session-owned staging buffer so a
+/// warm training step never touches the heap.
+///
+/// # Panics
+///
+/// Panics if `labels`/`grad` sizes disagree with the logits or any label
+/// is out of range.
+#[must_use]
+pub fn nll_loss_and_grad_into(logits: &Tensor, labels: &[usize], grad: &mut [f32]) -> f32 {
+    assert_eq!(logits.rank(), 2);
+    let (m, n) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), m, "one label per row");
+    assert_eq!(grad.len(), m * n, "gradient buffer shape mismatch");
     let mut loss = 0.0f64;
     for (i, &label) in labels.iter().enumerate().take(m) {
         let row = logits.row(i);
@@ -40,16 +59,13 @@ pub fn nll_loss_and_grad(logits: &Tensor, labels: &[usize]) -> LossResult {
         }
         let log_sum = sum.ln() + max;
         loss += f64::from(log_sum - row[label]);
-        let g = grad.row_mut(i);
+        let g = &mut grad[i * n..(i + 1) * n];
         for j in 0..n {
             let softmax = (row[j] - log_sum).exp();
             g[j] = (softmax - if j == label { 1.0 } else { 0.0 }) / m as f32;
         }
     }
-    LossResult {
-        loss: (loss / m as f64) as f32,
-        grad,
-    }
+    (loss / m as f64) as f32
 }
 
 /// Generates the paper's "precomputed random label tensor": one class id

@@ -54,8 +54,7 @@ use hector_tensor::Tensor;
 
 use crate::exec::{
     apply_binary_into, apply_unary_into, dot, exec_gemm, exec_traversal, gemm_row_into, grad_w_row,
-    max_agg_outputs, read_operand, row_ctx, scatter_index, stages, weight_type_index, Ctx,
-    OperandRef,
+    max_agg_outputs, read_operand, row_ctx, scatter_index, weight_type_index, Ctx, OperandRef,
 };
 use crate::scratch::Scratch;
 use crate::{GraphData, ParamStore, VarStore};
@@ -473,10 +472,9 @@ pub(crate) fn exec_traversal_par(
             })
         }
         TraversalDomain::DstNodes => {
-            let st = stages(spec, program);
+            let st = &spec.stages;
             let max_stage = st.iter().copied().max().unwrap_or(0);
             let csc = graph.csc();
-            let st = &st;
             pool.parallel_chunks(graph.graph().num_nodes(), min_chunk, |_ci, range| {
                 let mut buf = ContribBuf::default();
                 let mut ws = Scratch::new();

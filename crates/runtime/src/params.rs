@@ -2,7 +2,7 @@
 //! (reorder-fused) weight machinery.
 
 use hector_ir::{Program, TypeIndex, WeightId, WeightPrep};
-use hector_tensor::{xavier_uniform, Tensor};
+use hector_tensor::{matmul_into, microkernel, xavier_uniform, Tensor};
 use rand::rngs::StdRng;
 
 use crate::GraphData;
@@ -22,6 +22,11 @@ pub struct ParamStore {
     weights: Vec<Tensor>,
     grads: Vec<Tensor>,
     type_counts: Vec<usize>,
+    /// Reusable staging buffers for the prep chain rule
+    /// ([`ParamStore::backprop_preps`]): grown monotonically on first
+    /// use, then reused — warm training steps never touch the heap.
+    prep_a: Vec<f32>,
+    prep_b: Vec<f32>,
 }
 
 impl ParamStore {
@@ -48,6 +53,8 @@ impl ParamStore {
             weights,
             grads,
             type_counts,
+            prep_a: Vec::new(),
+            prep_b: Vec::new(),
         }
     }
 
@@ -71,6 +78,14 @@ impl ParamStore {
     /// Mutable gradient access (the executor accumulates into this).
     pub fn grad_mut(&mut self, w: WeightId) -> &mut Tensor {
         &mut self.grads[w.0 as usize]
+    }
+
+    /// Simultaneous mutable weight + shared gradient access — weights
+    /// and gradients live in separate stores, so optimizers can update
+    /// in place without cloning the gradient first.
+    pub fn weight_and_grad_mut(&mut self, w: WeightId) -> (&mut Tensor, &Tensor) {
+        let i = w.0 as usize;
+        (&mut self.weights[i], &self.grads[i])
     }
 
     /// Number of type slabs of `w`.
@@ -108,7 +123,9 @@ impl ParamStore {
 
     /// Executes one weight prep (called by the fallback kernels at the
     /// start of every forward pass, since base weights change between
-    /// steps).
+    /// steps). Writes into the derived weight's existing storage — the
+    /// tensor was shaped at [`ParamStore::init`] — so a warm prep run
+    /// performs no heap allocation.
     pub fn run_prep(&mut self, prep: &WeightPrep, program: &Program) {
         match prep {
             WeightPrep::MatVec { w, v, out } => {
@@ -116,20 +133,24 @@ impl ParamStore {
                     let ws = self.weight(*w);
                     (ws.shape()[0], ws.shape()[1], ws.shape()[2])
                 };
-                let mut fused = Tensor::zeros(&[t, k, 1]);
+                debug_assert_eq!(program.weight(*out).rows, k);
+                // Detach the derived tensor so the base weights stay
+                // readable while we fill it (disjoint indices of the
+                // same store).
+                let mut fused = std::mem::take(&mut self.weights[out.0 as usize]);
+                debug_assert_eq!(fused.shape(), &[t, k, 1]);
                 for ty in 0..t {
-                    let wslab = self.weight(*w).slab(ty).to_vec();
-                    let vslab = self.weight(*v).slab(ty).to_vec(); // [n, 1]
+                    let wslab = self.weight(*w).slab(ty);
+                    let vslab = self.weight(*v).slab(ty); // [n, 1]
                     let dst = &mut fused.data_mut()[ty * k..(ty + 1) * k];
-                    for i in 0..k {
+                    for (i, d) in dst.iter_mut().enumerate() {
                         let mut acc = 0.0;
                         for j in 0..n {
                             acc += wslab[i * n + j] * vslab[j];
                         }
-                        dst[i] = acc;
+                        *d = acc;
                     }
                 }
-                debug_assert_eq!(program.weight(*out).rows, k);
                 self.weights[out.0 as usize] = fused;
             }
             WeightPrep::MatMulPairs { a, b, out } => {
@@ -142,18 +163,24 @@ impl ParamStore {
                     (ws.shape()[0], ws.shape()[1], ws.shape()[2])
                 };
                 assert_eq!(m, m2, "prep inner dims must agree");
-                let mut fused = Tensor::zeros(&[nt * et, k, n]);
+                debug_assert_eq!(program.weight(*out).per, TypeIndex::NodeEdgePair);
+                let mut fused = std::mem::take(&mut self.weights[out.0 as usize]);
+                debug_assert_eq!(fused.shape(), &[nt * et, k, n]);
                 for i in 0..nt {
-                    let aslab = Tensor::from_vec(self.weight(*a).slab(i).to_vec(), &[k, m]);
                     for j in 0..et {
-                        let bslab = Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
-                        let prod = aslab.matmul(&bslab);
                         let idx = i * et + j;
-                        fused.data_mut()[idx * k * n..(idx + 1) * k * n]
-                            .copy_from_slice(prod.data());
+                        let dst = &mut fused.data_mut()[idx * k * n..(idx + 1) * k * n];
+                        dst.fill(0.0);
+                        matmul_into(
+                            self.weight(*a).slab(i),
+                            self.weight(*b).slab(j),
+                            dst,
+                            k,
+                            m,
+                            n,
+                        );
                     }
                 }
-                debug_assert_eq!(program.weight(*out).per, TypeIndex::NodeEdgePair);
                 self.weights[out.0 as usize] = fused;
             }
         }
@@ -161,31 +188,31 @@ impl ParamStore {
 
     /// Runs every prep of `program` (forward-pass entry).
     pub fn run_preps(&mut self, program: &Program) {
-        let preps = program.preps.clone();
-        for prep in &preps {
+        for prep in &program.preps {
             self.run_prep(prep, program);
         }
     }
 
     /// Distributes gradients accumulated on derived weights back to their
     /// base weights (chain rule through the weight-space products), then
-    /// clears the derived gradients.
+    /// clears the derived gradients. Staging goes through the store's
+    /// reusable `prep_a`/`prep_b` buffers (preserving the exact
+    /// accumulation order of the former temporary-tensor formulation),
+    /// so warm steps are allocation-free.
     pub fn backprop_preps(&mut self, program: &Program) {
-        let preps = program.preps.clone();
-        for prep in preps.iter().rev() {
+        for prep in program.preps.iter().rev() {
             match prep {
                 WeightPrep::MatVec { w, v, out } => {
                     // out[t][i] = Σ_j W[t][i,j] · v[t][j]
                     // dW[t][i,j] += dout[t][i] · v[t][j]
                     // dv[t][j]   += Σ_i dout[t][i] · W[t][i,j]
-                    let dout = self.grads[out.0 as usize].clone();
+                    let mut dout = std::mem::take(&mut self.grads[out.0 as usize]);
                     let (t, k) = (dout.shape()[0], dout.shape()[1]);
                     let n = self.weight(*w).shape()[2];
                     for ty in 0..t {
-                        let dslab = dout.slab(ty).to_vec(); // [k]
-                        let vslab = self.weight(*v).slab(ty).to_vec(); // [n]
-                        let wslab = self.weight(*w).slab(ty).to_vec(); // [k, n]
+                        let dslab = dout.slab(ty); // [k]
                         {
+                            let vslab = self.weights[v.0 as usize].slab(ty); // [n]
                             let gw = &mut self.grads[w.0 as usize].data_mut()
                                 [ty * k * n..(ty + 1) * k * n];
                             for i in 0..k {
@@ -195,24 +222,24 @@ impl ParamStore {
                             }
                         }
                         {
+                            let wslab = self.weights[w.0 as usize].slab(ty); // [k, n]
                             let gv = &mut self.grads[v.0 as usize].data_mut()[ty * n..(ty + 1) * n];
-                            for j in 0..n {
+                            for (j, g) in gv.iter_mut().enumerate() {
                                 let mut acc = 0.0;
                                 for i in 0..k {
                                     acc += dslab[i] * wslab[i * n + j];
                                 }
-                                gv[j] += acc;
+                                *g += acc;
                             }
                         }
                     }
-                    for g in self.grads[out.0 as usize].data_mut() {
-                        *g = 0.0;
-                    }
+                    dout.data_mut().fill(0.0);
+                    self.grads[out.0 as usize] = dout;
                 }
                 WeightPrep::MatMulPairs { a, b, out } => {
                     // out[(i,j)] = A[i]·B[j]
                     // dA[i] += Σ_j dout[(i,j)]·B[j]^T ; dB[j] += Σ_i A[i]^T·dout[(i,j)]
-                    let dout = self.grads[out.0 as usize].clone();
+                    let mut dout = std::mem::take(&mut self.grads[out.0 as usize]);
                     let (nt, k, m) = {
                         let ws = self.weight(*a);
                         (ws.shape()[0], ws.shape()[1], ws.shape()[2])
@@ -221,29 +248,58 @@ impl ParamStore {
                         let ws = self.weight(*b);
                         (ws.shape()[0], ws.shape()[1], ws.shape()[2])
                     };
+                    if self.prep_a.len() < k * m {
+                        self.prep_a.resize(k * m, 0.0);
+                    }
+                    if self.prep_b.len() < m * n {
+                        self.prep_b.resize(m * n, 0.0);
+                    }
+                    let mut da_buf = std::mem::take(&mut self.prep_a);
+                    let mut db_buf = std::mem::take(&mut self.prep_b);
                     for i in 0..nt {
                         for j in 0..et {
                             let idx = i * et + j;
-                            let d = Tensor::from_vec(dout.slab(idx).to_vec(), &[k, n]);
-                            let bslab = Tensor::from_vec(self.weight(*b).slab(j).to_vec(), &[m, n]);
-                            let aslab = Tensor::from_vec(self.weight(*a).slab(i).to_vec(), &[k, m]);
-                            let da = d.matmul_tb(&bslab); // [k, m]
-                            let db = aslab.matmul_ta(&d); // [m, n]
+                            let d = dout.slab(idx); // [k, n]
+                            let da = &mut da_buf[..k * m];
+                            {
+                                // da = d · Bᵀ, row by row through the
+                                // transposed microkernel (≡ matmul_tb).
+                                let bslab = self.weights[b.0 as usize].slab(j); // [m, n]
+                                for (drow, darow) in d.chunks_exact(n).zip(da.chunks_exact_mut(m)) {
+                                    microkernel::gemm_row_tb_blocked(drow, bslab, n, darow);
+                                }
+                            }
+                            let db = &mut db_buf[..m * n];
+                            {
+                                // db = Aᵀ · d: one rank-1 update per
+                                // shared row (≡ matmul_ta).
+                                db.fill(0.0);
+                                let aslab = self.weights[a.0 as usize].slab(i); // [k, m]
+                                for p in 0..k {
+                                    microkernel::outer_accum_blocked(
+                                        &aslab[p * m..(p + 1) * m],
+                                        &d[p * n..(p + 1) * n],
+                                        db,
+                                        true,
+                                    );
+                                }
+                            }
                             let ga = &mut self.grads[a.0 as usize].data_mut()
                                 [i * k * m..(i + 1) * k * m];
-                            for (g, x) in ga.iter_mut().zip(da.data()) {
+                            for (g, &x) in ga.iter_mut().zip(&*da) {
                                 *g += x;
                             }
                             let gb = &mut self.grads[b.0 as usize].data_mut()
                                 [j * m * n..(j + 1) * m * n];
-                            for (g, x) in gb.iter_mut().zip(db.data()) {
+                            for (g, &x) in gb.iter_mut().zip(&*db) {
                                 *g += x;
                             }
                         }
                     }
-                    for g in self.grads[out.0 as usize].data_mut() {
-                        *g = 0.0;
-                    }
+                    self.prep_a = da_buf;
+                    self.prep_b = db_buf;
+                    dout.data_mut().fill(0.0);
+                    self.grads[out.0 as usize] = dout;
                 }
             }
         }

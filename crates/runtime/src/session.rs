@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::cost::{kernel_cost, var_bytes};
 use crate::exec::{exec_gemm, exec_traversal};
-use crate::loss::{nll_loss_and_grad, LossResult};
+use crate::loss::nll_loss_and_grad_into;
 use crate::optim::Optimizer;
 use crate::par_exec::{exec_gemm_par, exec_traversal_par};
 use crate::scratch::Scratch;
@@ -150,6 +150,91 @@ pub fn cnorm_tensor(graph: &GraphData) -> Tensor {
     Tensor::from_vec(data, &[g.num_edges(), 1])
 }
 
+/// Run-level reuse plan: the variable store, device-charge flags, and
+/// loss staging buffer that persist across successive [`Session::forward`]
+/// / [`Session::train_step`] calls.
+///
+/// Buffers are keyed by variable id and shape and grow monotonically:
+/// the first run materialises every output/gradient tensor, every later
+/// run zero-fills and reuses them (a zeroed persistent buffer is
+/// indistinguishable from a freshly allocated one, so results are
+/// bit-identical to the fresh-store path). Simulated-device memory is
+/// still charged per run through the `charged` flags, so timing, peak
+/// footprint, and OOM behaviour exactly match a fresh run. Plan growth
+/// events and footprint surface through
+/// [`hector_device::ScratchStats::plan_grows`] on the device counters;
+/// `tests/run_alloc.rs` pins that a warm sequential `train_step`
+/// performs **zero** heap allocations.
+#[derive(Debug, Default)]
+struct RunPlan {
+    vars: VarStore,
+    /// Per-`VarId` device-charge flags for the current run (reset each
+    /// run; capacity persists).
+    charged: Vec<bool>,
+    /// Reused NLL loss-gradient staging buffer.
+    loss_grad: Vec<f32>,
+    /// Buffer (re)materialisation events since construction.
+    grows: usize,
+}
+
+impl RunPlan {
+    /// Starts a run: clears the charge flags. Buffers are zero-filled
+    /// lazily, at each variable's first charge of the run
+    /// ([`RunPlan::ensure`]) — only the current program's variables pay
+    /// the memset, input buffers (fully overwritten by `bind_inputs`)
+    /// skip it, and stale buffers from other modules the session ran
+    /// earlier are left untouched.
+    fn begin(&mut self, var_count: usize) {
+        if self.charged.len() < var_count {
+            self.charged.resize(var_count, false);
+        }
+        self.charged.fill(false);
+    }
+
+    fn charged(&self, v: VarId) -> bool {
+        self.charged.get(v.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn set_charged(&mut self, v: VarId) {
+        let i = v.0 as usize;
+        if i >= self.charged.len() {
+            self.charged.resize(i + 1, false);
+        }
+        self.charged[i] = true;
+    }
+
+    /// Makes sure `v` has a reusable buffer of the right mode and shape,
+    /// materialising (and counting a growth event) only on mismatch. A
+    /// reused real buffer is zero-filled here — its first charge of the
+    /// run — making it indistinguishable from the freshly allocated
+    /// zeros of the owned-store path. Callers guarantee at most one call
+    /// per variable per run (the `charged` flags for device-backed vars;
+    /// single assignment for register locals), so a mid-run re-zero of a
+    /// scatter target can never happen.
+    fn ensure(&mut self, v: VarId, rows: usize, width: usize, mode: Mode) {
+        match (mode, self.vars.try_get(v)) {
+            (Mode::Real, Some(Buffer::Real(t))) if t.shape() == [rows, width] => {
+                self.vars.get_mut(v).tensor_mut().data_mut().fill(0.0);
+            }
+            (Mode::Modeled, Some(Buffer::Modeled { rows: r, width: w }))
+                if *r == rows && *w == width => {}
+            _ => {
+                self.grows += 1;
+                let buf = match mode {
+                    Mode::Real => Buffer::Real(Tensor::zeros(&[rows, width])),
+                    Mode::Modeled => Buffer::Modeled { rows, width },
+                };
+                self.vars.insert(v, buf);
+            }
+        }
+    }
+
+    /// Current plan footprint in bytes (persistent buffers + staging).
+    fn bytes(&self) -> usize {
+        self.vars.byte_size() + self.loss_grad.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
 /// An execution context over one simulated device.
 #[derive(Debug)]
 pub struct Session {
@@ -166,6 +251,9 @@ pub struct Session {
     /// steady state. Growth events and footprint surface through
     /// [`hector_device::ScratchStats`] on the device counters.
     scratch: Scratch,
+    /// Persistent run plan backing [`Session::forward`] and
+    /// [`Session::train_step`] — see [`RunPlan`].
+    plan: RunPlan,
 }
 
 impl Session {
@@ -194,6 +282,7 @@ impl Session {
             par,
             pool,
             scratch: Scratch::new(),
+            plan: RunPlan::default(),
         }
     }
 
@@ -225,61 +314,48 @@ impl Session {
         &mut self,
         program: &Program,
         graph: &GraphData,
-        vars: &mut VarStore,
+        plan: &mut RunPlan,
         v: VarId,
     ) -> Result<(), OomError> {
-        if vars.contains(v) {
+        if plan.charged(v) {
             return Ok(());
         }
         let info = program.var(v);
         let rows = graph.rows_of_space(info.space);
         self.device
             .alloc(var_bytes(program, graph, v), &info.name)?;
-        let buf = match self.mode {
-            Mode::Real => Buffer::Real(Tensor::zeros(&[rows, info.width])),
-            Mode::Modeled => Buffer::Modeled {
-                rows,
-                width: info.width,
-            },
-        };
-        vars.insert(v, buf);
+        plan.set_charged(v);
+        plan.ensure(v, rows, info.width, self.mode);
         Ok(())
     }
 
-    /// Inserts a register-local buffer (no device memory charged).
-    fn insert_local(
-        &mut self,
-        program: &Program,
-        graph: &GraphData,
-        vars: &mut VarStore,
-        v: VarId,
-    ) {
-        if vars.contains(v) || self.mode == Mode::Modeled {
+    /// Materialises a register-local buffer (no device memory charged).
+    fn insert_local(&mut self, program: &Program, graph: &GraphData, plan: &mut RunPlan, v: VarId) {
+        if self.mode == Mode::Modeled {
             return;
         }
         let info = program.var(v);
         let rows = graph.rows_of_space(info.space);
-        vars.insert(v, Buffer::Real(Tensor::zeros(&[rows, info.width])));
+        plan.ensure(v, rows, info.width, Mode::Real);
     }
 
     fn bind_inputs(
         &mut self,
         program: &Program,
         graph: &GraphData,
-        vars: &mut VarStore,
+        plan: &mut RunPlan,
         inputs: &Bindings,
     ) -> Result<(), OomError> {
         for &v in &program.inputs {
-            if vars.contains(v) {
+            if plan.charged(v) {
                 continue;
             }
-            let info = program.var(v).clone();
+            let info = program.var(v);
             match self.mode {
                 Mode::Real => {
                     let t = inputs
                         .get(&info.name)
-                        .unwrap_or_else(|| panic!("missing input binding '{}'", info.name))
-                        .clone();
+                        .unwrap_or_else(|| panic!("missing input binding '{}'", info.name));
                     let rows = graph.rows_of_space(info.space);
                     assert_eq!(
                         t.shape(),
@@ -288,10 +364,25 @@ impl Session {
                         info.name
                     );
                     self.device.alloc(t.byte_size(), &info.name)?;
-                    vars.insert(v, Buffer::Real(t));
+                    plan.set_charged(v);
+                    // Copy into the persistent buffer when shapes line
+                    // up; clone in (a growth event) otherwise.
+                    match plan.vars.try_get(v) {
+                        Some(Buffer::Real(prev)) if prev.shape() == t.shape() => {
+                            plan.vars
+                                .get_mut(v)
+                                .tensor_mut()
+                                .data_mut()
+                                .copy_from_slice(t.data());
+                        }
+                        _ => {
+                            plan.grows += 1;
+                            plan.vars.insert(v, Buffer::Real(t.clone()));
+                        }
+                    }
                 }
                 Mode::Modeled => {
-                    self.alloc_var(program, graph, vars, v)?;
+                    self.alloc_var(program, graph, plan, v)?;
                 }
             }
         }
@@ -304,7 +395,7 @@ impl Session {
         program: &Program,
         graph: &GraphData,
         params: &mut ParamStore,
-        vars: &mut VarStore,
+        plan: &mut RunPlan,
         phase: Phase,
     ) -> Result<(), OomError> {
         for spec in kernels {
@@ -312,16 +403,16 @@ impl Session {
             match spec {
                 KernelSpec::Gemm(g) => {
                     if let Some(out) = g.op.kind.out_var() {
-                        self.alloc_var(program, graph, vars, out)?;
+                        self.alloc_var(program, graph, plan, out)?;
                     }
                 }
                 KernelSpec::Traversal(t) => {
                     for op in &t.ops {
                         if let Some(out) = op.kind.out_var() {
                             if t.local_vars.contains(&out) {
-                                self.insert_local(program, graph, vars, out);
+                                self.insert_local(program, graph, plan, out);
                             } else {
-                                self.alloc_var(program, graph, vars, out)?;
+                                self.alloc_var(program, graph, plan, out)?;
                             }
                         }
                     }
@@ -331,6 +422,7 @@ impl Session {
             let cost = kernel_cost(spec, program, graph, phase);
             self.device.launch(&cost);
             if self.mode == Mode::Real {
+                let vars = &mut plan.vars;
                 let stats_before = self.pool.as_ref().map(ThreadPool::stats);
                 let grows_before = self.scratch.grows();
                 let start = Instant::now();
@@ -371,8 +463,7 @@ impl Session {
                     }
                     (KernelSpec::Fallback(f), _) => {
                         if let Some(i) = f.prep_index {
-                            let prep = program.preps[i].clone();
-                            params.run_prep(&prep, program);
+                            params.run_prep(&program.preps[i], program);
                         }
                     }
                 }
@@ -417,10 +508,132 @@ impl Session {
         Ok(())
     }
 
+    /// Shared inference core: one forward pass into `plan`.
+    fn infer_core(
+        &mut self,
+        plan: &mut RunPlan,
+        module: &CompiledModule,
+        graph: &GraphData,
+        params: &mut ParamStore,
+        inputs: &Bindings,
+    ) -> Result<RunReport, OomError> {
+        self.device.reset();
+        self.base_allocations(graph, params, false)?;
+        plan.begin(module.forward.vars.len());
+        self.bind_inputs(&module.forward, graph, plan, inputs)?;
+        self.run_kernels(
+            &module.fw_kernels,
+            &module.forward,
+            graph,
+            params,
+            plan,
+            Phase::Forward,
+        )?;
+        Ok(self.report(None))
+    }
+
+    /// Shared training core: forward, NLL loss, backward, prep chain
+    /// rule, optimizer update — all into `plan`.
+    #[allow(clippy::too_many_arguments)]
+    fn train_core(
+        &mut self,
+        plan: &mut RunPlan,
+        module: &CompiledModule,
+        graph: &GraphData,
+        params: &mut ParamStore,
+        inputs: &Bindings,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<RunReport, OomError> {
+        let bw_program = module
+            .backward
+            .as_ref()
+            .expect("module was not compiled for training");
+        self.device.reset();
+        self.base_allocations(graph, params, true)?;
+        params.zero_grads();
+        plan.begin(module.forward.vars.len().max(bw_program.vars.len()));
+        self.bind_inputs(&module.forward, graph, plan, inputs)?;
+        self.run_kernels(
+            &module.fw_kernels,
+            &module.forward,
+            graph,
+            params,
+            plan,
+            Phase::Forward,
+        )?;
+
+        // Loss + output-gradient seeds.
+        let out_var = *module.forward.outputs.first().expect("model has an output");
+        let n_outputs = module.forward.outputs.len();
+        let seeds = &bw_program.inputs[..n_outputs];
+        let mut loss_value = None;
+        let loss_cost = self.loss_cost(&module.forward, graph, out_var);
+        self.device.launch(&loss_cost);
+        match self.mode {
+            Mode::Real => {
+                // The gradient is staged in the plan's reusable buffer
+                // while the logits borrow the store, then copied into
+                // the seed variable once the borrow ends.
+                {
+                    let RunPlan {
+                        vars,
+                        loss_grad,
+                        grows,
+                        ..
+                    } = &mut *plan;
+                    let logits = vars.tensor(out_var);
+                    let need = logits.len();
+                    if loss_grad.len() < need {
+                        loss_grad.resize(need, 0.0);
+                        *grows += 1;
+                    }
+                    loss_value = Some(nll_loss_and_grad_into(
+                        logits,
+                        labels,
+                        &mut loss_grad[..need],
+                    ));
+                }
+                self.alloc_var(bw_program, graph, plan, seeds[0])?;
+                let seed = plan.vars.get_mut(seeds[0]).tensor_mut();
+                let need = seed.len();
+                seed.data_mut().copy_from_slice(&plan.loss_grad[..need]);
+                for &s in &seeds[1..] {
+                    // Multi-output models: zero seed gradients beyond the
+                    // loss-bearing first output.
+                    self.alloc_var(bw_program, graph, plan, s)?;
+                }
+            }
+            Mode::Modeled => {
+                for &s in seeds {
+                    self.alloc_var(bw_program, graph, plan, s)?;
+                }
+            }
+        }
+
+        self.run_kernels(
+            &module.bw_kernels,
+            bw_program,
+            graph,
+            params,
+            plan,
+            Phase::Backward,
+        )?;
+        if self.mode == Mode::Real {
+            params.backprop_preps(&module.forward);
+            optimizer.step(params, &module.forward);
+        }
+        // Prep backward + optimizer run as framework calls.
+        self.device.charge_api_call();
+        Ok(self.report(loss_value))
+    }
+
     /// Runs full-graph inference.
     ///
-    /// Returns the variable store (holding the program outputs) and a
-    /// run report.
+    /// Returns an owned variable store (holding the program outputs) and
+    /// a run report; every buffer is freshly materialised. Training
+    /// loops that care about allocator traffic should prefer
+    /// [`Session::forward`], which reuses the session's run plan.
     ///
     /// # Errors
     ///
@@ -437,24 +650,48 @@ impl Session {
         params: &mut ParamStore,
         inputs: &Bindings,
     ) -> Result<(VarStore, RunReport), OomError> {
-        self.device.reset();
-        self.base_allocations(graph, params, false)?;
-        let mut vars = VarStore::new();
-        self.bind_inputs(&module.forward, graph, &mut vars, inputs)?;
-        self.run_kernels(
-            &module.fw_kernels,
-            &module.forward,
-            graph,
-            params,
-            &mut vars,
-            Phase::Forward,
-        )?;
-        let report = self.report(None);
-        Ok((vars, report))
+        let mut plan = RunPlan::default();
+        let report = self.infer_core(&mut plan, module, graph, params, inputs)?;
+        Ok((plan.vars, report))
+    }
+
+    /// Runs full-graph inference through the session's persistent
+    /// run plan: output tensors are reused across calls (zero-filled
+    /// at run start), so after the first call a sequential forward pass
+    /// performs no heap allocation. Results are bit-identical to
+    /// [`Session::run_inference`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics in real mode if an input binding is missing or mis-shaped.
+    pub fn forward(
+        &mut self,
+        module: &CompiledModule,
+        graph: &GraphData,
+        params: &mut ParamStore,
+        inputs: &Bindings,
+    ) -> Result<(&VarStore, RunReport), OomError> {
+        let mut plan = std::mem::take(&mut self.plan);
+        let grows_before = plan.grows;
+        let res = self.infer_core(&mut plan, module, graph, params, inputs);
+        self.device
+            .record_plan(plan.grows - grows_before, plan.bytes());
+        self.plan = plan;
+        let report = res?;
+        Ok((&self.plan.vars, report))
     }
 
     /// Runs one full-graph training step: forward, NLL loss against
     /// `labels`, backward, prep chain rule, optimizer update.
+    ///
+    /// Returns an owned variable store; every buffer is freshly
+    /// materialised. Training loops should prefer
+    /// [`Session::train_step`], which reuses the session's run plan and
+    /// is allocation-free once warm.
     ///
     /// `labels` may be empty in modeled mode.
     ///
@@ -476,67 +713,46 @@ impl Session {
         labels: &[usize],
         optimizer: &mut dyn Optimizer,
     ) -> Result<(VarStore, RunReport), OomError> {
-        let bw_program = module
-            .backward
-            .as_ref()
-            .expect("module was not compiled for training");
-        self.device.reset();
-        self.base_allocations(graph, params, true)?;
-        params.zero_grads();
-        let mut vars = VarStore::new();
-        self.bind_inputs(&module.forward, graph, &mut vars, inputs)?;
-        self.run_kernels(
-            &module.fw_kernels,
-            &module.forward,
-            graph,
-            params,
-            &mut vars,
-            Phase::Forward,
-        )?;
+        let mut plan = RunPlan::default();
+        let report =
+            self.train_core(&mut plan, module, graph, params, inputs, labels, optimizer)?;
+        Ok((plan.vars, report))
+    }
 
-        // Loss + output-gradient seeds.
-        let out_var = *module.forward.outputs.first().expect("model has an output");
-        let n_outputs = module.forward.outputs.len();
-        let seeds: Vec<VarId> = bw_program.inputs[..n_outputs].to_vec();
-        let mut loss_value = None;
-        let loss_cost = self.loss_cost(&module.forward, graph, out_var);
-        self.device.launch(&loss_cost);
-        match self.mode {
-            Mode::Real => {
-                let logits = vars.tensor(out_var).clone();
-                let LossResult { loss, grad } = nll_loss_and_grad(&logits, labels);
-                loss_value = Some(loss);
-                self.device.alloc(grad.byte_size(), "d_logits")?;
-                vars.insert(seeds[0], Buffer::Real(grad));
-                for &s in &seeds[1..] {
-                    // Multi-output models: zero seed gradients beyond the
-                    // loss-bearing first output.
-                    self.alloc_var(bw_program, graph, &mut vars, s)?;
-                }
-            }
-            Mode::Modeled => {
-                for &s in &seeds {
-                    self.alloc_var(bw_program, graph, &mut vars, s)?;
-                }
-            }
-        }
-
-        self.run_kernels(
-            &module.bw_kernels,
-            bw_program,
-            graph,
-            params,
-            &mut vars,
-            Phase::Backward,
-        )?;
-        if self.mode == Mode::Real {
-            params.backprop_preps(&module.forward);
-            optimizer.step(params, &module.forward);
-        }
-        // Prep backward + optimizer run as framework calls.
-        self.device.charge_api_call();
-        let report = self.report(loss_value);
-        Ok((vars, report))
+    /// Runs one training step through the session's persistent
+    /// run plan: output/gradient tensors, the loss staging buffer,
+    /// and the scratch arena are all reused, so after the first step a
+    /// sequential training loop performs **zero** heap allocations
+    /// (pinned by `tests/run_alloc.rs`; the parallel executor still
+    /// allocates O(chunks) transients per kernel). Results are
+    /// bit-identical to [`Session::run_training_step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module was not compiled with training enabled, or in
+    /// real mode if labels/bindings are inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step(
+        &mut self,
+        module: &CompiledModule,
+        graph: &GraphData,
+        params: &mut ParamStore,
+        inputs: &Bindings,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<(&VarStore, RunReport), OomError> {
+        let mut plan = std::mem::take(&mut self.plan);
+        let grows_before = plan.grows;
+        let res = self.train_core(&mut plan, module, graph, params, inputs, labels, optimizer);
+        self.device
+            .record_plan(plan.grows - grows_before, plan.bytes());
+        self.plan = plan;
+        let report = res?;
+        Ok((&self.plan.vars, report))
     }
 
     fn loss_cost(&self, program: &Program, graph: &GraphData, out: VarId) -> KernelCost {

@@ -122,6 +122,13 @@ impl VarStore {
     pub fn remove(&mut self, v: VarId) -> Option<Buffer> {
         self.bufs.remove(&v)
     }
+
+    /// Total bytes held across all buffers (real payloads and modeled
+    /// footprints alike).
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.bufs.values().map(Buffer::byte_size).sum()
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@
 //!   template uses to fetch operands "on the fly" instead of materialising
 //!   copies ([`Tensor::gather_rows`], [`Tensor::scatter_add_rows`]),
 //! * the elementwise / reduction helpers needed by message passing
-//!   (leaky ReLU, exponentials, per-row dot products, outer products, …).
+//!   (leaky ReLU, exponentials, per-row dot products, outer products, …),
+//! * the register-blocked [`microkernel`]s every dense inner loop above
+//!   (and the interpreter's GEMM rows) funnels through.
 //!
 //! Everything is deterministic and CPU-only: Hector's simulated GPU executes
 //! kernels functionally through this crate while a separate cost model
@@ -34,11 +36,13 @@
 
 #![warn(missing_docs)]
 
+pub mod microkernel;
 mod ops;
 mod random;
 pub mod segment;
 mod tensor;
 
+pub use ops::matmul_into;
 pub use random::{seeded_rng, xavier_uniform};
 pub use tensor::{Tensor, TensorError};
 

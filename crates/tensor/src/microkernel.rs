@@ -1,0 +1,341 @@
+//! Register-blocked GEMM microkernels.
+//!
+//! Every dense inner loop in Hector — the interpreter's `TypedLinear`
+//! rows, its weight-gradient outer products, and the tensor-level
+//! `matmul` family — funnels through the three kernels here. They
+//! process the weight slab in `f32x8`-style column panels with a small
+//! accumulator array the compiler keeps in vector registers, instead of
+//! streaming partial sums through the output buffer: the scalar loops
+//! re-load and re-store `y` once per input element, while the blocked
+//! loops touch memory once per panel. A scalar tail loop handles
+//! dimensions that are not a multiple of the lane width.
+//!
+//! # Bit-identity contract
+//!
+//! Blocked and scalar kernels produce **bit-identical** results: for
+//! every output element the floating-point contributions are added in
+//! the same order (ascending input index). Blocking only changes
+//! *which* outputs advance together, never the per-output association
+//! order — so the sequential/parallel executor equivalence and the
+//! blocked/scalar equivalence (pinned by `tests/simd_gemm.rs` proptests
+//! over ragged dims) both hold exactly.
+//!
+//! # Zero-skip gate
+//!
+//! All kernels accept a `skip_zero_x` flag mirroring the interpreter's
+//! finiteness gate: skipping a zero input element is only IEEE-sound
+//! when the corresponding weight panel holds no `inf`/`NaN` (`0 × inf`
+//! must produce `NaN`). Callers decide the flag once per slab (or per
+//! `dy` row), never per element.
+
+/// SIMD lane width the panels are built from (`f32x8`, one AVX2
+/// register; narrower ISAs split each panel into several registers).
+pub const LANES: usize = 8;
+
+/// Column panels held live per register block: `PANELS × LANES`
+/// accumulators fill a small register file's worth of vector registers
+/// while still leaving room for the broadcast multiplier and the weight
+/// panel itself.
+pub const PANELS: usize = 4;
+
+/// Main-block width in columns.
+pub const BLOCK: usize = LANES * PANELS;
+
+/// One register-blocked panel of `y += x · W`: accumulates columns
+/// `[j, j + W)` of every weight row into a register array seeded from
+/// `y`, then stores the panel back once.
+#[inline]
+fn gemm_panel<const W: usize>(
+    x: &[f32],
+    slab: &[f32],
+    wcols: usize,
+    j: usize,
+    skip_zero_x: bool,
+    y: &mut [f32],
+) {
+    let mut acc = [0.0f32; W];
+    acc.copy_from_slice(&y[j..j + W]);
+    for (row, &xv) in slab.chunks_exact(wcols).zip(x) {
+        if xv == 0.0 && skip_zero_x {
+            continue;
+        }
+        let w: &[f32; W] = row[j..j + W].try_into().expect("panel width");
+        for (a, &wv) in acc.iter_mut().zip(w) {
+            *a += xv * wv;
+        }
+    }
+    y[j..j + W].copy_from_slice(&acc);
+}
+
+/// Blocked `y += x · W` where `W` is `[x.len(), wcols]` row-major and
+/// `y` is `wcols` wide. Per-output contributions are added in ascending
+/// input index — bit-identical to [`gemm_row_scalar`].
+///
+/// # Panics
+///
+/// Panics if `y.len() != wcols` or the slab is shorter than
+/// `x.len() * wcols`.
+pub fn gemm_row_blocked(x: &[f32], slab: &[f32], wcols: usize, skip_zero_x: bool, y: &mut [f32]) {
+    assert_eq!(y.len(), wcols, "output width must equal weight columns");
+    assert!(slab.len() >= x.len() * wcols, "weight slab too short");
+    let mut j = 0;
+    while j + BLOCK <= wcols {
+        gemm_panel::<BLOCK>(x, slab, wcols, j, skip_zero_x, y);
+        j += BLOCK;
+    }
+    while j + LANES <= wcols {
+        gemm_panel::<LANES>(x, slab, wcols, j, skip_zero_x, y);
+        j += LANES;
+    }
+    // Scalar tail for dims not a multiple of the lane width.
+    for jj in j..wcols {
+        let mut acc = y[jj];
+        for (row, &xv) in slab.chunks_exact(wcols).zip(x) {
+            if xv == 0.0 && skip_zero_x {
+                continue;
+            }
+            acc += xv * row[jj];
+        }
+        y[jj] = acc;
+    }
+}
+
+/// Scalar reference for [`gemm_row_blocked`]: the pre-blocking axpy loop
+/// (kept for the bit-identity proptests and the `simd_gemm` bench
+/// baseline).
+pub fn gemm_row_scalar(x: &[f32], slab: &[f32], wcols: usize, skip_zero_x: bool, y: &mut [f32]) {
+    assert_eq!(y.len(), wcols, "output width must equal weight columns");
+    if wcols == 0 {
+        return;
+    }
+    for (&xv, row) in x.iter().zip(slab.chunks_exact(wcols)) {
+        if xv == 0.0 && skip_zero_x {
+            continue;
+        }
+        for (yj, &wv) in y.iter_mut().zip(row) {
+            *yj += xv * wv;
+        }
+    }
+}
+
+/// Blocked `y = x · Wᵀ` where `W` is `[y.len(), wcols]` row-major and
+/// `x` is `wcols` wide: `LANES` independent row dots advance together,
+/// each accumulating in ascending `p` — bit-identical to the serial dot
+/// per output of [`gemm_row_tb_scalar`]. Overwrites `y`.
+///
+/// # Panics
+///
+/// Panics if the slab is shorter than `y.len() * wcols`.
+pub fn gemm_row_tb_blocked(x: &[f32], slab: &[f32], wcols: usize, y: &mut [f32]) {
+    assert_eq!(x.len(), wcols, "input width must equal weight columns");
+    assert!(slab.len() >= y.len() * wcols, "weight slab too short");
+    if wcols == 0 {
+        // Zero-length dots: every output is the empty sum.
+        y.fill(0.0);
+        return;
+    }
+    const TB_ROWS: usize = 4;
+    let panels = y.chunks_exact_mut(TB_ROWS);
+    let done = panels.len() * TB_ROWS;
+    for (ypanel, wpanel) in panels.zip(slab.chunks_exact(wcols * TB_ROWS)) {
+        // Four independent row dots advance together: each keeps its
+        // serial accumulation order over `p`, while the shared `x[p]`
+        // load and the four FMA chains overlap in flight.
+        let (r0, rest) = wpanel.split_at(wcols);
+        let (r1, rest) = rest.split_at(wcols);
+        let (r2, r3) = rest.split_at(wcols);
+        let mut acc = [0.0f32; TB_ROWS];
+        for ((((&xv, &w0), &w1), &w2), &w3) in x.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+            acc[0] += xv * w0;
+            acc[1] += xv * w1;
+            acc[2] += xv * w2;
+            acc[3] += xv * w3;
+        }
+        ypanel.copy_from_slice(&acc);
+    }
+    for (yj, row) in y[done..]
+        .iter_mut()
+        .zip(slab[done * wcols..].chunks_exact(wcols))
+    {
+        *yj = x
+            .iter()
+            .zip(row)
+            .fold(0.0f32, |acc, (&xv, &wv)| acc + xv * wv);
+    }
+}
+
+/// Scalar reference for [`gemm_row_tb_blocked`]: one serial dot per
+/// output.
+pub fn gemm_row_tb_scalar(x: &[f32], slab: &[f32], wcols: usize, y: &mut [f32]) {
+    if wcols == 0 {
+        y.fill(0.0);
+        return;
+    }
+    for (yj, row) in y.iter_mut().zip(slab.chunks_exact(wcols)) {
+        *yj = x
+            .iter()
+            .zip(row)
+            .fold(0.0f32, |acc, (&xv, &wv)| acc + xv * wv);
+    }
+}
+
+/// One register-panelled axpy `row += xv * dy`: the panels move through
+/// fixed-size register arrays (`try_into` proves the width to the
+/// compiler, so the multiply-accumulate carries no bounds checks), with
+/// a scalar tail for ragged widths.
+#[inline]
+fn axpy_panels(xv: f32, dy: &[f32], row: &mut [f32]) {
+    let mut rp = row.chunks_exact_mut(LANES);
+    let mut dp = dy.chunks_exact(LANES);
+    for (r, d) in (&mut rp).zip(&mut dp) {
+        let r: &mut [f32; LANES] = r.try_into().expect("panel width");
+        let d: &[f32; LANES] = d.try_into().expect("panel width");
+        for (rv, &dv) in r.iter_mut().zip(d) {
+            *rv += xv * dv;
+        }
+    }
+    for (rv, &dv) in rp.into_remainder().iter_mut().zip(dp.remainder()) {
+        *rv += xv * dv;
+    }
+}
+
+/// Blocked outer-product accumulate `slab += x ⊗ dy` (`slab` is
+/// `[x.len(), dy.len()]` row-major): each slab row streams through
+/// memory exactly once (the cache-friendly order — column-panel-outer
+/// layouts re-walk the whole slab per panel and lose badly once the
+/// slab outgrows L1) while the arithmetic runs in register panels.
+/// Each slab element receives exactly one contribution per call, so the
+/// result is trivially bit-identical to [`outer_accum_scalar`].
+///
+/// # Panics
+///
+/// Panics if the slab is shorter than `x.len() * dy.len()`.
+pub fn outer_accum_blocked(x: &[f32], dy: &[f32], slab: &mut [f32], skip_zero_x: bool) {
+    let n = dy.len();
+    assert!(slab.len() >= x.len() * n, "gradient slab too short");
+    if n == 0 {
+        return;
+    }
+    for (&xv, row) in x.iter().zip(slab.chunks_exact_mut(n)) {
+        if xv == 0.0 && skip_zero_x {
+            continue;
+        }
+        axpy_panels(xv, dy, row);
+    }
+}
+
+/// Scalar reference for [`outer_accum_blocked`]: one axpy per slab row.
+pub fn outer_accum_scalar(x: &[f32], dy: &[f32], slab: &mut [f32], skip_zero_x: bool) {
+    let n = dy.len();
+    if n == 0 {
+        return;
+    }
+    for (&xv, row) in x.iter().zip(slab.chunks_exact_mut(n)) {
+        if xv == 0.0 && skip_zero_x {
+            continue;
+        }
+        for (g, &dv) in row.iter_mut().zip(dy) {
+            *g += xv * dv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize, seed: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 * 0.37 + seed).sin() * 2.0) - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_scalar_across_ragged_dims() {
+        for &k in &[1usize, 3, 8, 17] {
+            for &n in &[1usize, 7, 8, 9, 31, 32, 33, 40, 64] {
+                let x = pattern(k, 0.1);
+                let w = pattern(k * n, 0.7);
+                let mut yb = vec![0.25f32; n];
+                let mut ys = yb.clone();
+                gemm_row_blocked(&x, &w, n, true, &mut yb);
+                gemm_row_scalar(&x, &w, n, true, &mut ys);
+                assert_eq!(yb, ys, "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_blocked_matches_scalar() {
+        for &rows in &[1usize, 7, 8, 9, 16, 33] {
+            for &k in &[1usize, 5, 32] {
+                let x = pattern(k, 0.4);
+                let w = pattern(rows * k, 0.9);
+                let mut yb = vec![0.0f32; rows];
+                let mut ys = yb.clone();
+                gemm_row_tb_blocked(&x, &w, k, &mut yb);
+                gemm_row_tb_scalar(&x, &w, k, &mut ys);
+                assert_eq!(yb, ys, "rows={rows} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn outer_blocked_matches_scalar() {
+        for &m in &[1usize, 4, 9] {
+            for &n in &[1usize, 7, 8, 33] {
+                let mut x = pattern(m, 0.2);
+                if m > 2 {
+                    x[2] = 0.0; // exercise the zero-skip
+                }
+                let dy = pattern(n, 0.6);
+                let mut gb = pattern(m * n, 1.3);
+                let mut gs = gb.clone();
+                outer_accum_blocked(&x, &dy, &mut gb, true);
+                outer_accum_scalar(&x, &dy, &mut gs, true);
+                assert_eq!(gb, gs, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_skip_gate_preserves_nan_when_disabled() {
+        // 0 × inf must be NaN when the gate says the slab is not finite.
+        let x = [0.0f32, 1.0];
+        let w = [f32::INFINITY, 2.0, 3.0, 4.0];
+        let mut y = [0.0f32; 2];
+        gemm_row_blocked(&x, &w, 2, false, &mut y);
+        assert!(y[0].is_nan());
+        // With the gate on (finite slab claim), the zero row is skipped.
+        let mut y2 = [0.0f32; 2];
+        gemm_row_blocked(&x, &w, 2, true, &mut y2);
+        assert_eq!(y2, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_width_dims_are_empty_sums_not_panics() {
+        // wcols == 0: every kernel degenerates to the empty sum (the
+        // pre-blocking loop-based code returned zeros here too).
+        let mut y = [1.0f32; 3];
+        gemm_row_tb_blocked(&[], &[], 0, &mut y);
+        assert_eq!(y, [0.0; 3]);
+        let mut y = [1.0f32; 3];
+        gemm_row_tb_scalar(&[], &[], 0, &mut y);
+        assert_eq!(y, [0.0; 3]);
+        let mut empty: [f32; 0] = [];
+        gemm_row_blocked(&[1.0], &[], 0, true, &mut empty);
+        gemm_row_scalar(&[1.0], &[], 0, true, &mut empty);
+        let mut slab: [f32; 0] = [];
+        outer_accum_blocked(&[1.0], &[], &mut slab, true);
+        outer_accum_scalar(&[1.0], &[], &mut slab, true);
+    }
+
+    #[test]
+    fn accumulates_into_preexisting_y() {
+        let x = [1.0f32];
+        let w = [2.0f32, 3.0];
+        let mut y = [10.0f32, 20.0];
+        gemm_row_blocked(&x, &w, 2, true, &mut y);
+        assert_eq!(y, [12.0, 23.0]);
+    }
+}

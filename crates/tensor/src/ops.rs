@@ -1,7 +1,13 @@
 //! Dense operations on [`Tensor`]: GEMM variants, elementwise math,
 //! reductions, gather/scatter, and the small vector helpers RGNN message
 //! passing needs.
+//!
+//! The GEMM family (`matmul`, `matmul_tb`, `matmul_ta`, `bmm`) runs on
+//! the register-blocked [`crate::microkernel`]s; blocking never changes
+//! a per-output accumulation order, so results are bit-identical to the
+//! scalar loops they replaced.
 
+use crate::microkernel::{gemm_row_blocked, gemm_row_tb_blocked, outer_accum_blocked};
 use crate::Tensor;
 
 impl Tensor {
@@ -36,16 +42,15 @@ impl Tensor {
         let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
         assert_eq!(k, k2, "matmul_tb inner dimensions must agree");
         let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            let xi = self.row(i);
-            for j in 0..n {
-                let wj = rhs.row(j);
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += xi[p] * wj[p];
-                }
-                out.data_mut()[i * n + j] = acc;
-            }
+        if k == 0 || n == 0 {
+            return out;
+        }
+        for (xi, orow) in self
+            .data()
+            .chunks_exact(k)
+            .zip(out.data_mut().chunks_exact_mut(n))
+        {
+            gemm_row_tb_blocked(xi, rhs.data(), k, orow);
         }
         out
     }
@@ -66,18 +71,10 @@ impl Tensor {
         let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
         assert_eq!(k, k2, "matmul_ta inner dimensions must agree");
         let mut out = Tensor::zeros(&[m, n]);
+        // One rank-1 update per shared row: the blocked outer-product
+        // kernel accumulates each, in ascending `p` per output element.
         for p in 0..k {
-            let xp = self.row(p);
-            let yp = rhs.row(p);
-            for (i, &xv) in xp.iter().enumerate() {
-                if xv == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data_mut()[i * n..(i + 1) * n];
-                for (o, &yv) in orow.iter_mut().zip(yp) {
-                    *o += xv * yv;
-                }
-            }
+            outer_accum_blocked(self.row(p), rhs.row(p), out.data_mut(), true);
         }
         out
     }
@@ -389,26 +386,25 @@ impl Tensor {
     }
 }
 
-/// Tiled inner GEMM used by [`Tensor::matmul`] and [`Tensor::bmm`].
+/// Inner GEMM used by [`Tensor::matmul`] and [`Tensor::bmm`]:
+/// accumulates `out += x · w` row by row through the register-blocked
+/// microkernel. Zero input elements are skipped (the historical
+/// semantics of this function — callers with non-finite weights should
+/// not rely on `0 × inf` here; the interpreter's gated entry point is
+/// `hector-runtime`'s `gemm_row_into`).
 ///
-/// The `ikj` loop order with a restricted row slice keeps this reasonably
-/// fast without external BLAS, which matters for the functional test runs.
-pub(crate) fn matmul_into(x: &[f32], w: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(x.len(), m * k);
-    debug_assert_eq!(w.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let orow = &mut out[i * n..(i + 1) * n];
-        for p in 0..k {
-            let xv = x[i * k + p];
-            if xv == 0.0 {
-                continue;
-            }
-            let wrow = &w[p * n..(p + 1) * n];
-            for j in 0..n {
-                orow[j] += xv * wrow[j];
-            }
-        }
+/// # Panics
+///
+/// Panics if the slices disagree with `m`/`k`/`n`.
+pub fn matmul_into(x: &[f32], w: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(x.len(), m * k);
+    assert_eq!(w.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    if k == 0 || n == 0 {
+        return;
+    }
+    for (xrow, orow) in x.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        gemm_row_blocked(xrow, w, n, true, orow);
     }
 }
 

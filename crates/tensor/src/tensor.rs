@@ -61,6 +61,18 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+impl Default for Tensor {
+    /// An empty rank-0 placeholder (no storage, no heap allocation) —
+    /// what `std::mem::take` leaves behind while a store computes into a
+    /// temporarily detached tensor.
+    fn default() -> Self {
+        Tensor {
+            shape: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+}
+
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let preview: Vec<f32> = self.data.iter().copied().take(8).collect();

@@ -1,0 +1,148 @@
+//! SIMD tail handling: blocked and scalar GEMM microkernels must be
+//! **bit-identical** — per-output accumulation order never changes, only
+//! the register layout — including at dimensions that are not a multiple
+//! of the lane width (scalar-tail coverage at 1, 7, 9, 31, 33) and for
+//! non-finite weight slabs flowing through the zero-skip gate.
+
+use hector_tensor::microkernel::{
+    gemm_row_blocked, gemm_row_scalar, gemm_row_tb_blocked, gemm_row_tb_scalar,
+    outer_accum_blocked, outer_accum_scalar, BLOCK, LANES,
+};
+use proptest::prelude::*;
+
+/// The lane-ragged dims the satellite spec pins, plus panel-aligned
+/// sizes so both the main blocks and the tails get coverage.
+const DIMS: &[usize] = &[1, 7, 9, 31, 33, LANES, BLOCK, 2 * BLOCK];
+const RAGGED_DIMS: &[usize] = &[1, 7, 9, 31, 33];
+
+/// Strategy: an index pair into [`DIMS`].
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (0..DIMS.len(), 0..DIMS.len()).prop_map(|(i, j)| (DIMS[i], DIMS[j]))
+}
+
+proptest! {
+    #[test]
+    fn blocked_gemm_row_is_bit_identical_to_scalar(
+        (k, n) in dims(),
+        seed in 0u32..1000,
+    ) {
+        let (x, w) = deterministic_inputs(k, n, seed);
+        for skip in [false, true] {
+            let mut yb = vec![0.5f32; n];
+            let mut ys = yb.clone();
+            gemm_row_blocked(&x, &w, n, skip, &mut yb);
+            gemm_row_scalar(&x, &w, n, skip, &mut ys);
+            prop_assert_eq!(bits(&yb), bits(&ys), "k={} n={} skip={}", k, n, skip);
+        }
+    }
+
+    #[test]
+    fn blocked_tb_is_bit_identical_to_scalar(
+        (k, rows) in dims(),
+        seed in 0u32..1000,
+    ) {
+        let (_, w) = deterministic_inputs(rows, k, seed);
+        let x: Vec<f32> = (0..k).map(|i| ((i as f32) * 0.7 + seed as f32 * 0.01).cos()).collect();
+        let mut yb = vec![0.0f32; rows];
+        let mut ys = yb.clone();
+        gemm_row_tb_blocked(&x, &w[..rows * k], k, &mut yb);
+        gemm_row_tb_scalar(&x, &w[..rows * k], k, &mut ys);
+        prop_assert_eq!(bits(&yb), bits(&ys), "rows={} k={}", rows, k);
+    }
+
+    #[test]
+    fn blocked_outer_is_bit_identical_to_scalar(
+        (m, n) in dims(),
+        seed in 0u32..1000,
+    ) {
+        let (x, base) = deterministic_inputs(m, n, seed);
+        let dy: Vec<f32> = (0..n).map(|j| base[j] * 0.5 - 0.1).collect();
+        for skip in [false, true] {
+            let mut gb = base.clone();
+            let mut gs = base.clone();
+            outer_accum_blocked(&x, &dy, &mut gb, skip);
+            outer_accum_scalar(&x, &dy, &mut gs, skip);
+            prop_assert_eq!(bits(&gb), bits(&gs), "m={} n={} skip={}", m, n, skip);
+        }
+    }
+
+    #[test]
+    fn nonfinite_slabs_agree_through_the_gate(
+        (k, n) in dims(),
+        poison_at in 0usize..4096,
+        poison_inf in 0u8..2,
+    ) {
+        // A slab with an injected inf/NaN: with the skip gate OFF (the
+        // caller detected non-finiteness) blocked and scalar must
+        // propagate the identical NaN pattern; zeros in x must NOT hide
+        // it (0 × inf = NaN).
+        let (x, _) = deterministic_inputs(k, n, 17);
+        let mut w = vec![1.0f32; k * n];
+        let poison = poison_at % (k * n);
+        w[poison] = if poison_inf == 0 { f32::INFINITY } else { f32::NAN };
+        let mut yb = vec![0.0f32; n];
+        let mut ys = vec![0.0f32; n];
+        gemm_row_blocked(&x, &w, n, false, &mut yb);
+        gemm_row_scalar(&x, &w, n, false, &mut ys);
+        prop_assert_eq!(bits(&yb), bits(&ys), "k={} n={}", k, n);
+        // And the finiteness contract itself: if the poisoned weight row
+        // meets a zero input element with the gate off, the output must
+        // be NaN there (0 × inf / 0 × NaN), never silently skipped.
+        if x[poison / n] == 0.0 {
+            prop_assert!(
+                yb[poison % n].is_nan(),
+                "0 × non-finite must poison, got {}",
+                yb[poison % n]
+            );
+        }
+    }
+}
+
+/// Deterministic pseudo-random inputs: x is k wide with one injected
+/// zero (exercising the skip path), w is k×n.
+fn deterministic_inputs(k: usize, n: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
+    let f = |i: usize, s: f32| ((i as f32).mul_add(0.618, s).sin() * 2.5) - 0.3;
+    let mut x: Vec<f32> = (0..k).map(|i| f(i, seed as f32 * 0.01)).collect();
+    if k > 2 {
+        x[seed as usize % k] = 0.0;
+    }
+    let w: Vec<f32> = (0..k * n).map(|i| f(i, 1.7 + seed as f32 * 0.02)).collect();
+    (x, w)
+}
+
+/// Bit patterns of a float slice — equality on these is exact
+/// bit-identity (NaN payloads included), not `==` (which NaN fails).
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The exact dims the satellite spec names, as a plain (non-proptest)
+/// exhaustive check: every (k, n) pair from {1, 7, 9, 31, 33}² through
+/// all three kernels.
+#[test]
+fn ragged_dim_matrix_is_bit_identical() {
+    for &k in RAGGED_DIMS {
+        for &n in RAGGED_DIMS {
+            let (x, w) = deterministic_inputs(k, n, 42);
+            let mut yb = vec![0.0f32; n];
+            let mut ys = vec![0.0f32; n];
+            gemm_row_blocked(&x, &w, n, true, &mut yb);
+            gemm_row_scalar(&x, &w, n, true, &mut ys);
+            assert_eq!(bits(&yb), bits(&ys), "k={k} n={n}");
+
+            let xn: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let mut tb = vec![0.0f32; k];
+            let mut ts = vec![0.0f32; k];
+            gemm_row_tb_blocked(&xn, &w[..k * n], n, &mut tb);
+            gemm_row_tb_scalar(&xn, &w[..k * n], n, &mut ts);
+            assert_eq!(bits(&tb), bits(&ts), "tb k={k} n={n}");
+
+            let dy: Vec<f32> = (0..n).map(|i| (i as f32 * 0.9).sin() + 0.2).collect();
+            let mut gb = w.clone();
+            let mut gs = w.clone();
+            outer_accum_blocked(&x, &dy, &mut gb, true);
+            outer_accum_scalar(&x, &dy, &mut gs, true);
+            assert_eq!(bits(&gb), bits(&gs), "outer k={k} n={n}");
+        }
+    }
+}

@@ -99,7 +99,7 @@ pub mod strategy {
             FlatMap { source: self, f }
         }
 
-        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        /// Type-erases the strategy (used by `prop_oneof!`).
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
             Self: Sized + 'static,
@@ -166,7 +166,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed strategies (backs [`prop_oneof!`]).
+    /// Uniform choice between boxed strategies (backs `prop_oneof!`).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -300,7 +300,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification accepted by [`vec`]: an exact length or a range.
+    /// Length specification accepted by [`vec()`]: an exact length or a range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -335,7 +335,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -1,0 +1,191 @@
+//! Whole runs are allocation-free once warm — the per-*run* extension of
+//! the per-*pass* invariant in `tests/interp_alloc.rs`.
+//!
+//! The same counting global allocator wraps `System` for this binary.
+//! `Session::forward` / `Session::train_step` route every run through
+//! the session's persistent `RunPlan`: output/gradient tensors, the loss
+//! staging buffer, and the scratch arena are materialised on the first
+//! call and reused (zero-filled) afterwards, so after step 1 a
+//! sequential training loop performs **exactly zero** heap allocation
+//! events — not merely row-invariant, zero. The sessions are pinned to
+//! `num_threads = 1`: the parallel executor intentionally allocates
+//! O(chunks) transients per kernel.
+
+use hector::prelude::*;
+use hector_bench::alloc_counter::{alloc_events, CountingAlloc};
+use hector_tensor::seeded_rng;
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn graph() -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "run_alloc".into(),
+        num_nodes: 120,
+        num_node_types: 3,
+        num_edges: 960,
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed: 77,
+    }))
+}
+
+fn sequential_session() -> Session {
+    Session::with_parallel(
+        DeviceConfig::rtx3090(),
+        Mode::Real,
+        ParallelConfig::sequential(),
+    )
+}
+
+#[test]
+fn warm_train_steps_allocate_nothing() {
+    for kind in ModelKind::all() {
+        for use_adam in [false, true] {
+            let graph = graph();
+            let module =
+                hector::compile_model(kind, 16, 16, &CompileOptions::best().with_training(true));
+            let mut rng = seeded_rng(5);
+            let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+            let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+            let labels: Vec<usize> = (0..graph.graph().num_nodes()).map(|i| i % 4).collect();
+            let mut sgd = Sgd::new(0.01);
+            let mut adam = Adam::new(0.01);
+            let opt: &mut dyn Optimizer = if use_adam { &mut adam } else { &mut sgd };
+            let mut session = sequential_session();
+
+            // Step 1 materialises the plan (and Adam's moments).
+            let (_, first) = session
+                .train_step(&module, &graph, &mut params, &bindings, &labels, opt)
+                .expect("first step fits");
+            assert!(first.loss.is_some());
+
+            let before = alloc_events();
+            let mut last_loss = f32::INFINITY;
+            for _ in 0..5 {
+                let (_, report) = session
+                    .train_step(&module, &graph, &mut params, &bindings, &labels, opt)
+                    .expect("warm step fits");
+                last_loss = report.loss.expect("real-mode training reports loss");
+            }
+            let allocs = alloc_events() - before;
+            assert_eq!(
+                allocs,
+                0,
+                "{} ({}): warm train_step must perform zero heap allocations, saw {allocs}",
+                kind.name(),
+                if use_adam { "adam" } else { "sgd" },
+            );
+            assert!(
+                last_loss.is_finite(),
+                "{}: training must stay finite",
+                kind.name()
+            );
+
+            // The device counters corroborate: no plan growth after warm-up.
+            let s = *session.device().counters().scratch();
+            assert_eq!(
+                s.plan_grows,
+                0,
+                "{}: warm plan must not grow: {s:?}",
+                kind.name()
+            );
+            assert!(s.plan_bytes > 0, "plan footprint should be visible");
+        }
+    }
+}
+
+#[test]
+fn warm_forward_allocates_nothing() {
+    for kind in ModelKind::all() {
+        let graph = graph();
+        let module = hector::compile_model(kind, 16, 16, &CompileOptions::best());
+        let mut rng = seeded_rng(6);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+        let mut session = sequential_session();
+        session
+            .forward(&module, &graph, &mut params, &bindings)
+            .expect("warm-up forward fits");
+        let before = alloc_events();
+        for _ in 0..5 {
+            session
+                .forward(&module, &graph, &mut params, &bindings)
+                .expect("warm forward fits");
+        }
+        let allocs = alloc_events() - before;
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warm forward must perform zero heap allocations, saw {allocs}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn plan_reuse_is_bit_identical_to_fresh_stores() {
+    for kind in ModelKind::all() {
+        let graph = graph();
+        let module =
+            hector::compile_model(kind, 16, 16, &CompileOptions::best().with_training(true));
+        let labels: Vec<usize> = (0..graph.graph().num_nodes()).map(|i| i % 4).collect();
+
+        // Fresh-store path.
+        let mut rng = seeded_rng(9);
+        let mut params_a = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+        let mut sa = sequential_session();
+        let mut opt_a = Adam::new(0.01);
+        let mut fresh_losses = Vec::new();
+        for _ in 0..4 {
+            let (_, r) = sa
+                .run_training_step(
+                    &module,
+                    &graph,
+                    &mut params_a,
+                    &bindings,
+                    &labels,
+                    &mut opt_a,
+                )
+                .unwrap();
+            fresh_losses.push(r.loss.unwrap());
+        }
+        let (fresh_vars, _) = sa
+            .run_inference(&module, &graph, &mut params_a, &bindings)
+            .unwrap();
+
+        // Plan-reuse path from identical seeds.
+        let mut rng = seeded_rng(9);
+        let mut params_b = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings_b = Bindings::standard(&module.forward, &graph, &mut rng);
+        let mut sb = sequential_session();
+        let mut opt_b = Adam::new(0.01);
+        let mut plan_losses = Vec::new();
+        for _ in 0..4 {
+            let (_, r) = sb
+                .train_step(
+                    &module,
+                    &graph,
+                    &mut params_b,
+                    &bindings_b,
+                    &labels,
+                    &mut opt_b,
+                )
+                .unwrap();
+            plan_losses.push(r.loss.unwrap());
+        }
+        assert_eq!(fresh_losses, plan_losses, "{}", kind.name());
+        let out = module.forward.outputs[0];
+        let (plan_vars, _) = sb
+            .forward(&module, &graph, &mut params_b, &bindings_b)
+            .unwrap();
+        assert_eq!(
+            fresh_vars.tensor(out).data(),
+            plan_vars.tensor(out).data(),
+            "{}: plan-reuse outputs must be bit-identical",
+            kind.name()
+        );
+    }
+}
