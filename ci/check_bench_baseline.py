@@ -52,6 +52,15 @@ def main() -> int:
     for row, metrics in sorted(bench.get("simd_gemm", {}).items()):
         print(f"info {row}: speedup {metrics.get('speedup', 'n/a')}")
 
+    # Informational: engine/module-cache reuse wins (wall clock never
+    # gates; the bench itself asserts the deterministic hit/miss shape).
+    for row, metrics in sorted(bench.get("engine_reuse", {}).items()):
+        print(
+            f"info engine_reuse {row}: cold {metrics.get('cold_build_us', 'n/a')}us"
+            f" -> cached {metrics.get('cached_build_us', 'n/a')}us"
+            f" (hits {metrics.get('cache_hits', 'n/a')})"
+        )
+
     if failed:
         print("perf-regression: allocation baseline exceeded")
         return 1

@@ -1,0 +1,115 @@
+//! engine_reuse: what the `Engine` handle and the process-wide module
+//! cache buy, measured three ways per model:
+//!
+//! * `cold_build_us` — `EngineBuilder::build` with an empty module
+//!   cache: the full compiler pipeline runs (reorder, compaction,
+//!   backward generation, lowering, codegen).
+//! * `cached_build_us` — the identical build again: the module comes
+//!   out of the `ModuleCache` (`was_cache_hit`), so the only work is
+//!   source construction, fingerprinting, and session assembly. This is
+//!   the cost a stacked-model sweep or the autotuner's thread axis pays
+//!   per extra engine.
+//! * `rebind_us` — `bind` + `forward` on one persistent engine across
+//!   several distinct graphs: module, session, scratch arena, and run
+//!   plan all survive; only parameters/inputs re-derive.
+//!
+//! With `HECTOR_BENCH_JSON=<path>` the rows are written as a JSON
+//! fragment for the perf-regression lane's artifact (wall-clock fields
+//! are informational — the lane never gates on them — but
+//! `cache_hits`/`cache_misses` are deterministic).
+
+use std::time::Instant;
+
+use hector::prelude::*;
+use hector_bench::json::JsonWriter;
+use hector_bench::{banner, scale};
+
+const DIMS: usize = 32;
+
+fn graph(seed: u64, s: f64) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: format!("engine_reuse_{seed}"),
+        num_nodes: ((2_000f64 * s) as usize).max(48),
+        num_node_types: 3,
+        num_edges: ((16_000f64 * s) as usize).max(192),
+        num_edge_types: 6,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed,
+    }))
+}
+
+fn builder(kind: ModelKind) -> EngineBuilder {
+    EngineBuilder::new(kind)
+        .dims(DIMS, DIMS)
+        .options(CompileOptions::best().with_training(true))
+        .parallel(ParallelConfig::sequential())
+        .seed(3)
+}
+
+fn main() {
+    let s = scale();
+    banner("engine_reuse: cold build vs cached rebuild vs rebind", s);
+    let graphs: Vec<GraphData> = (0..3).map(|i| graph(90 + i, s)).collect();
+    println!(
+        "{:>6} {:>14} {:>16} {:>12} {:>12}",
+        "model", "cold_build_us", "cached_build_us", "rebind_us", "speedup"
+    );
+    let mut json = JsonWriter::from_env("engine_reuse");
+    for kind in ModelKind::all() {
+        // Cold: a cleared cache forces the full pipeline.
+        ModuleCache::clear();
+        let t0 = Instant::now();
+        let engine = builder(kind).build();
+        let cold_us = t0.elapsed().as_secs_f64() * 1e6;
+        assert!(!engine.was_cache_hit(), "cleared cache cannot hit");
+        drop(engine);
+
+        // Cached: the identical build again, repeated for a stable
+        // median-free average (hits are cheap enough to be noisy).
+        const REPS: usize = 5;
+        let t1 = Instant::now();
+        let mut hits = 0usize;
+        for _ in 0..REPS {
+            let e = builder(kind).build();
+            hits += usize::from(e.was_cache_hit());
+        }
+        let cached_us = t1.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+        assert_eq!(hits, REPS, "every rebuild must hit the cache");
+
+        // Rebind: one engine carried across distinct graphs.
+        let mut engine = builder(kind).build();
+        engine.bind(&graphs[0]).forward().expect("warm-up fits");
+        let t2 = Instant::now();
+        for g in &graphs {
+            engine.bind(g).forward().expect("fits");
+        }
+        let rebind_us = t2.elapsed().as_secs_f64() * 1e6 / graphs.len() as f64;
+
+        let stats = ModuleCache::stats();
+        println!(
+            "{:>6} {:>14.1} {:>16.1} {:>12.1} {:>11.1}x",
+            kind.name(),
+            cold_us,
+            cached_us,
+            rebind_us,
+            cold_us / cached_us.max(1e-9),
+        );
+        json.record(
+            kind.name(),
+            &[
+                ("cold_build_us", cold_us),
+                ("cached_build_us", cached_us),
+                ("rebind_fwd_us", rebind_us),
+                ("cache_hits", stats.hits as f64),
+                ("cache_misses", stats.misses as f64),
+            ],
+        );
+    }
+    println!(
+        "\nA cached rebuild skips the whole compiler pipeline; rebinding skips\n\
+         session assembly too — the engine's run plan and scratch arena are\n\
+         reused shape-compatibly across graphs."
+    );
+    json.finish();
+}

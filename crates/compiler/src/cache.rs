@@ -1,0 +1,396 @@
+//! Process-wide cache of compiled modules.
+//!
+//! Compilation is deterministic: the same model source and
+//! [`CompileOptions`] always produce the same [`CompiledModule`]. The
+//! cache exploits that — [`ModuleCache::get_or_compile`] keys each
+//! module by a structural fingerprint of the source program (which
+//! covers the model's dimensions: they are baked into the weight and
+//! variable tables) crossed with every compile-option axis, and hands
+//! out `Arc`-shared modules. Constructing ten engines over the same
+//! `(source, dims, options)` key — a stacked-model sweep, the
+//! autotuner's thread axis, repeated test setup — compiles once and
+//! serves nine hits.
+//!
+//! Observability: hit/miss counters plus the entry count and a byte
+//! estimate are mirrored into
+//! [`hector_device::module_cache_probe`], so they surface on every
+//! session's `counters().module_cache()`. [`ModuleCache::clear`] empties
+//! the cache and resets the counters (tests that pin exact hit/miss
+//! deltas start from a clean slate).
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hector_device::module_cache_probe;
+use hector_device::ModuleCacheStats;
+use hector_ir::builder::ModelSource;
+use hector_ir::{OpKind, Operand, Program, WeightPrep};
+
+use crate::pipeline::{compile, CompileOptions, CompiledModule};
+
+/// Cache key: the source fingerprint crossed with every option axis the
+/// pipeline branches on. Options are stored field-by-field (exact), the
+/// source as a 64-bit structural hash — a collision would need two
+/// distinct programs agreeing on all 64 bits, which we accept as
+/// negligible for a process-lifetime cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    source: u64,
+    compact: bool,
+    reorder: bool,
+    training: bool,
+    adjacency: hector_ir::AdjacencyAccess,
+    tile: usize,
+    coarsen: usize,
+    launch_bounds: bool,
+}
+
+impl CacheKey {
+    fn new(src: &ModelSource, options: &CompileOptions) -> CacheKey {
+        CacheKey {
+            source: source_fingerprint(src),
+            compact: options.compact,
+            reorder: options.reorder,
+            training: options.training,
+            adjacency: options.adjacency,
+            tile: options.schedule.tile,
+            coarsen: options.schedule.coarsen,
+            launch_bounds: options.schedule.launch_bounds,
+        }
+    }
+}
+
+/// Structural 64-bit fingerprint of a model source: hashes the program
+/// name, variable/weight tables (names, spaces, widths — so the model
+/// dimensions are part of the key), operators, weight preps, inputs,
+/// outputs, and the DSL line count. Deterministic across runs
+/// ([`DefaultHasher`] is keyed with constants).
+#[must_use]
+pub fn source_fingerprint(src: &ModelSource) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_program(&src.program, &mut h);
+    src.lines.hash(&mut h);
+    h.finish()
+}
+
+fn hash_program(p: &Program, h: &mut impl Hasher) {
+    p.name.hash(h);
+    p.vars.len().hash(h);
+    for v in &p.vars {
+        v.name.hash(h);
+        v.space.hash(h);
+        v.width.hash(h);
+    }
+    p.weights.len().hash(h);
+    for w in &p.weights {
+        w.name.hash(h);
+        w.per.hash(h);
+        w.rows.hash(h);
+        w.cols.hash(h);
+        w.derived.hash(h);
+    }
+    p.preps.len().hash(h);
+    for prep in &p.preps {
+        match prep {
+            WeightPrep::MatVec { w, v, out } => {
+                0u8.hash(h);
+                w.hash(h);
+                v.hash(h);
+                out.hash(h);
+            }
+            WeightPrep::MatMulPairs { a, b, out } => {
+                1u8.hash(h);
+                a.hash(h);
+                b.hash(h);
+                out.hash(h);
+            }
+        }
+    }
+    p.ops.len().hash(h);
+    for op in &p.ops {
+        op.id.hash(h);
+        hash_opkind(&op.kind, h);
+    }
+    p.inputs.hash(h);
+    p.outputs.hash(h);
+}
+
+fn hash_operand(o: &Operand, h: &mut impl Hasher) {
+    match o {
+        Operand::Node(v, e) => {
+            0u8.hash(h);
+            v.hash(h);
+            e.hash(h);
+        }
+        Operand::Edge(v) => {
+            1u8.hash(h);
+            v.hash(h);
+        }
+        Operand::WeightVec(w) => {
+            2u8.hash(h);
+            w.hash(h);
+        }
+        Operand::Const(c) => {
+            3u8.hash(h);
+            c.to_bits().hash(h);
+        }
+    }
+}
+
+fn hash_opkind(k: &OpKind, h: &mut impl Hasher) {
+    match k {
+        OpKind::TypedLinear {
+            input,
+            weight,
+            transpose_w,
+            scatter,
+            fused_scale,
+            out,
+        } => {
+            0u8.hash(h);
+            hash_operand(input, h);
+            weight.hash(h);
+            transpose_w.hash(h);
+            scatter.hash(h);
+            if let Some(s) = fused_scale {
+                hash_operand(s, h);
+            } else {
+                u8::MAX.hash(h);
+            }
+            out.hash(h);
+        }
+        OpKind::TypedLinearGradW { x, dy, out_w } => {
+            1u8.hash(h);
+            hash_operand(x, h);
+            hash_operand(dy, h);
+            out_w.hash(h);
+        }
+        OpKind::DotProduct { a, b, out } => {
+            2u8.hash(h);
+            hash_operand(a, h);
+            hash_operand(b, h);
+            out.hash(h);
+        }
+        OpKind::Binary { op, a, b, out } => {
+            3u8.hash(h);
+            op.hash(h);
+            hash_operand(a, h);
+            hash_operand(b, h);
+            out.hash(h);
+        }
+        OpKind::Unary { op, a, out } => {
+            4u8.hash(h);
+            op.hash(h);
+            hash_operand(a, h);
+            out.hash(h);
+        }
+        OpKind::NodeAggregate {
+            edge_val,
+            scale,
+            norm,
+            endpoint,
+            out,
+        } => {
+            5u8.hash(h);
+            hash_operand(edge_val, h);
+            if let Some(s) = scale {
+                hash_operand(s, h);
+            } else {
+                u8::MAX.hash(h);
+            }
+            norm.hash(h);
+            endpoint.hash(h);
+            out.hash(h);
+        }
+    }
+}
+
+/// Rough footprint estimate of one cached module: generated-source
+/// strings dominate; program tables are charged a fixed per-entry cost.
+fn module_bytes(m: &CompiledModule) -> usize {
+    let code = m.code.host.len()
+        + m.code.python.len()
+        + m.code
+            .kernels
+            .iter()
+            .map(|(name, text)| name.len() + text.len())
+            .sum::<usize>();
+    fn program(p: &Program) -> usize {
+        p.vars.len() * 64 + p.weights.len() * 64 + p.ops.len() * 96 + p.preps.len() * 32
+    }
+    let programs = program(&m.forward) + m.backward.as_ref().map(program).unwrap_or_default();
+    let kernels = (m.fw_kernels.len() + m.bw_kernels.len()) * 256;
+    code + programs + kernels + std::mem::size_of::<CompiledModule>()
+}
+
+struct CacheState {
+    modules: HashMap<CacheKey, Arc<CompiledModule>>,
+    hits: u64,
+    misses: u64,
+    bytes: usize,
+}
+
+fn state() -> &'static Mutex<CacheState> {
+    static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(CacheState {
+            modules: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            bytes: 0,
+        })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, CacheState> {
+    // The guard only ever wraps map/counter bookkeeping (compiles run
+    // outside the lock), so a poisoned mutex — a panicking test thread
+    // mid-update — leaves nothing half-built; recovering is safe.
+    state()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The process-wide compiled-module cache (a namespace: all state lives
+/// in a process global).
+pub struct ModuleCache;
+
+impl ModuleCache {
+    /// Returns the cached module for `(src, options)`, compiling on the
+    /// first request. The `bool` is `true` on a cache hit (zero
+    /// compilations performed by this call).
+    ///
+    /// The compile itself runs *outside* the cache lock, so cold builds
+    /// of unrelated keys never contend. Concurrent callers racing on
+    /// the same cold key may each compile (both counted as misses —
+    /// each ran the pipeline); the first insert wins and the loser's
+    /// module is discarded, so every caller still receives the one
+    /// shared `Arc` and warm lookups stay single-instance.
+    #[must_use]
+    pub fn get_or_compile(
+        src: &ModelSource,
+        options: &CompileOptions,
+    ) -> (Arc<CompiledModule>, bool) {
+        let key = CacheKey::new(src, options);
+        {
+            let mut s = lock();
+            if let Some(m) = s.modules.get(&key) {
+                let m = Arc::clone(m);
+                s.hits += 1;
+                module_cache_probe::record_hit();
+                return (m, true);
+            }
+        }
+        let module = Arc::new(compile(src, options));
+        let mut s = lock();
+        s.misses += 1;
+        module_cache_probe::record_miss();
+        let module = match s.modules.get(&key) {
+            // Lost a same-key race: keep the first-inserted module.
+            Some(existing) => Arc::clone(existing),
+            None => {
+                s.bytes += module_bytes(&module);
+                s.modules.insert(key, Arc::clone(&module));
+                module
+            }
+        };
+        module_cache_probe::set_footprint(s.modules.len(), s.bytes);
+        (module, false)
+    }
+
+    /// Drops every cached module and zeroes the hit/miss counters (both
+    /// here and on the device probe). Tests that pin exact counter
+    /// deltas call this first.
+    pub fn clear() {
+        let mut s = lock();
+        s.modules.clear();
+        s.hits = 0;
+        s.misses = 0;
+        s.bytes = 0;
+        module_cache_probe::reset();
+    }
+
+    /// Current cache statistics (same numbers as
+    /// `counters().module_cache()` on any device).
+    #[must_use]
+    pub fn stats() -> ModuleCacheStats {
+        let s = lock();
+        ModuleCacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            entries: s.modules.len(),
+            bytes: s.bytes,
+        }
+    }
+}
+
+/// Compiles `src` through the process-wide [`ModuleCache`] — the cached
+/// twin of [`compile`]. Prefer this (or the `Engine` handle built on
+/// it) whenever the same model may be compiled more than once per
+/// process.
+#[must_use]
+pub fn compile_cached(src: &ModelSource, options: &CompileOptions) -> Arc<CompiledModule> {
+    ModuleCache::get_or_compile(src, options).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_ir::{AggNorm, ModelBuilder};
+
+    fn toy_source(name: &str, dim: usize) -> ModelSource {
+        let mut m = ModelBuilder::new(name, dim);
+        let h = m.node_input("h", dim);
+        let w = m.weight_per_etype("W", dim, dim);
+        let y = m.typed_linear("y", m.src(h), w);
+        let out = m.aggregate("out", m.edge(y), None, AggNorm::None);
+        m.output(out);
+        m.finish()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_dimension_sensitive() {
+        let a = source_fingerprint(&toy_source("cache_fp", 8));
+        let b = source_fingerprint(&toy_source("cache_fp", 8));
+        let c = source_fingerprint(&toy_source("cache_fp", 16));
+        let d = source_fingerprint(&toy_source("cache_fp2", 8));
+        assert_eq!(a, b, "same source must fingerprint identically");
+        assert_ne!(a, c, "dims are part of the key");
+        assert_ne!(a, d, "name is part of the key");
+    }
+
+    #[test]
+    fn second_compile_is_a_hit_and_shares_the_module() {
+        // Unique name + dims so concurrently running tests in this
+        // binary can never collide with the key.
+        let src = toy_source("cache_hit_test_model", 23);
+        let opts = CompileOptions::best();
+        let (first, hit1) = ModuleCache::get_or_compile(&src, &opts);
+        let (second, hit2) = ModuleCache::get_or_compile(&src, &opts);
+        assert!(!hit1, "first lookup compiles");
+        assert!(hit2, "second lookup must hit");
+        assert!(Arc::ptr_eq(&first, &second), "one shared module");
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_entries() {
+        let src = toy_source("cache_opts_test_model", 29);
+        let (_, h1) = ModuleCache::get_or_compile(&src, &CompileOptions::unopt());
+        let (_, h2) = ModuleCache::get_or_compile(&src, &CompileOptions::best());
+        let (_, h3) =
+            ModuleCache::get_or_compile(&src, &CompileOptions::best().with_training(true));
+        assert!(!h1 && !h2 && !h3, "each option combo compiles once");
+    }
+
+    #[test]
+    fn cached_module_matches_a_fresh_compile() {
+        let src = toy_source("cache_equiv_test_model", 31);
+        let opts = CompileOptions::best().with_training(true);
+        let cached = compile_cached(&src, &opts);
+        let fresh = compile(&src, &opts);
+        assert_eq!(cached.forward, fresh.forward);
+        assert_eq!(cached.backward, fresh.backward);
+        assert_eq!(cached.code.kernels, fresh.code.kernels);
+    }
+}

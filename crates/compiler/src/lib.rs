@@ -20,11 +20,15 @@
 //! * [`codegen`] — emission of CUDA-like kernel source and host wrappers
 //!   (§3.6), reproducing the paper's generated-code-size accounting;
 //! * [`pipeline`] — the `@hector.compile` equivalent: one call from model
-//!   source to a [`CompiledModule`].
+//!   source to a [`CompiledModule`];
+//! * [`cache`] — the process-wide [`ModuleCache`]: compilation is
+//!   deterministic, so identical `(source, dims, options)` requests
+//!   compile once per process and share one `Arc<CompiledModule>`.
 
 #![warn(missing_docs)]
 
 pub mod backward;
+pub mod cache;
 pub mod codegen;
 pub mod compact;
 pub mod dce;
@@ -32,5 +36,6 @@ pub mod lower;
 pub mod pipeline;
 pub mod reorder;
 
+pub use cache::{compile_cached, source_fingerprint, ModuleCache};
 pub use codegen::GeneratedCode;
 pub use pipeline::{compile, CompileOptions, CompiledModule};

@@ -8,14 +8,11 @@
 //! search over the configuration space is practical: compile each
 //! candidate, dry-run it in modeled mode, keep the fastest.
 
-use hector_compiler::{CompileOptions, CompiledModule};
+use hector_compiler::CompileOptions;
 use hector_device::DeviceConfig;
 use hector_ir::GemmSchedule;
 use hector_models::ModelKind;
-use hector_runtime::{
-    random_labels, Bindings, GraphData, Mode, ParallelConfig, ParamStore, Session, Sgd,
-};
-use hector_tensor::seeded_rng;
+use hector_runtime::{EngineBuilder, GraphData, Mode, ParallelConfig, Sgd};
 
 /// Result of an autotuning sweep.
 #[derive(Clone, Debug)]
@@ -68,26 +65,32 @@ pub fn candidate_space(training: bool) -> Vec<CompileOptions> {
     out
 }
 
+/// Builds a modeled-mode engine for one candidate and dry-runs it.
+/// Candidate modules flow through the process-wide `ModuleCache`, so
+/// re-tuning the same model (or tuning after a normal run) recompiles
+/// nothing.
 fn dry_run(
-    module: &CompiledModule,
+    kind: ModelKind,
+    in_dim: usize,
+    out_dim: usize,
+    opts: &CompileOptions,
     graph: &GraphData,
     config: &DeviceConfig,
     training: bool,
 ) -> Option<f64> {
-    let mut rng = seeded_rng(1);
-    let mut params = ParamStore::init(&module.forward, graph, &mut rng);
-    let mut session = Session::new(config.clone(), Mode::Modeled);
+    let builder = EngineBuilder::new(kind)
+        .dims(in_dim, out_dim)
+        .options(opts.clone())
+        .device(config.clone())
+        .mode(Mode::Modeled)
+        .seed(1);
     let report = if training {
-        let mut sgd = Sgd::new(0.01);
-        session
-            .run_training_step(module, graph, &mut params, &Bindings::new(), &[], &mut sgd)
-            .ok()?
-            .1
+        let mut trainer = builder.build_trainer(Sgd::new(0.01));
+        trainer.bind(graph);
+        trainer.step().ok()?
     } else {
-        session
-            .run_inference(module, graph, &mut params, &Bindings::new())
-            .ok()?
-            .1
+        let mut engine = builder.build();
+        engine.bind(graph).forward().ok()?
     };
     Some(report.elapsed_us)
 }
@@ -112,8 +115,7 @@ pub fn autotune(
     let mut best: Option<(CompileOptions, f64)> = None;
     let mut candidates = Vec::new();
     for opts in candidate_space(training) {
-        let module = crate::compile_model(kind, in_dim, out_dim, &opts);
-        let t = dry_run(&module, graph, config, training);
+        let t = dry_run(kind, in_dim, out_dim, &opts, graph, config, training);
         candidates.push((
             format!(
                 "{} tile={} coarsen={}",
@@ -130,13 +132,9 @@ pub fn autotune(
         }
     }
     let (options, best_us) = best.expect("at least one configuration must fit");
-    let fixed = crate::compile_model(
-        kind,
-        in_dim,
-        out_dim,
-        &CompileOptions::best().with_training(training),
-    );
-    let fixed_best_us = dry_run(&fixed, graph, config, training).unwrap_or(f64::INFINITY);
+    let fixed = CompileOptions::best().with_training(training);
+    let fixed_best_us =
+        dry_run(kind, in_dim, out_dim, &fixed, graph, config, training).unwrap_or(f64::INFINITY);
     TuneResult {
         options,
         best_us,
@@ -200,27 +198,36 @@ pub fn autotune_threads(
         "thread sweep needs at least one candidate"
     );
     let opts = CompileOptions::best().with_training(training);
-    let module = crate::compile_model(kind, in_dim, out_dim, &opts);
     let classes = out_dim.max(2);
+    // One engine per thread count; the module itself compiles once for
+    // the whole sweep (every engine after the first is a ModuleCache
+    // hit — the cache is what makes a ten-engine sweep cheap).
     let run = |threads: usize| -> f64 {
-        let mut rng = seeded_rng(1);
-        let mut params = ParamStore::init(&module.forward, graph, &mut rng);
-        let bindings = Bindings::standard(&module.forward, graph, &mut rng);
         let par = ParallelConfig::from_env().with_threads(threads);
-        let mut session = Session::with_parallel(config.clone(), Mode::Real, par);
-        let start = std::time::Instant::now();
+        let builder = EngineBuilder::new(kind)
+            .dims(in_dim, out_dim)
+            .options(opts.clone())
+            .device(config.clone())
+            .parallel(par)
+            .classes(classes)
+            .seed(1);
         if training {
-            let labels = random_labels(&mut rng, graph.graph().num_nodes(), classes);
-            let mut sgd = Sgd::new(0.01);
-            session
-                .run_training_step(&module, graph, &mut params, &bindings, &labels, &mut sgd)
+            let mut trainer = builder.build_trainer(Sgd::new(0.01));
+            trainer.bind(graph);
+            let start = std::time::Instant::now();
+            trainer
+                .step()
                 .expect("thread sweep must fit in device memory");
+            start.elapsed().as_secs_f64() * 1e6
         } else {
-            session
-                .run_inference(&module, graph, &mut params, &bindings)
+            let mut engine = builder.build();
+            let mut bound = engine.bind(graph);
+            let start = std::time::Instant::now();
+            bound
+                .forward()
                 .expect("thread sweep must fit in device memory");
+            start.elapsed().as_secs_f64() * 1e6
         }
-        start.elapsed().as_secs_f64() * 1e6
     };
     // One discarded warm-up absorbs process-wide first-touch costs
     // (page faults, allocator growth, cold code) so they don't inflate

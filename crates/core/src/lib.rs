@@ -20,6 +20,11 @@
 //!
 //! ## Quickstart
 //!
+//! The one-call lifecycle: an [`EngineBuilder`] assembles model,
+//! dimensions, options, device, and seed into an [`Engine`] (compilation
+//! goes through the process-wide [`ModuleCache`], so identical engines
+//! compile once per process); `bind` a graph, then run.
+//!
 //! ```
 //! use hector::prelude::*;
 //!
@@ -27,10 +32,40 @@
 //! let spec = hector::datasets::aifb().scaled(0.01);
 //! let graph = GraphData::new(hector::generate(&spec));
 //!
-//! // 2. Compile RGAT with both optimizations.
-//! let module = hector::compile_model(ModelKind::Rgat, 32, 32, &CompileOptions::best());
+//! // 2-3. Compile RGAT with both optimizations (cached process-wide)
+//! //      and run inference on the simulated RTX 3090.
+//! let mut engine = EngineBuilder::new(ModelKind::Rgat)
+//!     .dims(32, 32)
+//!     .options(CompileOptions::best())
+//!     .seed(0)
+//!     .build();
+//! let mut bound = engine.bind(&graph);
+//! let report = bound.forward().expect("fits in 24 GB");
+//! assert!(report.elapsed_us > 0.0);
+//! assert_eq!(bound.output().rows(), graph.graph().num_nodes());
 //!
-//! // 3. Run inference on the simulated RTX 3090.
+//! // Training is one more call: wrap the engine with an optimizer.
+//! let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+//!     .dims(16, 16)
+//!     .seed(1)
+//!     .build_trainer(Adam::new(0.01));
+//! trainer.bind(&graph);
+//! let epoch = trainer.epoch(3).expect("fits");
+//! assert_eq!(epoch.losses.len(), 3);
+//! ```
+//!
+//! ## Low-level API
+//!
+//! The pieces the handles assemble remain public for callers that need
+//! manual control — custom parameter initialisation, hand-built input
+//! bindings, owned output stores:
+//!
+//! ```
+//! use hector::prelude::*;
+//!
+//! let spec = hector::datasets::aifb().scaled(0.01);
+//! let graph = GraphData::new(hector::generate(&spec));
+//! let module = hector::compile_model(ModelKind::Rgat, 32, 32, &CompileOptions::best());
 //! let mut rng = seeded_rng(0);
 //! let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
 //! let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
@@ -45,22 +80,36 @@
 
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 pub mod autotune;
 
 pub use autotune::{autotune, autotune_threads, ThreadTuneResult, TuneResult};
 pub use hector_baselines as baselines;
-pub use hector_compiler::{compile, CompileOptions, CompiledModule, GeneratedCode};
-pub use hector_device::{Device, DeviceConfig, ScratchStats};
+pub use hector_compiler::{
+    compile, compile_cached, source_fingerprint, CompileOptions, CompiledModule, GeneratedCode,
+    ModuleCache,
+};
+pub use hector_device::{Device, DeviceConfig, ModuleCacheStats, ScratchStats};
 pub use hector_graph::{
     datasets, generate, DatasetSpec, GraphStats, HeteroGraph, HeteroGraphBuilder,
 };
 pub use hector_ir::{builder::ModelSource, ModelBuilder};
-pub use hector_models::{source as model_source, ModelKind};
+pub use hector_models::{source as model_source, stacked, ModelKind};
 pub use hector_runtime::{
-    Bindings, GraphData, Mode, ParallelConfig, ParamStore, RunReport, Session,
+    Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Mode, ParallelConfig,
+    ParamStore, RunReport, Session, Trainer,
 };
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
+///
+/// **Low-level shim**: delegates to the process-wide [`ModuleCache`] and
+/// clones the cached module out (the historical owned-module signature).
+/// Prefer [`compile_model_cached`] for a shared handle, or
+/// [`EngineBuilder`] for the full lifecycle. Note the cache retains one
+/// entry per distinct `(kind, dims, options)` key for the life of the
+/// process (that is the point — sweeps recompile nothing);
+/// [`ModuleCache::clear`] releases them.
 #[must_use]
 pub fn compile_model(
     kind: ModelKind,
@@ -68,18 +117,32 @@ pub fn compile_model(
     out_dim: usize,
     options: &CompileOptions,
 ) -> CompiledModule {
-    compile(&hector_models::source(kind, in_dim, out_dim), options)
+    (*compile_model_cached(kind, in_dim, out_dim, options)).clone()
+}
+
+/// Compiles one of the built-in models through the process-wide
+/// [`ModuleCache`], returning the shared handle: repeated calls with
+/// the same `(kind, dims, options)` compile once per process.
+#[must_use]
+pub fn compile_model_cached(
+    kind: ModelKind,
+    in_dim: usize,
+    out_dim: usize,
+    options: &CompileOptions,
+) -> Arc<CompiledModule> {
+    compile_cached(&hector_models::source(kind, in_dim, out_dim), options)
 }
 
 /// Convenience prelude with the types most applications need.
 pub mod prelude {
-    pub use hector_compiler::{CompileOptions, CompiledModule};
+    pub use hector_compiler::{CompileOptions, CompiledModule, ModuleCache};
     pub use hector_device::DeviceConfig;
     pub use hector_graph::{DatasetSpec, GraphStats, HeteroGraphBuilder};
     pub use hector_ir::ModelBuilder;
     pub use hector_models::ModelKind;
     pub use hector_runtime::{
-        Adam, Bindings, GraphData, Mode, Optimizer, ParallelConfig, ParamStore, Session, Sgd,
+        Adam, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Mode, Optimizer,
+        ParallelConfig, ParamStore, Session, Sgd, Trainer,
     };
     pub use hector_tensor::{seeded_rng, Tensor};
 }
@@ -94,5 +157,13 @@ mod tests {
             let m = compile_model(kind, 16, 16, &CompileOptions::best());
             assert!(!m.fw_kernels.is_empty(), "{kind:?} produced no kernels");
         }
+    }
+
+    #[test]
+    fn compile_model_shim_matches_cached_module() {
+        let owned = compile_model(ModelKind::Rgcn, 12, 12, &CompileOptions::unopt());
+        let shared = compile_model_cached(ModelKind::Rgcn, 12, 12, &CompileOptions::unopt());
+        assert_eq!(owned.forward, shared.forward);
+        assert_eq!(owned.code.kernels, shared.code.kernels);
     }
 }

@@ -142,6 +142,88 @@ impl ScratchStats {
     }
 }
 
+/// Snapshot of the process-wide compiled-module cache
+/// (`hector_compiler::ModuleCache`). Unlike every other counter in this
+/// module, which is scoped to one device, the module cache is shared by
+/// the whole process — constructing ten engines over the same
+/// `(model source, dims, options)` key compiles once and reads back nine
+/// hits — so this snapshot reads the same numbers regardless of which
+/// device's [`Counters`] it is taken from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModuleCacheStats {
+    /// Compilations avoided: lookups that found a cached module.
+    pub hits: u64,
+    /// Lookups that had to run the compiler pipeline.
+    pub misses: u64,
+    /// Modules currently cached.
+    pub entries: usize,
+    /// Estimated footprint of the cached modules, bytes.
+    pub bytes: usize,
+}
+
+impl ModuleCacheStats {
+    /// Fraction of lookups served from the cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Process-global probe the compiler's module cache reports into. The
+/// device crate hosts the storage (it is the observability leaf of the
+/// workspace DAG) so [`Counters::module_cache`] can surface cache
+/// activity without a dependency on the compiler.
+pub mod module_cache_probe {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    use super::ModuleCacheStats;
+
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static MISSES: AtomicU64 = AtomicU64::new(0);
+    static ENTRIES: AtomicUsize = AtomicUsize::new(0);
+    static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+    /// Records one cache hit.
+    pub fn record_hit() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cache miss (a compilation).
+    pub fn record_miss() {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the cache's current entry count and byte estimate.
+    pub fn set_footprint(entries: usize, bytes: usize) {
+        ENTRIES.store(entries, Ordering::Relaxed);
+        BYTES.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Clears all probe state (used by `ModuleCache::clear` in tests).
+    pub fn reset() {
+        HITS.store(0, Ordering::Relaxed);
+        MISSES.store(0, Ordering::Relaxed);
+        ENTRIES.store(0, Ordering::Relaxed);
+        BYTES.store(0, Ordering::Relaxed);
+    }
+
+    /// Reads the current counters.
+    #[must_use]
+    pub fn snapshot() -> ModuleCacheStats {
+        ModuleCacheStats {
+            hits: HITS.load(Ordering::Relaxed),
+            misses: MISSES.load(Ordering::Relaxed),
+            entries: ENTRIES.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Per-`(category, phase)` counter store for one run.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
@@ -268,6 +350,15 @@ impl Counters {
     #[must_use]
     pub fn scratch(&self) -> &ScratchStats {
         &self.scratch
+    }
+
+    /// Snapshot of the process-wide compiled-module cache. The cache is
+    /// shared across sessions and devices (see [`ModuleCacheStats`]);
+    /// this accessor lives on `Counters` so every observability surface
+    /// hangs off `session.device().counters()`.
+    #[must_use]
+    pub fn module_cache(&self) -> ModuleCacheStats {
+        module_cache_probe::snapshot()
     }
 
     /// Clears all counters.

@@ -35,6 +35,8 @@ mod memory;
 
 pub use config::DeviceConfig;
 pub use cost::{KernelCategory, KernelCost, Phase};
-pub use counters::{CategoryMetrics, Counters, ParallelStats, ScratchStats};
+pub use counters::{
+    module_cache_probe, CategoryMetrics, Counters, ModuleCacheStats, ParallelStats, ScratchStats,
+};
 pub use device::Device;
 pub use memory::{AllocId, MemoryPool, OomError};

@@ -1,0 +1,943 @@
+//! The one-call model lifecycle: `Engine` and `Trainer` handles.
+//!
+//! The paper's pitch is a *concise programming model* backed by an
+//! aggressive compiler; these handles make the runtime side match.
+//! Instead of threading `compile → ParamStore::init → Bindings::standard
+//! → Session::new → run_*` by hand, an [`EngineBuilder`] assembles the
+//! whole stack — model, dimensions, [`CompileOptions`], device, mode,
+//! parallelism, seed — and yields an [`Engine`] that owns the compiled
+//! module (shared through the process-wide
+//! [`hector_compiler::ModuleCache`]), the device session, the scratch
+//! arena, and the run plan. [`Engine::bind`] attaches a graph (deriving
+//! parameters and inputs from the engine seed), and every
+//! [`Bound::forward`] / [`Trainer::step`] call goes through the
+//! session's persistent run plan — the zero-allocation path — by
+//! construction.
+//!
+//! ```
+//! use hector_graph::HeteroGraphBuilder;
+//! use hector_models::ModelKind;
+//! use hector_runtime::{Adam, EngineBuilder, GraphData};
+//!
+//! let mut b = HeteroGraphBuilder::new();
+//! b.add_node_type(4);
+//! b.add_edge(0, 1, 0);
+//! b.add_edge(2, 1, 0);
+//! b.add_edge(3, 2, 1);
+//! let graph = GraphData::new(b.build());
+//!
+//! // Inference: build → bind → forward.
+//! let mut engine = EngineBuilder::new(ModelKind::Rgcn).dims(4, 4).seed(7).build();
+//! let mut bound = engine.bind(&graph);
+//! let report = bound.forward().expect("fits");
+//! assert!(report.elapsed_us > 0.0);
+//! assert_eq!(bound.output().rows(), 4);
+//!
+//! // Training: build_trainer → bind → step/epoch.
+//! let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+//!     .dims(4, 4)
+//!     .seed(7)
+//!     .build_trainer(Adam::new(0.01));
+//! trainer.bind(&graph);
+//! let epoch = trainer.epoch(3).expect("fits");
+//! assert_eq!(epoch.losses.len(), 3);
+//! ```
+//!
+//! # Seed contract
+//!
+//! [`Engine::bind`] derives every stochastic artifact from the engine
+//! seed in a fixed order — exactly the order the legacy flow
+//! conventionally used, so the handles are bit-identical to it (pinned
+//! by `tests/api_parity.rs`):
+//!
+//! 1. `ParamStore::init(&module.forward, graph, &mut rng)`,
+//! 2. `Bindings::standard(&module.forward, graph, &mut rng)`
+//!    (real mode; modeled sessions bind nothing),
+//! 3. `random_labels(&mut rng, num_nodes, classes)` (trainers only,
+//!    real mode).
+
+use std::sync::Arc;
+
+use hector_compiler::{CompileOptions, CompiledModule, ModuleCache};
+use hector_device::{Device, DeviceConfig, OomError};
+use hector_ir::builder::ModelSource;
+use hector_models::{stacked, ModelKind};
+use hector_par::ParallelConfig;
+use hector_tensor::{seeded_rng, Tensor};
+
+use crate::loss::random_labels;
+use crate::optim::Optimizer;
+use crate::session::{Bindings, Mode, RunReport, Session};
+use crate::store::VarStore;
+use crate::{GraphData, ParamStore};
+
+/// What the builder compiles: a built-in model kind (optionally stacked
+/// into multiple layers) or a custom DSL source.
+#[derive(Clone, Debug)]
+enum ModelSpec {
+    Builtin(ModelKind),
+    Custom(Box<ModelSource>),
+}
+
+/// Fluent configuration for an [`Engine`] (or [`Trainer`]).
+///
+/// Defaults: dims 64×64 (the paper's §4.1 setting), one layer, hidden =
+/// `out_dim`, [`CompileOptions::best`], the simulated RTX 3090,
+/// [`Mode::Real`], parallelism from the environment
+/// ([`ParallelConfig::from_env`]), seed 0, `classes` = the model's
+/// output width.
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    spec: ModelSpec,
+    in_dim: usize,
+    out_dim: usize,
+    hidden: Option<usize>,
+    layers: usize,
+    options: CompileOptions,
+    device: DeviceConfig,
+    mode: Mode,
+    par: Option<ParallelConfig>,
+    seed: u64,
+    classes: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for one of the built-in models.
+    #[must_use]
+    pub fn new(kind: ModelKind) -> EngineBuilder {
+        EngineBuilder {
+            spec: ModelSpec::Builtin(kind),
+            in_dim: 64,
+            out_dim: 64,
+            hidden: None,
+            layers: 1,
+            options: CompileOptions::best(),
+            device: DeviceConfig::rtx3090(),
+            mode: Mode::Real,
+            par: None,
+            seed: 0,
+            classes: None,
+        }
+    }
+
+    /// Starts a builder from a custom DSL [`ModelSource`]. Dimensions
+    /// are baked into the source, so [`EngineBuilder::dims`],
+    /// [`EngineBuilder::hidden`], and [`EngineBuilder::layers`] are not
+    /// available (stack inside the source instead). `classes` for
+    /// trainer labels defaults to the source's output width unless
+    /// [`EngineBuilder::classes`] overrides it.
+    #[must_use]
+    pub fn from_source(src: ModelSource) -> EngineBuilder {
+        let out_w = src.program.var(src.program.outputs[0]).width;
+        EngineBuilder {
+            spec: ModelSpec::Custom(Box::new(src)),
+            in_dim: 0,
+            out_dim: out_w,
+            ..EngineBuilder::new(ModelKind::Rgcn)
+        }
+    }
+
+    /// Input and output feature dimensions (built-in models only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`EngineBuilder::from_source`] builder — a custom
+    /// source's dimensions are baked into the DSL and cannot be
+    /// overridden here.
+    #[must_use]
+    pub fn dims(mut self, in_dim: usize, out_dim: usize) -> Self {
+        assert!(
+            matches!(self.spec, ModelSpec::Builtin(_)),
+            "dims() applies to built-in model kinds; a custom source fixes its own dimensions"
+        );
+        self.in_dim = in_dim;
+        self.out_dim = out_dim;
+        self
+    }
+
+    /// Hidden dimension between stacked layers (defaults to `out_dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`EngineBuilder::from_source`] builder (stack custom
+    /// sources in the DSL instead).
+    #[must_use]
+    pub fn hidden(mut self, hidden: usize) -> Self {
+        assert!(
+            matches!(self.spec, ModelSpec::Builtin(_)),
+            "hidden() applies to built-in model kinds; stack custom sources in the DSL"
+        );
+        self.hidden = Some(hidden);
+        self
+    }
+
+    /// Stacks the built-in model `n` layers deep
+    /// (`in_dim → hidden → … → out_dim` through
+    /// [`hector_models::stacked::stack`]); the whole stack is one
+    /// inter-operator program, so inter-layer fusion stays visible to
+    /// the compiler. `n = 1` (the default) is the plain single layer.
+    #[must_use]
+    pub fn layers(mut self, n: usize) -> Self {
+        self.layers = n;
+        self
+    }
+
+    /// Compile options (paper's U/C/R/C+R axes plus schedule knobs).
+    #[must_use]
+    pub fn options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Forces training (backward) compilation on or off. `build_trainer`
+    /// sets this automatically.
+    #[must_use]
+    pub fn training(mut self, training: bool) -> Self {
+        self.options.training = training;
+        self
+    }
+
+    /// Simulated device configuration.
+    #[must_use]
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Execution mode (real CPU numerics vs. cost-model-only).
+    #[must_use]
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Host-parallelism configuration for the real-mode executor
+    /// (defaults to `HECTOR_THREADS` via [`ParallelConfig::from_env`]).
+    #[must_use]
+    pub fn parallel(mut self, par: ParallelConfig) -> Self {
+        self.par = Some(par);
+        self
+    }
+
+    /// Seed for parameter/input/label derivation (see the module-level
+    /// seed contract).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of label classes for trainer label generation (defaults
+    /// to the model's output width; must stay within it — NLL labels
+    /// index the output logits, validated at [`EngineBuilder::build`]).
+    #[must_use]
+    pub fn classes(mut self, classes: usize) -> Self {
+        self.classes = Some(classes);
+        self
+    }
+
+    /// The model source this builder will compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers > 1` was combined with a custom source, or
+    /// `layers == 0`.
+    #[must_use]
+    pub fn source(&self) -> ModelSource {
+        match &self.spec {
+            ModelSpec::Builtin(kind) => stacked::stack(
+                *kind,
+                self.layers,
+                self.in_dim,
+                self.hidden.unwrap_or(self.out_dim),
+                self.out_dim,
+            ),
+            ModelSpec::Custom(src) => {
+                assert!(
+                    self.layers == 1,
+                    "layers(n) applies to built-in model kinds; stack custom sources in the DSL"
+                );
+                (**src).clone()
+            }
+        }
+    }
+
+    /// Builds the engine: compiles (or fetches from the process-wide
+    /// [`ModuleCache`]) and assembles the device session. Building a
+    /// second engine with identical `(source, dims, options)` performs
+    /// zero compilations — check [`Engine::was_cache_hit`] or
+    /// `counters().module_cache()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model source violates IR invariants (compiler
+    /// contract), on invalid `layers` (see [`EngineBuilder::source`]),
+    /// or if [`EngineBuilder::classes`] exceeds the model's output
+    /// width (NLL labels index the output logits — failing here beats a
+    /// confusing panic inside the first training step).
+    #[must_use]
+    pub fn build(self) -> Engine {
+        let src = self.source();
+        let (module, cache_hit) = ModuleCache::get_or_compile(&src, &self.options);
+        let out_width = module.forward.var(module.forward.outputs[0]).width;
+        let classes = match self.classes {
+            Some(c) => {
+                assert!(
+                    c >= 1 && c <= out_width,
+                    "classes ({c}) must be in 1..={out_width} (the model's output width): \
+                     NLL labels index the output logits"
+                );
+                c
+            }
+            None => out_width,
+        };
+        let par = self.par.unwrap_or_else(ParallelConfig::from_env);
+        let session = Session::with_parallel(self.device, self.mode, par);
+        Engine {
+            module,
+            session,
+            seed: self.seed,
+            classes,
+            cache_hit,
+            state: None,
+        }
+    }
+
+    /// Builds a [`Trainer`]: an engine compiled for training plus the
+    /// optimizer. Loss is the paper's NLL against seeded random labels
+    /// (§4.1); override the labels with [`Trainer::set_labels`].
+    #[must_use]
+    pub fn build_trainer<O: Optimizer + 'static>(self, optimizer: O) -> Trainer {
+        let engine = self.training(true).build();
+        Trainer {
+            engine,
+            optimizer: Box::new(optimizer),
+            labels: Vec::new(),
+            steps: 0,
+            last_loss: None,
+        }
+    }
+}
+
+/// Graph-specific state created by [`Engine::bind`].
+#[derive(Debug)]
+struct BoundState {
+    graph: GraphData,
+    params: ParamStore,
+    bindings: Bindings,
+}
+
+/// An owning handle over one compiled model and its execution stack:
+/// the `Arc`-shared [`CompiledModule`], the device [`Session`] (which
+/// owns the scratch arena and the persistent run plan), and the seed
+/// that derives parameters and inputs at [`Engine::bind`] time.
+///
+/// Built by [`EngineBuilder`]; see the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct Engine {
+    module: Arc<CompiledModule>,
+    session: Session,
+    seed: u64,
+    classes: usize,
+    cache_hit: bool,
+    state: Option<BoundState>,
+}
+
+impl Engine {
+    /// The compiled module (shared with every other engine built from
+    /// the same `(source, dims, options)` key).
+    #[must_use]
+    pub fn module(&self) -> &CompiledModule {
+        &self.module
+    }
+
+    /// The underlying session.
+    #[must_use]
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable session access (the low-level escape hatch).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// The simulated device (counters, memory state).
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        self.session.device()
+    }
+
+    /// Execution mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.session.mode()
+    }
+
+    /// The engine seed (parameter/input/label derivation).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether [`EngineBuilder::build`] found the module already
+    /// compiled in the process-wide [`ModuleCache`].
+    #[must_use]
+    pub fn was_cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Whether a graph is currently bound.
+    #[must_use]
+    pub fn is_bound(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Binds a graph: clones its derived structures into the engine and
+    /// (re)derives parameters and standard input bindings from the
+    /// engine seed (see the module-level seed contract; modeled
+    /// sessions skip input materialisation). Rebinding — the same graph
+    /// or a new one — restarts from freshly seeded parameters; the
+    /// session's run plan and scratch arena persist and are reused
+    /// shape-compatibly.
+    pub fn bind(&mut self, graph: &GraphData) -> Bound<'_> {
+        let _ = self.bind_internal(graph);
+        Bound { engine: self }
+    }
+
+    /// Seed-contract steps 1–2; returns the RNG so [`Trainer::bind`]
+    /// can continue the same stream for label derivation (step 3).
+    fn bind_internal(&mut self, graph: &GraphData) -> rand::rngs::StdRng {
+        let mut rng = seeded_rng(self.seed);
+        let params = ParamStore::init(&self.module.forward, graph, &mut rng);
+        let bindings = match self.session.mode() {
+            Mode::Real => Bindings::standard(&self.module.forward, graph, &mut rng),
+            Mode::Modeled => Bindings::new(),
+        };
+        self.state = Some(BoundState {
+            graph: graph.clone(),
+            params,
+            bindings,
+        });
+        rng
+    }
+
+    /// The current binding, if [`Engine::bind`] was called.
+    pub fn bound(&mut self) -> Option<Bound<'_>> {
+        if self.state.is_some() {
+            Some(Bound { engine: self })
+        } else {
+            None
+        }
+    }
+
+    /// Drops the graph-specific state (parameters, inputs).
+    pub fn unbind(&mut self) {
+        self.state = None;
+    }
+
+    /// Learnable parameters of the bound graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    #[must_use]
+    pub fn params(&self) -> &ParamStore {
+        &self.expect_state().params
+    }
+
+    /// Mutable parameter access (custom initialisation, inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.expect_state_mut().params
+    }
+
+    /// Input bindings derived at bind time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    #[must_use]
+    pub fn bindings(&self) -> &Bindings {
+        &self.expect_state().bindings
+    }
+
+    /// Replaces the input bindings (custom features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    pub fn set_bindings(&mut self, bindings: Bindings) {
+        self.expect_state_mut().bindings = bindings;
+    }
+
+    /// The bound graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    #[must_use]
+    pub fn graph(&self) -> &GraphData {
+        &self.expect_state().graph
+    }
+
+    /// Runs one forward pass through the session's persistent run plan
+    /// (allocation-free once warm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    pub fn forward(&mut self) -> Result<RunReport, OomError> {
+        let state = self.state.as_mut().expect("Engine::bind a graph first");
+        let (_, report) = self.session.forward(
+            &self.module,
+            &state.graph,
+            &mut state.params,
+            &state.bindings,
+        )?;
+        Ok(report)
+    }
+
+    /// Runs one training step (forward, NLL loss, backward, optimizer)
+    /// through the persistent run plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound or the module was not compiled for
+    /// training.
+    pub fn train_step(
+        &mut self,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<RunReport, OomError> {
+        let state = self.state.as_mut().expect("Engine::bind a graph first");
+        let (_, report) = self.session.train_step(
+            &self.module,
+            &state.graph,
+            &mut state.params,
+            &state.bindings,
+            labels,
+            optimizer,
+        )?;
+        Ok(report)
+    }
+
+    /// The run plan's variable store after the latest run (outputs live
+    /// here in real mode).
+    #[must_use]
+    pub fn outputs(&self) -> &VarStore {
+        self.session.plan_vars()
+    }
+
+    /// The model's first output tensor from the latest real-mode run.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first run or on modeled sessions (no data is
+    /// materialised there).
+    #[must_use]
+    pub fn output(&self) -> &Tensor {
+        self.session
+            .plan_vars()
+            .tensor(self.module.forward.outputs[0])
+    }
+
+    /// Label classes used when a trainer derives labels for this engine.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn expect_state(&self) -> &BoundState {
+        self.state.as_ref().expect("Engine::bind a graph first")
+    }
+
+    fn expect_state_mut(&mut self) -> &mut BoundState {
+        self.state.as_mut().expect("Engine::bind a graph first")
+    }
+}
+
+/// A typed view over an [`Engine`] with a graph bound — the receiver of
+/// the one-liner run methods. Obtained from [`Engine::bind`] (or
+/// [`Engine::bound`]); it borrows the engine, so it is cheap and
+/// re-obtainable at any time.
+#[derive(Debug)]
+pub struct Bound<'e> {
+    engine: &'e mut Engine,
+}
+
+impl Bound<'_> {
+    /// Runs one forward pass (see [`Engine::forward`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    pub fn forward(&mut self) -> Result<RunReport, OomError> {
+        self.engine.forward()
+    }
+
+    /// The model's first output tensor from the latest real-mode run
+    /// (see [`Engine::output`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first run or on modeled sessions.
+    #[must_use]
+    pub fn output(&self) -> &Tensor {
+        self.engine.output()
+    }
+
+    /// The run plan's variable store (all outputs).
+    #[must_use]
+    pub fn outputs(&self) -> &VarStore {
+        self.engine.outputs()
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn engine(&mut self) -> &mut Engine {
+        self.engine
+    }
+}
+
+/// Summary of one [`Trainer::epoch`] call.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// Per-step losses, in step order (empty in modeled mode).
+    pub losses: Vec<f32>,
+    /// Run report of the final step.
+    pub last: RunReport,
+}
+
+/// An [`Engine`] wrapped with an optimizer and the paper's NLL loss
+/// recipe: seeded random labels (§4.1), full-graph steps. Built by
+/// [`EngineBuilder::build_trainer`]; every step goes through the
+/// session's persistent run plan, so a warm [`Trainer::step`] performs
+/// zero heap allocations (pinned by `tests/run_alloc.rs`).
+pub struct Trainer {
+    engine: Engine,
+    optimizer: Box<dyn Optimizer>,
+    labels: Vec<usize>,
+    steps: usize,
+    last_loss: Option<f32>,
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("engine", &self.engine)
+            .field("labels", &self.labels.len())
+            .field("steps", &self.steps)
+            .field("last_loss", &self.last_loss)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Trainer {
+    /// Binds a graph: delegates to [`Engine::bind`], then derives the
+    /// label tensor (`random_labels`, one class id per node) from the
+    /// same seeded stream — step 3 of the module-level seed contract.
+    /// Modeled sessions train label-free (loss is not computed there).
+    pub fn bind(&mut self, graph: &GraphData) -> &mut Trainer {
+        let classes = self.engine.classes;
+        let mut rng = self.engine.bind_internal(graph);
+        self.labels = match self.engine.mode() {
+            Mode::Real => random_labels(&mut rng, graph.graph().num_nodes(), classes),
+            Mode::Modeled => Vec::new(),
+        };
+        self.optimizer.reset();
+        self.steps = 0;
+        self.last_loss = None;
+        self
+    }
+
+    /// Runs one training step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    pub fn step(&mut self) -> Result<RunReport, OomError> {
+        let report = self
+            .engine
+            .train_step(&self.labels, self.optimizer.as_mut())?;
+        self.steps += 1;
+        self.last_loss = report.loss;
+        Ok(report)
+    }
+
+    /// Runs `n` training steps, collecting the loss curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when any step exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or no graph is bound.
+    pub fn epoch(&mut self, n: usize) -> Result<EpochReport, OomError> {
+        assert!(n > 0, "an epoch needs at least one step");
+        let mut losses = Vec::with_capacity(n);
+        let mut last = None;
+        for _ in 0..n {
+            let report = self.step()?;
+            losses.extend(report.loss);
+            last = Some(report);
+        }
+        Ok(EpochReport {
+            losses,
+            last: last.expect("n > 0"),
+        })
+    }
+
+    /// Runs one forward pass on the current parameters (evaluation
+    /// between steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    pub fn forward(&mut self) -> Result<RunReport, OomError> {
+        self.engine.forward()
+    }
+
+    /// Replaces the derived labels with caller-provided ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from the bound graph's node
+    /// count.
+    pub fn set_labels(&mut self, labels: Vec<usize>) {
+        assert_eq!(
+            labels.len(),
+            self.engine.graph().graph().num_nodes(),
+            "one label per node"
+        );
+        self.labels = labels;
+    }
+
+    /// The current label tensor.
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Steps taken since the last bind.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Loss of the most recent step (real mode only).
+    #[must_use]
+    pub fn loss(&self) -> Option<f32> {
+        self.last_loss
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Unwraps the engine, dropping the optimizer state.
+    #[must_use]
+    pub fn into_engine(self) -> Engine {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Sgd};
+    use hector_graph::{generate, DatasetSpec};
+
+    fn graph() -> GraphData {
+        GraphData::new(generate(&DatasetSpec {
+            name: "engine".into(),
+            num_nodes: 60,
+            num_node_types: 2,
+            num_edges: 400,
+            num_edge_types: 3,
+            compaction_ratio: 0.5,
+            type_skew: 1.0,
+            seed: 21,
+        }))
+    }
+
+    #[test]
+    fn engine_forward_matches_legacy_session_flow() {
+        let graph = graph();
+        let opts = CompileOptions::best();
+        for kind in ModelKind::all() {
+            let mut engine = EngineBuilder::new(kind)
+                .dims(8, 8)
+                .options(opts.clone())
+                .parallel(ParallelConfig::sequential())
+                .seed(3)
+                .build();
+            let report = engine.bind(&graph).forward().expect("fits");
+            assert!(report.elapsed_us > 0.0);
+
+            // Legacy flow with the same seed discipline.
+            let module = &engine.module;
+            let mut rng = seeded_rng(3);
+            let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+            let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+            let mut session = Session::with_parallel(
+                DeviceConfig::rtx3090(),
+                Mode::Real,
+                ParallelConfig::sequential(),
+            );
+            let (vars, _) = session
+                .run_inference(module, &graph, &mut params, &bindings)
+                .unwrap();
+            let out = module.forward.outputs[0];
+            assert_eq!(
+                vars.tensor(out).data(),
+                engine.output().data(),
+                "{kind:?}: engine must be bit-identical to the legacy flow"
+            );
+        }
+    }
+
+    #[test]
+    fn trainer_loss_decreases_and_steps_count() {
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .seed(5)
+            .build_trainer(Sgd::new(0.3));
+        trainer.bind(&graph);
+        let epoch = trainer.epoch(10).expect("fits");
+        assert_eq!(epoch.losses.len(), 10);
+        assert_eq!(trainer.steps(), 10);
+        assert!(
+            epoch.losses.last().unwrap() < &epoch.losses[0],
+            "losses: {:?}",
+            epoch.losses
+        );
+        assert_eq!(trainer.loss(), epoch.losses.last().copied());
+    }
+
+    #[test]
+    fn rebind_restarts_training_deterministically() {
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(ModelKind::Rgat)
+            .dims(6, 6)
+            .seed(11)
+            .build_trainer(Adam::new(0.02));
+        trainer.bind(&graph);
+        let first: Vec<f32> = trainer.epoch(3).unwrap().losses;
+        trainer.bind(&graph);
+        let second: Vec<f32> = trainer.epoch(3).unwrap().losses;
+        assert_eq!(first, second, "rebind must restart from the seed");
+    }
+
+    #[test]
+    fn layers_builds_a_stack() {
+        let graph = graph();
+        let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(6, 4)
+            .hidden(10)
+            .layers(3)
+            .seed(2)
+            .build();
+        assert_eq!(engine.module().forward.weights.len(), 6);
+        let mut bound = engine.bind(&graph);
+        bound.forward().expect("fits");
+        assert_eq!(bound.output().cols(), 4);
+    }
+
+    #[test]
+    fn modeled_engine_runs_without_bindings() {
+        let graph = graph();
+        let mut engine = EngineBuilder::new(ModelKind::Hgt)
+            .dims(16, 16)
+            .mode(Mode::Modeled)
+            .build();
+        let report = engine.bind(&graph).forward().expect("fits");
+        assert!(report.elapsed_us > 0.0);
+        assert!(report.peak_bytes > 0);
+    }
+
+    #[test]
+    fn custom_source_engine() {
+        use hector_ir::{AggNorm, ModelBuilder};
+        let graph = graph();
+        let mut m = ModelBuilder::new("custom", 8);
+        let h = m.node_input("h", 8);
+        let w = m.weight_per_etype("W", 8, 8);
+        let y = m.typed_linear("y", m.src(h), w);
+        let out = m.aggregate("out", m.edge(y), None, AggNorm::None);
+        m.output(out);
+        let mut engine = EngineBuilder::from_source(m.finish()).seed(9).build();
+        engine.bind(&graph).forward().expect("fits");
+        assert_eq!(engine.output().cols(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes")]
+    fn classes_beyond_output_width_fail_at_build() {
+        let _ = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(16, 4)
+            .classes(8)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "dims() applies to built-in model kinds")]
+    fn dims_on_custom_source_fails_fast() {
+        use hector_ir::{AggNorm, ModelBuilder};
+        let mut m = ModelBuilder::new("custom_dims", 4);
+        let h = m.node_input("h", 4);
+        let w = m.weight_per_etype("W", 4, 4);
+        let y = m.typed_linear("y", m.src(h), w);
+        let out = m.aggregate("out", m.edge(y), None, AggNorm::None);
+        m.output(out);
+        let _ = EngineBuilder::from_source(m.finish()).dims(8, 8);
+    }
+
+    #[test]
+    fn second_identical_engine_hits_the_module_cache() {
+        let opts = CompileOptions::best();
+        // Unique dims for this test so concurrent tests cannot warm the
+        // key first: 13→13 RGAT is used nowhere else in this binary.
+        let a = EngineBuilder::new(ModelKind::Rgat)
+            .dims(13, 13)
+            .options(opts.clone())
+            .build();
+        let b = EngineBuilder::new(ModelKind::Rgat)
+            .dims(13, 13)
+            .options(opts)
+            .build();
+        assert!(
+            b.was_cache_hit(),
+            "second identical engine must not compile"
+        );
+        assert!(Arc::ptr_eq(&a.module, &b.module), "one shared module");
+    }
+}

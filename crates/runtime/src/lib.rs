@@ -1,6 +1,14 @@
 //! Runtime for compiled Hector modules.
 //!
-//! A [`Session`] executes the kernel sequence of a
+//! The primary surface is a pair of owning handles:
+//! [`Engine`] (built via [`EngineBuilder`]: one call from model kind +
+//! options to a compiled, cached, session-backed handle; `bind` a graph,
+//! then `forward()`) and [`Trainer`] (an engine plus optimizer and the
+//! paper's NLL training recipe; `step()` / `epoch(n)`). Both route every
+//! run through the session's persistent run plan, so warm runs are
+//! allocation-free by construction.
+//!
+//! Underneath, a [`Session`] executes the kernel sequence of a
 //! `hector_compiler::CompiledModule` against a [`GraphData`] instance on a
 //! simulated GPU ([`hector_device::Device`]), in one of two modes:
 //!
@@ -26,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+mod engine;
 mod exec;
 mod graphdata;
 mod loss;
@@ -36,6 +45,7 @@ mod scratch;
 mod session;
 mod store;
 
+pub use engine::{Bound, Engine, EngineBuilder, EpochReport, Trainer};
 pub use graphdata::GraphData;
 pub use hector_par::{ParallelConfig, PoolStats};
 pub use loss::{nll_loss_and_grad, nll_loss_and_grad_into, random_labels, LossResult};

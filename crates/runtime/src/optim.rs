@@ -13,6 +13,12 @@ use crate::ParamStore;
 pub trait Optimizer {
     /// Applies one update step using the gradients in `params`.
     fn step(&mut self, params: &mut ParamStore, program: &Program);
+
+    /// Clears accumulated state (moments, step counts) so the optimizer
+    /// behaves as freshly constructed. Called by `Trainer::bind` when a
+    /// graph is (re)bound — training restarts must be deterministic.
+    /// Stateless rules (plain SGD) need not override the default no-op.
+    fn reset(&mut self) {}
 }
 
 /// Plain stochastic gradient descent.
@@ -113,6 +119,12 @@ impl Optimizer for Adam {
                 *wv -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
         }
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
     }
 }
 

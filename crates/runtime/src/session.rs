@@ -310,6 +310,14 @@ impl Session {
         self.pool.as_ref().map(ThreadPool::stats)
     }
 
+    /// The persistent run plan's variable store — the buffers
+    /// [`Session::forward`] / [`Session::train_step`] write outputs and
+    /// gradients into. Empty until the first plan-reusing run.
+    #[must_use]
+    pub fn plan_vars(&self) -> &VarStore {
+        &self.plan.vars
+    }
+
     fn alloc_var(
         &mut self,
         program: &Program,
@@ -630,6 +638,12 @@ impl Session {
 
     /// Runs full-graph inference.
     ///
+    /// **Low-level API** — prefer the [`crate::Engine`] handle
+    /// (`EngineBuilder → bind → forward`), which wires the module
+    /// cache, seeding, and the allocation-free plan path for you; this
+    /// method is kept (deprecated in spirit, stable in signature) for
+    /// callers that manage modules, parameters, and bindings manually.
+    ///
     /// Returns an owned variable store (holding the program outputs) and
     /// a run report; every buffer is freshly materialised. Training
     /// loops that care about allocator traffic should prefer
@@ -687,6 +701,12 @@ impl Session {
 
     /// Runs one full-graph training step: forward, NLL loss against
     /// `labels`, backward, prep chain rule, optimizer update.
+    ///
+    /// **Low-level API** — prefer the [`crate::Trainer`] handle
+    /// (`EngineBuilder → build_trainer → bind → step`), which wires the
+    /// module cache, seeding, labels, and the allocation-free plan path
+    /// for you; this method is kept for callers that manage every piece
+    /// manually.
     ///
     /// Returns an owned variable store; every buffer is freshly
     /// materialised. Training loops should prefer
@@ -879,6 +899,52 @@ mod tests {
         assert!(report.elapsed_us > 0.0);
         assert!(report.launches >= 3);
         assert!(report.peak_bytes > 0);
+    }
+
+    #[test]
+    fn standard_bindings_are_independent_of_declaration_and_output_order() {
+        // Regression pin for the per-input seed contract: streams derive
+        // from `base ^ fnv1a(name)` only, so reordering the program's
+        // input declarations or outputs (which optimization combos do)
+        // must not change any input tensor. A formulation that mixed the
+        // iteration index into the seed would fail both assertions.
+        let graph = toy_graph();
+        let build = |flip: bool| {
+            let mut m = ModelBuilder::new("order", 4);
+            let (a, b) = if flip {
+                let b = m.node_input("b_feat", 4);
+                let a = m.node_input("a_feat", 4);
+                (a, b)
+            } else {
+                let a = m.node_input("a_feat", 4);
+                let b = m.node_input("b_feat", 4);
+                (a, b)
+            };
+            let sum = m.add("sum", m.this(a), m.this(b));
+            let out = m.relu("out", m.this(sum));
+            let out2 = m.relu("out2", m.this(sum));
+            if flip {
+                m.output(out2);
+                m.output(out);
+            } else {
+                m.output(out);
+                m.output(out2);
+            }
+            m.finish().program
+        };
+        let fwd = build(false);
+        let flipped = build(true);
+        let mut rng1 = seeded_rng(99);
+        let b1 = Bindings::standard(&fwd, &graph, &mut rng1);
+        let mut rng2 = seeded_rng(99);
+        let b2 = Bindings::standard(&flipped, &graph, &mut rng2);
+        for name in ["a_feat", "b_feat"] {
+            assert_eq!(
+                b1.get(name).unwrap().data(),
+                b2.get(name).unwrap().data(),
+                "input '{name}' must be bit-identical regardless of declaration/output order"
+            );
+        }
     }
 
     #[test]

@@ -33,15 +33,14 @@ fn main() {
     );
 
     let dim = 8;
-    let module = hector::compile_model(ModelKind::Rgcn, dim, dim, &CompileOptions::unopt());
-    let mut rng = seeded_rng(1);
-    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
-    let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
-    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-    let (outputs, _) = session
-        .run_inference(&module, &graph, &mut params, &bindings)
-        .expect("tiny graph");
-    let h = outputs.tensor(module.forward.outputs[0]);
+    let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+        .dims(dim, dim)
+        .options(CompileOptions::unopt())
+        .seed(1)
+        .build();
+    let mut bound = engine.bind(&graph);
+    bound.forward().expect("tiny graph");
+    let h = bound.output();
 
     println!("\nRGCN layer output (h' = relu(h W0 + sum_r sum_u 1/c h_u W_r)):");
     for v in 0..graph.graph().num_nodes() {

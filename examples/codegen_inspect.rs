@@ -21,7 +21,10 @@ fn main() {
     let source = m.finish();
     println!("model defined in {} DSL lines\n", source.lines);
 
-    let module = hector::compile(&source, &CompileOptions::best().with_training(true));
+    // Custom sources go through the same cached pipeline as the built-in
+    // models (an `EngineBuilder::from_source(source)` engine would share
+    // this exact module).
+    let module = hector::compile_cached(&source, &CompileOptions::best().with_training(true));
 
     println!("=== optimized inter-operator program ===");
     println!("{}\n", module.forward);

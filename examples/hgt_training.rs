@@ -21,33 +21,32 @@ fn main() {
 
     let dim = 16;
     let classes = 8;
-    let module = hector::compile_model(
-        ModelKind::Hgt,
-        dim,
-        classes,
-        &CompileOptions::best().with_training(true),
-    );
-    println!(
-        "compiled with C+R: {} forward kernels, {} backward kernels",
-        module.fw_kernels.len(),
-        module.bw_kernels.len()
-    );
+    let mut trainer = EngineBuilder::new(ModelKind::Hgt)
+        .dims(dim, classes)
+        .options(CompileOptions::best())
+        .seed(11)
+        .build_trainer(Adam::new(0.05));
+    {
+        let module = trainer.engine().module();
+        println!(
+            "compiled with C+R: {} forward kernels, {} backward kernels",
+            module.fw_kernels.len(),
+            module.bw_kernels.len()
+        );
+    }
 
-    let mut rng = seeded_rng(11);
-    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
-    let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+    // Bind derives parameters, inputs, and random labels from the seed;
+    // override the labels with a fixed pattern for a reproducible demo.
+    trainer.bind(&graph);
     let labels: Vec<usize> = (0..graph.graph().num_nodes())
         .map(|i| (i * 7 + 3) % classes)
         .collect();
+    trainer.set_labels(labels);
 
-    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-    let mut opt = Adam::new(0.05);
     println!("\nepoch   loss      fw(us)    bw(us)");
     let mut first_report = None;
     for epoch in 0..15 {
-        let (_, report) = session
-            .run_training_step(&module, &graph, &mut params, &bindings, &labels, &mut opt)
-            .expect("fits");
+        let report = trainer.step().expect("fits");
         if epoch % 2 == 0 || epoch == 14 {
             println!(
                 "{epoch:>5}   {:.4}   {:>8.1}  {:>8.1}",

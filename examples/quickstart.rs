@@ -1,5 +1,6 @@
-//! Quickstart: compile a built-in model, run inference on a synthetic
-//! heterogeneous graph, and inspect the run report.
+//! Quickstart: build an [`Engine`] for a built-in model, bind a
+//! synthetic heterogeneous graph, run inference, and inspect the run
+//! report — the whole lifecycle in three calls.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -21,28 +22,35 @@ fn main() {
         graph.compact().ratio(),
     );
 
-    // 2. Compile RGAT with both paper optimizations (compact
-    //    materialization + linear operator reordering).
-    let module = hector::compile_model(ModelKind::Rgat, 32, 32, &CompileOptions::best());
+    // 2. Build the engine: RGAT with both paper optimizations (compact
+    //    materialization + linear operator reordering), compiled through
+    //    the process-wide module cache, on the simulated RTX 3090.
+    let mut engine = EngineBuilder::new(ModelKind::Rgat)
+        .dims(32, 32)
+        .options(CompileOptions::best())
+        .seed(7)
+        .build();
+    let module = engine.module();
     println!(
-        "compiled '{}': {} model lines -> {} kernels, {} generated lines",
+        "compiled '{}': {} model lines -> {} kernels, {} generated lines (cache {})",
         module.name,
         module.source_lines,
         module.fw_kernels.len(),
         module.code.total_lines(),
+        if engine.was_cache_hit() {
+            "hit"
+        } else {
+            "miss"
+        },
     );
 
-    // 3. Initialise parameters and inputs, then run on the simulated
-    //    RTX 3090 with real (CPU) numerics.
-    let mut rng = seeded_rng(7);
-    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
-    let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
-    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
-    let (outputs, report) = session
-        .run_inference(&module, &graph, &mut params, &bindings)
-        .expect("fits comfortably in 24 GB");
+    // 3. Bind the graph (parameters + inputs derive from the engine
+    //    seed) and run. Warm reruns through the same engine reuse every
+    //    buffer — zero heap allocations.
+    let mut bound = engine.bind(&graph);
+    let report = bound.forward().expect("fits comfortably in 24 GB");
 
-    let h_out = outputs.tensor(module.forward.outputs[0]);
+    let h_out = bound.output();
     println!(
         "output: [{} x {}] features; first row starts with {:.4}",
         h_out.rows(),
@@ -56,5 +64,20 @@ fn main() {
         report.gemm_us,
         report.traversal_us,
         report.peak_bytes as f64 / (1 << 20) as f64,
+    );
+
+    // A second identical engine (a sweep, a worker, a test) compiles
+    // nothing: the module comes from the cache.
+    let twin = EngineBuilder::new(ModelKind::Rgat)
+        .dims(32, 32)
+        .options(CompileOptions::best())
+        .build();
+    let stats = twin.device().counters().module_cache();
+    println!(
+        "module cache: {} hits / {} misses over {} entries ({} KB)",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.bytes / 1024,
     );
 }

@@ -40,23 +40,23 @@ fn main() {
         ("C+R (both)", CompileOptions::best()),
     ];
     for (label, opts) in combos {
-        let module = hector::compile_model(ModelKind::Rgat, 64, 64, &opts);
+        let mut engine = EngineBuilder::new(ModelKind::Rgat)
+            .dims(64, 64)
+            .options(opts)
+            .mode(Mode::Modeled)
+            .seed(2)
+            .build();
         let mut gemms = 0;
         let mut travs = 0;
         let mut fallbacks = 0;
-        for k in &module.fw_kernels {
+        for k in &engine.module().fw_kernels {
             match k {
                 KernelSpec::Gemm(_) => gemms += 1,
                 KernelSpec::Traversal(_) => travs += 1,
                 KernelSpec::Fallback(_) => fallbacks += 1,
             }
         }
-        let mut rng = seeded_rng(2);
-        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
-        let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
-        let (_, report) = session
-            .run_inference(&module, &graph, &mut params, &Bindings::new())
-            .expect("fits");
+        let report = engine.bind(&graph).forward().expect("fits");
         println!("{label}");
         println!("  kernel plan: {gemms} GEMM + {travs} traversal + {fallbacks} weight-prep");
         println!(

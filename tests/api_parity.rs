@@ -1,0 +1,190 @@
+//! The `Engine`/`Trainer` handle API is bit-identical to the legacy
+//! `Session` flow.
+//!
+//! The handles are *shims with better ergonomics*, not a new execution
+//! path: `bind` derives parameters/inputs/labels from the engine seed in
+//! exactly the order the legacy flow draws them (the seed contract in
+//! `hector_runtime::engine`), and every run goes through the same
+//! session cores. This suite pins that equivalence for all three models,
+//! inference and 5 Adam steps, sequential and 4-thread executors —
+//! outputs, per-step losses, and final weights compared bitwise.
+
+use hector::prelude::*;
+use hector_runtime::random_labels;
+
+const SEED: u64 = 42;
+const DIMS: usize = 16;
+
+fn graph() -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "api_parity".into(),
+        num_nodes: 90,
+        num_node_types: 3,
+        num_edges: 700,
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed: 13,
+    }))
+}
+
+fn par(threads: usize) -> ParallelConfig {
+    ParallelConfig::sequential().with_threads(threads)
+}
+
+#[test]
+fn engine_inference_is_bit_identical_to_legacy_session_flow() {
+    let graph = graph();
+    for kind in ModelKind::all() {
+        for threads in [1usize, 4] {
+            let opts = CompileOptions::best();
+
+            // Legacy: compile, init, bind, session, run.
+            let module = hector::compile_model(kind, DIMS, DIMS, &opts);
+            let mut rng = seeded_rng(SEED);
+            let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+            let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+            let mut session =
+                Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par(threads));
+            let (vars, legacy_report) = session
+                .run_inference(&module, &graph, &mut params, &bindings)
+                .expect("fits");
+            let legacy_out = vars.tensor(module.forward.outputs[0]);
+
+            // Handle: build, bind, forward.
+            let mut engine = EngineBuilder::new(kind)
+                .dims(DIMS, DIMS)
+                .options(opts)
+                .parallel(par(threads))
+                .seed(SEED)
+                .build();
+            let mut bound = engine.bind(&graph);
+            let report = bound.forward().expect("fits");
+
+            assert_eq!(
+                legacy_out.data(),
+                bound.output().data(),
+                "{kind:?} threads={threads}: outputs must be bit-identical"
+            );
+            assert_eq!(
+                legacy_report.launches, report.launches,
+                "{kind:?}: same kernel plan"
+            );
+            assert!(
+                (legacy_report.elapsed_us - report.elapsed_us).abs() < 1e-9,
+                "{kind:?}: same simulated time"
+            );
+        }
+    }
+}
+
+#[test]
+fn trainer_is_bit_identical_to_legacy_training_flow() {
+    let graph = graph();
+    let classes = DIMS;
+    for kind in ModelKind::all() {
+        for threads in [1usize, 4] {
+            let opts = CompileOptions::best().with_training(true);
+
+            // Legacy: the full five-piece wiring, 5 Adam steps.
+            let module = hector::compile_model(kind, DIMS, DIMS, &opts);
+            let mut rng = seeded_rng(SEED);
+            let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+            let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+            let labels = random_labels(&mut rng, graph.graph().num_nodes(), classes);
+            let mut session =
+                Session::with_parallel(DeviceConfig::rtx3090(), Mode::Real, par(threads));
+            let mut opt = Adam::new(0.01);
+            let mut legacy_losses = Vec::new();
+            for _ in 0..5 {
+                let (_, r) = session
+                    .run_training_step(&module, &graph, &mut params, &bindings, &labels, &mut opt)
+                    .expect("fits");
+                legacy_losses.push(r.loss.unwrap());
+            }
+            let (vars, _) = session
+                .run_inference(&module, &graph, &mut params, &bindings)
+                .expect("fits");
+            let legacy_out = vars.tensor(module.forward.outputs[0]);
+
+            // Handle: one builder call, bind, 5 steps.
+            let mut trainer = EngineBuilder::new(kind)
+                .dims(DIMS, DIMS)
+                .options(CompileOptions::best())
+                .parallel(par(threads))
+                .seed(SEED)
+                .classes(classes)
+                .build_trainer(Adam::new(0.01));
+            trainer.bind(&graph);
+            assert_eq!(trainer.labels(), &labels[..], "{kind:?}: same label stream");
+            let epoch = trainer.epoch(5).expect("fits");
+            assert_eq!(
+                legacy_losses, epoch.losses,
+                "{kind:?} threads={threads}: per-step losses must be bit-identical"
+            );
+            trainer.forward().expect("fits");
+            assert_eq!(
+                legacy_out.data(),
+                trainer.engine().output().data(),
+                "{kind:?} threads={threads}: post-training outputs must be bit-identical"
+            );
+
+            // Weights too: the optimizer walked the same trajectory.
+            for w in 0..module.forward.weights.len() {
+                let id = hector_ir::WeightId(w as u32);
+                assert_eq!(
+                    params.weight(id).data(),
+                    trainer.engine().params().weight(id).data(),
+                    "{kind:?} threads={threads}: weight {w} must match bitwise"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_parallel_and_sequential_agree() {
+    // The handles inherit the executor's bit-determinism: the same
+    // engine config at 1 and 4 threads produces identical outputs.
+    let graph = graph();
+    for kind in ModelKind::all() {
+        let outputs: Vec<Vec<f32>> = [1usize, 4]
+            .iter()
+            .map(|&threads| {
+                let mut engine = EngineBuilder::new(kind)
+                    .dims(DIMS, DIMS)
+                    .parallel(par(threads))
+                    .seed(SEED)
+                    .build();
+                let mut bound = engine.bind(&graph);
+                bound.forward().expect("fits");
+                bound.output().data().to_vec()
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "{kind:?}: thread-count invariance");
+    }
+}
+
+#[test]
+fn modeled_engine_matches_legacy_modeled_accounting() {
+    let graph = graph();
+    let opts = CompileOptions::best();
+    let module = hector::compile_model(ModelKind::Hgt, DIMS, DIMS, &opts);
+    let mut rng = seeded_rng(SEED);
+    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+    let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Modeled);
+    let (_, legacy) = session
+        .run_inference(&module, &graph, &mut params, &Bindings::new())
+        .expect("fits");
+
+    let mut engine = EngineBuilder::new(ModelKind::Hgt)
+        .dims(DIMS, DIMS)
+        .options(opts)
+        .mode(Mode::Modeled)
+        .seed(SEED)
+        .build();
+    let report = engine.bind(&graph).forward().expect("fits");
+    assert!((legacy.elapsed_us - report.elapsed_us).abs() < 1e-9);
+    assert_eq!(legacy.peak_bytes, report.peak_bytes);
+    assert_eq!(legacy.launches, report.launches);
+}

@@ -1,0 +1,93 @@
+//! Pins the process-wide module cache's counter contract: constructing a
+//! second engine with identical `(source, dims, options)` performs zero
+//! compilations, and the hit/miss counters surface on every session's
+//! `counters().module_cache()`.
+//!
+//! The cache and its counters are process-global, so this binary keeps
+//! every cache-touching assertion inside one `#[test]` — the default
+//! harness runs tests of one binary concurrently, and a sibling test
+//! hitting the cache would skew exact deltas. (Other test *binaries* are
+//! separate processes and cannot interfere.)
+
+use hector::prelude::*;
+
+#[test]
+fn second_identical_engine_compiles_nothing() {
+    let graph = GraphData::new(hector::generate(&DatasetSpec {
+        name: "module_cache".into(),
+        num_nodes: 50,
+        num_node_types: 2,
+        num_edges: 300,
+        num_edge_types: 3,
+        compaction_ratio: 0.5,
+        type_skew: 1.0,
+        seed: 31,
+    }));
+
+    ModuleCache::clear();
+    let base = ModuleCache::stats();
+    assert_eq!((base.hits, base.misses, base.entries), (0, 0, 0));
+
+    let build = || {
+        EngineBuilder::new(ModelKind::Rgat)
+            .dims(16, 16)
+            .options(CompileOptions::best())
+            .seed(5)
+            .build()
+    };
+
+    // First engine: one miss, one entry, a visible byte estimate.
+    let mut first = build();
+    assert!(!first.was_cache_hit());
+    let after_first = ModuleCache::stats();
+    assert_eq!(after_first.misses, 1, "first build compiles exactly once");
+    assert_eq!(after_first.hits, 0);
+    assert_eq!(after_first.entries, 1);
+    assert!(after_first.bytes > 0, "footprint estimate must be visible");
+
+    // Nine more engines: zero additional compilations.
+    let mut twins: Vec<Engine> = (0..9).map(|_| build()).collect();
+    let after_ten = ModuleCache::stats();
+    assert_eq!(after_ten.misses, 1, "nine rebuilds must not compile");
+    assert_eq!(after_ten.hits, 9);
+    assert_eq!(after_ten.entries, 1);
+    assert!(twins.iter().all(Engine::was_cache_hit));
+
+    // The same numbers surface through any session's device counters.
+    let via_counters = first.device().counters().module_cache();
+    assert_eq!(via_counters, after_ten);
+    assert!((via_counters.hit_rate() - 0.9).abs() < 1e-12);
+
+    // Shared module, independent sessions: both engines run and agree.
+    first.bind(&graph).forward().expect("fits");
+    let twin = &mut twins[0];
+    twin.bind(&graph).forward().expect("fits");
+    assert_eq!(
+        first.output().data(),
+        twin.output().data(),
+        "engines sharing a cached module must agree bitwise"
+    );
+
+    // Different dims or options are distinct entries (one miss each).
+    let _other_dims = EngineBuilder::new(ModelKind::Rgat)
+        .dims(8, 8)
+        .options(CompileOptions::best())
+        .build();
+    let _other_opts = EngineBuilder::new(ModelKind::Rgat)
+        .dims(16, 16)
+        .options(CompileOptions::unopt())
+        .build();
+    let end = ModuleCache::stats();
+    assert_eq!(end.misses, 3);
+    assert_eq!(end.entries, 3);
+    assert!(end.bytes > after_first.bytes);
+
+    // clear() empties both the cache and the probe.
+    ModuleCache::clear();
+    let cleared = ModuleCache::stats();
+    assert_eq!(
+        (cleared.hits, cleared.misses, cleared.entries, cleared.bytes),
+        (0, 0, 0, 0)
+    );
+    assert_eq!(first.device().counters().module_cache(), cleared);
+}

@@ -97,6 +97,43 @@ fn warm_train_steps_allocate_nothing() {
 }
 
 #[test]
+fn warm_trainer_steps_allocate_nothing() {
+    // The Trainer handle hits the plan path by construction: after the
+    // first step, `trainer.step()` — the entire user-facing epoch body —
+    // performs exactly zero heap allocations.
+    for kind in ModelKind::all() {
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(kind)
+            .dims(16, 16)
+            .options(CompileOptions::best())
+            .parallel(ParallelConfig::sequential())
+            .seed(5)
+            .build_trainer(Adam::new(0.01));
+        trainer.bind(&graph);
+        trainer.step().expect("first step fits");
+
+        let before = alloc_events();
+        for _ in 0..5 {
+            trainer.step().expect("warm step fits");
+        }
+        let allocs = alloc_events() - before;
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warm trainer.step() must perform zero heap allocations, saw {allocs}",
+            kind.name()
+        );
+        assert!(
+            trainer.loss().expect("real mode reports loss").is_finite(),
+            "{}: training must stay finite",
+            kind.name()
+        );
+        let s = *trainer.engine().device().counters().scratch();
+        assert_eq!(s.plan_grows, 0, "{}: warm plan must not grow", kind.name());
+    }
+}
+
+#[test]
 fn warm_forward_allocates_nothing() {
     for kind in ModelKind::all() {
         let graph = graph();
