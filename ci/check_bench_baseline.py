@@ -61,6 +61,16 @@ def main() -> int:
             f" (hits {metrics.get('cache_hits', 'n/a')})"
         )
 
+    # Informational: mini-batch pipeline throughput and overlap (batch
+    # *contents* are gated by tests/minibatch.rs; wall clock never gates,
+    # and CI runners rarely spare a core for the producer thread).
+    for row, metrics in sorted(bench.get("minibatch", {}).items()):
+        print(
+            f"info minibatch {row}: {metrics.get('seeds_per_sec', 'n/a')} seeds/s,"
+            f" overlap {metrics.get('overlap_fraction', 'n/a')},"
+            f" pipeline speedup {metrics.get('speedup', 'n/a')}x"
+        )
+
     if failed:
         print("perf-regression: allocation baseline exceeded")
         return 1

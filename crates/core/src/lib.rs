@@ -90,15 +90,16 @@ pub use hector_compiler::{
     compile, compile_cached, source_fingerprint, CompileOptions, CompiledModule, GeneratedCode,
     ModuleCache,
 };
-pub use hector_device::{Device, DeviceConfig, ModuleCacheStats, ScratchStats};
+pub use hector_device::{Device, DeviceConfig, ModuleCacheStats, SamplerStats, ScratchStats};
 pub use hector_graph::{
-    datasets, generate, DatasetSpec, GraphStats, HeteroGraph, HeteroGraphBuilder,
+    datasets, generate, DatasetSpec, GraphStats, HeteroGraph, HeteroGraphBuilder, NeighborSampler,
+    SampledBatch, SamplerConfig, Subgraph,
 };
 pub use hector_ir::{builder::ModelSource, ModelBuilder};
 pub use hector_models::{source as model_source, stacked, ModelKind};
 pub use hector_runtime::{
-    Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Mode, ParallelConfig,
-    ParamStore, RunReport, Session, Trainer,
+    Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Minibatches, Mode,
+    ParallelConfig, ParamStore, RunReport, Session, Trainer,
 };
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
@@ -137,12 +138,12 @@ pub fn compile_model_cached(
 pub mod prelude {
     pub use hector_compiler::{CompileOptions, CompiledModule, ModuleCache};
     pub use hector_device::DeviceConfig;
-    pub use hector_graph::{DatasetSpec, GraphStats, HeteroGraphBuilder};
+    pub use hector_graph::{DatasetSpec, GraphStats, HeteroGraphBuilder, SamplerConfig};
     pub use hector_ir::ModelBuilder;
     pub use hector_models::ModelKind;
     pub use hector_runtime::{
-        Adam, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Mode, Optimizer,
-        ParallelConfig, ParamStore, Session, Sgd, Trainer,
+        Adam, Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Minibatches,
+        Mode, Optimizer, ParallelConfig, ParamStore, Session, Sgd, Trainer,
     };
     pub use hector_tensor::{seeded_rng, Tensor};
 }

@@ -142,6 +142,54 @@ impl ScratchStats {
     }
 }
 
+/// Mini-batch sampler statistics (host side, like [`ParallelStats`]):
+/// one record per consumed batch, covering both halves of the
+/// producer/consumer pipeline. `sample_wall_us` is time spent *producing*
+/// batches (sampling + subgraph extraction + binding slicing, measured on
+/// whichever thread ran it); `wait_wall_us` is time the *consumer*
+/// spent blocked waiting for a batch to arrive. With the prefetch
+/// pipeline on, sampling overlaps training and the wait collapses —
+/// [`SamplerStats::overlap_fraction`] is the observable for that.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SamplerStats {
+    /// Batches consumed.
+    pub batches: usize,
+    /// Total sampled nodes across batches (seeds + neighbors).
+    pub nodes: usize,
+    /// Total sampled edges across batches.
+    pub edges: usize,
+    /// Host wall-clock time producing batches, µs.
+    pub sample_wall_us: f64,
+    /// Host wall-clock time the consumer spent blocked on batch
+    /// arrival, µs.
+    pub wait_wall_us: f64,
+}
+
+impl SamplerStats {
+    /// Fraction of batch-production time hidden behind training compute:
+    /// `1 - wait / sample`, clamped to `[0, 1]`. Without a pipeline the
+    /// consumer waits for every batch to be produced (≈ 0); with the
+    /// prefetch pipeline saturated it approaches 1.
+    #[must_use]
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.sample_wall_us <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.wait_wall_us / self.sample_wall_us).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Sampled nodes per second of production time.
+    #[must_use]
+    pub fn nodes_per_sec(&self) -> f64 {
+        if self.sample_wall_us <= 0.0 {
+            0.0
+        } else {
+            self.nodes as f64 / (self.sample_wall_us * 1e-6)
+        }
+    }
+}
+
 /// Snapshot of the process-wide compiled-module cache
 /// (`hector_compiler::ModuleCache`). Unlike every other counter in this
 /// module, which is scoped to one device, the module cache is shared by
@@ -230,6 +278,7 @@ pub struct Counters {
     buckets: HashMap<(KernelCategory, Phase), CategoryMetrics>,
     parallel: ParallelStats,
     scratch: ScratchStats,
+    sampler: SamplerStats,
 }
 
 impl Counters {
@@ -352,6 +401,30 @@ impl Counters {
         &self.scratch
     }
 
+    /// Records one consumed mini-batch: its size, the host time spent
+    /// producing it, and the time the consumer spent blocked on its
+    /// arrival (see [`SamplerStats`]).
+    pub fn record_sampler_batch(
+        &mut self,
+        nodes: usize,
+        edges: usize,
+        sample_wall_us: f64,
+        wait_wall_us: f64,
+    ) {
+        let s = &mut self.sampler;
+        s.batches += 1;
+        s.nodes += nodes;
+        s.edges += edges;
+        s.sample_wall_us += sample_wall_us;
+        s.wait_wall_us += wait_wall_us;
+    }
+
+    /// Mini-batch sampler statistics.
+    #[must_use]
+    pub fn sampler(&self) -> &SamplerStats {
+        &self.sampler
+    }
+
     /// Snapshot of the process-wide compiled-module cache. The cache is
     /// shared across sessions and devices (see [`ModuleCacheStats`]);
     /// this accessor lives on `Counters` so every observability surface
@@ -361,11 +434,20 @@ impl Counters {
         module_cache_probe::snapshot()
     }
 
-    /// Clears all counters.
+    /// Clears the per-run counters (kernel buckets, parallel, scratch).
+    /// Sampler statistics survive: they describe a mini-batch *epoch*
+    /// spanning many runs — the per-run reset at the start of each
+    /// training step must not wipe the batches recorded between runs.
+    /// Clear them explicitly with [`Counters::reset_sampler`].
     pub fn reset(&mut self) {
         self.buckets.clear();
         self.parallel = ParallelStats::default();
         self.scratch = ScratchStats::default();
+    }
+
+    /// Clears the epoch-scoped sampler statistics.
+    pub fn reset_sampler(&mut self) {
+        self.sampler = SamplerStats::default();
     }
 
     /// Merges another counter store into this one.
@@ -384,6 +466,12 @@ impl Counters {
         s.kernels += other.scratch.kernels;
         s.plan_grows += other.scratch.plan_grows;
         s.plan_bytes = s.plan_bytes.max(other.scratch.plan_bytes);
+        let sa = &mut self.sampler;
+        sa.batches += other.sampler.batches;
+        sa.nodes += other.sampler.nodes;
+        sa.edges += other.sampler.edges;
+        sa.sample_wall_us += other.sampler.sample_wall_us;
+        sa.wait_wall_us += other.sampler.wait_wall_us;
         for (k, m) in &other.buckets {
             let e = self.buckets.entry(*k).or_default();
             e.launches += m.launches;

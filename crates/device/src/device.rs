@@ -97,6 +97,28 @@ impl Device {
         self.counters.record_plan(grows, bytes);
     }
 
+    /// Records one consumed mini-batch's sampler activity (see
+    /// [`crate::SamplerStats`]): batch size, host time spent producing
+    /// it, and consumer time blocked on its arrival. Host-side books
+    /// only — the simulated clock does not advance.
+    pub fn record_sampler_batch(
+        &mut self,
+        nodes: usize,
+        edges: usize,
+        sample_wall_us: f64,
+        wait_wall_us: f64,
+    ) {
+        self.counters
+            .record_sampler_batch(nodes, edges, sample_wall_us, wait_wall_us);
+    }
+
+    /// Clears the epoch-scoped sampler statistics (they deliberately
+    /// survive [`Device::reset`] — see [`crate::Counters::reset`]), so a
+    /// caller can measure one epoch in isolation.
+    pub fn reset_sampler(&mut self) {
+        self.counters.reset_sampler();
+    }
+
     /// Charges pure host-side API overhead (framework dispatch without a
     /// kernel), as eager per-relation Python loops do.
     pub fn charge_api_call(&mut self) {

@@ -258,6 +258,7 @@ impl Csc {
 pub struct HeteroGraphBuilder {
     node_type_counts: Vec<usize>,
     edges: Vec<(u32, u32, u32)>,
+    min_edge_types: usize,
 }
 
 impl HeteroGraphBuilder {
@@ -278,6 +279,15 @@ impl HeteroGraphBuilder {
     /// Adds an edge `src --etype--> dst`.
     pub fn add_edge(&mut self, src: u32, dst: u32, etype: u32) {
         self.edges.push((src, dst, etype));
+    }
+
+    /// Forces the built graph to declare at least `n` edge types, even if
+    /// some of them end up with zero edges (their `etype_ptr` segments are
+    /// empty). Subgraph extraction relies on this: a sampled minibatch
+    /// must keep the full graph's relation count so per-relation weight
+    /// stacks keep their shapes across batches.
+    pub fn reserve_edge_types(&mut self, n: usize) {
+        self.min_edge_types = self.min_edge_types.max(n);
     }
 
     /// Finalises the graph.
@@ -303,7 +313,8 @@ impl HeteroGraphBuilder {
             .iter()
             .map(|&(_, _, t)| t as usize + 1)
             .max()
-            .unwrap_or(0);
+            .unwrap_or(0)
+            .max(self.min_edge_types);
         let mut etype_ptr = vec![0usize; num_edge_types + 1];
         for &(_, _, t) in &self.edges {
             etype_ptr[t as usize + 1] += 1;

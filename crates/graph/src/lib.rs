@@ -16,7 +16,12 @@
 //!   Table 3 (aifb, am, bgs, biokg, fb15k, mag, mutag, wikikg2),
 //!   including their entity-compaction ratios;
 //! * [`GraphStats`] — the per-dataset statistics reported in Table 3 and
-//!   Fig. 10.
+//!   Fig. 10;
+//! * [`NeighborSampler`] / [`Subgraph`] — seeded per-relation fanout
+//!   sampling and batch subgraph extraction for mini-batch training
+//!   (the PIGEON direction); batch content is a pure function of
+//!   `(seed, epoch, batch index)`, independent of thread count and
+//!   prefetch pipelining.
 //!
 //! # Example
 //!
@@ -37,9 +42,13 @@ mod compact;
 pub mod datasets;
 mod generate;
 mod hetero;
+mod sample;
 mod stats;
+mod subgraph;
 
 pub use compact::CompactionMap;
 pub use generate::{generate, DatasetSpec};
 pub use hetero::{Csc, Csr, HeteroGraph, HeteroGraphBuilder};
+pub use sample::{batch_stream_seed, NeighborSampler, SampledBatch, SamplerConfig};
 pub use stats::GraphStats;
+pub use subgraph::Subgraph;

@@ -1,0 +1,239 @@
+//! Subgraph extraction for sampled mini-batches.
+//!
+//! A [`SampledBatch`](crate::SampledBatch) names nodes and edges of the
+//! full graph; training needs them re-packed as a small, self-contained
+//! [`HeteroGraph`] in the same kernel-ready layout (type-sorted nodes,
+//! relation-sorted edges, segment pointers). [`Subgraph::extract`] does
+//! that and records the remap tables (`node_map`, `edge_map`) that slice
+//! full-graph features, labels, and edge data into batch order.
+//!
+//! Two layout properties make the extraction cheap and deterministic:
+//!
+//! * full-graph node ids are sorted by node type, so sorting the sampled
+//!   node ids ascending automatically groups them by type — the local id
+//!   order *is* the type-segmented order;
+//! * full-graph edges are sorted by relation and the builder's sort is
+//!   stable, so inserting sampled edges in ascending original order
+//!   reproduces relation-sorted COO with local edge `i` ↔ `edge_map[i]`.
+//!
+//! The subgraph always declares the **full graph's type counts** —
+//! relations or node types absent from the batch get empty segments (via
+//! [`HeteroGraphBuilder::reserve_edge_types`](crate::HeteroGraphBuilder::reserve_edge_types)
+//! and zero-count node-type declarations) — so per-relation and per-type
+//! parameter stacks keep their shapes across every batch and one
+//! parameter store serves the whole epoch.
+
+use crate::{HeteroGraph, HeteroGraphBuilder, SampledBatch};
+
+/// A sampled batch re-packed as a self-contained [`HeteroGraph`], plus
+/// the remap tables tying local ids back to the full graph.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    graph: HeteroGraph,
+    node_map: Vec<u32>,
+    edge_map: Vec<u32>,
+    seed_local: Vec<u32>,
+}
+
+impl Subgraph {
+    /// Extracts `batch` from `full` (see module docs for layout and
+    /// type-count guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch references ids outside `full`.
+    #[must_use]
+    pub fn extract(full: &HeteroGraph, batch: &SampledBatch) -> Subgraph {
+        // Ascending original node ids == type-grouped local order.
+        let mut node_map = batch.nodes.clone();
+        node_map.sort_unstable();
+        debug_assert!(node_map.windows(2).all(|w| w[0] < w[1]), "duplicate node");
+
+        // Ascending original edge ids == relation-grouped local order.
+        let mut edge_map = batch.edges.clone();
+        edge_map.sort_unstable();
+
+        let local =
+            |orig: u32| -> u32 { node_map.binary_search(&orig).expect("node not sampled") as u32 };
+
+        let mut b = HeteroGraphBuilder::new();
+        // Declare every full-graph node type, empty segments included.
+        let ntype_ptr = full.ntype_ptr();
+        for t in 0..full.num_node_types() {
+            let lo = node_map.partition_point(|&n| (n as usize) < ntype_ptr[t]);
+            let hi = node_map.partition_point(|&n| (n as usize) < ntype_ptr[t + 1]);
+            b.add_node_type(hi - lo);
+        }
+        b.reserve_edge_types(full.num_edge_types());
+        for &e in &edge_map {
+            let e = e as usize;
+            b.add_edge(local(full.src()[e]), local(full.dst()[e]), full.etype()[e]);
+        }
+        let graph = b.build();
+        debug_assert_eq!(graph.num_edge_types(), full.num_edge_types());
+        debug_assert_eq!(graph.num_node_types(), full.num_node_types());
+
+        let seed_local = batch.seeds.iter().map(|&s| local(s)).collect();
+        Subgraph {
+            graph,
+            node_map,
+            edge_map,
+            seed_local,
+        }
+    }
+
+    /// The extracted graph (local ids).
+    #[must_use]
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.graph
+    }
+
+    /// Original node id of each local node (`node_map[local] = original`;
+    /// strictly ascending).
+    #[must_use]
+    pub fn node_map(&self) -> &[u32] {
+        &self.node_map
+    }
+
+    /// Original edge index of each local edge (strictly ascending).
+    #[must_use]
+    pub fn edge_map(&self) -> &[u32] {
+        &self.edge_map
+    }
+
+    /// Local ids of the batch's seed nodes, in the batch's seed order —
+    /// the rows whose outputs the loss should read.
+    #[must_use]
+    pub fn seed_local(&self) -> &[u32] {
+        &self.seed_local
+    }
+
+    /// Gathers per-node rows from a full-graph array into batch-local
+    /// order: `out[local * width ..]` gets `src[node_map[local] * width ..]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src`/`out` are shorter than the implied row counts.
+    pub fn gather_node_rows(&self, src: &[f32], out: &mut [f32], width: usize) {
+        for (local, &orig) in self.node_map.iter().enumerate() {
+            let o = orig as usize * width;
+            out[local * width..(local + 1) * width].copy_from_slice(&src[o..o + width]);
+        }
+    }
+
+    /// Gathers per-node values (e.g. labels) into batch-local order.
+    #[must_use]
+    pub fn gather_node_values<T: Copy>(&self, src: &[T]) -> Vec<T> {
+        self.node_map.iter().map(|&o| src[o as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetSpec, NeighborSampler, SamplerConfig};
+
+    fn graph() -> HeteroGraph {
+        generate(&DatasetSpec {
+            name: "subgraph".into(),
+            num_nodes: 150,
+            num_node_types: 3,
+            num_edges: 1100,
+            num_edge_types: 5,
+            compaction_ratio: 0.6,
+            type_skew: 1.2,
+            seed: 21,
+        })
+    }
+
+    #[test]
+    fn extract_preserves_type_counts_and_structure() {
+        let g = graph();
+        let cfg = SamplerConfig::new(20).fanouts(&[4, 3]);
+        let s = NeighborSampler::new(&g, &cfg, 13);
+        for k in 0..s.num_batches().min(3) {
+            let batch = s.sample(&g, k);
+            let sub = Subgraph::extract(&g, &batch);
+            sub.graph().validate();
+            assert_eq!(sub.graph().num_edge_types(), g.num_edge_types());
+            assert_eq!(sub.graph().num_node_types(), g.num_node_types());
+            assert_eq!(sub.graph().num_nodes(), batch.nodes.len());
+            assert_eq!(sub.graph().num_edges(), batch.edges.len());
+        }
+    }
+
+    #[test]
+    fn remap_is_edge_exact() {
+        let g = graph();
+        let cfg = SamplerConfig::new(16).fanouts(&[3, 2]);
+        let s = NeighborSampler::new(&g, &cfg, 29);
+        let batch = s.sample(&g, 1);
+        let sub = Subgraph::extract(&g, &batch);
+        for le in 0..sub.graph().num_edges() {
+            let oe = sub.edge_map()[le] as usize;
+            assert_eq!(
+                sub.node_map()[sub.graph().src()[le] as usize],
+                g.src()[oe],
+                "src remap mismatch at local edge {le}"
+            );
+            assert_eq!(sub.node_map()[sub.graph().dst()[le] as usize], g.dst()[oe]);
+            assert_eq!(sub.graph().etype()[le], g.etype()[oe]);
+        }
+        // Node types survive the remap.
+        for (l, &o) in sub.node_map().iter().enumerate() {
+            assert_eq!(
+                sub.graph().node_type()[l],
+                g.node_type()[o as usize],
+                "node type remap mismatch at local node {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_rows_resolve_and_gather_round_trips() {
+        let g = graph();
+        let cfg = SamplerConfig::new(16).fanouts(&[3]);
+        let s = NeighborSampler::new(&g, &cfg, 31);
+        let batch = s.sample(&g, 0);
+        let sub = Subgraph::extract(&g, &batch);
+        assert_eq!(sub.seed_local().len(), batch.seeds.len());
+        for (i, &l) in sub.seed_local().iter().enumerate() {
+            assert_eq!(sub.node_map()[l as usize], batch.seeds[i]);
+        }
+        // gather_node_rows: row v of the full array is v broadcast.
+        let width = 3;
+        let full: Vec<f32> = (0..g.num_nodes())
+            .flat_map(|v| std::iter::repeat_n(v as f32, width))
+            .collect();
+        let mut out = vec![0.0f32; sub.graph().num_nodes() * width];
+        sub.gather_node_rows(&full, &mut out, width);
+        for (l, &o) in sub.node_map().iter().enumerate() {
+            assert!(out[l * width..(l + 1) * width]
+                .iter()
+                .all(|&x| x == o as f32));
+        }
+        // gather_node_values round-trips labels.
+        let labels: Vec<usize> = (0..g.num_nodes()).map(|v| v % 7).collect();
+        let got = sub.gather_node_values(&labels);
+        for (l, &o) in sub.node_map().iter().enumerate() {
+            assert_eq!(got[l], labels[o as usize]);
+        }
+    }
+
+    #[test]
+    fn empty_relations_keep_segment_pointers() {
+        // A batch that samples zero edges still yields a graph with the
+        // full relation count and all-empty segments.
+        let g = graph();
+        let batch = SampledBatch {
+            index: 0,
+            seeds: vec![0, 1],
+            nodes: vec![0, 1],
+            edges: vec![],
+        };
+        let sub = Subgraph::extract(&g, &batch);
+        assert_eq!(sub.graph().num_edge_types(), g.num_edge_types());
+        assert_eq!(sub.graph().num_edges(), 0);
+        assert_eq!(sub.graph().etype_ptr().len(), g.num_edge_types() + 1);
+    }
+}

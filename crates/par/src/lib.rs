@@ -15,7 +15,10 @@
 //!   scatter/aggregate partials is built on);
 //! * [`ParallelConfig`] — `num_threads` / `min_chunk_rows`, defaulted
 //!   from the `HECTOR_THREADS` and `HECTOR_MIN_CHUNK_ROWS` environment
-//!   variables.
+//!   variables;
+//! * [`Prefetcher`] — a bounded background producer for pipelines that
+//!   must keep work in flight *across* the caller's returns (mini-batch
+//!   prefetch), which the structured `scope` cannot express.
 //!
 //! # Scheduling
 //!
@@ -38,6 +41,10 @@
 //! in fixed chunk order regardless of execution interleaving.
 
 #![warn(missing_docs)]
+
+mod pipeline;
+
+pub use pipeline::Prefetcher;
 
 use std::any::Any;
 use std::collections::VecDeque;

@@ -65,7 +65,10 @@ use hector_models::{stacked, ModelKind};
 use hector_par::ParallelConfig;
 use hector_tensor::{seeded_rng, Tensor};
 
+use hector_graph::SamplerConfig;
+
 use crate::loss::random_labels;
+use crate::minibatch::{Batch, BatchSource, Minibatches};
 use crate::optim::Optimizer;
 use crate::session::{Bindings, Mode, RunReport, Session};
 use crate::store::VarStore;
@@ -313,6 +316,7 @@ impl EngineBuilder {
             engine,
             optimizer: Box::new(optimizer),
             labels: Vec::new(),
+            labels_pinned: false,
             steps: 0,
             last_loss: None,
         }
@@ -533,6 +537,40 @@ impl Engine {
         Ok(report)
     }
 
+    /// Runs one training step on an *alternate* graph — a sampled
+    /// mini-batch subgraph — with caller-provided bindings and labels,
+    /// while keeping the bound graph's parameters and the session's
+    /// persistent run plan. The subgraph must declare the same node/edge
+    /// type counts as the bound graph (guaranteed by
+    /// `hector_graph::Subgraph::extract`) so the parameter shapes match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound or the module was not compiled for
+    /// training.
+    pub fn train_step_on(
+        &mut self,
+        graph: &GraphData,
+        bindings: &Bindings,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<RunReport, OomError> {
+        let state = self.state.as_mut().expect("Engine::bind a graph first");
+        let (_, report) = self.session.train_step(
+            &self.module,
+            graph,
+            &mut state.params,
+            bindings,
+            labels,
+            optimizer,
+        )?;
+        Ok(report)
+    }
+
     /// The run plan's variable store after the latest run (outputs live
     /// here in real mode).
     #[must_use]
@@ -611,13 +649,46 @@ impl Bound<'_> {
     }
 }
 
-/// Summary of one [`Trainer::epoch`] call.
+/// Summary of one [`Trainer::epoch`] or
+/// [`Trainer::minibatch_epoch`] call.
+///
+/// `steps` counts the steps that actually executed; `losses` holds one
+/// entry per step *that produced a loss*. The two deliberately
+/// disagree in modeled mode — the cost model never computes numerics,
+/// so `losses` stays empty ("no loss available") while `steps` still
+/// counts the simulated steps. An all-steps-executed epoch with an
+/// empty loss curve therefore means "modeled mode", never "zero steps"
+/// (`epoch(0)` panics instead of returning an empty report).
 #[derive(Clone, Debug)]
 pub struct EpochReport {
-    /// Per-step losses, in step order (empty in modeled mode).
+    /// Per-step losses, in step order. One entry per executed step in
+    /// real mode; empty in modeled mode (no loss is computed there —
+    /// check `steps` for how many steps ran).
     pub losses: Vec<f32>,
+    /// Number of training steps that executed (counted in both modes).
+    pub steps: usize,
     /// Run report of the final step.
     pub last: RunReport,
+}
+
+impl EpochReport {
+    /// Loss of the final step, when one was computed ([`None`] in
+    /// modeled mode — distinguishable from "zero steps" because an
+    /// epoch always runs at least one step).
+    #[must_use]
+    pub fn final_loss(&self) -> Option<f32> {
+        self.losses.last().copied()
+    }
+
+    /// Mean loss across the epoch's steps ([`None`] in modeled mode).
+    #[must_use]
+    pub fn mean_loss(&self) -> Option<f32> {
+        if self.losses.is_empty() {
+            None
+        } else {
+            Some(self.losses.iter().sum::<f32>() / self.losses.len() as f32)
+        }
+    }
 }
 
 /// An [`Engine`] wrapped with an optimizer and the paper's NLL loss
@@ -629,6 +700,9 @@ pub struct Trainer {
     engine: Engine,
     optimizer: Box<dyn Optimizer>,
     labels: Vec<usize>,
+    /// Whether `labels` were installed by [`Trainer::set_labels`] (and
+    /// must survive a rebind) rather than derived from the seed.
+    labels_pinned: bool,
     steps: usize,
     last_loss: Option<f32>,
 }
@@ -649,13 +723,29 @@ impl Trainer {
     /// label tensor (`random_labels`, one class id per node) from the
     /// same seeded stream — step 3 of the module-level seed contract.
     /// Modeled sessions train label-free (loss is not computed there).
+    ///
+    /// # Label preservation
+    ///
+    /// Labels installed via [`Trainer::set_labels`] are **pinned**: a
+    /// rebind keeps them as long as the new graph has the same node
+    /// count (rebinding the same graph to restart training is the
+    /// common case). Binding a graph with a different node count drops
+    /// the pinned labels — they cannot index the new nodes — and falls
+    /// back to seed-derived ones, un-pinning. Pinned by
+    /// `set_labels_survive_rebind` / `rebind_different_size_rederives`.
     pub fn bind(&mut self, graph: &GraphData) -> &mut Trainer {
         let classes = self.engine.classes;
         let mut rng = self.engine.bind_internal(graph);
-        self.labels = match self.engine.mode() {
-            Mode::Real => random_labels(&mut rng, graph.graph().num_nodes(), classes),
-            Mode::Modeled => Vec::new(),
-        };
+        let keep_pinned = self.labels_pinned
+            && self.engine.mode() == Mode::Real
+            && self.labels.len() == graph.graph().num_nodes();
+        if !keep_pinned {
+            self.labels = match self.engine.mode() {
+                Mode::Real => random_labels(&mut rng, graph.graph().num_nodes(), classes),
+                Mode::Modeled => Vec::new(),
+            };
+            self.labels_pinned = false;
+        }
         self.optimizer.reset();
         self.steps = 0;
         self.last_loss = None;
@@ -700,6 +790,7 @@ impl Trainer {
         }
         Ok(EpochReport {
             losses,
+            steps: n,
             last: last.expect("n > 0"),
         })
     }
@@ -718,7 +809,118 @@ impl Trainer {
         self.engine.forward()
     }
 
-    /// Replaces the derived labels with caller-provided ones.
+    /// Starts one epoch of sampled mini-batches over the bound graph
+    /// (the PIGEON-style pipeline). The returned iterator owns a
+    /// snapshot of the trainer's graph, bindings, and labels, so it does
+    /// not borrow the trainer — drive it with
+    /// [`Trainer::train_batch`]:
+    ///
+    /// ```ignore
+    /// for batch in trainer.minibatch(&SamplerConfig::new(64)) {
+    ///     trainer.train_batch(&batch)?;
+    /// }
+    /// ```
+    ///
+    /// Batch contents are a pure function of `(engine seed, cfg.epoch,
+    /// batch index)` — bitwise identical across `HECTOR_THREADS` values
+    /// and `cfg.pipeline` on/off. With the pipeline on, batch `k+1` is
+    /// sampled on a background thread while batch `k` trains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    #[must_use]
+    pub fn minibatch(&self, cfg: &SamplerConfig) -> Minibatches {
+        let module = self.engine.module();
+        let inputs: Vec<hector_ir::VarInfo> = module
+            .forward
+            .inputs
+            .iter()
+            .map(|&v| module.forward.var(v).clone())
+            .collect();
+        let state = self.engine.expect_state();
+        let source = BatchSource::new(
+            state.graph.graph(),
+            cfg,
+            self.engine.seed,
+            inputs,
+            state.bindings.clone(),
+            self.labels.clone(),
+            self.engine.mode(),
+        );
+        Minibatches::new(source, cfg.pipeline)
+    }
+
+    /// Trains one step on a sampled [`Batch`]: the full graph's
+    /// parameters against the batch subgraph, bindings, and labels,
+    /// through the session's persistent run plan (so warm same-shape
+    /// batch steps are allocation-free). Also records the batch's
+    /// sampling/wait times into the device's
+    /// [`hector_device::SamplerStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when the run exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound.
+    pub fn train_batch(&mut self, batch: &Batch) -> Result<RunReport, OomError> {
+        let report = self.engine.train_step_on(
+            &batch.graph,
+            &batch.bindings,
+            &batch.labels,
+            self.optimizer.as_mut(),
+        )?;
+        let g = batch.graph.graph();
+        self.engine.session_mut().device_mut().record_sampler_batch(
+            g.num_nodes(),
+            g.num_edges(),
+            batch.sample_wall_us,
+            batch.wait_wall_us,
+        );
+        self.steps += 1;
+        self.last_loss = report.loss;
+        Ok(report)
+    }
+
+    /// Runs one full epoch of sampled mini-batch training: every batch
+    /// of [`Trainer::minibatch`], trained in order. The loss curve has
+    /// one entry per batch (empty in modeled mode — see
+    /// [`EpochReport`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OomError`] when any step exceeds device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no graph is bound or the bound graph has no nodes.
+    pub fn minibatch_epoch(&mut self, cfg: &SamplerConfig) -> Result<EpochReport, OomError> {
+        let batches = self.minibatch(cfg);
+        assert!(
+            batches.num_batches() > 0,
+            "a mini-batch epoch needs a non-empty graph"
+        );
+        let mut losses = Vec::with_capacity(batches.num_batches());
+        let mut steps = 0;
+        let mut last = None;
+        for batch in batches {
+            let report = self.train_batch(&batch)?;
+            losses.extend(report.loss);
+            steps += 1;
+            last = Some(report);
+        }
+        Ok(EpochReport {
+            losses,
+            steps,
+            last: last.expect("num_batches > 0"),
+        })
+    }
+
+    /// Replaces the derived labels with caller-provided ones and pins
+    /// them: they survive rebinds to graphs of the same node count (see
+    /// [`Trainer::bind`]).
     ///
     /// # Panics
     ///
@@ -731,6 +933,14 @@ impl Trainer {
             "one label per node"
         );
         self.labels = labels;
+        self.labels_pinned = true;
+    }
+
+    /// Whether the current labels were installed by
+    /// [`Trainer::set_labels`] (as opposed to seed-derived).
+    #[must_use]
+    pub fn labels_pinned(&self) -> bool {
+        self.labels_pinned
     }
 
     /// The current label tensor.
@@ -855,6 +1065,108 @@ mod tests {
         trainer.bind(&graph);
         let second: Vec<f32> = trainer.epoch(3).unwrap().losses;
         assert_eq!(first, second, "rebind must restart from the seed");
+    }
+
+    #[test]
+    fn modeled_epoch_reports_steps_without_losses() {
+        // Modeled mode never computes numerics, so the loss curve is
+        // empty by design — the report must still say how many steps
+        // ran, so "no loss available" and "zero steps" are
+        // distinguishable.
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .mode(Mode::Modeled)
+            .build_trainer(Sgd::new(0.1));
+        trainer.bind(&graph);
+        let epoch = trainer.epoch(4).expect("fits");
+        assert_eq!(epoch.steps, 4, "steps count in modeled mode");
+        assert!(epoch.losses.is_empty(), "no loss is computed there");
+        assert_eq!(epoch.final_loss(), None);
+        assert_eq!(epoch.mean_loss(), None);
+        assert_eq!(trainer.steps(), 4);
+
+        // Real mode: both views populated and consistent.
+        let mut real = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .seed(3)
+            .build_trainer(Sgd::new(0.1));
+        real.bind(&graph);
+        let epoch = real.epoch(4).expect("fits");
+        assert_eq!(epoch.steps, 4);
+        assert_eq!(epoch.losses.len(), 4);
+        assert_eq!(epoch.final_loss(), epoch.losses.last().copied());
+    }
+
+    #[test]
+    fn set_labels_survive_rebind() {
+        let graph = graph();
+        let n = graph.graph().num_nodes();
+        let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .seed(5)
+            .build_trainer(Sgd::new(0.1));
+        trainer.bind(&graph);
+        assert!(!trainer.labels_pinned(), "derived labels are not pinned");
+        let custom: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        trainer.set_labels(custom.clone());
+        assert!(trainer.labels_pinned());
+        // Rebind to restart training: custom labels must survive.
+        trainer.bind(&graph);
+        assert_eq!(
+            trainer.labels(),
+            &custom[..],
+            "rebind silently discarded set_labels"
+        );
+        assert!(trainer.labels_pinned());
+    }
+
+    #[test]
+    fn rebind_different_size_rederives_labels() {
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .seed(5)
+            .build_trainer(Sgd::new(0.1));
+        trainer.bind(&graph);
+        trainer.set_labels(vec![0; graph.graph().num_nodes()]);
+        // A graph with a different node count cannot keep the pinned
+        // labels — they must be re-derived and un-pinned.
+        let other = GraphData::new(generate(&DatasetSpec {
+            name: "other".into(),
+            num_nodes: 30,
+            num_node_types: 2,
+            num_edges: 100,
+            num_edge_types: 3,
+            compaction_ratio: 0.5,
+            type_skew: 1.0,
+            seed: 8,
+        }));
+        trainer.bind(&other);
+        assert_eq!(trainer.labels().len(), other.graph().num_nodes());
+        assert!(!trainer.labels_pinned(), "mismatched rebind un-pins");
+        assert!(trainer.labels().iter().any(|&l| l != 0), "re-derived");
+    }
+
+    #[test]
+    fn minibatch_epoch_trains_and_records_sampler_stats() {
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .seed(7)
+            .parallel(ParallelConfig::sequential())
+            .build_trainer(Adam::new(0.01));
+        trainer.bind(&graph);
+        let cfg = SamplerConfig::new(16).fanouts(&[4, 3]);
+        let report = trainer.minibatch_epoch(&cfg).expect("fits");
+        let expected = graph.graph().num_nodes().div_ceil(16);
+        assert_eq!(report.steps, expected);
+        assert_eq!(report.losses.len(), expected);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+        let stats = *trainer.engine().device().counters().sampler();
+        assert_eq!(stats.batches, expected);
+        assert!(stats.nodes > 0 && stats.edges > 0);
+        assert!(stats.sample_wall_us > 0.0);
     }
 
     #[test]

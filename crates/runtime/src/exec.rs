@@ -391,6 +391,31 @@ pub(crate) fn max_agg_outputs(spec: &TraversalSpec) -> impl Iterator<Item = VarI
     })
 }
 
+/// Max-aggregates of a dst-node kernel at stage `pass` that write the
+/// iterated destination's own node row. Their row for node `v` is final
+/// once `v`'s in-edge loop for `pass` completes, so a zero-in-degree
+/// destination must have its `-inf` seed swept back to `0` *there* —
+/// later stages of the same fused kernel (hoisted node ops, per-edge
+/// consumers) read the row mid-kernel, before the end-of-kernel sweep.
+pub(crate) fn dst_private_max_aggs<'a>(
+    spec: &'a TraversalSpec,
+    program: &'a Program,
+    pass: usize,
+) -> impl Iterator<Item = VarId> + 'a {
+    spec.ops
+        .iter()
+        .zip(&spec.stages)
+        .filter_map(move |(op, &st)| match op.kind {
+            OpKind::NodeAggregate {
+                norm: AggNorm::Max,
+                out,
+                endpoint: Endpoint::Dst,
+                ..
+            } if st == pass && program.var(out).space == Space::Node => Some(out),
+            _ => None,
+        })
+}
+
 pub(crate) fn exec_traversal(
     spec: &TraversalSpec,
     program: &Program,
@@ -475,6 +500,19 @@ pub(crate) fn exec_traversal(
                                 vars,
                                 scratch,
                             );
+                        }
+                    }
+                    // Zero-in-degree destinations: the in-edge loop above
+                    // never touched `v`'s row of a max-aggregate at this
+                    // stage, so it still holds the `-inf` seed. Pin the
+                    // 0-neighbor convention to `0` *now* — hoisted node
+                    // ops below and later passes read the row mid-kernel,
+                    // long before the end-of-kernel sweep.
+                    for out in dst_private_max_aggs(spec, program, pass) {
+                        for x in vars.get_mut(out).tensor_mut().row_mut(v) {
+                            if *x == f32::NEG_INFINITY {
+                                *x = 0.0;
+                            }
                         }
                     }
                     for (i, op) in spec.ops.iter().enumerate() {

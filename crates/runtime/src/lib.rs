@@ -38,6 +38,7 @@ mod engine;
 mod exec;
 mod graphdata;
 mod loss;
+mod minibatch;
 mod optim;
 mod par_exec;
 mod params;
@@ -47,8 +48,10 @@ mod store;
 
 pub use engine::{Bound, Engine, EngineBuilder, EpochReport, Trainer};
 pub use graphdata::GraphData;
+pub use hector_graph::{NeighborSampler, SampledBatch, SamplerConfig, Subgraph};
 pub use hector_par::{ParallelConfig, PoolStats};
 pub use loss::{nll_loss_and_grad, nll_loss_and_grad_into, random_labels, LossResult};
+pub use minibatch::{Batch, Minibatches};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;
 pub use session::{cnorm_tensor, Bindings, Mode, RunReport, Session};

@@ -1,0 +1,263 @@
+//! Mini-batch sampled training: batch materialisation and the prefetch
+//! pipeline behind [`Trainer::minibatch`](crate::Trainer::minibatch).
+//!
+//! The sampling math lives in `hector-graph`
+//! ([`NeighborSampler`] / [`Subgraph`]); this module turns a sampled
+//! batch into everything a training step consumes — a [`GraphData`]
+//! instance (CSC, compaction map), input bindings sliced from the
+//! full-graph bindings through the node/edge remap tables (the RGCN
+//! `cnorm` constants are *recomputed* on the subgraph: normalisation
+//! denominators are subgraph in-degrees, not sliced full-graph ones),
+//! and labels gathered through the node map — and streams those batches
+//! to the consumer, optionally producing them on a background
+//! [`Prefetcher`] so batch `k+1` is sampled while batch `k` trains.
+//!
+//! # Determinism
+//!
+//! A batch's content is a pure function of `(engine seed, epoch, batch
+//! index)` plus the trainer's current bindings/labels: the sampler's RNG
+//! streams are derived per batch (`hector_graph::batch_stream_seed`),
+//! production order is index order on a single producer, and the
+//! training step itself replays through the deterministic executor. So
+//! the batch sequence — and every trained loss — is bitwise identical
+//! across `HECTOR_THREADS` values and pipeline on/off (pinned by
+//! `tests/minibatch.rs`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hector_graph::{HeteroGraph, NeighborSampler, SamplerConfig, Subgraph};
+use hector_ir::{Space, VarInfo};
+use hector_par::Prefetcher;
+use hector_tensor::Tensor;
+
+use crate::session::{cnorm_tensor, Bindings, Mode};
+use crate::GraphData;
+
+/// How many batches the background producer may run ahead of training.
+/// Two is enough to hide sampling (the consumer always finds batch `k+1`
+/// ready) without tripling peak batch memory.
+const PREFETCH_DEPTH: usize = 2;
+
+/// One ready-to-train mini-batch: the extracted subgraph with its remap
+/// tables, the derived [`GraphData`], sliced bindings and labels, and
+/// the host time that went into producing it.
+#[derive(Debug)]
+pub struct Batch {
+    /// Batch index within the epoch.
+    pub index: usize,
+    /// Remap tables tying local ids to the full graph.
+    pub subgraph: Subgraph,
+    /// The batch graph with derived structures (CSC, compaction map).
+    pub graph: GraphData,
+    /// Input bindings in batch-local row order.
+    pub bindings: Bindings,
+    /// Labels in batch-local node order (empty in modeled mode).
+    pub labels: Vec<usize>,
+    /// Host wall-clock time spent producing this batch, µs.
+    pub sample_wall_us: f64,
+    /// Host wall-clock time the consumer spent blocked on this batch's
+    /// arrival, µs (set by the iterator; equals `sample_wall_us` when no
+    /// pipeline hides production).
+    pub wait_wall_us: f64,
+}
+
+/// Everything batch production needs, shared immutably with the
+/// producer thread. Construction snapshots the trainer's state, so a
+/// later `set_labels`/`set_bindings` does not affect an iterator already
+/// in flight.
+pub(crate) struct BatchSource {
+    full: HeteroGraph,
+    sampler: NeighborSampler,
+    inputs: Vec<VarInfo>,
+    full_bindings: Bindings,
+    full_labels: Vec<usize>,
+    mode: Mode,
+}
+
+impl BatchSource {
+    pub(crate) fn new(
+        full: &HeteroGraph,
+        cfg: &SamplerConfig,
+        seed: u64,
+        inputs: Vec<VarInfo>,
+        full_bindings: Bindings,
+        full_labels: Vec<usize>,
+        mode: Mode,
+    ) -> BatchSource {
+        BatchSource {
+            full: full.clone(),
+            sampler: NeighborSampler::new(full, cfg, seed),
+            inputs,
+            full_bindings,
+            full_labels,
+            mode,
+        }
+    }
+
+    pub(crate) fn num_batches(&self) -> usize {
+        self.sampler.num_batches()
+    }
+
+    /// Produces batch `k` — pure in `k` (see module docs).
+    fn make(&self, k: usize) -> Batch {
+        let t0 = Instant::now();
+        let sampled = self.sampler.sample(&self.full, k);
+        let subgraph = Subgraph::extract(&self.full, &sampled);
+        let graph = GraphData::new(subgraph.graph().clone());
+        let mut bindings = Bindings::new();
+        if self.mode == Mode::Real {
+            for info in &self.inputs {
+                let rows = graph.rows_of_space(info.space);
+                if info.name == "cnorm" {
+                    // Normalisation denominators are *subgraph*
+                    // in-degrees; slicing the full-graph constants would
+                    // under-count nodes whose edges were sampled away.
+                    bindings.set(&info.name, cnorm_tensor(&graph));
+                    continue;
+                }
+                let full = self
+                    .full_bindings
+                    .get(&info.name)
+                    .unwrap_or_else(|| panic!("missing input binding '{}'", info.name));
+                let mut data = vec![0.0f32; rows * info.width];
+                match info.space {
+                    Space::Node => {
+                        subgraph.gather_node_rows(full.data(), &mut data, info.width);
+                    }
+                    Space::Edge => {
+                        for (le, &oe) in subgraph.edge_map().iter().enumerate() {
+                            let o = oe as usize * info.width;
+                            data[le * info.width..(le + 1) * info.width]
+                                .copy_from_slice(&full.data()[o..o + info.width]);
+                        }
+                    }
+                    Space::Compact => {
+                        unreachable!("programs declare node/edge inputs only")
+                    }
+                }
+                bindings.set(&info.name, Tensor::from_vec(data, &[rows, info.width]));
+            }
+        }
+        let labels = if self.mode == Mode::Real {
+            subgraph.gather_node_values(&self.full_labels)
+        } else {
+            Vec::new()
+        };
+        let sample_wall_us = t0.elapsed().as_secs_f64() * 1e6;
+        Batch {
+            index: k,
+            subgraph,
+            graph,
+            bindings,
+            labels,
+            sample_wall_us,
+            // Provisional: the iterator overwrites this with the time the
+            // consumer actually spent blocked.
+            wait_wall_us: sample_wall_us,
+        }
+    }
+}
+
+enum Producer {
+    /// The consumer samples each batch inline when asked for it.
+    Sync(Arc<BatchSource>),
+    /// A background thread samples ahead through a bounded channel.
+    Pipelined(Prefetcher<Batch>),
+}
+
+/// Iterator over one epoch of mini-batches, returned by
+/// [`Trainer::minibatch`](crate::Trainer::minibatch).
+///
+/// Owns its snapshot of the trainer state (graph, bindings, labels) and
+/// does not borrow the trainer, so the natural loop works:
+///
+/// ```ignore
+/// for batch in trainer.minibatch(&cfg) {
+///     trainer.train_batch(&batch)?;
+/// }
+/// ```
+///
+/// With `cfg.pipeline` on, batches are produced on a background thread
+/// up to two ahead of the consumer; contents are bit-identical to the
+/// synchronous path (see module docs). Each yielded [`Batch`] carries
+/// its production time and the time the consumer actually waited —
+/// [`Trainer::train_batch`](crate::Trainer::train_batch) feeds both into
+/// the device's [`hector_device::SamplerStats`].
+pub struct Minibatches {
+    producer: Producer,
+    total: usize,
+    consumed: usize,
+}
+
+impl std::fmt::Debug for Minibatches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Minibatches")
+            .field("total", &self.total)
+            .field("consumed", &self.consumed)
+            .field(
+                "pipelined",
+                &matches!(self.producer, Producer::Pipelined(_)),
+            )
+            .finish()
+    }
+}
+
+impl Minibatches {
+    pub(crate) fn new(source: BatchSource, pipeline: bool) -> Minibatches {
+        let total = source.num_batches();
+        let source = Arc::new(source);
+        let producer = if pipeline && total > 1 {
+            let src = Arc::clone(&source);
+            Producer::Pipelined(Prefetcher::new(PREFETCH_DEPTH, move |k| {
+                (k < src.num_batches()).then(|| src.make(k))
+            }))
+        } else {
+            Producer::Sync(source)
+        };
+        Minibatches {
+            producer,
+            total,
+            consumed: 0,
+        }
+    }
+
+    /// Total batches in the epoch.
+    #[must_use]
+    pub fn num_batches(&self) -> usize {
+        self.total
+    }
+
+    /// Whether a background producer is running.
+    #[must_use]
+    pub fn is_pipelined(&self) -> bool {
+        matches!(self.producer, Producer::Pipelined(_))
+    }
+}
+
+impl Iterator for Minibatches {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.consumed >= self.total {
+            return None;
+        }
+        let k = self.consumed;
+        self.consumed += 1;
+        let t0 = Instant::now();
+        let mut batch = match &mut self.producer {
+            Producer::Sync(src) => src.make(k),
+            Producer::Pipelined(p) => p.next()?,
+        };
+        debug_assert_eq!(batch.index, k);
+        batch.wait_wall_us = t0.elapsed().as_secs_f64() * 1e6;
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.total - self.consumed;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Minibatches {}

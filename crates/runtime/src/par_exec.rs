@@ -53,8 +53,9 @@ use hector_par::ThreadPool;
 use hector_tensor::Tensor;
 
 use crate::exec::{
-    apply_binary_into, apply_unary_into, dot, exec_gemm, exec_traversal, gemm_row_into, grad_w_row,
-    max_agg_outputs, read_operand, row_ctx, scatter_index, weight_type_index, Ctx, OperandRef,
+    apply_binary_into, apply_unary_into, dot, dst_private_max_aggs, exec_gemm, exec_traversal,
+    gemm_row_into, grad_w_row, max_agg_outputs, read_operand, row_ctx, scatter_index,
+    weight_type_index, Ctx, OperandRef,
 };
 use crate::scratch::Scratch;
 use crate::{GraphData, ParamStore, VarStore};
@@ -498,6 +499,20 @@ pub(crate) fn exec_traversal_par(
                                     &mut buf,
                                     &mut ws,
                                 );
+                            }
+                        }
+                        // Mirror of the sequential executor's mid-kernel
+                        // sweep: a zero-in-degree `v` still has the
+                        // `-inf` seed in its dst-private max-aggregate
+                        // rows, and hoisted ops below read them. Row `v`
+                        // is chunk-owned, so the in-place fix is sound.
+                        for out in dst_private_max_aggs(spec, program, pass) {
+                            let rr = &table.0[&out];
+                            // SAFETY: `v` is the chunk-owned node row.
+                            for x in unsafe { rr.row_mut(v) } {
+                                if *x == f32::NEG_INFINITY {
+                                    *x = 0.0;
+                                }
                             }
                         }
                         for (i, op) in spec.ops.iter().enumerate() {

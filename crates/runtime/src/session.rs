@@ -216,8 +216,27 @@ impl RunPlan {
             (Mode::Real, Some(Buffer::Real(t))) if t.shape() == [rows, width] => {
                 self.vars.get_mut(v).tensor_mut().data_mut().fill(0.0);
             }
+            (Mode::Real, Some(Buffer::Real(_))) => {
+                // Shape changed — e.g. successive mini-batch subgraphs of
+                // different sizes. Re-shape the buffer in place; the
+                // allocation is reused whenever capacity suffices, and a
+                // growth event counts only when it actually reallocates,
+                // so warm batch steps whose shapes fit stay alloc-free.
+                if self
+                    .vars
+                    .get_mut(v)
+                    .tensor_mut()
+                    .reset_shape_zeroed(&[rows, width])
+                {
+                    self.grows += 1;
+                }
+            }
             (Mode::Modeled, Some(Buffer::Modeled { rows: r, width: w }))
                 if *r == rows && *w == width => {}
+            (Mode::Modeled, Some(Buffer::Modeled { .. })) => {
+                // Modeled buffers carry no storage: re-shape silently.
+                self.vars.insert(v, Buffer::Modeled { rows, width });
+            }
             _ => {
                 self.grows += 1;
                 let buf = match mode {
@@ -290,6 +309,11 @@ impl Session {
     #[must_use]
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// Mutable device access (host-side counter recording, resets).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
     }
 
     /// Execution mode.
@@ -373,10 +397,21 @@ impl Session {
                     );
                     self.device.alloc(t.byte_size(), &info.name)?;
                     plan.set_charged(v);
-                    // Copy into the persistent buffer when shapes line
-                    // up; clone in (a growth event) otherwise.
+                    // Copy into the persistent buffer, re-shaping it in
+                    // place on mismatch (batch inputs change shape every
+                    // batch); a growth event counts only when the buffer
+                    // actually reallocates.
                     match plan.vars.try_get(v) {
-                        Some(Buffer::Real(prev)) if prev.shape() == t.shape() => {
+                        Some(Buffer::Real(prev)) => {
+                            if prev.shape() != t.shape()
+                                && plan
+                                    .vars
+                                    .get_mut(v)
+                                    .tensor_mut()
+                                    .reset_shape_zeroed(t.shape())
+                            {
+                                plan.grows += 1;
+                            }
                             plan.vars
                                 .get_mut(v)
                                 .tensor_mut()

@@ -124,6 +124,20 @@ impl Tensor {
         }
     }
 
+    /// Reshapes the tensor in place to `shape` and zero-fills it,
+    /// reusing the existing allocation when its capacity suffices.
+    /// Returns `true` if the data buffer had to grow (i.e. this call
+    /// allocated) — callers that account scratch growth key off it.
+    pub fn reset_shape_zeroed(&mut self, shape: &[usize]) -> bool {
+        let n: usize = shape.iter().product();
+        let grew = n > self.data.capacity();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        grew
+    }
+
     /// Creates a tensor filled with `value`.
     #[must_use]
     pub fn full(shape: &[usize], value: f32) -> Self {

@@ -1,0 +1,66 @@
+//! Sampled mini-batch training: RGCN on a synthetic AM-like graph,
+//! trained one seeded neighbor-sampled subgraph at a time (the
+//! PIGEON-style pipeline), with batch `k+1` sampled on a background
+//! thread while batch `k` trains.
+//!
+//! The batch sequence is a pure function of `(engine seed, epoch, batch
+//! index)` — rerunning this example reproduces every subgraph, loss, and
+//! weight bit for bit, regardless of `HECTOR_THREADS` or the pipeline
+//! toggle.
+
+use hector::prelude::*;
+
+fn main() {
+    let spec = hector::datasets::am().scaled(0.002);
+    let graph = GraphData::new(hector::generate(&spec));
+    println!(
+        "mini-batch RGCN on an AM-like graph: {} nodes, {} edges, {} relations",
+        graph.graph().num_nodes(),
+        graph.graph().num_edges(),
+        graph.graph().num_edge_types()
+    );
+
+    let classes = 8;
+    let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+        .dims(16, classes)
+        .options(CompileOptions::best())
+        .seed(13)
+        .build_trainer(Adam::new(0.02));
+    trainer.bind(&graph);
+
+    // 64 seed nodes per batch, 2-hop fanout [10, 5], background producer.
+    let cfg = SamplerConfig::new(64).fanouts(&[10, 5]).pipeline(true);
+
+    println!("\nepoch   batches   mean loss   final loss");
+    for epoch in 0..4u64 {
+        // Each epoch reshuffles the seed order deterministically.
+        let report = trainer
+            .minibatch_epoch(&cfg.clone().epoch(epoch))
+            .expect("batches fit comfortably");
+        println!(
+            "{epoch:>5}   {:>7}   {:>9.4}   {:>10.4}",
+            report.steps,
+            report.mean_loss().expect("real mode reports losses"),
+            report.final_loss().expect("real mode reports losses"),
+        );
+    }
+
+    // The device kept epoch-scoped books on the sampler: batch sizes,
+    // production time, and how much of it the pipeline hid.
+    let stats = trainer.engine().device().counters().sampler();
+    println!(
+        "\nsampler: {} batches, {} nodes, {} edges sampled",
+        stats.batches, stats.nodes, stats.edges
+    );
+    println!(
+        "sampling time {:.1} ms, consumer wait {:.1} ms (overlap {:.0}%)",
+        stats.sample_wall_us / 1e3,
+        stats.wait_wall_us / 1e3,
+        stats.overlap_fraction() * 100.0
+    );
+    println!(
+        "\nEvery batch is bit-reproducible from (seed, epoch, batch index):\n\
+         rerun this example and the losses match exactly, at any\n\
+         HECTOR_THREADS and with the pipeline on or off."
+    );
+}

@@ -1,0 +1,252 @@
+//! Determinism, remap round-trips, and training reproducibility of the
+//! sampled mini-batch pipeline.
+//!
+//! The contract pinned here: a batch's content is a pure function of
+//! `(engine seed, epoch, batch index)` — bitwise identical across
+//! `HECTOR_THREADS` values and pipeline on/off — and a mini-batch
+//! training epoch inherits that reproducibility in every loss and every
+//! learned weight. Plus the subgraph remap property: gathering rows
+//! through the node map and reading them back through the same map is
+//! the identity on the sampled nodes.
+
+use hector::prelude::*;
+use hector::{NeighborSampler, Subgraph};
+use proptest::prelude::*;
+
+fn graph(seed: u64, nodes: usize, edges: usize) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "minibatch".into(),
+        num_nodes: nodes,
+        num_node_types: 3,
+        num_edges: edges,
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed,
+    }))
+}
+
+fn trainer(kind: ModelKind, threads: usize, g: &GraphData) -> Trainer {
+    let mut t = EngineBuilder::new(kind)
+        .dims(16, 16)
+        .options(CompileOptions::best())
+        .parallel(
+            ParallelConfig::sequential()
+                .with_threads(threads)
+                .with_min_chunk_rows(4),
+        )
+        .seed(17)
+        .build_trainer(Adam::new(0.01));
+    t.bind(g);
+    t
+}
+
+/// Everything that identifies one produced batch, down to raw feature
+/// bits: remap tables, seed set, labels, and every input binding.
+fn batch_digest(b: &Batch, input_names: &[String]) -> Vec<u64> {
+    let mut d: Vec<u64> = Vec::new();
+    d.push(b.index as u64);
+    d.extend(b.subgraph.node_map().iter().map(|&x| u64::from(x)));
+    d.push(u64::MAX);
+    d.extend(b.subgraph.edge_map().iter().map(|&x| u64::from(x)));
+    d.push(u64::MAX);
+    d.extend(b.subgraph.seed_local().iter().map(|&x| u64::from(x)));
+    d.push(u64::MAX);
+    d.extend(b.labels.iter().map(|&x| x as u64));
+    for name in input_names {
+        d.push(u64::MAX);
+        let t = b.bindings.get(name).expect("batch binds every input");
+        d.extend(t.data().iter().map(|v| u64::from(v.to_bits())));
+    }
+    d
+}
+
+/// One mini-batch epoch; returns (per-batch loss bits, final weight
+/// bits) — the whole trajectory, bit for bit.
+fn epoch_bits(
+    kind: ModelKind,
+    g: &GraphData,
+    threads: usize,
+    pipeline: bool,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut t = trainer(kind, threads, g);
+    let cfg = SamplerConfig::new(24).fanouts(&[3, 2]).pipeline(pipeline);
+    let report = t.minibatch_epoch(&cfg).expect("epoch fits");
+    let losses = report.losses.iter().map(|l| l.to_bits()).collect();
+    let params = t.engine().params();
+    let mut weights = Vec::new();
+    for w in 0..params.len() {
+        let wid = hector_ir::WeightId(w as u32);
+        weights.extend(params.weight(wid).data().iter().map(|v| v.to_bits()));
+    }
+    (losses, weights)
+}
+
+#[test]
+fn batch_sequence_is_identical_with_and_without_pipeline() {
+    let g = graph(11, 120, 720);
+    for kind in ModelKind::all() {
+        let t = trainer(kind, 1, &g);
+        let names: Vec<String> = {
+            let fw = &t.engine().module().forward;
+            fw.inputs.iter().map(|&v| fw.var(v).name.clone()).collect()
+        };
+        let cfg = SamplerConfig::new(32).fanouts(&[4, 3]);
+        let piped: Vec<Vec<u64>> = t
+            .minibatch(&cfg.clone().pipeline(true))
+            .map(|b| batch_digest(&b, &names))
+            .collect();
+        let sync: Vec<Vec<u64>> = t
+            .minibatch(&cfg.pipeline(false))
+            .map(|b| batch_digest(&b, &names))
+            .collect();
+        assert!(piped.len() > 1, "graph must split into several batches");
+        assert_eq!(
+            piped,
+            sync,
+            "{}: pipeline changed batch content",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn minibatch_training_is_bit_identical_across_thread_counts_and_pipeline() {
+    let g = graph(23, 96, 576);
+    for kind in ModelKind::all() {
+        let reference = epoch_bits(kind, &g, 1, false);
+        for (threads, pipeline) in [(1, true), (4, false), (4, true)] {
+            let got = epoch_bits(kind, &g, threads, pipeline);
+            assert_eq!(
+                reference.0,
+                got.0,
+                "{}: loss trajectory diverged at threads={threads} pipeline={pipeline}",
+                kind.name()
+            );
+            assert_eq!(
+                reference.1,
+                got.1,
+                "{}: trained weights diverged at threads={threads} pipeline={pipeline}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn distinct_seeds_and_epochs_sample_distinct_batches() {
+    let g = graph(7, 150, 900);
+    let cfg = SamplerConfig::new(30).fanouts(&[4]);
+    let a = NeighborSampler::new(g.graph(), &cfg, 1).sample(g.graph(), 0);
+    let b = NeighborSampler::new(g.graph(), &cfg, 2).sample(g.graph(), 0);
+    assert_ne!(a.seeds, b.seeds, "different seeds must shuffle differently");
+    let e0 = NeighborSampler::new(g.graph(), &cfg, 1).sample(g.graph(), 0);
+    let e1 = NeighborSampler::new(g.graph(), &SamplerConfig::new(30).fanouts(&[4]).epoch(1), 1)
+        .sample(g.graph(), 0);
+    assert_eq!(a.seeds, e0.seeds, "same seed+epoch must reproduce");
+    assert_ne!(e0.seeds, e1.seeds, "epochs must reshuffle");
+}
+
+#[test]
+fn sampler_stats_report_overlap_only_when_pipelined() {
+    let g = graph(3, 120, 720);
+    for pipeline in [false, true] {
+        let mut t = trainer(ModelKind::Rgcn, 1, &g);
+        let cfg = SamplerConfig::new(24).fanouts(&[3, 2]).pipeline(pipeline);
+        t.minibatch_epoch(&cfg).expect("epoch fits");
+        let s = t.engine().device().counters().sampler();
+        assert!(s.batches > 1, "stats must cover the whole epoch");
+        assert!(s.nodes > 0 && s.edges > 0);
+        assert!(s.sample_wall_us > 0.0);
+        let f = s.overlap_fraction();
+        assert!(
+            (0.0..=1.0).contains(&f),
+            "overlap fraction {f} out of range"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random graph × sampler shape: the remap tables are valid and
+    /// gathering node/edge rows through them round-trips — local row
+    /// `i` of a gathered tensor is exactly full row `node_map[i]`.
+    #[test]
+    fn subgraph_remap_round_trips_features_and_labels(
+        seed in 0u64..1000,
+        nodes in 24usize..120,
+        edges_per_node in 2usize..8,
+        batch in 4usize..32,
+        fanout in 1usize..6,
+        hops in 1usize..3,
+    ) {
+        let g = graph(seed, nodes, nodes * edges_per_node);
+        let full = g.graph();
+        let cfg = SamplerConfig::new(batch).fanouts(&vec![fanout; hops]);
+        let sampler = NeighborSampler::new(full, &cfg, seed ^ 0xABCD);
+        let sampled = sampler.sample(full, 0);
+        let sub = Subgraph::extract(full, &sampled);
+
+        // Remap tables index the full graph and are duplicate-free.
+        let mut seen = std::collections::HashSet::new();
+        for &n in sub.node_map() {
+            prop_assert!((n as usize) < full.num_nodes());
+            prop_assert!(seen.insert(n), "node {n} mapped twice");
+        }
+
+        // Feature gather: local row i == full row node_map[i].
+        let width = 3usize;
+        let feats: Vec<f32> = (0..full.num_nodes() * width).map(|i| i as f32).collect();
+        let mut local = vec![0.0f32; sub.graph().num_nodes() * width];
+        sub.gather_node_rows(&feats, &mut local, width);
+        for (i, &orig) in sub.node_map().iter().enumerate() {
+            let o = orig as usize;
+            prop_assert_eq!(
+                &local[i * width..(i + 1) * width],
+                &feats[o * width..(o + 1) * width]
+            );
+        }
+
+        // Label gather is the same permutation on scalars.
+        let labels: Vec<usize> = (0..full.num_nodes()).map(|i| i * 7 + 1).collect();
+        let local_labels = sub.gather_node_values(&labels);
+        for (i, &orig) in sub.node_map().iter().enumerate() {
+            prop_assert_eq!(local_labels[i], labels[orig as usize]);
+        }
+
+        // Every subgraph edge connects the remapped endpoints of its
+        // original, preserving the edge type.
+        let sg = sub.graph();
+        for (le, &oe) in sub.edge_map().iter().enumerate() {
+            let oe = oe as usize;
+            prop_assert_eq!(sg.etype()[le], full.etype()[oe]);
+            let (ls, ld) = (sg.src()[le] as usize, sg.dst()[le] as usize);
+            prop_assert_eq!(sub.node_map()[ls], full.src()[oe]);
+            prop_assert_eq!(sub.node_map()[ld], full.dst()[oe]);
+        }
+    }
+
+    /// Random sampler shapes: the same seed reproduces the batch
+    /// sequence bit for bit; pipeline on/off cannot change it.
+    #[test]
+    fn sampler_is_deterministic_per_seed(
+        seed in 0u64..1000,
+        nodes in 30usize..100,
+        edges_per_node in 2usize..6,
+        batch in 8usize..40,
+    ) {
+        let g = graph(seed.wrapping_mul(31), nodes, nodes * edges_per_node);
+        let cfg = SamplerConfig::new(batch).fanouts(&[3, 2]);
+        let s1 = NeighborSampler::new(g.graph(), &cfg, seed);
+        let s2 = NeighborSampler::new(g.graph(), &cfg, seed);
+        prop_assert_eq!(s1.num_batches(), s2.num_batches());
+        for k in 0..s1.num_batches() {
+            let a = s1.sample(g.graph(), k);
+            let b = s2.sample(g.graph(), k);
+            prop_assert_eq!(&a.seeds, &b.seeds);
+            prop_assert_eq!(&a.nodes, &b.nodes);
+            prop_assert_eq!(&a.edges, &b.edges);
+        }
+    }
+}

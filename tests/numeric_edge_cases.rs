@@ -21,6 +21,7 @@
 //!    normalizations (explicit mean, degree divisions).
 
 use hector::prelude::*;
+use hector::{NeighborSampler, Subgraph};
 use hector_ir::{AggNorm, Operand};
 use hector_tensor::seeded_rng;
 
@@ -195,6 +196,78 @@ fn node_space_normalization_is_zero_not_nan_at_isolated_nodes() {
             for j in 0..dim {
                 assert_eq!(f32::from_bits(seq[node * dim + j]), 0.0);
             }
+        }
+    }
+}
+
+#[test]
+fn sampled_subgraphs_pin_zero_in_degree_convention_to_zero() {
+    // Sampled subgraphs *routinely* manufacture zero-in-degree
+    // destinations: a fanout cap drops edges, and frontier nodes
+    // discovered at the last hop keep none of their own in-edges. This
+    // pins the audit result of the `BinOp::Div` 0/0 read path (see
+    // exec.rs, "Zero-in-degree destinations") on exactly those graphs:
+    // explicit mean normalisation at an isolated destination must
+    // produce 0 — not NaN — bit-identically on the sequential and
+    // parallel executors, and max-aggregation must sweep untouched rows
+    // back to the same finite default.
+    let dim = 4;
+    let mut m = ModelBuilder::new("sub_mean_norm", dim);
+    let h = m.node_input("h", dim);
+    let w = m.weight_per_etype("W", dim, dim);
+    let msg = m.typed_linear("msg", m.src(h), w);
+    let agg = m.aggregate("agg", m.edge(msg), None, AggNorm::None);
+    let cnt = m.aggregate("cnt", Operand::Const(1.0), None, AggNorm::None);
+    let norm = m.div("norm", m.this(agg), m.this(cnt));
+    let mx = m.aggregate("mx", m.edge(msg), None, AggNorm::Max);
+    let both = m.add("both", m.this(norm), m.this(mx));
+    m.output(both);
+    let src = m.finish();
+    let module = hector::compile(&src, &CompileOptions::best());
+
+    let full = hector::generate(&DatasetSpec {
+        name: "sub_zero_deg".into(),
+        num_nodes: 80,
+        num_node_types: 2,
+        num_edges: 500,
+        num_edge_types: 3,
+        compaction_ratio: 0.5,
+        type_skew: 1.0,
+        seed: 13,
+    });
+    // An aggressive fanout cap guarantees plenty of dropped in-edges.
+    let sampler = NeighborSampler::new(&full, &SamplerConfig::new(12).fanouts(&[2, 1]), 41);
+    let batch = sampler.sample(&full, 0);
+    let sub = Subgraph::extract(&full, &batch);
+    let graph = GraphData::new(sub.graph().clone());
+    let g = graph.graph();
+    let isolated: Vec<usize> = (0..g.num_nodes())
+        .filter(|&v| g.csc().in_edges(v).is_empty())
+        .collect();
+    assert!(
+        !isolated.is_empty(),
+        "the sampled subgraph must contain zero-in-degree nodes for this pin to bite"
+    );
+
+    let mut rng = seeded_rng(19);
+    let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+    let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+    let seq = forward_bits(&module, &graph, &mut params, &bindings, 1);
+    let par = forward_bits(&module, &graph, &mut params, &bindings, 4);
+    assert_eq!(seq, par, "zero-in-degree guard diverged across threads");
+    for (i, &bits) in seq.iter().enumerate() {
+        let v = f32::from_bits(bits);
+        assert!(v.is_finite(), "output[{i}] = {v} must be finite");
+    }
+    // Isolated destinations: mean term is 0/0 → 0, max term sweeps back
+    // to 0 — the whole row is exactly 0.0, not NaN.
+    for &node in &isolated {
+        for j in 0..dim {
+            assert_eq!(
+                f32::from_bits(seq[node * dim + j]),
+                0.0,
+                "node {node} (0 in-edges) col {j}: 0-neighbor convention is 0, not NaN"
+            );
         }
     }
 }

@@ -134,6 +134,54 @@ fn warm_trainer_steps_allocate_nothing() {
 }
 
 #[test]
+fn warm_minibatch_steps_allocate_nothing() {
+    // Batch *production* allocates (subgraph extraction builds fresh
+    // tensors — that is the producer thread's job in the pipeline); the
+    // training step itself must not. After one warm-up call,
+    // `trainer.train_batch` on a same-shape batch goes entirely through
+    // the session's persistent run plan: zero heap allocation events.
+    for kind in ModelKind::all() {
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(kind)
+            .dims(16, 16)
+            .options(CompileOptions::best())
+            .parallel(ParallelConfig::sequential())
+            .seed(5)
+            .build_trainer(Adam::new(0.01));
+        trainer.bind(&graph);
+        let batch = trainer
+            .minibatch(&SamplerConfig::new(32).fanouts(&[3, 2]).pipeline(false))
+            .next()
+            .expect("at least one batch");
+        trainer.train_batch(&batch).expect("first batch step fits");
+
+        let before = alloc_events();
+        for _ in 0..5 {
+            trainer.train_batch(&batch).expect("warm batch step fits");
+        }
+        let allocs = alloc_events() - before;
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warm train_batch must perform zero heap allocations, saw {allocs}",
+            kind.name()
+        );
+        assert!(
+            trainer.loss().expect("real mode reports loss").is_finite(),
+            "{}: batch training must stay finite",
+            kind.name()
+        );
+        let s = *trainer.engine().device().counters().scratch();
+        assert_eq!(
+            s.plan_grows,
+            0,
+            "{}: same-shape warm batch must not grow the plan",
+            kind.name()
+        );
+    }
+}
+
+#[test]
 fn warm_forward_allocates_nothing() {
     for kind in ModelKind::all() {
         let graph = graph();
