@@ -71,6 +71,18 @@ def main() -> int:
             f" pipeline speedup {metrics.get('speedup', 'n/a')}x"
         )
 
+    # Informational: tracing-subsystem overhead (tests/run_alloc.rs gates
+    # the zero-allocation claim; wall-clock deltas never gate — the A/A
+    # line shows the noise floor the on/off delta should sit inside).
+    for row, metrics in sorted(bench.get("trace_overhead", {}).items()):
+        print(
+            f"info trace_overhead {row}: span_start"
+            f" {metrics.get('span_start_ns', 'n/a')}ns,"
+            f" tracing-off A/A delta {metrics.get('off_aa_delta_pct', 'n/a')}%,"
+            f" tracing-on overhead {metrics.get('on_overhead_pct', 'n/a')}%"
+            f" ({metrics.get('events_recorded', 'n/a')} events)"
+        )
+
     if failed:
         print("perf-regression: allocation baseline exceeded")
         return 1

@@ -1,0 +1,137 @@
+//! trace_overhead: the cost of the structured-tracing subsystem, on and
+//! off.
+//!
+//! The tracing hot path is compiled into every executor
+//! (`span_start()` at the top of each kernel/chunk/phase), so the
+//! zero-overhead-when-off claim needs a measurement, not an assertion:
+//!
+//! * `span_start ns` — direct cost of the disabled fast path (one
+//!   relaxed atomic load returning `None`), measured over 10M calls.
+//! * `off A/A %` — the same tracing-off training workload timed twice
+//!   in alternation; their delta is the measurement noise floor. The
+//!   off-mode instrumentation cost is bounded by this line: if the
+//!   tracing branches cost anything measurable, it would appear
+//!   equally in both halves and cancel — what remains is jitter.
+//! * `on vs off %` — tracing *enabled* (spans recorded into the
+//!   per-thread rings, drained once per round like `Engine::profile`
+//!   does) against the off baseline. This is the real price of
+//!   profiling a run, expected low single digits.
+//!
+//! Rounds alternate off/off/on to decorrelate thermal and cache drift.
+//! With `HECTOR_BENCH_JSON=<path>` the rows land in the perf-regression
+//! artifact; all fields are wall-clock-derived, hence informational
+//! (the lane never gates on them — `ci/check_bench_baseline.py` prints
+//! the tracing-off-overhead line for review).
+
+use std::time::Instant;
+
+use hector::prelude::*;
+use hector_bench::json::JsonWriter;
+use hector_bench::{banner, scale};
+
+const DIMS: usize = 32;
+const ROUNDS: usize = 5;
+const STEPS_PER_ROUND: usize = 3;
+
+fn graph(s: f64) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "trace_overhead_bench".into(),
+        num_nodes: ((4_000f64 * s) as usize).max(256),
+        num_node_types: 3,
+        num_edges: ((32_000f64 * s) as usize).max(1024),
+        num_edge_types: 8,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed: 23,
+    }))
+}
+
+/// Times `STEPS_PER_ROUND` training steps, returning wall seconds.
+fn steps(t: &mut Trainer) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..STEPS_PER_ROUND {
+        t.step().expect("fits");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let s = scale();
+    banner("trace_overhead: tracing subsystem cost, off and on", s);
+
+    // Direct cost of the disabled fast path.
+    hector::trace::disable();
+    let calls = 10_000_000u64;
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..calls {
+        if std::hint::black_box(hector::trace::span_start()).is_some() {
+            hits += 1;
+        }
+    }
+    let span_start_ns = t0.elapsed().as_secs_f64() * 1e9 / calls as f64;
+    assert_eq!(hits, 0);
+    println!("span_start() disabled fast path: {span_start_ns:.2} ns/call");
+
+    let g = graph(s);
+    let mut t = EngineBuilder::new(ModelKind::Rgcn)
+        .dims(DIMS, DIMS)
+        .options(CompileOptions::best())
+        .seed(9)
+        .build_trainer(Adam::new(0.01));
+    t.bind(&g);
+    // Warm run: materialise the run plan so every timed step runs the
+    // allocation-free steady state.
+    t.step().expect("warm step fits");
+
+    let (mut off_a, mut off_b, mut on) = (0.0f64, 0.0f64, 0.0f64);
+    let mut recorded = 0usize;
+    for _ in 0..ROUNDS {
+        hector::trace::disable();
+        hector::trace::clear();
+        off_a += steps(&mut t);
+        off_b += steps(&mut t);
+        hector::trace::enable();
+        on += steps(&mut t);
+        hector::trace::disable();
+        recorded += hector::trace::take_events().len();
+    }
+
+    let per_step = 1e3 / (ROUNDS * STEPS_PER_ROUND) as f64;
+    let off = (off_a + off_b) / 2.0;
+    let aa_delta_pct = (off_b - off_a).abs() / off_a * 100.0;
+    let on_overhead_pct = (on - off) / off * 100.0;
+    println!(
+        "graph: {} nodes, {} edges; {} rounds x {} steps",
+        g.graph().num_nodes(),
+        g.graph().num_edges(),
+        ROUNDS,
+        STEPS_PER_ROUND
+    );
+    println!(
+        "tracing off: {:.2} ms/step (A/A delta {:.2}% = noise floor)",
+        off * per_step,
+        aa_delta_pct
+    );
+    println!(
+        "tracing on:  {:.2} ms/step ({:+.2}% vs off, {} events recorded)",
+        on * per_step,
+        on_overhead_pct,
+        recorded
+    );
+    println!("target: off-mode cost indistinguishable from noise; on-mode < a few %");
+
+    let mut json = JsonWriter::from_env("trace_overhead");
+    json.record(
+        "train",
+        &[
+            ("span_start_ns", span_start_ns),
+            ("off_ms_per_step", off * per_step),
+            ("on_ms_per_step", on * per_step),
+            ("off_aa_delta_pct", aa_delta_pct),
+            ("on_overhead_pct", on_overhead_pct),
+            ("events_recorded", recorded as f64),
+        ],
+    );
+    json.finish();
+}

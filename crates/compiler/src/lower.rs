@@ -165,11 +165,13 @@ impl<'a> Lowerer<'a> {
             .any(|o| o.var().is_some_and(|v| self.group.defs.contains(&v)))
     }
 
-    /// Whether `op` can legally join the open group.
-    fn fusable(&self, op: &Op) -> bool {
+    /// Why `op` cannot legally join the open group — `None` means it
+    /// fuses. The reason strings feed the trace's fusion-decision
+    /// annotations (`fusion/break` instants).
+    fn fusion_blocker(&self, op: &Op) -> Option<&'static str> {
         let g = &self.group;
         if g.ops.is_empty() {
-            return true;
+            return None;
         }
         let sp = op_iter_space(self.p, &op.kind);
         let gspace = g.space.expect("non-empty group has a space");
@@ -178,13 +180,13 @@ impl<'a> Lowerer<'a> {
         let space_ok = sp == gspace
             || (sp == IterSpace::Nodes && gspace == IterSpace::Edges && g.dst_grouped());
         if !space_ok {
-            return false;
+            return Some("iteration-space mismatch with the open group");
         }
         // Read legality for in-group definitions.
         for operand in op.kind.operands() {
             let Some(v) = operand.var() else { continue };
             if g.unreadable_defs.contains(&v) {
-                return false;
+                return Some("reads an aggregate output that is unreadable in-kernel");
             }
             if g.node_defs.contains(&v) {
                 // Node-space values become visible per destination node
@@ -192,16 +194,34 @@ impl<'a> Lowerer<'a> {
                 let ok = g.dst_grouped()
                     && matches!(operand, Operand::Node(_, Endpoint::Dst | Endpoint::This));
                 if !ok && gspace != IterSpace::Nodes {
-                    return false;
+                    return Some("reads an in-group node value outside a dst-node loop");
                 }
             }
         }
-        true
+        None
+    }
+
+    /// Human-readable op label for fusion annotations (the output
+    /// variable's name when the op has one).
+    fn op_label(&self, op: &Op) -> String {
+        op.kind
+            .out_var()
+            .map_or_else(|| format!("op_{}", op.id.0), |v| self.p.var(v).name.clone())
     }
 
     fn place(&mut self, op: &Op) {
         if op.kind.is_gemm_eligible() {
             if self.reads_group_def(op) {
+                hector_trace::record_instant(
+                    "fusion/break",
+                    hector_trace::SpanCat::Compiler,
+                    || {
+                        format!(
+                            "'{}': GEMM reads the open group's output; flushing traversal first",
+                            self.op_label(op)
+                        )
+                    },
+                );
                 self.flush();
             }
             let spec = self.gemm_spec(op);
@@ -213,13 +233,44 @@ impl<'a> Lowerer<'a> {
             | OpKind::Binary { .. }
             | OpKind::Unary { .. }
             | OpKind::NodeAggregate { .. } => {
-                if !self.fusable(op) {
-                    self.flush();
+                match self.fusion_blocker(op) {
+                    Some(reason) => {
+                        hector_trace::record_instant(
+                            "fusion/break",
+                            hector_trace::SpanCat::Compiler,
+                            || format!("'{}': {reason}; starting a new kernel", self.op_label(op)),
+                        );
+                        self.flush();
+                    }
+                    None if !self.group.ops.is_empty() => {
+                        hector_trace::record_instant(
+                            "fusion/fuse",
+                            hector_trace::SpanCat::Compiler,
+                            || {
+                                format!(
+                                    "'{}': fused into the open group ({} ops so far)",
+                                    self.op_label(op),
+                                    self.group.ops.len()
+                                )
+                            },
+                        );
+                    }
+                    None => {}
                 }
                 self.admit(op);
             }
             // Pass 3: anything else falls back to a framework routine.
             _ => {
+                hector_trace::record_instant(
+                    "fusion/break",
+                    hector_trace::SpanCat::Compiler,
+                    || {
+                        format!(
+                            "'{}': unsupported op falls back to a framework routine",
+                            self.op_label(op)
+                        )
+                    },
+                );
                 self.flush();
                 let kid = self.next_kid();
                 self.kernels.push(KernelSpec::Fallback(FallbackSpec {

@@ -135,24 +135,42 @@ impl CompiledModule {
 /// Panics if the model source violates IR invariants.
 #[must_use]
 pub fn compile(src: &ModelSource, options: &CompileOptions) -> CompiledModule {
+    // Per-pass trace spans (cat `compiler`): free when tracing is off,
+    // and a per-pass timeline plus the lowering's fusion-decision
+    // annotations when an engine compiles with tracing on.
+    let pass = |name: &'static str, t0: Option<u64>| {
+        if let Some(t0) = t0 {
+            hector_trace::record_span(name, hector_trace::SpanCat::Compiler, t0, 0, 0, 0.0);
+        }
+    };
     let mut fw = src.program.clone();
+    let t0 = hector_trace::span_start();
     if options.reorder {
         linear_operator_reordering(&mut fw);
     }
+    pass("compile/reorder", t0);
+    let t0 = hector_trace::span_start();
     if options.compact {
         compact_materialization(&mut fw);
     }
+    pass("compile/compact", t0);
     fw.validate();
 
     let lower_opts = LowerOptions {
         adjacency: options.adjacency,
         schedule: options.schedule,
     };
+    let t0 = hector_trace::span_start();
     let mut fw_kernels = lower_program(&fw, &lower_opts);
+    pass("compile/lower_fw", t0);
 
     let (backward, bw_kernels) = if options.training {
+        let t0 = hector_trace::span_start();
         let bw = generate_backward(&fw);
+        pass("compile/backward", t0);
+        let t0 = hector_trace::span_start();
         let ks = lower_program(&bw, &lower_opts);
+        pass("compile/lower_bw", t0);
         (Some(bw), ks)
     } else {
         (None, Vec::new())
@@ -180,6 +198,7 @@ pub fn compile(src: &ModelSource, options: &CompileOptions) -> CompiledModule {
         }
     }
 
+    let t0 = hector_trace::span_start();
     let mut code = generate_code(&fw, &fw_kernels);
     if let Some(bw) = &backward {
         let bw_code = generate_code(bw, &bw_kernels);
@@ -187,6 +206,7 @@ pub fn compile(src: &ModelSource, options: &CompileOptions) -> CompiledModule {
         code.host.push_str(&bw_code.host);
         code.python.push_str(&bw_code.python);
     }
+    pass("compile/codegen", t0);
 
     CompiledModule {
         name: src.program.name.clone(),

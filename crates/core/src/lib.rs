@@ -98,8 +98,9 @@ pub use hector_graph::{
 pub use hector_ir::{builder::ModelSource, ModelBuilder};
 pub use hector_models::{source as model_source, stacked, ModelKind};
 pub use hector_runtime::{
-    Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Minibatches, Mode,
-    ParallelConfig, ParamStore, RunReport, Session, Trainer,
+    chunk_ranges, trace, Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData,
+    Minibatches, Mode, ParallelConfig, ParamStore, ProfileReport, RunReport, Session, TraceConfig,
+    Trainer,
 };
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
@@ -143,7 +144,8 @@ pub mod prelude {
     pub use hector_models::ModelKind;
     pub use hector_runtime::{
         Adam, Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Minibatches,
-        Mode, Optimizer, ParallelConfig, ParamStore, Session, Sgd, Trainer,
+        Mode, Optimizer, ParallelConfig, ParamStore, ProfileReport, Session, Sgd, TraceConfig,
+        Trainer,
     };
     pub use hector_tensor::{seeded_rng, Tensor};
 }

@@ -5,6 +5,8 @@ use std::collections::HashMap;
 
 use crate::{DeviceConfig, KernelCategory, KernelCost, Phase};
 
+pub use hector_trace::TraceStats;
+
 /// Aggregated metrics for one `(category, phase)` bucket.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CategoryMetrics {
@@ -273,6 +275,22 @@ pub mod module_cache_probe {
 }
 
 /// Per-`(category, phase)` counter store for one run.
+///
+/// # Reset contract
+///
+/// Counters fall into three scopes with distinct lifetimes:
+///
+/// * **Run-scoped** (kernel buckets, [`ParallelStats`],
+///   [`ScratchStats`]) — cleared by [`Counters::reset`] at the start of
+///   every `Session::forward` / `Session::train_step`.
+/// * **Epoch-scoped** ([`SamplerStats`]) — survives [`Counters::reset`]
+///   because mini-batch records land *between* runs; cleared only by
+///   [`Counters::reset_sampler`] (or [`Counters::reset_all`]).
+/// * **Process-global probes** ([`ModuleCacheStats`] via
+///   [`Counters::module_cache`], [`TraceStats`] via
+///   [`Counters::trace`]) — snapshots of shared state that no
+///   `Counters` method clears; use `ModuleCache::clear` /
+///   `hector_trace::clear` respectively.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
     buckets: HashMap<(KernelCategory, Phase), CategoryMetrics>,
@@ -434,6 +452,16 @@ impl Counters {
         module_cache_probe::snapshot()
     }
 
+    /// Snapshot of the process-wide trace recorder (`hector_trace`):
+    /// whether tracing is enabled and how many events have been
+    /// recorded/dropped across all threads. Like
+    /// [`Counters::module_cache`], this reads shared process state and is
+    /// unaffected by [`Counters::reset`] / [`Counters::reset_all`].
+    #[must_use]
+    pub fn trace(&self) -> TraceStats {
+        hector_trace::stats()
+    }
+
     /// Clears the per-run counters (kernel buckets, parallel, scratch).
     /// Sampler statistics survive: they describe a mini-batch *epoch*
     /// spanning many runs — the per-run reset at the start of each
@@ -448,6 +476,16 @@ impl Counters {
     /// Clears the epoch-scoped sampler statistics.
     pub fn reset_sampler(&mut self) {
         self.sampler = SamplerStats::default();
+    }
+
+    /// Clears everything this store owns: the per-run counters *and* the
+    /// epoch-scoped sampler statistics ([`Counters::reset`] +
+    /// [`Counters::reset_sampler`]). Process-global probes
+    /// ([`Counters::module_cache`], [`Counters::trace`]) are snapshots of
+    /// shared state and remain untouched.
+    pub fn reset_all(&mut self) {
+        self.reset();
+        self.reset_sampler();
     }
 
     /// Merges another counter store into this one.
@@ -586,5 +624,62 @@ mod tests {
         let gemm = c.category_duration_us(KernelCategory::Gemm);
         assert!(fw > 0.0 && bw > 0.0 && gemm > 0.0);
         assert!((fw + bw - c.total_duration_us()).abs() < 1e-9);
+    }
+
+    /// Every rate helper must return 0.0 — never NaN or a panic — on an
+    /// empty (freshly reset) store. Report code divides these into
+    /// percentages and formats them; a NaN would poison every downstream
+    /// aggregate silently.
+    #[test]
+    fn empty_rate_helpers_are_zero_not_nan() {
+        let cfg = DeviceConfig::rtx3090();
+        let c = Counters::new();
+        let m = c.get(KernelCategory::Gemm, Phase::Forward);
+        assert_eq!(m.achieved_gflops(), 0.0);
+        assert_eq!(m.dram_throughput_pct(&cfg), 0.0);
+        assert_eq!(m.avg_ipc(), 0.0);
+        assert_eq!(c.parallel().parallel_fraction(), 0.0);
+        assert_eq!(c.scratch().steady_fraction(), 0.0);
+        assert_eq!(c.sampler().overlap_fraction(), 0.0);
+        assert_eq!(c.sampler().nodes_per_sec(), 0.0);
+        assert_eq!(ModuleCacheStats::default().hit_rate(), 0.0);
+        // Zero-duration but non-zero work: still finite, still zero.
+        let z = SamplerStats {
+            batches: 1,
+            nodes: 100,
+            edges: 50,
+            sample_wall_us: 0.0,
+            wait_wall_us: 0.0,
+        };
+        assert_eq!(z.overlap_fraction(), 0.0);
+        assert_eq!(z.nodes_per_sec(), 0.0);
+    }
+
+    /// `reset()` is run-scoped: sampler stats survive it. `reset_all()`
+    /// clears both. Process-global probes are unaffected by either.
+    #[test]
+    fn reset_scopes() {
+        let cfg = DeviceConfig::rtx3090();
+        let mut c = Counters::new();
+        c.record(&cost(KernelCategory::Gemm, Phase::Forward, 1e9), &cfg);
+        c.record_host_exec(KernelCategory::Gemm, true, 10.0, 2, 0);
+        c.record_scratch(1, 64);
+        c.record_sampler_batch(100, 50, 20.0, 5.0);
+
+        c.reset();
+        assert_eq!(c.total_launches(), 0);
+        assert_eq!(*c.parallel(), ParallelStats::default());
+        assert_eq!(*c.scratch(), ScratchStats::default());
+        assert_eq!(c.sampler().batches, 1, "sampler is epoch-scoped");
+        assert_eq!(c.sampler().nodes, 100);
+
+        c.record_sampler_batch(10, 5, 2.0, 1.0);
+        c.reset_all();
+        assert_eq!(c.total_launches(), 0);
+        assert_eq!(*c.sampler(), SamplerStats::default());
+
+        // Probe snapshots read process state, not this store.
+        let _ = c.module_cache();
+        let _ = c.trace();
     }
 }

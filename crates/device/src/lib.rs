@@ -37,7 +37,7 @@ pub use config::DeviceConfig;
 pub use cost::{KernelCategory, KernelCost, Phase};
 pub use counters::{
     module_cache_probe, CategoryMetrics, Counters, ModuleCacheStats, ParallelStats, SamplerStats,
-    ScratchStats,
+    ScratchStats, TraceStats,
 };
 pub use device::Device;
 pub use memory::{AllocId, MemoryPool, OomError};

@@ -64,6 +64,8 @@ use hector_ir::builder::ModelSource;
 use hector_models::{stacked, ModelKind};
 use hector_par::ParallelConfig;
 use hector_tensor::{seeded_rng, Tensor};
+use hector_trace::report::{build_report, ProfileReport, RelationShare};
+use hector_trace::{TraceConfig, TraceEvent};
 
 use hector_graph::SamplerConfig;
 
@@ -102,6 +104,7 @@ pub struct EngineBuilder {
     par: Option<ParallelConfig>,
     seed: u64,
     classes: Option<usize>,
+    trace: Option<TraceConfig>,
 }
 
 impl EngineBuilder {
@@ -120,6 +123,7 @@ impl EngineBuilder {
             par: None,
             seed: 0,
             classes: None,
+            trace: None,
         }
     }
 
@@ -239,6 +243,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Tracing configuration for the engine's lifetime. When enabled,
+    /// the process-global recorder turns on at [`EngineBuilder::build`]
+    /// (in time to capture the compiler's pass spans on a module-cache
+    /// miss), and a configured `out_path` is written as chrome-trace
+    /// JSON when the engine drops (or explicitly via
+    /// [`Engine::write_trace`]). Defaults to
+    /// [`TraceConfig::from_env`] — the `HECTOR_TRACE=<out.json>`
+    /// variable — so any binary can opt in without code changes.
+    #[must_use]
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// The model source this builder will compile.
     ///
     /// # Panics
@@ -280,6 +298,15 @@ impl EngineBuilder {
     /// confusing panic inside the first training step).
     #[must_use]
     pub fn build(self) -> Engine {
+        let trace = self
+            .trace
+            .clone()
+            .unwrap_or_else(hector_trace::TraceConfig::from_env);
+        if trace.enabled {
+            // Enabled before compilation so a module-cache miss records
+            // the compiler's per-pass spans and fusion decisions.
+            hector_trace::enable();
+        }
         let src = self.source();
         let (module, cache_hit) = ModuleCache::get_or_compile(&src, &self.options);
         let out_width = module.forward.var(module.forward.outputs[0]).width;
@@ -303,6 +330,8 @@ impl EngineBuilder {
             classes,
             cache_hit,
             state: None,
+            trace,
+            last_trace: Vec::new(),
         }
     }
 
@@ -345,6 +374,10 @@ pub struct Engine {
     classes: usize,
     cache_hit: bool,
     state: Option<BoundState>,
+    trace: TraceConfig,
+    /// Events drained by the latest [`Engine::profile`] call, kept so
+    /// [`Engine::write_trace`] can export the same run.
+    last_trace: Vec<TraceEvent>,
 }
 
 impl Engine {
@@ -597,12 +630,86 @@ impl Engine {
         self.classes
     }
 
+    /// Profiles a closure over this engine: enables tracing for its
+    /// duration (restoring the previous state afterwards), drains the
+    /// recorded spans, and aggregates them into a [`ProfileReport`]
+    /// (per-kernel-kind and per-relation breakdowns; pretty-print it
+    /// with `{}`). The drained events are retained for
+    /// [`Engine::write_trace`], so a profiled run can also be exported
+    /// to Perfetto.
+    ///
+    /// Events already buffered before the call (earlier warm-up runs)
+    /// are discarded so the report covers exactly the closure.
+    pub fn profile<T>(&mut self, f: impl FnOnce(&mut Engine) -> T) -> (T, ProfileReport) {
+        let was_on = hector_trace::is_enabled();
+        let _stale = hector_trace::take_events();
+        hector_trace::enable();
+        let out = f(self);
+        if !was_on {
+            hector_trace::disable();
+        }
+        self.last_trace = hector_trace::take_events();
+        let shares = self.relation_shares();
+        let report = build_report(&self.last_trace, &shares);
+        (out, report)
+    }
+
+    /// Writes the latest profiled run — or, if [`Engine::profile`] was
+    /// never called, whatever the recorder has buffered — as
+    /// chrome-trace JSON (open in Perfetto / `chrome://tracing`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from writing the file.
+    pub fn write_trace(&mut self, path: &str) -> std::io::Result<()> {
+        if self.last_trace.is_empty() {
+            self.last_trace = hector_trace::take_events();
+        }
+        hector_trace::chrome::write_chrome_trace(path, &self.last_trace)
+    }
+
+    /// Per-relation share of edges and unique `(src, etype)` pairs in
+    /// the bound graph, used by [`Engine::profile`] to apportion fused
+    /// kernel time into per-relation estimates. Empty when no graph is
+    /// bound.
+    fn relation_shares(&self) -> Vec<RelationShare> {
+        let Some(state) = &self.state else {
+            return Vec::new();
+        };
+        let g = state.graph.graph();
+        let uptr = state.graph.compact().unique_etype_ptr();
+        (0..g.num_edge_types())
+            .map(|t| RelationShare {
+                name: format!("etype{t}"),
+                edges: g.edges_of_type(t) as u64,
+                unique: (uptr[t + 1] - uptr[t]) as u64,
+            })
+            .collect()
+    }
+
     fn expect_state(&self) -> &BoundState {
         self.state.as_ref().expect("Engine::bind a graph first")
     }
 
     fn expect_state_mut(&mut self) -> &mut BoundState {
         self.state.as_mut().expect("Engine::bind a graph first")
+    }
+}
+
+impl Drop for Engine {
+    /// Exports the configured trace on teardown: with
+    /// `HECTOR_TRACE=<out.json>` (or a [`TraceConfig`] `out_path` on
+    /// the builder), dropping the engine writes everything recorded —
+    /// compilation through the last run — as chrome-trace JSON. Export
+    /// failures are reported on stderr, not panicked: drop runs during
+    /// unwinding too.
+    fn drop(&mut self) {
+        let Some(path) = self.trace.out_path.clone() else {
+            return;
+        };
+        if let Err(e) = self.write_trace(&path) {
+            eprintln!("HECTOR_TRACE export to {path} failed: {e}");
+        }
     }
 }
 
@@ -976,6 +1083,25 @@ impl Trainer {
     #[must_use]
     pub fn into_engine(self) -> Engine {
         self.engine
+    }
+
+    /// Profiles a closure over this trainer — the training-loop
+    /// counterpart of [`Engine::profile`]: tracing is enabled for the
+    /// closure's duration and the recorded spans (kernels, phases,
+    /// minibatch pipeline) are aggregated into a [`ProfileReport`].
+    /// Export the same run with `trainer.engine_mut().write_trace(..)`.
+    pub fn profile<T>(&mut self, f: impl FnOnce(&mut Trainer) -> T) -> (T, ProfileReport) {
+        let was_on = hector_trace::is_enabled();
+        let _stale = hector_trace::take_events();
+        hector_trace::enable();
+        let out = f(self);
+        if !was_on {
+            hector_trace::disable();
+        }
+        self.engine.last_trace = hector_trace::take_events();
+        let shares = self.engine.relation_shares();
+        let report = build_report(&self.engine.last_trace, &shares);
+        (out, report)
     }
 }
 

@@ -18,8 +18,8 @@
 
 use hector_ir::interop::LEAKY_RELU_SLOPE;
 use hector_ir::{
-    AggNorm, BinOp, Endpoint, GemmSpec, OpKind, Operand, Program, RowDomain, Scatter, Space,
-    TraversalDomain, TraversalSpec, TypeIndex, UnOp, VarId,
+    AggNorm, BinOp, Endpoint, GemmSpec, KernelSpec, OpKind, Operand, Program, RowDomain, Scatter,
+    Space, TraversalDomain, TraversalSpec, TypeIndex, UnOp, VarId,
 };
 use hector_tensor::microkernel;
 
@@ -198,6 +198,35 @@ pub(crate) fn exec_gemm(
 pub(crate) fn grad_w_row(x: &[f32], dy: &[f32], slab: &mut [f32]) {
     let dy_finite = dy.iter().all(|v| v.is_finite());
     microkernel::outer_accum_blocked(x, dy, slab, dy_finite);
+}
+
+/// Trace-span name and row count for one kernel spec — the per-kernel
+/// metadata `Session::run_kernels` attaches to the span wrapping each
+/// invocation (sequential and parallel executors alike). Names are
+/// stable `category/domain` strings so profile aggregation and the
+/// chrome-trace golden schema stay deterministic.
+pub(crate) fn kernel_trace_meta(spec: &KernelSpec, graph: &GraphData) -> (&'static str, u64) {
+    match spec {
+        KernelSpec::Gemm(g) => {
+            let name = match &g.op.kind {
+                OpKind::TypedLinearGradW { .. } => "gemm/grad_w",
+                _ => "gemm/typed_linear",
+            };
+            (name, graph.rows_of(g.rows) as u64)
+        }
+        KernelSpec::Traversal(t) => {
+            let (name, rows) = match t.domain {
+                TraversalDomain::Edges => ("traversal/edges", graph.graph().num_edges()),
+                TraversalDomain::DstNodes => ("traversal/dst_nodes", graph.graph().num_nodes()),
+                TraversalDomain::UniquePairs => {
+                    ("traversal/unique_pairs", graph.compact().num_unique())
+                }
+                TraversalDomain::Nodes => ("traversal/nodes", graph.graph().num_nodes()),
+            };
+            (name, rows as u64)
+        }
+        KernelSpec::Fallback(_) => ("fallback/prep", 0),
+    }
 }
 
 pub(crate) fn row_ctx(rows: RowDomain, r: usize) -> Ctx {

@@ -101,6 +101,10 @@ impl BatchSource {
 
     /// Produces batch `k` — pure in `k` (see module docs).
     fn make(&self, k: usize) -> Batch {
+        // The sample span runs on whichever thread produces the batch
+        // (the prefetcher's producer thread when pipelined), so the
+        // trace timeline shows sampling overlapping training.
+        let tr = hector_trace::span_start();
         let t0 = Instant::now();
         let sampled = self.sampler.sample(&self.full, k);
         let subgraph = Subgraph::extract(&self.full, &sampled);
@@ -145,6 +149,16 @@ impl BatchSource {
             Vec::new()
         };
         let sample_wall_us = t0.elapsed().as_secs_f64() * 1e6;
+        if let Some(ts) = tr {
+            hector_trace::record_span(
+                "pipeline/sample",
+                hector_trace::SpanCat::Pipeline,
+                ts,
+                subgraph.graph().num_edges() as u64,
+                u32::try_from(k).unwrap_or(u32::MAX),
+                0.0,
+            );
+        }
         Batch {
             index: k,
             subgraph,
@@ -244,6 +258,7 @@ impl Iterator for Minibatches {
         }
         let k = self.consumed;
         self.consumed += 1;
+        let tr = hector_trace::span_start();
         let t0 = Instant::now();
         let mut batch = match &mut self.producer {
             Producer::Sync(src) => src.make(k),
@@ -251,6 +266,19 @@ impl Iterator for Minibatches {
         };
         debug_assert_eq!(batch.index, k);
         batch.wait_wall_us = t0.elapsed().as_secs_f64() * 1e6;
+        if let Some(ts) = tr {
+            // Consumer-side span: how long `next()` blocked for this
+            // batch (≈ sample time when synchronous, ≈ 0 when the
+            // pipeline hid production behind training).
+            hector_trace::record_span(
+                "pipeline/wait",
+                hector_trace::SpanCat::Pipeline,
+                ts,
+                0,
+                u32::try_from(k).unwrap_or(u32::MAX),
+                0.0,
+            );
+        }
         Some(batch)
     }
 

@@ -60,6 +60,24 @@ use crate::exec::{
 use crate::scratch::Scratch;
 use crate::{GraphData, ParamStore, VarStore};
 
+/// Records one worker-chunk span (runs on the pool worker that executed
+/// the chunk, so the span lands in that worker's timeline lane). One
+/// span per executed job means the trace cross-checks
+/// `ParallelStats.chunks` exactly: both are derived from the pool's
+/// per-kernel `executed` delta.
+fn record_chunk_span(start: Option<u64>, rows: usize, chunk: usize) {
+    if let Some(t0) = start {
+        hector_trace::record_span(
+            "worker/chunk",
+            hector_trace::SpanCat::Worker,
+            t0,
+            rows as u64,
+            u32::try_from(chunk).unwrap_or(u32::MAX),
+            0.0,
+        );
+    }
+}
+
 /// Raw row-major view of a tensor shared across worker threads.
 ///
 /// # Safety contract
@@ -454,7 +472,9 @@ pub(crate) fn exec_traversal_par(
                 _ => RowDomain::Nodes,
             };
             let m = graph.rows_of(rows);
-            pool.parallel_chunks(m, min_chunk, |_ci, range| {
+            pool.parallel_chunks(m, min_chunk, |ci, range| {
+                let tw = hector_trace::span_start();
+                let n = range.len();
                 let mut buf = ContribBuf::default();
                 let mut ws = Scratch::new();
                 for r in range {
@@ -466,6 +486,7 @@ pub(crate) fn exec_traversal_par(
                         );
                     }
                 }
+                record_chunk_span(tw, n, ci);
                 ChunkOut {
                     buf,
                     grows: ws.grows(),
@@ -476,7 +497,9 @@ pub(crate) fn exec_traversal_par(
             let st = &spec.stages;
             let max_stage = st.iter().copied().max().unwrap_or(0);
             let csc = graph.csc();
-            pool.parallel_chunks(graph.graph().num_nodes(), min_chunk, |_ci, range| {
+            pool.parallel_chunks(graph.graph().num_nodes(), min_chunk, |ci, range| {
+                let tw = hector_trace::span_start();
+                let n = range.len();
                 let mut buf = ContribBuf::default();
                 let mut ws = Scratch::new();
                 for v in range {
@@ -534,6 +557,7 @@ pub(crate) fn exec_traversal_par(
                         }
                     }
                 }
+                record_chunk_span(tw, n, ci);
                 ChunkOut {
                     buf,
                     grows: ws.grows(),
@@ -666,7 +690,9 @@ pub(crate) fn exec_gemm_par(
                         scratch.set_slab_finite(wt);
                     }
                     let flags: &Scratch = scratch;
-                    let grows: Vec<usize> = pool.parallel_chunks(m, min_chunk, |_ci, range| {
+                    let grows: Vec<usize> = pool.parallel_chunks(m, min_chunk, |ci, range| {
+                        let tw = hector_trace::span_start();
+                        let n = range.len();
                         let mut ws = Scratch::new();
                         for r in range {
                             typed_linear_row(
@@ -689,6 +715,7 @@ pub(crate) fn exec_gemm_par(
                             // rows here; chunks are disjoint.
                             unsafe { raw.row_mut(r) }.copy_from_slice(ws.y(out_width));
                         }
+                        record_chunk_span(tw, n, ci);
                         ws.grows()
                     });
                     let split = grows.len() > 1;
@@ -711,7 +738,9 @@ pub(crate) fn exec_gemm_par(
                         grows: usize,
                     }
                     let chunks: Vec<ScatterChunk> =
-                        pool.parallel_chunks(m, min_chunk, |_ci, range| {
+                        pool.parallel_chunks(m, min_chunk, |ci, range| {
+                            let tw = hector_trace::span_start();
+                            let n = range.len();
                             // Exact sizes are known upfront: one target
                             // index and one out_width row per domain row.
                             let mut idx = Vec::with_capacity(range.len());
@@ -737,6 +766,7 @@ pub(crate) fn exec_gemm_par(
                                 idx.push(scatter_index(spec.rows, *ep, r, graph));
                                 vals.extend_from_slice(ws.y(out_width));
                             }
+                            record_chunk_span(tw, n, ci);
                             ScatterChunk {
                                 idx,
                                 vals,
@@ -786,7 +816,9 @@ pub(crate) fn exec_gemm_par(
             let params_ro: &ParamStore = params;
             let vars_ro: &VarStore = vars;
             let rows_by_type = &rows_by_type;
-            pool.parallel_for(t_count, 1, |_ci, ty_range| {
+            pool.parallel_for(t_count, 1, |ci, ty_range| {
+                let tw = hector_trace::span_start();
+                let n = ty_range.len();
                 for ty in ty_range {
                     // SAFETY: each worker owns a disjoint range of type
                     // slabs; rows of other types are never touched.
@@ -801,6 +833,7 @@ pub(crate) fn exec_gemm_par(
                         grad_w_row(xr, dyr, slab);
                     }
                 }
+                record_chunk_span(tw, n, ci);
             });
             t_count > 1
         }

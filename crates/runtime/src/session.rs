@@ -22,8 +22,10 @@ use hector_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use hector_trace::{record_span, span_start, SpanCat};
+
 use crate::cost::{kernel_cost, var_bytes};
-use crate::exec::{exec_gemm, exec_traversal};
+use crate::exec::{exec_gemm, exec_traversal, kernel_trace_meta};
 use crate::loss::nll_loss_and_grad_into;
 use crate::optim::Optimizer;
 use crate::par_exec::{exec_gemm_par, exec_traversal_par};
@@ -441,7 +443,11 @@ impl Session {
         plan: &mut RunPlan,
         phase: Phase,
     ) -> Result<(), OomError> {
-        for spec in kernels {
+        for (ki, spec) in kernels.iter().enumerate() {
+            // One trace span per kernel invocation (sequential and
+            // parallel executors alike); a single relaxed load when
+            // tracing is off, keeping the warm path allocation-free.
+            let tr = span_start();
             // Materialise outputs (locals stay off-device).
             match spec {
                 KernelSpec::Gemm(g) => {
@@ -533,6 +539,17 @@ impl Session {
                         .record_host_exec(category, ran_parallel, wall_us, chunks, steals);
                 }
             }
+            if let Some(t0) = tr {
+                let (tname, trows) = kernel_trace_meta(spec, graph);
+                record_span(
+                    tname,
+                    SpanCat::Kernel,
+                    t0,
+                    trows,
+                    u32::try_from(ki).unwrap_or(u32::MAX),
+                    cost.flops,
+                );
+            }
         }
         Ok(())
     }
@@ -560,10 +577,19 @@ impl Session {
         params: &mut ParamStore,
         inputs: &Bindings,
     ) -> Result<RunReport, OomError> {
+        let run0 = span_start();
+        let tr = span_start();
         self.device.reset();
         self.base_allocations(graph, params, false)?;
         plan.begin(module.forward.vars.len());
+        if let Some(t0) = tr {
+            record_span("phase/setup", SpanCat::Phase, t0, 0, 0, 0.0);
+        }
+        let tr = span_start();
         self.bind_inputs(&module.forward, graph, plan, inputs)?;
+        if let Some(t0) = tr {
+            record_span("phase/bind_inputs", SpanCat::Phase, t0, 0, 0, 0.0);
+        }
         self.run_kernels(
             &module.fw_kernels,
             &module.forward,
@@ -572,7 +598,11 @@ impl Session {
             plan,
             Phase::Forward,
         )?;
-        Ok(self.report(None))
+        let report = self.report(None);
+        if let Some(t0) = run0 {
+            record_span("run/forward", SpanCat::Run, t0, 0, 0, 0.0);
+        }
+        Ok(report)
     }
 
     /// Shared training core: forward, NLL loss, backward, prep chain
@@ -592,11 +622,20 @@ impl Session {
             .backward
             .as_ref()
             .expect("module was not compiled for training");
+        let run0 = span_start();
+        let tr = span_start();
         self.device.reset();
         self.base_allocations(graph, params, true)?;
         params.zero_grads();
         plan.begin(module.forward.vars.len().max(bw_program.vars.len()));
+        if let Some(t0) = tr {
+            record_span("phase/setup", SpanCat::Phase, t0, 0, 0, 0.0);
+        }
+        let tr = span_start();
         self.bind_inputs(&module.forward, graph, plan, inputs)?;
+        if let Some(t0) = tr {
+            record_span("phase/bind_inputs", SpanCat::Phase, t0, 0, 0, 0.0);
+        }
         self.run_kernels(
             &module.fw_kernels,
             &module.forward,
@@ -611,6 +650,7 @@ impl Session {
         let n_outputs = module.forward.outputs.len();
         let seeds = &bw_program.inputs[..n_outputs];
         let mut loss_value = None;
+        let tr = span_start();
         let loss_cost = self.loss_cost(&module.forward, graph, out_var);
         self.device.launch(&loss_cost);
         match self.mode {
@@ -653,6 +693,16 @@ impl Session {
                 }
             }
         }
+        if let Some(t0) = tr {
+            record_span(
+                "phase/loss",
+                SpanCat::Phase,
+                t0,
+                labels.len() as u64,
+                0,
+                0.0,
+            );
+        }
 
         self.run_kernels(
             &module.bw_kernels,
@@ -662,13 +712,21 @@ impl Session {
             plan,
             Phase::Backward,
         )?;
+        let tr = span_start();
         if self.mode == Mode::Real {
             params.backprop_preps(&module.forward);
             optimizer.step(params, &module.forward);
         }
         // Prep backward + optimizer run as framework calls.
         self.device.charge_api_call();
-        Ok(self.report(loss_value))
+        if let Some(t0) = tr {
+            record_span("phase/optimizer", SpanCat::Phase, t0, 0, 0, 0.0);
+        }
+        let report = self.report(loss_value);
+        if let Some(t0) = run0 {
+            record_span("run/train_step", SpanCat::Run, t0, 0, 0, 0.0);
+        }
+        Ok(report)
     }
 
     /// Runs full-graph inference.

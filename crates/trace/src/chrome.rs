@@ -1,0 +1,150 @@
+//! `trace_event` JSON export for `chrome://tracing` / Perfetto.
+//!
+//! Emits the JSON-object form (`{"traceEvents": [...]}`) with:
+//!
+//! * one `"M"` (metadata) `thread_name` event per registered thread,
+//!   so worker lanes are labelled `hector-par-{i}`;
+//! * one `"X"` (complete) event per span, `ts`/`dur` in fractional
+//!   microseconds, with `rows`/`stage`/`flops` under `args`;
+//! * one `"i"` (instant, thread scope) event per annotation, with the
+//!   `detail` string under `args`.
+//!
+//! The writer is hand-rolled (the build is offline; no serde) and the
+//! field set is pinned by the `trace_schema` golden test.
+
+use std::io::Write as _;
+
+use crate::{thread_names, TraceEvent};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders events as a chrome-trace JSON document.
+///
+/// Thread-name metadata comes from the recorder's registry
+/// ([`thread_names`]), so call this in the process that recorded.
+#[must_use]
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    let used: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+    for (tid, name) in thread_names() {
+        if !used.contains(&tid) {
+            continue;
+        }
+        push_sep(&mut out);
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        out.push_str(&tid.to_string());
+        out.push_str(",\"args\":{\"name\":\"");
+        escape(&name, &mut out);
+        out.push_str("\"}}");
+    }
+    for ev in events {
+        push_sep(&mut out);
+        let ts = ev.start_ns as f64 / 1e3;
+        if ev.instant {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts:.3},\"pid\":1,\"tid\":{}",
+                ev.name,
+                ev.cat.label(),
+                ev.tid
+            ));
+            out.push_str(",\"args\":{\"detail\":\"");
+            escape(ev.detail.as_deref().unwrap_or(""), &mut out);
+            out.push_str("\"}}");
+        } else {
+            let dur = ev.dur_ns as f64 / 1e3;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":1,\"tid\":{}",
+                ev.name,
+                ev.cat.label(),
+                ev.tid
+            ));
+            out.push_str(&format!(
+                ",\"args\":{{\"rows\":{},\"stage\":{},\"flops\":{:.1}}}}}",
+                ev.rows, ev.stage, ev.flops
+            ));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] output to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating or writing the file.
+pub fn write_chrome_trace(path: &str, events: &[TraceEvent]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json(events).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanCat;
+
+    fn ev(name: &'static str, instant: bool) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: SpanCat::Kernel,
+            start_ns: 1500,
+            dur_ns: 2500,
+            tid: crate::current_tid(),
+            rows: 7,
+            stage: 2,
+            flops: 10.0,
+            detail: if instant {
+                Some("a \"quoted\"\nreason".into())
+            } else {
+                None
+            },
+            instant,
+        }
+    }
+
+    #[test]
+    fn json_has_schema_fields() {
+        let s = chrome_trace_json(&[ev("gemm/typed_linear", false), ev("fusion/fuse", true)]);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ph\":\"M\""));
+        assert!(s.contains("\"ts\":1.500"));
+        assert!(s.contains("\"dur\":2.500"));
+        assert!(s.contains("\"rows\":7"));
+        assert!(s.contains("\\\"quoted\\\"\\n"));
+        assert!(s.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        let mut out = String::new();
+        escape("a\u{1}b", &mut out);
+        assert_eq!(out, "a\\u0001b");
+    }
+}

@@ -1,0 +1,54 @@
+//! Profiling walkthrough: compile a model, train a few steps under
+//! [`Trainer::profile`], print the per-kernel/per-relation
+//! [`ProfileReport`], and export the recorded spans as chrome-trace
+//! JSON for Perfetto / `chrome://tracing`.
+//!
+//! ```bash
+//! cargo run --release --example profiling [out.json]
+//! ```
+//!
+//! The trace is written to `trace.json` (or the path given as the first
+//! argument). The same export works without any code: set
+//! `HECTOR_TRACE=out.json` and every engine writes its trace on drop.
+
+use hector::prelude::*;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".to_string());
+
+    // 1. A scaled-down AIFB graph and an RGCN trainer with both paper
+    //    optimizations.
+    let spec = hector::datasets::aifb().scaled(0.05);
+    let graph = GraphData::new(hector::generate(&spec));
+    let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+        .dims(16, 16)
+        .options(CompileOptions::best())
+        .seed(0)
+        .build_trainer(Adam::new(0.01));
+    trainer.bind(&graph);
+
+    // 2. One warm-up step (first-run allocations would otherwise skew
+    //    the profile), then three profiled steps.
+    trainer.step().expect("fits in 24 GB");
+    let (result, report) = trainer.profile(|t| t.epoch(3));
+    let epoch = result.expect("fits in 24 GB");
+    println!(
+        "trained 3 steps, loss {:.4} -> {:.4}",
+        epoch.losses.first().unwrap(),
+        epoch.losses.last().unwrap()
+    );
+
+    // 3. The aggregated report: per-kernel-kind and per-relation time,
+    //    compiler passes (empty here — the module was already cached),
+    //    and the fraction of wall time the spans attribute.
+    println!("\n{report}");
+
+    // 4. Export the same spans for the Perfetto timeline view.
+    trainer
+        .engine_mut()
+        .write_trace(&out)
+        .expect("trace export");
+    println!("chrome trace written to {out} (open in https://ui.perfetto.dev)");
+}

@@ -267,3 +267,35 @@ fn rgat_attention_path() {
         elapsed[0]
     );
 }
+
+/// `examples/profiling.rs`: a profiled training epoch yields a populated
+/// [`ProfileReport`] and a chrome-trace export at the requested path.
+/// (The trace recorder is process-global, so the assertions here stay
+/// coarse — no other test in this binary reads the trace back.)
+#[test]
+fn profiling_path() {
+    let spec = hector::datasets::aifb().scaled(0.02);
+    let graph = GraphData::new(hector::generate(&spec));
+    let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+        .dims(16, 16)
+        .options(CompileOptions::best())
+        .seed(0)
+        .build_trainer(Adam::new(0.01));
+    trainer.bind(&graph);
+    trainer.step().expect("fits");
+
+    let (result, report) = trainer.profile(|t| t.epoch(3));
+    let epoch = result.expect("fits");
+    assert_eq!(epoch.losses.len(), 3);
+    assert!(report.wall_us > 0.0);
+    assert!(!report.kernels.is_empty());
+    assert!(format!("{report}").contains("profile:"));
+
+    let out = std::env::temp_dir().join("hector_profiling_smoke_trace.json");
+    let out = out.to_str().unwrap().to_string();
+    trainer.engine_mut().write_trace(&out).expect("export");
+    let json = std::fs::read_to_string(&out).expect("written");
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""));
+    std::fs::remove_file(&out).ok();
+}

@@ -10,6 +10,13 @@
 //! events — not merely row-invariant, zero. The sessions are pinned to
 //! `num_threads = 1`: the parallel executor intentionally allocates
 //! O(chunks) transients per kernel.
+//!
+//! This binary also pins the tracing subsystem's zero-overhead-when-off
+//! claim: every executor loop calls `hector_trace::span_start()` (one
+//! relaxed atomic load when disabled, as here — tracing is never enabled
+//! in this binary), so a zero-allocation warm run proves the disabled
+//! hot path allocates nothing. The `trace_overhead` bench covers the
+//! wall-clock half of the claim.
 
 use hector::prelude::*;
 use hector_bench::alloc_counter::{alloc_events, CountingAlloc};
