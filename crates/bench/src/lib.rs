@@ -306,19 +306,46 @@ pub mod alloc_counter {
         ALLOC_EVENTS.load(Ordering::Relaxed)
     }
 
+    static ARMED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+    /// Debug aid: while armed, every allocation event prints a capture
+    /// backtrace to stderr (reentrant captures are suppressed).
+    pub fn arm_backtrace(on: bool) {
+        ARMED.store(on, Ordering::SeqCst);
+    }
+
+    fn trace_alloc() {
+        thread_local! {
+            static IN_HOOK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+        }
+        if ARMED.load(Ordering::Relaxed) {
+            IN_HOOK.with(|h| {
+                if !h.get() {
+                    h.set(true);
+                    let bt = std::backtrace::Backtrace::force_capture();
+                    eprintln!("=== alloc event ===\n{bt}");
+                    h.set(false);
+                }
+            });
+        }
+    }
+
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            trace_alloc();
             System.alloc(layout)
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            trace_alloc();
             System.alloc_zeroed(layout)
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+            trace_alloc();
             System.realloc(ptr, layout, new_size)
         }
 

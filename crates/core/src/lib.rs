@@ -90,7 +90,9 @@ pub use hector_compiler::{
     compile, compile_cached, source_fingerprint, CompileOptions, CompiledModule, GeneratedCode,
     ModuleCache,
 };
-pub use hector_device::{Device, DeviceConfig, ModuleCacheStats, SamplerStats, ScratchStats};
+pub use hector_device::{
+    BackendStats, Device, DeviceConfig, ModuleCacheStats, SamplerStats, ScratchStats,
+};
 pub use hector_graph::{
     datasets, generate, DatasetSpec, GraphStats, HeteroGraph, HeteroGraphBuilder, NeighborSampler,
     SampledBatch, SamplerConfig, Subgraph,
@@ -98,9 +100,9 @@ pub use hector_graph::{
 pub use hector_ir::{builder::ModelSource, ModelBuilder};
 pub use hector_models::{source as model_source, stacked, ModelKind};
 pub use hector_runtime::{
-    chunk_ranges, trace, Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData,
-    Minibatches, Mode, ParallelConfig, ParamStore, ProfileReport, RunReport, Session, TraceConfig,
-    Trainer,
+    chunk_ranges, trace, Backend, BackendCaps, BackendKind, Batch, Bindings, Bound, Engine,
+    EngineBuilder, EpochReport, ExecPlan, GraphData, Minibatches, Mode, ParallelConfig, ParamStore,
+    ProfileReport, RunReport, Session, TraceConfig, Trainer,
 };
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
@@ -143,9 +145,9 @@ pub mod prelude {
     pub use hector_ir::ModelBuilder;
     pub use hector_models::ModelKind;
     pub use hector_runtime::{
-        Adam, Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData, Minibatches,
-        Mode, Optimizer, ParallelConfig, ParamStore, ProfileReport, Session, Sgd, TraceConfig,
-        Trainer,
+        Adam, BackendKind, Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData,
+        Minibatches, Mode, Optimizer, ParallelConfig, ParamStore, ProfileReport, Session, Sgd,
+        TraceConfig, Trainer,
     };
     pub use hector_tensor::{seeded_rng, Tensor};
 }

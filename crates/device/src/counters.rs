@@ -104,19 +104,18 @@ impl ParallelStats {
 /// Scratch-arena statistics of the real-mode interpreter hot path (host
 /// side, like [`ParallelStats`]). The interpreter computes every operand
 /// read, op result, and GEMM row in reusable executor-owned buffers;
-/// these counters make the steady state observable: on the *sequential*
-/// executor a warm forward/training pass records zero growth events —
-/// zero per-row heap allocations (pinned by `tests/interp_alloc.rs`).
-/// The parallel executor deliberately allocates one transient scratch
-/// block and contribution buffer per worker *chunk* — O(chunks) per
-/// kernel, never O(rows) — so its runs report a small non-zero `grows`.
+/// these counters make the steady state observable: a warm
+/// forward/training pass records zero growth events — zero per-row heap
+/// allocations (pinned by `tests/run_alloc.rs`). The parallel executor's
+/// per-chunk worker arenas are pooled on the session, so threaded runs
+/// reach the same zero once every slot has grown to its high-water mark.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScratchStats {
     /// Arena buffer-growth (heap allocation) events, including the
-    /// per-chunk worker arenas of the parallel executor.
+    /// pooled per-chunk worker arenas of the parallel executor.
     pub grows: usize,
     /// High-water arena footprint observed, bytes (session arena only —
-    /// worker-chunk blocks are transient).
+    /// the pooled worker slots are not included).
     pub bytes: usize,
     /// Kernel executions that completed without growing any arena — the
     /// zero-allocation steady state.
@@ -274,6 +273,24 @@ pub mod module_cache_probe {
     }
 }
 
+/// Execution-backend statistics for one run (real mode only). Identifies
+/// *which* backend (`hector_runtime::BackendKind`) ran the kernels and
+/// whether its prepared execution plan was reused from the session cache
+/// or rebuilt — a warm run reports `plan_reuses = 1`, `prepares = 0`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Stable backend name ("interp", "specialized"); `""` until a
+    /// real-mode run records.
+    pub name: &'static str,
+    /// Backend `prepare` invocations (plan builds) this run: 1 on the
+    /// first run of a module, 0 once the session plan cache is warm.
+    pub prepares: u64,
+    /// Runs that reused the session's cached execution plan.
+    pub plan_reuses: u64,
+    /// Kernel launches routed through the backend this run.
+    pub kernels: u64,
+}
+
 /// Per-`(category, phase)` counter store for one run.
 ///
 /// # Reset contract
@@ -281,8 +298,8 @@ pub mod module_cache_probe {
 /// Counters fall into three scopes with distinct lifetimes:
 ///
 /// * **Run-scoped** (kernel buckets, [`ParallelStats`],
-///   [`ScratchStats`]) — cleared by [`Counters::reset`] at the start of
-///   every `Session::forward` / `Session::train_step`.
+///   [`ScratchStats`], [`BackendStats`]) — cleared by [`Counters::reset`]
+///   at the start of every `Session::forward` / `Session::train_step`.
 /// * **Epoch-scoped** ([`SamplerStats`]) — survives [`Counters::reset`]
 ///   because mini-batch records land *between* runs; cleared only by
 ///   [`Counters::reset_sampler`] (or [`Counters::reset_all`]).
@@ -296,6 +313,7 @@ pub struct Counters {
     buckets: HashMap<(KernelCategory, Phase), CategoryMetrics>,
     parallel: ParallelStats,
     scratch: ScratchStats,
+    backend: BackendStats,
     sampler: SamplerStats,
 }
 
@@ -419,6 +437,30 @@ impl Counters {
         &self.scratch
     }
 
+    /// Records which execution backend this run launches kernels on and
+    /// whether its prepared plan came from the session cache. Called
+    /// once per real-mode run, right after the per-run reset.
+    pub fn record_backend(&mut self, name: &'static str, plan_reused: bool) {
+        let b = &mut self.backend;
+        b.name = name;
+        if plan_reused {
+            b.plan_reuses += 1;
+        } else {
+            b.prepares += 1;
+        }
+    }
+
+    /// Adds `n` kernel launches to the backend accounting.
+    pub fn record_backend_kernels(&mut self, n: u64) {
+        self.backend.kernels += n;
+    }
+
+    /// Execution-backend statistics for the current run.
+    #[must_use]
+    pub fn backend(&self) -> &BackendStats {
+        &self.backend
+    }
+
     /// Records one consumed mini-batch: its size, the host time spent
     /// producing it, and the time the consumer spent blocked on its
     /// arrival (see [`SamplerStats`]).
@@ -462,15 +504,16 @@ impl Counters {
         hector_trace::stats()
     }
 
-    /// Clears the per-run counters (kernel buckets, parallel, scratch).
-    /// Sampler statistics survive: they describe a mini-batch *epoch*
-    /// spanning many runs — the per-run reset at the start of each
-    /// training step must not wipe the batches recorded between runs.
-    /// Clear them explicitly with [`Counters::reset_sampler`].
+    /// Clears the per-run counters (kernel buckets, parallel, scratch,
+    /// backend). Sampler statistics survive: they describe a mini-batch
+    /// *epoch* spanning many runs — the per-run reset at the start of
+    /// each training step must not wipe the batches recorded between
+    /// runs. Clear them explicitly with [`Counters::reset_sampler`].
     pub fn reset(&mut self) {
         self.buckets.clear();
         self.parallel = ParallelStats::default();
         self.scratch = ScratchStats::default();
+        self.backend = BackendStats::default();
     }
 
     /// Clears the epoch-scoped sampler statistics.
@@ -504,6 +547,13 @@ impl Counters {
         s.kernels += other.scratch.kernels;
         s.plan_grows += other.scratch.plan_grows;
         s.plan_bytes = s.plan_bytes.max(other.scratch.plan_bytes);
+        let b = &mut self.backend;
+        if b.name.is_empty() {
+            b.name = other.backend.name;
+        }
+        b.prepares += other.backend.prepares;
+        b.plan_reuses += other.backend.plan_reuses;
+        b.kernels += other.backend.kernels;
         let sa = &mut self.sampler;
         sa.batches += other.sampler.batches;
         sa.nodes += other.sampler.nodes;

@@ -97,6 +97,18 @@ impl Device {
         self.counters.record_plan(grows, bytes);
     }
 
+    /// Records which execution backend this run launches kernels on and
+    /// whether its prepared plan was reused (see [`crate::BackendStats`]).
+    pub fn record_backend(&mut self, name: &'static str, plan_reused: bool) {
+        self.counters.record_backend(name, plan_reused);
+    }
+
+    /// Adds `n` kernel launches to the backend accounting (see
+    /// [`crate::BackendStats::kernels`]).
+    pub fn record_backend_kernels(&mut self, n: u64) {
+        self.counters.record_backend_kernels(n);
+    }
+
     /// Records one consumed mini-batch's sampler activity (see
     /// [`crate::SamplerStats`]): batch size, host time spent producing
     /// it, and consumer time blocked on its arrival. Host-side books

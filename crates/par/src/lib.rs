@@ -10,9 +10,14 @@
 //!   data (crossbeam-style scoped lifetimes, panic propagation);
 //! * [`ThreadPool::parallel_for`] — run a closure over contiguous index
 //!   chunks of `0..n`;
-//! * [`ThreadPool::parallel_chunks`] — same, collecting one result per
-//!   chunk **in chunk order** (the primitive the deterministic merge of
-//!   scatter/aggregate partials is built on);
+//! * [`ThreadPool::for_each_chunk`] — the allocation-free core of
+//!   `parallel_for`: the chunk job is published through pool-owned
+//!   atomics and workers claim chunk indices with a `fetch_add`, so a
+//!   warm parallel run performs zero heap allocations (callers keep
+//!   per-chunk state in pooled slots indexed by the chunk index);
+//! * [`ThreadPool::parallel_chunks`] — same split, collecting one result
+//!   per chunk **in chunk order** (the primitive the deterministic merge
+//!   of scatter/aggregate partials is built on);
 //! * [`ParallelConfig`] — `num_threads` / `min_chunk_rows`, defaulted
 //!   from the `HECTOR_THREADS` and `HECTOR_MIN_CHUNK_ROWS` environment
 //!   variables;
@@ -51,7 +56,7 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -60,6 +65,32 @@ use std::time::Duration;
 /// soundness rests on [`ThreadPool::scope`] not returning until every
 /// spawned job has finished.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Type-erased entry point for the allocation-free chunk dispatcher:
+/// `(closure, chunk_index, row_range)`. Monomorphized per closure type by
+/// [`chunk_harness`].
+type ChunkHarness = unsafe fn(*const (), usize, Range<usize>);
+
+/// Calls the published `Fn(usize, Range<usize>)` closure through its
+/// type-erased pointer.
+///
+/// # Safety
+///
+/// `ctx` must point to a live `F` for the duration of the call — upheld
+/// by [`ThreadPool::for_each_chunk`], which does not return until every
+/// claimed chunk has finished.
+unsafe fn chunk_harness<F: Fn(usize, Range<usize>) + Sync>(
+    ctx: *const (),
+    i: usize,
+    range: Range<usize>,
+) {
+    let f = &*(ctx as *const F);
+    f(i, range);
+}
+
+/// Low half of the packed chunk-claim word (the next unclaimed index);
+/// the high half holds the active job's total chunk count.
+const CHUNK_IDX_MASK: u64 = 0xffff_ffff;
 
 /// Parallel-execution settings threaded through a `Session`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,11 +185,41 @@ struct Shared {
     injector: Mutex<VecDeque<Job>>,
     idle_lock: Mutex<()>,
     work_cv: Condvar,
+    /// Workers that have reached their run loop. [`ThreadPool::new`]
+    /// blocks until every worker checks in, so thread-startup work (the
+    /// runtime allocates per-thread state in the spawn prologue) is done
+    /// before the pool is handed to the caller — warm-path allocation
+    /// accounting never sees a straggling worker's startup.
+    started: Mutex<usize>,
+    started_cv: Condvar,
     shutdown: AtomicBool,
     next_queue: AtomicUsize,
     executed: AtomicU64,
     steals: AtomicU64,
     live_workers: AtomicUsize,
+
+    // --- Allocation-free chunk dispatcher (`for_each_chunk`) state. ---
+    // One chunk job can be live at a time (`chunk_active` guards it);
+    // concurrent/nested publishers fall back to the boxed scope path.
+    /// Packed claim word: `(total_chunks << 32) | next_index`. Zero when
+    /// idle; claimed by `fetch_add(1)`, so each index is handed out once.
+    chunk_claim: AtomicU64,
+    /// Chunks published but not yet finished. The publisher blocks until
+    /// this reaches zero, which is what pins the closure pointed to by
+    /// `chunk_ctx` for the workers.
+    chunk_pending: AtomicUsize,
+    /// Domain size `n` of the active job (for `chunk_range`).
+    chunk_n: AtomicUsize,
+    /// Type-erased pointer to the publisher's `Fn(usize, Range<usize>)`.
+    chunk_ctx: AtomicPtr<()>,
+    /// Monomorphized [`ChunkHarness`] for `chunk_ctx`'s concrete type.
+    chunk_harness: AtomicPtr<()>,
+    /// Publisher exclusivity flag for the chunk dispatcher.
+    chunk_active: AtomicBool,
+    chunk_done_lock: Mutex<()>,
+    chunk_done_cv: Condvar,
+    /// First panic payload from a chunk (allocates only when panicking).
+    chunk_panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Shared {
@@ -205,15 +266,71 @@ impl Shared {
     }
 
     fn has_work(&self) -> bool {
+        if self.chunk_work_available() {
+            return true;
+        }
         if !self.injector.lock().unwrap().is_empty() {
             return true;
         }
         self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
     }
+
+    /// Whether the active chunk job (if any) still has unclaimed chunks.
+    fn chunk_work_available(&self) -> bool {
+        let w = self.chunk_claim.load(Ordering::Acquire);
+        (w >> 32) > (w & CHUNK_IDX_MASK)
+    }
+
+    /// Claims and runs chunks of the active chunk job until none remain.
+    /// Returns whether any chunk was run. Safe to call at any time — an
+    /// idle dispatcher hands out a claim index past the (zero) total.
+    fn run_chunk_jobs(&self) -> bool {
+        let mut ran = false;
+        loop {
+            let word = self.chunk_claim.fetch_add(1, Ordering::AcqRel);
+            let total = (word >> 32) as usize;
+            let i = (word & CHUNK_IDX_MASK) as usize;
+            if i >= total {
+                return ran;
+            }
+            ran = true;
+            // SAFETY: a successful claim (`i < total`) pins the
+            // publishing `for_each_chunk` frame: `chunk_pending` cannot
+            // reach zero before this chunk's decrement below, and the
+            // publisher does not return (or rewrite these fields) until
+            // `chunk_pending == 0`. The `AcqRel` claim synchronizes with
+            // the publisher's `Release` store of `chunk_claim` (release
+            // sequences survive intervening RMWs), so the relaxed loads
+            // below observe the published ctx/harness/n.
+            let harness: ChunkHarness =
+                unsafe { std::mem::transmute(self.chunk_harness.load(Ordering::Relaxed)) };
+            let ctx = self.chunk_ctx.load(Ordering::Relaxed) as *const ();
+            let n = self.chunk_n.load(Ordering::Relaxed);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+                harness(ctx, i, chunk_range(n, total, i))
+            }));
+            if let Err(p) = result {
+                self.chunk_panic.lock().unwrap().get_or_insert(p);
+            }
+            if self.chunk_pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = self.chunk_done_lock.lock().unwrap();
+                self.chunk_done_cv.notify_all();
+            }
+        }
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>, me: usize) {
+    {
+        let mut started = shared.started.lock().unwrap();
+        *started += 1;
+        shared.started_cv.notify_one();
+    }
     loop {
+        if shared.run_chunk_jobs() {
+            continue;
+        }
         if let Some(job) = shared.find_job(Some(me)) {
             shared.executed.fetch_add(1, Ordering::Relaxed);
             job();
@@ -320,11 +437,22 @@ impl ThreadPool {
             injector: Mutex::new(VecDeque::new()),
             idle_lock: Mutex::new(()),
             work_cv: Condvar::new(),
+            started: Mutex::new(0),
+            started_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_queue: AtomicUsize::new(0),
             executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             live_workers: AtomicUsize::new(n_workers),
+            chunk_claim: AtomicU64::new(0),
+            chunk_pending: AtomicUsize::new(0),
+            chunk_n: AtomicUsize::new(0),
+            chunk_ctx: AtomicPtr::new(std::ptr::null_mut()),
+            chunk_harness: AtomicPtr::new(std::ptr::null_mut()),
+            chunk_active: AtomicBool::new(false),
+            chunk_done_lock: Mutex::new(()),
+            chunk_done_cv: Condvar::new(),
+            chunk_panic: Mutex::new(None),
         });
         let workers = (0..n_workers)
             .map(|i| {
@@ -335,6 +463,13 @@ impl ThreadPool {
                     .expect("spawning pool worker")
             })
             .collect();
+        // Rendezvous: wait for every worker to reach its run loop (see
+        // `Shared::started`).
+        let mut started = shared.started.lock().unwrap();
+        while *started < n_workers {
+            started = shared.started_cv.wait(started).unwrap();
+        }
+        drop(started);
         ThreadPool { shared, workers }
     }
 
@@ -414,69 +549,137 @@ impl ThreadPool {
         }
     }
 
+    /// Splits `0..n` into contiguous chunks (the exact split of
+    /// [`chunk_ranges`]) and runs `f(chunk_index, range)` for each, in
+    /// parallel, **without allocating**: no boxed jobs, no scope state,
+    /// no range vector. The chunk job is published through pool-owned
+    /// atomics, workers claim indices with a `fetch_add`, and the caller
+    /// helps until every chunk has run. Returns the number of chunks
+    /// (what [`chunk_count`] predicts), so callers can index
+    /// caller-owned per-chunk slots — the primitive the runtime's pooled
+    /// worker arenas are built on. A single-chunk split runs inline on
+    /// the caller; empty domains (`n == 0`) are a no-op returning 0.
+    ///
+    /// Chunk panics are captured and the first one resumes on the caller
+    /// after every chunk has finished, like [`ThreadPool::scope`].
+    /// Nested or concurrent calls fall back to an equivalent (allocating)
+    /// scope-based dispatch — only one lock-free chunk job is live at a
+    /// time per pool.
+    pub fn for_each_chunk<F>(&self, n: usize, min_chunk: usize, f: F) -> usize
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let chunks = chunk_count(n, min_chunk, self.parallelism());
+        if chunks == 0 {
+            return 0;
+        }
+        if chunks == 1 {
+            self.shared.executed.fetch_add(1, Ordering::Relaxed);
+            f(0, 0..n);
+            return 1;
+        }
+        let s = &*self.shared;
+        if s.chunk_active
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // Another chunk job is live (nested use, or a second thread
+            // driving the same pool): take the boxed scope path instead.
+            self.scoped_chunks(n, chunks, &f);
+            return chunks;
+        }
+        s.chunk_ctx
+            .store(&f as *const F as *const () as *mut (), Ordering::Relaxed);
+        s.chunk_harness
+            .store(chunk_harness::<F> as *mut (), Ordering::Relaxed);
+        s.chunk_n.store(n, Ordering::Relaxed);
+        s.chunk_pending.store(chunks, Ordering::Relaxed);
+        // Publish: the Release store pairs with the AcqRel claims in
+        // `run_chunk_jobs`, making the stores above visible to claimers.
+        s.chunk_claim
+            .store((chunks as u64) << 32, Ordering::Release);
+        {
+            let _g = s.idle_lock.lock().unwrap();
+            s.work_cv.notify_all();
+        }
+        // The caller is one of the pool's threads: claim chunks too.
+        s.run_chunk_jobs();
+        // Wait for straggler workers still running claimed chunks.
+        {
+            let mut guard = s.chunk_done_lock.lock().unwrap();
+            while s.chunk_pending.load(Ordering::Acquire) != 0 {
+                guard = s
+                    .chunk_done_cv
+                    .wait_timeout(guard, Duration::from_millis(5))
+                    .unwrap()
+                    .0;
+            }
+        }
+        // Retire the job before releasing publisher exclusivity.
+        s.chunk_claim.store(0, Ordering::Release);
+        s.chunk_ctx.store(std::ptr::null_mut(), Ordering::Relaxed);
+        s.chunk_active.store(false, Ordering::Release);
+        // Bind before unwinding so the guard drops first (an `if let`
+        // scrutinee guard would stay held across `resume_unwind` and
+        // poison the mutex).
+        let chunk_panic = s.chunk_panic.lock().unwrap().take();
+        if let Some(p) = chunk_panic {
+            panic::resume_unwind(p);
+        }
+        chunks
+    }
+
+    /// Scope-based fallback for [`ThreadPool::for_each_chunk`] when the
+    /// lock-free dispatcher is already in use. Same split, same
+    /// semantics, one boxed job per chunk.
+    fn scoped_chunks<F>(&self, n: usize, chunks: usize, f: &F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        self.scope(|s| {
+            for i in 0..chunks {
+                let range = chunk_range(n, chunks, i);
+                s.spawn(move || f(i, range));
+            }
+        });
+    }
+
     /// Splits `0..n` into contiguous chunks (see [`chunk_ranges`]) and
     /// runs `f(chunk_index, range)` for each, in parallel. A single-chunk
     /// split runs inline on the caller with no pool round-trip. Empty
-    /// domains (`n == 0`) are a no-op.
+    /// domains (`n == 0`) are a no-op. Allocation-free — a thin wrapper
+    /// over [`ThreadPool::for_each_chunk`].
     pub fn parallel_for<F>(&self, n: usize, min_chunk: usize, f: F)
     where
         F: Fn(usize, Range<usize>) + Send + Sync,
     {
-        let ranges = chunk_ranges(n, min_chunk, self.parallelism());
-        match ranges.len() {
-            0 => {}
-            1 => {
-                self.shared.executed.fetch_add(1, Ordering::Relaxed);
-                f(0, ranges.into_iter().next().unwrap());
-            }
-            _ => self.scope(|s| {
-                for (i, range) in ranges.into_iter().enumerate() {
-                    let f = &f;
-                    s.spawn(move || f(i, range));
-                }
-            }),
-        }
+        self.for_each_chunk(n, min_chunk, f);
     }
 
     /// Like [`ThreadPool::parallel_for`], but collects each chunk's
     /// return value and hands them back **ordered by chunk index** —
     /// execution order never leaks into the result, which is what lets
-    /// callers merge floating-point partials deterministically.
+    /// callers merge floating-point partials deterministically. Allocates
+    /// one slot per chunk; use [`ThreadPool::for_each_chunk`] with
+    /// caller-pooled slots on allocation-free paths.
     pub fn parallel_chunks<R, F>(&self, n: usize, min_chunk: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize, Range<usize>) -> R + Send + Sync,
     {
-        let ranges = chunk_ranges(n, min_chunk, self.parallelism());
-        match ranges.len() {
-            0 => Vec::new(),
-            1 => {
-                self.shared.executed.fetch_add(1, Ordering::Relaxed);
-                vec![f(0, ranges.into_iter().next().unwrap())]
-            }
-            _ => {
-                let slots: Vec<Mutex<Option<R>>> =
-                    ranges.iter().map(|_| Mutex::new(None)).collect();
-                self.scope(|s| {
-                    for (i, range) in ranges.into_iter().enumerate() {
-                        let f = &f;
-                        let slots = &slots;
-                        s.spawn(move || {
-                            let r = f(i, range);
-                            *slots[i].lock().unwrap() = Some(r);
-                        });
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|m| {
-                        m.into_inner()
-                            .unwrap()
-                            .expect("scope drained, so every chunk completed")
-                    })
-                    .collect()
-            }
-        }
+        let chunks = chunk_count(n, min_chunk, self.parallelism());
+        let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        self.for_each_chunk(n, min_chunk, |i, range| {
+            *slots[i].lock().unwrap() = Some(f(i, range));
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("for_each_chunk returned, so every chunk completed")
+            })
+            .collect()
     }
 }
 
@@ -501,23 +704,32 @@ impl Drop for ThreadPool {
 /// depend on scheduling, which the determinism tests rely on.
 #[must_use]
 pub fn chunk_ranges(n: usize, min_chunk: usize, parallelism: usize) -> Vec<Range<usize>> {
+    let chunks = chunk_count(n, min_chunk, parallelism);
+    (0..chunks).map(|i| chunk_range(n, chunks, i)).collect()
+}
+
+/// Number of chunks [`chunk_ranges`] splits `0..n` into — O(1), for
+/// callers that size per-chunk state without materialising the ranges.
+/// Zero for an empty domain.
+#[must_use]
+pub fn chunk_count(n: usize, min_chunk: usize, parallelism: usize) -> usize {
     if n == 0 {
-        return Vec::new();
+        return 0;
     }
-    let min_chunk = min_chunk.max(1);
-    let max_chunks = parallelism.max(1) * 4;
-    let chunks = (n / min_chunk).clamp(1, max_chunks);
+    (n / min_chunk.max(1)).clamp(1, parallelism.max(1) * 4)
+}
+
+/// The `i`-th of `chunks` balanced contiguous ranges over `0..n` — O(1),
+/// identical to `chunk_ranges(..)[i]` when `chunks` came from
+/// [`chunk_count`] with the same `n`. Requires `i < chunks` and
+/// `chunks >= 1`.
+#[must_use]
+pub fn chunk_range(n: usize, chunks: usize, i: usize) -> Range<usize> {
+    debug_assert!(i < chunks);
     let base = n / chunks;
     let rem = n % chunks;
-    let mut out = Vec::with_capacity(chunks);
-    let mut start = 0;
-    for i in 0..chunks {
-        let len = base + usize::from(i < rem);
-        out.push(start..start + len);
-        start += len;
-    }
-    debug_assert_eq!(start, n);
-    out
+    let start = i * base + i.min(rem);
+    start..start + base + usize::from(i < rem)
 }
 
 #[cfg(test)]
@@ -684,6 +896,111 @@ mod tests {
         let after = pool.stats().executed;
         let chunks = chunk_ranges(1000, 10, pool.parallelism()).len() as u64;
         assert_eq!(after - before, chunks);
+    }
+
+    #[test]
+    fn chunk_count_and_range_agree_with_chunk_ranges() {
+        for n in [0usize, 1, 7, 128, 1000, 1001] {
+            for min_chunk in [1usize, 16, 128, 4096] {
+                for par in [1usize, 2, 4, 8] {
+                    let ranges = chunk_ranges(n, min_chunk, par);
+                    let count = chunk_count(n, min_chunk, par);
+                    assert_eq!(ranges.len(), count, "n={n} min={min_chunk} par={par}");
+                    for (i, r) in ranges.iter().enumerate() {
+                        assert_eq!(*r, chunk_range(n, count, i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_visits_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        let chunks = pool.for_each_chunk(1000, 16, |_c, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(chunks, chunk_count(1000, 16, pool.parallelism()));
+        assert!(chunks > 1, "1000 rows at min_chunk 16 must split");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_chunk_counts_executed_per_chunk() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats().executed;
+        let chunks = pool.for_each_chunk(1000, 10, |_c, _r| {}) as u64;
+        assert_eq!(pool.stats().executed - before, chunks);
+        // Single-chunk inline fast path still counts one job.
+        let before = pool.stats().executed;
+        assert_eq!(pool.for_each_chunk(5, 128, |_c, _r| {}), 1);
+        assert_eq!(pool.stats().executed - before, 1);
+        // Empty domain: nothing runs, nothing counted.
+        let before = pool.stats().executed;
+        assert_eq!(pool.for_each_chunk(0, 128, |_c, _r| {}), 0);
+        assert_eq!(pool.stats().executed - before, 0);
+    }
+
+    #[test]
+    fn for_each_chunk_repeated_runs_stay_correct() {
+        // The dispatcher state is pool-owned and reused; stale claim
+        // attempts from a previous job must never corrupt the next one.
+        let pool = ThreadPool::new(4);
+        for round in 0..50usize {
+            let n = 64 + round;
+            let sum = AtomicU64::new(0);
+            pool.for_each_chunk(n, 4, |_c, range| {
+                sum.fetch_add(range.map(|i| i as u64).sum::<u64>(), Ordering::Relaxed);
+            });
+            let expect = (n as u64 * (n as u64 - 1)) / 2;
+            assert_eq!(sum.load(Ordering::Relaxed), expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn nested_for_each_chunk_falls_back_and_completes() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU32> = (0..256).map(|_| AtomicU32::new(0)).collect();
+        pool.for_each_chunk(4, 1, |outer, _r| {
+            // Nested call while the dispatcher is busy: scope fallback.
+            pool.for_each_chunk(64, 8, |_c, range| {
+                for i in range {
+                    hits[outer * 64 + i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_chunk_panic_propagates_after_drain() {
+        let pool = ThreadPool::new(4);
+        let completed = AtomicU32::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_chunk(64, 1, |c, _r| {
+                if c == 3 {
+                    panic!("chunk 3 exploded");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let p = result.expect_err("panic must reach the publisher");
+        let msg = p
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("chunk 3 exploded"), "payload preserved: {msg}");
+        // The pool stays usable after a panicked chunk job.
+        let sum = AtomicU64::new(0);
+        pool.for_each_chunk(100, 1, |_c, range| {
+            sum.fetch_add(range.count() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 100);
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Execution backends: pluggable strategies for running compiled kernels.
+//!
+//! The compiler lowers a model to a sequence of [`KernelSpec`]s; *how*
+//! those kernels execute is a backend decision. [`Session`] routes every
+//! real-mode kernel launch through a [`Backend`]:
+//!
+//! * [`Backend::prepare`] runs once per (session, module) — it analyses
+//!   the kernel sequence and builds an [`ExecPlan`] of per-kernel
+//!   prepared state (parallel-safety verdicts, deferred-aggregate sets,
+//!   monomorphized kernel bodies). The plan is cached on the session, so
+//!   warm runs pay none of the analysis and stay allocation-free.
+//! * [`Backend::run_kernel`] executes one kernel of the plan against an
+//!   [`ExecCtx`] (graph, parameters, variable buffers, scratch arenas).
+//!
+//! Two backends ship today:
+//!
+//! * **`interp`** ([`BackendKind::Interp`], the default) — the reference
+//!   interpreter: walks each kernel spec per row, sequentially or across
+//!   the deterministic thread pool.
+//! * **`specialized`** ([`BackendKind::Specialized`]) — resolves shapes,
+//!   stage assignments, aggregation kinds, and the fusion schedule once
+//!   at `prepare` time, monomorphizing each kernel into a dispatch-free
+//!   closure. Bit-identical to the interpreter (pinned by
+//!   `tests/backend_parity.rs`), faster on traversal-heavy models.
+//!
+//! The CUDA code generator (`CompiledModule::code`) is *not* a backend:
+//! it is a text-only emission target — nothing in this crate executes
+//! it. See `GeneratedCode` in `hector-compiler`.
+//!
+//! [`Session`]: crate::Session
+
+use std::sync::Arc;
+
+use hector_compiler::CompiledModule;
+use hector_device::Phase;
+use hector_ir::{KernelSpec, Program, VarId};
+use hector_par::ThreadPool;
+
+use crate::par_exec::{buffered_agg_outs, par_traversal_safe, WorkerArenas};
+use crate::scratch::Scratch;
+use crate::store::VarStore;
+use crate::{GraphData, ParamStore};
+
+mod interp;
+mod spec;
+
+/// Which execution backend a session runs kernels on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The reference interpreter: executes each kernel spec directly,
+    /// matching on op kinds per row. Sequential and parallel paths are
+    /// bit-identical; this is the numerics baseline every other backend
+    /// is pinned against.
+    Interp,
+    /// The specialized compiled-kernel backend: monomorphizes each
+    /// lowered kernel into a dispatch-free closure at prepare time
+    /// (shapes, stage schedules, aggregation kinds resolved once, not
+    /// matched per row per run). Bit-identical to [`BackendKind::Interp`].
+    Specialized,
+}
+
+impl BackendKind {
+    /// Stable lower-case name (the `HECTOR_BACKEND` value and the label
+    /// surfaced through counters, profiles, and trace metadata).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Interp => "interp",
+            BackendKind::Specialized => "specialized",
+        }
+    }
+
+    /// Parses a backend name as accepted by `HECTOR_BACKEND`.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<BackendKind> {
+        match s.trim() {
+            "" | "interp" | "interpreter" => Some(BackendKind::Interp),
+            "specialized" | "spec" => Some(BackendKind::Specialized),
+            _ => None,
+        }
+    }
+
+    /// Backend selection from the environment: `HECTOR_BACKEND=interp`
+    /// (default) or `HECTOR_BACKEND=specialized`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value — a misspelt backend silently
+    /// falling back to the default would invalidate any benchmark or CI
+    /// matrix leg that set it.
+    #[must_use]
+    pub fn from_env() -> BackendKind {
+        match std::env::var("HECTOR_BACKEND") {
+            Ok(v) => BackendKind::from_name(&v).unwrap_or_else(|| {
+                panic!("unknown HECTOR_BACKEND '{v}' (expected 'interp' or 'specialized')")
+            }),
+            Err(_) => BackendKind::Interp,
+        }
+    }
+}
+
+/// Capability flags a backend advertises. Purely informational — the
+/// session does not gate behaviour on them — but they document the
+/// contract each backend is tested against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackendCaps {
+    /// Executes across the deterministic thread pool when the session
+    /// has one (`HECTOR_THREADS > 1`).
+    pub parallel: bool,
+    /// Warm runs perform zero heap allocations (pinned by
+    /// `tests/run_alloc.rs`).
+    pub zero_alloc_warm: bool,
+    /// Emits the standard kernel/phase/worker trace spans (the golden
+    /// schema in `tests/trace_schema.rs` holds under this backend).
+    pub trace_spans: bool,
+}
+
+/// Everything a backend needs to execute one kernel: the program and
+/// graph being run, parameter and variable stores, the optional thread
+/// pool, and the session-owned scratch arenas.
+///
+/// Constructed by [`Session`](crate::Session) per kernel launch; the
+/// fields are crate-private, so the [`Backend`] trait is effectively
+/// sealed to this crate.
+pub struct ExecCtx<'a> {
+    pub(crate) program: &'a Program,
+    pub(crate) graph: &'a GraphData,
+    pub(crate) params: &'a mut ParamStore,
+    pub(crate) vars: &'a mut VarStore,
+    pub(crate) pool: Option<&'a ThreadPool>,
+    pub(crate) min_chunk: usize,
+    pub(crate) scratch: &'a mut Scratch,
+    pub(crate) arenas: &'a mut WorkerArenas,
+}
+
+/// Prepared parallel-execution metadata for one traversal kernel,
+/// computed once per module instead of per launch: whether the chunked
+/// scheme is safe at all, and which aggregate outputs must be deferred
+/// to the record-and-replay merge.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TravPrep {
+    /// Verdict of [`par_traversal_safe`] — `false` forces the sequential
+    /// interpreter even when a pool exists.
+    pub(crate) par_safe: bool,
+    /// Sorted [`buffered_agg_outs`] result: aggregate outputs whose
+    /// target row may belong to another chunk.
+    pub(crate) buffered: Vec<VarId>,
+}
+
+/// A monomorphized kernel body built by the specialized backend: one
+/// closure per kernel, with every prepare-time decision already baked
+/// in. Returns whether the kernel actually split across chunks.
+pub(crate) type KernelFn = Box<dyn Fn(&mut ExecCtx<'_>) -> bool + Send + Sync>;
+
+/// Per-kernel prepared state inside an [`ExecPlan`].
+#[derive(Default)]
+pub(crate) struct PreparedKernel {
+    /// Parallel metadata (traversal kernels only).
+    pub(crate) trav: Option<TravPrep>,
+    /// Monomorphized body (specialized backend only); `None` falls back
+    /// to the interpreter dispatch in [`Backend::run_kernel`].
+    pub(crate) body: Option<KernelFn>,
+}
+
+/// A backend's prepared execution state for one [`CompiledModule`]:
+/// per-kernel analysis results and (for compiling backends) the
+/// monomorphized kernel bodies. Built by [`Backend::prepare`], cached by
+/// the session, and keyed to the module it was built from.
+pub struct ExecPlan {
+    kind: BackendKind,
+    module_ptr: usize,
+    module_name: String,
+    fw: Vec<PreparedKernel>,
+    bw: Vec<PreparedKernel>,
+}
+
+impl std::fmt::Debug for ExecPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPlan")
+            .field("kind", &self.kind)
+            .field("module", &self.module_name)
+            .field("fw_kernels", &self.fw.len())
+            .field("bw_kernels", &self.bw.len())
+            .finish()
+    }
+}
+
+impl ExecPlan {
+    /// The backend kind this plan was prepared by.
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Whether this plan was prepared from `module` (same address, name,
+    /// and kernel counts) by a backend of `kind` — the session's cache
+    /// key for skipping re-preparation on warm runs.
+    pub(crate) fn matches(&self, kind: BackendKind, module: &CompiledModule) -> bool {
+        self.kind == kind
+            && self.module_ptr == std::ptr::from_ref(module) as usize
+            && self.module_name == module.name
+            && self.fw.len() == module.fw_kernels.len()
+            && self.bw.len() == module.bw_kernels.len()
+    }
+
+    pub(crate) fn kernels(&self, phase: Phase) -> &[PreparedKernel] {
+        match phase {
+            Phase::Forward => &self.fw,
+            Phase::Backward => &self.bw,
+        }
+    }
+}
+
+/// Builds the interpreter-level prepared state shared by every backend:
+/// parallel-safety and deferred-aggregate analysis per traversal kernel.
+fn prepare_trav(kernels: &[KernelSpec], program: &Program) -> Vec<PreparedKernel> {
+    kernels
+        .iter()
+        .map(|spec| match spec {
+            KernelSpec::Traversal(t) => {
+                let mut buffered: Vec<VarId> = buffered_agg_outs(t, program).into_iter().collect();
+                buffered.sort_unstable_by_key(|v| v.0);
+                PreparedKernel {
+                    trav: Some(TravPrep {
+                        par_safe: par_traversal_safe(t, program),
+                        buffered,
+                    }),
+                    body: None,
+                }
+            }
+            _ => PreparedKernel::default(),
+        })
+        .collect()
+}
+
+/// Plan skeleton: per-phase prepared kernels plus the module cache key.
+fn plan_of(
+    kind: BackendKind,
+    module: &CompiledModule,
+    fw: Vec<PreparedKernel>,
+    bw: Vec<PreparedKernel>,
+) -> ExecPlan {
+    ExecPlan {
+        kind,
+        module_ptr: std::ptr::from_ref(module) as usize,
+        module_name: module.name.clone(),
+        fw,
+        bw,
+    }
+}
+
+/// An execution strategy for compiled kernel sequences.
+///
+/// Implementations must keep outputs **bit-identical** to the reference
+/// interpreter ([`BackendKind::Interp`]) — `tests/backend_parity.rs`
+/// pins forward outputs, losses, and trained weights across backends and
+/// thread counts. The trait is sealed to this crate ([`ExecCtx`]'s
+/// fields are crate-private).
+pub trait Backend: std::fmt::Debug + Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Stable backend name (see [`BackendKind::name`]).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Capability flags (see [`BackendCaps`]).
+    fn caps(&self) -> BackendCaps;
+
+    /// Analyses `module` and builds the prepared per-kernel state this
+    /// backend needs. Called once per (session, module); the session
+    /// caches the result so warm runs skip it entirely.
+    fn prepare(&self, module: &CompiledModule) -> ExecPlan;
+
+    /// Executes kernel `index` of `phase` (`spec` is
+    /// `module.fw_kernels[index]` / `bw_kernels[index]`, `plan` the
+    /// matching [`Backend::prepare`] result). Returns whether the kernel
+    /// actually split across pool chunks (for
+    /// [`hector_device::ParallelStats`] accounting).
+    fn run_kernel(
+        &self,
+        plan: &ExecPlan,
+        phase: Phase,
+        index: usize,
+        spec: &KernelSpec,
+        ctx: &mut ExecCtx<'_>,
+    ) -> bool;
+}
+
+/// Instantiates the backend for `kind`.
+pub(crate) fn create(kind: BackendKind) -> Arc<dyn Backend> {
+    match kind {
+        BackendKind::Interp => Arc::new(interp::InterpBackend),
+        BackendKind::Specialized => Arc::new(spec::SpecializedBackend),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [BackendKind::Interp, BackendKind::Specialized] {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_name(""), Some(BackendKind::Interp));
+        assert_eq!(BackendKind::from_name("wgpu"), None);
+    }
+
+    #[test]
+    fn created_backends_report_their_kind() {
+        for kind in [BackendKind::Interp, BackendKind::Specialized] {
+            let b = create(kind);
+            assert_eq!(b.kind(), kind);
+            assert_eq!(b.name(), kind.name());
+            assert!(b.caps().parallel);
+            assert!(b.caps().zero_alloc_warm);
+            assert!(b.caps().trace_spans);
+        }
+    }
+}

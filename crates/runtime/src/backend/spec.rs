@@ -1,0 +1,816 @@
+//! The specialized compiled-kernel backend.
+//!
+//! Where the interpreter re-derives scheduling facts on every launch —
+//! scanning the whole fused op list per edge per pass, testing
+//! `hoisted.contains(op)` per op, re-matching aggregation kinds and
+//! re-resolving weight slabs per row — this backend resolves all of it
+//! **once**, at [`Backend::prepare`] time, and monomorphizes each
+//! lowered kernel into a dispatch-free closure:
+//!
+//! * **Linear-domain traversals** (edges, unique pairs, nodes): the
+//!   fused op list is compiled to [`MicroOp`]s — every `Operand` match,
+//!   variable-store hash lookup, and space/endpoint decision is made at
+//!   prepare time — and executed **op-at-a-time**: one tight loop over
+//!   all rows per op, with the operand tensors bound once per launch and
+//!   results written straight into the output rows (no scratch staging
+//!   copy). The interchange is bit-exact: per-row ops are row-local, and
+//!   aggregates fold contributions in the same ascending-row order as
+//!   the interpreter's row-at-a-time loop. Kernels where an aggregate's
+//!   output is read back in the same kernel (where interchange would
+//!   observe different partial sums) are detected at prepare time and
+//!   fall back to the interpreter.
+//! * **Dst-node traversals** (edge softmax and friends): the per-pass
+//!   schedule is compiled to direct op-index lists (`edge_ops[pass]`,
+//!   `node_ops[pass]`) and per-pass `-inf` sweep targets, so the hot
+//!   per-edge loop touches exactly the ops that run — no stage scan, no
+//!   `contains` probes.
+//! * **Shared-weight dense GEMMs**: the weight slab and its finiteness
+//!   bit are resolved once per kernel instead of once per row.
+//! * Everything else falls back to the interpreter's own routines, so
+//!   numerics are the interpreter's by construction.
+//!
+//! Every closure reuses the session [`Scratch`] arena and, on the
+//! parallel path, delegates to the same deterministic chunked executor
+//! as the interpreter — warm runs stay 0-alloc and outputs stay
+//! bit-identical across backends and thread counts
+//! (`tests/backend_parity.rs`).
+
+use hector_compiler::CompiledModule;
+use hector_device::Phase;
+use hector_ir::{
+    AggNorm, BinOp, Endpoint, GemmSpec, KernelSpec, OpKind, Operand, Program, RowDomain, Space,
+    TraversalDomain, TraversalSpec, UnOp, VarId, WeightId,
+};
+use hector_tensor::Tensor;
+
+use crate::exec::{
+    apply_binary_into, apply_unary_into, dot, dst_private_max_aggs, exec_gemm, exec_op,
+    exec_traversal, gemm_row_into, max_agg_outputs, read_operand, row_ctx, Ctx,
+};
+use crate::par_exec::{buffered_agg_outs, exec_gemm_par, exec_traversal_par, par_traversal_safe};
+
+use super::{
+    plan_of, Backend, BackendCaps, BackendKind, ExecCtx, ExecPlan, KernelFn, PreparedKernel,
+    TravPrep,
+};
+
+/// The specialized compiled-kernel backend (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SpecializedBackend;
+
+impl Backend for SpecializedBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Specialized
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            parallel: true,
+            zero_alloc_warm: true,
+            trace_spans: true,
+        }
+    }
+
+    fn prepare(&self, module: &CompiledModule) -> ExecPlan {
+        let fw = compile_kernels(&module.fw_kernels, &module.forward);
+        let bw = match &module.backward {
+            Some(p) => compile_kernels(&module.bw_kernels, p),
+            None => Vec::new(),
+        };
+        plan_of(self.kind(), module, fw, bw)
+    }
+
+    fn run_kernel(
+        &self,
+        plan: &ExecPlan,
+        phase: Phase,
+        index: usize,
+        _spec: &KernelSpec,
+        ctx: &mut ExecCtx<'_>,
+    ) -> bool {
+        let body = plan.kernels(phase)[index]
+            .body
+            .as_ref()
+            .expect("specialized plans carry a body per kernel");
+        body(ctx)
+    }
+}
+
+fn compile_kernels(kernels: &[KernelSpec], program: &Program) -> Vec<PreparedKernel> {
+    kernels
+        .iter()
+        .map(|spec| {
+            let (trav, body) = match spec {
+                KernelSpec::Traversal(t) => {
+                    let prep = trav_prep(t, program);
+                    let body = compile_traversal(t, program, prep.clone());
+                    (Some(prep), body)
+                }
+                KernelSpec::Gemm(g) => (None, compile_gemm(g)),
+                KernelSpec::Fallback(f) => {
+                    let prep_index = f.prep_index;
+                    let body: KernelFn = Box::new(move |ctx: &mut ExecCtx<'_>| {
+                        if let Some(i) = prep_index {
+                            ctx.params.run_prep(&ctx.program.preps[i], ctx.program);
+                        }
+                        false
+                    });
+                    (None, body)
+                }
+            };
+            PreparedKernel {
+                trav,
+                body: Some(body),
+            }
+        })
+        .collect()
+}
+
+fn trav_prep(spec: &TraversalSpec, program: &Program) -> TravPrep {
+    let mut buffered: Vec<VarId> = buffered_agg_outs(spec, program).into_iter().collect();
+    buffered.sort_unstable_by_key(|v| v.0);
+    TravPrep {
+        par_safe: par_traversal_safe(spec, program),
+        buffered,
+    }
+}
+
+/// The prepare-time-resolved schedule of a dst-node kernel: exactly
+/// which op indices run where in each inner pass, and which max-agg
+/// rows need the mid-pass `-inf` sweep.
+struct DstSched {
+    max_stage: usize,
+    /// Per pass: indices (into `ops`) of per-edge ops.
+    edge_ops: Vec<Vec<usize>>,
+    /// Per pass: indices of hoisted per-node ops.
+    node_ops: Vec<Vec<usize>>,
+    /// Per pass: dst-private max-aggregate outputs to sweep mid-pass.
+    mid_sweeps: Vec<Vec<VarId>>,
+}
+
+fn dst_sched(spec: &TraversalSpec, program: &Program) -> DstSched {
+    let st = &spec.stages;
+    let max_stage = st.iter().copied().max().unwrap_or(0);
+    let mut edge_ops = vec![Vec::new(); max_stage + 1];
+    let mut node_ops = vec![Vec::new(); max_stage + 1];
+    let mut mid_sweeps = vec![Vec::new(); max_stage + 1];
+    for (i, op) in spec.ops.iter().enumerate() {
+        if spec.hoisted.contains(&op.id) {
+            node_ops[st[i]].push(i);
+        } else {
+            edge_ops[st[i]].push(i);
+        }
+    }
+    for (pass, sweeps) in mid_sweeps.iter_mut().enumerate() {
+        sweeps.extend(dst_private_max_aggs(spec, program, pass));
+    }
+    DstSched {
+        max_stage,
+        edge_ops,
+        node_ops,
+        mid_sweeps,
+    }
+}
+
+/// Per-row index mapping of a pre-resolved operand or aggregate target,
+/// fixed at prepare time from the traversal domain and the variable's
+/// space — the decision `read_operand` re-derives per row.
+#[derive(Clone, Copy, Debug)]
+enum RowMap {
+    /// The iterated row itself.
+    This,
+    /// Edge row → source node row.
+    Src,
+    /// Edge row → destination node row.
+    Dst,
+    /// Edge row → its compacted unique-pair row.
+    EdgeToUnique,
+    /// Unique-pair row → its representative node row.
+    UniqueRowIdx,
+}
+
+/// Which per-row edge-type array selects a weight-vector slab.
+#[derive(Clone, Copy, Debug)]
+enum ESel {
+    /// `graph.etype()` (edge rows).
+    Edge,
+    /// `graph.unique_etype()` (unique-pair rows).
+    Unique,
+}
+
+/// A traversal operand with every space/endpoint decision already made:
+/// execution binds the referenced storage once per launch and indexes it
+/// per row — no `Operand` match, no var-store hash lookup in the loop.
+#[derive(Clone, Copy, Debug)]
+enum PreOperand {
+    /// An inline IR constant (broadcast scalar).
+    Const(f32),
+    /// Per-edge-type weight vector; the slab index comes from `ESel`.
+    WVec(WeightId, ESel),
+    /// A variable row through a prepare-time-resolved index map.
+    Var(VarId, RowMap),
+}
+
+impl PreOperand {
+    fn var(&self) -> Option<VarId> {
+        match self {
+            PreOperand::Var(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One fused traversal op compiled for op-at-a-time execution.
+#[derive(Clone, Debug)]
+enum MicroOp {
+    Dot {
+        a: PreOperand,
+        b: PreOperand,
+        out: VarId,
+    },
+    Bin {
+        op: BinOp,
+        a: PreOperand,
+        b: PreOperand,
+        out: VarId,
+    },
+    Un {
+        op: UnOp,
+        a: PreOperand,
+        out: VarId,
+    },
+    Agg {
+        val: PreOperand,
+        scale: Option<PreOperand>,
+        max: bool,
+        out: VarId,
+        map: RowMap,
+    },
+}
+
+impl MicroOp {
+    fn out(&self) -> VarId {
+        match self {
+            MicroOp::Dot { out, .. }
+            | MicroOp::Bin { out, .. }
+            | MicroOp::Un { out, .. }
+            | MicroOp::Agg { out, .. } => *out,
+        }
+    }
+
+    fn read_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        let (a, b) = match self {
+            MicroOp::Dot { a, b, .. } | MicroOp::Bin { a, b, .. } => (Some(a), Some(b)),
+            MicroOp::Un { a, .. } => (Some(a), None),
+            MicroOp::Agg { val, scale, .. } => (Some(val), scale.as_ref()),
+        };
+        a.and_then(PreOperand::var)
+            .into_iter()
+            .chain(b.and_then(PreOperand::var))
+    }
+}
+
+fn resolve_operand(o: &Operand, domain: TraversalDomain, program: &Program) -> Option<PreOperand> {
+    Some(match o {
+        Operand::Const(c) => PreOperand::Const(*c),
+        Operand::WeightVec(w) => match domain {
+            TraversalDomain::Edges => PreOperand::WVec(*w, ESel::Edge),
+            TraversalDomain::UniquePairs => PreOperand::WVec(*w, ESel::Unique),
+            _ => return None,
+        },
+        Operand::Node(v, ep) => {
+            let map = match (domain, ep) {
+                (TraversalDomain::Edges, Endpoint::Src) => RowMap::Src,
+                (TraversalDomain::Edges, Endpoint::Dst) => RowMap::Dst,
+                (TraversalDomain::UniquePairs, Endpoint::Src) => RowMap::UniqueRowIdx,
+                (TraversalDomain::Nodes, Endpoint::This | Endpoint::Dst) => RowMap::This,
+                _ => return None,
+            };
+            PreOperand::Var(*v, map)
+        }
+        Operand::Edge(v) => {
+            let map = match (domain, program.var(*v).space) {
+                (TraversalDomain::Edges, Space::Edge) => RowMap::This,
+                (TraversalDomain::Edges, Space::Compact) => RowMap::EdgeToUnique,
+                (TraversalDomain::UniquePairs, Space::Compact) => RowMap::This,
+                _ => return None,
+            };
+            PreOperand::Var(*v, map)
+        }
+    })
+}
+
+/// The row space a pure (non-aggregate) op writes in each linear domain
+/// — mirrors `write_row`'s accepted combinations.
+fn pure_out_space(domain: TraversalDomain) -> Space {
+    match domain {
+        TraversalDomain::Edges => Space::Edge,
+        TraversalDomain::UniquePairs => Space::Compact,
+        TraversalDomain::Nodes => Space::Node,
+        TraversalDomain::DstNodes => unreachable!("linear domains only"),
+    }
+}
+
+/// One compiled execution segment of a linear-domain traversal.
+enum Seg {
+    /// Interchange-safe ops, executed op-at-a-time: one tight loop over
+    /// all rows per op, operands bound once.
+    Oat(Vec<MicroOp>),
+    /// A hazard window (`spec.ops` index range): ops that must interleave
+    /// per row — an aggregate whose output is read back in-kernel (the
+    /// reader observes *partial* sums, per the interpreter's row-major
+    /// order) or an op reading its own output. Executed through
+    /// [`exec_op`], row-at-a-time, exactly like the interpreter.
+    PerRow(std::ops::Range<usize>),
+}
+
+/// Compiles a linear-domain (edges / unique pairs / nodes) traversal into
+/// execution segments, or `None` when the whole kernel must fall back to
+/// the interpreter loop.
+///
+/// Op-at-a-time execution (the loop interchange) is bit-exact for an op
+/// whose reads and writes are row-local, and for aggregates folded in
+/// ascending-row order — which is every shape **except** reading a
+/// variable some aggregate of the same kernel writes: the interpreter's
+/// row-major interleave makes such a read observe the partial sum over
+/// rows processed so far. Those ops (and everything between them, to
+/// preserve relative order) are carved into a [`Seg::PerRow`] window that
+/// replays the interpreter's own per-row loop; the ops before and after
+/// still run op-at-a-time.
+///
+/// Full fallback triggers only when an operand shape is outside the
+/// resolver (a compiler-invariant breach) or two ops write the same
+/// aggregate output (segmenting would reorder the interleaved
+/// accumulation).
+fn compile_linear(spec: &TraversalSpec, program: &Program) -> Option<Vec<Seg>> {
+    let domain = spec.domain;
+    let mut mops = Vec::with_capacity(spec.ops.len());
+    for op in &spec.ops {
+        let m = match &op.kind {
+            OpKind::DotProduct { a, b, out } => MicroOp::Dot {
+                a: resolve_operand(a, domain, program)?,
+                b: resolve_operand(b, domain, program)?,
+                out: (program.var(*out).space == pure_out_space(domain)).then_some(*out)?,
+            },
+            OpKind::Binary { op, a, b, out } => MicroOp::Bin {
+                op: *op,
+                a: resolve_operand(a, domain, program)?,
+                b: resolve_operand(b, domain, program)?,
+                out: (program.var(*out).space == pure_out_space(domain)).then_some(*out)?,
+            },
+            OpKind::Unary { op, a, out } => MicroOp::Un {
+                op: *op,
+                a: resolve_operand(a, domain, program)?,
+                out: (program.var(*out).space == pure_out_space(domain)).then_some(*out)?,
+            },
+            OpKind::NodeAggregate {
+                edge_val,
+                scale,
+                norm,
+                endpoint,
+                out,
+            } => {
+                let map = match (domain, program.var(*out).space, endpoint) {
+                    (TraversalDomain::Edges, Space::Node, Endpoint::Dst) => RowMap::Dst,
+                    (TraversalDomain::Edges, Space::Node, Endpoint::Src) => RowMap::Src,
+                    (TraversalDomain::Edges, Space::Compact, _) => RowMap::EdgeToUnique,
+                    (TraversalDomain::UniquePairs, Space::Node, _) => RowMap::UniqueRowIdx,
+                    _ => return None,
+                };
+                MicroOp::Agg {
+                    val: resolve_operand(edge_val, domain, program)?,
+                    scale: match scale {
+                        Some(s) => Some(resolve_operand(s, domain, program)?),
+                        None => None,
+                    },
+                    max: *norm == AggNorm::Max,
+                    out: *out,
+                    map,
+                }
+            }
+            _ => return None,
+        };
+        mops.push(m);
+    }
+
+    // Mark the ops that cannot interchange.
+    let mut hazard = vec![false; mops.len()];
+    for (i, m) in mops.iter().enumerate() {
+        let out = m.out();
+        if m.read_vars().any(|v| v == out) {
+            hazard[i] = true;
+        }
+        if matches!(m, MicroOp::Agg { .. }) {
+            if mops
+                .iter()
+                .enumerate()
+                .any(|(j, o)| j != i && o.out() == out)
+            {
+                return None;
+            }
+            for (j, o) in mops.iter().enumerate() {
+                if o.read_vars().any(|v| v == out) {
+                    hazard[i] = true;
+                    hazard[j] = true;
+                }
+            }
+        }
+    }
+
+    // One contiguous per-row window from the first hazard op to the
+    // last (relative op order inside it matches the interpreter);
+    // op-at-a-time segments on both sides.
+    let mut segs = Vec::new();
+    match (
+        hazard.iter().position(|&h| h),
+        hazard.iter().rposition(|&h| h),
+    ) {
+        (Some(lo), Some(hi)) => {
+            if lo > 0 {
+                segs.push(Seg::Oat(mops[..lo].to_vec()));
+            }
+            segs.push(Seg::PerRow(lo..hi + 1));
+            if hi + 1 < mops.len() {
+                segs.push(Seg::Oat(mops[hi + 1..].to_vec()));
+            }
+        }
+        _ => segs.push(Seg::Oat(mops)),
+    }
+    Some(segs)
+}
+
+/// A [`PreOperand`] bound to its storage for one launch.
+enum BoundOperand<'a> {
+    Scalar(f32),
+    Rows(&'a Tensor, Option<&'a [u32]>),
+    WVec(&'a Tensor, &'a [u32]),
+}
+
+impl BoundOperand<'_> {
+    #[inline]
+    fn row(&self, r: usize) -> &[f32] {
+        match self {
+            BoundOperand::Scalar(v) => std::slice::from_ref(v),
+            BoundOperand::Rows(t, None) => t.row(r),
+            BoundOperand::Rows(t, Some(m)) => t.row(m[r] as usize),
+            BoundOperand::WVec(t, et) => t.slab(et[r] as usize),
+        }
+    }
+}
+
+fn bind_map<'a>(map: RowMap, ctx: &'a ExecCtx<'_>) -> Option<&'a [u32]> {
+    match map {
+        RowMap::This => None,
+        RowMap::Src => Some(ctx.graph.graph().src()),
+        RowMap::Dst => Some(ctx.graph.graph().dst()),
+        RowMap::EdgeToUnique => Some(ctx.graph.compact().edge_to_unique()),
+        RowMap::UniqueRowIdx => Some(ctx.graph.compact().unique_row_idx()),
+    }
+}
+
+fn bind<'a>(o: &PreOperand, ctx: &'a ExecCtx<'_>) -> BoundOperand<'a> {
+    match o {
+        PreOperand::Const(c) => BoundOperand::Scalar(*c),
+        PreOperand::WVec(w, sel) => BoundOperand::WVec(
+            ctx.params.weight(*w),
+            match sel {
+                ESel::Edge => ctx.graph.graph().etype(),
+                ESel::Unique => ctx.graph.unique_etype(),
+            },
+        ),
+        PreOperand::Var(v, map) => BoundOperand::Rows(ctx.vars.tensor(*v), bind_map(*map, ctx)),
+    }
+}
+
+/// Runs one micro-op over all `rows` — the op-at-a-time twin of
+/// [`exec_op`]'s row-at-a-time dispatch, performing the identical float
+/// operations in the identical ascending-row order. The output buffer is
+/// detached from the store for the loop (resolution guarantees no op
+/// reads its own output), which lets results land directly in the output
+/// rows instead of staging through scratch.
+fn run_micro_op(m: &MicroOp, rows: usize, ctx: &mut ExecCtx<'_>) {
+    let out = m.out();
+    let mut out_buf = ctx
+        .vars
+        .remove(out)
+        .expect("traversal outputs are allocated before launch");
+    {
+        let t = out_buf.tensor_mut();
+        let cx: &ExecCtx<'_> = ctx;
+        match m {
+            MicroOp::Dot { a, b, .. } => {
+                let (ab, bb) = (bind(a, cx), bind(b, cx));
+                for r in 0..rows {
+                    t.set_row(r, &[dot(ab.row(r), bb.row(r))]);
+                }
+            }
+            MicroOp::Bin { op, a, b, .. } => {
+                let (ab, bb) = (bind(a, cx), bind(b, cx));
+                for r in 0..rows {
+                    apply_binary_into(*op, ab.row(r), bb.row(r), t.row_mut(r));
+                }
+            }
+            MicroOp::Un { op, a, .. } => {
+                let ab = bind(a, cx);
+                for r in 0..rows {
+                    apply_unary_into(*op, ab.row(r), t.row_mut(r));
+                }
+            }
+            MicroOp::Agg {
+                val,
+                scale,
+                max,
+                map,
+                ..
+            } => {
+                let vb = bind(val, cx);
+                let sb = scale.as_ref().map(|s| bind(s, cx));
+                let idx = bind_map(*map, cx);
+                for r in 0..rows {
+                    let x = vb.row(r);
+                    let i = match idx {
+                        Some(m) => m[r] as usize,
+                        None => r,
+                    };
+                    let row = t.row_mut(i);
+                    if *max {
+                        // Rows are seeded with -inf before the kernel
+                        // runs, exactly as in `exec_traversal`.
+                        for (acc, v) in row.iter_mut().zip(x) {
+                            *acc = acc.max(*v);
+                        }
+                    } else {
+                        let s = match &sb {
+                            Some(b) => b.row(r)[0],
+                            None => 1.0,
+                        };
+                        for (acc, &v) in row.iter_mut().zip(x) {
+                            *acc += v * s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ctx.vars.insert(out, out_buf);
+}
+
+/// Monomorphizes one traversal kernel. Dst-node kernels get the compiled
+/// per-pass schedule; linear domains get the op-at-a-time micro-op
+/// pipeline (falling back to the interpreter loop when [`resolve_linear`]
+/// declines).
+fn compile_traversal(spec: &TraversalSpec, program: &Program, prep: TravPrep) -> KernelFn {
+    let spec = spec.clone();
+    let max_outs: Vec<VarId> = max_agg_outputs(&spec).collect();
+    match spec.domain {
+        TraversalDomain::DstNodes => {
+            let sched = dst_sched(&spec, program);
+            Box::new(move |ctx: &mut ExecCtx<'_>| {
+                if let Some(pool) = ctx.pool {
+                    return exec_traversal_par(
+                        &spec,
+                        &prep,
+                        ctx.program,
+                        ctx.graph,
+                        ctx.params,
+                        ctx.vars,
+                        pool,
+                        ctx.min_chunk,
+                        ctx.scratch,
+                        ctx.arenas,
+                    );
+                }
+                for &v in &max_outs {
+                    ctx.vars
+                        .get_mut(v)
+                        .tensor_mut()
+                        .data_mut()
+                        .fill(f32::NEG_INFINITY);
+                }
+                let csc = ctx.graph.csc();
+                for v in 0..ctx.graph.graph().num_nodes() {
+                    for pass in 0..=sched.max_stage {
+                        for &eidx in csc.in_edges(v) {
+                            let e = eidx as usize;
+                            for &i in &sched.edge_ops[pass] {
+                                exec_op(
+                                    &spec.ops[i].kind,
+                                    Ctx::Edge(e),
+                                    ctx.program,
+                                    ctx.graph,
+                                    ctx.params,
+                                    ctx.vars,
+                                    ctx.scratch,
+                                );
+                            }
+                        }
+                        // Same mid-pass sweep as the interpreter: a
+                        // zero-in-degree `v` still holds the `-inf` seed
+                        // and later stages read the row mid-kernel.
+                        for &out in &sched.mid_sweeps[pass] {
+                            for x in ctx.vars.get_mut(out).tensor_mut().row_mut(v) {
+                                if *x == f32::NEG_INFINITY {
+                                    *x = 0.0;
+                                }
+                            }
+                        }
+                        for &i in &sched.node_ops[pass] {
+                            exec_op(
+                                &spec.ops[i].kind,
+                                Ctx::Node(v),
+                                ctx.program,
+                                ctx.graph,
+                                ctx.params,
+                                ctx.vars,
+                                ctx.scratch,
+                            );
+                        }
+                    }
+                }
+                for &v in &max_outs {
+                    for x in ctx.vars.get_mut(v).tensor_mut().data_mut() {
+                        if *x == f32::NEG_INFINITY {
+                            *x = 0.0;
+                        }
+                    }
+                }
+                false
+            })
+        }
+        _ => {
+            let segs = compile_linear(&spec, program);
+            let rows_domain = match spec.domain {
+                TraversalDomain::Edges => RowDomain::Edges,
+                TraversalDomain::UniquePairs => RowDomain::UniquePairs,
+                TraversalDomain::Nodes => RowDomain::Nodes,
+                TraversalDomain::DstNodes => unreachable!("handled above"),
+            };
+            Box::new(move |ctx: &mut ExecCtx<'_>| {
+                if let Some(pool) = ctx.pool {
+                    return exec_traversal_par(
+                        &spec,
+                        &prep,
+                        ctx.program,
+                        ctx.graph,
+                        ctx.params,
+                        ctx.vars,
+                        pool,
+                        ctx.min_chunk,
+                        ctx.scratch,
+                        ctx.arenas,
+                    );
+                }
+                match &segs {
+                    Some(segs) => {
+                        for &v in &max_outs {
+                            ctx.vars
+                                .get_mut(v)
+                                .tensor_mut()
+                                .data_mut()
+                                .fill(f32::NEG_INFINITY);
+                        }
+                        let rows = ctx.graph.rows_of(rows_domain);
+                        for seg in segs {
+                            match seg {
+                                Seg::Oat(mops) => {
+                                    for m in mops {
+                                        run_micro_op(m, rows, ctx);
+                                    }
+                                }
+                                Seg::PerRow(range) => {
+                                    for r in 0..rows {
+                                        let c = row_ctx(rows_domain, r);
+                                        for op in &spec.ops[range.clone()] {
+                                            exec_op(
+                                                &op.kind,
+                                                c,
+                                                ctx.program,
+                                                ctx.graph,
+                                                ctx.params,
+                                                ctx.vars,
+                                                ctx.scratch,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        for &v in &max_outs {
+                            for x in ctx.vars.get_mut(v).tensor_mut().data_mut() {
+                                if *x == f32::NEG_INFINITY {
+                                    *x = 0.0;
+                                }
+                            }
+                        }
+                    }
+                    None => exec_traversal(
+                        &spec,
+                        ctx.program,
+                        ctx.graph,
+                        ctx.params,
+                        ctx.vars,
+                        ctx.scratch,
+                    ),
+                }
+                false
+            })
+        }
+    }
+}
+
+/// Monomorphizes one GEMM kernel. A shared-weight dense `TypedLinear`
+/// (one slab, row-aligned store) gets the slab and its finiteness bit
+/// resolved once per launch; every other shape reuses the interpreter's
+/// loop (which already hoists what it can).
+fn compile_gemm(spec: &GemmSpec) -> KernelFn {
+    let spec = spec.clone();
+    let shared_dense = matches!(
+        &spec.op.kind,
+        OpKind::TypedLinear {
+            weight: _,
+            scatter: None,
+            ..
+        } if spec.weight_index == hector_ir::TypeIndex::Shared
+    );
+    Box::new(move |ctx: &mut ExecCtx<'_>| {
+        if let Some(pool) = ctx.pool {
+            return exec_gemm_par(
+                &spec,
+                ctx.program,
+                ctx.graph,
+                ctx.params,
+                ctx.vars,
+                pool,
+                ctx.min_chunk,
+                ctx.scratch,
+                ctx.arenas,
+            );
+        }
+        if shared_dense {
+            exec_gemm_shared_dense(&spec, ctx);
+        } else {
+            exec_gemm(
+                &spec,
+                ctx.program,
+                ctx.graph,
+                ctx.params,
+                ctx.vars,
+                ctx.scratch,
+            );
+        }
+        false
+    })
+}
+
+/// Sequential shared-slab dense `TypedLinear`: identical float operations
+/// to [`exec_gemm`]'s loop, with the per-row type-index resolution and
+/// slab/finiteness lookups hoisted out (the slab is always slab 0).
+fn exec_gemm_shared_dense(spec: &GemmSpec, ctx: &mut ExecCtx<'_>) {
+    let OpKind::TypedLinear {
+        input,
+        weight,
+        transpose_w,
+        scatter: None,
+        fused_scale,
+        out,
+    } = &spec.op.kind
+    else {
+        unreachable!("gated by compile_gemm");
+    };
+    let m = ctx.graph.rows_of(spec.rows);
+    let params: &crate::ParamStore = ctx.params;
+    let wt = params.weight(*weight);
+    let (wrows, wcols) = (wt.shape()[1], wt.shape()[2]);
+    let out_width = ctx.program.var(*out).width;
+    if !*transpose_w {
+        ctx.scratch.set_slab_finite(wt);
+    }
+    let slab = wt.slab(0);
+    let slab_finite = *transpose_w || ctx.scratch.slab_finite(0);
+    for r in 0..m {
+        let rctx = row_ctx(spec.rows, r);
+        {
+            let x = read_operand(input, rctx, ctx.program, ctx.graph, params, ctx.vars);
+            let y = ctx.scratch.y_zeroed(out_width);
+            gemm_row_into(
+                x.as_slice(),
+                slab,
+                wrows,
+                wcols,
+                *transpose_w,
+                slab_finite,
+                y,
+            );
+        }
+        if let Some(s) = fused_scale {
+            let sv = read_operand(s, rctx, ctx.program, ctx.graph, params, ctx.vars).scalar();
+            for v in ctx.scratch.y_mut(out_width) {
+                *v *= sv;
+            }
+        }
+        ctx.vars
+            .get_mut(*out)
+            .tensor_mut()
+            .set_row(r, ctx.scratch.y(out_width));
+    }
+}

@@ -69,6 +69,7 @@ use hector_trace::{TraceConfig, TraceEvent};
 
 use hector_graph::SamplerConfig;
 
+use crate::backend::BackendKind;
 use crate::loss::random_labels;
 use crate::minibatch::{Batch, BatchSource, Minibatches};
 use crate::optim::Optimizer;
@@ -102,6 +103,7 @@ pub struct EngineBuilder {
     device: DeviceConfig,
     mode: Mode,
     par: Option<ParallelConfig>,
+    backend: Option<BackendKind>,
     seed: u64,
     classes: Option<usize>,
     trace: Option<TraceConfig>,
@@ -121,6 +123,7 @@ impl EngineBuilder {
             device: DeviceConfig::rtx3090(),
             mode: Mode::Real,
             par: None,
+            backend: None,
             seed: 0,
             classes: None,
             trace: None,
@@ -226,6 +229,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Execution backend for real-mode kernels (defaults to
+    /// `HECTOR_BACKEND` via [`BackendKind::from_env`], i.e. the
+    /// reference interpreter). Backends are bit-identical; `specialized`
+    /// trades a one-time prepare for faster warm launches.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
     /// Seed for parameter/input/label derivation (see the module-level
     /// seed contract).
     #[must_use]
@@ -322,7 +335,8 @@ impl EngineBuilder {
             None => out_width,
         };
         let par = self.par.unwrap_or_else(ParallelConfig::from_env);
-        let session = Session::with_parallel(self.device, self.mode, par);
+        let backend = self.backend.unwrap_or_else(BackendKind::from_env);
+        let session = Session::with_backend(self.device, self.mode, par, backend);
         Engine {
             module,
             session,
@@ -650,7 +664,10 @@ impl Engine {
         }
         self.last_trace = hector_trace::take_events();
         let shares = self.relation_shares();
-        let report = build_report(&self.last_trace, &shares);
+        let mut report = build_report(&self.last_trace, &shares);
+        // The recorder's label is process-global; this engine's session
+        // knows its own backend authoritatively.
+        report.backend = self.session.backend_name().to_string();
         (out, report)
     }
 
@@ -1100,7 +1117,8 @@ impl Trainer {
         }
         self.engine.last_trace = hector_trace::take_events();
         let shares = self.engine.relation_shares();
-        let report = build_report(&self.engine.last_trace, &shares);
+        let mut report = build_report(&self.engine.last_trace, &shares);
+        report.backend = self.engine.session.backend_name().to_string();
         (out, report)
     }
 }

@@ -577,7 +577,7 @@ pub(crate) fn exec_traversal(
 ///
 /// Results are computed into `scratch` while the operand views borrow
 /// `vars`, then written back — see the scratch-arena lifetime contract.
-fn exec_op(
+pub(crate) fn exec_op(
     kind: &OpKind,
     ctx: Ctx,
     program: &Program,

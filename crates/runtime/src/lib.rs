@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 mod engine;
 mod exec;
@@ -46,6 +47,7 @@ mod scratch;
 mod session;
 mod store;
 
+pub use backend::{Backend, BackendCaps, BackendKind, ExecCtx, ExecPlan};
 pub use engine::{Bound, Engine, EngineBuilder, EpochReport, Trainer};
 pub use graphdata::GraphData;
 pub use hector_graph::{NeighborSampler, SampledBatch, SamplerConfig, Subgraph};

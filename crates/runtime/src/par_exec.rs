@@ -28,30 +28,41 @@
 //!   passes read them), while cross-chunk aggregates (source-node or
 //!   compact-row gradients) use the record-and-replay path.
 //!
-//! # Scratch blocks
+//! # Pooled worker arenas
 //!
 //! Like the sequential path, the parallel loops are allocation-free per
-//! row: each worker chunk owns one [`Scratch`] block for operand staging
-//! and row results, and deferred contributions land in a flat
-//! [`ContribBuf`] (one values vector plus a metadata vector per chunk)
-//! instead of one `Vec` per row. Chunk-arena growth events are folded
-//! into the session arena's counter after the merge so the device's
-//! scratch statistics see every allocation.
+//! row — and, since the backend refactor, allocation-free per *run* as
+//! well: the session owns a [`WorkerArenas`] pool holding one
+//! [`WorkerSlot`] per chunk index ([`Scratch`] block, [`ContribBuf`],
+//! scatter staging vectors), a reusable [`WriteTable`], and the GradW
+//! type buckets. Kernels claim chunk slots through
+//! [`hector_par::ThreadPool::for_each_chunk`] — each chunk index is
+//! claimed exactly once per job, so slot access is race-free — and every
+//! buffer's capacity persists across runs. Warm parallel runs perform
+//! **zero** heap allocations (pinned by `tests/run_alloc.rs` at
+//! `HECTOR_THREADS=4`); slot-arena growth events are folded into the
+//! session arena's counter after each merge so the device's scratch
+//! statistics see every allocation.
 //!
 //! A kernel whose fused op list *reads* a value that the parallel scheme
 //! would defer (a buffered aggregate output) falls back to the sequential
 //! interpreter — correctness first, parallelism where it is provably
-//! safe. `num_threads = 1` never reaches this module at all.
+//! safe. The safety verdict and the deferred-output set are computed once
+//! per module at [`crate::Backend::prepare`] time
+//! ([`crate::backend`]'s `TravPrep`), not per launch. `num_threads = 1`
+//! never reaches this module at all.
 
-use std::collections::{HashMap, HashSet};
+use std::cell::UnsafeCell;
+use std::collections::HashSet;
 
 use hector_ir::{
     AggNorm, Endpoint, GemmSpec, OpKind, Operand, Program, RowDomain, Space, TraversalDomain,
     TraversalSpec, VarId,
 };
-use hector_par::ThreadPool;
+use hector_par::{chunk_count, ThreadPool};
 use hector_tensor::Tensor;
 
+use crate::backend::TravPrep;
 use crate::exec::{
     apply_binary_into, apply_unary_into, dot, dst_private_max_aggs, exec_gemm, exec_traversal,
     gemm_row_into, grad_w_row, max_agg_outputs, read_operand, row_ctx, scatter_index,
@@ -120,17 +131,22 @@ impl RawRows {
 
 /// Shared views of every variable this kernel writes, keyed by var id.
 /// Reads of in-kernel-produced values go through the same views, so a
-/// chunk always sees its own writes.
-struct WriteTable(HashMap<VarId, RawRows>);
+/// chunk always sees its own writes. Pooled inside [`WorkerArenas`]:
+/// rebuilt (capacity retained) per kernel, cleared after the merge so no
+/// stale pointer outlives its parallel section.
+struct WriteTable(std::collections::HashMap<VarId, RawRows>);
 
 impl WriteTable {
-    fn build(spec_outs: impl Iterator<Item = VarId>, vars: &mut VarStore) -> WriteTable {
-        let mut map = HashMap::new();
+    /// Repopulates the table for one kernel's outputs. The map's
+    /// capacity persists across kernels and runs — warm rebuilds are
+    /// allocation-free.
+    fn rebuild(&mut self, spec_outs: impl Iterator<Item = VarId>, vars: &mut VarStore) {
+        self.0.clear();
         for v in spec_outs {
-            map.entry(v)
+            self.0
+                .entry(v)
                 .or_insert_with(|| RawRows::of(vars.get_mut(v).tensor_mut()));
         }
-        WriteTable(map)
     }
 }
 
@@ -225,6 +241,12 @@ impl ContribBuf {
         });
     }
 
+    /// Empties the buffer for the next kernel; capacity persists.
+    fn clear(&mut self) {
+        self.meta.clear();
+        self.vals.clear();
+    }
+
     /// Applies every recorded contribution in recorded order.
     fn replay(&self, vars: &mut VarStore) {
         for c in &self.meta {
@@ -243,11 +265,101 @@ impl ContribBuf {
     }
 }
 
+/// One chunk's pooled working state: the operand-staging scratch block,
+/// the deferred-contribution buffer, and the scatter-GEMM staging
+/// vectors. Owned by a [`WorkerArenas`] slot and reused across kernels
+/// and runs — every buffer grows to its high-water mark once, then warm
+/// runs never allocate.
+struct WorkerSlot {
+    scratch: Scratch,
+    buf: ContribBuf,
+    /// Scatter-GEMM target rows (ascending domain order within a chunk).
+    idx: Vec<usize>,
+    /// Scatter-GEMM staged output rows, `out_width` values each.
+    vals: Vec<f32>,
+    /// Scratch growth events already folded into the session counter.
+    folded_grows: usize,
+}
+
+impl WorkerSlot {
+    fn new() -> WorkerSlot {
+        WorkerSlot {
+            scratch: Scratch::new(),
+            buf: ContribBuf::default(),
+            idx: Vec::new(),
+            vals: Vec::new(),
+            folded_grows: 0,
+        }
+    }
+
+    /// Growth events since the last fold (see `folded_grows`).
+    fn take_grows(&mut self) -> usize {
+        let total = self.scratch.grows();
+        let delta = total - self.folded_grows;
+        self.folded_grows = total;
+        delta
+    }
+}
+
+/// Interior-mutable slot cell.
+///
+/// # Safety
+///
+/// `Sync` is sound because slots are only accessed by chunk index inside
+/// a [`ThreadPool::for_each_chunk`] job, which claims every chunk index
+/// exactly once (an atomic `fetch_add` hands out indices): two threads
+/// can never hold the same index, and distinct indices reach distinct
+/// slots. The merge loop runs after `for_each_chunk` returns, which
+/// happens-after every chunk completion.
+struct SlotCell(UnsafeCell<WorkerSlot>);
+
+unsafe impl Sync for SlotCell {}
+
+/// Session-owned pool of per-chunk worker state for the parallel
+/// executor — the reason warm threaded runs are as allocation-free as
+/// sequential ones. See the module docs ("Pooled worker arenas").
+pub(crate) struct WorkerArenas {
+    slots: Vec<SlotCell>,
+    table: WriteTable,
+    /// Pooled per-type row buckets for the type-parallel GradW path.
+    rows_by_type: Vec<Vec<u32>>,
+}
+
+impl std::fmt::Debug for WorkerArenas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerArenas")
+            .field("slots", &self.slots.len())
+            .field("table_outs", &self.table.0.len())
+            .field("type_buckets", &self.rows_by_type.len())
+            .finish()
+    }
+}
+
+impl WorkerArenas {
+    pub(crate) fn new() -> WorkerArenas {
+        WorkerArenas {
+            slots: Vec::new(),
+            table: WriteTable(std::collections::HashMap::new()),
+            rows_by_type: Vec::new(),
+        }
+    }
+
+    /// Grows the slot pool to cover `chunks` chunk indices (cold path:
+    /// the chunk count of a kernel is stable across warm runs).
+    fn ensure_slots(&mut self, chunks: usize) {
+        while self.slots.len() < chunks {
+            self.slots
+                .push(SlotCell(UnsafeCell::new(WorkerSlot::new())));
+        }
+    }
+}
+
 /// Aggregate outputs whose target row can belong to a different chunk
 /// than the one producing the contribution — these must be deferred.
 /// In dst-node kernels, aggregation into the owned destination row is
 /// chunk-private and applies immediately (staged passes read it back).
-fn buffered_agg_outs(spec: &TraversalSpec, program: &Program) -> HashSet<VarId> {
+/// Computed once per module at backend prepare time.
+pub(crate) fn buffered_agg_outs(spec: &TraversalSpec, program: &Program) -> HashSet<VarId> {
     let mut set = HashSet::new();
     for op in &spec.ops {
         if let OpKind::NodeAggregate { out, endpoint, .. } = &op.kind {
@@ -267,8 +379,8 @@ fn buffered_agg_outs(spec: &TraversalSpec, program: &Program) -> HashSet<VarId> 
 /// (its value would still be a partial sum), when a dst-node op reads an
 /// in-kernel value at a source endpoint (a row another chunk owns), or
 /// when a variable mixes aggregate and direct writes (replay would
-/// reorder them).
-fn par_traversal_safe(spec: &TraversalSpec, program: &Program) -> bool {
+/// reorder them). Computed once per module at backend prepare time.
+pub(crate) fn par_traversal_safe(spec: &TraversalSpec, program: &Program) -> bool {
     let buffered = buffered_agg_outs(spec, program);
     let mut agg_outs = HashSet::new();
     let mut direct_outs = HashSet::new();
@@ -334,7 +446,7 @@ fn exec_op_par(
     params: &ParamStore,
     vars: &VarStore,
     table: &WriteTable,
-    buffered: &HashSet<VarId>,
+    buffered: &[VarId],
     buf: &mut ContribBuf,
     scratch: &mut Scratch,
 ) {
@@ -427,20 +539,15 @@ fn exec_op_par(
     }
 }
 
-/// One worker chunk's output: its deferred contributions plus its
-/// scratch block's growth count (folded into the session arena stats).
-struct ChunkOut {
-    buf: ContribBuf,
-    grows: usize,
-}
-
 /// Executes a traversal-template instance across the pool. Bit-identical
 /// to [`crate::exec`]'s `exec_traversal` (see module docs for why).
-/// Returns whether the kernel actually ran across multiple chunks
-/// (`false` for safety fallbacks and domains too small to split).
+/// `prep` carries the prepare-time parallel-safety analysis. Returns
+/// whether the kernel actually ran across multiple chunks (`false` for
+/// safety fallbacks and domains too small to split).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_traversal_par(
     spec: &TraversalSpec,
+    prep: &TravPrep,
     program: &Program,
     graph: &GraphData,
     params: &mut ParamStore,
@@ -448,8 +555,9 @@ pub(crate) fn exec_traversal_par(
     pool: &ThreadPool,
     min_chunk: usize,
     scratch: &mut Scratch,
+    arenas: &mut WorkerArenas,
 ) -> bool {
-    if !par_traversal_safe(spec, program) {
+    if !prep.par_safe {
         exec_traversal(spec, program, graph, params, vars, scratch);
         return false;
     }
@@ -459,49 +567,66 @@ pub(crate) fn exec_traversal_par(
             .data_mut()
             .fill(f32::NEG_INFINITY);
     }
-    let buffered = buffered_agg_outs(spec, program);
-    let table = WriteTable::build(spec.ops.iter().filter_map(|op| op.kind.out_var()), vars);
+    let buffered: &[VarId] = &prep.buffered;
+    let m = match spec.domain {
+        TraversalDomain::Edges => graph.rows_of(RowDomain::Edges),
+        TraversalDomain::UniquePairs => graph.rows_of(RowDomain::UniquePairs),
+        TraversalDomain::DstNodes | TraversalDomain::Nodes => graph.graph().num_nodes(),
+    };
+    let chunks = chunk_count(m, min_chunk, pool.parallelism());
+    arenas.ensure_slots(chunks);
+    let WorkerArenas { slots, table, .. } = arenas;
+    table.rebuild(spec.ops.iter().filter_map(|op| op.kind.out_var()), vars);
+    for cell in &mut slots[..chunks] {
+        cell.0.get_mut().buf.clear();
+    }
     let params_ro: &ParamStore = params;
     let vars_ro: &VarStore = vars;
+    let table_ro: &WriteTable = table;
+    let slots_ro: &[SlotCell] = slots;
 
-    let chunk_outs: Vec<ChunkOut> = match spec.domain {
+    let executed = match spec.domain {
         TraversalDomain::Edges | TraversalDomain::UniquePairs | TraversalDomain::Nodes => {
             let rows = match spec.domain {
                 TraversalDomain::Edges => RowDomain::Edges,
                 TraversalDomain::UniquePairs => RowDomain::UniquePairs,
                 _ => RowDomain::Nodes,
             };
-            let m = graph.rows_of(rows);
-            pool.parallel_chunks(m, min_chunk, |ci, range| {
+            pool.for_each_chunk(m, min_chunk, |ci, range| {
                 let tw = hector_trace::span_start();
                 let n = range.len();
-                let mut buf = ContribBuf::default();
-                let mut ws = Scratch::new();
+                // SAFETY: `for_each_chunk` claims each chunk index exactly
+                // once, so this slot is accessed by one thread only.
+                let slot = unsafe { &mut *slots_ro[ci].0.get() };
                 for r in range {
                     let ctx = row_ctx(rows, r);
                     for op in &spec.ops {
                         exec_op_par(
-                            &op.kind, ctx, program, graph, params_ro, vars_ro, &table, &buffered,
-                            &mut buf, &mut ws,
+                            &op.kind,
+                            ctx,
+                            program,
+                            graph,
+                            params_ro,
+                            vars_ro,
+                            table_ro,
+                            buffered,
+                            &mut slot.buf,
+                            &mut slot.scratch,
                         );
                     }
                 }
                 record_chunk_span(tw, n, ci);
-                ChunkOut {
-                    buf,
-                    grows: ws.grows(),
-                }
             })
         }
         TraversalDomain::DstNodes => {
             let st = &spec.stages;
             let max_stage = st.iter().copied().max().unwrap_or(0);
             let csc = graph.csc();
-            pool.parallel_chunks(graph.graph().num_nodes(), min_chunk, |ci, range| {
+            pool.for_each_chunk(m, min_chunk, |ci, range| {
                 let tw = hector_trace::span_start();
                 let n = range.len();
-                let mut buf = ContribBuf::default();
-                let mut ws = Scratch::new();
+                // SAFETY: see the row-domain arm above.
+                let slot = unsafe { &mut *slots_ro[ci].0.get() };
                 for v in range {
                     for pass in 0..=max_stage {
                         for &eidx in csc.in_edges(v) {
@@ -517,10 +642,10 @@ pub(crate) fn exec_traversal_par(
                                     graph,
                                     params_ro,
                                     vars_ro,
-                                    &table,
-                                    &buffered,
-                                    &mut buf,
-                                    &mut ws,
+                                    table_ro,
+                                    buffered,
+                                    &mut slot.buf,
+                                    &mut slot.scratch,
                                 );
                             }
                         }
@@ -530,7 +655,7 @@ pub(crate) fn exec_traversal_par(
                         // rows, and hoisted ops below read them. Row `v`
                         // is chunk-owned, so the in-place fix is sound.
                         for out in dst_private_max_aggs(spec, program, pass) {
-                            let rr = &table.0[&out];
+                            let rr = &table_ro.0[&out];
                             // SAFETY: `v` is the chunk-owned node row.
                             for x in unsafe { rr.row_mut(v) } {
                                 if *x == f32::NEG_INFINITY {
@@ -549,30 +674,28 @@ pub(crate) fn exec_traversal_par(
                                 graph,
                                 params_ro,
                                 vars_ro,
-                                &table,
-                                &buffered,
-                                &mut buf,
-                                &mut ws,
+                                table_ro,
+                                buffered,
+                                &mut slot.buf,
+                                &mut slot.scratch,
                             );
                         }
                     }
                 }
                 record_chunk_span(tw, n, ci);
-                ChunkOut {
-                    buf,
-                    grows: ws.grows(),
-                }
             })
         }
     };
-    drop(table);
+    debug_assert_eq!(executed, chunks);
+    table.0.clear();
 
     // Deterministic merge: ascending chunk index, recorded order within
     // each chunk — exactly the sequential accumulation order.
     let mut worker_grows = 0;
-    for out in &chunk_outs {
-        out.buf.replay(vars);
-        worker_grows += out.grows;
+    for cell in &mut slots[..executed] {
+        let slot = cell.0.get_mut();
+        slot.buf.replay(vars);
+        worker_grows += slot.take_grows();
     }
     scratch.note_external_grows(worker_grows);
     for v in max_agg_outputs(spec) {
@@ -582,7 +705,7 @@ pub(crate) fn exec_traversal_par(
             }
         }
     }
-    chunk_outs.len() > 1
+    executed > 1
 }
 
 /// Raw per-type slab view of a gradient stack for the type-parallel
@@ -668,6 +791,7 @@ pub(crate) fn exec_gemm_par(
     pool: &ThreadPool,
     min_chunk: usize,
     scratch: &mut Scratch,
+    arenas: &mut WorkerArenas,
 ) -> bool {
     let m = graph.rows_of(spec.rows);
     match &spec.op.kind {
@@ -680,6 +804,9 @@ pub(crate) fn exec_gemm_par(
             out,
         } => {
             let out_width = program.var(*out).width;
+            let chunks = chunk_count(m, min_chunk, pool.parallelism());
+            arenas.ensure_slots(chunks);
+            let slots: &[SlotCell] = &arenas.slots;
             match scatter {
                 None => {
                     let raw = RawRows::of(vars.get_mut(*out).tensor_mut());
@@ -690,10 +817,11 @@ pub(crate) fn exec_gemm_par(
                         scratch.set_slab_finite(wt);
                     }
                     let flags: &Scratch = scratch;
-                    let grows: Vec<usize> = pool.parallel_chunks(m, min_chunk, |ci, range| {
+                    let executed = pool.for_each_chunk(m, min_chunk, |ci, range| {
                         let tw = hector_trace::span_start();
                         let n = range.len();
-                        let mut ws = Scratch::new();
+                        // SAFETY: each chunk index is claimed exactly once.
+                        let slot = unsafe { &mut *slots[ci].0.get() };
                         for r in range {
                             typed_linear_row(
                                 r,
@@ -709,20 +837,29 @@ pub(crate) fn exec_gemm_par(
                                 params_ro,
                                 vars_ro,
                                 flags,
-                                &mut ws,
+                                &mut slot.scratch,
                             );
                             // SAFETY: output rows are 1:1 with domain
                             // rows here; chunks are disjoint.
-                            unsafe { raw.row_mut(r) }.copy_from_slice(ws.y(out_width));
+                            unsafe { raw.row_mut(r) }.copy_from_slice(slot.scratch.y(out_width));
                         }
                         record_chunk_span(tw, n, ci);
-                        ws.grows()
                     });
-                    let split = grows.len() > 1;
-                    scratch.note_external_grows(grows.iter().sum());
-                    split
+                    debug_assert_eq!(executed, chunks);
+                    let mut worker_grows = 0;
+                    for cell in &mut arenas.slots[..executed] {
+                        worker_grows += cell.0.get_mut().take_grows();
+                    }
+                    scratch.note_external_grows(worker_grows);
+                    executed > 1
                 }
                 Some(ep) => {
+                    for cell in &mut arenas.slots[..chunks] {
+                        let slot = cell.0.get_mut();
+                        slot.idx.clear();
+                        slot.vals.clear();
+                    }
+                    let slots: &[SlotCell] = &arenas.slots;
                     let params_ro: &ParamStore = params;
                     let vars_ro: &VarStore = vars;
                     let wt = params_ro.weight(*weight);
@@ -730,55 +867,41 @@ pub(crate) fn exec_gemm_par(
                         scratch.set_slab_finite(wt);
                     }
                     let flags: &Scratch = scratch;
-                    // One flat (target row, values) store per chunk —
-                    // rows stay in ascending order inside each chunk.
-                    struct ScatterChunk {
-                        idx: Vec<usize>,
-                        vals: Vec<f32>,
-                        grows: usize,
-                    }
-                    let chunks: Vec<ScatterChunk> =
-                        pool.parallel_chunks(m, min_chunk, |ci, range| {
-                            let tw = hector_trace::span_start();
-                            let n = range.len();
-                            // Exact sizes are known upfront: one target
-                            // index and one out_width row per domain row.
-                            let mut idx = Vec::with_capacity(range.len());
-                            let mut vals = Vec::with_capacity(range.len() * out_width);
-                            let mut ws = Scratch::new();
-                            for r in range {
-                                typed_linear_row(
-                                    r,
-                                    spec.rows,
-                                    input,
-                                    fused_scale.as_ref(),
-                                    *transpose_w,
-                                    wt,
-                                    spec.weight_index,
-                                    out_width,
-                                    program,
-                                    graph,
-                                    params_ro,
-                                    vars_ro,
-                                    flags,
-                                    &mut ws,
-                                );
-                                idx.push(scatter_index(spec.rows, *ep, r, graph));
-                                vals.extend_from_slice(ws.y(out_width));
-                            }
-                            record_chunk_span(tw, n, ci);
-                            ScatterChunk {
-                                idx,
-                                vals,
-                                grows: ws.grows(),
-                            }
-                        });
+                    let executed = pool.for_each_chunk(m, min_chunk, |ci, range| {
+                        let tw = hector_trace::span_start();
+                        let n = range.len();
+                        // SAFETY: each chunk index is claimed exactly once.
+                        let slot = unsafe { &mut *slots[ci].0.get() };
+                        for r in range {
+                            typed_linear_row(
+                                r,
+                                spec.rows,
+                                input,
+                                fused_scale.as_ref(),
+                                *transpose_w,
+                                wt,
+                                spec.weight_index,
+                                out_width,
+                                program,
+                                graph,
+                                params_ro,
+                                vars_ro,
+                                flags,
+                                &mut slot.scratch,
+                            );
+                            slot.idx.push(scatter_index(spec.rows, *ep, r, graph));
+                            slot.vals.extend_from_slice(slot.scratch.y(out_width));
+                        }
+                        record_chunk_span(tw, n, ci);
+                    });
+                    debug_assert_eq!(executed, chunks);
                     // Deterministic merge: chunk order == ascending row
                     // order == the sequential accumulation order.
                     let mut worker_grows = 0;
-                    for chunk in &chunks {
-                        worker_grows += chunk.grows;
-                        for (idx, y) in chunk.idx.iter().zip(chunk.vals.chunks_exact(out_width)) {
+                    for cell in &mut arenas.slots[..executed] {
+                        let slot = cell.0.get_mut();
+                        worker_grows += slot.take_grows();
+                        for (idx, y) in slot.idx.iter().zip(slot.vals.chunks_exact(out_width)) {
                             let row = vars.get_mut(*out).tensor_mut().row_mut(*idx);
                             for (a, b) in row.iter_mut().zip(y) {
                                 *a += b;
@@ -786,7 +909,7 @@ pub(crate) fn exec_gemm_par(
                         }
                     }
                     scratch.note_external_grows(worker_grows);
-                    chunks.len() > 1
+                    executed > 1
                 }
             }
         }
@@ -800,11 +923,17 @@ pub(crate) fn exec_gemm_par(
             }
             // One O(m) pass bucketing rows per type (ascending row order
             // within each bucket = the sequential association order per
-            // slab); workers then walk only their own types' rows.
-            let mut rows_by_type: Vec<Vec<u32>> = vec![Vec::new(); t_count];
+            // slab); workers then walk only their own types' rows. The
+            // buckets are pooled on the session (capacity persists).
+            if arenas.rows_by_type.len() < t_count {
+                arenas.rows_by_type.resize_with(t_count, Vec::new);
+            }
+            for bucket in &mut arenas.rows_by_type[..t_count] {
+                bucket.clear();
+            }
             for r in 0..m {
                 let ty = weight_type_index(t_count, spec.weight_index, spec.rows, r, graph);
-                rows_by_type[ty].push(r as u32);
+                arenas.rows_by_type[ty].push(r as u32);
             }
             let grad = params.grad_mut(*out_w);
             let slab_elems = grad.shape()[1] * grad.shape()[2];
@@ -815,8 +944,8 @@ pub(crate) fn exec_gemm_par(
             };
             let params_ro: &ParamStore = params;
             let vars_ro: &VarStore = vars;
-            let rows_by_type = &rows_by_type;
-            pool.parallel_for(t_count, 1, |ci, ty_range| {
+            let rows_by_type: &[Vec<u32>] = &arenas.rows_by_type;
+            pool.for_each_chunk(t_count, 1, |ci, ty_range| {
                 let tw = hector_trace::span_start();
                 let n = ty_range.len();
                 for ty in ty_range {

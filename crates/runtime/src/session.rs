@@ -12,6 +12,7 @@
 //! runs start from bit-identical parameters and inputs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use hector_compiler::CompiledModule;
@@ -24,11 +25,12 @@ use rand::{Rng, SeedableRng};
 
 use hector_trace::{record_span, span_start, SpanCat};
 
+use crate::backend::{self, Backend, BackendKind, ExecCtx, ExecPlan};
 use crate::cost::{kernel_cost, var_bytes};
-use crate::exec::{exec_gemm, exec_traversal, kernel_trace_meta};
+use crate::exec::kernel_trace_meta;
 use crate::loss::nll_loss_and_grad_into;
 use crate::optim::Optimizer;
-use crate::par_exec::{exec_gemm_par, exec_traversal_par};
+use crate::par_exec::WorkerArenas;
 use crate::scratch::Scratch;
 use crate::store::{Buffer, VarStore};
 use crate::{GraphData, ParamStore};
@@ -272,6 +274,16 @@ pub struct Session {
     /// steady state. Growth events and footprint surface through
     /// [`hector_device::ScratchStats`] on the device counters.
     scratch: Scratch,
+    /// Pooled per-chunk worker state for the parallel executor (scratch
+    /// blocks, contribution buffers, scatter staging) — the threaded
+    /// twin of `scratch`, making warm parallel runs allocation-free too.
+    arenas: WorkerArenas,
+    /// The execution backend every real-mode kernel launch routes
+    /// through — see [`crate::backend`].
+    backend: Arc<dyn Backend>,
+    /// The backend's prepared state for the module last run, rebuilt
+    /// only when the module (or backend) changes — warm runs reuse it.
+    exec_plan: Option<ExecPlan>,
     /// Persistent run plan backing [`Session::forward`] and
     /// [`Session::train_step`] — see [`RunPlan`].
     plan: RunPlan,
@@ -292,19 +304,68 @@ impl Session {
     /// path (see the `par_exec` module docs for the merge-order scheme).
     #[must_use]
     pub fn with_parallel(config: DeviceConfig, mode: Mode, par: ParallelConfig) -> Session {
+        Session::with_backend(config, mode, par, BackendKind::from_env())
+    }
+
+    /// Creates a session with an explicit parallel configuration and
+    /// execution backend (overriding `HECTOR_BACKEND`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `HECTOR_BACKEND` is set to an unrecognised value when
+    /// reached through [`Session::with_parallel`] /
+    /// [`Session::new`] (see [`BackendKind::from_env`]).
+    #[must_use]
+    pub fn with_backend(
+        config: DeviceConfig,
+        mode: Mode,
+        par: ParallelConfig,
+        kind: BackendKind,
+    ) -> Session {
         let pool = if mode == Mode::Real {
             ThreadPool::from_config(&par)
         } else {
             None
         };
+        hector_trace::set_backend_label(kind.name());
         Session {
             device: Device::new(config),
             mode,
             par,
             pool,
             scratch: Scratch::new(),
+            arenas: WorkerArenas::new(),
+            backend: backend::create(kind),
+            exec_plan: None,
             plan: RunPlan::default(),
         }
+    }
+
+    /// The execution backend this session runs kernels on.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Stable name of the session's execution backend ("interp",
+    /// "specialized").
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Ensures `exec_plan` holds this backend's prepared state for
+    /// `module`, rebuilding it on module or backend change. Returns
+    /// whether an existing plan was reused (surfaced through
+    /// [`hector_device::BackendStats`]).
+    fn ensure_plan(&mut self, module: &CompiledModule) -> bool {
+        if let Some(plan) = &self.exec_plan {
+            if plan.matches(self.backend.kind(), module) {
+                return true;
+            }
+        }
+        self.exec_plan = Some(self.backend.prepare(module));
+        false
     }
 
     /// The underlying device (counters, memory state).
@@ -475,47 +536,26 @@ impl Session {
                 let stats_before = self.pool.as_ref().map(ThreadPool::stats);
                 let grows_before = self.scratch.grows();
                 let start = Instant::now();
+                let exec_plan = self
+                    .exec_plan
+                    .as_ref()
+                    .expect("backend plan prepared before kernels run");
+                let mut ctx = ExecCtx {
+                    program,
+                    graph,
+                    params,
+                    vars,
+                    pool: self.pool.as_ref(),
+                    min_chunk: self.par.min_chunk_rows,
+                    scratch: &mut self.scratch,
+                    arenas: &mut self.arenas,
+                };
                 // Whether the kernel actually split across chunks —
                 // safety fallbacks and unsplittable domains count as
                 // sequential in the ParallelStats report.
-                let mut ran_parallel = false;
-                match (spec, &self.pool) {
-                    (KernelSpec::Gemm(g), Some(pool)) => {
-                        ran_parallel = exec_gemm_par(
-                            g,
-                            program,
-                            graph,
-                            params,
-                            vars,
-                            pool,
-                            self.par.min_chunk_rows,
-                            &mut self.scratch,
-                        );
-                    }
-                    (KernelSpec::Gemm(g), None) => {
-                        exec_gemm(g, program, graph, params, vars, &mut self.scratch);
-                    }
-                    (KernelSpec::Traversal(t), Some(pool)) => {
-                        ran_parallel = exec_traversal_par(
-                            t,
-                            program,
-                            graph,
-                            params,
-                            vars,
-                            pool,
-                            self.par.min_chunk_rows,
-                            &mut self.scratch,
-                        );
-                    }
-                    (KernelSpec::Traversal(t), None) => {
-                        exec_traversal(t, program, graph, params, vars, &mut self.scratch);
-                    }
-                    (KernelSpec::Fallback(f), _) => {
-                        if let Some(i) = f.prep_index {
-                            params.run_prep(&program.preps[i], program);
-                        }
-                    }
-                }
+                let ran_parallel = self
+                    .backend
+                    .run_kernel(exec_plan, phase, ki, spec, &mut ctx);
                 if !matches!(spec, KernelSpec::Fallback(_)) {
                     let wall_us = start.elapsed().as_secs_f64() * 1e6;
                     self.device
@@ -551,6 +591,9 @@ impl Session {
                 );
             }
         }
+        if self.mode == Mode::Real {
+            self.device.record_backend_kernels(kernels.len() as u64);
+        }
         Ok(())
     }
 
@@ -580,6 +623,10 @@ impl Session {
         let run0 = span_start();
         let tr = span_start();
         self.device.reset();
+        if self.mode == Mode::Real {
+            let reused = self.ensure_plan(module);
+            self.device.record_backend(self.backend.name(), reused);
+        }
         self.base_allocations(graph, params, false)?;
         plan.begin(module.forward.vars.len());
         if let Some(t0) = tr {
@@ -625,6 +672,10 @@ impl Session {
         let run0 = span_start();
         let tr = span_start();
         self.device.reset();
+        if self.mode == Mode::Real {
+            let reused = self.ensure_plan(module);
+            self.device.record_backend(self.backend.name(), reused);
+        }
         self.base_allocations(graph, params, true)?;
         params.zero_grads();
         plan.begin(module.forward.vars.len().max(bw_program.vars.len()));
@@ -764,8 +815,9 @@ impl Session {
 
     /// Runs full-graph inference through the session's persistent
     /// run plan: output tensors are reused across calls (zero-filled
-    /// at run start), so after the first call a sequential forward pass
-    /// performs no heap allocation. Results are bit-identical to
+    /// at run start), so after the first call a warm forward pass —
+    /// sequential or threaded — performs no heap allocation. Results
+    /// are bit-identical to
     /// [`Session::run_inference`].
     ///
     /// # Errors
@@ -835,9 +887,9 @@ impl Session {
     /// Runs one training step through the session's persistent
     /// run plan: output/gradient tensors, the loss staging buffer,
     /// and the scratch arena are all reused, so after the first step a
-    /// sequential training loop performs **zero** heap allocations
-    /// (pinned by `tests/run_alloc.rs`; the parallel executor still
-    /// allocates O(chunks) transients per kernel). Results are
+    /// training loop performs **zero** heap allocations — sequential
+    /// *and* threaded, which pools its per-chunk worker arenas on the
+    /// session (pinned by `tests/run_alloc.rs`). Results are
     /// bit-identical to [`Session::run_training_step`].
     ///
     /// # Errors

@@ -3,7 +3,9 @@
 //! Emits the JSON-object form (`{"traceEvents": [...]}`) with:
 //!
 //! * one `"M"` (metadata) `thread_name` event per registered thread,
-//!   so worker lanes are labelled `hector-par-{i}`;
+//!   so worker lanes are labelled `hector-par-{i}`; when the runtime has
+//!   set an execution-backend label ([`crate::set_backend_label`]), the
+//!   metadata args carry it as `"backend"`;
 //! * one `"X"` (complete) event per span, `ts`/`dur` in fractional
 //!   microseconds, with `rows`/`stage`/`flops` under `args`;
 //! * one `"i"` (instant, thread scope) event per annotation, with the
@@ -60,6 +62,11 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         out.push_str(&tid.to_string());
         out.push_str(",\"args\":{\"name\":\"");
         escape(&name, &mut out);
+        let backend = crate::backend_label();
+        if !backend.is_empty() {
+            out.push_str("\",\"backend\":\"");
+            escape(backend, &mut out);
+        }
         out.push_str("\"}}");
     }
     for ev in events {

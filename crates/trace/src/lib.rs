@@ -388,6 +388,25 @@ pub fn stats() -> TraceStats {
     }
 }
 
+fn backend_label_cell() -> &'static Mutex<&'static str> {
+    static LABEL: OnceLock<Mutex<&'static str>> = OnceLock::new();
+    LABEL.get_or_init(|| Mutex::new(""))
+}
+
+/// Tags subsequent trace exports with the execution backend that
+/// produced the spans ("interp", "specialized"). Set by the runtime when
+/// a session is created; `""` means unset. Process-global, like the
+/// recorder itself.
+pub fn set_backend_label(name: &'static str) {
+    *backend_label_cell().lock().unwrap() = name;
+}
+
+/// The current backend label (see [`set_backend_label`]).
+#[must_use]
+pub fn backend_label() -> &'static str {
+    *backend_label_cell().lock().unwrap()
+}
+
 /// `(tid, thread name)` for every registered ring, for per-thread
 /// lanes in exports.
 #[must_use]

@@ -93,6 +93,10 @@ pub struct ProfileReport {
     pub events: usize,
     /// Ring-buffer overwrites during recording (0 = nothing lost).
     pub dropped: u64,
+    /// Execution backend that produced the kernel spans ("interp",
+    /// "specialized"); `""` when no backend label was set (for example,
+    /// a compile-only trace).
+    pub backend: String,
 }
 
 fn aggregate(events: &[TraceEvent], cat: SpanCat) -> Vec<SpanAgg> {
@@ -191,6 +195,7 @@ pub fn build_report(events: &[TraceEvent], relations: &[RelationShare]) -> Profi
         coverage,
         events: events.len(),
         dropped: crate::stats().dropped,
+        backend: crate::backend_label().to_string(),
     }
 }
 
@@ -206,10 +211,15 @@ impl fmt::Display for ProfileReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "profile: {} over {} events ({:.1}% of run wall attributed{})",
+            "profile: {} over {} events ({:.1}% of run wall attributed{}{})",
             fmt_us(self.wall_us),
             self.events,
             self.coverage * 100.0,
+            if self.backend.is_empty() {
+                String::new()
+            } else {
+                format!("; backend {}", self.backend)
+            },
             if self.dropped > 0 {
                 format!("; {} events dropped", self.dropped)
             } else {

@@ -2,6 +2,13 @@
 //! DSL (not one of the built-ins), compile it, and print the inter-op
 //! program, the kernel plan, and an excerpt of the generated CUDA-like
 //! source — the paper's Fig. 5 workflow end to end.
+//!
+//! Note the CUDA-like source is a **text-only emission target**: it is
+//! never compiled or executed (no CUDA toolchain exists here). Runs
+//! execute the kernel *specs* on the CPU through an execution backend —
+//! the reference interpreter or the specialized compiled-closure
+//! backend — selected with `HECTOR_BACKEND` or
+//! `EngineBuilder::backend`.
 
 use hector::prelude::*;
 use hector_ir::{AggNorm, KernelSpec};
@@ -47,6 +54,12 @@ fn main() {
             KernelSpec::Fallback(f) => println!("  {} [fallback/BMM prep]", f.name),
         }
     }
+
+    println!(
+        "\nexecution: specs run on the '{}' backend (HECTOR_BACKEND also honoured); \
+         the CUDA text below is emission-only and never executes",
+        BackendKind::from_env().name()
+    );
 
     println!(
         "\n=== first generated kernel ({} CUDA lines total) ===",

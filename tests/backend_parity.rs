@@ -1,0 +1,200 @@
+//! Cross-backend bit-identity: the specialized compiled-kernel backend
+//! must be indistinguishable from the reference interpreter, bit for
+//! bit.
+//!
+//! The specialized backend monomorphizes each lowered kernel into a
+//! dispatch-free closure at prepare time (see
+//! `hector_runtime::backend::spec`), but performs the **exact same
+//! floating-point operations in the exact same order** — so every
+//! output bit, loss bit, and trained weight bit must match the
+//! interpreter, at any thread count. These tests pin that contract for
+//! all three built-in models (forward + five Adam steps, threads
+//! {1, 4}) and over a property suite of random graphs and
+//! configurations.
+
+use hector::prelude::*;
+use hector_tensor::seeded_rng;
+use proptest::prelude::*;
+
+fn graph(seed: u64, nodes: usize, edges: usize) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "backend_parity".into(),
+        num_nodes: nodes,
+        num_node_types: 3,
+        num_edges: edges,
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed,
+    }))
+}
+
+fn session(kind: BackendKind, threads: usize) -> Session {
+    Session::with_backend(
+        DeviceConfig::rtx3090(),
+        Mode::Real,
+        ParallelConfig::sequential()
+            .with_threads(threads)
+            .with_min_chunk_rows(4),
+        kind,
+    )
+}
+
+/// One inference on `backend`; returns the output tensor as raw bits.
+fn inference_bits(
+    kind: ModelKind,
+    opts: &CompileOptions,
+    g: &GraphData,
+    backend: BackendKind,
+    threads: usize,
+) -> Vec<u32> {
+    let module = hector::compile_model(kind, 16, 16, opts);
+    let mut rng = seeded_rng(7);
+    let mut params = ParamStore::init(&module.forward, g, &mut rng);
+    let bindings = Bindings::standard(&module.forward, g, &mut rng);
+    let mut s = session(backend, threads);
+    let (vars, _) = s
+        .run_inference(&module, g, &mut params, &bindings)
+        .expect("inference fits");
+    let out = module.forward.outputs[0];
+    vars.tensor(out)
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+/// Five Adam steps on `backend`; returns (per-step loss bits, all final
+/// weight bits) — the whole training trajectory.
+fn training_bits(
+    kind: ModelKind,
+    opts: &CompileOptions,
+    g: &GraphData,
+    backend: BackendKind,
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let module = hector::compile_model(kind, 16, 16, opts);
+    let mut rng = seeded_rng(13);
+    let mut params = ParamStore::init(&module.forward, g, &mut rng);
+    let bindings = Bindings::standard(&module.forward, g, &mut rng);
+    let labels: Vec<usize> = (0..g.graph().num_nodes()).map(|i| i % 4).collect();
+    let mut s = session(backend, threads);
+    let mut opt = Adam::new(0.01);
+    let mut losses = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let (_, report) = s
+            .run_training_step(&module, g, &mut params, &bindings, &labels, &mut opt)
+            .expect("training step fits");
+        losses.push(report.loss.expect("real mode reports loss").to_bits());
+    }
+    let mut weights = Vec::new();
+    for w in 0..params.len() {
+        let wid = hector_ir::WeightId(w as u32);
+        weights.extend(params.weight(wid).data().iter().map(|v| v.to_bits()));
+    }
+    (losses, weights)
+}
+
+#[test]
+fn forward_is_bit_identical_across_backends() {
+    let g = graph(17, 120, 720);
+    for kind in ModelKind::all() {
+        for opts in [CompileOptions::unopt(), CompileOptions::best()] {
+            for threads in [1usize, 4] {
+                let interp = inference_bits(kind, &opts, &g, BackendKind::Interp, threads);
+                let spec = inference_bits(kind, &opts, &g, BackendKind::Specialized, threads);
+                assert_eq!(
+                    interp,
+                    spec,
+                    "{} / {} / threads={threads}: specialized forward diverged",
+                    kind.name(),
+                    opts.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn five_adam_steps_are_bit_identical_across_backends() {
+    let g = graph(29, 80, 480);
+    for kind in ModelKind::all() {
+        for opts in [
+            CompileOptions::unopt().with_training(true),
+            CompileOptions::best().with_training(true),
+        ] {
+            for threads in [1usize, 4] {
+                let (il, iw) = training_bits(kind, &opts, &g, BackendKind::Interp, threads);
+                let (sl, sw) = training_bits(kind, &opts, &g, BackendKind::Specialized, threads);
+                assert_eq!(
+                    il,
+                    sl,
+                    "{} / {} / threads={threads}: loss trajectory diverged",
+                    kind.name(),
+                    opts.label()
+                );
+                assert_eq!(
+                    iw,
+                    sw,
+                    "{} / {} / threads={threads}: trained weights diverged",
+                    kind.name(),
+                    opts.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn backend_stats_identify_the_backend() {
+    let g = graph(3, 60, 240);
+    let module = hector::compile_model(ModelKind::Rgcn, 16, 16, &CompileOptions::best());
+    let mut rng = seeded_rng(5);
+    let mut params = ParamStore::init(&module.forward, &g, &mut rng);
+    let bindings = Bindings::standard(&module.forward, &g, &mut rng);
+    for kind in [BackendKind::Interp, BackendKind::Specialized] {
+        let mut s = session(kind, 1);
+        s.run_inference(&module, &g, &mut params, &bindings)
+            .unwrap();
+        let b = s.device().counters().backend();
+        assert_eq!(b.name, kind.name());
+        assert_eq!(b.prepares, 1, "{kind:?}: cold run prepares the plan");
+        assert_eq!(b.plan_reuses, 0);
+        assert!(b.kernels > 0, "{kind:?}: kernel launches are counted");
+        s.run_inference(&module, &g, &mut params, &bindings)
+            .unwrap();
+        let b = s.device().counters().backend();
+        assert_eq!(b.prepares, 0, "{kind:?}: warm run reuses the plan");
+        assert_eq!(b.plan_reuses, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random graph shape × model × optimization combo × thread count ×
+    /// chunk size: the specialized backend must stay bit-identical to
+    /// the interpreter.
+    #[test]
+    fn random_configs_stay_bit_identical_across_backends(
+        seed in 0u64..1000,
+        nodes in 24usize..96,
+        edges_per_node in 2usize..8,
+        threads in 1usize..6,
+        model_ix in 0usize..3,
+        opt_ix in 0usize..4,
+    ) {
+        let g = graph(seed, nodes, nodes * edges_per_node);
+        let kind = ModelKind::all()[model_ix];
+        let opts = [
+            CompileOptions::unopt(),
+            CompileOptions::compact_only(),
+            CompileOptions::reorder_only(),
+            CompileOptions::best(),
+        ][opt_ix]
+            .clone();
+        let interp = inference_bits(kind, &opts, &g, BackendKind::Interp, threads);
+        let spec = inference_bits(kind, &opts, &g, BackendKind::Specialized, threads);
+        prop_assert_eq!(interp, spec);
+    }
+}

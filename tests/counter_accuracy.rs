@@ -183,3 +183,61 @@ fn parallel_and_sequential_agree_on_kernel_counts() {
     };
     assert_eq!(names(&seq_events), names(&par_events));
 }
+
+#[test]
+fn backend_stats_count_prepares_reuses_and_kernels() {
+    let _g = LOCK.lock().unwrap();
+    let graph = known_graph();
+    for kind in [BackendKind::Interp, BackendKind::Specialized] {
+        let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .options(CompileOptions::best())
+            .parallel(ParallelConfig::sequential())
+            .backend(kind)
+            .seed(3)
+            .build();
+        let kernel_count = engine.module().fw_kernels.len() as u64;
+        let mut bound = engine.bind(&graph);
+
+        bound.forward().expect("tiny graph fits");
+        let b = *bound.engine().device().counters().backend();
+        assert_eq!(b.name, kind.name(), "counters identify the backend");
+        assert_eq!(b.prepares, 1, "{kind:?}: cold run prepares once");
+        assert_eq!(b.plan_reuses, 0);
+        assert_eq!(
+            b.kernels, kernel_count,
+            "{kind:?}: every forward kernel runs on the backend"
+        );
+
+        bound.forward().expect("warm forward fits");
+        let b = *bound.engine().device().counters().backend();
+        assert_eq!(b.prepares, 0, "{kind:?}: warm run prepares nothing");
+        assert_eq!(b.plan_reuses, 1, "{kind:?}: warm run reuses the plan");
+        assert_eq!(b.kernels, kernel_count, "backend stats are run-scoped");
+    }
+}
+
+#[test]
+fn profile_report_names_the_backend() {
+    let _g = LOCK.lock().unwrap();
+    let graph = known_graph();
+    for kind in [BackendKind::Interp, BackendKind::Specialized] {
+        let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .options(CompileOptions::best())
+            .parallel(ParallelConfig::sequential())
+            .backend(kind)
+            .seed(3)
+            .build();
+        engine.bind(&graph).forward().expect("warm-up fits");
+        let (result, report) = engine.profile(|e| e.bind(&graph).forward());
+        result.expect("profiled forward fits");
+        assert_eq!(
+            report.backend,
+            kind.name(),
+            "profile reports carry the executing backend"
+        );
+        assert!(format!("{report}").contains(&format!("backend {}", kind.name())));
+    }
+    hector::trace::clear();
+}

@@ -7,9 +7,12 @@
 //! staging buffer, and the scratch arena are materialised on the first
 //! call and reused (zero-filled) afterwards, so after step 1 a
 //! sequential training loop performs **exactly zero** heap allocation
-//! events — not merely row-invariant, zero. The sessions are pinned to
-//! `num_threads = 1`: the parallel executor intentionally allocates
-//! O(chunks) transients per kernel.
+//! events — not merely row-invariant, zero. The same holds for the
+//! threaded executor: per-chunk worker state (scratch blocks,
+//! contribution buffers, scatter staging) is pooled on the session's
+//! `WorkerArenas`, so a warm 4-thread run is just as allocation-free as
+//! the sequential path — pinned here at `num_threads = 4` alongside the
+//! sequential pins.
 //!
 //! This binary also pins the tracing subsystem's zero-overhead-when-off
 //! claim: every executor loop calls `hector_trace::span_start()` (one
@@ -18,12 +21,24 @@
 //! hot path allocates nothing. The `trace_overhead` bench covers the
 //! wall-clock half of the claim.
 
+use std::sync::{Mutex, MutexGuard};
+
 use hector::prelude::*;
 use hector_bench::alloc_counter::{alloc_events, CountingAlloc};
 use hector_tensor::seeded_rng;
 
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
+
+/// The allocation counter is process-global, so concurrently running
+/// tests would see each other's warm-up allocations inside their
+/// measured windows. Every test serializes on this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 fn graph() -> GraphData {
     GraphData::new(hector::generate(&DatasetSpec {
@@ -46,8 +61,103 @@ fn sequential_session() -> Session {
     )
 }
 
+fn threaded_session() -> Session {
+    // Tiny min_chunk so the 120-node test graph splits into real chunks
+    // on every kernel — the pooled-arena path, not the 1-chunk inline
+    // shortcut.
+    Session::with_parallel(
+        DeviceConfig::rtx3090(),
+        Mode::Real,
+        ParallelConfig::sequential()
+            .with_threads(4)
+            .with_min_chunk_rows(4),
+    )
+}
+
+#[test]
+fn warm_threaded_train_steps_allocate_nothing() {
+    let _g = serialize();
+    // The HECTOR_THREADS=4 twin of `warm_train_steps_allocate_nothing`:
+    // pooled per-chunk worker arenas make the threaded executor
+    // allocation-free once warm, for every model and either backend
+    // (`HECTOR_BACKEND` is honoured via `Session::with_parallel`).
+    for kind in ModelKind::all() {
+        let graph = graph();
+        let module =
+            hector::compile_model(kind, 16, 16, &CompileOptions::best().with_training(true));
+        let mut rng = seeded_rng(5);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+        let labels: Vec<usize> = (0..graph.graph().num_nodes()).map(|i| i % 4).collect();
+        let mut opt = Adam::new(0.01);
+        let mut session = threaded_session();
+
+        session
+            .train_step(&module, &graph, &mut params, &bindings, &labels, &mut opt)
+            .expect("first step fits");
+
+        let before = alloc_events();
+        for _ in 0..5 {
+            session
+                .train_step(&module, &graph, &mut params, &bindings, &labels, &mut opt)
+                .expect("warm step fits");
+        }
+        let allocs = alloc_events() - before;
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warm 4-thread train_step must perform zero heap allocations, saw {allocs}",
+            kind.name()
+        );
+        let p = session.device().counters().parallel();
+        assert!(
+            p.parallel_launches > 0,
+            "{}: kernels must actually have run on the pool",
+            kind.name()
+        );
+        let s = *session.device().counters().scratch();
+        assert_eq!(s.grows, 0, "{}: warm arenas must not grow", kind.name());
+    }
+}
+
+#[test]
+fn warm_threaded_forward_allocates_nothing() {
+    let _g = serialize();
+    for kind in ModelKind::all() {
+        let graph = graph();
+        let module = hector::compile_model(kind, 16, 16, &CompileOptions::best());
+        let mut rng = seeded_rng(6);
+        let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
+        let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
+        let mut session = threaded_session();
+        session
+            .forward(&module, &graph, &mut params, &bindings)
+            .expect("warm-up forward fits");
+        let before = alloc_events();
+        for _ in 0..5 {
+            session
+                .forward(&module, &graph, &mut params, &bindings)
+                .expect("warm forward fits");
+        }
+        let allocs = alloc_events() - before;
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warm 4-thread forward must perform zero heap allocations, saw {allocs}",
+            kind.name()
+        );
+        let p = session.device().counters().parallel();
+        assert!(
+            p.parallel_launches > 0,
+            "{}: kernels must actually have run on the pool",
+            kind.name()
+        );
+    }
+}
+
 #[test]
 fn warm_train_steps_allocate_nothing() {
+    let _g = serialize();
     for kind in ModelKind::all() {
         for use_adam in [false, true] {
             let graph = graph();
@@ -105,6 +215,7 @@ fn warm_train_steps_allocate_nothing() {
 
 #[test]
 fn warm_trainer_steps_allocate_nothing() {
+    let _g = serialize();
     // The Trainer handle hits the plan path by construction: after the
     // first step, `trainer.step()` — the entire user-facing epoch body —
     // performs exactly zero heap allocations.
@@ -142,6 +253,7 @@ fn warm_trainer_steps_allocate_nothing() {
 
 #[test]
 fn warm_minibatch_steps_allocate_nothing() {
+    let _g = serialize();
     // Batch *production* allocates (subgraph extraction builds fresh
     // tensors — that is the producer thread's job in the pipeline); the
     // training step itself must not. After one warm-up call,
@@ -190,6 +302,7 @@ fn warm_minibatch_steps_allocate_nothing() {
 
 #[test]
 fn warm_forward_allocates_nothing() {
+    let _g = serialize();
     for kind in ModelKind::all() {
         let graph = graph();
         let module = hector::compile_model(kind, 16, 16, &CompileOptions::best());
@@ -218,6 +331,7 @@ fn warm_forward_allocates_nothing() {
 
 #[test]
 fn plan_reuse_is_bit_identical_to_fresh_stores() {
+    let _g = serialize();
     for kind in ModelKind::all() {
         let graph = graph();
         let module =
