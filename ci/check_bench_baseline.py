@@ -94,6 +94,18 @@ def main() -> int:
             f" ({metrics.get('speedup', 'n/a')}x)"
         )
 
+    # Informational: multi-tenant serving throughput (the bench itself
+    # asserts the >= 1.5x coalescing contrast and tests/serve.rs gates
+    # bit-identity with the sequential oracle; wall clock never gates).
+    for row, metrics in sorted(bench.get("serve_throughput", {}).items()):
+        print(
+            f"info serve_throughput {row}:"
+            f" {metrics.get('req_per_s', 'n/a')} req/s,"
+            f" p50 {metrics.get('p50_us', 'n/a')}us,"
+            f" p99 {metrics.get('p99_us', 'n/a')}us,"
+            f" coalescing {metrics.get('coalescing_factor', 'n/a')}x"
+        )
+
     if failed:
         print("perf-regression: allocation baseline exceeded")
         return 1

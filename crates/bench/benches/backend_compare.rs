@@ -48,7 +48,7 @@ struct Run {
 }
 
 fn forward_run(kind: ModelKind, g: &GraphData, backend: BackendKind, iters: usize) -> Run {
-    let module = hector::compile_model(kind, DIMS, DIMS, &CompileOptions::best());
+    let module = hector::compile_model_cached(kind, DIMS, DIMS, &CompileOptions::best());
     let mut rng = seeded_rng(42);
     let mut params = ParamStore::init(&module.forward, g, &mut rng);
     let bindings = Bindings::standard(&module.forward, g, &mut rng);
@@ -57,7 +57,8 @@ fn forward_run(kind: ModelKind, g: &GraphData, backend: BackendKind, iters: usiz
         Mode::Real,
         ParallelConfig::sequential(),
         backend,
-    );
+    )
+    .expect("backend is available");
     session
         .forward(&module, g, &mut params, &bindings)
         .expect("warm-up fits");
@@ -82,7 +83,7 @@ fn forward_run(kind: ModelKind, g: &GraphData, backend: BackendKind, iters: usiz
 }
 
 fn train_run(kind: ModelKind, g: &GraphData, backend: BackendKind, iters: usize) -> Run {
-    let module = hector::compile_model(
+    let module = hector::compile_model_cached(
         kind,
         DIMS,
         DIMS,
@@ -98,7 +99,8 @@ fn train_run(kind: ModelKind, g: &GraphData, backend: BackendKind, iters: usize)
         Mode::Real,
         ParallelConfig::sequential(),
         backend,
-    );
+    )
+    .expect("backend is available");
     session
         .train_step(&module, g, &mut params, &bindings, &labels, &mut opt)
         .expect("warm-up fits");

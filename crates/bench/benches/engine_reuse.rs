@@ -60,7 +60,7 @@ fn main() {
         // Cold: a cleared cache forces the full pipeline.
         ModuleCache::clear();
         let t0 = Instant::now();
-        let engine = builder(kind).build();
+        let engine = builder(kind).build().unwrap();
         let cold_us = t0.elapsed().as_secs_f64() * 1e6;
         assert!(!engine.was_cache_hit(), "cleared cache cannot hit");
         drop(engine);
@@ -71,18 +71,22 @@ fn main() {
         let t1 = Instant::now();
         let mut hits = 0usize;
         for _ in 0..REPS {
-            let e = builder(kind).build();
+            let e = builder(kind).build().unwrap();
             hits += usize::from(e.was_cache_hit());
         }
         let cached_us = t1.elapsed().as_secs_f64() * 1e6 / REPS as f64;
         assert_eq!(hits, REPS, "every rebuild must hit the cache");
 
         // Rebind: one engine carried across distinct graphs.
-        let mut engine = builder(kind).build();
-        engine.bind(&graphs[0]).forward().expect("warm-up fits");
+        let mut engine = builder(kind).build().unwrap();
+        engine
+            .bind(&graphs[0])
+            .unwrap()
+            .forward()
+            .expect("warm-up fits");
         let t2 = Instant::now();
         for g in &graphs {
-            engine.bind(g).forward().expect("fits");
+            engine.bind(g).unwrap().forward().expect("fits");
         }
         let rebind_us = t2.elapsed().as_secs_f64() * 1e6 / graphs.len() as f64;
 

@@ -4,6 +4,10 @@
 //! per-direction (forward vs backward) duration, achieved GFLOP/s,
 //! IPC proxy, and DRAM throughput.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_bench::{banner, device_config, load_dataset, scale};
 use hector_device::{KernelCategory, Phase};

@@ -20,6 +20,10 @@
 //! artifact. Allocation counts are deterministic (unlike wall clock), so
 //! they are the only fields the lane fails on.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use std::time::Instant;
 
 use hector::prelude::*;

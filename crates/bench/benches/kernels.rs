@@ -3,6 +3,10 @@
 //! a small synthetic graph. These measure the Rust interpreter, not the
 //! simulated GPU; they guard against regressions in the hot paths.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hector::prelude::*;
 

@@ -20,7 +20,7 @@ fn main() {
         // Training modules generate both forward and backward kernels,
         // matching the paper's end-to-end counting.
         let module =
-            hector::compile_model(kind, 64, 64, &CompileOptions::best().with_training(true));
+            hector::compile_model_cached(kind, 64, 64, &CompileOptions::best().with_training(true));
         let cuda = module.code.cuda_lines();
         let host = module
             .code
@@ -65,7 +65,7 @@ fn main() {
             CompileOptions::reorder_only(),
             CompileOptions::best(),
         ] {
-            let m = hector::compile_model(kind, 64, 64, &opts.with_training(true));
+            let m = hector::compile_model_cached(kind, 64, 64, &opts.with_training(true));
             all_combos += m.code.total_lines();
         }
     }

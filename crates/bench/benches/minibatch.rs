@@ -54,8 +54,9 @@ fn trainer(kind: ModelKind, threads: usize, g: &GraphData) -> Trainer {
         .options(CompileOptions::best())
         .parallel(ParallelConfig::from_env().with_threads(threads))
         .seed(7)
-        .build_trainer(Adam::new(0.01));
-    t.bind(g);
+        .build_trainer(Adam::new(0.01))
+        .unwrap();
+    t.bind(g).unwrap();
     t
 }
 

@@ -11,6 +11,10 @@
 //! (given ≥4 physical cores; steal counters are reported to show the
 //! pool was actually exercised).
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use std::time::Instant;
 
 use hector::prelude::*;

@@ -1,0 +1,164 @@
+//! serve_throughput: what request coalescing buys the multi-tenant
+//! server. The same client load — several threads firing single-node
+//! inference requests at one resident RGCN engine — runs twice:
+//!
+//! * `naive` — `max_coalesce = 1`: every request pays a full graph
+//!   traversal, the one-request-per-dispatch strawman.
+//! * `coalesced` — `max_coalesce = 64`: requests for the same
+//!   deployment arriving within one dispatch tick fold into a single
+//!   batched traversal; each ticket gets its rows scattered back.
+//!
+//! Reported per mode: requests/s, p50/p99 ticket latency, traversal
+//! count, and the per-tenant coalescing factor (requests per forward).
+//! With `HECTOR_BENCH_JSON=<path>` the rows are written as a JSON
+//! fragment for the perf-regression lane's artifact; wall-clock fields
+//! are informational — the lane never gates on them — but the
+//! coalescing factor contrast (>= 1.5x) is asserted here.
+
+use std::time::{Duration, Instant};
+
+use hector::prelude::*;
+use hector::serve::{ServeConfig, ServeHandle};
+use hector_bench::json::JsonWriter;
+use hector_bench::{banner, scale};
+
+const CLIENTS: usize = 4;
+const DIMS: usize = 16;
+
+fn graph(s: f64) -> GraphData {
+    GraphData::new(hector::generate(&DatasetSpec {
+        name: "serve_throughput".into(),
+        num_nodes: ((1_200f64 * s) as usize).max(64),
+        num_node_types: 3,
+        num_edges: ((6_000f64 * s) as usize).max(320),
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed: 41,
+    }))
+}
+
+struct ModeResult {
+    req_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    forwards: u64,
+    coalescing: f64,
+}
+
+fn run_mode(max_coalesce: usize, g: &GraphData, per_client: usize) -> ModeResult {
+    let srv = ServeHandle::start(
+        ServeConfig::default()
+            .with_queue_capacity(CLIENTS * per_client + 16)
+            .with_max_coalesce(max_coalesce)
+            .with_timeout(Duration::from_secs(60))
+            .with_workers(2),
+    );
+    srv.deploy(
+        "rgcn",
+        EngineBuilder::new(ModelKind::Rgcn)
+            .dims(DIMS, DIMS)
+            .options(CompileOptions::best())
+            .mode(Mode::Real)
+            .seed(7),
+        g,
+    )
+    .expect("deploys");
+    // Warm up: first traversal pays binding-derived one-time costs.
+    srv.submit("rgcn", 0)
+        .unwrap()
+        .wait()
+        .expect("warm-up serves");
+
+    let nodes = g.graph().num_nodes();
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let srv = srv.clone();
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let node = (c * 131 + i * 17) % nodes;
+                        let t = Instant::now();
+                        srv.submit("rgcn", node)
+                            .expect("queue sized for the full load")
+                            .wait()
+                            .expect("request serves");
+                        lat.push(t.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = srv.stats("rgcn").expect("deployed");
+    srv.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let total = (CLIENTS * per_client) as f64;
+    ModeResult {
+        req_per_s: total / wall_s,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        forwards: stats.forwards,
+        coalescing: stats.coalescing_factor(),
+    }
+}
+
+fn main() {
+    let s = scale();
+    banner("serve_throughput: naive vs coalescing dispatch", s);
+    let g = graph(s);
+    let per_client = ((60f64 * s) as usize).max(12);
+    println!(
+        "{} clients x {} requests over {} nodes\n",
+        CLIENTS,
+        per_client,
+        g.graph().num_nodes()
+    );
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "mode", "req/s", "p50_us", "p99_us", "forwards", "coalescing"
+    );
+
+    let mut json = JsonWriter::from_env("serve_throughput");
+    let mut factors = Vec::new();
+    for (label, max_coalesce) in [("naive", 1usize), ("coalesced", 64)] {
+        let r = run_mode(max_coalesce, &g, per_client);
+        println!(
+            "{:>10} {:>12.0} {:>10.0} {:>10.0} {:>10} {:>11.1}x",
+            label, r.req_per_s, r.p50_us, r.p99_us, r.forwards, r.coalescing
+        );
+        json.record(
+            label,
+            &[
+                ("req_per_s", r.req_per_s),
+                ("p50_us", r.p50_us),
+                ("p99_us", r.p99_us),
+                ("forwards", r.forwards as f64),
+                ("coalescing_factor", r.coalescing),
+            ],
+        );
+        factors.push(r.coalescing);
+    }
+    assert!(
+        factors[1] >= 1.5 * factors[0],
+        "coalescing dispatch must fold >= 1.5x more requests per traversal \
+         than naive ({:.2}x vs {:.2}x)",
+        factors[1],
+        factors[0]
+    );
+    println!(
+        "\nCoalescing amortises one batched traversal across every request\n\
+         that arrived within the dispatch tick; naive dispatch pays a full\n\
+         traversal per request."
+    );
+    json.finish();
+}

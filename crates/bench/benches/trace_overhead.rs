@@ -78,8 +78,9 @@ fn main() {
         .dims(DIMS, DIMS)
         .options(CompileOptions::best())
         .seed(9)
-        .build_trainer(Adam::new(0.01));
-    t.bind(&g);
+        .build_trainer(Adam::new(0.01))
+        .unwrap();
+    t.bind(&g).unwrap();
     // Warm run: materialise the run plan so every timed step runs the
     // allocation-free steady state.
     t.step().expect("warm step fits");

@@ -120,6 +120,9 @@ impl From<SystemReport> for Outcome {
 }
 
 /// Runs Hector (modeled) and returns a unified outcome.
+// Drives the deprecated Session flow directly: bench tables run with
+// empty bindings in modeled mode, which the handle API rejects.
+#[allow(deprecated)]
 #[must_use]
 pub fn run_hector(
     kind: ModelKind,

@@ -11,12 +11,26 @@
 //! autotuner's thread axis, repeated test setup — compiles once and
 //! serves nine hits.
 //!
-//! Observability: hit/miss counters plus the entry count and a byte
-//! estimate are mirrored into
+//! Observability: hit/miss/eviction counters plus the entry count and a
+//! byte estimate are mirrored into
 //! [`hector_device::module_cache_probe`], so they surface on every
 //! session's `counters().module_cache()`. [`ModuleCache::clear`] empties
 //! the cache and resets the counters (tests that pin exact hit/miss
 //! deltas start from a clean slate).
+//!
+//! # Eviction
+//!
+//! The cache is byte-bounded: entries carry a last-use stamp, and an
+//! insert that pushes the estimated footprint past the budget evicts
+//! least-recently-used entries until it fits (the incoming module is
+//! never evicted by its own insert — callers hold the `Arc` either
+//! way). The budget defaults to 256 MiB, is overridable with
+//! `HECTOR_MODULE_CACHE_BYTES`, and is adjustable at runtime via
+//! [`ModuleCache::set_capacity_bytes`] — a long-lived multi-tenant
+//! server cycling through many models stays bounded instead of leaking
+//! one compiled module per (model, options) key forever. Evicted
+//! modules stay alive as long as some engine still holds their `Arc`;
+//! eviction only forgets the cache's copy.
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -224,21 +238,69 @@ fn module_bytes(m: &CompiledModule) -> usize {
     code + programs + kernels + std::mem::size_of::<CompiledModule>()
 }
 
+/// One cached module plus the bookkeeping the LRU policy needs.
+struct Entry {
+    module: Arc<CompiledModule>,
+    bytes: usize,
+    /// Logical clock value of the entry's last hit (or its insert).
+    last_use: u64,
+}
+
+/// Default eviction budget when `HECTOR_MODULE_CACHE_BYTES` is unset.
+const DEFAULT_CAPACITY_BYTES: usize = 256 * 1024 * 1024;
+
 struct CacheState {
-    modules: HashMap<CacheKey, Arc<CompiledModule>>,
+    modules: HashMap<CacheKey, Entry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
     bytes: usize,
+    capacity: usize,
+    /// Logical clock: bumped on every hit/insert to stamp recency.
+    tick: u64,
+}
+
+impl CacheState {
+    /// Evicts least-recently-used entries until the footprint fits the
+    /// budget. `keep` (the key just inserted) is never evicted by its
+    /// own insert — a module larger than the whole budget would
+    /// otherwise thrash on every request.
+    fn evict_to_budget(&mut self, keep: CacheKey) {
+        while self.bytes > self.capacity {
+            let victim = self
+                .modules
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(key) = victim else {
+                break; // Only `keep` remains; nothing more to shed.
+            };
+            if let Some(e) = self.modules.remove(&key) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+                module_cache_probe::record_eviction();
+            }
+        }
+    }
 }
 
 fn state() -> &'static Mutex<CacheState> {
     static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
     CACHE.get_or_init(|| {
+        let capacity = std::env::var("HECTOR_MODULE_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY_BYTES);
         Mutex::new(CacheState {
             modules: HashMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
             bytes: 0,
+            capacity,
+            tick: 0,
         })
     })
 }
@@ -275,8 +337,13 @@ impl ModuleCache {
         let key = CacheKey::new(src, options);
         {
             let mut s = lock();
-            if let Some(m) = s.modules.get(&key) {
-                let m = Arc::clone(m);
+            if let Some(e) = s.modules.get(&key) {
+                let m = Arc::clone(&e.module);
+                s.tick += 1;
+                let now = s.tick;
+                if let Some(e) = s.modules.get_mut(&key) {
+                    e.last_use = now;
+                }
                 s.hits += 1;
                 module_cache_probe::record_hit();
                 return (m, true);
@@ -288,10 +355,21 @@ impl ModuleCache {
         module_cache_probe::record_miss();
         let module = match s.modules.get(&key) {
             // Lost a same-key race: keep the first-inserted module.
-            Some(existing) => Arc::clone(existing),
+            Some(existing) => Arc::clone(&existing.module),
             None => {
-                s.bytes += module_bytes(&module);
-                s.modules.insert(key, Arc::clone(&module));
+                let bytes = module_bytes(&module);
+                s.bytes += bytes;
+                s.tick += 1;
+                let last_use = s.tick;
+                s.modules.insert(
+                    key,
+                    Entry {
+                        module: Arc::clone(&module),
+                        bytes,
+                        last_use,
+                    },
+                );
+                s.evict_to_budget(key);
                 module
             }
         };
@@ -299,16 +377,53 @@ impl ModuleCache {
         (module, false)
     }
 
-    /// Drops every cached module and zeroes the hit/miss counters (both
-    /// here and on the device probe). Tests that pin exact counter
-    /// deltas call this first.
+    /// Drops every cached module and zeroes the hit/miss/eviction
+    /// counters (both here and on the device probe). The configured
+    /// byte budget persists. Tests that pin exact counter deltas call
+    /// this first.
     pub fn clear() {
         let mut s = lock();
         s.modules.clear();
         s.hits = 0;
         s.misses = 0;
+        s.evictions = 0;
         s.bytes = 0;
+        s.tick = 0;
         module_cache_probe::reset();
+    }
+
+    /// The LRU eviction budget in bytes.
+    #[must_use]
+    pub fn capacity_bytes() -> usize {
+        lock().capacity
+    }
+
+    /// Sets the LRU eviction budget, immediately evicting
+    /// least-recently-used entries until the cache fits. Returns the
+    /// previous budget so callers (tests, admin endpoints) can restore
+    /// it. A zero budget is clamped to one byte — "cache nothing
+    /// durable" — rather than rejected.
+    pub fn set_capacity_bytes(capacity: usize) -> usize {
+        let mut s = lock();
+        let prev = s.capacity;
+        s.capacity = capacity.max(1);
+        // No just-inserted key to protect: evict strictly by recency
+        // until the new budget holds (or the cache is empty).
+        while s.bytes > s.capacity {
+            let victim = s
+                .modules
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(key) = victim else { break };
+            if let Some(e) = s.modules.remove(&key) {
+                s.bytes -= e.bytes;
+                s.evictions += 1;
+                module_cache_probe::record_eviction();
+            }
+        }
+        module_cache_probe::set_footprint(s.modules.len(), s.bytes);
+        prev
     }
 
     /// Current cache statistics (same numbers as
@@ -319,6 +434,7 @@ impl ModuleCache {
         ModuleCacheStats {
             hits: s.hits,
             misses: s.misses,
+            evictions: s.evictions,
             entries: s.modules.len(),
             bytes: s.bytes,
         }
@@ -338,6 +454,11 @@ pub fn compile_cached(src: &ModelSource, options: &CompileOptions) -> Arc<Compil
 mod tests {
     use super::*;
     use hector_ir::{AggNorm, ModelBuilder};
+
+    /// Serializes tests that either mutate the process-global budget or
+    /// assert a hit across two lookups — a concurrent capacity shrink
+    /// would otherwise evict between them and flake.
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn toy_source(name: &str, dim: usize) -> ModelSource {
         let mut m = ModelBuilder::new(name, dim);
@@ -364,6 +485,7 @@ mod tests {
     fn second_compile_is_a_hit_and_shares_the_module() {
         // Unique name + dims so concurrently running tests in this
         // binary can never collide with the key.
+        let _g = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let src = toy_source("cache_hit_test_model", 23);
         let opts = CompileOptions::best();
         let (first, hit1) = ModuleCache::get_or_compile(&src, &opts);
@@ -381,6 +503,56 @@ mod tests {
         let (_, h3) =
             ModuleCache::get_or_compile(&src, &CompileOptions::best().with_training(true));
         assert!(!h1 && !h2 && !h3, "each option combo compiles once");
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entries_when_over_budget() {
+        // Shrinking the budget must shed least-recently-used entries
+        // (and count them); restoring it afterwards keeps the other
+        // tests in this binary unaffected. The entries evicted here may
+        // belong to concurrently running tests — that is safe (they
+        // recompile on miss) and unavoidable for a process-global cache.
+        let _g = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = toy_source("cache_lru_model_a", 37);
+        let b = toy_source("cache_lru_model_b", 37);
+        let opts = CompileOptions::best();
+        let (ma, _) = ModuleCache::get_or_compile(&a, &opts);
+        let (_mb, _) = ModuleCache::get_or_compile(&b, &opts);
+        let before = ModuleCache::stats();
+        assert!(before.bytes > 0 && before.entries >= 2);
+
+        let prev = ModuleCache::set_capacity_bytes(1);
+        let after = ModuleCache::stats();
+        assert!(
+            after.entries < before.entries,
+            "a 1-byte budget must evict: {after:?}"
+        );
+        assert!(
+            after.evictions > before.evictions,
+            "evictions must be counted: {after:?}"
+        );
+        assert!(after.bytes < before.bytes);
+        // An evicted module recompiles as a miss, not a stale hit.
+        let (ma2, hit) = ModuleCache::get_or_compile(&a, &opts);
+        assert!(!hit, "evicted entries must recompile");
+        assert_eq!(ma.forward, ma2.forward, "recompile is deterministic");
+        ModuleCache::set_capacity_bytes(prev);
+    }
+
+    #[test]
+    fn insert_never_evicts_itself() {
+        let _g = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let src = toy_source("cache_lru_self_model", 41);
+        let opts = CompileOptions::best();
+        let prev = ModuleCache::set_capacity_bytes(1);
+        // Budget is far below any module's footprint: the insert stays
+        // resident (callers hold the Arc; the cache keeps serving it
+        // until a *later* insert pushes it out).
+        let (_, h1) = ModuleCache::get_or_compile(&src, &opts);
+        let (_, h2) = ModuleCache::get_or_compile(&src, &opts);
+        assert!(!h1);
+        assert!(h2, "the just-inserted module must not evict itself");
+        ModuleCache::set_capacity_bytes(prev);
     }
 
     #[test]

@@ -85,12 +85,12 @@ fn dry_run(
         .mode(Mode::Modeled)
         .seed(1);
     let report = if training {
-        let mut trainer = builder.build_trainer(Sgd::new(0.01));
-        trainer.bind(graph);
+        let mut trainer = builder.build_trainer(Sgd::new(0.01)).ok()?;
+        trainer.bind(graph).ok()?;
         trainer.step().ok()?
     } else {
-        let mut engine = builder.build();
-        engine.bind(graph).forward().ok()?
+        let mut engine = builder.build().ok()?;
+        engine.bind(graph).ok()?.forward().ok()?
     };
     Some(report.elapsed_us)
 }
@@ -212,16 +212,18 @@ pub fn autotune_threads(
             .classes(classes)
             .seed(1);
         if training {
-            let mut trainer = builder.build_trainer(Sgd::new(0.01));
-            trainer.bind(graph);
+            let mut trainer = builder
+                .build_trainer(Sgd::new(0.01))
+                .expect("thread sweep uses a valid builder");
+            trainer.bind(graph).expect("thread sweep graph is valid");
             let start = std::time::Instant::now();
             trainer
                 .step()
                 .expect("thread sweep must fit in device memory");
             start.elapsed().as_secs_f64() * 1e6
         } else {
-            let mut engine = builder.build();
-            let mut bound = engine.bind(graph);
+            let mut engine = builder.build().expect("thread sweep uses a valid builder");
+            let mut bound = engine.bind(graph).expect("thread sweep graph is valid");
             let start = std::time::Instant::now();
             bound
                 .forward()

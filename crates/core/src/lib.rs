@@ -28,19 +28,21 @@
 //! ```
 //! use hector::prelude::*;
 //!
+//! # fn main() -> Result<(), HectorError> {
 //! // 1. A heterogeneous graph (here: a scaled-down AIFB).
 //! let spec = hector::datasets::aifb().scaled(0.01);
 //! let graph = GraphData::new(hector::generate(&spec));
 //!
 //! // 2-3. Compile RGAT with both optimizations (cached process-wide)
-//! //      and run inference on the simulated RTX 3090.
+//! //      and run inference on the simulated RTX 3090. Every fallible
+//! //      step reports misuse or exhaustion as a `HectorError`.
 //! let mut engine = EngineBuilder::new(ModelKind::Rgat)
 //!     .dims(32, 32)
 //!     .options(CompileOptions::best())
 //!     .seed(0)
-//!     .build();
-//! let mut bound = engine.bind(&graph);
-//! let report = bound.forward().expect("fits in 24 GB");
+//!     .build()?;
+//! let mut bound = engine.bind(&graph)?;
+//! let report = bound.forward()?;
 //! assert!(report.elapsed_us > 0.0);
 //! assert_eq!(bound.output().rows(), graph.graph().num_nodes());
 //!
@@ -48,11 +50,21 @@
 //! let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
 //!     .dims(16, 16)
 //!     .seed(1)
-//!     .build_trainer(Adam::new(0.01));
-//! trainer.bind(&graph);
-//! let epoch = trainer.epoch(3).expect("fits");
+//!     .build_trainer(Adam::new(0.01))?;
+//! trainer.bind(&graph)?;
+//! let epoch = trainer.epoch(3)?;
 //! assert_eq!(epoch.losses.len(), 3);
+//! # Ok(()) }
 //! ```
+//!
+//! ## Errors
+//!
+//! Every fallible entry point of the handle API — [`EngineBuilder::build`],
+//! [`Engine::bind`], [`Bound::forward`], [`Trainer::step`], and friends —
+//! returns [`Result`]`<_, `[`HectorError`]`>`. Caller misuse (an unbound
+//! engine, a misshapen binding, an unknown backend, a zero-thread
+//! configuration) is reported as a typed, matchable error rather than a
+//! panic; panics are reserved for internal invariant violations.
 //!
 //! ## Low-level API
 //!
@@ -65,13 +77,13 @@
 //!
 //! let spec = hector::datasets::aifb().scaled(0.01);
 //! let graph = GraphData::new(hector::generate(&spec));
-//! let module = hector::compile_model(ModelKind::Rgat, 32, 32, &CompileOptions::best());
+//! let module = hector::compile_model_cached(ModelKind::Rgat, 32, 32, &CompileOptions::best());
 //! let mut rng = seeded_rng(0);
 //! let mut params = ParamStore::init(&module.forward, &graph, &mut rng);
 //! let bindings = Bindings::standard(&module.forward, &graph, &mut rng);
 //! let mut session = Session::new(DeviceConfig::rtx3090(), Mode::Real);
 //! let (outputs, report) = session
-//!     .run_inference(&module, &graph, &mut params, &bindings)
+//!     .forward(&module, &graph, &mut params, &bindings)
 //!     .expect("fits in 24 GB");
 //! assert!(report.elapsed_us > 0.0);
 //! let h_out = outputs.tensor(module.forward.outputs[0]);
@@ -101,9 +113,10 @@ pub use hector_ir::{builder::ModelSource, ModelBuilder};
 pub use hector_models::{source as model_source, stacked, ModelKind};
 pub use hector_runtime::{
     chunk_ranges, trace, Backend, BackendCaps, BackendKind, Batch, Bindings, Bound, Engine,
-    EngineBuilder, EpochReport, ExecPlan, GraphData, Minibatches, Mode, ParallelConfig, ParamStore,
-    ProfileReport, RunReport, Session, TraceConfig, Trainer,
+    EngineBuilder, EpochReport, ExecPlan, GraphData, HectorError, Minibatches, Mode,
+    ParallelConfig, ParamStore, ProfileReport, RunReport, Session, TraceConfig, Trainer,
 };
+pub use hector_serve as serve;
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
 ///
@@ -114,6 +127,10 @@ pub use hector_runtime::{
 /// entry per distinct `(kind, dims, options)` key for the life of the
 /// process (that is the point — sweeps recompile nothing);
 /// [`ModuleCache::clear`] releases them.
+#[deprecated(
+    since = "0.1.0",
+    note = "use compile_model_cached for a shared handle, or EngineBuilder for the full lifecycle"
+)]
 #[must_use]
 pub fn compile_model(
     kind: ModelKind,
@@ -146,14 +163,16 @@ pub mod prelude {
     pub use hector_models::ModelKind;
     pub use hector_runtime::{
         Adam, BackendKind, Batch, Bindings, Bound, Engine, EngineBuilder, EpochReport, GraphData,
-        Minibatches, Mode, Optimizer, ParallelConfig, ParamStore, ProfileReport, Session, Sgd,
-        TraceConfig, Trainer,
+        HectorError, Minibatches, Mode, Optimizer, ParallelConfig, ParamStore, ProfileReport,
+        Session, Sgd, TraceConfig, Trainer,
     };
     pub use hector_tensor::{seeded_rng, Tensor};
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shim's behaviour stays pinned until removal
+
     use super::*;
 
     #[test]

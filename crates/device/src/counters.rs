@@ -204,6 +204,8 @@ pub struct ModuleCacheStats {
     pub hits: u64,
     /// Lookups that had to run the compiler pipeline.
     pub misses: u64,
+    /// Entries dropped by the byte-bounded LRU policy.
+    pub evictions: u64,
     /// Modules currently cached.
     pub entries: usize,
     /// Estimated footprint of the cached modules, bytes.
@@ -234,6 +236,7 @@ pub mod module_cache_probe {
 
     static HITS: AtomicU64 = AtomicU64::new(0);
     static MISSES: AtomicU64 = AtomicU64::new(0);
+    static EVICTIONS: AtomicU64 = AtomicU64::new(0);
     static ENTRIES: AtomicUsize = AtomicUsize::new(0);
     static BYTES: AtomicUsize = AtomicUsize::new(0);
 
@@ -247,6 +250,11 @@ pub mod module_cache_probe {
         MISSES.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one LRU eviction.
+    pub fn record_eviction() {
+        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Publishes the cache's current entry count and byte estimate.
     pub fn set_footprint(entries: usize, bytes: usize) {
         ENTRIES.store(entries, Ordering::Relaxed);
@@ -257,6 +265,7 @@ pub mod module_cache_probe {
     pub fn reset() {
         HITS.store(0, Ordering::Relaxed);
         MISSES.store(0, Ordering::Relaxed);
+        EVICTIONS.store(0, Ordering::Relaxed);
         ENTRIES.store(0, Ordering::Relaxed);
         BYTES.store(0, Ordering::Relaxed);
     }
@@ -267,6 +276,7 @@ pub mod module_cache_probe {
         ModuleCacheStats {
             hits: HITS.load(Ordering::Relaxed),
             misses: MISSES.load(Ordering::Relaxed),
+            evictions: EVICTIONS.load(Ordering::Relaxed),
             entries: ENTRIES.load(Ordering::Relaxed),
             bytes: BYTES.load(Ordering::Relaxed),
         }

@@ -80,6 +80,21 @@ impl BackendKind {
         }
     }
 
+    /// Fallible counterpart of [`BackendKind::from_name`]: parses a
+    /// backend name, reporting an unknown one as
+    /// [`HectorError::BackendUnavailable`](crate::HectorError::BackendUnavailable) instead of [`None`] — the
+    /// form server front ends and config loaders want.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HectorError::BackendUnavailable`](crate::HectorError::BackendUnavailable) for any name
+    /// [`BackendKind::from_name`] does not recognise.
+    pub fn parse(s: &str) -> Result<BackendKind, crate::HectorError> {
+        BackendKind::from_name(s).ok_or_else(|| crate::HectorError::BackendUnavailable {
+            name: s.to_string(),
+        })
+    }
+
     /// Backend selection from the environment: `HECTOR_BACKEND=interp`
     /// (default) or `HECTOR_BACKEND=specialized`.
     ///

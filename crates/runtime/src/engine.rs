@@ -14,11 +14,16 @@
 //! session's persistent run plan — the zero-allocation path — by
 //! construction.
 //!
+//! Every entry point is fallible — misuse (wrong graph, bad shapes,
+//! invalid configuration) comes back as a
+//! [`HectorError`](crate::HectorError), never a panic:
+//!
 //! ```
 //! use hector_graph::HeteroGraphBuilder;
 //! use hector_models::ModelKind;
-//! use hector_runtime::{Adam, EngineBuilder, GraphData};
+//! use hector_runtime::{Adam, EngineBuilder, GraphData, HectorError};
 //!
+//! # fn main() -> Result<(), HectorError> {
 //! let mut b = HeteroGraphBuilder::new();
 //! b.add_node_type(4);
 //! b.add_edge(0, 1, 0);
@@ -27,9 +32,9 @@
 //! let graph = GraphData::new(b.build());
 //!
 //! // Inference: build → bind → forward.
-//! let mut engine = EngineBuilder::new(ModelKind::Rgcn).dims(4, 4).seed(7).build();
-//! let mut bound = engine.bind(&graph);
-//! let report = bound.forward().expect("fits");
+//! let mut engine = EngineBuilder::new(ModelKind::Rgcn).dims(4, 4).seed(7).build()?;
+//! let mut bound = engine.bind(&graph)?;
+//! let report = bound.forward()?;
 //! assert!(report.elapsed_us > 0.0);
 //! assert_eq!(bound.output().rows(), 4);
 //!
@@ -37,10 +42,12 @@
 //! let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
 //!     .dims(4, 4)
 //!     .seed(7)
-//!     .build_trainer(Adam::new(0.01));
-//! trainer.bind(&graph);
-//! let epoch = trainer.epoch(3).expect("fits");
+//!     .build_trainer(Adam::new(0.01))?;
+//! trainer.bind(&graph)?;
+//! let epoch = trainer.epoch(3)?;
 //! assert_eq!(epoch.losses.len(), 3);
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! # Seed contract
@@ -59,8 +66,9 @@
 use std::sync::Arc;
 
 use hector_compiler::{CompileOptions, CompiledModule, ModuleCache};
-use hector_device::{Device, DeviceConfig, OomError};
+use hector_device::{Device, DeviceConfig};
 use hector_ir::builder::ModelSource;
+use hector_ir::Program;
 use hector_models::{stacked, ModelKind};
 use hector_par::ParallelConfig;
 use hector_tensor::{seeded_rng, Tensor};
@@ -70,6 +78,7 @@ use hector_trace::{TraceConfig, TraceEvent};
 use hector_graph::SamplerConfig;
 
 use crate::backend::BackendKind;
+use crate::error::HectorError;
 use crate::loss::random_labels;
 use crate::minibatch::{Batch, BatchSource, Minibatches};
 use crate::optim::Optimizer;
@@ -138,7 +147,13 @@ impl EngineBuilder {
     /// [`EngineBuilder::classes`] overrides it.
     #[must_use]
     pub fn from_source(src: ModelSource) -> EngineBuilder {
-        let out_w = src.program.var(src.program.outputs[0]).width;
+        // A source with no outputs is rejected with `CompileError` at
+        // `build()`, not here — builders must be constructible.
+        let out_w = src
+            .program
+            .outputs
+            .first()
+            .map_or(0, |&v| src.program.var(v).width);
         EngineBuilder {
             spec: ModelSpec::Custom(Box::new(src)),
             in_dim: 0,
@@ -302,15 +317,44 @@ impl EngineBuilder {
     /// zero compilations — check [`Engine::was_cache_hit`] or
     /// `counters().module_cache()`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`HectorError::InvalidConfig`] on invalid `layers`
+    /// (zero, or `layers > 1` on a custom source) or when
+    /// [`EngineBuilder::classes`] exceeds the model's output width (NLL
+    /// labels index the output logits — failing here beats a confusing
+    /// panic inside the first training step),
+    /// [`HectorError::CompileError`] when a custom source declares no
+    /// outputs, and the session's configuration errors (see
+    /// [`Session::with_backend`]).
+    ///
     /// # Panics
     ///
     /// Panics if the model source violates IR invariants (compiler
-    /// contract), on invalid `layers` (see [`EngineBuilder::source`]),
-    /// or if [`EngineBuilder::classes`] exceeds the model's output
-    /// width (NLL labels index the output logits — failing here beats a
-    /// confusing panic inside the first training step).
-    #[must_use]
-    pub fn build(self) -> Engine {
+    /// contract — a malformed program is a bug in the source builder,
+    /// not a recoverable condition).
+    pub fn build(self) -> Result<Engine, HectorError> {
+        if self.layers == 0 {
+            return Err(HectorError::InvalidConfig {
+                detail: "layers(0): a model needs at least one layer".into(),
+            });
+        }
+        if let ModelSpec::Custom(src) = &self.spec {
+            if self.layers != 1 {
+                return Err(HectorError::InvalidConfig {
+                    detail: format!(
+                        "layers({}) applies to built-in model kinds; \
+                         stack custom sources in the DSL",
+                        self.layers
+                    ),
+                });
+            }
+            if src.program.outputs.is_empty() {
+                return Err(HectorError::CompileError {
+                    detail: format!("model '{}' declares no outputs", src.program.name),
+                });
+            }
+        }
         let trace = self
             .trace
             .clone()
@@ -325,19 +369,22 @@ impl EngineBuilder {
         let out_width = module.forward.var(module.forward.outputs[0]).width;
         let classes = match self.classes {
             Some(c) => {
-                assert!(
-                    c >= 1 && c <= out_width,
-                    "classes ({c}) must be in 1..={out_width} (the model's output width): \
-                     NLL labels index the output logits"
-                );
+                if c < 1 || c > out_width {
+                    return Err(HectorError::InvalidConfig {
+                        detail: format!(
+                            "classes ({c}) must be in 1..={out_width} (the model's output \
+                             width): NLL labels index the output logits"
+                        ),
+                    });
+                }
                 c
             }
             None => out_width,
         };
         let par = self.par.unwrap_or_else(ParallelConfig::from_env);
         let backend = self.backend.unwrap_or_else(BackendKind::from_env);
-        let session = Session::with_backend(self.device, self.mode, par, backend);
-        Engine {
+        let session = Session::with_backend(self.device, self.mode, par, backend)?;
+        Ok(Engine {
             module,
             session,
             seed: self.seed,
@@ -346,23 +393,29 @@ impl EngineBuilder {
             state: None,
             trace,
             last_trace: Vec::new(),
-        }
+        })
     }
 
     /// Builds a [`Trainer`]: an engine compiled for training plus the
     /// optimizer. Loss is the paper's NLL against seeded random labels
     /// (§4.1); override the labels with [`Trainer::set_labels`].
-    #[must_use]
-    pub fn build_trainer<O: Optimizer + 'static>(self, optimizer: O) -> Trainer {
-        let engine = self.training(true).build();
-        Trainer {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineBuilder::build`]'s errors.
+    pub fn build_trainer<O: Optimizer + 'static>(
+        self,
+        optimizer: O,
+    ) -> Result<Trainer, HectorError> {
+        let engine = self.training(true).build()?;
+        Ok(Trainer {
             engine,
             optimizer: Box::new(optimizer),
             labels: Vec::new(),
             labels_pinned: false,
             steps: 0,
             last_loss: None,
-        }
+        })
     }
 }
 
@@ -451,14 +504,25 @@ impl Engine {
     /// or a new one — restarts from freshly seeded parameters; the
     /// session's run plan and scratch arena persist and are reused
     /// shape-compatibly.
-    pub fn bind(&mut self, graph: &GraphData) -> Bound<'_> {
-        let _ = self.bind_internal(graph);
-        Bound { engine: self }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HectorError::GraphMismatch`] for a graph this model
+    /// cannot run on (no nodes — there is nothing to derive parameters
+    /// or features over).
+    pub fn bind(&mut self, graph: &GraphData) -> Result<Bound<'_>, HectorError> {
+        let _ = self.bind_internal(graph)?;
+        Ok(Bound { engine: self })
     }
 
     /// Seed-contract steps 1–2; returns the RNG so [`Trainer::bind`]
     /// can continue the same stream for label derivation (step 3).
-    fn bind_internal(&mut self, graph: &GraphData) -> rand::rngs::StdRng {
+    fn bind_internal(&mut self, graph: &GraphData) -> Result<rand::rngs::StdRng, HectorError> {
+        if graph.graph().num_nodes() == 0 {
+            return Err(HectorError::GraphMismatch {
+                detail: "cannot bind an empty graph (zero nodes)".into(),
+            });
+        }
         let mut rng = seeded_rng(self.seed);
         let params = ParamStore::init(&self.module.forward, graph, &mut rng);
         let bindings = match self.session.mode() {
@@ -470,7 +534,7 @@ impl Engine {
             params,
             bindings,
         });
-        rng
+        Ok(rng)
     }
 
     /// The current binding, if [`Engine::bind`] was called.
@@ -540,13 +604,16 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when the run exceeds device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no graph is bound.
-    pub fn forward(&mut self) -> Result<RunReport, OomError> {
-        let state = self.state.as_mut().expect("Engine::bind a graph first");
+    /// Returns [`HectorError::GraphMismatch`] when no graph is bound,
+    /// [`HectorError::InvalidConfig`] /
+    /// [`HectorError::ShapeMismatch`] for missing or mis-shaped input
+    /// bindings, and [`HectorError::Oom`] when the run exceeds device
+    /// memory.
+    pub fn forward(&mut self) -> Result<RunReport, HectorError> {
+        let state = self.state.as_mut().ok_or_else(not_bound)?;
+        if self.session.mode() == Mode::Real {
+            validate_bindings(&self.module.forward, &state.graph, &state.bindings)?;
+        }
         let (_, report) = self.session.forward(
             &self.module,
             &state.graph,
@@ -561,18 +628,23 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when the run exceeds device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no graph is bound or the module was not compiled for
-    /// training.
+    /// Returns [`HectorError::GraphMismatch`] when no graph is bound,
+    /// [`HectorError::InvalidConfig`] when the module was not compiled
+    /// for training or a label is out of class range,
+    /// [`HectorError::ShapeMismatch`] for a label vector that does not
+    /// cover the graph's nodes (real mode), and [`HectorError::Oom`]
+    /// when the run exceeds device memory.
     pub fn train_step(
         &mut self,
         labels: &[usize],
         optimizer: &mut dyn Optimizer,
-    ) -> Result<RunReport, OomError> {
-        let state = self.state.as_mut().expect("Engine::bind a graph first");
+    ) -> Result<RunReport, HectorError> {
+        self.check_trainable()?;
+        let state = self.state.as_mut().ok_or_else(not_bound)?;
+        if self.session.mode() == Mode::Real {
+            validate_bindings(&self.module.forward, &state.graph, &state.bindings)?;
+            validate_labels(&self.module.forward, &state.graph, labels)?;
+        }
         let (_, report) = self.session.train_step(
             &self.module,
             &state.graph,
@@ -593,20 +665,37 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when the run exceeds device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no graph is bound or the module was not compiled for
-    /// training.
+    /// Everything [`Engine::train_step`] reports, plus
+    /// [`HectorError::GraphMismatch`] when the subgraph's node/edge type
+    /// counts differ from the bound graph's (the parameter shapes would
+    /// not match).
     pub fn train_step_on(
         &mut self,
         graph: &GraphData,
         bindings: &Bindings,
         labels: &[usize],
         optimizer: &mut dyn Optimizer,
-    ) -> Result<RunReport, OomError> {
-        let state = self.state.as_mut().expect("Engine::bind a graph first");
+    ) -> Result<RunReport, HectorError> {
+        self.check_trainable()?;
+        let state = self.state.as_mut().ok_or_else(not_bound)?;
+        let (bg, sg) = (state.graph.graph(), graph.graph());
+        if sg.num_node_types() != bg.num_node_types() || sg.num_edge_types() != bg.num_edge_types()
+        {
+            return Err(HectorError::GraphMismatch {
+                detail: format!(
+                    "subgraph declares {}/{} node/edge types but the bound graph has {}/{} \
+                     (parameter shapes would not match)",
+                    sg.num_node_types(),
+                    sg.num_edge_types(),
+                    bg.num_node_types(),
+                    bg.num_edge_types()
+                ),
+            });
+        }
+        if self.session.mode() == Mode::Real {
+            validate_bindings(&self.module.forward, graph, bindings)?;
+            validate_labels(&self.module.forward, graph, labels)?;
+        }
         let (_, report) = self.session.train_step(
             &self.module,
             graph,
@@ -616,6 +705,19 @@ impl Engine {
             optimizer,
         )?;
         Ok(report)
+    }
+
+    /// [`HectorError::InvalidConfig`] unless the module was compiled
+    /// for training.
+    fn check_trainable(&self) -> Result<(), HectorError> {
+        if self.module.backward.is_none() {
+            return Err(HectorError::InvalidConfig {
+                detail: "module was not compiled for training \
+                         (build with .training(true) or build_trainer)"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 
     /// The run plan's variable store after the latest run (outputs live
@@ -713,6 +815,65 @@ impl Engine {
     }
 }
 
+/// The "run before bind" misuse error, shared by every run method.
+fn not_bound() -> HectorError {
+    HectorError::GraphMismatch {
+        detail: "no graph is bound (call Engine::bind first)".into(),
+    }
+}
+
+/// Pre-validates real-mode input bindings against the program and
+/// graph, so misuse surfaces as a [`HectorError`] here instead of a
+/// panic inside the session (whose own checks remain internal-invariant
+/// panics — the engine path has already screened caller input).
+fn validate_bindings(
+    program: &Program,
+    graph: &GraphData,
+    bindings: &Bindings,
+) -> Result<(), HectorError> {
+    for &v in &program.inputs {
+        let info = program.var(v);
+        let rows = graph.rows_of_space(info.space);
+        let Some(t) = bindings.get(&info.name) else {
+            return Err(HectorError::InvalidConfig {
+                detail: format!("missing input binding '{}'", info.name),
+            });
+        };
+        if t.shape() != [rows, info.width] {
+            return Err(HectorError::ShapeMismatch {
+                what: format!("input '{}'", info.name),
+                expected: format!("[{rows}, {}]", info.width),
+                got: format!("{:?}", t.shape()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pre-validates a real-mode label vector: one label per node, each
+/// indexing within the model's output logits.
+fn validate_labels(
+    program: &Program,
+    graph: &GraphData,
+    labels: &[usize],
+) -> Result<(), HectorError> {
+    let nodes = graph.graph().num_nodes();
+    if labels.len() != nodes {
+        return Err(HectorError::ShapeMismatch {
+            what: "labels".into(),
+            expected: format!("[{nodes}] (one label per node)"),
+            got: format!("[{}]", labels.len()),
+        });
+    }
+    let width = program.var(program.outputs[0]).width;
+    if let Some(&bad) = labels.iter().find(|&&l| l >= width) {
+        return Err(HectorError::InvalidConfig {
+            detail: format!("label {bad} is out of range for {width} output logits"),
+        });
+    }
+    Ok(())
+}
+
 impl Drop for Engine {
     /// Exports the configured trace on teardown: with
     /// `HECTOR_TRACE=<out.json>` (or a [`TraceConfig`] `out_path` on
@@ -744,8 +905,8 @@ impl Bound<'_> {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when the run exceeds device memory.
-    pub fn forward(&mut self) -> Result<RunReport, OomError> {
+    /// See [`Engine::forward`].
+    pub fn forward(&mut self) -> Result<RunReport, HectorError> {
         self.engine.forward()
     }
 
@@ -857,9 +1018,13 @@ impl Trainer {
     /// the pinned labels — they cannot index the new nodes — and falls
     /// back to seed-derived ones, un-pinning. Pinned by
     /// `set_labels_survive_rebind` / `rebind_different_size_rederives`.
-    pub fn bind(&mut self, graph: &GraphData) -> &mut Trainer {
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::bind`].
+    pub fn bind(&mut self, graph: &GraphData) -> Result<&mut Trainer, HectorError> {
         let classes = self.engine.classes;
-        let mut rng = self.engine.bind_internal(graph);
+        let mut rng = self.engine.bind_internal(graph)?;
         let keep_pinned = self.labels_pinned
             && self.engine.mode() == Mode::Real
             && self.labels.len() == graph.graph().num_nodes();
@@ -873,19 +1038,17 @@ impl Trainer {
         self.optimizer.reset();
         self.steps = 0;
         self.last_loss = None;
-        self
+        Ok(self)
     }
 
     /// Runs one training step.
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when the run exceeds device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no graph is bound.
-    pub fn step(&mut self) -> Result<RunReport, OomError> {
+    /// See [`Engine::train_step`] (binding a graph first is on the
+    /// caller: an unbound trainer reports
+    /// [`HectorError::GraphMismatch`]).
+    pub fn step(&mut self) -> Result<RunReport, HectorError> {
         let report = self
             .engine
             .train_step(&self.labels, self.optimizer.as_mut())?;
@@ -898,13 +1061,14 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when any step exceeds device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0` or no graph is bound.
-    pub fn epoch(&mut self, n: usize) -> Result<EpochReport, OomError> {
-        assert!(n > 0, "an epoch needs at least one step");
+    /// Returns [`HectorError::InvalidConfig`] for `n == 0`, plus
+    /// everything [`Trainer::step`] reports.
+    pub fn epoch(&mut self, n: usize) -> Result<EpochReport, HectorError> {
+        if n == 0 {
+            return Err(HectorError::InvalidConfig {
+                detail: "an epoch needs at least one step".into(),
+            });
+        }
         let mut losses = Vec::with_capacity(n);
         let mut last = None;
         for _ in 0..n {
@@ -924,12 +1088,8 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when the run exceeds device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no graph is bound.
-    pub fn forward(&mut self) -> Result<RunReport, OomError> {
+    /// See [`Engine::forward`].
+    pub fn forward(&mut self) -> Result<RunReport, HectorError> {
         self.engine.forward()
     }
 
@@ -984,12 +1144,8 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when the run exceeds device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no graph is bound.
-    pub fn train_batch(&mut self, batch: &Batch) -> Result<RunReport, OomError> {
+    /// See [`Engine::train_step_on`].
+    pub fn train_batch(&mut self, batch: &Batch) -> Result<RunReport, HectorError> {
         let report = self.engine.train_step_on(
             &batch.graph,
             &batch.bindings,
@@ -1015,12 +1171,14 @@ impl Trainer {
     ///
     /// # Errors
     ///
-    /// Returns [`OomError`] when any step exceeds device memory.
+    /// Everything [`Trainer::train_batch`] reports.
     ///
     /// # Panics
     ///
-    /// Panics if no graph is bound or the bound graph has no nodes.
-    pub fn minibatch_epoch(&mut self, cfg: &SamplerConfig) -> Result<EpochReport, OomError> {
+    /// Panics if no graph is bound (bound graphs are never empty —
+    /// [`Engine::bind`] rejects zero-node graphs — so a mini-batch
+    /// epoch always has at least one batch).
+    pub fn minibatch_epoch(&mut self, cfg: &SamplerConfig) -> Result<EpochReport, HectorError> {
         let batches = self.minibatch(cfg);
         assert!(
             batches.num_batches() > 0,
@@ -1127,7 +1285,7 @@ impl Trainer {
 mod tests {
     use super::*;
     use crate::{Adam, Sgd};
-    use hector_graph::{generate, DatasetSpec};
+    use hector_graph::{generate, DatasetSpec, HeteroGraphBuilder};
 
     fn graph() -> GraphData {
         GraphData::new(generate(&DatasetSpec {
@@ -1143,6 +1301,8 @@ mod tests {
     }
 
     #[test]
+    // The legacy flow is exactly what this test pins the engine against.
+    #[allow(deprecated)]
     fn engine_forward_matches_legacy_session_flow() {
         let graph = graph();
         let opts = CompileOptions::best();
@@ -1152,8 +1312,9 @@ mod tests {
                 .options(opts.clone())
                 .parallel(ParallelConfig::sequential())
                 .seed(3)
-                .build();
-            let report = engine.bind(&graph).forward().expect("fits");
+                .build()
+                .unwrap();
+            let report = engine.bind(&graph).unwrap().forward().expect("fits");
             assert!(report.elapsed_us > 0.0);
 
             // Legacy flow with the same seed discipline.
@@ -1184,8 +1345,9 @@ mod tests {
         let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
             .dims(8, 8)
             .seed(5)
-            .build_trainer(Sgd::new(0.3));
-        trainer.bind(&graph);
+            .build_trainer(Sgd::new(0.3))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         let epoch = trainer.epoch(10).expect("fits");
         assert_eq!(epoch.losses.len(), 10);
         assert_eq!(trainer.steps(), 10);
@@ -1203,10 +1365,11 @@ mod tests {
         let mut trainer = EngineBuilder::new(ModelKind::Rgat)
             .dims(6, 6)
             .seed(11)
-            .build_trainer(Adam::new(0.02));
-        trainer.bind(&graph);
+            .build_trainer(Adam::new(0.02))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         let first: Vec<f32> = trainer.epoch(3).unwrap().losses;
-        trainer.bind(&graph);
+        trainer.bind(&graph).unwrap();
         let second: Vec<f32> = trainer.epoch(3).unwrap().losses;
         assert_eq!(first, second, "rebind must restart from the seed");
     }
@@ -1221,8 +1384,9 @@ mod tests {
         let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
             .dims(8, 8)
             .mode(Mode::Modeled)
-            .build_trainer(Sgd::new(0.1));
-        trainer.bind(&graph);
+            .build_trainer(Sgd::new(0.1))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         let epoch = trainer.epoch(4).expect("fits");
         assert_eq!(epoch.steps, 4, "steps count in modeled mode");
         assert!(epoch.losses.is_empty(), "no loss is computed there");
@@ -1234,8 +1398,9 @@ mod tests {
         let mut real = EngineBuilder::new(ModelKind::Rgcn)
             .dims(8, 8)
             .seed(3)
-            .build_trainer(Sgd::new(0.1));
-        real.bind(&graph);
+            .build_trainer(Sgd::new(0.1))
+            .unwrap();
+        real.bind(&graph).unwrap();
         let epoch = real.epoch(4).expect("fits");
         assert_eq!(epoch.steps, 4);
         assert_eq!(epoch.losses.len(), 4);
@@ -1249,14 +1414,15 @@ mod tests {
         let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
             .dims(8, 8)
             .seed(5)
-            .build_trainer(Sgd::new(0.1));
-        trainer.bind(&graph);
+            .build_trainer(Sgd::new(0.1))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         assert!(!trainer.labels_pinned(), "derived labels are not pinned");
         let custom: Vec<usize> = (0..n).map(|i| i % 3).collect();
         trainer.set_labels(custom.clone());
         assert!(trainer.labels_pinned());
         // Rebind to restart training: custom labels must survive.
-        trainer.bind(&graph);
+        trainer.bind(&graph).unwrap();
         assert_eq!(
             trainer.labels(),
             &custom[..],
@@ -1271,8 +1437,9 @@ mod tests {
         let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
             .dims(8, 8)
             .seed(5)
-            .build_trainer(Sgd::new(0.1));
-        trainer.bind(&graph);
+            .build_trainer(Sgd::new(0.1))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         trainer.set_labels(vec![0; graph.graph().num_nodes()]);
         // A graph with a different node count cannot keep the pinned
         // labels — they must be re-derived and un-pinned.
@@ -1286,7 +1453,7 @@ mod tests {
             type_skew: 1.0,
             seed: 8,
         }));
-        trainer.bind(&other);
+        trainer.bind(&other).unwrap();
         assert_eq!(trainer.labels().len(), other.graph().num_nodes());
         assert!(!trainer.labels_pinned(), "mismatched rebind un-pins");
         assert!(trainer.labels().iter().any(|&l| l != 0), "re-derived");
@@ -1299,8 +1466,9 @@ mod tests {
             .dims(8, 8)
             .seed(7)
             .parallel(ParallelConfig::sequential())
-            .build_trainer(Adam::new(0.01));
-        trainer.bind(&graph);
+            .build_trainer(Adam::new(0.01))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         let cfg = SamplerConfig::new(16).fanouts(&[4, 3]);
         let report = trainer.minibatch_epoch(&cfg).expect("fits");
         let expected = graph.graph().num_nodes().div_ceil(16);
@@ -1321,9 +1489,10 @@ mod tests {
             .hidden(10)
             .layers(3)
             .seed(2)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(engine.module().forward.weights.len(), 6);
-        let mut bound = engine.bind(&graph);
+        let mut bound = engine.bind(&graph).unwrap();
         bound.forward().expect("fits");
         assert_eq!(bound.output().cols(), 4);
     }
@@ -1334,8 +1503,9 @@ mod tests {
         let mut engine = EngineBuilder::new(ModelKind::Hgt)
             .dims(16, 16)
             .mode(Mode::Modeled)
-            .build();
-        let report = engine.bind(&graph).forward().expect("fits");
+            .build()
+            .unwrap();
+        let report = engine.bind(&graph).unwrap().forward().expect("fits");
         assert!(report.elapsed_us > 0.0);
         assert!(report.peak_bytes > 0);
     }
@@ -1350,18 +1520,102 @@ mod tests {
         let y = m.typed_linear("y", m.src(h), w);
         let out = m.aggregate("out", m.edge(y), None, AggNorm::None);
         m.output(out);
-        let mut engine = EngineBuilder::from_source(m.finish()).seed(9).build();
-        engine.bind(&graph).forward().expect("fits");
+        let mut engine = EngineBuilder::from_source(m.finish())
+            .seed(9)
+            .build()
+            .unwrap();
+        engine.bind(&graph).unwrap().forward().expect("fits");
         assert_eq!(engine.output().cols(), 8);
     }
 
     #[test]
-    #[should_panic(expected = "classes")]
     fn classes_beyond_output_width_fail_at_build() {
-        let _ = EngineBuilder::new(ModelKind::Rgcn)
+        let err = EngineBuilder::new(ModelKind::Rgcn)
             .dims(16, 4)
             .classes(8)
-            .build();
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, HectorError::InvalidConfig { detail } if detail.contains("classes")),
+            "want InvalidConfig about classes, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_layers_fail_at_build() {
+        let err = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .layers(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HectorError::InvalidConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn forward_before_bind_is_an_error_not_a_panic() {
+        let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .build()
+            .unwrap();
+        let err = engine.forward().unwrap_err();
+        assert!(matches!(err, HectorError::GraphMismatch { .. }), "{err:?}");
+        assert_eq!(err.kind(), "graph_mismatch");
+    }
+
+    #[test]
+    fn binding_an_empty_graph_is_a_graph_mismatch() {
+        let empty = GraphData::new(HeteroGraphBuilder::new().build());
+        let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .build()
+            .unwrap();
+        let err = engine.bind(&empty).unwrap_err();
+        assert!(matches!(err, HectorError::GraphMismatch { .. }), "{err:?}");
+        assert!(!engine.is_bound(), "a failed bind must not half-bind");
+    }
+
+    #[test]
+    fn untrained_module_rejects_train_step() {
+        let graph = graph();
+        let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .build()
+            .unwrap();
+        engine.bind(&graph).unwrap();
+        let mut opt = Sgd::new(0.1);
+        let labels = vec![0usize; graph.graph().num_nodes()];
+        let err = engine.train_step(&labels, &mut opt).unwrap_err();
+        assert!(matches!(err, HectorError::InvalidConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_label_count_is_a_shape_mismatch() {
+        let graph = graph();
+        let mut trainer = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .build_trainer(Sgd::new(0.1))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
+        let err = trainer
+            .engine_mut()
+            .train_step(&[0usize; 3], &mut Sgd::new(0.1))
+            .unwrap_err();
+        assert!(matches!(err, HectorError::ShapeMismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn misshapen_binding_is_a_shape_mismatch() {
+        let graph = graph();
+        let mut engine = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .build()
+            .unwrap();
+        engine.bind(&graph).unwrap();
+        let mut bad = engine.bindings().clone();
+        bad.set("h", Tensor::zeros(&[3, 3]));
+        engine.set_bindings(bad);
+        let err = engine.forward().unwrap_err();
+        assert!(matches!(err, HectorError::ShapeMismatch { .. }), "{err:?}");
     }
 
     #[test]
@@ -1385,11 +1639,13 @@ mod tests {
         let a = EngineBuilder::new(ModelKind::Rgat)
             .dims(13, 13)
             .options(opts.clone())
-            .build();
+            .build()
+            .unwrap();
         let b = EngineBuilder::new(ModelKind::Rgat)
             .dims(13, 13)
             .options(opts)
-            .build();
+            .build()
+            .unwrap();
         assert!(
             b.was_cache_hit(),
             "second identical engine must not compile"

@@ -36,6 +36,7 @@
 pub mod backend;
 pub mod cost;
 mod engine;
+mod error;
 mod exec;
 mod graphdata;
 mod loss;
@@ -49,6 +50,7 @@ mod store;
 
 pub use backend::{Backend, BackendCaps, BackendKind, ExecCtx, ExecPlan};
 pub use engine::{Bound, Engine, EngineBuilder, EpochReport, Trainer};
+pub use error::HectorError;
 pub use graphdata::GraphData;
 pub use hector_graph::{NeighborSampler, SampledBatch, SamplerConfig, Subgraph};
 pub use hector_par::{chunk_ranges, ParallelConfig, PoolStats};

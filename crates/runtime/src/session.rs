@@ -27,6 +27,7 @@ use hector_trace::{record_span, span_start, SpanCat};
 
 use crate::backend::{self, Backend, BackendKind, ExecCtx, ExecPlan};
 use crate::cost::{kernel_cost, var_bytes};
+use crate::error::HectorError;
 use crate::exec::kernel_trace_meta;
 use crate::loss::nll_loss_and_grad_into;
 use crate::optim::Optimizer;
@@ -302,33 +303,51 @@ impl Session {
     /// is created); any higher count executes real-mode kernels across a
     /// work-stealing pool with outputs bit-identical to the sequential
     /// path (see the `par_exec` module docs for the merge-order scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `par` (zero threads / zero chunk rows — use
+    /// [`Session::with_backend`] for the fallible form) or if
+    /// `HECTOR_BACKEND` is set to an unrecognised value (see
+    /// [`BackendKind::from_env`]).
     #[must_use]
     pub fn with_parallel(config: DeviceConfig, mode: Mode, par: ParallelConfig) -> Session {
         Session::with_backend(config, mode, par, BackendKind::from_env())
+            .expect("valid parallel configuration")
     }
 
     /// Creates a session with an explicit parallel configuration and
     /// execution backend (overriding `HECTOR_BACKEND`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `HECTOR_BACKEND` is set to an unrecognised value when
-    /// reached through [`Session::with_parallel`] /
-    /// [`Session::new`] (see [`BackendKind::from_env`]).
-    #[must_use]
+    /// Returns [`HectorError::InvalidConfig`] for a [`ParallelConfig`]
+    /// with zero worker threads or zero minimum chunk rows (both would
+    /// deadlock or divide by zero downstream; environment-derived
+    /// configurations are always valid — this guards hand-built ones).
     pub fn with_backend(
         config: DeviceConfig,
         mode: Mode,
         par: ParallelConfig,
         kind: BackendKind,
-    ) -> Session {
+    ) -> Result<Session, HectorError> {
+        if par.num_threads == 0 {
+            return Err(HectorError::InvalidConfig {
+                detail: "ParallelConfig.num_threads must be >= 1".into(),
+            });
+        }
+        if par.min_chunk_rows == 0 {
+            return Err(HectorError::InvalidConfig {
+                detail: "ParallelConfig.min_chunk_rows must be >= 1".into(),
+            });
+        }
         let pool = if mode == Mode::Real {
             ThreadPool::from_config(&par)
         } else {
             None
         };
         hector_trace::set_backend_label(kind.name());
-        Session {
+        Ok(Session {
             device: Device::new(config),
             mode,
             par,
@@ -338,7 +357,7 @@ impl Session {
             backend: backend::create(kind),
             exec_plan: None,
             plan: RunPlan::default(),
-        }
+        })
     }
 
     /// The execution backend this session runs kernels on.
@@ -801,6 +820,11 @@ impl Session {
     /// # Panics
     ///
     /// Panics in real mode if an input binding is missing or mis-shaped.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EngineBuilder: build() → bind() → forward() wires the module cache, \
+                seeding, and the allocation-free plan path, and reports misuse as HectorError"
+    )]
     pub fn run_inference(
         &mut self,
         module: &CompiledModule,
@@ -868,6 +892,12 @@ impl Session {
     ///
     /// Panics if the module was not compiled with training enabled, or in
     /// real mode if labels/bindings are inconsistent.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EngineBuilder: build_trainer() → bind() → step() wires the module \
+                cache, seeding, labels, and the allocation-free plan path, and reports \
+                misuse as HectorError"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn run_training_step(
         &mut self,
@@ -950,6 +980,8 @@ impl Session {
 }
 
 #[cfg(test)]
+// These tests pin the legacy (deprecated) run_* surface on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hector_compiler::{compile, CompileOptions};

@@ -3,6 +3,10 @@
 //! runtime level; the model-level checks live in the workspace-root
 //! `gradients.rs` integration test).
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector_compiler::{compile, CompileOptions};
 use hector_device::DeviceConfig;
 use hector_graph::HeteroGraphBuilder;

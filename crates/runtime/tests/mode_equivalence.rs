@@ -4,6 +4,10 @@
 //! (This is what makes the paper-scale modeled experiments trustworthy:
 //! they report exactly what a real-mode run would have reported.)
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector_compiler::{compile, CompileOptions};
 use hector_device::DeviceConfig;
 use hector_graph::{generate, DatasetSpec};

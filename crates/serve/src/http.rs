@@ -1,0 +1,390 @@
+//! Minimal vendored HTTP/1.1 front end over `std::net::TcpListener`.
+//!
+//! The serving core is the in-process [`ServeHandle`]
+//! API; this module adds just enough wire protocol for out-of-process
+//! callers and smoke tools — one acceptor thread handing connections to
+//! a small worker pool, GET-only routing, hand-rolled JSON. No async
+//! runtime, no external dependencies.
+//!
+//! Routes:
+//!
+//! * `GET /healthz` — liveness probe, `200 ok`.
+//! * `GET /stats` — per-deployment serving counters as JSON.
+//! * `GET /infer/<deployment>/<node>` — single-node inference; the
+//!   response carries the output row, serving engine version, and the
+//!   coalescing factor of the traversal that served it.
+//!
+//! Serving-policy outcomes map onto status codes: shed load is `503`
+//! with a `Retry-After` header, queue expiry is `504`, an unknown
+//! deployment is `404`, malformed requests are `400`, and engine errors
+//! are `500` with the [`HectorError`](hector_runtime::HectorError)
+//! rendered in the body.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::{ServeError, ServeHandle};
+
+struct ConnQueue {
+    conns: Mutex<Vec<TcpStream>>,
+    cv: Condvar,
+}
+
+/// A running HTTP front end bound to a local address.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and
+    /// serves requests against `handle` with one acceptor plus
+    /// `workers` request threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(handle: ServeHandle, addr: &str, workers: usize) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue {
+            conns: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("hector-serve-accept".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            match listener.accept() {
+                                Ok((conn, _)) => {
+                                    queue.conns.lock().expect("conn lock").push(conn);
+                                    queue.cv.notify_one();
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        queue.cv.notify_all();
+                    })
+                    .expect("spawn acceptor"),
+            );
+        }
+        for i in 0..workers.max(1) {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let handle = handle.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hector-serve-http-{i}"))
+                    .spawn(move || loop {
+                        let conn = {
+                            let mut g = queue.conns.lock().expect("conn lock");
+                            loop {
+                                if let Some(c) = g.pop() {
+                                    break c;
+                                }
+                                if stop.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                                let (guard, _) = queue
+                                    .cv
+                                    .wait_timeout(g, Duration::from_millis(20))
+                                    .expect("conn lock");
+                                g = guard;
+                            }
+                        };
+                        let _ = serve_connection(conn, &handle);
+                    })
+                    .expect("spawn http worker"),
+            );
+        }
+        Ok(HttpServer {
+            addr,
+            stop,
+            threads,
+        })
+    }
+
+    /// The bound local address (resolved port for `:0` binds).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor and workers; in-progress responses finish.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(conn: TcpStream, handle: &ServeHandle) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; the API is GET-only so bodies are ignored.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, headers, body) = if method != "GET" {
+        (405, Vec::new(), "{\"error\":\"GET only\"}\n".to_string())
+    } else {
+        route(path, handle)
+    };
+    respond(conn, status, &headers, &body)
+}
+
+fn route(path: &str, handle: &ServeHandle) -> (u16, Vec<String>, String) {
+    match path {
+        "/healthz" => (200, Vec::new(), "ok\n".to_string()),
+        "/stats" => (200, Vec::new(), stats_json(handle)),
+        _ => {
+            let Some(rest) = path.strip_prefix("/infer/") else {
+                return (404, Vec::new(), "{\"error\":\"no such route\"}\n".into());
+            };
+            let Some((dep, node)) = rest.rsplit_once('/') else {
+                return (
+                    400,
+                    Vec::new(),
+                    "{\"error\":\"use /infer/<deployment>/<node>\"}\n".into(),
+                );
+            };
+            let Ok(node) = node.parse::<usize>() else {
+                return (
+                    400,
+                    Vec::new(),
+                    "{\"error\":\"node must be an integer\"}\n".into(),
+                );
+            };
+            match handle.submit(dep, node).map(crate::Ticket::wait) {
+                Ok(Ok(resp)) => {
+                    let row: Vec<String> = resp.rows[0].iter().map(|v| format!("{v}")).collect();
+                    (
+                        200,
+                        Vec::new(),
+                        format!(
+                            "{{\"deployment\":\"{dep}\",\"node\":{node},\"version\":{},\"coalesced\":{},\"row\":[{}]}}\n",
+                            resp.version,
+                            resp.coalesced,
+                            row.join(",")
+                        ),
+                    )
+                }
+                Ok(Err(e)) | Err(e) => error_response(&e),
+            }
+        }
+    }
+}
+
+fn error_response(e: &ServeError) -> (u16, Vec<String>, String) {
+    let (status, headers) = match e {
+        ServeError::UnknownDeployment(_) => (404, Vec::new()),
+        ServeError::BadRequest(_) => (400, Vec::new()),
+        ServeError::Overloaded { retry_after } => {
+            let secs = retry_after.as_secs_f64().ceil().max(1.0) as u64;
+            (503, vec![format!("Retry-After: {secs}")])
+        }
+        ServeError::Timeout => (504, Vec::new()),
+        ServeError::ShuttingDown => (503, vec!["Retry-After: 1".to_string()]),
+        ServeError::Hector(_) => (500, Vec::new()),
+    };
+    (status, headers, format!("{{\"error\":\"{e}\"}}\n"))
+}
+
+fn stats_json(handle: &ServeHandle) -> String {
+    let mut out = String::from("{");
+    for (i, name) in handle.deployments().iter().enumerate() {
+        let Some(s) = handle.stats(name) else {
+            continue;
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{name}\":{{\"submitted\":{},\"completed\":{},\"shed\":{},\"timed_out\":{},\"failed\":{},\"forwards\":{},\"coalesced_requests\":{},\"coalescing_factor\":{:.3},\"swaps\":{},\"version\":{}}}",
+            s.submitted,
+            s.completed,
+            s.shed,
+            s.timed_out,
+            s.failed,
+            s.forwards,
+            s.coalesced_requests,
+            s.coalescing_factor(),
+            s.swaps,
+            s.version
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn respond(
+    mut conn: TcpStream,
+    status: u16,
+    headers: &[String],
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for h in headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use hector_graph::{generate, DatasetSpec};
+    use hector_models::ModelKind;
+    use hector_runtime::{EngineBuilder, GraphData, Mode};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        write!(conn, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut headers = String::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 || line == "\r\n" {
+                break;
+            }
+            headers.push_str(&line);
+        }
+        let mut body = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut body).unwrap();
+        (status, headers, body)
+    }
+
+    fn server() -> (ServeHandle, HttpServer) {
+        let srv = ServeHandle::start(ServeConfig::default().with_workers(1));
+        let g = GraphData::new(generate(&DatasetSpec {
+            name: "http_unit".into(),
+            num_nodes: 40,
+            num_node_types: 2,
+            num_edges: 160,
+            num_edge_types: 3,
+            compaction_ratio: 0.5,
+            type_skew: 1.0,
+            seed: 5,
+        }));
+        let b = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(4, 4)
+            .mode(Mode::Real)
+            .seed(3);
+        srv.deploy("m", b, &g).unwrap();
+        let http = HttpServer::start(srv.clone(), "127.0.0.1:0", 2).expect("bind");
+        (srv, http)
+    }
+
+    #[test]
+    fn healthz_stats_and_infer_roundtrip() {
+        let (srv, http) = server();
+        let (status, _, body) = get(http.addr(), "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, _, body) = get(http.addr(), "/infer/m/7");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"version\":1"), "{body}");
+        assert!(body.contains("\"row\":["), "{body}");
+        let (status, _, body) = get(http.addr(), "/stats");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"completed\":1"), "{body}");
+        http.shutdown();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn error_statuses_map_onto_serving_outcomes() {
+        let (srv, http) = server();
+        let (status, _, _) = get(http.addr(), "/infer/ghost/0");
+        assert_eq!(status, 404);
+        let (status, _, _) = get(http.addr(), "/infer/m/99999");
+        assert_eq!(status, 400);
+        let (status, _, _) = get(http.addr(), "/infer/m/not_a_number");
+        assert_eq!(status, 400);
+        let (status, _, _) = get(http.addr(), "/nope");
+        assert_eq!(status, 404);
+        http.shutdown();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn overload_maps_to_503_with_retry_after() {
+        let srv = ServeHandle::start(
+            ServeConfig::default()
+                .with_queue_capacity(1)
+                .with_workers(1),
+        );
+        let g = GraphData::new(generate(&DatasetSpec {
+            name: "http_unit_503".into(),
+            num_nodes: 16,
+            num_node_types: 2,
+            num_edges: 64,
+            num_edge_types: 2,
+            compaction_ratio: 0.5,
+            type_skew: 1.0,
+            seed: 6,
+        }));
+        let b = EngineBuilder::new(ModelKind::Rgcn)
+            .dims(4, 4)
+            .mode(Mode::Real)
+            .seed(3);
+        srv.deploy("m", b, &g).unwrap();
+        srv.pause();
+        let _fill = srv.submit("m", 0).unwrap();
+        let http = HttpServer::start(srv.clone(), "127.0.0.1:0", 1).expect("bind");
+        let (status, headers, _) = get(http.addr(), "/infer/m/1");
+        assert_eq!(status, 503);
+        assert!(headers.contains("Retry-After:"), "{headers}");
+        srv.resume();
+        http.shutdown();
+        srv.shutdown();
+    }
+}

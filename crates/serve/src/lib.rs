@@ -1,0 +1,967 @@
+//! # hector-serve
+//!
+//! A long-lived, multi-tenant inference server on the
+//! [`Engine`] substrate: N models × M graphs
+//! stay resident as bound engine handles (compilation deduplicated by
+//! the process-wide `ModuleCache`), concurrent callers submit
+//! single-node or multi-node inference requests through a bounded
+//! queue, and a dispatcher **coalesces** every pending request for the
+//! same deployment into one batched graph traversal per tick — k
+//! requests cost one `Engine::forward`, not k.
+//!
+//! ```text
+//!   submit()──►[ bounded queue ]──►dispatcher──►┌─────────────────┐
+//!   submit()──►   (load-shed /       (tick)     │ coalesce by     │
+//!   submit()──►    timeout)                     │ deployment      │
+//!                                               └──┬───────┬──────┘
+//!                                          hector-par scope (groups
+//!                                          execute concurrently)
+//!                                               ┌──▼───┐ ┌──▼───┐
+//!                                               │engine│ │engine│ ...
+//!                                               └──┬───┘ └──┬───┘
+//!                                    one forward per group; rows are
+//!                                    scattered back to each ticket
+//! ```
+//!
+//! Design points, in paper terms: the engines' kernels and run plans
+//! are exactly the ones the compiler produced — serving adds *no* new
+//! numeric path, so a coalesced response is bit-identical to a
+//! standalone `Engine::forward` of the same deployment (the
+//! `tests/serve.rs` suite pins this against a sequential oracle at
+//! every thread count). Hot model/graph swap builds the replacement
+//! engine off to the side and replaces the resident one atomically
+//! under the deployment lock, so in-flight requests either run on the
+//! old engine or the new one — never on neither.
+//!
+//! The crate is deliberately std-only (no async runtime): the public
+//! in-process API is [`ServeHandle::submit`] / [`ServeHandle::submit_batch`],
+//! and [`http`] adds a minimal vendored HTTP/1.1 front end over
+//! `std::net::TcpListener` for out-of-process callers.
+
+#![warn(missing_docs)]
+
+pub mod http;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use hector_par::ThreadPool;
+use hector_runtime::{Engine, EngineBuilder, GraphData, HectorError};
+use hector_trace::{self as trace, SpanCat};
+
+// The dispatcher moves engines across threads inside deployment locks.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine>();
+};
+
+/// Errors surfaced by the serving layer.
+///
+/// Engine-level misuse or exhaustion arrives wrapped in
+/// [`ServeError::Hector`]; everything else is a serving-policy outcome
+/// (shed load, expiry, lifecycle).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// No deployment with this name is registered.
+    UnknownDeployment(String),
+    /// The request queue is full; retry after the embedded hint.
+    Overloaded {
+        /// Suggested client backoff before retrying.
+        retry_after: Duration,
+    },
+    /// The request expired in the queue before a dispatch tick served it.
+    Timeout,
+    /// The server is shutting down; the request was not executed.
+    ShuttingDown,
+    /// Malformed request (out-of-range node id, duplicate deployment, …).
+    BadRequest(String),
+    /// The underlying engine reported an error.
+    Hector(HectorError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownDeployment(name) => write!(f, "unknown deployment '{name}'"),
+            ServeError::Overloaded { retry_after } => write!(
+                f,
+                "request queue is full; retry after {} ms",
+                retry_after.as_millis()
+            ),
+            ServeError::Timeout => write!(f, "request timed out in the queue"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadRequest(detail) => write!(f, "bad request: {detail}"),
+            ServeError::Hector(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Hector(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HectorError> for ServeError {
+    fn from(e: HectorError) -> ServeError {
+        ServeError::Hector(e)
+    }
+}
+
+/// Server configuration. All knobs have serving-sane defaults; override
+/// with the `with_*` builders.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum queued requests before [`ServeHandle::submit`] sheds load.
+    pub queue_capacity: usize,
+    /// Maximum requests folded into one traversal per deployment per
+    /// tick. `1` disables coalescing (the naive baseline the
+    /// `serve_throughput` bench compares against).
+    pub max_coalesce: usize,
+    /// Queue-residency budget per request; exceeded ⇒ [`ServeError::Timeout`].
+    pub default_timeout: Duration,
+    /// Backoff hint embedded in [`ServeError::Overloaded`] rejections.
+    pub retry_after: Duration,
+    /// Dispatcher-side worker threads executing deployment groups
+    /// concurrently (1 ⇒ groups run inline on the dispatcher thread).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 1024,
+            max_coalesce: 64,
+            default_timeout: Duration::from_secs(5),
+            retry_after: Duration::from_millis(25),
+            workers: hector_par::ParallelConfig::from_env().num_threads,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the bounded queue capacity (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, n: usize) -> ServeConfig {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the per-tick coalescing cap (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_coalesce(mut self, n: usize) -> ServeConfig {
+        self.max_coalesce = n.max(1);
+        self
+    }
+
+    /// Sets the queue-residency timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, d: Duration) -> ServeConfig {
+        self.default_timeout = d;
+        self
+    }
+
+    /// Sets the number of group-execution workers (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> ServeConfig {
+        self.workers = n.max(1);
+        self
+    }
+}
+
+/// One fulfilled inference: the output rows for the requested nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Output row per requested node, in request order.
+    pub rows: Vec<Vec<f32>>,
+    /// Engine version (bumped by hot swap) that served the request.
+    pub version: u64,
+    /// Requests folded into the traversal that served this one (≥ 1).
+    pub coalesced: usize,
+}
+
+/// Per-deployment serving counters (monotonic since deploy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeploymentStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests fulfilled with a response.
+    pub completed: u64,
+    /// Requests rejected at submit because the queue was full.
+    pub shed: u64,
+    /// Requests expired in the queue.
+    pub timed_out: u64,
+    /// Requests failed by an engine error.
+    pub failed: u64,
+    /// Batched traversals executed (`Engine::forward` calls).
+    pub forwards: u64,
+    /// Requests served by those traversals (≥ `forwards` when coalescing).
+    pub coalesced_requests: u64,
+    /// Hot swaps applied.
+    pub swaps: u64,
+    /// Current engine version.
+    pub version: u64,
+}
+
+impl DeploymentStats {
+    /// Requests served per traversal: the coalescing factor (1.0 = naive).
+    #[must_use]
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.forwards == 0 {
+            1.0
+        } else {
+            self.coalesced_requests as f64 / self.forwards as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    forwards: AtomicU64,
+    coalesced_requests: AtomicU64,
+    swaps: AtomicU64,
+}
+
+/// A resident (model × graph) pair: the bound engine plus its serving
+/// metadata. The engine lives behind a mutex — a dispatch group or a
+/// hot swap holds it for the duration of one forward / one replacement.
+struct Deployment {
+    name: String,
+    slot: Mutex<Engine>,
+    stats: StatCells,
+    version: AtomicU64,
+    num_nodes: AtomicUsize,
+    out_width: AtomicUsize,
+}
+
+impl Deployment {
+    fn snapshot(&self) -> DeploymentStats {
+        DeploymentStats {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            timed_out: self.stats.timed_out.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            forwards: self.stats.forwards.load(Ordering::Relaxed),
+            coalesced_requests: self.stats.coalesced_requests.load(Ordering::Relaxed),
+            swaps: self.stats.swaps.load(Ordering::Relaxed),
+            version: self.version.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct TicketInner {
+    state: Mutex<Option<Result<Response, ServeError>>>,
+    cv: Condvar,
+}
+
+impl TicketInner {
+    fn fulfill(&self, r: Result<Response, ServeError>) {
+        let mut g = self.state.lock().expect("ticket lock");
+        if g.is_none() {
+            *g = Some(r);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A pending inference. Obtained from [`ServeHandle::submit`]; redeem
+/// with [`Ticket::wait`].
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    /// Blocks until the dispatcher fulfills or fails the request.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut g = self.inner.state.lock().expect("ticket lock");
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.inner.cv.wait(g).expect("ticket lock");
+        }
+    }
+
+    /// Non-blocking poll; `None` while the request is still queued or
+    /// executing.
+    #[must_use]
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        self.inner.state.lock().expect("ticket lock").take()
+    }
+}
+
+struct Request {
+    deployment: Arc<Deployment>,
+    nodes: Vec<usize>,
+    deadline: Instant,
+    ticket: Arc<TicketInner>,
+}
+
+#[derive(Default)]
+struct Queue {
+    requests: std::collections::VecDeque<Request>,
+    shutdown: bool,
+    paused: bool,
+}
+
+struct ServerInner {
+    config: ServeConfig,
+    deployments: RwLock<HashMap<String, Arc<Deployment>>>,
+    queue: Mutex<Queue>,
+    queue_cv: Condvar,
+    idle_cv: Condvar,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    in_flight: AtomicUsize,
+}
+
+/// Handle to a running server. Cheap to clone; every clone talks to the
+/// same queue, dispatcher, and deployments.
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl ServeHandle {
+    /// Starts a server (one dispatcher thread, `config.workers`
+    /// execution threads) with no deployments.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> ServeHandle {
+        let inner = Arc::new(ServerInner {
+            config,
+            deployments: RwLock::new(HashMap::new()),
+            queue: Mutex::new(Queue::default()),
+            queue_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            dispatcher: Mutex::new(None),
+            in_flight: AtomicUsize::new(0),
+        });
+        let run = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("hector-serve-dispatch".into())
+            .spawn(move || dispatch_loop(&run))
+            .expect("spawn dispatcher");
+        *inner.dispatcher.lock().expect("dispatcher lock") = Some(handle);
+        ServeHandle { inner }
+    }
+
+    /// Builds and binds an engine for `(builder, graph)` and makes it
+    /// resident under `name`. Compilation goes through the process-wide
+    /// `ModuleCache`, so tenants sharing a model architecture share one
+    /// compiled module.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] if `name` is already deployed (use
+    /// [`ServeHandle::swap`]); [`ServeError::Hector`] if the engine
+    /// fails to build or bind.
+    pub fn deploy(
+        &self,
+        name: &str,
+        builder: EngineBuilder,
+        graph: &GraphData,
+    ) -> Result<(), ServeError> {
+        let engine = prepare_engine(builder, graph)?;
+        let num_nodes = graph.graph().num_nodes();
+        let out_width = engine
+            .module()
+            .forward
+            .outputs
+            .first()
+            .map_or(0, |&v| engine.module().forward.var(v).width);
+        let mut map = self.inner.deployments.write().expect("deployments lock");
+        if map.contains_key(name) {
+            return Err(ServeError::BadRequest(format!(
+                "deployment '{name}' already exists; use swap to replace it"
+            )));
+        }
+        map.insert(
+            name.to_string(),
+            Arc::new(Deployment {
+                name: name.to_string(),
+                slot: Mutex::new(engine),
+                stats: StatCells::default(),
+                version: AtomicU64::new(1),
+                num_nodes: AtomicUsize::new(num_nodes),
+                out_width: AtomicUsize::new(out_width),
+            }),
+        );
+        trace::record_instant("serve.deploy", SpanCat::Pipeline, || {
+            format!("{name}: {num_nodes} nodes")
+        });
+        Ok(())
+    }
+
+    /// Hot-swaps the model and/or graph behind `name`: the replacement
+    /// engine is fully built and bound **off to the side** (the old
+    /// engine keeps serving), then substituted atomically under the
+    /// deployment lock. No in-flight request is dropped — each one runs
+    /// on whichever engine holds the slot when its group dispatches,
+    /// and the response's [`Response::version`] says which.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDeployment`] if `name` was never deployed;
+    /// [`ServeError::Hector`] if the replacement fails to build or bind
+    /// (the old engine keeps serving untouched).
+    pub fn swap(
+        &self,
+        name: &str,
+        builder: EngineBuilder,
+        graph: &GraphData,
+    ) -> Result<u64, ServeError> {
+        let dep = self
+            .deployment(name)
+            .ok_or_else(|| ServeError::UnknownDeployment(name.to_string()))?;
+        // Build and bind outside the slot lock: the expensive part of a
+        // swap must not stall serving.
+        let engine = prepare_engine(builder, graph)?;
+        let out_width = engine
+            .module()
+            .forward
+            .outputs
+            .first()
+            .map_or(0, |&v| engine.module().forward.var(v).width);
+        let num_nodes = graph.graph().num_nodes();
+        let version = {
+            let mut slot = dep.slot.lock().expect("deployment lock");
+            *slot = engine;
+            dep.num_nodes.store(num_nodes, Ordering::SeqCst);
+            dep.out_width.store(out_width, Ordering::SeqCst);
+            dep.stats.swaps.fetch_add(1, Ordering::Relaxed);
+            dep.version.fetch_add(1, Ordering::SeqCst) + 1
+        };
+        trace::record_instant("serve.swap", SpanCat::Pipeline, || {
+            format!("{name}: v{version}, {num_nodes} nodes")
+        });
+        Ok(version)
+    }
+
+    /// Submits a single-node inference with the default timeout.
+    ///
+    /// # Errors
+    ///
+    /// Rejects immediately with [`ServeError::UnknownDeployment`],
+    /// [`ServeError::BadRequest`] (node out of range),
+    /// [`ServeError::Overloaded`] (queue full), or
+    /// [`ServeError::ShuttingDown`].
+    pub fn submit(&self, deployment: &str, node: usize) -> Result<Ticket, ServeError> {
+        self.submit_with_timeout(deployment, &[node], self.inner.config.default_timeout)
+    }
+
+    /// Submits one request covering several nodes of one deployment
+    /// (they travel, coalesce, and complete together).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::submit`]; additionally rejects an empty node
+    /// list as [`ServeError::BadRequest`].
+    pub fn submit_batch(&self, deployment: &str, nodes: &[usize]) -> Result<Ticket, ServeError> {
+        self.submit_with_timeout(deployment, nodes, self.inner.config.default_timeout)
+    }
+
+    /// [`ServeHandle::submit_batch`] with an explicit queue-residency
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::submit_batch`].
+    pub fn submit_with_timeout(
+        &self,
+        deployment: &str,
+        nodes: &[usize],
+        timeout: Duration,
+    ) -> Result<Ticket, ServeError> {
+        if nodes.is_empty() {
+            return Err(ServeError::BadRequest("empty node list".into()));
+        }
+        let dep = self
+            .deployment(deployment)
+            .ok_or_else(|| ServeError::UnknownDeployment(deployment.to_string()))?;
+        let num_nodes = dep.num_nodes.load(Ordering::SeqCst);
+        if let Some(&bad) = nodes.iter().find(|&&n| n >= num_nodes) {
+            return Err(ServeError::BadRequest(format!(
+                "node {bad} out of range for '{deployment}' ({num_nodes} nodes)"
+            )));
+        }
+        let ticket = Arc::new(TicketInner {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.requests.len() >= self.inner.config.queue_capacity {
+                dep.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    retry_after: self.inner.config.retry_after,
+                });
+            }
+            q.requests.push_back(Request {
+                deployment: Arc::clone(&dep),
+                nodes: nodes.to_vec(),
+                deadline: Instant::now() + timeout,
+                ticket: Arc::clone(&ticket),
+            });
+        }
+        dep.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue_cv.notify_all();
+        Ok(Ticket { inner: ticket })
+    }
+
+    /// Names of all resident deployments, sorted.
+    #[must_use]
+    pub fn deployments(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .deployments
+            .read()
+            .expect("deployments lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Serving counters for one deployment.
+    #[must_use]
+    pub fn stats(&self, deployment: &str) -> Option<DeploymentStats> {
+        self.deployment(deployment).map(|d| d.snapshot())
+    }
+
+    /// Requests currently queued (excludes in-flight groups).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().expect("queue lock").requests.len()
+    }
+
+    /// Pauses dispatch: requests keep queueing (and can shed or expire)
+    /// but no tick runs until [`ServeHandle::resume`]. Test hook for
+    /// exercising the queue policies deterministically.
+    pub fn pause(&self) {
+        self.inner.queue.lock().expect("queue lock").paused = true;
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Resumes dispatch after [`ServeHandle::pause`].
+    pub fn resume(&self) {
+        self.inner.queue.lock().expect("queue lock").paused = false;
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Blocks until the queue is empty and no group is executing.
+    pub fn drain(&self) {
+        let mut q = self.inner.queue.lock().expect("queue lock");
+        while !q.requests.is_empty() || self.inner.in_flight.load(Ordering::SeqCst) > 0 {
+            let (guard, _) = self
+                .inner
+                .idle_cv
+                .wait_timeout(q, Duration::from_millis(10))
+                .expect("queue lock");
+            q = guard;
+        }
+    }
+
+    /// Stops the dispatcher. Queued-but-unserved requests fail with
+    /// [`ServeError::ShuttingDown`]; engines stay resident until the
+    /// last handle drops. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.inner.queue_cv.notify_all();
+        let handle = self
+            .inner
+            .dispatcher
+            .lock()
+            .expect("dispatcher lock")
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    fn deployment(&self, name: &str) -> Option<Arc<Deployment>> {
+        self.inner
+            .deployments
+            .read()
+            .expect("deployments lock")
+            .get(name)
+            .cloned()
+    }
+}
+
+fn prepare_engine(builder: EngineBuilder, graph: &GraphData) -> Result<Engine, ServeError> {
+    let mut engine = builder.build()?;
+    engine.bind(graph)?;
+    Ok(engine)
+}
+
+/// The dispatcher: waits for work, drains the queue, expires stale
+/// requests, groups the rest by deployment (respecting `max_coalesce`),
+/// and executes the groups — concurrently over the worker pool when one
+/// is configured.
+fn dispatch_loop(inner: &Arc<ServerInner>) {
+    let pool = if inner.config.workers > 1 {
+        Some(ThreadPool::new(inner.config.workers))
+    } else {
+        None
+    };
+    loop {
+        let drained: Vec<Request> = {
+            let mut q = inner.queue.lock().expect("queue lock");
+            loop {
+                if q.shutdown {
+                    break;
+                }
+                if !q.paused && !q.requests.is_empty() {
+                    break;
+                }
+                let (guard, _) = inner
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("queue lock");
+                q = guard;
+            }
+            if q.shutdown {
+                // Fail everything still queued, then exit.
+                for r in q.requests.drain(..) {
+                    r.ticket.fulfill(Err(ServeError::ShuttingDown));
+                }
+                return;
+            }
+            let n = q.requests.len();
+            inner.in_flight.store(n, Ordering::SeqCst);
+            q.requests.drain(..).collect()
+        };
+
+        let tick_start = trace::span_start();
+        let drained_count = drained.len();
+
+        // Expire stale requests, group the rest by deployment in FIFO
+        // first-seen order.
+        let now = Instant::now();
+        let mut order: Vec<Arc<Deployment>> = Vec::new();
+        let mut groups: HashMap<String, Vec<Request>> = HashMap::new();
+        let mut served = 0usize;
+        for r in drained {
+            if now > r.deadline {
+                r.deployment.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                r.ticket.fulfill(Err(ServeError::Timeout));
+                served += 1;
+                continue;
+            }
+            if !groups.contains_key(&r.deployment.name) {
+                order.push(Arc::clone(&r.deployment));
+            }
+            groups.entry(r.deployment.name.clone()).or_default().push(r);
+        }
+        inner.in_flight.fetch_sub(served, Ordering::SeqCst);
+
+        // Split each deployment's backlog into coalesced chunks and run
+        // them. Chunks of distinct deployments execute concurrently;
+        // chunks of one deployment serialize on its slot lock (the
+        // engine is stateful), preserving bit-identical outputs.
+        let max = inner.config.max_coalesce.max(1);
+        let mut work: Vec<(Arc<Deployment>, Vec<Request>)> = Vec::new();
+        for dep in order {
+            let mut reqs = groups.remove(&dep.name).unwrap_or_default();
+            while reqs.len() > max {
+                let rest = reqs.split_off(max);
+                work.push((Arc::clone(&dep), reqs));
+                reqs = rest;
+            }
+            if !reqs.is_empty() {
+                work.push((Arc::clone(&dep), reqs));
+            }
+        }
+        match (&pool, work.len()) {
+            (Some(pool), 2..) => {
+                pool.scope(|s| {
+                    for (dep, reqs) in work.drain(..) {
+                        let inner = Arc::clone(inner);
+                        s.spawn(move || {
+                            let n = reqs.len();
+                            run_group(&dep, reqs);
+                            inner.in_flight.fetch_sub(n, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+            _ => {
+                for (dep, reqs) in work.drain(..) {
+                    let n = reqs.len();
+                    run_group(&dep, reqs);
+                    inner.in_flight.fetch_sub(n, Ordering::SeqCst);
+                }
+            }
+        }
+        inner.idle_cv.notify_all();
+
+        if let Some(t0) = tick_start {
+            trace::record_span(
+                "serve.tick",
+                SpanCat::Pipeline,
+                t0,
+                drained_count as u64,
+                0,
+                0.0,
+            );
+        }
+    }
+}
+
+/// Executes one coalesced group: a single `Engine::forward`, then the
+/// requested output rows are scattered back to every ticket.
+fn run_group(dep: &Deployment, reqs: Vec<Request>) {
+    let coalesced = reqs.len();
+    let span = trace::span_start();
+    let mut slot = dep.slot.lock().expect("deployment lock");
+    let version = dep.version.load(Ordering::SeqCst);
+    // Counters are bumped BEFORE tickets are fulfilled: a client that
+    // observes its response must also observe the stats that produced
+    // it (tests and dashboards read stats right after wait()).
+    match slot.forward() {
+        Ok(_) => {
+            dep.stats.forwards.fetch_add(1, Ordering::Relaxed);
+            dep.stats
+                .coalesced_requests
+                .fetch_add(coalesced as u64, Ordering::Relaxed);
+            dep.stats
+                .completed
+                .fetch_add(coalesced as u64, Ordering::Relaxed);
+            let out = slot.output();
+            for r in &reqs {
+                let rows: Vec<Vec<f32>> = r.nodes.iter().map(|&n| out.row(n).to_vec()).collect();
+                r.ticket.fulfill(Ok(Response {
+                    rows,
+                    version,
+                    coalesced,
+                }));
+            }
+        }
+        Err(e) => {
+            dep.stats
+                .failed
+                .fetch_add(coalesced as u64, Ordering::Relaxed);
+            for r in &reqs {
+                r.ticket.fulfill(Err(ServeError::Hector(e.clone())));
+            }
+        }
+    }
+    drop(slot);
+    if let Some(t0) = span {
+        trace::record_span(
+            "serve.forward",
+            SpanCat::Pipeline,
+            t0,
+            coalesced as u64,
+            0,
+            0.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_graph::{generate, DatasetSpec};
+    use hector_models::ModelKind;
+    use hector_runtime::Mode;
+
+    fn graph(seed: u64, nodes: usize) -> GraphData {
+        GraphData::new(generate(&DatasetSpec {
+            name: "serve_unit".into(),
+            num_nodes: nodes,
+            num_node_types: 2,
+            num_edges: nodes * 4,
+            num_edge_types: 3,
+            compaction_ratio: 0.5,
+            type_skew: 1.0,
+            seed,
+        }))
+    }
+
+    fn builder() -> EngineBuilder {
+        EngineBuilder::new(ModelKind::Rgcn)
+            .dims(8, 8)
+            .mode(Mode::Real)
+            .seed(7)
+    }
+
+    #[test]
+    fn submit_and_wait_roundtrip() {
+        let srv = ServeHandle::start(ServeConfig::default());
+        let g = graph(3, 48);
+        srv.deploy("m", builder(), &g).unwrap();
+        let row = srv.submit("m", 5).unwrap().wait().unwrap();
+        assert_eq!(row.rows.len(), 1);
+        assert_eq!(row.rows[0].len(), 8);
+        assert_eq!(row.version, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn unknown_deployment_and_bad_node_reject_at_submit() {
+        let srv = ServeHandle::start(ServeConfig::default());
+        let g = graph(4, 32);
+        srv.deploy("m", builder(), &g).unwrap();
+        assert_eq!(
+            srv.submit("nope", 0).err(),
+            Some(ServeError::UnknownDeployment("nope".into()))
+        );
+        assert!(matches!(
+            srv.submit("m", 999).err(),
+            Some(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            srv.submit_batch("m", &[]).err(),
+            Some(ServeError::BadRequest(_))
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn duplicate_deploy_is_rejected() {
+        let srv = ServeHandle::start(ServeConfig::default());
+        let g = graph(5, 32);
+        srv.deploy("m", builder(), &g).unwrap();
+        assert!(matches!(
+            srv.deploy("m", builder(), &g).err(),
+            Some(ServeError::BadRequest(_))
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_retry_after() {
+        let srv = ServeHandle::start(
+            ServeConfig::default()
+                .with_queue_capacity(2)
+                .with_workers(1),
+        );
+        let g = graph(6, 32);
+        srv.deploy("m", builder(), &g).unwrap();
+        srv.pause();
+        let _t1 = srv.submit("m", 0).unwrap();
+        let _t2 = srv.submit("m", 1).unwrap();
+        let shed = srv.submit("m", 2);
+        assert!(matches!(shed, Err(ServeError::Overloaded { .. })));
+        let stats = srv.stats("m").unwrap();
+        assert_eq!(stats.shed, 1);
+        srv.resume();
+        srv.shutdown();
+    }
+
+    #[test]
+    fn paused_requests_expire_as_timeouts() {
+        let srv = ServeHandle::start(ServeConfig::default().with_workers(1));
+        let g = graph(7, 32);
+        srv.deploy("m", builder(), &g).unwrap();
+        srv.pause();
+        let t = srv
+            .submit_with_timeout("m", &[1], Duration::from_millis(1))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        srv.resume();
+        assert_eq!(t.wait(), Err(ServeError::Timeout));
+        assert_eq!(srv.stats("m").unwrap().timed_out, 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests_and_rejects_new_ones() {
+        let srv = ServeHandle::start(ServeConfig::default().with_workers(1));
+        let g = graph(8, 32);
+        srv.deploy("m", builder(), &g).unwrap();
+        srv.pause();
+        let t = srv.submit("m", 0).unwrap();
+        srv.shutdown();
+        assert_eq!(t.wait(), Err(ServeError::ShuttingDown));
+        assert_eq!(srv.submit("m", 0).err(), Some(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn coalescing_serves_many_requests_with_one_forward() {
+        let srv = ServeHandle::start(ServeConfig::default().with_workers(1));
+        let g = graph(9, 64);
+        srv.deploy("m", builder(), &g).unwrap();
+        srv.pause();
+        let tickets: Vec<Ticket> = (0..10).map(|n| srv.submit("m", n).unwrap()).collect();
+        srv.resume();
+        for t in tickets {
+            let r = t.wait().unwrap();
+            assert_eq!(r.coalesced, 10);
+        }
+        let stats = srv.stats("m").unwrap();
+        assert_eq!(stats.forwards, 1, "10 requests must cost one traversal");
+        assert_eq!(stats.coalesced_requests, 10);
+        assert!((stats.coalescing_factor() - 10.0).abs() < 1e-9);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn swap_bumps_version_and_keeps_serving() {
+        let srv = ServeHandle::start(ServeConfig::default());
+        let g1 = graph(10, 48);
+        let g2 = graph(11, 96);
+        srv.deploy("m", builder(), &g1).unwrap();
+        let r1 = srv.submit("m", 40).unwrap().wait().unwrap();
+        assert_eq!(r1.version, 1);
+        let v = srv.swap("m", builder(), &g2).unwrap();
+        assert_eq!(v, 2);
+        // Node 90 only exists in the new graph.
+        let r2 = srv.submit("m", 90).unwrap().wait().unwrap();
+        assert_eq!(r2.version, 2);
+        assert_eq!(srv.stats("m").unwrap().swaps, 1);
+        assert!(matches!(
+            srv.swap("ghost", builder(), &g2).err(),
+            Some(ServeError::UnknownDeployment(_))
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn failed_swap_leaves_the_old_engine_serving() {
+        let srv = ServeHandle::start(ServeConfig::default());
+        let g = graph(12, 48);
+        srv.deploy("m", builder(), &g).unwrap();
+        let bad = EngineBuilder::new(ModelKind::Rgcn).dims(8, 8).layers(0);
+        assert!(matches!(
+            srv.swap("m", bad, &g).err(),
+            Some(ServeError::Hector(HectorError::InvalidConfig { .. }))
+        ));
+        // Old engine still answers.
+        let r = srv.submit("m", 3).unwrap().wait().unwrap();
+        assert_eq!(r.version, 1);
+        assert_eq!(srv.stats("m").unwrap().swaps, 0);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn serve_error_display_and_source() {
+        let e = ServeError::Hector(HectorError::InvalidConfig { detail: "x".into() });
+        assert!(e.to_string().contains("engine error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let o = ServeError::Overloaded {
+            retry_after: Duration::from_millis(25),
+        };
+        assert!(o.to_string().contains("25 ms"));
+        assert!(std::error::Error::source(&o).is_none());
+    }
+}

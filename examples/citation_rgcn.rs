@@ -37,8 +37,9 @@ fn main() {
         .dims(dim, dim)
         .options(CompileOptions::unopt())
         .seed(1)
-        .build();
-    let mut bound = engine.bind(&graph);
+        .build()
+        .unwrap();
+    let mut bound = engine.bind(&graph).unwrap();
     bound.forward().expect("tiny graph");
     let h = bound.output();
 

@@ -4,6 +4,10 @@
 //! "with compaction enabled, Hector incurs no OOM error for all the
 //! datasets tested".
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 
 fn main() {

@@ -25,7 +25,8 @@ fn main() {
         .dims(dim, classes)
         .options(CompileOptions::best())
         .seed(11)
-        .build_trainer(Adam::new(0.05));
+        .build_trainer(Adam::new(0.05))
+        .unwrap();
     {
         let module = trainer.engine().module();
         println!(
@@ -37,7 +38,7 @@ fn main() {
 
     // Bind derives parameters, inputs, and random labels from the seed;
     // override the labels with a fixed pattern for a reproducible demo.
-    trainer.bind(&graph);
+    trainer.bind(&graph).unwrap();
     let labels: Vec<usize> = (0..graph.graph().num_nodes())
         .map(|i| (i * 7 + 3) % classes)
         .collect();

@@ -25,8 +25,9 @@ fn main() {
         .dims(16, classes)
         .options(CompileOptions::best())
         .seed(13)
-        .build_trainer(Adam::new(0.02));
-    trainer.bind(&graph);
+        .build_trainer(Adam::new(0.02))
+        .unwrap();
+    trainer.bind(&graph).unwrap();
 
     // 64 seed nodes per batch, 2-hop fanout [10, 5], background producer.
     let cfg = SamplerConfig::new(64).fanouts(&[10, 5]).pipeline(true);

@@ -26,8 +26,9 @@ fn main() {
         .dims(16, 16)
         .options(CompileOptions::best())
         .seed(0)
-        .build_trainer(Adam::new(0.01));
-    trainer.bind(&graph);
+        .build_trainer(Adam::new(0.01))
+        .unwrap();
+    trainer.bind(&graph).unwrap();
 
     // 2. One warm-up step (first-run allocations would otherwise skew
     //    the profile), then three profiled steps.

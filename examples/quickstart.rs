@@ -29,7 +29,8 @@ fn main() {
         .dims(32, 32)
         .options(CompileOptions::best())
         .seed(7)
-        .build();
+        .build()
+        .unwrap();
     let module = engine.module();
     println!(
         "compiled '{}': {} model lines -> {} kernels, {} generated lines (cache {})",
@@ -47,7 +48,7 @@ fn main() {
     // 3. Bind the graph (parameters + inputs derive from the engine
     //    seed) and run. Warm reruns through the same engine reuse every
     //    buffer — zero heap allocations.
-    let mut bound = engine.bind(&graph);
+    let mut bound = engine.bind(&graph).unwrap();
     let report = bound.forward().expect("fits comfortably in 24 GB");
 
     let h_out = bound.output();
@@ -71,7 +72,8 @@ fn main() {
     let twin = EngineBuilder::new(ModelKind::Rgat)
         .dims(32, 32)
         .options(CompileOptions::best())
-        .build();
+        .build()
+        .unwrap();
     let stats = twin.device().counters().module_cache();
     println!(
         "module cache: {} hits / {} misses over {} entries ({} KB)",

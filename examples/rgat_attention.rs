@@ -45,7 +45,8 @@ fn main() {
             .options(opts)
             .mode(Mode::Modeled)
             .seed(2)
-            .build();
+            .build()
+            .unwrap();
         let mut gemms = 0;
         let mut travs = 0;
         let mut fallbacks = 0;
@@ -56,7 +57,7 @@ fn main() {
                 KernelSpec::Fallback(_) => fallbacks += 1,
             }
         }
-        let report = engine.bind(&graph).forward().expect("fits");
+        let report = engine.bind(&graph).unwrap().forward().expect("fits");
         println!("{label}");
         println!("  kernel plan: {gemms} GEMM + {travs} traversal + {fallbacks} weight-prep");
         println!(

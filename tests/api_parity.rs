@@ -9,6 +9,10 @@
 //! inference and 5 Adam steps, sequential and 4-thread executors —
 //! outputs, per-step losses, and final weights compared bitwise.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_runtime::random_labels;
 
@@ -57,8 +61,9 @@ fn engine_inference_is_bit_identical_to_legacy_session_flow() {
                 .options(opts)
                 .parallel(par(threads))
                 .seed(SEED)
-                .build();
-            let mut bound = engine.bind(&graph);
+                .build()
+                .unwrap();
+            let mut bound = engine.bind(&graph).unwrap();
             let report = bound.forward().expect("fits");
 
             assert_eq!(
@@ -114,8 +119,9 @@ fn trainer_is_bit_identical_to_legacy_training_flow() {
                 .parallel(par(threads))
                 .seed(SEED)
                 .classes(classes)
-                .build_trainer(Adam::new(0.01));
-            trainer.bind(&graph);
+                .build_trainer(Adam::new(0.01))
+                .unwrap();
+            trainer.bind(&graph).unwrap();
             assert_eq!(trainer.labels(), &labels[..], "{kind:?}: same label stream");
             let epoch = trainer.epoch(5).expect("fits");
             assert_eq!(
@@ -155,8 +161,9 @@ fn engine_parallel_and_sequential_agree() {
                     .dims(DIMS, DIMS)
                     .parallel(par(threads))
                     .seed(SEED)
-                    .build();
-                let mut bound = engine.bind(&graph);
+                    .build()
+                    .unwrap();
+                let mut bound = engine.bind(&graph).unwrap();
                 bound.forward().expect("fits");
                 bound.output().data().to_vec()
             })
@@ -182,8 +189,9 @@ fn modeled_engine_matches_legacy_modeled_accounting() {
         .options(opts)
         .mode(Mode::Modeled)
         .seed(SEED)
-        .build();
-    let report = engine.bind(&graph).forward().expect("fits");
+        .build()
+        .unwrap();
+    let report = engine.bind(&graph).unwrap().forward().expect("fits");
     assert!((legacy.elapsed_us - report.elapsed_us).abs() < 1e-9);
     assert_eq!(legacy.peak_bytes, report.peak_bytes);
     assert_eq!(legacy.launches, report.launches);

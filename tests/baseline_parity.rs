@@ -2,6 +2,10 @@
 //! comparative *shape* — who wins, by what mechanism — on representative
 //! synthetic graphs.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::baselines::{all_systems, Dgl, Graphiler, Pyg, Seastar, System};
 use hector::prelude::*;
 

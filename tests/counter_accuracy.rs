@@ -56,9 +56,10 @@ fn traced_forward(
         .options(CompileOptions::best())
         .parallel(par)
         .seed(3)
-        .build();
+        .build()
+        .unwrap();
     let kernel_count = engine.module().fw_kernels.len();
-    let mut bound = engine.bind(&graph);
+    let mut bound = engine.bind(&graph).unwrap();
     hector::trace::clear();
     hector::trace::enable();
     bound.forward().expect("tiny graph fits");
@@ -195,9 +196,10 @@ fn backend_stats_count_prepares_reuses_and_kernels() {
             .parallel(ParallelConfig::sequential())
             .backend(kind)
             .seed(3)
-            .build();
+            .build()
+            .unwrap();
         let kernel_count = engine.module().fw_kernels.len() as u64;
-        let mut bound = engine.bind(&graph);
+        let mut bound = engine.bind(&graph).unwrap();
 
         bound.forward().expect("tiny graph fits");
         let b = *bound.engine().device().counters().backend();
@@ -228,9 +230,14 @@ fn profile_report_names_the_backend() {
             .parallel(ParallelConfig::sequential())
             .backend(kind)
             .seed(3)
-            .build();
-        engine.bind(&graph).forward().expect("warm-up fits");
-        let (result, report) = engine.profile(|e| e.bind(&graph).forward());
+            .build()
+            .unwrap();
+        engine
+            .bind(&graph)
+            .unwrap()
+            .forward()
+            .expect("warm-up fits");
+        let (result, report) = engine.profile(|e| e.bind(&graph).unwrap().forward());
         result.expect("profiled forward fits");
         assert_eq!(
             report.backend,

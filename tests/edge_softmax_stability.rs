@@ -8,6 +8,10 @@
 //! These tests pin both overflow and underflow behaviour with extreme
 //! attention scores under every optimization combination.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_ir::AggNorm;
 use hector_tensor::seeded_rng;

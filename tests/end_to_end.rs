@@ -2,6 +2,10 @@
 //! dense reference implementations (up to f32 accumulation order) for
 //! every model and every optimization combination.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_models::{hgt, reference, rgat, rgcn};
 use hector_runtime::cnorm_tensor;

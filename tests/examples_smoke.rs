@@ -5,6 +5,10 @@
 //! example binaries, so together the examples stay both buildable and
 //! behaviourally covered.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_ir::{AggNorm, KernelSpec};
 use hector_tensor::seeded_rng;
@@ -198,8 +202,9 @@ fn minibatch_training_path() {
             .dims(8, 4)
             .options(CompileOptions::best())
             .seed(13)
-            .build_trainer(Adam::new(0.02));
-        trainer.bind(&graph);
+            .build_trainer(Adam::new(0.02))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         let cfg = SamplerConfig::new(32).fanouts(&[4, 3]).pipeline(true);
         let mut losses = Vec::new();
         for epoch in 0..2u64 {
@@ -268,6 +273,79 @@ fn rgat_attention_path() {
     );
 }
 
+/// `examples/serve_demo.rs`: two tenants deployed behind one
+/// [`ServeHandle`], a burst of coalesced requests, a hot swap that
+/// drops nothing, and populated per-tenant counters.
+#[test]
+fn serve_demo_path() {
+    use hector::serve::{ServeConfig, ServeHandle};
+
+    let spec = |seed, nodes| DatasetSpec {
+        name: "serve_demo_smoke".into(),
+        num_nodes: nodes,
+        num_node_types: 3,
+        num_edges: nodes * 5,
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.0,
+        seed,
+    };
+    let g1 = GraphData::new(hector::generate(&spec(1, 48)));
+    let g2 = GraphData::new(hector::generate(&spec(2, 32)));
+    let builder = |kind, dims: usize, seed| {
+        EngineBuilder::new(kind)
+            .dims(dims, dims)
+            .options(CompileOptions::best())
+            .mode(Mode::Real)
+            .seed(seed)
+    };
+
+    let srv = ServeHandle::start(ServeConfig::default().with_workers(2).with_max_coalesce(32));
+    srv.deploy("rgcn_products", builder(ModelKind::Rgcn, 16, 7), &g1)
+        .unwrap();
+    srv.deploy("hgt_reviews", builder(ModelKind::Hgt, 8, 9), &g2)
+        .unwrap();
+    assert_eq!(srv.deployments().len(), 2);
+
+    let tickets: Vec<_> = (0..12)
+        .map(|i| {
+            let (name, g) = if i % 3 == 0 {
+                ("hgt_reviews", &g2)
+            } else {
+                ("rgcn_products", &g1)
+            };
+            srv.submit(name, (i * 13) % g.graph().num_nodes()).unwrap()
+        })
+        .collect();
+    for t in tickets {
+        let r = t.wait().expect("request served");
+        assert!(r.rows[0].iter().all(|v| v.is_finite()));
+    }
+
+    let g3 = GraphData::new(hector::generate(&spec(3, 64)));
+    let inflight: Vec<_> = (0..6)
+        .map(|n| srv.submit("rgcn_products", n).unwrap())
+        .collect();
+    let v = srv
+        .swap("rgcn_products", builder(ModelKind::Rgcn, 16, 7), &g3)
+        .unwrap();
+    assert_eq!(v, 2);
+    for t in inflight {
+        t.wait().expect("no request dropped across the swap");
+    }
+
+    let s = srv.stats("rgcn_products").unwrap();
+    assert_eq!(s.failed + s.timed_out + s.shed, 0);
+    assert!(
+        s.completed >= 14,
+        "8 singles + 6 in-flight: {}",
+        s.completed
+    );
+    assert_eq!(s.swaps, 1);
+    assert!(s.coalescing_factor() >= 1.0);
+    srv.shutdown();
+}
+
 /// `examples/profiling.rs`: a profiled training epoch yields a populated
 /// [`ProfileReport`] and a chrome-trace export at the requested path.
 /// (The trace recorder is process-global, so the assertions here stay
@@ -280,8 +358,9 @@ fn profiling_path() {
         .dims(16, 16)
         .options(CompileOptions::best())
         .seed(0)
-        .build_trainer(Adam::new(0.01));
-    trainer.bind(&graph);
+        .build_trainer(Adam::new(0.01))
+        .unwrap();
+    trainer.bind(&graph).unwrap();
     trainer.step().expect("fits");
 
     let (result, report) = trainer.profile(|t| t.epoch(3));

@@ -3,6 +3,10 @@
 //! optimization combination (including the chain rule through
 //! reorder-fused derived weights).
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_ir::WeightId;
 use hector_runtime::nll_loss_and_grad;

@@ -16,6 +16,10 @@
 //! contribution buffers), which is O(threads), not O(rows), but would
 //! make the strict equality below depend on chunk counts.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_bench::alloc_counter::{alloc_events, CountingAlloc};
 use hector_tensor::seeded_rng;

@@ -6,6 +6,10 @@
 //! compaction ratio, weight-replicating baselines explode, and OOM
 //! surfaces as an error with full context rather than a crash.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::baselines::{Pyg, System};
 use hector::prelude::*;
 

@@ -36,8 +36,9 @@ fn trainer(kind: ModelKind, threads: usize, g: &GraphData) -> Trainer {
                 .with_min_chunk_rows(4),
         )
         .seed(17)
-        .build_trainer(Adam::new(0.01));
-    t.bind(g);
+        .build_trainer(Adam::new(0.01))
+        .unwrap();
+    t.bind(g).unwrap();
     t
 }
 

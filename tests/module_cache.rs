@@ -34,6 +34,7 @@ fn second_identical_engine_compiles_nothing() {
             .options(CompileOptions::best())
             .seed(5)
             .build()
+            .unwrap()
     };
 
     // First engine: one miss, one entry, a visible byte estimate.
@@ -59,9 +60,9 @@ fn second_identical_engine_compiles_nothing() {
     assert!((via_counters.hit_rate() - 0.9).abs() < 1e-12);
 
     // Shared module, independent sessions: both engines run and agree.
-    first.bind(&graph).forward().expect("fits");
+    first.bind(&graph).unwrap().forward().expect("fits");
     let twin = &mut twins[0];
-    twin.bind(&graph).forward().expect("fits");
+    twin.bind(&graph).unwrap().forward().expect("fits");
     assert_eq!(
         first.output().data(),
         twin.output().data(),
@@ -72,15 +73,36 @@ fn second_identical_engine_compiles_nothing() {
     let _other_dims = EngineBuilder::new(ModelKind::Rgat)
         .dims(8, 8)
         .options(CompileOptions::best())
-        .build();
+        .build()
+        .unwrap();
     let _other_opts = EngineBuilder::new(ModelKind::Rgat)
         .dims(16, 16)
         .options(CompileOptions::unopt())
-        .build();
+        .build()
+        .unwrap();
     let end = ModuleCache::stats();
     assert_eq!(end.misses, 3);
     assert_eq!(end.entries, 3);
     assert!(end.bytes > after_first.bytes);
+
+    // Shrinking the byte budget evicts least-recently-used entries and
+    // counts them; rebuilding an evicted module is a fresh miss.
+    let prev_budget = ModuleCache::set_capacity_bytes(1);
+    let squeezed = ModuleCache::stats();
+    assert_eq!(squeezed.entries, 0, "a 1-byte budget retains nothing");
+    assert_eq!(squeezed.evictions, 3, "every resident entry was evicted");
+    ModuleCache::set_capacity_bytes(prev_budget);
+    let rebuilt = build();
+    assert!(
+        !rebuilt.was_cache_hit(),
+        "an evicted module must recompile on next use"
+    );
+    assert_eq!(ModuleCache::stats().misses, 4);
+    assert_eq!(
+        rebuilt.module().forward,
+        first.module().forward,
+        "eviction only forgets the cache's copy — recompilation agrees"
+    );
 
     // clear() empties both the cache and the probe.
     ModuleCache::clear();

@@ -20,6 +20,10 @@
 //!    isolated destination; the guard matters for node-space
 //!    normalizations (explicit mean, degree divisions).
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector::{NeighborSampler, Subgraph};
 use hector_ir::{AggNorm, Operand};

@@ -2,6 +2,10 @@
 //! linear operator reordering are *semantics-preserving* program
 //! rewrites, and their resource effects have known signs.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_ir::KernelSpec;
 use proptest::prelude::*;

@@ -11,6 +11,10 @@
 //! graphs, thread counts, and chunk sizes. Chunk sizes are deliberately
 //! tiny so even the small test graphs split into many chunks.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_tensor::seeded_rng;
 use proptest::prelude::*;

@@ -21,6 +21,10 @@
 //! hot path allocates nothing. The `trace_overhead` bench covers the
 //! wall-clock half of the claim.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use std::sync::{Mutex, MutexGuard};
 
 use hector::prelude::*;
@@ -226,8 +230,9 @@ fn warm_trainer_steps_allocate_nothing() {
             .options(CompileOptions::best())
             .parallel(ParallelConfig::sequential())
             .seed(5)
-            .build_trainer(Adam::new(0.01));
-        trainer.bind(&graph);
+            .build_trainer(Adam::new(0.01))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         trainer.step().expect("first step fits");
 
         let before = alloc_events();
@@ -266,8 +271,9 @@ fn warm_minibatch_steps_allocate_nothing() {
             .options(CompileOptions::best())
             .parallel(ParallelConfig::sequential())
             .seed(5)
-            .build_trainer(Adam::new(0.01));
-        trainer.bind(&graph);
+            .build_trainer(Adam::new(0.01))
+            .unwrap();
+        trainer.bind(&graph).unwrap();
         let batch = trainer
             .minibatch(&SamplerConfig::new(32).fanouts(&[3, 2]).pipeline(false))
             .next()

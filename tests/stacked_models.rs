@@ -2,6 +2,10 @@
 //! against a layer-by-layer reference, training convergence, and
 //! optimization equivalence on deep programs.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 use hector_models::{reference, stacked};
 use hector_runtime::cnorm_tensor;

@@ -2,6 +2,10 @@
 //! combination, both optimizers make progress, and derived (reordered)
 //! weights stay consistent across steps.
 
+// Exercises the deprecated five-piece Session flow on purpose: these
+// suites pin the low-level substrate the handle API is built on.
+#![allow(deprecated)]
+
 use hector::prelude::*;
 
 fn train_graph(seed: u64) -> GraphData {
