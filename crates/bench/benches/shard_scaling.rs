@@ -1,0 +1,155 @@
+//! shard_scaling: what destination-sharding costs and buys. One synthetic
+//! graph is partitioned at shard counts {1, 2, 4, 8} with each
+//! partitioner (range / hash / greedy), then driven through the
+//! [`ShardedEngine`](hector::ShardedEngine):
+//!
+//! * **partition quality** — edge-cut fraction and halo bytes per
+//!   partitioner (greedy must not cut more than hash at every count;
+//!   asserted).
+//! * **execution** — merged forwards per second (`shards/s` column is
+//!   shard-forwards per second: shards × forwards/s), bit-checked
+//!   against the unsharded oracle before timing.
+//! * **streaming deltas** — mean latency of applying a small edge
+//!   [`DeltaBatch`](hector::DeltaBatch) incl. affected-shard re-plans.
+//!
+//! With `HECTOR_BENCH_JSON=<path>` the rows are written as a JSON
+//! fragment for the perf-regression lane's artifact; wall-clock fields
+//! are informational — the lane gates only on the structural columns
+//! (edge cut, halo bytes), which are deterministic.
+
+use std::time::Instant;
+
+use hector::prelude::*;
+use hector::{
+    BindSharded, DeltaBatch, GreedyEdgeCut, HashPartitioner, Partitioner, RangePartitioner,
+    ShardConfig, ShardedGraph,
+};
+use hector_bench::json::JsonWriter;
+use hector_bench::{banner, scale};
+
+const DIMS: usize = 16;
+
+fn graph(s: f64) -> hector::HeteroGraph {
+    hector::generate(&DatasetSpec {
+        name: "shard_scaling".into(),
+        num_nodes: ((1_500f64 * s) as usize).max(96),
+        num_node_types: 3,
+        num_edges: ((9_000f64 * s) as usize).max(480),
+        num_edge_types: 4,
+        compaction_ratio: 0.4,
+        type_skew: 1.2,
+        seed: 47,
+    })
+}
+
+fn partitioner(name: &str) -> Box<dyn Partitioner> {
+    match name {
+        "range" => Box::new(RangePartitioner),
+        "hash" => Box::new(HashPartitioner::new(5)),
+        _ => Box::new(GreedyEdgeCut),
+    }
+}
+
+fn main() {
+    let s = scale();
+    banner(
+        "shard_scaling: partition quality, execution, delta latency",
+        s,
+    );
+    let g = graph(s);
+    let reps = ((12f64 * s) as usize).max(3);
+    println!(
+        "{} nodes, {} edges; {} timed forwards per config\n",
+        g.num_nodes(),
+        g.num_edges(),
+        reps
+    );
+
+    let builder = EngineBuilder::new(ModelKind::Rgcn)
+        .dims(DIMS, DIMS)
+        .options(CompileOptions::best())
+        .seed(7);
+    let data = GraphData::new(g.clone());
+    let mut oracle = builder.clone().build().expect("oracle builds");
+    oracle.bind(&data).expect("oracle binds");
+    oracle.forward().expect("oracle fits");
+
+    println!(
+        "{:>7} {:>7} {:>10} {:>12} {:>11} {:>10} {:>12}",
+        "part", "shards", "edge_cut", "halo_bytes", "forwards/s", "shards/s", "delta_us"
+    );
+    let mut json = JsonWriter::from_env("shard_scaling");
+    let mut cuts: std::collections::HashMap<(String, usize), f64> = Default::default();
+    for part in ["range", "hash", "greedy"] {
+        for k in [1usize, 2, 4, 8] {
+            let sharded =
+                ShardedGraph::partition(g.clone(), partitioner(part), ShardConfig::new(k));
+            let edge_cut = sharded.edge_cut_fraction();
+            let halo_bytes = sharded.halo_bytes();
+            cuts.insert((part.to_string(), k), edge_cut);
+
+            let mut eng = builder
+                .clone()
+                .bind_sharded(sharded)
+                .expect("sharded engine builds");
+            eng.forward().expect("fits");
+            assert_eq!(
+                eng.output().data(),
+                oracle.output().data(),
+                "{part} k={k}: sharded forward must be bit-identical before timing"
+            );
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                eng.forward().expect("fits");
+            }
+            let fwd_per_s = reps as f64 / t0.elapsed().as_secs_f64();
+
+            // Delta latency: add + remove one edge, restoring the graph
+            // each round so every apply sees the same structure size.
+            let (src, dst, et) = (g.src()[0], g.dst()[0], g.etype()[0]);
+            let t0 = Instant::now();
+            let delta_rounds = 4;
+            for _ in 0..delta_rounds {
+                eng.apply_delta(&DeltaBatch::new().remove_edge(src, dst, et))
+                    .expect("removes");
+                eng.apply_delta(&DeltaBatch::new().add_edge(src, dst, et))
+                    .expect("re-adds");
+            }
+            let delta_us = t0.elapsed().as_secs_f64() * 1e6 / (2.0 * delta_rounds as f64);
+
+            println!(
+                "{:>7} {:>7} {:>9.1}% {:>12} {:>11.1} {:>10.1} {:>12.0}",
+                part,
+                k,
+                edge_cut * 100.0,
+                halo_bytes,
+                fwd_per_s,
+                fwd_per_s * k as f64,
+                delta_us
+            );
+            json.record(
+                &format!("{part}_k{k}"),
+                &[
+                    ("edge_cut_fraction", edge_cut),
+                    ("halo_bytes", halo_bytes as f64),
+                    ("forwards_per_s", fwd_per_s),
+                    ("shards_per_s", fwd_per_s * k as f64),
+                    ("delta_apply_us", delta_us),
+                ],
+            );
+        }
+    }
+    for k in [2usize, 4, 8] {
+        let (greedy, hash) = (cuts[&("greedy".into(), k)], cuts[&("hash".into(), k)]);
+        assert!(
+            greedy <= hash + 1e-9,
+            "greedy edge cut ({greedy:.3}) must not exceed hash ({hash:.3}) at k={k}"
+        );
+    }
+    println!(
+        "\nEdge cut and halo bytes are deterministic partition-quality\n\
+         metrics; greedy placement never cuts more than hash. Forwards\n\
+         stay bit-identical to the unsharded engine at every shard count."
+    );
+    json.finish();
+}

@@ -117,6 +117,11 @@ pub use hector_runtime::{
     ParallelConfig, ParamStore, ProfileReport, RunReport, Session, TraceConfig, Trainer,
 };
 pub use hector_serve as serve;
+pub use hector_shard as shard;
+pub use hector_shard::{
+    BindSharded, DeltaBatch, DeltaOutcome, GreedyEdgeCut, HashPartitioner, Partitioner,
+    RangePartitioner, ShardConfig, ShardedEngine, ShardedGraph,
+};
 
 /// Compiles one of the built-in models (RGCN / RGAT / HGT).
 ///

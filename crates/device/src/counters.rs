@@ -283,6 +283,129 @@ pub mod module_cache_probe {
     }
 }
 
+/// Sharded-execution statistics: partition quality and the dynamic-graph
+/// activity of `hector-shard`. Process-global like [`ModuleCacheStats`] —
+/// sharded execution spans many per-shard devices, so the numbers live in
+/// a shared probe ([`shard_probe`]) rather than any single device's
+/// counter store, and [`Counters::reset`] / [`Counters::reset_all`] do
+/// not touch them (clear with [`shard_probe::reset`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Partitioning passes performed (initial + delta-forced repartitions).
+    pub partitions: u64,
+    /// Shards produced by the most recent partitioning.
+    pub shards: usize,
+    /// Edges in the full graph at the most recent partitioning.
+    pub edges_total: u64,
+    /// Edges whose source and destination owners differ (cut edges) at
+    /// the most recent partitioning.
+    pub edges_cut: u64,
+    /// Halo rows (replicated non-owned nodes) across all shards at the
+    /// most recent partitioning.
+    pub halo_rows: u64,
+    /// Boundary-exchange steps performed (one per sharded forward).
+    pub exchanges: u64,
+    /// Owned output rows gathered across all exchanges.
+    pub rows_exchanged: u64,
+    /// Per-shard run plans invalidated by delta application.
+    pub plan_invalidations: u64,
+    /// Delta batches applied.
+    pub delta_batches: u64,
+    /// Individual delta operations (edge/node inserts + deletes) applied.
+    pub delta_ops: u64,
+}
+
+impl ShardStats {
+    /// Fraction of full-graph edges cut by the current partitioning.
+    #[must_use]
+    pub fn edge_cut_fraction(&self) -> f64 {
+        if self.edges_total == 0 {
+            0.0
+        } else {
+            self.edges_cut as f64 / self.edges_total as f64
+        }
+    }
+}
+
+/// Process-global probe `hector-shard` reports into. The device crate
+/// hosts the storage (it is the observability leaf of the workspace DAG)
+/// so [`Counters::shard`] can surface sharding activity without a
+/// dependency on the shard crate.
+pub mod shard_probe {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    use super::ShardStats;
+
+    static PARTITIONS: AtomicU64 = AtomicU64::new(0);
+    static SHARDS: AtomicUsize = AtomicUsize::new(0);
+    static EDGES_TOTAL: AtomicU64 = AtomicU64::new(0);
+    static EDGES_CUT: AtomicU64 = AtomicU64::new(0);
+    static HALO_ROWS: AtomicU64 = AtomicU64::new(0);
+    static EXCHANGES: AtomicU64 = AtomicU64::new(0);
+    static ROWS_EXCHANGED: AtomicU64 = AtomicU64::new(0);
+    static PLAN_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
+    static DELTA_BATCHES: AtomicU64 = AtomicU64::new(0);
+    static DELTA_OPS: AtomicU64 = AtomicU64::new(0);
+
+    /// Records one partitioning pass and publishes its quality numbers
+    /// (shard count, total/cut edges, total halo rows).
+    pub fn record_partition(shards: usize, edges_total: u64, edges_cut: u64, halo_rows: u64) {
+        PARTITIONS.fetch_add(1, Ordering::Relaxed);
+        SHARDS.store(shards, Ordering::Relaxed);
+        EDGES_TOTAL.store(edges_total, Ordering::Relaxed);
+        EDGES_CUT.store(edges_cut, Ordering::Relaxed);
+        HALO_ROWS.store(halo_rows, Ordering::Relaxed);
+    }
+
+    /// Records one boundary-exchange step gathering `rows` owned rows.
+    pub fn record_exchange(rows: u64) {
+        EXCHANGES.fetch_add(1, Ordering::Relaxed);
+        ROWS_EXCHANGED.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records `n` per-shard plan invalidations.
+    pub fn record_invalidations(n: u64) {
+        PLAN_INVALIDATIONS.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one applied delta batch comprising `ops` operations.
+    pub fn record_delta(ops: u64) {
+        DELTA_BATCHES.fetch_add(1, Ordering::Relaxed);
+        DELTA_OPS.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Clears all probe state (tests pin deltas against a clean slate).
+    pub fn reset() {
+        PARTITIONS.store(0, Ordering::Relaxed);
+        SHARDS.store(0, Ordering::Relaxed);
+        EDGES_TOTAL.store(0, Ordering::Relaxed);
+        EDGES_CUT.store(0, Ordering::Relaxed);
+        HALO_ROWS.store(0, Ordering::Relaxed);
+        EXCHANGES.store(0, Ordering::Relaxed);
+        ROWS_EXCHANGED.store(0, Ordering::Relaxed);
+        PLAN_INVALIDATIONS.store(0, Ordering::Relaxed);
+        DELTA_BATCHES.store(0, Ordering::Relaxed);
+        DELTA_OPS.store(0, Ordering::Relaxed);
+    }
+
+    /// Reads the current counters.
+    #[must_use]
+    pub fn snapshot() -> ShardStats {
+        ShardStats {
+            partitions: PARTITIONS.load(Ordering::Relaxed),
+            shards: SHARDS.load(Ordering::Relaxed),
+            edges_total: EDGES_TOTAL.load(Ordering::Relaxed),
+            edges_cut: EDGES_CUT.load(Ordering::Relaxed),
+            halo_rows: HALO_ROWS.load(Ordering::Relaxed),
+            exchanges: EXCHANGES.load(Ordering::Relaxed),
+            rows_exchanged: ROWS_EXCHANGED.load(Ordering::Relaxed),
+            plan_invalidations: PLAN_INVALIDATIONS.load(Ordering::Relaxed),
+            delta_batches: DELTA_BATCHES.load(Ordering::Relaxed),
+            delta_ops: DELTA_OPS.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Execution-backend statistics for one run (real mode only). Identifies
 /// *which* backend (`hector_runtime::BackendKind`) ran the kernels and
 /// whether its prepared execution plan was reused from the session cache
@@ -314,10 +437,10 @@ pub struct BackendStats {
 ///   because mini-batch records land *between* runs; cleared only by
 ///   [`Counters::reset_sampler`] (or [`Counters::reset_all`]).
 /// * **Process-global probes** ([`ModuleCacheStats`] via
-///   [`Counters::module_cache`], [`TraceStats`] via
-///   [`Counters::trace`]) — snapshots of shared state that no
-///   `Counters` method clears; use `ModuleCache::clear` /
-///   `hector_trace::clear` respectively.
+///   [`Counters::module_cache`], [`ShardStats`] via [`Counters::shard`],
+///   [`TraceStats`] via [`Counters::trace`]) — snapshots of shared state
+///   that no `Counters` method clears; use `ModuleCache::clear` /
+///   [`shard_probe::reset`] / `hector_trace::clear` respectively.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
     buckets: HashMap<(KernelCategory, Phase), CategoryMetrics>,
@@ -502,6 +625,16 @@ impl Counters {
     #[must_use]
     pub fn module_cache(&self) -> ModuleCacheStats {
         module_cache_probe::snapshot()
+    }
+
+    /// Snapshot of the process-wide sharded-execution probe
+    /// (`hector-shard`). Like [`Counters::module_cache`], this reads
+    /// shared process state and is unaffected by [`Counters::reset`] /
+    /// [`Counters::reset_all`]; clear with
+    /// [`shard_probe::reset`](crate::counters::shard_probe::reset).
+    #[must_use]
+    pub fn shard(&self) -> ShardStats {
+        shard_probe::snapshot()
     }
 
     /// Snapshot of the process-wide trace recorder (`hector_trace`):
@@ -713,6 +846,34 @@ mod tests {
         };
         assert_eq!(z.overlap_fraction(), 0.0);
         assert_eq!(z.nodes_per_sec(), 0.0);
+    }
+
+    /// The shard probe accumulates across records, derives the edge-cut
+    /// fraction safely, and clears only via its own `reset` — never via
+    /// the run-scoped `Counters::reset`.
+    #[test]
+    fn shard_probe_records_and_resets() {
+        shard_probe::reset();
+        assert_eq!(ShardStats::default().edge_cut_fraction(), 0.0);
+        shard_probe::record_partition(4, 1000, 250, 80);
+        shard_probe::record_exchange(500);
+        shard_probe::record_exchange(500);
+        shard_probe::record_invalidations(2);
+        shard_probe::record_delta(3);
+        let mut c = Counters::new();
+        c.reset_all();
+        let s = c.shard();
+        assert_eq!(s.partitions, 1);
+        assert_eq!(s.shards, 4);
+        assert!((s.edge_cut_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(s.halo_rows, 80);
+        assert_eq!(s.exchanges, 2);
+        assert_eq!(s.rows_exchanged, 1000);
+        assert_eq!(s.plan_invalidations, 2);
+        assert_eq!(s.delta_batches, 1);
+        assert_eq!(s.delta_ops, 3);
+        shard_probe::reset();
+        assert_eq!(c.shard(), ShardStats::default());
     }
 
     /// `reset()` is run-scoped: sampler stats survive it. `reset_all()`

@@ -36,8 +36,8 @@ mod memory;
 pub use config::DeviceConfig;
 pub use cost::{KernelCategory, KernelCost, Phase};
 pub use counters::{
-    module_cache_probe, BackendStats, CategoryMetrics, Counters, ModuleCacheStats, ParallelStats,
-    SamplerStats, ScratchStats, TraceStats,
+    module_cache_probe, shard_probe, BackendStats, CategoryMetrics, Counters, ModuleCacheStats,
+    ParallelStats, SamplerStats, ScratchStats, ShardStats, TraceStats,
 };
 pub use device::Device;
 pub use memory::{AllocId, MemoryPool, OomError};

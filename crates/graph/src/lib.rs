@@ -42,6 +42,7 @@ mod compact;
 pub mod datasets;
 mod generate;
 mod hetero;
+pub mod remap;
 mod sample;
 mod stats;
 mod subgraph;
@@ -49,6 +50,7 @@ mod subgraph;
 pub use compact::CompactionMap;
 pub use generate::{generate, DatasetSpec};
 pub use hetero::{Csc, Csr, HeteroGraph, HeteroGraphBuilder};
+pub use remap::{extract_mapped, Extraction};
 pub use sample::{batch_stream_seed, NeighborSampler, SampledBatch, SamplerConfig};
 pub use stats::GraphStats;
 pub use subgraph::Subgraph;

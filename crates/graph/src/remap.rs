@@ -1,0 +1,179 @@
+//! The shared remap-table extraction underneath every "take these nodes
+//! and edges of the full graph and re-pack them as a self-contained
+//! [`HeteroGraph`]" operation in the workspace.
+//!
+//! Two consumers exist today — mini-batch [`Subgraph`](crate::Subgraph)
+//! extraction and shard halo extraction (`hector-shard`) — and both rely
+//! on the same two layout properties of the full graph:
+//!
+//! * full-graph node ids are sorted by node type, so an **ascending**
+//!   original-id order automatically groups local nodes by type — the
+//!   local id order *is* the type-segmented order;
+//! * full-graph edges are sorted by relation and the builder's sort is
+//!   stable, so inserting edges in ascending original order reproduces
+//!   relation-sorted COO with local edge `i` ↔ `edge_map[i]`, preserving
+//!   the **relative original edge order within every relation**. That
+//!   last property is what makes extraction-based execution bit-exact:
+//!   per-destination aggregation visits the same contributions in the
+//!   same order as a full-graph run.
+//!
+//! The extracted graph always declares the **full graph's type counts**
+//! (empty segments included), so per-relation and per-type parameter
+//! stacks keep their shapes across every extraction and one parameter
+//! store serves them all.
+
+use crate::{HeteroGraph, HeteroGraphBuilder};
+
+/// A re-packed induced graph plus the remap tables tying local ids back
+/// to the full graph. Produced by [`extract_mapped`].
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// The extracted graph (local ids; full type counts declared).
+    pub graph: HeteroGraph,
+    /// Original node id of each local node (`node_map[local] = original`;
+    /// strictly ascending).
+    pub node_map: Vec<u32>,
+    /// Original edge index of each local edge (strictly ascending).
+    pub edge_map: Vec<u32>,
+}
+
+impl Extraction {
+    /// Local id of an original node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orig` is not in the extraction's node set.
+    #[must_use]
+    pub fn local_node(&self, orig: u32) -> u32 {
+        self.node_map
+            .binary_search(&orig)
+            .expect("node not extracted") as u32
+    }
+
+    /// Whether an original node is in the extraction's node set.
+    #[must_use]
+    pub fn contains_node(&self, orig: u32) -> bool {
+        self.node_map.binary_search(&orig).is_ok()
+    }
+}
+
+/// Extracts the given node and edge id sets of `full` as a
+/// self-contained [`HeteroGraph`] (see module docs for the layout and
+/// type-count guarantees).
+///
+/// `node_map` must be strictly ascending (sorted, deduplicated) original
+/// node ids; `edge_map` must be strictly ascending original edge
+/// indices, and every extracted edge's endpoints must be in `node_map`.
+///
+/// # Panics
+///
+/// Panics if the maps reference ids outside `full`, if an edge endpoint
+/// is missing from `node_map`, or if `node_map` contains duplicates.
+#[must_use]
+pub fn extract_mapped(full: &HeteroGraph, node_map: Vec<u32>, edge_map: Vec<u32>) -> Extraction {
+    debug_assert!(
+        node_map.windows(2).all(|w| w[0] < w[1]),
+        "node_map must be strictly ascending"
+    );
+    debug_assert!(
+        edge_map.windows(2).all(|w| w[0] < w[1]),
+        "edge_map must be strictly ascending"
+    );
+    let local =
+        |orig: u32| -> u32 { node_map.binary_search(&orig).expect("node not extracted") as u32 };
+
+    let mut b = HeteroGraphBuilder::new();
+    // Declare every full-graph node type, empty segments included. The
+    // ascending node_map is type-grouped, so each type's local count is
+    // one partition_point window over the original type boundaries.
+    let ntype_ptr = full.ntype_ptr();
+    for t in 0..full.num_node_types() {
+        let lo = node_map.partition_point(|&n| (n as usize) < ntype_ptr[t]);
+        let hi = node_map.partition_point(|&n| (n as usize) < ntype_ptr[t + 1]);
+        b.add_node_type(hi - lo);
+    }
+    b.reserve_edge_types(full.num_edge_types());
+    for &e in &edge_map {
+        let e = e as usize;
+        b.add_edge(local(full.src()[e]), local(full.dst()[e]), full.etype()[e]);
+    }
+    let graph = b.build();
+    debug_assert_eq!(graph.num_edge_types(), full.num_edge_types());
+    debug_assert_eq!(graph.num_node_types(), full.num_node_types());
+
+    Extraction {
+        graph,
+        node_map,
+        edge_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetSpec};
+
+    fn graph() -> HeteroGraph {
+        generate(&DatasetSpec {
+            name: "remap".into(),
+            num_nodes: 120,
+            num_node_types: 3,
+            num_edges: 900,
+            num_edge_types: 4,
+            compaction_ratio: 0.5,
+            type_skew: 1.3,
+            seed: 33,
+        })
+    }
+
+    #[test]
+    fn extraction_is_edge_exact_and_type_preserving() {
+        let g = graph();
+        // Every third node, plus all edges fully inside that set.
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).filter(|n| n % 3 != 1).collect();
+        let inside = |n: u32| nodes.binary_search(&n).is_ok();
+        let edges: Vec<u32> = (0..g.num_edges() as u32)
+            .filter(|&e| inside(g.src()[e as usize]) && inside(g.dst()[e as usize]))
+            .collect();
+        let ex = extract_mapped(&g, nodes.clone(), edges.clone());
+        ex.graph.validate();
+        assert_eq!(ex.graph.num_nodes(), nodes.len());
+        assert_eq!(ex.graph.num_edges(), edges.len());
+        assert_eq!(ex.graph.num_node_types(), g.num_node_types());
+        assert_eq!(ex.graph.num_edge_types(), g.num_edge_types());
+        for le in 0..ex.graph.num_edges() {
+            let oe = ex.edge_map[le] as usize;
+            assert_eq!(ex.node_map[ex.graph.src()[le] as usize], g.src()[oe]);
+            assert_eq!(ex.node_map[ex.graph.dst()[le] as usize], g.dst()[oe]);
+            assert_eq!(ex.graph.etype()[le], g.etype()[oe]);
+        }
+        for (l, &o) in ex.node_map.iter().enumerate() {
+            assert_eq!(ex.graph.node_type()[l], g.node_type()[o as usize]);
+            assert_eq!(ex.local_node(o), l as u32);
+        }
+    }
+
+    #[test]
+    fn relative_edge_order_within_relations_is_preserved() {
+        let g = graph();
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let edges: Vec<u32> = (0..g.num_edges() as u32).filter(|e| e % 2 == 0).collect();
+        let ex = extract_mapped(&g, nodes, edges);
+        // Local edges ascend in original index within each relation
+        // segment (the bit-exactness precondition).
+        for t in 0..ex.graph.num_edge_types() {
+            let (lo, hi) = (ex.graph.etype_ptr()[t], ex.graph.etype_ptr()[t + 1]);
+            assert!(ex.edge_map[lo..hi].windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_sets_keep_full_type_counts() {
+        let g = graph();
+        let ex = extract_mapped(&g, vec![0, 1], Vec::new());
+        assert_eq!(ex.graph.num_edges(), 0);
+        assert_eq!(ex.graph.num_node_types(), g.num_node_types());
+        assert_eq!(ex.graph.etype_ptr().len(), g.num_edge_types() + 1);
+        assert!(!ex.contains_node(5));
+    }
+}

@@ -23,7 +23,8 @@
 //! parameter stacks keep their shapes across every batch and one
 //! parameter store serves the whole epoch.
 
-use crate::{HeteroGraph, HeteroGraphBuilder, SampledBatch};
+use crate::remap::extract_mapped;
+use crate::{HeteroGraph, SampledBatch};
 
 /// A sampled batch re-packed as a self-contained [`HeteroGraph`], plus
 /// the remap tables tying local ids back to the full graph.
@@ -44,40 +45,22 @@ impl Subgraph {
     /// Panics if the batch references ids outside `full`.
     #[must_use]
     pub fn extract(full: &HeteroGraph, batch: &SampledBatch) -> Subgraph {
-        // Ascending original node ids == type-grouped local order.
+        // Ascending original node ids == type-grouped local order;
+        // ascending original edge ids == relation-grouped local order.
+        // The re-pack itself is the audited shared helper (also used by
+        // shard halo extraction).
         let mut node_map = batch.nodes.clone();
         node_map.sort_unstable();
         debug_assert!(node_map.windows(2).all(|w| w[0] < w[1]), "duplicate node");
-
-        // Ascending original edge ids == relation-grouped local order.
         let mut edge_map = batch.edges.clone();
         edge_map.sort_unstable();
 
-        let local =
-            |orig: u32| -> u32 { node_map.binary_search(&orig).expect("node not sampled") as u32 };
-
-        let mut b = HeteroGraphBuilder::new();
-        // Declare every full-graph node type, empty segments included.
-        let ntype_ptr = full.ntype_ptr();
-        for t in 0..full.num_node_types() {
-            let lo = node_map.partition_point(|&n| (n as usize) < ntype_ptr[t]);
-            let hi = node_map.partition_point(|&n| (n as usize) < ntype_ptr[t + 1]);
-            b.add_node_type(hi - lo);
-        }
-        b.reserve_edge_types(full.num_edge_types());
-        for &e in &edge_map {
-            let e = e as usize;
-            b.add_edge(local(full.src()[e]), local(full.dst()[e]), full.etype()[e]);
-        }
-        let graph = b.build();
-        debug_assert_eq!(graph.num_edge_types(), full.num_edge_types());
-        debug_assert_eq!(graph.num_node_types(), full.num_node_types());
-
-        let seed_local = batch.seeds.iter().map(|&s| local(s)).collect();
+        let ex = extract_mapped(full, node_map, edge_map);
+        let seed_local = batch.seeds.iter().map(|&s| ex.local_node(s)).collect();
         Subgraph {
-            graph,
-            node_map,
-            edge_map,
+            graph: ex.graph,
+            node_map: ex.node_map,
+            edge_map: ex.edge_map,
             seed_local,
         }
     }

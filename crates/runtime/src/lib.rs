@@ -55,11 +55,11 @@ pub use graphdata::GraphData;
 pub use hector_graph::{NeighborSampler, SampledBatch, SamplerConfig, Subgraph};
 pub use hector_par::{chunk_ranges, ParallelConfig, PoolStats};
 pub use hector_trace as trace;
-pub use hector_trace::report::{ProfileReport, RelationAgg, SpanAgg};
+pub use hector_trace::report::{ProfileReport, RelationAgg, ShardSummary, SpanAgg};
 pub use hector_trace::TraceConfig;
 pub use loss::{nll_loss_and_grad, nll_loss_and_grad_into, random_labels, LossResult};
 pub use minibatch::{Batch, Minibatches};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::ParamStore;
-pub use session::{cnorm_tensor, Bindings, Mode, RunReport, Session};
+pub use session::{cnorm_tensor, gather_bindings, Bindings, Mode, RunReport, Session};
 pub use store::{Buffer, VarStore};

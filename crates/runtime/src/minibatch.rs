@@ -27,11 +27,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hector_graph::{HeteroGraph, NeighborSampler, SamplerConfig, Subgraph};
-use hector_ir::{Space, VarInfo};
+use hector_ir::VarInfo;
 use hector_par::Prefetcher;
-use hector_tensor::Tensor;
 
-use crate::session::{cnorm_tensor, Bindings, Mode};
+use crate::session::{gather_bindings, Bindings, Mode};
 use crate::GraphData;
 
 /// How many batches the background producer may run ahead of training.
@@ -109,40 +108,19 @@ impl BatchSource {
         let sampled = self.sampler.sample(&self.full, k);
         let subgraph = Subgraph::extract(&self.full, &sampled);
         let graph = GraphData::new(subgraph.graph().clone());
-        let mut bindings = Bindings::new();
-        if self.mode == Mode::Real {
-            for info in &self.inputs {
-                let rows = graph.rows_of_space(info.space);
-                if info.name == "cnorm" {
-                    // Normalisation denominators are *subgraph*
-                    // in-degrees; slicing the full-graph constants would
-                    // under-count nodes whose edges were sampled away.
-                    bindings.set(&info.name, cnorm_tensor(&graph));
-                    continue;
-                }
-                let full = self
-                    .full_bindings
-                    .get(&info.name)
-                    .unwrap_or_else(|| panic!("missing input binding '{}'", info.name));
-                let mut data = vec![0.0f32; rows * info.width];
-                match info.space {
-                    Space::Node => {
-                        subgraph.gather_node_rows(full.data(), &mut data, info.width);
-                    }
-                    Space::Edge => {
-                        for (le, &oe) in subgraph.edge_map().iter().enumerate() {
-                            let o = oe as usize * info.width;
-                            data[le * info.width..(le + 1) * info.width]
-                                .copy_from_slice(&full.data()[o..o + info.width]);
-                        }
-                    }
-                    Space::Compact => {
-                        unreachable!("programs declare node/edge inputs only")
-                    }
-                }
-                bindings.set(&info.name, Tensor::from_vec(data, &[rows, info.width]));
-            }
-        }
+        let bindings = if self.mode == Mode::Real {
+            // The slicing (node/edge gathers, subgraph-local cnorm) is
+            // the shared rebind helper, also used by sharded execution.
+            gather_bindings(
+                &self.inputs,
+                &graph,
+                &self.full_bindings,
+                subgraph.node_map(),
+                subgraph.edge_map(),
+            )
+        } else {
+            Bindings::new()
+        };
         let labels = if self.mode == Mode::Real {
             subgraph.gather_node_values(&self.full_labels)
         } else {

@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 
 use hector_par::ThreadPool;
 use hector_runtime::{Engine, EngineBuilder, GraphData, HectorError};
+use hector_shard::{DeltaBatch, ShardedGraph};
 use hector_trace::{self as trace, SpanCat};
 
 // The dispatcher moves engines across threads inside deployment locks.
@@ -207,6 +208,10 @@ pub struct DeploymentStats {
     pub swaps: u64,
     /// Current engine version.
     pub version: u64,
+    /// Graph version of the resident graph: the [`ShardedGraph`] delta
+    /// generation installed by [`ServeHandle::apply_delta`] /
+    /// [`ServeHandle::swap_versioned`] (0 until either runs).
+    pub graph_version: u64,
 }
 
 impl DeploymentStats {
@@ -241,6 +246,7 @@ struct Deployment {
     slot: Mutex<Engine>,
     stats: StatCells,
     version: AtomicU64,
+    graph_version: AtomicU64,
     num_nodes: AtomicUsize,
     out_width: AtomicUsize,
 }
@@ -257,6 +263,7 @@ impl Deployment {
             coalesced_requests: self.stats.coalesced_requests.load(Ordering::Relaxed),
             swaps: self.stats.swaps.load(Ordering::Relaxed),
             version: self.version.load(Ordering::Relaxed),
+            graph_version: self.graph_version.load(Ordering::Relaxed),
         }
     }
 }
@@ -393,6 +400,7 @@ impl ServeHandle {
                 slot: Mutex::new(engine),
                 stats: StatCells::default(),
                 version: AtomicU64::new(1),
+                graph_version: AtomicU64::new(0),
                 num_nodes: AtomicUsize::new(num_nodes),
                 out_width: AtomicUsize::new(out_width),
             }),
@@ -421,6 +429,35 @@ impl ServeHandle {
         builder: EngineBuilder,
         graph: &GraphData,
     ) -> Result<u64, ServeError> {
+        self.swap_inner(name, builder, graph, None)
+    }
+
+    /// [`ServeHandle::swap`] that additionally records the **graph
+    /// version** the replacement graph corresponds to (a
+    /// [`ShardedGraph::version`] delta generation), surfaced as
+    /// [`DeploymentStats::graph_version`]. Same atomic-substitution and
+    /// no-drop guarantees as `swap`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::swap`].
+    pub fn swap_versioned(
+        &self,
+        name: &str,
+        builder: EngineBuilder,
+        graph: &GraphData,
+        graph_version: u64,
+    ) -> Result<u64, ServeError> {
+        self.swap_inner(name, builder, graph, Some(graph_version))
+    }
+
+    fn swap_inner(
+        &self,
+        name: &str,
+        builder: EngineBuilder,
+        graph: &GraphData,
+        graph_version: Option<u64>,
+    ) -> Result<u64, ServeError> {
         let dep = self
             .deployment(name)
             .ok_or_else(|| ServeError::UnknownDeployment(name.to_string()))?;
@@ -439,6 +476,9 @@ impl ServeHandle {
             *slot = engine;
             dep.num_nodes.store(num_nodes, Ordering::SeqCst);
             dep.out_width.store(out_width, Ordering::SeqCst);
+            if let Some(gv) = graph_version {
+                dep.graph_version.store(gv, Ordering::SeqCst);
+            }
             dep.stats.swaps.fetch_add(1, Ordering::Relaxed);
             dep.version.fetch_add(1, Ordering::SeqCst) + 1
         };
@@ -446,6 +486,38 @@ impl ServeHandle {
             format!("{name}: v{version}, {num_nodes} nodes")
         });
         Ok(version)
+    }
+
+    /// Applies one streaming [`DeltaBatch`] to a [`ShardedGraph`] and
+    /// hot-swaps the deployment onto the post-delta graph, tagging it
+    /// with the sharded graph's new delta generation. The swap inherits
+    /// `swap`'s guarantees: the replacement engine binds off to the
+    /// side, in-flight requests run on whichever engine holds the slot
+    /// when their group dispatches, and none are dropped. Returns the
+    /// new graph version ([`ShardedGraph::version`]), readable back via
+    /// [`DeploymentStats::graph_version`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeHandle::swap`]. On error the sharded graph HAS already
+    /// advanced (the delta applies first); retry the swap with
+    /// [`ServeHandle::swap_versioned`] rather than re-applying the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed batch (see [`ShardedGraph::apply`]), before
+    /// any serving state changes.
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        builder: EngineBuilder,
+        sharded: &mut ShardedGraph,
+        batch: &DeltaBatch,
+    ) -> Result<u64, ServeError> {
+        let outcome = sharded.apply(batch);
+        let graph = GraphData::new(sharded.full().clone());
+        self.swap_versioned(name, builder, &graph, outcome.version)?;
+        Ok(outcome.version)
     }
 
     /// Submits a single-node inference with the default timeout.

@@ -1,0 +1,462 @@
+//! Streaming structural updates: [`DeltaBatch`] construction and the
+//! full-graph splice that applies one.
+//!
+//! A delta batch names edge and node insertions/deletions against the
+//! graph it is applied to. [`ShardedGraph::apply`](crate::ShardedGraph::apply)
+//! consumes batches incrementally: edge-only batches splice the
+//! relation-sorted edge arrays in place of a rebuild-from-scratch and
+//! invalidate only the shards whose interior contains a touched
+//! destination; batches with node operations shift node ids and force a
+//! full re-partition (documented on [`DeltaBatch::add_node`]).
+//!
+//! # Id coordinates
+//!
+//! Every node id in a batch refers to the **pre-delta** graph.
+//! [`DeltaBatch::add_edge`] may additionally reference nodes created by
+//! the *same* batch through provisional ids: the `i`-th
+//! [`DeltaBatch::add_node`] call gets provisional id
+//! `old_num_nodes + i`, remapped to its final (type-grouped) id when the
+//! batch lands.
+//!
+//! # Edge order
+//!
+//! The splice preserves the relative order of surviving edges within
+//! every relation and appends insertions at their relation segment's
+//! end — the same order a from-scratch
+//! [`HeteroGraphBuilder`] with the
+//! stable relation sort would produce, so a spliced graph is
+//! indistinguishable from a freshly built one (pinned by
+//! `splice_matches_fresh_build`). That keeps post-delta sharded
+//! execution bit-identical to a fresh unsharded oracle over the same
+//! edge list.
+
+use std::collections::HashMap;
+
+use hector_graph::{HeteroGraph, HeteroGraphBuilder};
+
+/// A batch of structural updates (edge/node inserts and deletes),
+/// applied atomically by [`ShardedGraph::apply`](crate::ShardedGraph::apply).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaBatch {
+    /// Edges to insert, `(src, dst, etype)`, appended at their relation
+    /// segment's end in call order.
+    pub add_edges: Vec<(u32, u32, u32)>,
+    /// Edges to delete, matched by `(src, dst, etype)`; each entry
+    /// removes one matching edge (the earliest surviving match).
+    pub remove_edges: Vec<(u32, u32, u32)>,
+    /// Node types of nodes to insert (each appended at its type
+    /// segment's end).
+    pub add_nodes: Vec<u32>,
+    /// Node ids to delete, along with every incident edge.
+    pub remove_nodes: Vec<u32>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> DeltaBatch {
+        DeltaBatch::default()
+    }
+
+    /// Queues one edge insertion. `src`/`dst` may be provisional ids of
+    /// nodes added by this batch (see the module docs).
+    #[must_use]
+    pub fn add_edge(mut self, src: u32, dst: u32, etype: u32) -> Self {
+        self.add_edges.push((src, dst, etype));
+        self
+    }
+
+    /// Queues one edge deletion, matched by `(src, dst, etype)`.
+    #[must_use]
+    pub fn remove_edge(mut self, src: u32, dst: u32, etype: u32) -> Self {
+        self.remove_edges.push((src, dst, etype));
+        self
+    }
+
+    /// Queues one node insertion of the given node type. Node ids are
+    /// type-grouped, so this shifts every later node id — a batch with
+    /// node operations always forces a full re-partition.
+    #[must_use]
+    pub fn add_node(mut self, ntype: u32) -> Self {
+        self.add_nodes.push(ntype);
+        self
+    }
+
+    /// Queues one node deletion (plus all incident edges). Forces a full
+    /// re-partition like [`DeltaBatch::add_node`].
+    #[must_use]
+    pub fn remove_node(mut self, id: u32) -> Self {
+        self.remove_nodes.push(id);
+        self
+    }
+
+    /// Total queued operations.
+    #[must_use]
+    pub fn ops(&self) -> usize {
+        self.add_edges.len()
+            + self.remove_edges.len()
+            + self.add_nodes.len()
+            + self.remove_nodes.len()
+    }
+
+    /// Whether the batch contains node insertions/deletions (which force
+    /// a full re-partition when applied).
+    #[must_use]
+    pub fn has_node_ops(&self) -> bool {
+        !self.add_nodes.is_empty() || !self.remove_nodes.is_empty()
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops() == 0
+    }
+
+    /// Original (pre-delta) destination ids this batch touches — the
+    /// seed of the affected-shard computation. Provisional destinations
+    /// (nodes added by this batch) are excluded: no existing shard
+    /// interior can contain them.
+    #[must_use]
+    pub fn touched_dsts(&self, old_num_nodes: usize) -> Vec<u32> {
+        let mut dsts: Vec<u32> = self
+            .add_edges
+            .iter()
+            .chain(self.remove_edges.iter())
+            .map(|&(_, d, _)| d)
+            .filter(|&d| (d as usize) < old_num_nodes)
+            .collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        dsts
+    }
+}
+
+/// What one [`ShardedGraph::apply`](crate::ShardedGraph::apply) did.
+#[derive(Clone, Debug)]
+pub struct DeltaOutcome {
+    /// Graph version after the batch (monotonic; starts at 0 and bumps
+    /// once per applied batch).
+    pub version: u64,
+    /// Shards whose plans were invalidated (re-extracted). Ascending;
+    /// every shard when `repartitioned`.
+    pub affected: Vec<usize>,
+    /// Operations applied.
+    pub ops: usize,
+    /// Whether node operations forced a full re-partition.
+    pub repartitioned: bool,
+}
+
+/// Multiset of pending edge removals keyed by `(src, dst, etype)`.
+fn removal_counts(batch: &DeltaBatch) -> HashMap<(u32, u32, u32), usize> {
+    let mut m = HashMap::new();
+    for &key in &batch.remove_edges {
+        *m.entry(key).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Applies an edge-only batch by splicing the relation-sorted edge
+/// arrays. Returns the new graph plus the old→new edge id map
+/// (`None` for removed edges) used to shift unaffected shards' remap
+/// tables without re-extraction.
+///
+/// # Panics
+///
+/// Panics if a removal matches no edge, or an insertion references an
+/// out-of-range node or relation.
+pub(crate) fn splice_edges(
+    full: &HeteroGraph,
+    batch: &DeltaBatch,
+) -> (HeteroGraph, Vec<Option<u32>>) {
+    debug_assert!(!batch.has_node_ops(), "node ops need the rebuild path");
+    let n = full.num_nodes() as u32;
+    let nrel = full.num_edge_types();
+    let mut adds_by_rel: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nrel];
+    for &(s, d, t) in &batch.add_edges {
+        assert!(
+            s < n && d < n,
+            "edge insert ({s}, {d}) out of range for {n} nodes"
+        );
+        assert!(
+            (t as usize) < nrel,
+            "edge insert relation {t} out of range for {nrel}"
+        );
+        adds_by_rel[t as usize].push((s, d));
+    }
+    let mut pending = removal_counts(batch);
+
+    let mut b = HeteroGraphBuilder::new();
+    for t in 0..full.num_node_types() {
+        b.add_node_type(full.nodes_of_type(t));
+    }
+    b.reserve_edge_types(nrel);
+    let mut old_to_new = vec![None; full.num_edges()];
+    let mut next = 0u32;
+    #[allow(clippy::needless_range_loop)] // `t`/`e` index several parallel arrays
+    for t in 0..nrel {
+        for e in full.etype_ptr()[t]..full.etype_ptr()[t + 1] {
+            let key = (full.src()[e], full.dst()[e], t as u32);
+            if let Some(c) = pending.get_mut(&key) {
+                if *c > 0 {
+                    *c -= 1;
+                    continue;
+                }
+            }
+            b.add_edge(key.0, key.1, key.2);
+            old_to_new[e] = Some(next);
+            next += 1;
+        }
+        for &(s, d) in &adds_by_rel[t] {
+            b.add_edge(s, d, t as u32);
+            next += 1;
+        }
+    }
+    if let Some((key, _)) = pending.iter().find(|(_, &c)| c > 0) {
+        panic!("edge removal {key:?} matches no edge in the graph");
+    }
+    (b.build(), old_to_new)
+}
+
+/// Applies a batch with node operations by rebuilding the graph: removed
+/// nodes (and their incident edges) drop out, added nodes land at their
+/// type segment's end, surviving node ids compact downward, and the edge
+/// operations apply on top. Shard state cannot survive the id shift —
+/// the caller re-partitions.
+///
+/// # Panics
+///
+/// Panics on out-of-range ids, on a removal that matches nothing, and on
+/// an inserted edge referencing a removed node.
+pub(crate) fn rebuild_with_node_ops(full: &HeteroGraph, batch: &DeltaBatch) -> HeteroGraph {
+    let old_n = full.num_nodes();
+    let ntypes = full.num_node_types();
+    let mut removed = vec![false; old_n];
+    for &v in &batch.remove_nodes {
+        assert!(
+            (v as usize) < old_n,
+            "node removal {v} out of range for {old_n} nodes"
+        );
+        removed[v as usize] = true;
+    }
+    for &t in &batch.add_nodes {
+        assert!(
+            (t as usize) < ntypes,
+            "node insert type {t} out of range for {ntypes}"
+        );
+    }
+
+    // New id layout: per type, surviving old nodes in ascending order,
+    // then this batch's insertions of that type in call order.
+    let ptr = full.ntype_ptr();
+    let mut kept_of_type = vec![0usize; ntypes];
+    for t in 0..ntypes {
+        kept_of_type[t] = (ptr[t]..ptr[t + 1]).filter(|&v| !removed[v]).count();
+    }
+    let adds_of_type = |t: usize| batch.add_nodes.iter().filter(|&&a| a as usize == t).count();
+    let mut new_ptr = vec![0usize; ntypes + 1];
+    for t in 0..ntypes {
+        new_ptr[t + 1] = new_ptr[t] + kept_of_type[t] + adds_of_type(t);
+    }
+    let mut node_map = vec![None; old_n];
+    for t in 0..ntypes {
+        let mut next = new_ptr[t];
+        for v in ptr[t]..ptr[t + 1] {
+            if !removed[v] {
+                node_map[v] = Some(next as u32);
+                next += 1;
+            }
+        }
+    }
+    // Provisional ids old_n + i resolve to slots after each type's kept
+    // nodes, in batch order.
+    let mut prov_map = Vec::with_capacity(batch.add_nodes.len());
+    let mut placed_of_type = vec![0usize; ntypes];
+    for &t in &batch.add_nodes {
+        let t = t as usize;
+        prov_map.push((new_ptr[t] + kept_of_type[t] + placed_of_type[t]) as u32);
+        placed_of_type[t] += 1;
+    }
+    let resolve = |v: u32| -> u32 {
+        if (v as usize) < old_n {
+            node_map[v as usize].unwrap_or_else(|| panic!("edge references removed node {v}"))
+        } else {
+            let i = v as usize - old_n;
+            *prov_map
+                .get(i)
+                .unwrap_or_else(|| panic!("provisional node id {v} was never added"))
+        }
+    };
+
+    let nrel = full.num_edge_types();
+    let mut adds_by_rel: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nrel];
+    for &(s, d, t) in &batch.add_edges {
+        assert!(
+            (t as usize) < nrel,
+            "edge insert relation {t} out of range for {nrel}"
+        );
+        adds_by_rel[t as usize].push((resolve(s), resolve(d)));
+    }
+    let mut pending = removal_counts(batch);
+
+    let mut b = HeteroGraphBuilder::new();
+    for (t, &kept) in kept_of_type.iter().enumerate() {
+        b.add_node_type(kept + adds_of_type(t));
+    }
+    b.reserve_edge_types(nrel);
+    #[allow(clippy::needless_range_loop)] // `t` indexes several parallel arrays
+    for t in 0..nrel {
+        for e in full.etype_ptr()[t]..full.etype_ptr()[t + 1] {
+            let (s, d) = (full.src()[e], full.dst()[e]);
+            let key = (s, d, t as u32);
+            if let Some(c) = pending.get_mut(&key) {
+                if *c > 0 {
+                    *c -= 1;
+                    continue;
+                }
+            }
+            if removed[s as usize] || removed[d as usize] {
+                continue; // incident edge drops with its node
+            }
+            b.add_edge(resolve(s), resolve(d), t as u32);
+        }
+        for &(s, d) in &adds_by_rel[t] {
+            b.add_edge(s, d, t as u32);
+        }
+    }
+    if let Some((key, _)) = pending.iter().find(|(_, &c)| c > 0) {
+        panic!("edge removal {key:?} matches no edge in the graph");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_graph::{generate, DatasetSpec};
+
+    fn graph() -> HeteroGraph {
+        generate(&DatasetSpec {
+            name: "delta".into(),
+            num_nodes: 60,
+            num_node_types: 2,
+            num_edges: 300,
+            num_edge_types: 3,
+            compaction_ratio: 0.5,
+            type_skew: 1.0,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn batch_builder_counts_ops() {
+        let b = DeltaBatch::new()
+            .add_edge(0, 1, 0)
+            .remove_edge(1, 2, 0)
+            .add_node(0)
+            .remove_node(3);
+        assert_eq!(b.ops(), 4);
+        assert!(b.has_node_ops());
+        assert!(!b.is_empty());
+        assert!(DeltaBatch::new().is_empty());
+    }
+
+    /// The splice must be indistinguishable from building the post-delta
+    /// edge list from scratch with the same ordering rules.
+    #[test]
+    fn splice_matches_fresh_build() {
+        let g = graph();
+        let victim = 0usize; // remove the first edge of relation 0
+        let (vs, vd) = (g.src()[victim], g.dst()[victim]);
+        let batch = DeltaBatch::new()
+            .remove_edge(vs, vd, 0)
+            .add_edge(3, 4, 1)
+            .add_edge(5, 6, 1);
+        let (spliced, old_to_new) = splice_edges(&g, &batch);
+        spliced.validate();
+        assert_eq!(spliced.num_edges(), g.num_edges() + 1);
+        assert!(old_to_new[victim].is_none(), "removed edge has no new id");
+
+        // Fresh build: same per-relation order, insertions at the end.
+        let mut b = HeteroGraphBuilder::new();
+        for t in 0..g.num_node_types() {
+            b.add_node_type(g.nodes_of_type(t));
+        }
+        b.reserve_edge_types(g.num_edge_types());
+        for t in 0..g.num_edge_types() {
+            for e in g.etype_ptr()[t]..g.etype_ptr()[t + 1] {
+                if e == victim {
+                    continue;
+                }
+                b.add_edge(g.src()[e], g.dst()[e], t as u32);
+            }
+            if t == 1 {
+                b.add_edge(3, 4, 1);
+                b.add_edge(5, 6, 1);
+            }
+        }
+        let fresh = b.build();
+        assert_eq!(spliced.src(), fresh.src());
+        assert_eq!(spliced.dst(), fresh.dst());
+        assert_eq!(spliced.etype(), fresh.etype());
+        assert_eq!(spliced.etype_ptr(), fresh.etype_ptr());
+
+        // The id map shifts surviving edges onto their new positions.
+        for (old, new) in old_to_new.iter().enumerate() {
+            if let Some(new) = new {
+                assert_eq!(spliced.src()[*new as usize], g.src()[old]);
+                assert_eq!(spliced.dst()[*new as usize], g.dst()[old]);
+                assert_eq!(spliced.etype()[*new as usize], g.etype()[old]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no edge")]
+    fn removing_a_missing_edge_panics() {
+        let g = graph();
+        // (src, dst) pair guaranteed absent: self-loop on the last node
+        // with relation 0 would be a coincidence; use an exhaustive miss.
+        let miss = (0..g.num_nodes() as u32)
+            .flat_map(|s| (0..g.num_nodes() as u32).map(move |d| (s, d)))
+            .find(|&(s, d)| {
+                !(0..g.num_edges()).any(|e| g.src()[e] == s && g.dst()[e] == d && g.etype()[e] == 0)
+            })
+            .expect("graph is not complete");
+        let _ = splice_edges(&g, &DeltaBatch::new().remove_edge(miss.0, miss.1, 0));
+    }
+
+    #[test]
+    fn node_ops_rebuild_shifts_ids_and_drops_incident_edges() {
+        let g = graph();
+        let victim = 0u32; // first node of type 0
+        let incident = (0..g.num_edges())
+            .filter(|&e| g.src()[e] == victim || g.dst()[e] == victim)
+            .count();
+        let prov = g.num_nodes() as u32; // provisional id of the added node
+        let batch = DeltaBatch::new()
+            .remove_node(victim)
+            .add_node(1)
+            .add_edge(prov, prov, 2); // self-loop on the new node
+        let rebuilt = rebuild_with_node_ops(&g, &batch);
+        rebuilt.validate();
+        assert_eq!(rebuilt.num_nodes(), g.num_nodes());
+        assert_eq!(rebuilt.nodes_of_type(0), g.nodes_of_type(0) - 1);
+        assert_eq!(rebuilt.nodes_of_type(1), g.nodes_of_type(1) + 1);
+        assert_eq!(rebuilt.num_edges(), g.num_edges() - incident + 1);
+        // The added node sits at the end of type 1's segment, carrying
+        // the new self-loop.
+        let new_id = (rebuilt.ntype_ptr()[2] - 1) as u32;
+        assert!((0..rebuilt.num_edges())
+            .any(|e| rebuilt.src()[e] == new_id && rebuilt.dst()[e] == new_id));
+    }
+
+    #[test]
+    fn touched_dsts_dedup_and_skip_provisional() {
+        let b = DeltaBatch::new()
+            .add_edge(0, 5, 0)
+            .add_edge(1, 5, 0)
+            .remove_edge(2, 7, 1)
+            .add_edge(3, 100, 0); // provisional dst, excluded
+        assert_eq!(b.touched_dsts(50), vec![5, 7]);
+    }
+}

@@ -1,0 +1,593 @@
+//! Sharded graph storage with parallel per-shard execution and
+//! streaming delta ingestion.
+//!
+//! Scaling past one engine's working set means cutting the graph into
+//! **shards** that execute concurrently. This crate partitions a
+//! heterogeneous graph over **destination nodes**: shard `s` owns a
+//! subset of nodes and is responsible for computing exactly those nodes'
+//! output rows. Each shard stores a compacted, self-contained
+//! [`HeteroGraph`] (built by the audited
+//! [`extract_mapped`] re-pack, the same
+//! helper mini-batch extraction uses) covering:
+//!
+//! * its **interior** — the owned nodes expanded `hops - 1` steps
+//!   backward along edges (so a `hops`-layer model sees every
+//!   contribution an interior node's output depends on);
+//! * every edge whose destination is interior;
+//! * the **halo** — source nodes of those edges owned by other shards,
+//!   replicated read-only into the shard.
+//!
+//! # Bit-identity
+//!
+//! Sharded forward output is **bitwise identical** to the unsharded
+//! engine at every shard count, thread count, and partitioner. Three
+//! properties make that hold (each pinned by `tests/shard_parity.rs`):
+//!
+//! 1. extraction preserves the relative original edge order within every
+//!    relation, so per-destination aggregation sums the same values in
+//!    the same order as a full-graph run;
+//! 2. owned nodes retain *all* of their in-edges (the interior closure
+//!    guarantees it through `hops` layers), and `cnorm` normalisation is
+//!    recomputed per shard — equal to the full graph's on every interior
+//!    node;
+//! 3. the boundary exchange copies owned output rows in fixed shard
+//!    order, and ownership is a partition — rows never race.
+//!
+//! Set [`ShardConfig::hops`] to the model's layer count; a too-shallow
+//! halo truncates multi-layer receptive fields (the parity tests pin the
+//! exact-depth configuration).
+//!
+//! # Streaming deltas
+//!
+//! [`ShardedGraph::apply`] consumes [`DeltaBatch`]es incrementally:
+//! edge-only batches splice the relation-sorted edge arrays and
+//! re-extract **only the shards whose interior contains a touched
+//! destination** (other shards just shift their edge remap tables);
+//! node batches force a full re-partition. Every apply bumps
+//! [`ShardedGraph::version`], which `hector-serve` hot-swap consumes.
+//! Activity is observable via `counters().shard()`
+//! ([`hector_device::ShardStats`]).
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod engine;
+pub mod partition;
+
+use hector_device::shard_probe;
+use hector_graph::{extract_mapped, Extraction, HeteroGraph};
+
+pub use delta::{DeltaBatch, DeltaOutcome};
+pub use engine::{BindSharded, ShardedEngine};
+pub use partition::{GreedyEdgeCut, HashPartitioner, Partitioner, RangePartitioner};
+
+/// Sharding configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of shards to partition into.
+    pub num_shards: usize,
+    /// Halo depth: how many aggregation layers the shard's interior
+    /// closure covers. Set to the model's layer count for exact owned
+    /// outputs (see the crate docs); defaults to 1.
+    pub hops: usize,
+}
+
+impl ShardConfig {
+    /// `num_shards` shards with a single-layer halo.
+    #[must_use]
+    pub fn new(num_shards: usize) -> ShardConfig {
+        ShardConfig {
+            num_shards,
+            hops: 1,
+        }
+    }
+
+    /// Sets the halo depth (model layer count).
+    #[must_use]
+    pub fn hops(mut self, hops: usize) -> ShardConfig {
+        self.hops = hops;
+        self
+    }
+}
+
+/// One shard: a compacted subgraph of interior + halo nodes, plus the
+/// ownership bookkeeping the execution layer needs.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    extraction: Extraction,
+    owned: Vec<u32>,
+    owned_local: Vec<u32>,
+    interior: Vec<u32>,
+}
+
+impl Shard {
+    /// The shard's self-contained graph (local ids; full type counts).
+    #[must_use]
+    pub fn graph(&self) -> &HeteroGraph {
+        &self.extraction.graph
+    }
+
+    /// Original node id of each local node (strictly ascending).
+    #[must_use]
+    pub fn node_map(&self) -> &[u32] {
+        &self.extraction.node_map
+    }
+
+    /// Original edge index of each local edge (strictly ascending).
+    #[must_use]
+    pub fn edge_map(&self) -> &[u32] {
+        &self.extraction.edge_map
+    }
+
+    /// Original ids of the nodes this shard owns (ascending). The shard
+    /// is authoritative for exactly these nodes' output rows.
+    #[must_use]
+    pub fn owned(&self) -> &[u32] {
+        &self.owned
+    }
+
+    /// Local ids of the owned nodes, index-aligned with
+    /// [`Shard::owned`].
+    #[must_use]
+    pub fn owned_local(&self) -> &[u32] {
+        &self.owned_local
+    }
+
+    /// Original ids of the interior nodes (owned closure; ascending).
+    /// Interior nodes retain all their in-edges, so their activations
+    /// are exact through one layer per closure hop.
+    #[must_use]
+    pub fn interior(&self) -> &[u32] {
+        &self.interior
+    }
+
+    /// Whether an original node is interior to this shard.
+    #[must_use]
+    pub fn is_interior(&self, orig: u32) -> bool {
+        self.interior.binary_search(&orig).is_ok()
+    }
+
+    /// Halo rows: replicated nodes this shard reads but does not own.
+    #[must_use]
+    pub fn halo_rows(&self) -> usize {
+        self.node_map().len() - self.owned.len()
+    }
+}
+
+/// Builds one shard: interior = owned expanded `hops - 1` steps backward
+/// along edges; included edges = everything terminating interior; node
+/// set = interior plus the sources of included edges.
+fn build_shard(full: &HeteroGraph, owner: &[u32], s: u32, hops: usize) -> Shard {
+    assert!(hops >= 1, "halo depth must cover at least one layer");
+    let n = full.num_nodes();
+    let owned: Vec<u32> = (0..n as u32).filter(|&v| owner[v as usize] == s).collect();
+    let mut interior_set = vec![false; n];
+    for &v in &owned {
+        interior_set[v as usize] = true;
+    }
+    for _ in 1..hops {
+        // One backward expansion per extra layer: sources feeding the
+        // current set become interior too.
+        let frontier: Vec<usize> = (0..full.num_edges())
+            .filter(|&e| interior_set[full.dst()[e] as usize])
+            .map(|e| full.src()[e] as usize)
+            .collect();
+        for v in frontier {
+            interior_set[v] = true;
+        }
+    }
+    let interior: Vec<u32> = (0..n as u32)
+        .filter(|&v| interior_set[v as usize])
+        .collect();
+
+    let mut node_set = interior_set;
+    let mut edges: Vec<u32> = Vec::new();
+    for e in 0..full.num_edges() {
+        if interior.binary_search(&full.dst()[e]).is_ok() {
+            edges.push(e as u32);
+            node_set[full.src()[e] as usize] = true;
+        }
+    }
+    let node_map: Vec<u32> = (0..n as u32).filter(|&v| node_set[v as usize]).collect();
+    let extraction = extract_mapped(full, node_map, edges);
+    let owned_local: Vec<u32> = owned.iter().map(|&v| extraction.local_node(v)).collect();
+    Shard {
+        extraction,
+        owned,
+        owned_local,
+        interior,
+    }
+}
+
+/// A heterogeneous graph partitioned over destination nodes into
+/// per-shard compacted subgraphs with halo replication. See the crate
+/// docs for the ownership and bit-identity contracts.
+pub struct ShardedGraph {
+    full: HeteroGraph,
+    cfg: ShardConfig,
+    partitioner: Box<dyn Partitioner>,
+    partitioner_name: &'static str,
+    owner: Vec<u32>,
+    shards: Vec<Shard>,
+    edges_cut: u64,
+    version: u64,
+}
+
+impl std::fmt::Debug for ShardedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedGraph")
+            .field("num_shards", &self.cfg.num_shards)
+            .field("hops", &self.cfg.hops)
+            .field("partitioner", &self.partitioner_name)
+            .field("nodes", &self.full.num_nodes())
+            .field("edges", &self.full.num_edges())
+            .field("edge_cut_fraction", &self.edge_cut_fraction())
+            .field("version", &self.version)
+            .finish()
+    }
+}
+
+impl ShardedGraph {
+    /// Partitions `full` with the given partitioner. Records the
+    /// partitioning's quality numbers into the process-global shard
+    /// probe (`counters().shard()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero shards, zero [`ShardConfig::hops`], or a
+    /// partitioner that violates its contract (wrong length,
+    /// out-of-range owner).
+    #[must_use]
+    pub fn partition(
+        full: HeteroGraph,
+        partitioner: Box<dyn Partitioner>,
+        cfg: ShardConfig,
+    ) -> ShardedGraph {
+        assert!(cfg.num_shards > 0, "need at least one shard");
+        let partitioner_name = partitioner.name();
+        let mut sharded = ShardedGraph {
+            full,
+            cfg,
+            partitioner,
+            partitioner_name,
+            owner: Vec::new(),
+            shards: Vec::new(),
+            edges_cut: 0,
+            version: 0,
+        };
+        sharded.repartition();
+        sharded
+    }
+
+    /// Re-runs the partitioner over the current full graph and rebuilds
+    /// every shard.
+    fn repartition(&mut self) {
+        let tr = hector_trace::span_start();
+        let owner = self.partitioner.assign(&self.full, self.cfg.num_shards);
+        assert_eq!(owner.len(), self.full.num_nodes(), "one owner per node");
+        assert!(
+            owner.iter().all(|&o| (o as usize) < self.cfg.num_shards),
+            "owner out of shard range"
+        );
+        self.shards = (0..self.cfg.num_shards)
+            .map(|s| build_shard(&self.full, &owner, s as u32, self.cfg.hops))
+            .collect();
+        self.owner = owner;
+        self.edges_cut = (0..self.full.num_edges())
+            .filter(|&e| {
+                self.owner[self.full.src()[e] as usize] != self.owner[self.full.dst()[e] as usize]
+            })
+            .count() as u64;
+        shard_probe::record_partition(
+            self.cfg.num_shards,
+            self.full.num_edges() as u64,
+            self.edges_cut,
+            self.halo_rows() as u64,
+        );
+        if let Some(t0) = tr {
+            hector_trace::record_span(
+                "shard/partition",
+                hector_trace::SpanCat::Shard,
+                t0,
+                self.full.num_edges() as u64,
+                0,
+                0.0,
+            );
+        }
+    }
+
+    /// The full (unsharded) graph.
+    #[must_use]
+    pub fn full(&self) -> &HeteroGraph {
+        &self.full
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.cfg.num_shards
+    }
+
+    /// The sharding configuration.
+    #[must_use]
+    pub fn config(&self) -> ShardConfig {
+        self.cfg
+    }
+
+    /// The partitioner's stable name.
+    #[must_use]
+    pub fn partitioner_name(&self) -> &'static str {
+        self.partitioner_name
+    }
+
+    /// One shard.
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &Shard {
+        &self.shards[s]
+    }
+
+    /// All shards, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Owner shard of each original node.
+    #[must_use]
+    pub fn owner(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Monotonic graph version; bumps once per applied [`DeltaBatch`].
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Fraction of edges whose endpoints are owned by different shards.
+    #[must_use]
+    pub fn edge_cut_fraction(&self) -> f64 {
+        if self.full.num_edges() == 0 {
+            0.0
+        } else {
+            self.edges_cut as f64 / self.full.num_edges() as f64
+        }
+    }
+
+    /// Total replicated halo rows across all shards.
+    #[must_use]
+    pub fn halo_rows(&self) -> usize {
+        self.shards.iter().map(Shard::halo_rows).sum()
+    }
+
+    /// Approximate bytes of replicated structure: the halo share of
+    /// every shard's node and edge tables.
+    #[must_use]
+    pub fn halo_bytes(&self) -> usize {
+        self.halo_rows() * std::mem::size_of::<u32>() * 2
+    }
+
+    /// Applies one delta batch. Edge-only batches splice the edge arrays
+    /// and re-extract only the shards whose interior contains a touched
+    /// destination — every other shard keeps its compacted graph and has
+    /// its edge remap table shifted in place. Batches with node
+    /// operations rebuild the graph and re-partition everything (node
+    /// ids shift; see [`DeltaBatch::add_node`]). Bumps
+    /// [`ShardedGraph::version`] and records the batch into the shard
+    /// probe either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids, on a removal that matches nothing,
+    /// and on an inserted edge referencing a removed node.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> DeltaOutcome {
+        let tr = hector_trace::span_start();
+        let ops = batch.ops();
+        let (affected, repartitioned) = if batch.has_node_ops() {
+            self.full = delta::rebuild_with_node_ops(&self.full, batch);
+            self.repartition();
+            shard_probe::record_invalidations(self.cfg.num_shards as u64);
+            ((0..self.cfg.num_shards).collect(), true)
+        } else {
+            let touched = batch.touched_dsts(self.full.num_nodes());
+            let (new_full, old_to_new) = delta::splice_edges(&self.full, batch);
+            self.full = new_full;
+            let affected: Vec<usize> = (0..self.cfg.num_shards)
+                .filter(|&s| touched.iter().any(|&d| self.shards[s].is_interior(d)))
+                .collect();
+            for s in 0..self.cfg.num_shards {
+                if affected.contains(&s) {
+                    self.shards[s] = build_shard(&self.full, &self.owner, s as u32, self.cfg.hops);
+                } else {
+                    // Unaffected shards keep their graph verbatim; only
+                    // the original edge indices shifted under them.
+                    for e in &mut self.shards[s].extraction.edge_map {
+                        *e = old_to_new[*e as usize]
+                            .expect("an edge of an unaffected shard was removed");
+                    }
+                }
+            }
+            self.edges_cut = (0..self.full.num_edges())
+                .filter(|&e| {
+                    self.owner[self.full.src()[e] as usize]
+                        != self.owner[self.full.dst()[e] as usize]
+                })
+                .count() as u64;
+            shard_probe::record_invalidations(affected.len() as u64);
+            (affected, false)
+        };
+        shard_probe::record_delta(ops as u64);
+        self.version += 1;
+        if let Some(t0) = tr {
+            hector_trace::record_span(
+                "shard/delta",
+                hector_trace::SpanCat::Shard,
+                t0,
+                ops as u64,
+                0,
+                0.0,
+            );
+        }
+        DeltaOutcome {
+            version: self.version,
+            affected,
+            ops,
+            repartitioned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_graph::{generate, DatasetSpec};
+
+    fn graph() -> HeteroGraph {
+        generate(&DatasetSpec {
+            name: "shard".into(),
+            num_nodes: 120,
+            num_node_types: 3,
+            num_edges: 800,
+            num_edge_types: 4,
+            compaction_ratio: 0.5,
+            type_skew: 1.1,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn ownership_is_a_partition_and_owned_keep_all_in_edges() {
+        let g = graph();
+        for k in [1usize, 2, 3, 8] {
+            let sg = ShardedGraph::partition(
+                g.clone(),
+                Box::new(HashPartitioner::new(3)),
+                ShardConfig::new(k),
+            );
+            // Every node owned exactly once.
+            let mut seen = vec![0usize; g.num_nodes()];
+            for sh in sg.shards() {
+                sh.graph().validate();
+                for &v in sh.owned() {
+                    seen[v as usize] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "k={k}: ownership partition");
+            // Owned nodes retain their full in-edge sets.
+            let in_deg = g.in_degree();
+            for sh in sg.shards() {
+                for (&orig, &local) in sh.owned().iter().zip(sh.owned_local()) {
+                    let local_deg = sh.graph().dst().iter().filter(|&&d| d == local).count() as u32;
+                    assert_eq!(
+                        local_deg, in_deg[orig as usize],
+                        "k={k}: owned node {orig} lost in-edges"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_hops_grow_the_interior() {
+        let g = graph();
+        let one = ShardedGraph::partition(
+            g.clone(),
+            Box::new(RangePartitioner),
+            ShardConfig::new(3).hops(1),
+        );
+        let two = ShardedGraph::partition(
+            g.clone(),
+            Box::new(RangePartitioner),
+            ShardConfig::new(3).hops(2),
+        );
+        for s in 0..3 {
+            assert_eq!(one.shard(s).interior(), one.shard(s).owned());
+            assert!(two.shard(s).interior().len() >= one.shard(s).interior().len());
+            // hops=2 interior must contain every source feeding an owned
+            // node.
+            for e in 0..g.num_edges() {
+                if one.shard(s).owned().binary_search(&g.dst()[e]).is_ok() {
+                    assert!(two.shard(s).is_interior(g.src()[e]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_delta_invalidates_only_affected_shards() {
+        let g = graph();
+        let mut sg =
+            ShardedGraph::partition(g.clone(), Box::new(RangePartitioner), ShardConfig::new(4));
+        // Pick an existing edge and re-add a parallel copy: its dst is
+        // interior to exactly one shard under hops=1 range partitioning.
+        let (s0, d0, t0) = (g.src()[0], g.dst()[0], g.etype()[0]);
+        let owner = sg.owner()[d0 as usize] as usize;
+        let out = sg.apply(&DeltaBatch::new().add_edge(s0, d0, t0));
+        assert_eq!(out.version, 1);
+        assert_eq!(out.affected, vec![owner]);
+        assert!(!out.repartitioned);
+        assert_eq!(sg.full().num_edges(), g.num_edges() + 1);
+
+        // Unaffected shards still index real edges after the remap shift.
+        for (i, sh) in sg.shards().iter().enumerate() {
+            for (le, &oe) in sh.edge_map().iter().enumerate() {
+                assert_eq!(
+                    sh.node_map()[sh.graph().src()[le] as usize],
+                    sg.full().src()[oe as usize],
+                    "shard {i} local edge {le} remap broke"
+                );
+                assert_eq!(sh.graph().etype()[le], sg.full().etype()[oe as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn affected_shard_rebuild_matches_fresh_partition() {
+        // After an edge-only delta, every shard (affected or shifted)
+        // must equal what a from-scratch partition of the new graph
+        // produces.
+        let g = graph();
+        let mut sg = ShardedGraph::partition(
+            g.clone(),
+            Box::new(HashPartitioner::new(9)),
+            ShardConfig::new(3).hops(2),
+        );
+        let batch = DeltaBatch::new()
+            .add_edge(g.src()[5], g.dst()[5], g.etype()[5])
+            .remove_edge(g.src()[10], g.dst()[10], g.etype()[10]);
+        sg.apply(&batch);
+        let fresh = ShardedGraph::partition(
+            sg.full().clone(),
+            Box::new(HashPartitioner::new(9)),
+            ShardConfig::new(3).hops(2),
+        );
+        for s in 0..3 {
+            assert_eq!(sg.shard(s).node_map(), fresh.shard(s).node_map());
+            assert_eq!(sg.shard(s).edge_map(), fresh.shard(s).edge_map());
+            assert_eq!(sg.shard(s).graph().src(), fresh.shard(s).graph().src());
+            assert_eq!(sg.shard(s).graph().dst(), fresh.shard(s).graph().dst());
+        }
+    }
+
+    #[test]
+    fn node_delta_forces_repartition() {
+        let g = graph();
+        let mut sg =
+            ShardedGraph::partition(g.clone(), Box::new(RangePartitioner), ShardConfig::new(2));
+        let out = sg.apply(&DeltaBatch::new().add_node(0));
+        assert!(out.repartitioned);
+        assert_eq!(out.affected, vec![0, 1]);
+        assert_eq!(sg.full().num_nodes(), g.num_nodes() + 1);
+        assert_eq!(sg.version(), 1);
+    }
+
+    #[test]
+    fn single_shard_covers_everything_with_no_halo() {
+        let g = graph();
+        let sg = ShardedGraph::partition(g.clone(), Box::new(GreedyEdgeCut), ShardConfig::new(1));
+        assert_eq!(sg.shard(0).node_map().len(), g.num_nodes());
+        assert_eq!(sg.shard(0).edge_map().len(), g.num_edges());
+        assert_eq!(sg.halo_rows(), 0);
+        assert_eq!(sg.edge_cut_fraction(), 0.0);
+    }
+}

@@ -63,6 +63,9 @@ pub enum SpanCat {
     Compiler,
     /// Minibatch pipeline activity (sample, prefetch wait).
     Pipeline,
+    /// Sharded-execution activity (per-shard runs, boundary exchange,
+    /// delta application).
+    Shard,
 }
 
 impl SpanCat {
@@ -76,6 +79,7 @@ impl SpanCat {
             SpanCat::Worker => "worker",
             SpanCat::Compiler => "compiler",
             SpanCat::Pipeline => "pipeline",
+            SpanCat::Shard => "shard",
         }
     }
 }

@@ -71,6 +71,26 @@ pub struct RelationAgg {
     pub gemm_us: f64,
 }
 
+/// Sharded-execution summary mirrored into a [`ProfileReport`] by
+/// `ShardedEngine::profile` (`hector-shard`). The trace crate defines the
+/// shape so reports can carry it without a dependency on the shard or
+/// device crates; the numbers themselves come from the device's
+/// process-global shard probe.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardSummary {
+    /// Shards in the current partitioning.
+    pub shards: usize,
+    /// Fraction of full-graph edges whose endpoints live on different
+    /// shards.
+    pub edge_cut_fraction: f64,
+    /// Halo rows (replicated non-owned nodes) across all shards.
+    pub halo_rows: u64,
+    /// Per-shard run plans invalidated by delta application.
+    pub plan_invalidations: u64,
+    /// Individual delta operations applied.
+    pub delta_ops: u64,
+}
+
 /// Structured profile built from one drained trace.
 #[derive(Clone, Debug, Default)]
 pub struct ProfileReport {
@@ -84,6 +104,12 @@ pub struct ProfileReport {
     pub passes: Vec<SpanAgg>,
     /// Minibatch pipeline aggregates (sample, prefetch wait).
     pub pipeline: Vec<SpanAgg>,
+    /// Sharded-execution aggregates (per-shard runs, boundary exchange,
+    /// delta application); empty outside sharded execution.
+    pub shard: Vec<SpanAgg>,
+    /// Sharding counters, set by `ShardedEngine::profile`; `None` for
+    /// unsharded profiles.
+    pub shard_stats: Option<ShardSummary>,
     /// Per-relation estimates (see module docs); empty when no graph
     /// relation mix was supplied.
     pub relations: Vec<RelationAgg>,
@@ -139,6 +165,7 @@ pub fn build_report(events: &[TraceEvent], relations: &[RelationShare]) -> Profi
     let phases = aggregate(events, SpanCat::Phase);
     let passes = aggregate(events, SpanCat::Compiler);
     let pipeline = aggregate(events, SpanCat::Pipeline);
+    let shard = aggregate(events, SpanCat::Shard);
     let wall_us: f64 = events
         .iter()
         .filter(|e| e.cat == SpanCat::Run)
@@ -191,6 +218,8 @@ pub fn build_report(events: &[TraceEvent], relations: &[RelationShare]) -> Profi
         phases,
         passes,
         pipeline,
+        shard,
+        shard_stats: None,
         relations: rel,
         coverage,
         events: events.len(),
@@ -255,6 +284,18 @@ impl fmt::Display for ProfileReport {
         table(f, "phases:", &self.phases)?;
         table(f, "compiler passes:", &self.passes)?;
         table(f, "pipeline:", &self.pipeline)?;
+        table(f, "sharding:", &self.shard)?;
+        if let Some(s) = &self.shard_stats {
+            writeln!(
+                f,
+                "shards: {} ({:.1}% edge cut, {} halo rows, {} plan invalidations, {} delta ops)",
+                s.shards,
+                s.edge_cut_fraction * 100.0,
+                s.halo_rows,
+                s.plan_invalidations,
+                s.delta_ops
+            )?;
+        }
         if !self.relations.is_empty() {
             writeln!(f, "relations (estimated from edge/pair shares):")?;
             writeln!(
@@ -330,6 +371,29 @@ mod tests {
         let shown = format!("{r}");
         assert!(shown.contains("gemm/typed_linear"));
         assert!(shown.contains("95.0%"));
+    }
+
+    #[test]
+    fn shard_spans_and_summary_render() {
+        let evs = vec![
+            span("run/forward", SpanCat::Run, 100.0, 0),
+            span("shard/forward", SpanCat::Shard, 40.0, 64),
+            span("shard/exchange", SpanCat::Shard, 5.0, 64),
+        ];
+        let mut r = build_report(&evs, &[]);
+        assert_eq!(r.shard.len(), 2);
+        assert_eq!(r.shard[0].name, "shard/forward");
+        r.shard_stats = Some(ShardSummary {
+            shards: 4,
+            edge_cut_fraction: 0.25,
+            halo_rows: 80,
+            plan_invalidations: 1,
+            delta_ops: 3,
+        });
+        let shown = format!("{r}");
+        assert!(shown.contains("sharding:"));
+        assert!(shown.contains("shard/exchange"));
+        assert!(shown.contains("shards: 4 (25.0% edge cut, 80 halo rows"));
     }
 
     #[test]

@@ -346,6 +346,69 @@ fn serve_demo_path() {
     srv.shutdown();
 }
 
+/// `examples/sharded_training.rs`: a destination-partitioned graph
+/// trains and runs through a [`hector::ShardedEngine`] bit-identically
+/// to the unsharded engine, and a streaming delta re-plans only the
+/// affected shards.
+#[test]
+fn sharded_training_path() {
+    use hector::{BindSharded, DeltaBatch, GreedyEdgeCut, ShardConfig, ShardedGraph};
+
+    let spec = hector::datasets::aifb().scaled(0.02);
+    let graph = hector::generate(&spec);
+    let builder = EngineBuilder::new(ModelKind::Rgcn)
+        .dims(8, 4)
+        .options(CompileOptions::best())
+        .training(true)
+        .seed(3);
+
+    // The unsharded oracle: same builder, same training trajectory.
+    let data = GraphData::new(graph.clone());
+    let mut oracle = builder.clone().build().unwrap();
+    oracle.bind(&data).unwrap();
+    let labels: Vec<usize> = (0..graph.num_nodes()).map(|v| v % 4).collect();
+    let mut opt = Adam::new(0.02);
+    for _ in 0..3 {
+        oracle.train_step(&labels, &mut opt).expect("fits");
+    }
+    oracle.forward().expect("fits");
+
+    let sharded =
+        ShardedGraph::partition(graph.clone(), Box::new(GreedyEdgeCut), ShardConfig::new(3));
+    assert!(sharded.edge_cut_fraction() <= 1.0);
+    let mut engine = builder.clone().bind_sharded(sharded).unwrap();
+    let mut opt = Adam::new(0.02);
+    for _ in 0..3 {
+        let r = engine.train_step(&labels, &mut opt).expect("fits");
+        assert!(r.loss.expect("real mode").is_finite());
+    }
+    engine.forward().expect("fits");
+    assert_eq!(
+        engine.output().data(),
+        oracle.output().data(),
+        "sharded training/forward must be bit-identical to unsharded"
+    );
+
+    // A streaming delta touches one destination: at most a handful of
+    // shard plans re-derive, and the graph version advances.
+    let batch = DeltaBatch::new().add_edge(0, 1, 0).remove_edge(
+        graph.src()[0],
+        graph.dst()[0],
+        graph.etype()[0],
+    );
+    let outcome = engine.apply_delta(&batch).expect("delta applies");
+    assert_eq!(outcome.version, 1);
+    assert!(!outcome.affected.is_empty());
+    engine.forward().expect("fits");
+
+    let (_, report) = engine.profile(|e| e.forward().expect("fits"));
+    let stats = report
+        .shard_stats
+        .expect("sharded profile sets the summary");
+    assert_eq!(stats.shards, 3);
+    assert!(format!("{report}").contains("shards:"));
+}
+
 /// `examples/profiling.rs`: a profiled training epoch yields a populated
 /// [`ProfileReport`] and a chrome-trace export at the requested path.
 /// (The trace recorder is process-global, so the assertions here stay

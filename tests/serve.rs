@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use hector::prelude::*;
 use hector::serve::{ServeConfig, ServeError, ServeHandle};
-use hector::HectorError;
+use hector::{DeltaBatch, HashPartitioner, HectorError, ShardConfig, ShardedGraph};
 
 fn graph(seed: u64, nodes: usize) -> GraphData {
     GraphData::new(hector::generate(&DatasetSpec {
@@ -206,6 +206,83 @@ fn coalescing_beats_naive_dispatch_on_traversal_count() {
         );
         srv.shutdown();
     }
+}
+
+#[test]
+fn delta_ingestion_under_load_drops_nothing_and_matches_fresh_oracle() {
+    let g = graph(41, 64);
+    let full = g.graph().clone();
+    let mut sharded = ShardedGraph::partition(
+        full.clone(),
+        Box::new(HashPartitioner::new(3)),
+        ShardConfig::new(4),
+    );
+
+    let srv = ServeHandle::start(ServeConfig::default().with_workers(4));
+    srv.deploy("dyn", builder(ModelKind::Rgcn, 8, 21), &g)
+        .unwrap();
+    assert_eq!(srv.stats("dyn").unwrap().graph_version, 0);
+
+    // Edge-only deltas keep node ids stable, so clients can keep
+    // hammering the same id range across every graph version.
+    let batches = [
+        DeltaBatch::new()
+            .add_edge(3, 9, 0)
+            .add_edge(10, 11, 1)
+            .add_edge(0, 63, 2),
+        DeltaBatch::new()
+            .remove_edge(full.src()[0], full.dst()[0], full.etype()[0])
+            .add_edge(5, 5, 3),
+        DeltaBatch::new().remove_edge(10, 11, 1).add_edge(7, 2, 0),
+    ];
+
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let srv = srv.clone();
+            s.spawn(move || {
+                for i in 0..40u64 {
+                    let node = ((t * 19 + i) % 64) as usize;
+                    srv.submit("dyn", node)
+                        .expect("submit accepted while deltas stream in")
+                        .wait()
+                        .expect("no request may fail across a delta swap");
+                }
+            });
+        }
+        // Stream the delta batches in while the clients hammer.
+        for batch in &batches {
+            let v = srv
+                .apply_delta("dyn", builder(ModelKind::Rgcn, 8, 21), &mut sharded, batch)
+                .expect("delta applies under load");
+            assert_eq!(v, sharded.version());
+        }
+    });
+
+    let stats = srv.stats("dyn").unwrap();
+    assert_eq!(stats.completed, 160, "every request was served");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.swaps, 3, "each delta batch is one hot swap");
+    assert_eq!(
+        stats.graph_version, 3,
+        "the deployment reports the delta generation it serves"
+    );
+
+    // Post-delta responses are bit-identical to a fresh unsharded
+    // engine built directly on the post-delta graph.
+    srv.drain();
+    let post = GraphData::new(sharded.full().clone());
+    let oracle = oracle_rows(ModelKind::Rgcn, 8, 21, &post);
+    for node in [0usize, 3, 9, 11, 31, 63] {
+        let r = srv.submit("dyn", node).unwrap().wait().unwrap();
+        assert_eq!(
+            row_bits(&r.rows[0]),
+            oracle[node],
+            "node {node}: post-delta response diverged from the fresh oracle"
+        );
+    }
+    srv.shutdown();
 }
 
 // ---------------------------------------------------------------------------
